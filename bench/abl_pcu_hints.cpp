@@ -1,0 +1,60 @@
+//===-- bench/abl_pcu_hints.cpp - Runtime->PCU feedback extension ---------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// Section 7's future work: "we would like to incorporate feedback from
+// our user-level runtime in power management techniques". This
+// extension lets EAS announce the split it is about to execute so the
+// governor jumps straight to the steady-state operating point instead of
+// discovering it through conservative wake resets and slow ramps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ecas/hw/Presets.h"
+#include "ecas/support/Stats.h"
+
+#include <cstdio>
+
+using namespace ecas;
+
+int main(int Argc, char **Argv) {
+  Flags Args(Argc, Argv);
+  bench::printBanner(
+      "Extension: runtime->PCU feedback hints (desktop, per metric)",
+      "the paper's future work — hinting the upcoming split removes "
+      "wake-reset and ramp losses");
+
+  PlatformSpec Spec = haswellDesktop();
+  PowerCurveSet Curves = Characterizer(Spec).characterize();
+  std::vector<Workload> Suite = desktopSuite(bench::configFromFlags(Args));
+  ExecutionSession Session(Spec);
+
+  for (const Metric &Objective : {Metric::edp(), Metric::energy()}) {
+    std::printf("\n--- objective: %s ---\n", Objective.name().c_str());
+    std::printf("%-5s %14s %14s %10s\n", "bench", "EAS", "EAS+hints",
+                "delta");
+    RunningStats Base, Hinted;
+    for (const Workload &W : Suite) {
+      SessionReport Oracle = Session.runOracle(W.Trace, Objective);
+      SessionReport Plain = Session.runEas(W.Trace, Curves, Objective);
+      EasConfig Config;
+      Config.PcuHints = true;
+      SessionReport WithHints =
+          Session.runEas(W.Trace, Curves, Objective, Config);
+      double EffPlain = Oracle.MetricValue / Plain.MetricValue;
+      double EffHints = Oracle.MetricValue / WithHints.MetricValue;
+      Base.add(EffPlain);
+      Hinted.add(EffHints);
+      std::printf("%-5s %13.1f%% %13.1f%% %+9.1f%%\n", W.Abbrev.c_str(),
+                  100 * EffPlain, 100 * EffHints,
+                  100 * (EffHints - EffPlain));
+    }
+    std::printf("%-5s %13.1f%% %13.1f%% %+9.1f%%\n", "AVG",
+                100 * Base.mean(), 100 * Hinted.mean(),
+                100 * (Hinted.mean() - Base.mean()));
+  }
+  Args.reportUnknown();
+  return 0;
+}

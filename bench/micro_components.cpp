@@ -1,0 +1,160 @@
+//===-- bench/micro_components.cpp - Component micro-benchmarks -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// google-benchmark timings of the runtime's hot primitives: the
+// Chase-Lev deque, work-stealing parallel_for, the shared work pool,
+// polynomial fitting/evaluation, the alpha grid search, and a full
+// simulated kernel execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/AlphaSearch.h"
+#include "ecas/core/KernelHistory.h"
+#include "ecas/power/Characterizer.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/math/PolyFit.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/runtime/ParallelFor.h"
+#include "ecas/sim/SimProcessor.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ecas;
+
+static void BM_DequePushPop(benchmark::State &State) {
+  ChaseLevDeque<uint64_t> Deque;
+  for (auto _ : State) {
+    for (uint64_t I = 0; I != 64; ++I)
+      Deque.push(I);
+    uint64_t Sum = 0;
+    while (auto V = Deque.pop())
+      Sum += *V;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_DequePushPop);
+
+static void BM_DequeSteal(benchmark::State &State) {
+  ChaseLevDeque<uint64_t> Deque;
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (uint64_t I = 0; I != 64; ++I)
+      Deque.push(I);
+    State.ResumeTiming();
+    uint64_t Sum = 0;
+    while (auto V = Deque.steal())
+      Sum += *V;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_DequeSteal);
+
+static void BM_ParallelFor(benchmark::State &State) {
+  static ThreadPool Pool(4);
+  const uint64_t N = static_cast<uint64_t>(State.range(0));
+  for (auto _ : State) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(0, N, 256, [&Sum](uint64_t Begin, uint64_t End) {
+      uint64_t Local = 0;
+      for (uint64_t I = Begin; I != End; ++I)
+        Local += I;
+      Sum.fetch_add(Local, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(Sum.load());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_WorkPoolGrab(benchmark::State &State) {
+  for (auto _ : State) {
+    WorkPool Pool(1 << 16);
+    uint64_t Seen = 0;
+    while (true) {
+      IterRange Range = Pool.grab(64);
+      if (Range.size() == 0)
+        break;
+      Seen += Range.size();
+    }
+    benchmark::DoNotOptimize(Seen);
+  }
+  State.SetItemsProcessed(State.iterations() * (1 << 16));
+}
+BENCHMARK(BM_WorkPoolGrab);
+
+static void BM_PolyFitDegree6(benchmark::State &State) {
+  std::vector<double> Xs, Ys;
+  for (double X = 0.0; X <= 1.0 + 1e-9; X += 0.1) {
+    Xs.push_back(X);
+    Ys.push_back(45.0 - 10.0 * X + 3.0 * X * X);
+  }
+  for (auto _ : State) {
+    auto Fit = fitPolynomial(Xs, Ys, 6);
+    benchmark::DoNotOptimize(Fit->RSquared);
+  }
+}
+BENCHMARK(BM_PolyFitDegree6);
+
+static void BM_AlphaGridSearch(benchmark::State &State) {
+  TimeModel Model(1e8, 3e8);
+  PowerCurve Curve;
+  Curve.Poly = Polynomial({45.0, 20.0, -60.0, 30.0, 5.0, -2.0, 1.0});
+  Metric Objective = Metric::edp();
+  for (auto _ : State) {
+    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e7);
+    benchmark::DoNotOptimize(Choice.Alpha);
+  }
+}
+BENCHMARK(BM_AlphaGridSearch);
+
+static void BM_SimulatedKernelRun(benchmark::State &State) {
+  PlatformSpec Spec = haswellDesktop();
+  KernelDesc Kernel = computeBoundMicroKernel();
+  for (auto _ : State) {
+    SimProcessor Proc(Spec);
+    Proc.cpu().enqueue(Kernel, 1e7);
+    Proc.gpu().enqueue(Kernel, 1e7);
+    Proc.runUntilIdle();
+    benchmark::DoNotOptimize(Proc.meter().totalJoules());
+  }
+}
+BENCHMARK(BM_SimulatedKernelRun);
+
+static void BM_EasDecisionOverhead(benchmark::State &State) {
+  // Section 5: "Our online profiling along with the sample-weighted
+  // accumulation strategy incurs very little overhead, i.e., on average
+  // 1-2 microseconds on both the platforms." This times the scheduler's
+  // *decision* work per profiled invocation — classification, curve
+  // lookup, the alpha grid search, and table-G bookkeeping — i.e.
+  // everything except the (real) kernel work the devices do anyway.
+  static PlatformSpec Spec = haswellDesktop();
+  static PowerCurveSet Curves = Characterizer(Spec).characterize();
+  ProfileSample Sample;
+  Sample.CpuIterations = 5e4;
+  Sample.GpuIterations = 2048;
+  Sample.CpuBusySeconds = 5e-4;
+  Sample.GpuBusySeconds = 5e-5;
+  Sample.ElapsedSeconds = 5e-4;
+  Sample.CpuThroughput = 1e8;
+  Sample.GpuThroughput = 4e7;
+  Sample.MissPerLoadStore = 0.4;
+  KernelHistory History;
+  Metric Objective = Metric::edp();
+  uint64_t Id = 1;
+  for (auto _ : State) {
+    WorkloadClass Class =
+        classifyWorkload(Sample.MissPerLoadStore, 0.05, 0.02);
+    const PowerCurve &Curve = Curves.curveFor(Class);
+    TimeModel Model(Sample.CpuThroughput, Sample.GpuThroughput);
+    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e6);
+    KernelRecord &Record = History.obtain(Id);
+    Record.Alpha.addSample(Choice.Alpha, 1e6);
+    benchmark::DoNotOptimize(Record.Alpha.value());
+  }
+}
+BENCHMARK(BM_EasDecisionOverhead);
+
+BENCHMARK_MAIN();

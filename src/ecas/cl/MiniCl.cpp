@@ -1,0 +1,278 @@
+//===-- ecas/cl/MiniCl.cpp - OpenCL-style host execution layer ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/cl/MiniCl.h"
+
+#include "ecas/device/KernelDesc.h"
+#include "ecas/support/Assert.h"
+
+#include <chrono>
+
+using namespace ecas;
+using namespace ecas::cl;
+
+const char *ecas::cl::statusName(Status S) {
+  switch (S) {
+  case Status::Success:
+    return "success";
+  case Status::InvalidKernel:
+    return "invalid kernel";
+  case Status::InvalidRange:
+    return "invalid range";
+  case Status::DeviceUnavailable:
+    return "device unavailable";
+  }
+  ECAS_UNREACHABLE("unknown status");
+}
+
+static double hostSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+MiniKernel::MiniKernel(std::string NameIn, RangeBody BodyIn)
+    : Name(std::move(NameIn)), Body(std::move(BodyIn)),
+      Id(hashKernelName(Name)) {}
+
+//===----------------------------------------------------------------------===//
+// MiniEvent
+//===----------------------------------------------------------------------===//
+
+struct MiniEvent::State {
+  mutable std::mutex Mutex;
+  mutable std::condition_variable Done;
+  CommandState Stage = CommandState::Queued;
+  Status Result = Status::Success;
+  double QueuedAt = 0.0;
+  double SubmitAt = 0.0;
+  double StartAt = 0.0;
+  double EndAt = 0.0;
+
+  void advance(CommandState Next, double Timestamp) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stage = Next;
+    switch (Next) {
+    case CommandState::Queued:
+      QueuedAt = Timestamp;
+      break;
+    case CommandState::Submitted:
+      SubmitAt = Timestamp;
+      break;
+    case CommandState::Running:
+      StartAt = Timestamp;
+      break;
+    case CommandState::Complete:
+      EndAt = Timestamp;
+      break;
+    }
+    if (Next == CommandState::Complete)
+      Done.notify_all();
+  }
+};
+
+void MiniEvent::wait() const {
+  ECAS_CHECK(Shared != nullptr, "waiting on a null event");
+  std::unique_lock<std::mutex> Lock(Shared->Mutex);
+  Shared->Done.wait(Lock, [this] {
+    return Shared->Stage == CommandState::Complete;
+  });
+}
+
+CommandState MiniEvent::state() const {
+  ECAS_CHECK(Shared != nullptr, "querying a null event");
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Stage;
+}
+
+Status MiniEvent::status() const {
+  ECAS_CHECK(Shared != nullptr, "querying a null event");
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  return Shared->Result;
+}
+
+double MiniEvent::queuedSeconds() const { return Shared->QueuedAt; }
+double MiniEvent::submitSeconds() const { return Shared->SubmitAt; }
+double MiniEvent::startSeconds() const { return Shared->StartAt; }
+double MiniEvent::endSeconds() const { return Shared->EndAt; }
+
+double MiniEvent::executionSeconds() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  if (Shared->Stage != CommandState::Complete)
+    return 0.0;
+  return Shared->EndAt - Shared->StartAt;
+}
+
+double MiniEvent::overheadSeconds() const {
+  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  if (Shared->Stage != CommandState::Complete)
+    return 0.0;
+  return Shared->StartAt - Shared->QueuedAt;
+}
+
+//===----------------------------------------------------------------------===//
+// CommandQueue
+//===----------------------------------------------------------------------===//
+
+struct CommandQueue::Command {
+  RangeBody Body;
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  std::shared_ptr<MiniEvent::State> Event;
+};
+
+CommandQueue::CommandQueue(
+    std::string DeviceNameIn,
+    std::function<void(const RangeBody &, uint64_t, uint64_t)> DispatchIn,
+    double DispatchLatencySecIn)
+    : DeviceName(std::move(DeviceNameIn)), Dispatch(std::move(DispatchIn)),
+      DispatchLatencySec(DispatchLatencySecIn) {
+  ECAS_CHECK(static_cast<bool>(Dispatch), "queue requires a dispatcher");
+  Worker = std::thread([this] { workerLoop(); });
+}
+
+CommandQueue::~CommandQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+MiniEvent CommandQueue::enqueue(const MiniKernel &Kernel, uint64_t Begin,
+                                uint64_t End) {
+  MiniEvent Event;
+  Event.Shared = std::make_shared<MiniEvent::State>();
+  double Now = hostSeconds();
+  Event.Shared->QueuedAt = Now;
+
+  // Immediate-error events complete synchronously, like clEnqueue*
+  // returning an error code.
+  if (!Kernel.valid()) {
+    Event.Shared->Result = Status::InvalidKernel;
+    Event.Shared->advance(CommandState::Complete, Now);
+    return Event;
+  }
+  if (End <= Begin) {
+    Event.Shared->Result = Status::InvalidRange;
+    Event.Shared->advance(CommandState::Complete, Now);
+    return Event;
+  }
+
+  auto Cmd = std::make_unique<Command>();
+  Cmd->Body = Kernel.body();
+  Cmd->Begin = Begin;
+  Cmd->End = End;
+  Cmd->Event = Event.Shared;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown) {
+      Event.Shared->Result = Status::DeviceUnavailable;
+      Event.Shared->advance(CommandState::Complete, hostSeconds());
+      return Event;
+    }
+    Pending.push_back(std::move(Cmd));
+  }
+  WorkAvailable.notify_one();
+  return Event;
+}
+
+void CommandQueue::finish() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  QueueDrained.wait(Lock, [this] {
+    return Pending.empty() && InFlight == 0;
+  });
+}
+
+uint64_t CommandQueue::commandsCompleted() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Completed;
+}
+
+void CommandQueue::workerLoop() {
+  while (true) {
+    std::unique_ptr<Command> Cmd;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] {
+        return ShuttingDown || !Pending.empty();
+      });
+      if (Pending.empty()) {
+        // Shutting down with an empty queue.
+        QueueDrained.notify_all();
+        return;
+      }
+      Cmd = std::move(Pending.front());
+      Pending.pop_front();
+      ++InFlight;
+    }
+
+    Cmd->Event->advance(CommandState::Submitted, hostSeconds());
+    if (DispatchLatencySec > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(DispatchLatencySec));
+    Cmd->Event->advance(CommandState::Running, hostSeconds());
+    Dispatch(Cmd->Body, Cmd->Begin, Cmd->End);
+    Cmd->Event->advance(CommandState::Complete, hostSeconds());
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --InFlight;
+      ++Completed;
+      if (Pending.empty() && InFlight == 0)
+        QueueDrained.notify_all();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MiniContext
+//===----------------------------------------------------------------------===//
+
+MiniContext::MiniContext(unsigned CpuThreads, GpuExecutor GpuHook,
+                         double GpuDispatchLatencySec)
+    : Pool(CpuThreads) {
+  Cpu = std::make_unique<CommandQueue>(
+      "cpu",
+      [this](const RangeBody &Body, uint64_t Begin, uint64_t End) {
+        Pool.parallelFor(Begin, End, /*Grain=*/256, Body);
+      },
+      /*DispatchLatencySec=*/0.0);
+  if (!GpuHook) {
+    // Thread-backed stand-in: the queue's worker thread runs the body
+    // directly, standing in for a driver dispatch.
+    GpuHook = [](uint64_t, uint64_t) {};
+    Gpu = std::make_unique<CommandQueue>(
+        "gpu",
+        [](const RangeBody &Body, uint64_t Begin, uint64_t End) {
+          Body(Begin, End);
+        },
+        GpuDispatchLatencySec);
+  } else {
+    Gpu = std::make_unique<CommandQueue>(
+        "gpu",
+        [Hook = std::move(GpuHook)](const RangeBody &Body, uint64_t Begin,
+                                    uint64_t End) { Hook(Begin, End); },
+        GpuDispatchLatencySec);
+  }
+}
+
+std::pair<MiniEvent, MiniEvent>
+MiniContext::runPartitioned(const MiniKernel &Kernel, uint64_t N,
+                            double Alpha) {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  uint64_t GpuIters = static_cast<uint64_t>(Alpha * static_cast<double>(N));
+  uint64_t CpuEnd = N - GpuIters;
+  MiniEvent GpuEvent = Gpu->enqueue(Kernel, CpuEnd, N);
+  MiniEvent CpuEvent = Cpu->enqueue(Kernel, 0, CpuEnd);
+  if (CpuEnd > 0)
+    CpuEvent.wait();
+  if (GpuIters > 0)
+    GpuEvent.wait();
+  return {CpuEvent, GpuEvent};
+}

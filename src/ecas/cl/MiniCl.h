@@ -1,0 +1,175 @@
+//===-- ecas/cl/MiniCl.h - OpenCL-style host execution layer ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature OpenCL-flavoured execution layer — the substrate Concord
+/// (and therefore the paper's runtime) builds on: devices, in-order
+/// command queues, NDRange kernel enqueues, and events with profiling
+/// timestamps (QUEUED / SUBMIT / START / END), which is exactly the
+/// channel the online profiler uses to time GPU kernels excluding
+/// dispatch overhead.
+///
+/// Kernels are C++ callables over iteration ranges (Concord's shared-
+/// virtual-memory model: no buffers to copy, host pointers are device
+/// pointers). The CPU device executes on the work-stealing ThreadPool;
+/// the GPU device executes on a dedicated proxy thread through a
+/// pluggable executor hook — a thread-backed stand-in here, an actual
+/// driver on real hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CL_MINICL_H
+#define ECAS_CL_MINICL_H
+
+#include "ecas/runtime/ParallelFor.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ecas::cl {
+
+/// Subset of OpenCL status codes the layer can report.
+enum class Status {
+  Success,
+  InvalidKernel,
+  InvalidRange,
+  DeviceUnavailable,
+};
+
+/// Returns a human-readable name for \p S.
+const char *statusName(Status S);
+
+/// Command execution states, mirroring CL_QUEUED..CL_COMPLETE.
+enum class CommandState { Queued, Submitted, Running, Complete };
+
+/// A kernel: a name (its identity in the runtime's table G) plus a body
+/// over half-open iteration ranges.
+class MiniKernel {
+public:
+  MiniKernel() = default;
+  MiniKernel(std::string Name, RangeBody Body);
+
+  const std::string &name() const { return Name; }
+  uint64_t id() const { return Id; }
+  bool valid() const { return static_cast<bool>(Body); }
+  const RangeBody &body() const { return Body; }
+
+private:
+  std::string Name;
+  RangeBody Body;
+  uint64_t Id = 0;
+};
+
+/// Completion + profiling handle for one enqueued command, shared
+/// between the queue worker and any number of waiters.
+class MiniEvent {
+public:
+  /// Blocks until the command completes.
+  void wait() const;
+
+  CommandState state() const;
+  Status status() const;
+
+  /// Profiling timestamps in seconds on the host steady clock, valid
+  /// once complete. startSeconds()..endSeconds() covers kernel execution
+  /// only — the window an OpenCL profiling event reports.
+  double queuedSeconds() const;
+  double submitSeconds() const;
+  double startSeconds() const;
+  double endSeconds() const;
+
+  /// Kernel execution time (END - START); 0 before completion.
+  double executionSeconds() const;
+  /// Queue + dispatch overhead (START - QUEUED); 0 before completion.
+  double overheadSeconds() const;
+
+private:
+  friend class CommandQueue;
+  struct State;
+  std::shared_ptr<State> Shared;
+};
+
+/// In-order command queue bound to one device.
+class CommandQueue {
+public:
+  /// \p Dispatch runs each command's range; \p DispatchLatencySec is the
+  /// fixed submit->start cost charged per command (driver overhead).
+  CommandQueue(std::string DeviceName,
+               std::function<void(const RangeBody &, uint64_t, uint64_t)>
+                   Dispatch,
+               double DispatchLatencySec = 0.0);
+  ~CommandQueue();
+
+  CommandQueue(const CommandQueue &) = delete;
+  CommandQueue &operator=(const CommandQueue &) = delete;
+
+  const std::string &deviceName() const { return DeviceName; }
+
+  /// Enqueues \p Kernel over [Begin, End); returns immediately with the
+  /// command's event. Invalid kernels or empty ranges produce an
+  /// already-complete event carrying the error status.
+  MiniEvent enqueue(const MiniKernel &Kernel, uint64_t Begin, uint64_t End);
+
+  /// Blocks until every command enqueued so far has completed
+  /// (clFinish).
+  void finish();
+
+  /// Commands executed over the queue's lifetime.
+  uint64_t commandsCompleted() const;
+
+private:
+  void workerLoop();
+
+  struct Command;
+  std::string DeviceName;
+  std::function<void(const RangeBody &, uint64_t, uint64_t)> Dispatch;
+  double DispatchLatencySec;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable QueueDrained;
+  std::deque<std::unique_ptr<Command>> Pending;
+  uint64_t Completed = 0;
+  uint64_t InFlight = 0;
+  bool ShuttingDown = false;
+  std::thread Worker;
+};
+
+/// A context: one CPU queue on the work-stealing pool and one GPU queue
+/// behind a pluggable executor — Fig. 8's two execution targets.
+class MiniContext {
+public:
+  /// \p CpuThreads sizes the pool (0 = hardware concurrency). The GPU
+  /// executor defaults to a host-thread stand-in that simply runs the
+  /// body; pass a real driver hook on real hardware.
+  /// \p GpuDispatchLatencySec models the driver's enqueue cost.
+  explicit MiniContext(unsigned CpuThreads = 0, GpuExecutor GpuHook = {},
+                       double GpuDispatchLatencySec = 20e-6);
+
+  CommandQueue &cpuQueue() { return *Cpu; }
+  CommandQueue &gpuQueue() { return *Gpu; }
+  ThreadPool &pool() { return Pool; }
+
+  /// Splits [0, N) at \p Alpha like Fig. 7 steps 23-25: the GPU queue
+  /// takes the tail Alpha*N, the CPU queue the head; waits for both.
+  /// \returns the two events (CPU first).
+  std::pair<MiniEvent, MiniEvent> runPartitioned(const MiniKernel &Kernel,
+                                                 uint64_t N, double Alpha);
+
+private:
+  ThreadPool Pool;
+  std::unique_ptr<CommandQueue> Cpu;
+  std::unique_ptr<CommandQueue> Gpu;
+};
+
+} // namespace ecas::cl
+
+#endif // ECAS_CL_MINICL_H

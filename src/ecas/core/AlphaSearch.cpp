@@ -1,0 +1,40 @@
+//===-- ecas/core/AlphaSearch.cpp - Offload-ratio optimization ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/AlphaSearch.h"
+
+#include "ecas/math/Minimize.h"
+#include "ecas/support/Assert.h"
+
+using namespace ecas;
+
+AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
+                              const Metric &Objective, double Iterations,
+                              const AlphaSearchConfig &Config) {
+  ECAS_CHECK(Iterations >= 0.0, "iteration count cannot be negative");
+  ECAS_CHECK(Config.Step > 0.0 && Config.Step <= 1.0,
+             "alpha step must lie in (0, 1]");
+
+  auto ObjectiveAt = [&](double Alpha) {
+    double Seconds = Model.totalTime(Iterations, Alpha);
+    double Watts = Curve.powerAt(Alpha);
+    return Objective.evaluate(Watts, Seconds);
+  };
+
+  MinResult Min =
+      Config.Refine
+          ? minimizeGridThenRefine(ObjectiveAt, 0.0, 1.0, Config.Step,
+                                   Config.RefineTolerance)
+          : minimizeOnGrid(ObjectiveAt, 0.0, 1.0, Config.Step);
+
+  AlphaChoice Choice;
+  Choice.Alpha = Min.ArgMin;
+  Choice.PredictedMetric = Min.Value;
+  Choice.PredictedSeconds = Model.totalTime(Iterations, Min.ArgMin);
+  Choice.PredictedWatts = Curve.powerAt(Min.ArgMin);
+  Choice.Evaluations = Min.Evaluations;
+  return Choice;
+}

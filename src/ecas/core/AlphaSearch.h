@@ -1,0 +1,50 @@
+//===-- ecas/core/AlphaSearch.h - Offload-ratio optimization ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 7 step 20: find the GPU offload ratio minimizing the target
+/// objective OBJ(alpha) = Metric(P(alpha), T(alpha)) by evaluating it on
+/// a grid over [0, 1] (the paper uses 0.1 or 0.05 increments), with an
+/// optional golden-section refinement extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_ALPHASEARCH_H
+#define ECAS_CORE_ALPHASEARCH_H
+
+#include "ecas/core/Metric.h"
+#include "ecas/core/TimeModel.h"
+#include "ecas/power/PowerCurve.h"
+
+namespace ecas {
+
+/// Search configuration.
+struct AlphaSearchConfig {
+  /// Grid increment over [0, 1].
+  double Step = 0.1;
+  /// When set, refine around the best grid cell with golden-section
+  /// search (an extension over the paper's plain grid).
+  bool Refine = false;
+  double RefineTolerance = 1e-3;
+};
+
+/// The chosen ratio and its predicted consequences.
+struct AlphaChoice {
+  double Alpha = 0.0;
+  double PredictedMetric = 0.0;
+  double PredictedSeconds = 0.0;
+  double PredictedWatts = 0.0;
+  unsigned Evaluations = 0;
+};
+
+/// Minimizes Metric(P(alpha), T(alpha; N)) over alpha in [0, 1].
+AlphaChoice chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
+                        const Metric &Objective, double Iterations,
+                        const AlphaSearchConfig &Config = {});
+
+} // namespace ecas
+
+#endif // ECAS_CORE_ALPHASEARCH_H

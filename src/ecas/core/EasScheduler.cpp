@@ -1,0 +1,151 @@
+//===-- ecas/core/EasScheduler.cpp - The EAS algorithm (Fig. 7) -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/EasScheduler.h"
+
+#include "ecas/core/Schedulers.h"
+#include "ecas/core/TimeModel.h"
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
+                           EasConfig ConfigIn)
+    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
+      Config(ConfigIn) {
+  ECAS_CHECK(Curves.complete(),
+             "EAS requires a complete 8-category power characterization");
+  ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
+             "alpha step must lie in (0, 1]");
+  ECAS_CHECK(Config.ProfileFraction > 0.0 && Config.ProfileFraction <= 1.0,
+             "profile fraction must lie in (0, 1]");
+}
+
+EasScheduler::InvocationOutcome
+EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                      double Iterations) {
+  ECAS_CHECK(Kernel.Id != 0, "kernel requires a stable nonzero id");
+  InvocationOutcome Outcome;
+  double Start = Proc.now();
+
+  // Section 5: when the GPU is busy with another client (performance
+  // counter A26 on the paper's machines), run entirely on the CPU.
+  if (ExternalGpuBusy) {
+    runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
+    Outcome.CpuOnlyFastPath = true;
+    Outcome.Seconds = Proc.now() - Start;
+    return Outcome;
+  }
+
+  double GpuProfileSize = Config.GpuProfileSize > 0.0
+                              ? Config.GpuProfileSize
+                              : Proc.spec().defaultGpuProfileSize();
+
+  double MinProfileIters = Config.MinProfileIters > 0.0
+                               ? Config.MinProfileIters
+                               : GpuProfileSize / 4.0;
+
+  double Alpha = 0.0;
+  double Nrem = Iterations;
+  const KernelRecord *Known = History.lookup(Kernel.Id);
+
+  // Periodic re-profiling for kernels whose behaviour drifts over time
+  // (Section 3.1: "we repeat profiling step since our online profiling
+  // has low overhead").
+  bool ReprofileDue =
+      Config.ReprofileEveryInvocations > 0 && Known &&
+      Known->Invocations >= Config.ReprofileEveryInvocations &&
+      Known->Invocations % Config.ReprofileEveryInvocations == 0 &&
+      Iterations >= GpuProfileSize;
+
+  if (Known && Known->Alpha.hasValue() && !ReprofileDue &&
+      (Known->Confident || Iterations < GpuProfileSize)) {
+    // Steps 2-4: multiple invocations of f reuse the learned ratio.
+    Alpha = Known->Alpha.value();
+    Outcome.Class = Known->Class;
+  } else if (Iterations < GpuProfileSize) {
+    // Steps 6-10: not enough parallelism to fill the GPU — run this
+    // invocation on the multicore CPU alone. The kernel is not pinned:
+    // a later invocation large enough to fill the GPU still profiles
+    // (graph kernels routinely open with a tiny frontier).
+    runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
+    KernelRecord &Record = History.obtain(Kernel.Id);
+    Record.CpuOnly = true;
+    ++Record.Invocations;
+    Outcome.CpuOnlyFastPath = true;
+    Outcome.Seconds = Proc.now() - Start;
+    return Outcome;
+  } else {
+    // Steps 11-22: repeat profiling for half of the iterations. The
+    // measurements fold into the kernel's record, so a kernel whose
+    // first large invocation starved one device (a growing BFS frontier
+    // barely above GPU_PROFILE_SIZE) keeps refining across invocations
+    // until both devices have been properly observed.
+    Outcome.Profiled = true;
+    OnlineProfiler Profiler(Proc, GpuProfileSize);
+    KernelRecord &Record = History.obtain(Kernel.Id);
+    double ProfileFloor = Iterations * Config.ProfileFraction;
+    while (Nrem > ProfileFloor) {
+      ProfileSample Sample = Profiler.profileOnce(Kernel, Nrem);
+      ++Outcome.ProfileRepetitions;
+      if (Sample.ElapsedSeconds <= 0.0)
+        break;
+      Record.Sample.accumulate(Sample);
+      if (Record.Sample.CpuThroughput <= 0.0 &&
+          Record.Sample.GpuThroughput <= 0.0)
+        break;
+
+      // Steps 17-19: classify and pick the matching power curve.
+      Outcome.Class =
+          Profiler.classify(Record.Sample, Nrem, Config.Thresholds);
+      const PowerCurve &Curve = Curves.curveFor(Outcome.Class);
+
+      // Step 20: minimize OBJ over the alpha grid. Profiling may have
+      // consumed every iteration (small invocations); the argmin of
+      // P(a)*T(a)^k is independent of N, so clamping N away from zero
+      // keeps the objective non-degenerate without changing the answer.
+      TimeModel Model(Record.Sample.CpuThroughput,
+                      Record.Sample.GpuThroughput);
+      AlphaSearchConfig Search;
+      Search.Step = Config.AlphaStep;
+      Search.Refine = Config.RefineAlpha;
+      Alpha = chooseAlpha(Model, Curve, Objective, std::max(Nrem, 1.0),
+                          Search)
+                  .Alpha;
+    }
+    if (!Record.Confident &&
+        Record.Sample.CpuIterations >= MinProfileIters &&
+        Record.Sample.GpuIterations >= MinProfileIters) {
+      // First trustworthy measurement: discard the provisional alphas
+      // accumulated while one device was starved of observations.
+      Record.Confident = true;
+      Record.Alpha = SampleWeightedAlpha();
+    }
+  }
+
+  // Steps 23-25: execute the remainder at the chosen split, optionally
+  // telling the governor what is coming (future-work extension).
+  if (Nrem > 0.0) {
+    if (Config.PcuHints)
+      Proc.pcu().hintUpcomingSplit(Alpha);
+    Outcome.Seconds = runPartitioned(Proc, Kernel, Nrem, Alpha);
+  }
+
+  // Step 26: sample-weighted accumulation across invocations. Only
+  // freshly computed alphas are samples; a table-G reuse feeds back the
+  // accumulator's own value and must not inflate its weight.
+  KernelRecord &Record = History.obtain(Kernel.Id);
+  if (Outcome.Profiled)
+    Record.Alpha.addSample(Alpha, std::max(Nrem, 1.0));
+  Record.Class = Outcome.Class;
+  ++Record.Invocations;
+
+  Outcome.AlphaUsed = Alpha;
+  Outcome.Seconds = Proc.now() - Start;
+  return Outcome;
+}

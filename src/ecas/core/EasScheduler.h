@@ -1,0 +1,110 @@
+//===-- ecas/core/EasScheduler.h - The EAS algorithm (Fig. 7) --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: the energy-aware scheduling
+/// algorithm of Fig. 7. For a first-seen kernel it repeats online
+/// profiling for half of the iterations (size-based strategy of [12]),
+/// classifies the workload into one of the eight power-characterization
+/// categories, and grid-searches the offload ratio minimizing the target
+/// metric under the analytical time model; subsequent invocations reuse
+/// the table-G entry, refined by sample-weighted accumulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_EASSCHEDULER_H
+#define ECAS_CORE_EASSCHEDULER_H
+
+#include "ecas/core/AlphaSearch.h"
+#include "ecas/core/KernelHistory.h"
+#include "ecas/core/Metric.h"
+#include "ecas/power/PowerCurve.h"
+#include "ecas/profile/OnlineProfiler.h"
+#include "ecas/sim/SimProcessor.h"
+
+namespace ecas {
+
+/// Tunables of the EAS algorithm.
+struct EasConfig {
+  /// GPU profiling chunk (Fig. 7 step 31). 0 selects the platform
+  /// default, PlatformSpec::defaultGpuProfileSize().
+  double GpuProfileSize = 0.0;
+  /// Offload-ratio grid increment for step 20.
+  double AlphaStep = 0.1;
+  /// Optional golden-section refinement of the grid answer (extension).
+  bool RefineAlpha = false;
+  /// Profiling repeats until fewer than this fraction of the invocation's
+  /// iterations remain (step 13: "while N_rem > N/2").
+  double ProfileFraction = 0.5;
+  /// Minimum iterations each device must have executed during profiling
+  /// before the learned alpha is trusted and reused; below this the next
+  /// large-enough invocation profiles again. 0 selects
+  /// GPU_PROFILE_SIZE / 4.
+  double MinProfileIters = 0.0;
+  /// Announce the chosen split to the PCU before executing it (the
+  /// paper's future-work extension): the governor jumps to the matching
+  /// steady state instead of re-discovering it through wake resets and
+  /// ramps. Benchmarked by bench/abl_pcu_hints.
+  bool PcuHints = false;
+  /// Re-profile a confident kernel every this many invocations, for
+  /// kernels "where the same kernel behaves differently over time"
+  /// (Section 3.1's repeated profiling). 0 disables periodic
+  /// re-profiling; the sample-weighted accumulator then blends the new
+  /// measurement with history.
+  unsigned ReprofileEveryInvocations = 0;
+  /// Classification thresholds (0.33 miss ratio, 100 ms).
+  ClassifierThresholds Thresholds;
+};
+
+/// The energy-aware scheduler. One instance owns a table G and serves
+/// every kernel invocation of an application run.
+class EasScheduler {
+public:
+  /// \p Curves must be complete (all eight categories) for the platform
+  /// that \p Metric-optimized runs will execute on.
+  EasScheduler(const PowerCurveSet &Curves, Metric Objective,
+               EasConfig Config = {});
+
+  /// What one invocation did.
+  struct InvocationOutcome {
+    double AlphaUsed = 0.0;
+    double Seconds = 0.0;
+    bool Profiled = false;
+    bool CpuOnlyFastPath = false;
+    WorkloadClass Class;
+    /// Profiling repetitions performed (0 when table G was hit).
+    unsigned ProfileRepetitions = 0;
+  };
+
+  /// Fig. 7's EAS(): schedules and executes one invocation of \p Kernel
+  /// with \p Iterations parallel iterations on \p Proc.
+  InvocationOutcome execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                            double Iterations);
+
+  /// Marks the GPU as claimed by another client (the paper tests GPU
+  /// performance counter A26: "in that case, we execute the application
+  /// entirely on the CPU"). While set, every invocation runs CPU-alone
+  /// and nothing is learned into table G.
+  void setExternalGpuBusy(bool Busy) { ExternalGpuBusy = Busy; }
+  bool externalGpuBusy() const { return ExternalGpuBusy; }
+
+  const KernelHistory &history() const { return History; }
+  const Metric &objective() const { return Objective; }
+
+  /// Forgets all table-G state (a fresh application run).
+  void reset() { History.clear(); }
+
+private:
+  const PowerCurveSet &Curves;
+  Metric Objective;
+  EasConfig Config;
+  KernelHistory History;
+  bool ExternalGpuBusy = false;
+};
+
+} // namespace ecas
+
+#endif // ECAS_CORE_EASSCHEDULER_H

@@ -1,0 +1,132 @@
+//===-- ecas/core/ExecutionSession.cpp - Top-level public API -------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/ExecutionSession.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+ExecutionSession::ExecutionSession(const PlatformSpec &SpecIn)
+    : Spec(SpecIn) {
+  std::string Error;
+  ECAS_CHECK(Spec.validate(Error), "ExecutionSession given an invalid spec");
+}
+
+SessionReport ExecutionSession::finishReport(std::string Scheme,
+                                             const Metric &Objective,
+                                             double Seconds, double Joules,
+                                             double AlphaIterSum,
+                                             double TotalIters,
+                                             unsigned Invocations) const {
+  SessionReport Report;
+  Report.Scheme = std::move(Scheme);
+  Report.Seconds = Seconds;
+  Report.Joules = Joules;
+  Report.MetricValue =
+      Seconds > 0.0 ? Objective.fromMeasurement(Joules, Seconds) : 0.0;
+  Report.MeanAlpha = TotalIters > 0.0 ? AlphaIterSum / TotalIters : 0.0;
+  Report.Invocations = Invocations;
+  return Report;
+}
+
+SessionReport
+ExecutionSession::runFixedAlpha(const InvocationTrace &Trace, double Alpha,
+                                const Metric &Objective) const {
+  SimProcessor Proc(Spec);
+  uint32_t MsrBefore = Proc.meter().readMsr();
+  double Start = Proc.now();
+  for (const KernelInvocation &Invocation : Trace)
+    runPartitioned(Proc, Invocation.Kernel, Invocation.Iterations, Alpha);
+  double Seconds = Proc.now() - Start;
+  double Joules = Proc.meter().joulesSince(MsrBefore);
+  double TotalIters = traceIterations(Trace);
+  return finishReport("fixed", Objective, Seconds, Joules,
+                      Alpha * TotalIters, TotalIters,
+                      static_cast<unsigned>(Trace.size()));
+}
+
+SessionReport ExecutionSession::runCpuOnly(const InvocationTrace &Trace,
+                                           const Metric &Objective) const {
+  SessionReport Report = runFixedAlpha(Trace, 0.0, Objective);
+  Report.Scheme = "cpu";
+  return Report;
+}
+
+SessionReport ExecutionSession::runGpuOnly(const InvocationTrace &Trace,
+                                           const Metric &Objective) const {
+  SessionReport Report = runFixedAlpha(Trace, 1.0, Objective);
+  Report.Scheme = "gpu";
+  return Report;
+}
+
+SessionReport ExecutionSession::runOracle(const InvocationTrace &Trace,
+                                          const Metric &Objective,
+                                          double Step) const {
+  ECAS_CHECK(Step > 0.0 && Step <= 1.0, "oracle step must lie in (0, 1]");
+  SessionReport Best;
+  bool HaveBest = false;
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Step) {
+    SessionReport Candidate =
+        runFixedAlpha(Trace, std::min(Alpha, 1.0), Objective);
+    if (!HaveBest || Candidate.MetricValue < Best.MetricValue) {
+      Best = Candidate;
+      HaveBest = true;
+    }
+  }
+  Best.Scheme = "oracle";
+  return Best;
+}
+
+SessionReport ExecutionSession::runPerf(const InvocationTrace &Trace,
+                                        const Metric &Objective,
+                                        double Step) const {
+  ECAS_CHECK(Step > 0.0 && Step <= 1.0, "perf step must lie in (0, 1]");
+  SessionReport Best;
+  bool HaveBest = false;
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Step) {
+    SessionReport Candidate =
+        runFixedAlpha(Trace, std::min(Alpha, 1.0), Objective);
+    if (!HaveBest || Candidate.Seconds < Best.Seconds) {
+      Best = Candidate;
+      HaveBest = true;
+    }
+  }
+  Best.Scheme = "perf";
+  return Best;
+}
+
+SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
+                                       const PowerCurveSet &Curves,
+                                       const Metric &Objective,
+                                       const EasConfig &Config) const {
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(Curves, Objective, Config);
+  uint32_t MsrBefore = Proc.meter().readMsr();
+  double Start = Proc.now();
+  double AlphaIterSum = 0.0;
+  WorkloadClass LastClass;
+  bool Classified = false;
+  for (const KernelInvocation &Invocation : Trace) {
+    EasScheduler::InvocationOutcome Outcome =
+        Scheduler.execute(Proc, Invocation.Kernel, Invocation.Iterations);
+    AlphaIterSum += Outcome.AlphaUsed * Invocation.Iterations;
+    if (Outcome.Profiled) {
+      LastClass = Outcome.Class;
+      Classified = true;
+    }
+  }
+  double Seconds = Proc.now() - Start;
+  double Joules = Proc.meter().joulesSince(MsrBefore);
+  SessionReport Report = finishReport(
+      "eas", Objective, Seconds, Joules, AlphaIterSum,
+      traceIterations(Trace), static_cast<unsigned>(Trace.size()));
+  Report.ClassifiedAs = LastClass;
+  Report.WasClassified = Classified;
+  return Report;
+}

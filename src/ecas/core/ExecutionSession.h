@@ -1,0 +1,96 @@
+//===-- ecas/core/ExecutionSession.h - Top-level public API ----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door. An ExecutionSession binds a platform,
+/// executes invocation traces under every comparison scheme of Section 5
+/// — CPU-alone, GPU-alone, the exhaustive Oracle, best-performance PERF,
+/// and EAS — and reports time, energy, and the chosen metric for each.
+///
+/// \code
+///   ecas::PlatformSpec Spec = ecas::haswellDesktop();
+///   ecas::Characterizer Probe(Spec);
+///   ecas::PowerCurveSet Curves = Probe.characterize(); // once per SKU
+///   ecas::ExecutionSession Session(Spec);
+///   auto Report = Session.runEas(Trace, Curves, ecas::Metric::edp());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_EXECUTIONSESSION_H
+#define ECAS_CORE_EXECUTIONSESSION_H
+
+#include "ecas/core/EasScheduler.h"
+#include "ecas/core/Schedulers.h"
+#include "ecas/hw/PlatformSpec.h"
+
+namespace ecas {
+
+/// Outcome of running one trace under one scheme.
+struct SessionReport {
+  std::string Scheme;
+  double Seconds = 0.0;
+  double Joules = 0.0;
+  /// The session metric computed from the measured totals.
+  double MetricValue = 0.0;
+  /// Iteration-weighted mean offload ratio actually used.
+  double MeanAlpha = 0.0;
+  unsigned Invocations = 0;
+  /// EAS only: classification of the (last profiled) kernel.
+  WorkloadClass ClassifiedAs;
+  bool WasClassified = false;
+
+  double averageWatts() const { return Seconds > 0.0 ? Joules / Seconds : 0.0; }
+};
+
+/// Executes invocation traces on simulated processors of one platform.
+/// Every run uses a fresh processor, so schemes never contaminate each
+/// other's PCU or energy state.
+class ExecutionSession {
+public:
+  explicit ExecutionSession(const PlatformSpec &Spec);
+
+  const PlatformSpec &spec() const { return Spec; }
+
+  /// Runs the whole trace at one fixed offload ratio.
+  SessionReport runFixedAlpha(const InvocationTrace &Trace, double Alpha,
+                              const Metric &Objective) const;
+
+  /// CPU-alone (TBB-style multicore baseline).
+  SessionReport runCpuOnly(const InvocationTrace &Trace,
+                           const Metric &Objective) const;
+
+  /// GPU-alone (vendor-OpenCL-style baseline).
+  SessionReport runGpuOnly(const InvocationTrace &Trace,
+                           const Metric &Objective) const;
+
+  /// Exhaustive search over fixed ratios, best by \p Objective — the
+  /// paper's Oracle baseline (alpha in [0,1] with \p Step increments).
+  SessionReport runOracle(const InvocationTrace &Trace,
+                          const Metric &Objective, double Step = 0.1) const;
+
+  /// Exhaustive search for the best *execution time*, reported under
+  /// \p Objective — the paper's PERF comparison scheme.
+  SessionReport runPerf(const InvocationTrace &Trace,
+                        const Metric &Objective, double Step = 0.1) const;
+
+  /// The energy-aware scheduler (Fig. 7) with fresh table-G state.
+  SessionReport runEas(const InvocationTrace &Trace,
+                       const PowerCurveSet &Curves, const Metric &Objective,
+                       const EasConfig &Config = {}) const;
+
+private:
+  SessionReport finishReport(std::string Scheme, const Metric &Objective,
+                             double Seconds, double Joules,
+                             double AlphaIterSum, double TotalIters,
+                             unsigned Invocations) const;
+
+  PlatformSpec Spec;
+};
+
+} // namespace ecas
+
+#endif // ECAS_CORE_EXECUTIONSESSION_H

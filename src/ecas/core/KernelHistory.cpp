@@ -1,0 +1,18 @@
+//===-- ecas/core/KernelHistory.cpp - The global table G ------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/KernelHistory.h"
+
+using namespace ecas;
+
+const KernelRecord *KernelHistory::lookup(uint64_t KernelId) const {
+  auto It = Records.find(KernelId);
+  return It == Records.end() ? nullptr : &It->second;
+}
+
+KernelRecord &KernelHistory::obtain(uint64_t KernelId) {
+  return Records[KernelId];
+}

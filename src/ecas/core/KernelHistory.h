@@ -1,0 +1,65 @@
+//===-- ecas/core/KernelHistory.h - The global table G ---------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 7's global runtime table G mapping a kernel's identity (the CPU
+/// function pointer in Concord; a stable kernel id here) to its learned
+/// GPU offload ratio, accumulated across invocations with the
+/// sample-weighted technique of [12].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_KERNELHISTORY_H
+#define ECAS_CORE_KERNELHISTORY_H
+
+#include "ecas/profile/OnlineProfiler.h"
+#include "ecas/profile/WorkloadClass.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ecas {
+
+/// What the runtime remembers about one kernel.
+struct KernelRecord {
+  SampleWeightedAlpha Alpha;
+  WorkloadClass Class;
+  /// Profiling measurements accumulated across every profiled invocation
+  /// of this kernel; re-profiling refines rather than replaces.
+  ProfileSample Sample;
+  /// Set when the small-N fast path (Fig. 7 steps 6-10) pinned the
+  /// kernel to CPU-alone execution.
+  bool CpuOnly = false;
+  /// True once profiling has observed enough iterations on *both*
+  /// devices for the throughput estimates to be trustworthy. A kernel
+  /// first profiled on an invocation barely above GPU_PROFILE_SIZE gives
+  /// the CPU almost nothing to chew on; such an alpha is provisional and
+  /// the next sufficiently large invocation re-profiles ([12]'s repeated
+  /// profiling for kernels whose behaviour the runtime hasn't pinned
+  /// down).
+  bool Confident = false;
+  unsigned Invocations = 0;
+};
+
+/// The table G. Not thread-safe; the GPU proxy thread owns it.
+class KernelHistory {
+public:
+  /// Returns the record for \p KernelId, or nullptr when never seen.
+  const KernelRecord *lookup(uint64_t KernelId) const;
+
+  /// Returns (creating on first use) the mutable record.
+  KernelRecord &obtain(uint64_t KernelId);
+
+  void clear() { Records.clear(); }
+  size_t size() const { return Records.size(); }
+
+private:
+  std::unordered_map<uint64_t, KernelRecord> Records;
+};
+
+} // namespace ecas
+
+#endif // ECAS_CORE_KERNELHISTORY_H

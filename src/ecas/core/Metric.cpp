@@ -1,0 +1,47 @@
+//===-- ecas/core/Metric.cpp - Energy-related objectives ------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/Metric.h"
+
+#include "ecas/support/Assert.h"
+
+using namespace ecas;
+
+Metric::Metric(std::string NameIn, Fn BodyIn)
+    : Name(std::move(NameIn)), Body(std::move(BodyIn)) {
+  ECAS_CHECK(static_cast<bool>(Body), "metric requires a callable body");
+}
+
+Metric Metric::energy() {
+  return Metric("energy", [](double Watts, double Seconds) {
+    return Watts * Seconds;
+  });
+}
+
+Metric Metric::edp() {
+  return Metric("edp", [](double Watts, double Seconds) {
+    return Watts * Seconds * Seconds;
+  });
+}
+
+Metric Metric::ed2p() {
+  return Metric("ed2p", [](double Watts, double Seconds) {
+    return Watts * Seconds * Seconds * Seconds;
+  });
+}
+
+Metric Metric::custom(std::string Name, Fn Body) {
+  return Metric(std::move(Name), std::move(Body));
+}
+
+double Metric::evaluate(double Watts, double Seconds) const {
+  return Body(Watts, Seconds);
+}
+
+double Metric::fromMeasurement(double Joules, double Seconds) const {
+  ECAS_CHECK(Seconds > 0.0, "measurement duration must be positive");
+  return evaluate(Joules / Seconds, Seconds);
+}

@@ -1,0 +1,55 @@
+//===-- ecas/core/Metric.h - Energy-related objectives ---------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-selectable energy objectives. The paper's scheduler optimizes
+/// "any user-defined energy-related metric that can be expressed as a
+/// function of power consumption and program execution time": total
+/// energy P*T, the energy-delay product P*T^2, the energy-delay-squared
+/// product P*T^3, or an arbitrary custom function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_METRIC_H
+#define ECAS_CORE_METRIC_H
+
+#include <functional>
+#include <string>
+
+namespace ecas {
+
+/// An objective f(P, T) to minimize, with P in watts and T in seconds.
+class Metric {
+public:
+  using Fn = std::function<double(double Watts, double Seconds)>;
+
+  /// Total energy: E = P * T.
+  static Metric energy();
+  /// Energy-delay product: EDP = E * T = P * T^2.
+  static Metric edp();
+  /// Energy-delay-squared product: ED^2 = E * T^2 = P * T^3.
+  static Metric ed2p();
+  /// Arbitrary objective; \p Name labels reports.
+  static Metric custom(std::string Name, Fn Body);
+
+  /// Objective value at average power \p Watts over \p Seconds.
+  double evaluate(double Watts, double Seconds) const;
+
+  /// Objective value from measured totals (uses P = Joules/Seconds).
+  double fromMeasurement(double Joules, double Seconds) const;
+
+  const std::string &name() const { return Name; }
+
+private:
+  Metric(std::string Name, Fn Body);
+
+  std::string Name;
+  Fn Body;
+};
+
+} // namespace ecas
+
+#endif // ECAS_CORE_METRIC_H

@@ -1,0 +1,35 @@
+//===-- ecas/core/Schedulers.cpp - Baseline scheduling strategies ---------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/Schedulers.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+double ecas::traceIterations(const InvocationTrace &Trace) {
+  double Total = 0.0;
+  for (const KernelInvocation &Invocation : Trace)
+    Total += Invocation.Iterations;
+  return Total;
+}
+
+double ecas::runPartitioned(SimProcessor &Proc, const KernelDesc &Kernel,
+                            double Iterations, double Alpha) {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  ECAS_CHECK(Iterations >= 0.0, "iteration count cannot be negative");
+  double GpuIters = std::floor(Alpha * Iterations + 0.5);
+  double CpuIters = Iterations - GpuIters;
+  double Start = Proc.now();
+  if (GpuIters > 0.0)
+    Proc.gpu().enqueue(Kernel, GpuIters);
+  if (CpuIters > 0.0)
+    Proc.cpu().enqueue(Kernel, CpuIters);
+  Proc.runUntilIdle();
+  return Proc.now() - Start;
+}

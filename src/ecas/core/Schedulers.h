@@ -1,0 +1,46 @@
+//===-- ecas/core/Schedulers.h - Baseline scheduling strategies *- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The invocation-trace abstraction shared by every strategy, and the
+/// fixed-split execution primitive the baselines (CPU-alone, GPU-alone,
+/// Oracle/PERF sweeps) are built from. A workload is a sequence of
+/// kernel invocations — Table 1's "Num. invocations" column — each a
+/// data-parallel iteration space to split between the devices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_SCHEDULERS_H
+#define ECAS_CORE_SCHEDULERS_H
+
+#include "ecas/device/KernelDesc.h"
+#include "ecas/sim/SimProcessor.h"
+
+#include <vector>
+
+namespace ecas {
+
+/// One data-parallel kernel launch.
+struct KernelInvocation {
+  KernelDesc Kernel;
+  double Iterations = 0.0;
+};
+
+/// A workload as the runtime sees it: an ordered sequence of launches.
+using InvocationTrace = std::vector<KernelInvocation>;
+
+/// Total iterations across a trace.
+double traceIterations(const InvocationTrace &Trace);
+
+/// Executes one invocation at fixed offload ratio \p Alpha (Fig. 7 steps
+/// 23-25): Alpha*N iterations enqueued on the GPU, the rest on the CPU,
+/// then wait for both. \returns elapsed virtual seconds.
+double runPartitioned(SimProcessor &Proc, const KernelDesc &Kernel,
+                      double Iterations, double Alpha);
+
+} // namespace ecas
+
+#endif // ECAS_CORE_SCHEDULERS_H

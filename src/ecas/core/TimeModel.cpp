@@ -1,0 +1,55 @@
+//===-- ecas/core/TimeModel.cpp - Analytical T(alpha) model ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/TimeModel.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+TimeModel::TimeModel(double CpuRate, double GpuRate)
+    : Rc(CpuRate), Rg(GpuRate) {
+  ECAS_CHECK(Rc >= 0.0 && Rg >= 0.0, "throughputs cannot be negative");
+  ECAS_CHECK(Rc > 0.0 || Rg > 0.0, "at least one device must make progress");
+}
+
+double TimeModel::alphaPerf() const { return Rg / (Rc + Rg); }
+
+double TimeModel::combinedTime(double N, double Alpha) const {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  ECAS_CHECK(N >= 0.0, "iteration count cannot be negative");
+  double CpuSide = Rc > 0.0 ? (1.0 - Alpha) * N / Rc : 1e30;
+  double GpuSide = Rg > 0.0 ? Alpha * N / Rg : 1e30;
+  // With one side empty the combined phase is empty as well.
+  if (Alpha == 0.0 || Alpha == 1.0)
+    return 0.0;
+  return std::min(CpuSide, GpuSide);
+}
+
+double TimeModel::remainingIters(double N, double Alpha) const {
+  double Tcg = combinedTime(N, Alpha);
+  return std::max(0.0, N - Tcg * (Rc + Rg));
+}
+
+double TimeModel::totalTime(double N, double Alpha) const {
+  double Tcg = combinedTime(N, Alpha);
+  double Nrem = remainingIters(N, Alpha);
+  if (Nrem <= 0.0)
+    return Tcg;
+  // Eq. 4: the tail runs on the device whose share takes longer. Using
+  // the side completion times (rather than comparing alpha against
+  // alpha_PERF) also handles the degenerate endpoints where one device
+  // has no work or no throughput.
+  double CpuSide = Alpha < 1.0 ? ((1.0 - Alpha) * N) / std::max(Rc, 1e-300)
+                               : 0.0;
+  double GpuSide = Alpha > 0.0 ? (Alpha * N) / std::max(Rg, 1e-300) : 0.0;
+  double TailRate = GpuSide >= CpuSide ? Rg : Rc;
+  if (TailRate <= 0.0)
+    return 1e30;
+  return Tcg + Nrem / TailRate;
+}

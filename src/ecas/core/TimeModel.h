@@ -1,0 +1,54 @@
+//===-- ecas/core/TimeModel.h - Analytical T(alpha) model -------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-time model of Section 3.2, Equations 1-4: given the
+/// combined-mode throughputs R_C and R_G from online profiling, predicts
+/// the time to process N iterations at GPU offload ratio alpha — a
+/// combined phase where both devices run, followed by a single-device
+/// tail on whichever side has leftover work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_TIMEMODEL_H
+#define ECAS_CORE_TIMEMODEL_H
+
+namespace ecas {
+
+/// Analytical time model parameterized by profiled device throughputs.
+class TimeModel {
+public:
+  /// \p CpuRate and \p GpuRate are R_C and R_G in iterations/second,
+  /// measured while both devices execute (combined mode). At least one
+  /// must be positive.
+  TimeModel(double CpuRate, double GpuRate);
+
+  double cpuRate() const { return Rc; }
+  double gpuRate() const { return Rg; }
+
+  /// Eq. 2: the offload ratio at which both devices finish together —
+  /// the performance-oriented choice alpha_PERF = R_G / (R_C + R_G).
+  double alphaPerf() const;
+
+  /// Eq. 1: time both devices spend executing together,
+  /// min((1-a)N/R_C, aN/R_G).
+  double combinedTime(double N, double Alpha) const;
+
+  /// Eq. 3: iterations left for the single-device tail,
+  /// N - T_CG * (R_C + R_G).
+  double remainingIters(double N, double Alpha) const;
+
+  /// Eq. 4: total predicted time for N iterations at ratio \p Alpha.
+  double totalTime(double N, double Alpha) const;
+
+private:
+  double Rc;
+  double Rg;
+};
+
+} // namespace ecas
+
+#endif // ECAS_CORE_TIMEMODEL_H

@@ -1,0 +1,172 @@
+//===-- ecas/device/Device.cpp - Simulated device interface ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/device/Device.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+SimDevice::~SimDevice() = default;
+
+PerfCounters PerfCounters::operator-(const PerfCounters &Rhs) const {
+  PerfCounters Delta;
+  Delta.InstructionsRetired = InstructionsRetired - Rhs.InstructionsRetired;
+  Delta.LoadStores = LoadStores - Rhs.LoadStores;
+  Delta.LlcMisses = LlcMisses - Rhs.LlcMisses;
+  Delta.IterationsDone = IterationsDone - Rhs.IterationsDone;
+  Delta.BytesTransferred = BytesTransferred - Rhs.BytesTransferred;
+  Delta.BusySeconds = BusySeconds - Rhs.BusySeconds;
+  Delta.SetupSeconds = SetupSeconds - Rhs.SetupSeconds;
+  return Delta;
+}
+
+double PerfCounters::missPerLoadStore() const {
+  return LoadStores > 0.0 ? LlcMisses / LoadStores : 0.0;
+}
+
+void SimDevice::enqueue(const KernelDesc &Kernel, double Iterations) {
+  ECAS_CHECK(Kernel.valid(), "enqueue of malformed kernel descriptor");
+  if (Iterations <= 0.0)
+    return;
+  Queue.push_back({Kernel, Iterations, Iterations, setupSeconds()});
+}
+
+double SimDevice::pendingIterations() const {
+  double Total = 0.0;
+  for (const WorkItem &Item : Queue)
+    Total += Item.IterationsLeft;
+  return Total;
+}
+
+double SimDevice::cancelRemaining() {
+  double Unprocessed = pendingIterations();
+  Queue.clear();
+  return Unprocessed;
+}
+
+/// Applies the bandwidth cap to an unconstrained rate point, returning the
+/// achieved iteration rate and overall stall fraction for power blending.
+static void applyBandwidthCap(const RatePoint &Rate, double BytesPerIter,
+                              double BandwidthShareGBs, double &EffRate,
+                              double &StallFraction) {
+  EffRate = Rate.ComputeRate;
+  if (BytesPerIter > 0.0 && Rate.BandwidthDemandGBs > BandwidthShareGBs) {
+    double BwRate = BandwidthShareGBs * 1e9 / BytesPerIter;
+    EffRate = std::min(EffRate, BwRate);
+  }
+  double IssueShare = Rate.ComputeRate > 0.0 ? EffRate / Rate.ComputeRate : 0.0;
+  StallFraction = 1.0 - IssueShare * (1.0 - Rate.LatencyStallFraction);
+}
+
+RatePoint SimDevice::currentRate(double FreqGHz) const {
+  if (Queue.empty())
+    return RatePoint();
+  const WorkItem &Head = Queue.front();
+  if (Head.SetupSecondsLeft > 0.0)
+    return RatePoint(); // Launch overhead: no issue, no traffic.
+  return rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+}
+
+double SimDevice::timeToHeadDrain(double FreqGHz,
+                                  double BandwidthShareGBs) const {
+  if (Queue.empty())
+    return 1e30;
+  const WorkItem &Head = Queue.front();
+  // While in setup the device advertises no bandwidth demand, so the
+  // caller's arbitration gave it none; the next schedulable event is the
+  // end of setup, after which shares are recomputed.
+  if (Head.SetupSecondsLeft > 0.0)
+    return Head.SetupSecondsLeft;
+  double Total = 0.0;
+  RatePoint Rate = rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+  double EffRate, StallFraction;
+  applyBandwidthCap(Rate, Head.Kernel.BytesPerIter, BandwidthShareGBs,
+                    EffRate, StallFraction);
+  if (EffRate <= 0.0)
+    return 1e30;
+  return Total + Head.IterationsLeft / EffRate;
+}
+
+double SimDevice::advance(double Dt, double FreqGHz,
+                          double BandwidthShareGBs) {
+  ECAS_CHECK(Dt >= 0.0, "advance requires non-negative time step");
+  const DevicePowerSpec &Power = powerSpec();
+  double Remaining = Dt;
+  double ActivityTime = 0.0; // integral of activity over busy time
+  double Bytes = 0.0;
+  double Consumed = 0.0;
+  double ExecSeconds = 0.0;
+
+  while (Remaining > 0.0 && !Queue.empty()) {
+    WorkItem &Head = Queue.front();
+    if (Head.SetupSecondsLeft > 0.0) {
+      double Step = std::min(Remaining, Head.SetupSecondsLeft);
+      Head.SetupSecondsLeft -= Step;
+      Remaining -= Step;
+      Consumed += Step;
+      Counters.SetupSeconds += Step;
+      ActivityTime += Power.IdleActivity * Step;
+      continue;
+    }
+    RatePoint Rate = rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+    double EffRate, StallFraction;
+    applyBandwidthCap(Rate, Head.Kernel.BytesPerIter, BandwidthShareGBs,
+                      EffRate, StallFraction);
+    if (EffRate <= 0.0)
+      break; // Malformed operating point; refuse to spin forever.
+    double TimeToDrain = Head.IterationsLeft / EffRate;
+    double Step = std::min(Remaining, TimeToDrain);
+    double Iterations = EffRate * Step;
+
+    Head.IterationsLeft -= Iterations;
+    Counters.IterationsDone += Iterations;
+    Counters.InstructionsRetired += Iterations * Head.Kernel.InstrsPerIter;
+    Counters.LoadStores += Iterations * Head.Kernel.LoadStoresPerIter;
+    Counters.LlcMisses += Iterations * Head.Kernel.LoadStoresPerIter *
+                          Head.Kernel.LlcMissRatio;
+    Counters.BytesTransferred += Iterations * Head.Kernel.BytesPerIter;
+    Bytes += Iterations * Head.Kernel.BytesPerIter;
+
+    double Activity = Power.ComputeActivity * (1.0 - StallFraction) +
+                      Power.MemoryActivity * StallFraction;
+    ActivityTime += Activity * Step;
+    Remaining -= Step;
+    Consumed += Step;
+    ExecSeconds += Step;
+    if (Head.IterationsLeft <= 1e-9 * std::max(1.0, Iterations))
+      Queue.pop_front();
+  }
+
+  Counters.BusySeconds += ExecSeconds;
+  if (Consumed > 0.0) {
+    LastActivity = ActivityTime / Consumed;
+    LastTrafficGBs = Bytes / Consumed / 1e9;
+  } else {
+    LastActivity = Power.IdleActivity;
+    LastTrafficGBs = 0.0;
+  }
+  return Consumed;
+}
+
+double SimDevice::estimateCompletion(double FreqGHz,
+                                     double BandwidthShareGBs) const {
+  double Total = 0.0;
+  for (const WorkItem &Item : Queue) {
+    Total += Item.SetupSecondsLeft;
+    RatePoint Rate = rateModel(Item.Kernel, FreqGHz, Item.InitialIterations);
+    double EffRate, StallFraction;
+    applyBandwidthCap(Rate, Item.Kernel.BytesPerIter, BandwidthShareGBs,
+                      EffRate, StallFraction);
+    if (EffRate <= 0.0)
+      return 1e30;
+    Total += Item.IterationsLeft / EffRate;
+  }
+  return Total;
+}

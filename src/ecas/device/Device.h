@@ -1,0 +1,139 @@
+//===-- ecas/device/Device.h - Simulated device interface ------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The device abstraction the simulator steps: a queue of (kernel,
+/// iteration-count) work items plus a throughput model. SimCpuDevice and
+/// SimGpuDevice specialize rateModel(); everything else — queue
+/// management, performance counters, partial-slice accounting — is shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_DEVICE_DEVICE_H
+#define ECAS_DEVICE_DEVICE_H
+
+#include "ecas/device/KernelDesc.h"
+#include "ecas/hw/PlatformSpec.h"
+
+#include <deque>
+
+namespace ecas {
+
+/// Cumulative hardware-counter state, modeled after what Intel PCM
+/// exposes (Section 4 uses PCM to read LLC misses and instructions).
+struct PerfCounters {
+  double InstructionsRetired = 0.0;
+  double LoadStores = 0.0;
+  double LlcMisses = 0.0;
+  double IterationsDone = 0.0;
+  double BytesTransferred = 0.0;
+  /// Seconds spent executing kernel iterations (what an OpenCL profiling
+  /// event's START..END covers).
+  double BusySeconds = 0.0;
+  /// Seconds spent in launch/dispatch overhead, excluded from
+  /// BusySeconds.
+  double SetupSeconds = 0.0;
+
+  PerfCounters operator-(const PerfCounters &Rhs) const;
+  /// Misses / load-stores; 0 when no memory ops were counted.
+  double missPerLoadStore() const;
+};
+
+/// Throughput and power-activity answer for a device at one operating
+/// point, before bandwidth arbitration.
+struct RatePoint {
+  /// Iterations per second, unconstrained by shared DRAM bandwidth.
+  double ComputeRate = 0.0;
+  /// DRAM demand at ComputeRate, in GB/s.
+  double BandwidthDemandGBs = 0.0;
+  /// Fraction of cycles stalled on memory at ComputeRate (latency view).
+  double LatencyStallFraction = 0.0;
+};
+
+/// One simulated compute device with a FIFO of enqueued kernels.
+class SimDevice {
+public:
+  explicit SimDevice(DeviceKind Kind) : Kind(Kind) {}
+  virtual ~SimDevice();
+
+  DeviceKind kind() const { return Kind; }
+
+  /// Appends \p Iterations of \p Kernel to the queue. Iterations may be
+  /// fractional (the runtime hands devices fractional shares of N).
+  void enqueue(const KernelDesc &Kernel, double Iterations);
+
+  bool busy() const { return !Queue.empty(); }
+
+  /// Iterations left across all queued work.
+  double pendingIterations() const;
+
+  /// Removes all queued work, returning the number of unprocessed
+  /// iterations (profiling uses this to drain the CPU's share when the
+  /// GPU proxy finishes its chunk).
+  double cancelRemaining();
+
+  /// Unconstrained operating point for the kernel at the queue head.
+  /// Idle devices report a zero RatePoint.
+  RatePoint currentRate(double FreqGHz) const;
+
+  /// Seconds until the head work item (including its setup cost) drains
+  /// at a fixed operating point; +inf-like sentinel when idle.
+  double timeToHeadDrain(double FreqGHz, double BandwidthShareGBs) const;
+
+  /// Advances the device by up to \p Dt seconds at \p FreqGHz, allowed to
+  /// draw at most \p BandwidthShareGBs of DRAM bandwidth.
+  /// \returns the seconds actually consumed: less than \p Dt only when
+  /// the queue empties first.
+  double advance(double Dt, double FreqGHz, double BandwidthShareGBs);
+
+  /// Seconds to drain the whole queue at a fixed operating point.
+  double estimateCompletion(double FreqGHz, double BandwidthShareGBs) const;
+
+  const PerfCounters &counters() const { return Counters; }
+
+  /// Activity factor in [0,1] for the power model during the last
+  /// advance() call: blends compute and memory activity by the realized
+  /// stall fraction, or the idle activity when nothing ran.
+  double lastActivity() const { return LastActivity; }
+
+  /// Achieved DRAM traffic during the last advance() call, in GB/s.
+  double lastTrafficGBs() const { return LastTrafficGBs; }
+
+protected:
+  /// Device-specific throughput model for \p Kernel at \p FreqGHz for a
+  /// work item that was enqueued with \p ItemIters iterations (GPUs lose
+  /// occupancy on small dispatches — a wave model keyed to the dispatch
+  /// size, like a single NDRange with all work items resident).
+  virtual RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
+                              double ItemIters) const = 0;
+
+  /// Power-model activity factors for this device.
+  virtual const DevicePowerSpec &powerSpec() const = 0;
+
+private:
+  struct WorkItem {
+    KernelDesc Kernel;
+    double IterationsLeft;
+    /// Dispatch size at enqueue; fixes the occupancy for the whole item.
+    double InitialIterations;
+    /// Pending fixed startup cost (GPU launch latency) in seconds.
+    double SetupSecondsLeft;
+  };
+
+  DeviceKind Kind;
+  std::deque<WorkItem> Queue;
+  PerfCounters Counters;
+  double LastActivity = 0.0;
+  double LastTrafficGBs = 0.0;
+
+protected:
+  /// Fixed per-enqueue setup cost; GPU overrides with launch latency.
+  virtual double setupSeconds() const { return 0.0; }
+};
+
+} // namespace ecas
+
+#endif // ECAS_DEVICE_DEVICE_H

@@ -1,0 +1,38 @@
+//===-- ecas/device/KernelDesc.cpp - Data-parallel kernel model -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/device/KernelDesc.h"
+
+using namespace ecas;
+
+bool KernelDesc::valid() const {
+  if (CpuCyclesPerIter <= 0.0 || GpuCyclesPerIter <= 0.0)
+    return false;
+  if (BytesPerIter < 0.0 || LoadStoresPerIter < 0.0 || InstrsPerIter <= 0.0)
+    return false;
+  if (LlcMissRatio < 0.0 || LlcMissRatio > 1.0)
+    return false;
+  if (GpuEfficiency <= 0.0 || GpuEfficiency > 1.0)
+    return false;
+  if (CpuVectorizable < 0.0 || CpuVectorizable > 1.0)
+    return false;
+  return true;
+}
+
+uint64_t ecas::hashKernelName(const std::string &Name) {
+  uint64_t Hash = 1469598103934665603ULL;
+  for (char C : Name) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash ? Hash : 1;
+}
+
+KernelDesc &KernelDesc::withAutoId() {
+  if (Id == 0)
+    Id = hashKernelName(Name);
+  return *this;
+}

@@ -1,0 +1,70 @@
+//===-- ecas/device/KernelDesc.h - Data-parallel kernel model --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost descriptor for one data-parallel kernel: how much compute, memory
+/// traffic, and cache behaviour a single iteration exhibits on each
+/// device. The simulated devices turn a KernelDesc into throughput and
+/// performance-counter readings; the scheduler never sees it (black box).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_DEVICE_KERNELDESC_H
+#define ECAS_DEVICE_KERNELDESC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ecas {
+
+/// Per-iteration cost model of a data-parallel kernel.
+///
+/// "Iteration" is one index of the Concord-style parallel_for. CPU costs
+/// are per hardware thread at scalar issue; GPU costs are per EU lane.
+struct KernelDesc {
+  std::string Name;
+
+  /// Compute cycles per iteration on one CPU thread, before SIMD.
+  double CpuCyclesPerIter = 100.0;
+  /// Compute cycles per iteration on one GPU EU lane.
+  double GpuCyclesPerIter = 100.0;
+  /// DRAM traffic per iteration in bytes (reads + writes that miss LLC).
+  double BytesPerIter = 16.0;
+  /// Load/store instructions retired per iteration.
+  double LoadStoresPerIter = 10.0;
+  /// LLC misses / load-stores, in [0,1]. The paper classifies a workload
+  /// memory-bound when this ratio exceeds 0.33.
+  double LlcMissRatio = 0.05;
+  /// Total instructions retired per iteration (counter model).
+  double InstrsPerIter = 120.0;
+  /// GPU derating in (0,1]: branch divergence, irregular access, low
+  /// occupancy inside a work-item. 1.0 = perfectly regular.
+  double GpuEfficiency = 1.0;
+  /// Fraction of CPU compute that vectorizes, in [0,1].
+  double CpuVectorizable = 0.5;
+  /// Stable identity for the runtime's kernel-to-alpha history table G
+  /// (stands in for the CPU function pointer of Fig. 7).
+  uint64_t Id = 0;
+
+  /// Misses per load-store — the statistic the paper thresholds at 0.33.
+  double memoryIntensity() const {
+    return LoadStoresPerIter > 0.0 ? LlcMissRatio : 0.0;
+  }
+
+  /// True when all cost fields are positive and ratios lie in range.
+  bool valid() const;
+
+  /// Derives Id from Name when Id == 0 (FNV-1a); returns *this for
+  /// fluent construction in tests and workload factories.
+  KernelDesc &withAutoId();
+};
+
+/// FNV-1a hash of a string, used for kernel identities.
+uint64_t hashKernelName(const std::string &Name);
+
+} // namespace ecas
+
+#endif // ECAS_DEVICE_KERNELDESC_H

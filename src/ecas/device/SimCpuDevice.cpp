@@ -1,0 +1,43 @@
+//===-- ecas/device/SimCpuDevice.cpp - CPU throughput model ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/device/SimCpuDevice.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+/// Throughput contribution of the second SMT thread on a core, relative
+/// to a full core. ~25% matches the commonly observed Haswell SMT yield
+/// on throughput-oriented loops.
+static constexpr double SmtYield = 0.25;
+
+double SimCpuDevice::effectiveThreads() const {
+  double Extra = Spec.Cpu.ThreadsPerCore > 1
+                     ? SmtYield * (Spec.Cpu.ThreadsPerCore - 1)
+                     : 0.0;
+  return Spec.Cpu.Cores * (1.0 + Extra);
+}
+
+RatePoint SimCpuDevice::rateModel(const KernelDesc &Kernel, double FreqGHz,
+                                  double PendingIters) const {
+  RatePoint Rate;
+  double SimdSpeedup =
+      1.0 + (Spec.Cpu.SimdWidth - 1.0) * Kernel.CpuVectorizable;
+  double ComputeCycles =
+      Kernel.CpuCyclesPerIter * Spec.Cpu.CyclesScale / SimdSpeedup;
+  double StallCycles = Kernel.LoadStoresPerIter * Kernel.LlcMissRatio *
+                       Spec.Cpu.MissPenaltyCycles / Spec.Cpu.MemParallelism;
+  double CyclesPerIter = ComputeCycles + StallCycles;
+
+  // A residue smaller than the thread count can't use every thread.
+  double Threads = effectiveThreads();
+  double Utilization = std::min(1.0, PendingIters / Threads);
+  Rate.ComputeRate = Threads * Utilization * FreqGHz * 1e9 / CyclesPerIter;
+  Rate.LatencyStallFraction = StallCycles / CyclesPerIter;
+  Rate.BandwidthDemandGBs = Rate.ComputeRate * Kernel.BytesPerIter / 1e9;
+  return Rate;
+}

@@ -1,0 +1,45 @@
+//===-- ecas/device/SimCpuDevice.h - CPU throughput model ------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multicore CPU model: per-thread cycles with SIMD speedup for
+/// vectorizable work, LLC-miss stall cycles amortized over the core's
+/// memory-level parallelism, and a modest SMT yield for the second
+/// hardware thread per core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_DEVICE_SIMCPUDEVICE_H
+#define ECAS_DEVICE_SIMCPUDEVICE_H
+
+#include "ecas/device/Device.h"
+
+namespace ecas {
+
+/// Simulated multicore CPU side of the package.
+class SimCpuDevice : public SimDevice {
+public:
+  explicit SimCpuDevice(const PlatformSpec &Spec)
+      : SimDevice(DeviceKind::Cpu), Spec(Spec) {}
+
+  /// Hardware threads weighted by SMT yield (second thread on a core
+  /// contributes a fraction of a full core's throughput).
+  double effectiveThreads() const;
+
+protected:
+  RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
+                      double PendingIters) const override;
+  const DevicePowerSpec &powerSpec() const override {
+    return Spec.CpuPower;
+  }
+
+private:
+  const PlatformSpec &Spec;
+};
+
+} // namespace ecas
+
+#endif // ECAS_DEVICE_SIMCPUDEVICE_H

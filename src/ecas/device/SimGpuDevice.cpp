@@ -1,0 +1,32 @@
+//===-- ecas/device/SimGpuDevice.cpp - GPU throughput model ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/device/SimGpuDevice.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+RatePoint SimGpuDevice::rateModel(const KernelDesc &Kernel, double FreqGHz,
+                                  double PendingIters) const {
+  RatePoint Rate;
+  double Lanes =
+      static_cast<double>(Spec.Gpu.ExecutionUnits) * Spec.Gpu.SimdWidth;
+  // A dispatch smaller than the lane count still takes one full wave:
+  // its K items run in parallel, so duration ~= cycles/(f*eff) no matter
+  // how small K is. That makes the small-dispatch rate proportional to
+  // the dispatch size with a lane-count ceiling, i.e. a latency floor
+  // rather than an occupancy-scaled throughput.
+  double FullRate =
+      Lanes * Kernel.GpuEfficiency * FreqGHz * 1e9 / Kernel.GpuCyclesPerIter;
+  double Occupancy = std::min(1.0, PendingIters / Lanes);
+  Rate.ComputeRate = FullRate * Occupancy;
+  // Multithreading hides DRAM latency; stalls appear only when the
+  // bandwidth cap binds (handled by the caller).
+  Rate.LatencyStallFraction = 0.0;
+  Rate.BandwidthDemandGBs = Rate.ComputeRate * Kernel.BytesPerIter / 1e9;
+  return Rate;
+}

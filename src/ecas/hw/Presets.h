@@ -1,0 +1,35 @@
+//===-- ecas/hw/Presets.h - The paper's two platforms -----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory functions for the two evaluation platforms of Section 5:
+/// the Intel Haswell i7-4770 desktop (HD Graphics 4600) and the Intel
+/// Bay Trail Atom Z3740 tablet. Coefficients are calibrated against the
+/// package-power figures the paper reports (see Presets.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_HW_PRESETS_H
+#define ECAS_HW_PRESETS_H
+
+#include "ecas/hw/PlatformSpec.h"
+
+#include <vector>
+
+namespace ecas {
+
+/// 3.4 GHz i7-4770, 4 cores / 8 threads, HD 4600 (20 EUs, 0.35-1.2 GHz).
+PlatformSpec haswellDesktop();
+
+/// 1.33 GHz Atom Z3740, 4 cores, 4-EU GPU at 0.331-0.667 GHz.
+PlatformSpec bayTrailTablet();
+
+/// Both presets, desktop first — handy for "run on every platform" loops.
+std::vector<PlatformSpec> allPresets();
+
+} // namespace ecas
+
+#endif // ECAS_HW_PRESETS_H

@@ -1,0 +1,187 @@
+//===-- ecas/math/Matrix.cpp - Small dense matrices -----------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/math/Matrix.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I != N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+double &Matrix::at(size_t Row, size_t Col) {
+  assert(Row < RowCount && Col < ColCount && "matrix index out of range");
+  return Data[Row * ColCount + Col];
+}
+
+double Matrix::at(size_t Row, size_t Col) const {
+  assert(Row < RowCount && Col < ColCount && "matrix index out of range");
+  return Data[Row * ColCount + Col];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(ColCount, RowCount);
+  for (size_t R = 0; R != RowCount; ++R)
+    for (size_t C = 0; C != ColCount; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::multiply(const Matrix &Rhs) const {
+  ECAS_CHECK(ColCount == Rhs.RowCount, "matrix multiply shape mismatch");
+  Matrix Out(RowCount, Rhs.ColCount);
+  for (size_t R = 0; R != RowCount; ++R) {
+    for (size_t K = 0; K != ColCount; ++K) {
+      double Lhs = at(R, K);
+      if (Lhs == 0.0)
+        continue;
+      for (size_t C = 0; C != Rhs.ColCount; ++C)
+        Out.at(R, C) += Lhs * Rhs.at(K, C);
+    }
+  }
+  return Out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &Vec) const {
+  ECAS_CHECK(Vec.size() == ColCount, "matrix-vector shape mismatch");
+  std::vector<double> Out(RowCount, 0.0);
+  for (size_t R = 0; R != RowCount; ++R) {
+    double Sum = 0.0;
+    for (size_t C = 0; C != ColCount; ++C)
+      Sum += at(R, C) * Vec[C];
+    Out[R] = Sum;
+  }
+  return Out;
+}
+
+bool Matrix::solveLinear(const std::vector<double> &B,
+                         std::vector<double> &X) const {
+  ECAS_CHECK(RowCount == ColCount, "solveLinear requires a square matrix");
+  ECAS_CHECK(B.size() == RowCount, "solveLinear rhs size mismatch");
+  const size_t N = RowCount;
+  Matrix A = *this; // Working copy for in-place elimination.
+  std::vector<double> Rhs = B;
+
+  for (size_t Col = 0; Col != N; ++Col) {
+    // Partial pivoting: move the largest-magnitude entry into the pivot row.
+    size_t Pivot = Col;
+    double Best = std::fabs(A.at(Col, Col));
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Cand = std::fabs(A.at(Row, Col));
+      if (Cand > Best) {
+        Best = Cand;
+        Pivot = Row;
+      }
+    }
+    if (Best < 1e-300)
+      return false;
+    if (Pivot != Col) {
+      for (size_t C = 0; C != N; ++C)
+        std::swap(A.at(Pivot, C), A.at(Col, C));
+      std::swap(Rhs[Pivot], Rhs[Col]);
+    }
+    double Inv = 1.0 / A.at(Col, Col);
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Factor = A.at(Row, Col) * Inv;
+      if (Factor == 0.0)
+        continue;
+      A.at(Row, Col) = 0.0;
+      for (size_t C = Col + 1; C != N; ++C)
+        A.at(Row, C) -= Factor * A.at(Col, C);
+      Rhs[Row] -= Factor * Rhs[Col];
+    }
+  }
+
+  X.assign(N, 0.0);
+  for (size_t RowPlus1 = N; RowPlus1 != 0; --RowPlus1) {
+    size_t Row = RowPlus1 - 1;
+    double Sum = Rhs[Row];
+    for (size_t C = Row + 1; C != N; ++C)
+      Sum -= A.at(Row, C) * X[C];
+    X[Row] = Sum / A.at(Row, Row);
+  }
+  return true;
+}
+
+bool Matrix::solveLeastSquares(const std::vector<double> &B,
+                               std::vector<double> &X) const {
+  ECAS_CHECK(RowCount >= ColCount,
+             "least squares requires at least as many rows as columns");
+  ECAS_CHECK(B.size() == RowCount, "least squares rhs size mismatch");
+  const size_t M = RowCount, N = ColCount;
+  Matrix A = *this;
+  std::vector<double> Rhs = B;
+
+  // Householder QR: reduce A to upper-triangular R, applying the same
+  // reflections to the right-hand side. The triangular solve on the top
+  // N rows then yields the least-squares solution.
+  for (size_t Col = 0; Col != N; ++Col) {
+    double Norm = 0.0;
+    for (size_t Row = Col; Row != M; ++Row)
+      Norm += A.at(Row, Col) * A.at(Row, Col);
+    Norm = std::sqrt(Norm);
+    if (Norm < 1e-300)
+      return false;
+    if (A.at(Col, Col) > 0.0)
+      Norm = -Norm;
+
+    // Householder vector V is stored temporarily in column Col.
+    double VHead = A.at(Col, Col) - Norm;
+    std::vector<double> V(M - Col);
+    V[0] = VHead;
+    for (size_t Row = Col + 1; Row != M; ++Row)
+      V[Row - Col] = A.at(Row, Col);
+    double VNormSq = 0.0;
+    for (double Entry : V)
+      VNormSq += Entry * Entry;
+    if (VNormSq < 1e-300)
+      return false;
+    double Beta = 2.0 / VNormSq;
+
+    // Apply the reflection to the remaining columns and the RHS.
+    for (size_t C = Col; C != N; ++C) {
+      double Dot = 0.0;
+      for (size_t Row = Col; Row != M; ++Row)
+        Dot += V[Row - Col] * A.at(Row, C);
+      Dot *= Beta;
+      for (size_t Row = Col; Row != M; ++Row)
+        A.at(Row, C) -= Dot * V[Row - Col];
+    }
+    double Dot = 0.0;
+    for (size_t Row = Col; Row != M; ++Row)
+      Dot += V[Row - Col] * Rhs[Row];
+    Dot *= Beta;
+    for (size_t Row = Col; Row != M; ++Row)
+      Rhs[Row] -= Dot * V[Row - Col];
+  }
+
+  X.assign(N, 0.0);
+  for (size_t ColPlus1 = N; ColPlus1 != 0; --ColPlus1) {
+    size_t Col = ColPlus1 - 1;
+    double Diag = A.at(Col, Col);
+    if (std::fabs(Diag) < 1e-12 * (1.0 + maxAbs()))
+      return false;
+    double Sum = Rhs[Col];
+    for (size_t C = Col + 1; C != N; ++C)
+      Sum -= A.at(Col, C) * X[C];
+    X[Col] = Sum / Diag;
+  }
+  return true;
+}
+
+double Matrix::maxAbs() const {
+  double Best = 0.0;
+  for (double V : Data)
+    Best = std::max(Best, std::fabs(V));
+  return Best;
+}

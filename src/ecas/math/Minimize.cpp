@@ -1,0 +1,93 @@
+//===-- ecas/math/Minimize.cpp - 1-D minimization primitives --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/math/Minimize.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+MinResult ecas::minimizeOnGrid(const std::function<double(double)> &Fn,
+                               double Lo, double Hi, double Step) {
+  ECAS_CHECK(Lo <= Hi, "minimizeOnGrid requires Lo <= Hi");
+  ECAS_CHECK(Step > 0.0, "minimizeOnGrid requires a positive step");
+  MinResult Result;
+  Result.ArgMin = Lo;
+  Result.Value = Fn(Lo);
+  Result.Evaluations = 1;
+  bool ReachedHi = (Lo == Hi);
+  for (double X = Lo + Step; !ReachedHi; X += Step) {
+    if (X >= Hi - 1e-12 * std::max(1.0, std::fabs(Hi))) {
+      X = Hi;
+      ReachedHi = true;
+    }
+    double Y = Fn(X);
+    ++Result.Evaluations;
+    if (Y < Result.Value) {
+      Result.Value = Y;
+      Result.ArgMin = X;
+    }
+  }
+  return Result;
+}
+
+MinResult ecas::minimizeGoldenSection(const std::function<double(double)> &Fn,
+                                      double Lo, double Hi, double Tolerance) {
+  ECAS_CHECK(Lo <= Hi, "minimizeGoldenSection requires Lo <= Hi");
+  ECAS_CHECK(Tolerance > 0.0, "tolerance must be positive");
+  constexpr double InvPhi = 0.6180339887498949;
+  MinResult Result;
+  double A = Lo, B = Hi;
+  double C = B - (B - A) * InvPhi;
+  double D = A + (B - A) * InvPhi;
+  double Fc = Fn(C), Fd = Fn(D);
+  Result.Evaluations = 2;
+  while (B - A > Tolerance) {
+    if (Fc < Fd) {
+      B = D;
+      D = C;
+      Fd = Fc;
+      C = B - (B - A) * InvPhi;
+      Fc = Fn(C);
+    } else {
+      A = C;
+      C = D;
+      Fc = Fd;
+      D = A + (B - A) * InvPhi;
+      Fd = Fn(D);
+    }
+    ++Result.Evaluations;
+  }
+  if (Fc < Fd) {
+    Result.ArgMin = C;
+    Result.Value = Fc;
+  } else {
+    Result.ArgMin = D;
+    Result.Value = Fd;
+  }
+  return Result;
+}
+
+MinResult
+ecas::minimizeGridThenRefine(const std::function<double(double)> &Fn,
+                             double Lo, double Hi, double Step,
+                             double Tolerance) {
+  MinResult Coarse = minimizeOnGrid(Fn, Lo, Hi, Step);
+  double RefineLo = std::max(Lo, Coarse.ArgMin - Step);
+  double RefineHi = std::min(Hi, Coarse.ArgMin + Step);
+  MinResult Fine = minimizeGoldenSection(Fn, RefineLo, RefineHi, Tolerance);
+  Fine.Evaluations += Coarse.Evaluations;
+  // The refinement bracket may be multimodal; never return something worse
+  // than the grid answer.
+  if (Coarse.Value < Fine.Value) {
+    Fine.ArgMin = Coarse.ArgMin;
+    Fine.Value = Coarse.Value;
+  }
+  return Fine;
+}

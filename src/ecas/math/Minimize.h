@@ -1,0 +1,50 @@
+//===-- ecas/math/Minimize.h - 1-D minimization primitives -----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-dimensional minimizers used by the alpha search of Section 3.2.
+/// The paper evaluates the objective on a fixed grid (0.1 or 0.05 steps);
+/// we implement that, plus a golden-section refinement around the best
+/// grid cell as an extension ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_MATH_MINIMIZE_H
+#define ECAS_MATH_MINIMIZE_H
+
+#include <functional>
+
+namespace ecas {
+
+/// Outcome of a scalar minimization.
+struct MinResult {
+  double ArgMin = 0.0;
+  double Value = 0.0;
+  unsigned Evaluations = 0;
+};
+
+/// Evaluates \p Fn at Lo, Lo+Step, ..., Hi (inclusive, with the last point
+/// clamped to Hi) and returns the minimizing sample. Ties keep the
+/// smallest argument, matching the deterministic behaviour expected by
+/// the scheduler's regression tests.
+MinResult minimizeOnGrid(const std::function<double(double)> &Fn, double Lo,
+                         double Hi, double Step);
+
+/// Golden-section search on [Lo, Hi]; assumes unimodality on the bracket.
+/// Runs until the bracket shrinks below \p Tolerance.
+MinResult minimizeGoldenSection(const std::function<double(double)> &Fn,
+                                double Lo, double Hi, double Tolerance);
+
+/// Grid scan followed by golden-section refinement one grid cell either
+/// side of the best sample. Robust to multimodal objectives at grid
+/// resolution while sharpening the final answer.
+MinResult minimizeGridThenRefine(const std::function<double(double)> &Fn,
+                                 double Lo, double Hi, double Step,
+                                 double Tolerance);
+
+} // namespace ecas
+
+#endif // ECAS_MATH_MINIMIZE_H

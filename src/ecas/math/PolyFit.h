@@ -1,0 +1,52 @@
+//===-- ecas/math/PolyFit.h - Least-squares polynomial fitting -*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fits the sixth-order power characterization polynomials of Section 2
+/// ("fit a smooth curve to derive a polynomial approximation"). Two
+/// algorithms are provided: Householder QR on the Vandermonde system
+/// (the default — numerically robust) and the classical normal equations
+/// (kept as an ablation of the fitting method).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_MATH_POLYFIT_H
+#define ECAS_MATH_POLYFIT_H
+
+#include "ecas/math/Polynomial.h"
+
+#include <optional>
+#include <vector>
+
+namespace ecas {
+
+/// How the least-squares system is solved.
+enum class FitMethod {
+  QR,              ///< Householder QR on the Vandermonde matrix.
+  NormalEquations, ///< (V^T V) x = V^T y via pivoted LU.
+};
+
+/// Result of a fit: the polynomial plus goodness-of-fit measures over the
+/// input sample.
+struct FitResult {
+  Polynomial Poly;
+  double RSquared = 0.0;
+  double RmsError = 0.0;
+};
+
+/// Fits a degree-\p Degree polynomial to samples (Xs[i], Ys[i]).
+///
+/// Requires at least Degree+1 samples. \returns std::nullopt when the
+/// Vandermonde system is rank-deficient (e.g. duplicated abscissae leaving
+/// fewer than Degree+1 distinct X values).
+std::optional<FitResult> fitPolynomial(const std::vector<double> &Xs,
+                                       const std::vector<double> &Ys,
+                                       unsigned Degree,
+                                       FitMethod Method = FitMethod::QR);
+
+} // namespace ecas
+
+#endif // ECAS_MATH_POLYFIT_H

@@ -1,0 +1,101 @@
+//===-- ecas/power/Characterizer.cpp - One-time power probing -------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/power/Characterizer.h"
+
+#include "ecas/math/PolyFit.h"
+#include "ecas/sim/SimProcessor.h"
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+Characterizer::Characterizer(const PlatformSpec &SpecIn,
+                             CharacterizerConfig ConfigIn)
+    : Spec(SpecIn), Config(ConfigIn) {
+  std::string Error;
+  ECAS_CHECK(Spec.validate(Error), "Characterizer given an invalid spec");
+  ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
+             "alpha step must lie in (0, 1]");
+  ECAS_CHECK(Config.PolyDegree >= 1, "polynomial degree must be >= 1");
+}
+
+PowerSamplePoint Characterizer::measureAt(const MicroBenchmark &Micro,
+                                          double Alpha) const {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  SimProcessor Proc(Spec);
+
+  PowerSamplePoint Point;
+  Point.Alpha = Alpha;
+  double GpuIters = std::floor(Alpha * Micro.Iterations + 0.5);
+  double CpuIters = Micro.Iterations - GpuIters;
+
+  for (unsigned Rep = 0; Rep != Micro.Repetitions; ++Rep) {
+    // RAPL protocol: sample the MSR, run, sample again, diff.
+    uint32_t MsrBefore = Proc.meter().readMsr();
+    double Start = Proc.now();
+    if (GpuIters > 0.0)
+      Proc.gpu().enqueue(Micro.Kernel, GpuIters);
+    if (CpuIters > 0.0)
+      Proc.cpu().enqueue(Micro.Kernel, CpuIters);
+    Proc.runUntilIdle();
+    Point.Joules += Proc.meter().joulesSince(MsrBefore);
+    Point.BusySeconds += Proc.now() - Start;
+    // Idle gap between repetitions: energy intentionally not counted —
+    // the paper's power charts average over kernel execution.
+    if (Micro.GapSeconds > 0.0 && Rep + 1 != Micro.Repetitions)
+      Proc.runFor(Micro.GapSeconds);
+  }
+  ECAS_CHECK(Point.BusySeconds > 0.0, "micro-benchmark consumed no time");
+  Point.AvgPackageWatts = Point.Joules / Point.BusySeconds;
+  return Point;
+}
+
+std::vector<PowerSamplePoint>
+Characterizer::sweep(WorkloadClass Class) const {
+  MicroBenchmark Micro = makeMicroBenchmark(
+      Spec, Class, Config.ShortTargetSec, Config.LongTargetSec);
+  std::vector<PowerSamplePoint> Points;
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Config.AlphaStep)
+    Points.push_back(measureAt(Micro, std::min(Alpha, 1.0)));
+  return Points;
+}
+
+PowerCurve Characterizer::characterizeCategory(
+    WorkloadClass Class, std::vector<PowerSamplePoint> *SamplesOut) const {
+  std::vector<PowerSamplePoint> Points = sweep(Class);
+  std::vector<double> Alphas, Watts;
+  Alphas.reserve(Points.size());
+  Watts.reserve(Points.size());
+  for (const PowerSamplePoint &Point : Points) {
+    Alphas.push_back(Point.Alpha);
+    Watts.push_back(Point.AvgPackageWatts);
+  }
+  // A 0.1-step sweep yields 11 samples for 7 coefficients; a coarser
+  // sweep may need a lower order to stay determined.
+  unsigned Degree = Config.PolyDegree;
+  while (Degree + 1 > Alphas.size() && Degree > 1)
+    --Degree;
+  std::optional<FitResult> Fit = fitPolynomial(Alphas, Watts, Degree);
+  ECAS_CHECK(Fit.has_value(), "power curve fit failed");
+
+  PowerCurve Curve;
+  Curve.Class = Class;
+  Curve.Poly = std::move(Fit->Poly);
+  Curve.RSquared = Fit->RSquared;
+  if (SamplesOut)
+    *SamplesOut = std::move(Points);
+  return Curve;
+}
+
+PowerCurveSet Characterizer::characterize() const {
+  PowerCurveSet Set;
+  Set.setPlatformName(Spec.Name);
+  for (unsigned Index = 0; Index != WorkloadClass::NumClasses; ++Index)
+    Set.setCurve(characterizeCategory(WorkloadClass::fromIndex(Index)));
+  return Set;
+}

@@ -1,0 +1,78 @@
+//===-- ecas/power/Characterizer.h - One-time power probing ----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-time-per-processor characterization step of Section 2: for
+/// each of the eight categories, sweep the GPU offload ratio, measure
+/// average package power through the (emulated) RAPL MSR, and fit a
+/// sixth-order polynomial. Produces the PowerCurveSet the energy-aware
+/// scheduler consumes at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_POWER_CHARACTERIZER_H
+#define ECAS_POWER_CHARACTERIZER_H
+
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/power/PowerCurve.h"
+
+#include <vector>
+
+namespace ecas {
+
+/// Knobs of the characterization procedure.
+struct CharacterizerConfig {
+  /// Offload-ratio sweep granularity (the paper samples at 0.1).
+  double AlphaStep = 0.1;
+  /// Fitted polynomial order (the paper found sixth-order a good fit).
+  unsigned PolyDegree = 6;
+  /// Micro-benchmark sizing targets.
+  double ShortTargetSec = 0.05;
+  double LongTargetSec = 0.6;
+};
+
+/// One measured sweep point.
+struct PowerSamplePoint {
+  double Alpha = 0.0;
+  double AvgPackageWatts = 0.0;
+  double BusySeconds = 0.0;
+  double Joules = 0.0;
+};
+
+/// Runs characterization sweeps against simulated processors of one
+/// platform spec.
+class Characterizer {
+public:
+  explicit Characterizer(const PlatformSpec &Spec,
+                         CharacterizerConfig Config = {});
+
+  /// Measures average package power for \p Micro at offload ratio
+  /// \p Alpha on a fresh processor: repetitions with idle gaps, energy
+  /// read via the MSR sampling protocol, averaged over busy time only.
+  PowerSamplePoint measureAt(const MicroBenchmark &Micro, double Alpha) const;
+
+  /// Sweeps alpha over [0,1] for one category's micro-benchmark.
+  std::vector<PowerSamplePoint> sweep(WorkloadClass Class) const;
+
+  /// Sweeps and fits a single category.
+  PowerCurve characterizeCategory(
+      WorkloadClass Class,
+      std::vector<PowerSamplePoint> *SamplesOut = nullptr) const;
+
+  /// Full eight-category characterization.
+  PowerCurveSet characterize() const;
+
+  const CharacterizerConfig &config() const { return Config; }
+  const PlatformSpec &spec() const { return Spec; }
+
+private:
+  PlatformSpec Spec;
+  CharacterizerConfig Config;
+};
+
+} // namespace ecas
+
+#endif // ECAS_POWER_CHARACTERIZER_H

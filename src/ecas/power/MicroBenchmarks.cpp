@@ -1,0 +1,151 @@
+//===-- ecas/power/MicroBenchmarks.cpp - Probe micro-benchmarks -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/power/MicroBenchmarks.h"
+
+#include "ecas/sim/SimProcessor.h"
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+KernelDesc ecas::computeBoundMicroKernel() {
+  KernelDesc Kernel;
+  Kernel.Name = "micro.compute";
+  Kernel.CpuCyclesPerIter = 200.0;
+  Kernel.GpuCyclesPerIter = 200.0;
+  Kernel.BytesPerIter = 0.0;
+  Kernel.LoadStoresPerIter = 4.0;
+  Kernel.LlcMissRatio = 0.0;
+  Kernel.InstrsPerIter = 220.0;
+  Kernel.GpuEfficiency = 1.0;
+  Kernel.CpuVectorizable = 0.9;
+  return Kernel.withAutoId();
+}
+
+KernelDesc ecas::memoryBoundMicroKernel() {
+  KernelDesc Kernel;
+  Kernel.Name = "micro.memory";
+  Kernel.CpuCyclesPerIter = 10.0;
+  Kernel.GpuCyclesPerIter = 10.0;
+  Kernel.BytesPerIter = 64.0; // One cache line per random update.
+  Kernel.LoadStoresPerIter = 1.0;
+  Kernel.LlcMissRatio = 1.0;
+  Kernel.InstrsPerIter = 20.0;
+  Kernel.GpuEfficiency = 1.0;
+  Kernel.CpuVectorizable = 0.0;
+  return Kernel.withAutoId();
+}
+
+DeviceRates ecas::probeDeviceRates(const PlatformSpec &Spec,
+                                   const KernelDesc &Kernel,
+                                   double ProbeSeconds) {
+  ECAS_CHECK(ProbeSeconds > 0.0, "probe duration must be positive");
+  DeviceRates Rates;
+  // Enough work that neither device drains within the probe window.
+  const double Plenty = 1e13;
+  {
+    SimProcessor Proc(Spec);
+    Proc.cpu().enqueue(Kernel, Plenty);
+    Proc.runFor(ProbeSeconds);
+    Rates.CpuItersPerSec =
+        Proc.cpu().counters().IterationsDone / ProbeSeconds;
+  }
+  {
+    SimProcessor Proc(Spec);
+    Proc.gpu().enqueue(Kernel, Plenty);
+    Proc.runFor(ProbeSeconds);
+    Rates.GpuItersPerSec =
+        Proc.gpu().counters().IterationsDone / ProbeSeconds;
+  }
+  return Rates;
+}
+
+/// Applies CPU- or GPU-biased shaping to the base micro kernel so that a
+/// single iteration count can satisfy both duration targets.
+static KernelDesc shapeAffinity(KernelDesc Kernel, DurationClass CpuDuration,
+                                DurationClass GpuDuration) {
+  bool CpuBiased = CpuDuration == DurationClass::Short &&
+                   GpuDuration == DurationClass::Long;
+  bool GpuBiased = CpuDuration == DurationClass::Long &&
+                   GpuDuration == DurationClass::Short;
+  if (CpuBiased) {
+    // Irregular, divergent work the GPU executes poorly.
+    Kernel.Name += ".cpu_biased";
+    Kernel.GpuEfficiency = Kernel.BytesPerIter > 0.0 ? 0.005 : 0.12;
+    Kernel.GpuCyclesPerIter *= 2.0;
+  } else if (GpuBiased) {
+    // Scalar-heavy work the CPU cannot vectorize.
+    Kernel.Name += ".gpu_biased";
+    Kernel.CpuCyclesPerIter *= Kernel.BytesPerIter > 0.0 ? 20.0 : 3.0;
+    Kernel.CpuVectorizable = std::min(Kernel.CpuVectorizable, 0.3);
+  }
+  Kernel.Id = 0;
+  return Kernel.withAutoId();
+}
+
+MicroBenchmark ecas::makeMicroBenchmark(const PlatformSpec &Spec,
+                                        WorkloadClass Class,
+                                        double ShortTargetSec,
+                                        double LongTargetSec) {
+  ECAS_CHECK(ShortTargetSec > 0.0 && LongTargetSec > ShortTargetSec,
+             "micro-benchmark duration targets out of order");
+  MicroBenchmark Micro;
+  KernelDesc Base = Class.Bound == Boundedness::Memory
+                        ? memoryBoundMicroKernel()
+                        : computeBoundMicroKernel();
+  Micro.Kernel = shapeAffinity(Base, Class.CpuDuration, Class.GpuDuration);
+
+  // Feasible iteration-count window: "short" devices cap N from above,
+  // "long" devices bound it from below. The classification threshold is
+  // 100 ms; 0.07/0.15 leave margin on either side. The fixed affinity
+  // shaping may not suffice on exotic SKUs (a 48-EU part outruns any
+  // CPU-biased micro), so the bias escalates until the window opens.
+  double Lo = 1.0, Hi = 1e30;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    DeviceRates Rates = probeDeviceRates(Spec, Micro.Kernel);
+    ECAS_CHECK(Rates.CpuItersPerSec > 0.0 && Rates.GpuItersPerSec > 0.0,
+               "device rate probe produced zero throughput");
+    Lo = 1.0;
+    Hi = 1e30;
+    auto Constrain = [&Lo, &Hi](DurationClass Duration, double Rate) {
+      if (Duration == DurationClass::Short)
+        Hi = std::min(Hi, 0.07 * Rate);
+      else
+        Lo = std::max(Lo, 0.15 * Rate);
+    };
+    Constrain(Class.CpuDuration, Rates.CpuItersPerSec);
+    Constrain(Class.GpuDuration, Rates.GpuItersPerSec);
+    if (Lo <= Hi)
+      break;
+    ECAS_CHECK(Attempt < 8, "duration targets infeasible; affinity "
+                            "shaping insufficient for this platform");
+    // Slow down whichever device must be the long one.
+    if (Class.CpuDuration == DurationClass::Long &&
+        Class.GpuDuration == DurationClass::Short)
+      Micro.Kernel.CpuCyclesPerIter *= 3.0;
+    else
+      Micro.Kernel.GpuCyclesPerIter *= 3.0;
+  }
+
+  if (Hi >= 1e29)
+    Micro.Iterations = 1.5 * Lo;
+  else if (Lo <= 1.0)
+    Micro.Iterations = 0.7 * Hi;
+  else
+    Micro.Iterations = std::sqrt(Lo * Hi);
+  Micro.Iterations = std::max(1.0, std::floor(Micro.Iterations));
+
+  // Short probes repeat with idle gaps so the PCU's transient reaction to
+  // bursts (Fig. 4) is captured in the averaged power.
+  bool AnyShort = Class.CpuDuration == DurationClass::Short ||
+                  Class.GpuDuration == DurationClass::Short;
+  Micro.Repetitions = AnyShort ? 6 : 1;
+  Micro.GapSeconds = AnyShort ? 0.08 : 0.0;
+  return Micro;
+}

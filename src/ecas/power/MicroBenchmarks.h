@@ -1,0 +1,70 @@
+//===-- ecas/power/MicroBenchmarks.h - Probe micro-benchmarks --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight characterization micro-benchmarks of Section 2: a
+/// compute-bound FMA loop and a memory-bound random-update loop, shaped
+/// into CPU-biased / GPU-biased / balanced variants and sized so their
+/// single-device execution times land in the short (<100 ms) or long
+/// category they probe. Sizing is done by measuring device rates on the
+/// target processor — the black-box way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_POWER_MICROBENCHMARKS_H
+#define ECAS_POWER_MICROBENCHMARKS_H
+
+#include "ecas/device/KernelDesc.h"
+#include "ecas/hw/PlatformSpec.h"
+#include "ecas/profile/WorkloadClass.h"
+
+namespace ecas {
+
+/// One sized micro-benchmark: the kernel, the iteration count, and how
+/// many back-to-back invocations the measurement performs (short probes
+/// repeat with idle gaps so PCU transients are represented, like the
+/// 10-repetition run of Fig. 4).
+struct MicroBenchmark {
+  KernelDesc Kernel;
+  double Iterations = 0.0;
+  unsigned Repetitions = 1;
+  double GapSeconds = 0.0;
+};
+
+/// Base kernel of the compute-bound micro: repeated floating-point
+/// multiply-add on register-resident data.
+KernelDesc computeBoundMicroKernel();
+
+/// Base kernel of the memory-bound micro: random updates of an array via
+/// precomputed indices — every access misses the LLC.
+KernelDesc memoryBoundMicroKernel();
+
+/// Device-rate probe results used to size the micro-benchmarks.
+struct DeviceRates {
+  double CpuItersPerSec = 0.0;
+  double GpuItersPerSec = 0.0;
+};
+
+/// Measures single-device rates for \p Kernel on a fresh simulated
+/// processor of \p Spec by running each device alone for \p ProbeSeconds.
+DeviceRates probeDeviceRates(const PlatformSpec &Spec,
+                             const KernelDesc &Kernel,
+                             double ProbeSeconds = 0.25);
+
+/// Builds the micro-benchmark probing category \p Class on \p Spec.
+///
+/// Affinity shaping: (CPU short, GPU long) uses a CPU-biased variant and
+/// (CPU long, GPU short) a GPU-biased one, so both duration targets can
+/// hold for a single iteration count (Section 2's description of the
+/// category semantics).
+MicroBenchmark makeMicroBenchmark(const PlatformSpec &Spec,
+                                  WorkloadClass Class,
+                                  double ShortTargetSec = 0.05,
+                                  double LongTargetSec = 0.6);
+
+} // namespace ecas
+
+#endif // ECAS_POWER_MICROBENCHMARKS_H

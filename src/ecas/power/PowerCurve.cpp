@@ -1,0 +1,97 @@
+//===-- ecas/power/PowerCurve.cpp - Characterization functions ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/power/PowerCurve.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+double PowerCurve::powerAt(double Alpha) const {
+  return std::max(Poly.evaluate(Alpha), 1e-3);
+}
+
+void PowerCurveSet::setCurve(PowerCurve Curve) {
+  unsigned Index = Curve.Class.index();
+  Curves[Index] = std::move(Curve);
+  Present[Index] = true;
+}
+
+bool PowerCurveSet::hasCurve(WorkloadClass Class) const {
+  return Present[Class.index()];
+}
+
+const PowerCurve &PowerCurveSet::curveFor(WorkloadClass Class) const {
+  ECAS_CHECK(hasCurve(Class), "no power curve for requested class");
+  return Curves[Class.index()];
+}
+
+bool PowerCurveSet::complete() const {
+  return std::all_of(Present.begin(), Present.end(),
+                     [](bool Filled) { return Filled; });
+}
+
+std::string PowerCurveSet::serialize() const {
+  std::string Out = formatString("platform = %s\n", Platform.c_str());
+  for (unsigned Index = 0; Index != WorkloadClass::NumClasses; ++Index) {
+    if (!Present[Index])
+      continue;
+    const PowerCurve &Curve = Curves[Index];
+    Out += formatString("curve %u =", Index);
+    for (double Coefficient : Curve.Poly.coefficients())
+      Out += formatString(" %.17g", Coefficient);
+    Out += formatString(" r2 %.17g\n", Curve.RSquared);
+  }
+  return Out;
+}
+
+std::optional<PowerCurveSet>
+PowerCurveSet::deserialize(const std::string &Text) {
+  PowerCurveSet Set;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return std::nullopt;
+    std::string Key = trimString(Line.substr(0, Eq));
+    std::string Value = trimString(Line.substr(Eq + 1));
+    if (Key == "platform") {
+      Set.Platform = Value;
+      continue;
+    }
+    if (Key.rfind("curve ", 0) != 0)
+      return std::nullopt;
+    long long Index;
+    if (!parseInt64(Key.substr(6), Index) || Index < 0 ||
+        Index >= static_cast<long long>(WorkloadClass::NumClasses))
+      return std::nullopt;
+    std::vector<std::string> Tokens;
+    for (const std::string &Tok : splitString(Value, ' '))
+      if (!Tok.empty())
+        Tokens.push_back(Tok);
+    // Expect coefficients followed by "r2 <value>".
+    if (Tokens.size() < 3 || Tokens[Tokens.size() - 2] != "r2")
+      return std::nullopt;
+    PowerCurve Curve;
+    Curve.Class = WorkloadClass::fromIndex(static_cast<unsigned>(Index));
+    std::vector<double> Coeffs;
+    for (size_t I = 0; I + 2 < Tokens.size(); ++I) {
+      double C;
+      if (!parseDouble(Tokens[I], C))
+        return std::nullopt;
+      Coeffs.push_back(C);
+    }
+    if (!parseDouble(Tokens.back(), Curve.RSquared))
+      return std::nullopt;
+    Curve.Poly = Polynomial(std::move(Coeffs));
+    Set.setCurve(std::move(Curve));
+  }
+  return Set;
+}

@@ -1,0 +1,65 @@
+//===-- ecas/power/PowerCurve.h - Characterization functions ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The power characterization functions of Section 2: one sixth-order
+/// polynomial P(alpha) per workload category mapping GPU offload ratio to
+/// average package watts, plus the 8-slot set computed once per platform
+/// and its text (de)serialization so characterization can be cached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_POWER_POWERCURVE_H
+#define ECAS_POWER_POWERCURVE_H
+
+#include "ecas/math/Polynomial.h"
+#include "ecas/profile/WorkloadClass.h"
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace ecas {
+
+/// One category's fitted power characterization function.
+struct PowerCurve {
+  WorkloadClass Class;
+  Polynomial Poly;
+  double RSquared = 0.0;
+
+  /// Average package watts predicted at offload ratio \p Alpha, clamped
+  /// to a small positive floor (a fitted polynomial can dip negative
+  /// outside its sample range; power cannot).
+  double powerAt(double Alpha) const;
+};
+
+/// The per-platform set of eight characterization functions.
+class PowerCurveSet {
+public:
+  const std::string &platformName() const { return Platform; }
+  void setPlatformName(std::string Name) { Platform = std::move(Name); }
+
+  void setCurve(PowerCurve Curve);
+  bool hasCurve(WorkloadClass Class) const;
+  /// Requires hasCurve(Class).
+  const PowerCurve &curveFor(WorkloadClass Class) const;
+
+  /// True when all eight categories are present.
+  bool complete() const;
+
+  /// Text round-trip: "platform = ...\ncurve <idx> = c0 c1 ... r2=..".
+  std::string serialize() const;
+  static std::optional<PowerCurveSet> deserialize(const std::string &Text);
+
+private:
+  std::string Platform;
+  std::array<PowerCurve, WorkloadClass::NumClasses> Curves;
+  std::array<bool, WorkloadClass::NumClasses> Present = {};
+};
+
+} // namespace ecas
+
+#endif // ECAS_POWER_POWERCURVE_H

@@ -1,0 +1,120 @@
+//===-- ecas/profile/OnlineProfiler.cpp - Adaptive online profiling -------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/profile/OnlineProfiler.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+void ProfileSample::accumulate(const ProfileSample &Other) {
+  double SelfTime = ElapsedSeconds;
+  double OtherTime = Other.ElapsedSeconds;
+  double Total = SelfTime + OtherTime;
+  if (Total <= 0.0) {
+    *this = Other;
+    return;
+  }
+  CpuIterations += Other.CpuIterations;
+  GpuIterations += Other.GpuIterations;
+  CpuBusySeconds += Other.CpuBusySeconds;
+  GpuBusySeconds += Other.GpuBusySeconds;
+  InstructionsRetired += Other.InstructionsRetired;
+  // Time-weighted blend of the ratio statistics.
+  MissPerLoadStore = (MissPerLoadStore * SelfTime +
+                      Other.MissPerLoadStore * OtherTime) /
+                     Total;
+  ElapsedSeconds = Total;
+  CpuThroughput =
+      CpuBusySeconds > 0.0 ? CpuIterations / CpuBusySeconds : 0.0;
+  GpuThroughput =
+      GpuBusySeconds > 0.0 ? GpuIterations / GpuBusySeconds : 0.0;
+}
+
+void SampleWeightedAlpha::addSample(double Alpha, double Weight) {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  ECAS_CHECK(Weight >= 0.0, "sample weight cannot be negative");
+  WeightedSum += Alpha * Weight;
+  TotalWeight += Weight;
+}
+
+double SampleWeightedAlpha::value() const {
+  ECAS_CHECK(TotalWeight > 0.0, "no alpha samples accumulated");
+  return WeightedSum / TotalWeight;
+}
+
+OnlineProfiler::OnlineProfiler(SimProcessor &Proc, double GpuProfileSize)
+    : Proc(Proc), GpuProfileSize(GpuProfileSize) {
+  ECAS_CHECK(GpuProfileSize > 0.0, "GPU profile size must be positive");
+}
+
+ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
+                                          double &RemainingIters) {
+  ProfileSample Sample;
+  if (RemainingIters <= 0.0)
+    return Sample;
+
+  double GpuChunk = std::min(GpuProfileSize, RemainingIters);
+  double CpuShare = RemainingIters - GpuChunk;
+
+  PerfCounters CpuBefore = Proc.cpu().counters();
+  PerfCounters GpuBefore = Proc.gpu().counters();
+  double Start = Proc.now();
+
+  Proc.gpu().enqueue(Kernel, GpuChunk);
+  if (CpuShare > 0.0)
+    Proc.cpu().enqueue(Kernel, CpuShare);
+
+  // Fig. 7 step 32: the proxy waits for the GPU chunk...
+  Proc.runUntilGpuIdle();
+  // ...then (step 33) terminates the CPU workers, returning their
+  // unprocessed share to the pool.
+  double Unprocessed = Proc.cpu().cancelRemaining();
+
+  double Elapsed = Proc.now() - Start;
+  PerfCounters CpuDelta = Proc.cpu().counters() - CpuBefore;
+  PerfCounters GpuDelta = Proc.gpu().counters() - GpuBefore;
+
+  Sample.GpuIterations = GpuChunk;
+  Sample.CpuIterations = CpuShare - Unprocessed;
+  Sample.ElapsedSeconds = Elapsed;
+  // Throughputs come from per-device execution time: the CPU's busy
+  // seconds (it may run out of pool before the GPU finishes) and the
+  // GPU's kernel-event window (launch overhead excluded — what OpenCL
+  // profiling events report). One bulk launch for the post-profiling
+  // remainder amortizes its own dispatch cost, so folding per-chunk
+  // launch overhead into R_G would bias alpha against the GPU.
+  Sample.CpuBusySeconds = CpuDelta.BusySeconds;
+  Sample.GpuBusySeconds = GpuDelta.BusySeconds;
+  if (CpuDelta.BusySeconds > 0.0)
+    Sample.CpuThroughput = Sample.CpuIterations / CpuDelta.BusySeconds;
+  if (GpuDelta.BusySeconds > 0.0)
+    Sample.GpuThroughput = Sample.GpuIterations / GpuDelta.BusySeconds;
+  Sample.MissPerLoadStore = CpuDelta.missPerLoadStore();
+  Sample.InstructionsRetired = CpuDelta.InstructionsRetired;
+
+  RemainingIters -= Sample.GpuIterations + Sample.CpuIterations;
+  RemainingIters = std::max(RemainingIters, 0.0);
+  return Sample;
+}
+
+WorkloadClass
+OnlineProfiler::classify(const ProfileSample &Sample, double RemainingIters,
+                         const ClassifierThresholds &Thresholds) const {
+  // Single-device estimates for the remaining work use the combined-mode
+  // throughputs: the best black-box estimate available without running
+  // more experiments (Section 5's Short/Long criterion).
+  double CpuSeconds = Sample.CpuThroughput > 0.0
+                          ? RemainingIters / Sample.CpuThroughput
+                          : 1e30;
+  double GpuSeconds = Sample.GpuThroughput > 0.0
+                          ? RemainingIters / Sample.GpuThroughput
+                          : 1e30;
+  return classifyWorkload(Sample.MissPerLoadStore, CpuSeconds, GpuSeconds,
+                          Thresholds);
+}

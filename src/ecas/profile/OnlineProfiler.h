@@ -1,0 +1,86 @@
+//===-- ecas/profile/OnlineProfiler.h - Adaptive online profiling *- C++ -*==//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lightweight online profiling of Section 3.1 (after Kaleem et al.,
+/// PACT'14): the GPU proxy offloads GPU_PROFILE_SIZE iterations while CPU
+/// workers drain the shared pool; when the GPU chunk completes, the CPU
+/// side is halted and per-device throughputs plus hardware-counter
+/// readings are extracted. Profiling runs against the simulated
+/// processor, so everything the scheduler learns comes through the same
+/// black-box channels it would use on real silicon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_PROFILE_ONLINEPROFILER_H
+#define ECAS_PROFILE_ONLINEPROFILER_H
+
+#include "ecas/device/KernelDesc.h"
+#include "ecas/profile/WorkloadClass.h"
+#include "ecas/sim/SimProcessor.h"
+
+namespace ecas {
+
+/// One profiling repetition's measurements.
+struct ProfileSample {
+  /// Combined-mode device throughputs in iterations/second (R_C, R_G).
+  double CpuThroughput = 0.0;
+  double GpuThroughput = 0.0;
+  double CpuIterations = 0.0;
+  double GpuIterations = 0.0;
+  double ElapsedSeconds = 0.0;
+  /// Per-device execution time underlying the throughput estimates.
+  double CpuBusySeconds = 0.0;
+  double GpuBusySeconds = 0.0;
+  /// LLC misses per load-store over the profiled CPU execution.
+  double MissPerLoadStore = 0.0;
+  double InstructionsRetired = 0.0;
+
+  /// Merges another repetition (iteration-weighted) into this sample.
+  void accumulate(const ProfileSample &Other);
+};
+
+/// Sample-weighted accumulator for the GPU offload ratio across kernel
+/// invocations ([12]'s technique, Fig. 7 step 26): each alpha estimate is
+/// weighted by the number of iterations that produced it.
+class SampleWeightedAlpha {
+public:
+  void addSample(double Alpha, double Weight);
+  bool hasValue() const { return TotalWeight > 0.0; }
+  double value() const;
+
+private:
+  double WeightedSum = 0.0;
+  double TotalWeight = 0.0;
+};
+
+/// Runs profiling repetitions on a simulated processor.
+class OnlineProfiler {
+public:
+  /// \p GpuProfileSize is the per-repetition GPU chunk (Fig. 7 step 31);
+  /// pick it from PlatformSpec::defaultGpuProfileSize().
+  OnlineProfiler(SimProcessor &Proc, double GpuProfileSize);
+
+  /// One repetition: offloads min(GpuProfileSize, remaining) iterations
+  /// of \p Kernel to the GPU while the CPU drains the rest of the shared
+  /// pool; on GPU completion the CPU share is cancelled back into the
+  /// pool. \p RemainingIters is decremented by everything processed.
+  ProfileSample profileOnce(const KernelDesc &Kernel, double &RemainingIters);
+
+  /// Classifies from a (possibly accumulated) sample: single-device
+  /// completion estimates for the remaining iterations are derived from
+  /// the measured combined-mode throughputs.
+  WorkloadClass classify(const ProfileSample &Sample, double RemainingIters,
+                         const ClassifierThresholds &Thresholds = {}) const;
+
+private:
+  SimProcessor &Proc;
+  double GpuProfileSize;
+};
+
+} // namespace ecas
+
+#endif // ECAS_PROFILE_ONLINEPROFILER_H

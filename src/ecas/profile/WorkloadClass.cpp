@@ -1,0 +1,66 @@
+//===-- ecas/profile/WorkloadClass.cpp - 8-way classification -------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/profile/WorkloadClass.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
+
+using namespace ecas;
+
+unsigned WorkloadClass::index() const {
+  unsigned Index = 0;
+  if (Bound == Boundedness::Memory)
+    Index |= 4;
+  if (CpuDuration == DurationClass::Short)
+    Index |= 2;
+  if (GpuDuration == DurationClass::Short)
+    Index |= 1;
+  return Index;
+}
+
+WorkloadClass WorkloadClass::fromIndex(unsigned Index) {
+  ECAS_CHECK(Index < NumClasses, "workload class index out of range");
+  WorkloadClass Class;
+  Class.Bound = (Index & 4) ? Boundedness::Memory : Boundedness::Compute;
+  Class.CpuDuration = (Index & 2) ? DurationClass::Short
+                                  : DurationClass::Long;
+  Class.GpuDuration = (Index & 1) ? DurationClass::Short
+                                  : DurationClass::Long;
+  return Class;
+}
+
+std::string WorkloadClass::name() const {
+  return formatString(
+      "%s/cpu-%s/gpu-%s",
+      Bound == Boundedness::Memory ? "memory" : "compute",
+      CpuDuration == DurationClass::Short ? "short" : "long",
+      GpuDuration == DurationClass::Short ? "short" : "long");
+}
+
+std::string WorkloadClass::shortName() const {
+  return formatString("%c %c %c",
+                      Bound == Boundedness::Memory ? 'M' : 'C',
+                      CpuDuration == DurationClass::Short ? 'S' : 'L',
+                      GpuDuration == DurationClass::Short ? 'S' : 'L');
+}
+
+WorkloadClass ecas::classifyWorkload(double MissPerLoadStore,
+                                     double EstimatedCpuSeconds,
+                                     double EstimatedGpuSeconds,
+                                     const ClassifierThresholds &Thresholds) {
+  WorkloadClass Class;
+  Class.Bound = MissPerLoadStore > Thresholds.MemoryIntensity
+                    ? Boundedness::Memory
+                    : Boundedness::Compute;
+  Class.CpuDuration = EstimatedCpuSeconds < Thresholds.ShortSeconds
+                          ? DurationClass::Short
+                          : DurationClass::Long;
+  Class.GpuDuration = EstimatedGpuSeconds < Thresholds.ShortSeconds
+                          ? DurationClass::Short
+                          : DurationClass::Long;
+  return Class;
+}

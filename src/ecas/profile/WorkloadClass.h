@@ -1,0 +1,68 @@
+//===-- ecas/profile/WorkloadClass.h - 8-way classification ----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's eight workload categories (Section 2): the cross product
+/// of {compute, memory}-bound x {short, long} CPU execution x {short,
+/// long} GPU execution. Online profiling classifies a workload into one
+/// category, which selects the matching power characterization function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_PROFILE_WORKLOADCLASS_H
+#define ECAS_PROFILE_WORKLOADCLASS_H
+
+#include <string>
+
+namespace ecas {
+
+/// Memory- vs compute-bound, by the LLC-miss to load-store ratio.
+enum class Boundedness { Compute, Memory };
+
+/// Short vs long estimated single-device execution time.
+enum class DurationClass { Short, Long };
+
+/// One of the eight power-characterization categories.
+struct WorkloadClass {
+  Boundedness Bound = Boundedness::Compute;
+  DurationClass CpuDuration = DurationClass::Long;
+  DurationClass GpuDuration = DurationClass::Long;
+
+  /// Dense index in [0, 8): bit2 = memory, bit1 = CPU short, bit0 = GPU
+  /// short.
+  unsigned index() const;
+  static WorkloadClass fromIndex(unsigned Index);
+  static constexpr unsigned NumClasses = 8;
+
+  /// e.g. "memory/cpu-short/gpu-long".
+  std::string name() const;
+
+  /// Compact Table 1 style form, e.g. "M S L".
+  std::string shortName() const;
+
+  bool operator==(const WorkloadClass &Rhs) const {
+    return index() == Rhs.index();
+  }
+};
+
+/// The thresholds of Section 5: memory-bound when misses/load-store
+/// exceeds 0.33; short when the estimated remaining execution is under
+/// 100 ms.
+struct ClassifierThresholds {
+  double MemoryIntensity = 0.33;
+  double ShortSeconds = 0.1;
+};
+
+/// Classifies from profiling observables: the counter ratio and the
+/// estimated remaining single-device execution times.
+WorkloadClass classifyWorkload(double MissPerLoadStore,
+                               double EstimatedCpuSeconds,
+                               double EstimatedGpuSeconds,
+                               const ClassifierThresholds &Thresholds = {});
+
+} // namespace ecas
+
+#endif // ECAS_PROFILE_WORKLOADCLASS_H

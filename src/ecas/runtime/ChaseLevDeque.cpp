@@ -1,0 +1,26 @@
+//===-- ecas/runtime/ChaseLevDeque.cpp - Work-stealing deque --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The deque is a header-only template; this file pins an explicit
+// instantiation for the runtime's task type so template bugs surface when
+// the library builds rather than at first client use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/runtime/ChaseLevDeque.h"
+
+namespace ecas {
+
+/// Iteration range task unit used by the thread pool's deques.
+struct IterationRange {
+  uint64_t Begin;
+  uint64_t End;
+};
+
+template class ChaseLevDeque<IterationRange>;
+template class ChaseLevDeque<uint64_t>;
+
+} // namespace ecas

@@ -1,0 +1,163 @@
+//===-- ecas/runtime/ThreadPool.cpp - Work-stealing thread pool -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/runtime/ThreadPool.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Random.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  if (NumWorkers == 0) {
+    NumWorkers = std::thread::hardware_concurrency();
+    if (NumWorkers == 0)
+      NumWorkers = 4;
+  }
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown.store(true, std::memory_order_release);
+  }
+  WorkAvailable.notify_all();
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+}
+
+void ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
+                             const RangeBody &Body) {
+  if (End <= Begin)
+    return;
+  if (Grain == 0)
+    Grain = 1;
+  std::lock_guard<std::mutex> CallerLock(CallerMutex);
+
+  const uint64_t Total = End - Begin;
+  CurrentJob.Body = &Body;
+  CurrentJob.Grain = Grain;
+  CurrentJob.PendingIters.store(Total, std::memory_order_release);
+
+  // Seed one contiguous chunk per worker. Workers refine their chunk via
+  // recursive splitting, and imbalance evens out through stealing.
+  const unsigned N = numWorkers();
+  uint64_t Cursor = Begin;
+  for (unsigned I = 0; I != N && Cursor < End; ++I) {
+    uint64_t Size = (Total + N - 1) / N;
+    uint64_t ChunkEnd = std::min(End, Cursor + Size);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Injected.push_back({Cursor, ChunkEnd});
+    }
+    Cursor = ChunkEnd;
+  }
+  JobEpoch.fetch_add(1, std::memory_order_acq_rel);
+  WorkAvailable.notify_all();
+
+  // The caller participates: grab injected or stolen ranges and execute
+  // them in grain-sized pieces (the caller has no deque of its own).
+  Xoshiro256 Rng(0x9e3779b9 + Total);
+  while (CurrentJob.PendingIters.load(std::memory_order_acquire) != 0) {
+    IterRange Range;
+    if (!takeInjected(Range) && !stealFrom(Rng, Range)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const RangeBody &Fn = *CurrentJob.Body;
+    for (uint64_t Piece = Range.Begin; Piece < Range.End;) {
+      uint64_t PieceEnd = std::min(Range.End, Piece + Grain);
+      Fn(Piece, PieceEnd);
+      CurrentJob.PendingIters.fetch_sub(PieceEnd - Piece,
+                                        std::memory_order_acq_rel);
+      Piece = PieceEnd;
+    }
+  }
+}
+
+bool ThreadPool::takeInjected(IterRange &Out) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Injected.empty())
+    return false;
+  Out = Injected.back();
+  Injected.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealFrom(Xoshiro256 &Rng, IterRange &Out) {
+  const unsigned N = numWorkers();
+  // Two sweeps over random victims before reporting failure.
+  for (unsigned Attempt = 0; Attempt != 2 * N; ++Attempt) {
+    unsigned Victim = static_cast<unsigned>(Rng.nextBounded(N));
+    if (auto Stolen = Workers[Victim]->Deque.steal()) {
+      Steals.fetch_add(1, std::memory_order_relaxed);
+      Out = *Stolen;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::runRange(unsigned SelfIndex, IterRange Range) {
+  Worker &Self = *Workers[SelfIndex];
+  const RangeBody &Fn = *CurrentJob.Body;
+  const uint64_t Grain = CurrentJob.Grain;
+  // Recursive halving: keep the lower half, expose the upper to thieves.
+  while (Range.size() > Grain) {
+    uint64_t Mid = Range.Begin + Range.size() / 2;
+    Self.Deque.push({Mid, Range.End});
+    Range.End = Mid;
+  }
+  Fn(Range.Begin, Range.End);
+  CurrentJob.PendingIters.fetch_sub(Range.size(),
+                                    std::memory_order_acq_rel);
+}
+
+void ThreadPool::drainJob(unsigned SelfIndex) {
+  Worker &Self = *Workers[SelfIndex];
+  Xoshiro256 Rng(0xabcdef12u + SelfIndex);
+  unsigned IdleSpins = 0;
+  while (CurrentJob.PendingIters.load(std::memory_order_acquire) != 0) {
+    if (auto Own = Self.Deque.pop()) {
+      runRange(SelfIndex, *Own);
+      IdleSpins = 0;
+      continue;
+    }
+    IterRange Range;
+    if (takeInjected(Range) || stealFrom(Rng, Range)) {
+      runRange(SelfIndex, Range);
+      IdleSpins = 0;
+      continue;
+    }
+    if (++IdleSpins > 16)
+      std::this_thread::yield();
+  }
+}
+
+void ThreadPool::workerLoop(unsigned SelfIndex) {
+  uint64_t SeenEpoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this, SeenEpoch] {
+        return ShuttingDown.load(std::memory_order_acquire) ||
+               JobEpoch.load(std::memory_order_acquire) != SeenEpoch;
+      });
+    }
+    if (ShuttingDown.load(std::memory_order_acquire))
+      return;
+    SeenEpoch = JobEpoch.load(std::memory_order_acquire);
+    drainJob(SelfIndex);
+  }
+}

@@ -1,0 +1,34 @@
+//===-- ecas/sim/EnergyMeter.cpp - RAPL MSR emulation ---------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/sim/EnergyMeter.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+EnergyMeter::EnergyMeter(double EnergyUnitJoules)
+    : UnitJoules(EnergyUnitJoules) {
+  ECAS_CHECK(EnergyUnitJoules > 0.0, "energy unit must be positive");
+}
+
+void EnergyMeter::deposit(double Joules) {
+  ECAS_CHECK(Joules >= 0.0, "energy deposits cannot be negative");
+  Total += Joules;
+  Fraction += Joules / UnitJoules;
+  double Whole = std::floor(Fraction);
+  Fraction -= Whole;
+  // Wraparound is the defined MSR behaviour; uint32_t addition provides it.
+  Counter += static_cast<uint32_t>(
+      static_cast<uint64_t>(Whole) & 0xffffffffULL);
+}
+
+double EnergyMeter::joulesSince(uint32_t EarlierSample) const {
+  uint32_t Delta = Counter - EarlierSample; // Modulo-2^32 by construction.
+  return static_cast<double>(Delta) * UnitJoules;
+}

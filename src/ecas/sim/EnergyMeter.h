@@ -1,0 +1,54 @@
+//===-- ecas/sim/EnergyMeter.h - RAPL MSR emulation -------------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emulates MSR_PKG_ENERGY_STATUS: a 32-bit counter that accumulates
+/// package energy in hardware "energy units" and wraps around. The
+/// characterization code reads energy exactly the way the paper does —
+/// sample the MSR, diff modulo 2^32, multiply by the unit — so it would
+/// run unchanged against real RAPL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SIM_ENERGYMETER_H
+#define ECAS_SIM_ENERGYMETER_H
+
+#include <cstdint>
+
+namespace ecas {
+
+/// Accumulates energy deposits and exposes them as a wrapping 32-bit MSR.
+class EnergyMeter {
+public:
+  explicit EnergyMeter(double EnergyUnitJoules);
+
+  /// Adds \p Joules of package energy (called by the simulator each step).
+  void deposit(double Joules);
+
+  /// Reads the emulated MSR_PKG_ENERGY_STATUS value.
+  uint32_t readMsr() const { return Counter; }
+
+  /// Joules represented by one counter increment.
+  double energyUnitJoules() const { return UnitJoules; }
+
+  /// Energy elapsed since an earlier MSR sample, handling one wraparound.
+  double joulesSince(uint32_t EarlierSample) const;
+
+  /// Exact accumulated energy — ground truth for tests; real hardware has
+  /// no equivalent, so library code other than tests must not use it.
+  double totalJoules() const { return Total; }
+
+private:
+  double UnitJoules;
+  double Total = 0.0;
+  /// Sub-unit remainder awaiting the next counter increment.
+  double Fraction = 0.0;
+  uint32_t Counter = 0;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SIM_ENERGYMETER_H

@@ -1,0 +1,127 @@
+//===-- ecas/sim/Pcu.cpp - Package power-control-unit model ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/sim/Pcu.h"
+
+#include "ecas/sim/PowerModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+Pcu::Pcu(const PlatformSpec &Spec) : Spec(Spec) { reset(); }
+
+void Pcu::reset() {
+  CpuFreq = Spec.Cpu.BaseFreqGHz;
+  GpuFreq = Spec.Gpu.MinFreqGHz;
+  GpuWasActive = false;
+}
+
+void Pcu::stepEpoch(const PcuObservation &Obs, double ElapsedSec) {
+  if (ElapsedSec < 0.0)
+    ElapsedSec = Spec.Pcu.SamplingIntervalSec;
+  // Frequency targets for the observed activity pattern. Co-running
+  // clamps CPU turbo: integrated parts share the thermal envelope.
+  double CpuTarget = Spec.Cpu.MinFreqGHz;
+  if (Obs.CpuActive)
+    CpuTarget = Obs.GpuActive ? Spec.Cpu.CoRunMaxFreqGHz
+                              : Spec.Cpu.MaxTurboGHz;
+  double GpuTarget = Obs.GpuActive ? Spec.Gpu.MaxFreqGHz
+                                   : Spec.Gpu.MinFreqGHz;
+
+  // GPU wake-up transition: the governor conservatively reallocates the
+  // budget by dropping the CPU to its efficiency point, then ramps back.
+  // Short GPU bursts therefore depress package power well below the
+  // steady co-run level — the behaviour of the paper's Fig. 4.
+  if (Obs.GpuActive && !GpuWasActive && Obs.CpuActive)
+    CpuFreq = std::min(CpuFreq, Spec.Cpu.EfficiencyFreqGHz);
+
+  // Ramp: upward movement is rate-limited per unit time, downward
+  // immediate.
+  double RampBudget = Spec.Pcu.RampUpGHzPerEpoch *
+                      std::min(1.0, ElapsedSec /
+                                        Spec.Pcu.SamplingIntervalSec);
+  if (CpuTarget >= CpuFreq)
+    CpuFreq = std::min(CpuTarget, CpuFreq + RampBudget);
+  else
+    CpuFreq = CpuTarget;
+  // The GPU's dispatch latency is modeled at the device; its clock
+  // switches within an epoch.
+  GpuFreq = GpuTarget;
+
+  enforceBudget(Obs);
+  GpuWasActive = Obs.GpuActive;
+}
+
+void Pcu::noteActivityTransition(bool CpuActive, bool GpuActive) {
+  // Waking devices clock up immediately (to the non-turbo base); going
+  // idle drops to the floor. Turbo and cross-device policy stay with the
+  // periodic epoch.
+  if (GpuActive)
+    GpuFreq = Spec.Gpu.MaxFreqGHz;
+  else
+    GpuFreq = Spec.Gpu.MinFreqGHz;
+  if (CpuActive)
+    CpuFreq = std::max(CpuFreq, Spec.Cpu.BaseFreqGHz);
+  else
+    CpuFreq = Spec.Cpu.MinFreqGHz;
+}
+
+void Pcu::hintUpcomingSplit(double Alpha) {
+  bool CpuActive = Alpha < 1.0;
+  bool GpuActive = Alpha > 0.0;
+  CpuFreq = !CpuActive ? Spec.Cpu.MinFreqGHz
+            : GpuActive ? Spec.Cpu.CoRunMaxFreqGHz
+                        : Spec.Cpu.MaxTurboGHz;
+  GpuFreq = GpuActive ? Spec.Gpu.MaxFreqGHz : Spec.Gpu.MinFreqGHz;
+  // The governor now expects the GPU activity, so the next epoch does
+  // not fire the conservative wake reset.
+  GpuWasActive = GpuActive;
+  PcuObservation Expected;
+  Expected.CpuActive = CpuActive;
+  Expected.GpuActive = GpuActive;
+  Expected.CpuActivity = CpuActive ? Spec.CpuPower.ComputeActivity
+                                   : Spec.CpuPower.IdleActivity;
+  Expected.GpuActivity = GpuActive ? Spec.GpuPower.ComputeActivity
+                                   : Spec.GpuPower.IdleActivity;
+  enforceBudget(Expected);
+}
+
+void Pcu::enforceBudget(const PcuObservation &Obs) {
+  double CpuAct = Obs.CpuActive ? Obs.CpuActivity : Spec.CpuPower.IdleActivity;
+  double GpuAct = Obs.GpuActive ? Obs.GpuActivity : Spec.GpuPower.IdleActivity;
+  PowerBreakdown Estimate = packagePower(Spec, CpuFreq, CpuAct, GpuFreq,
+                                         GpuAct, Obs.TrafficGBs);
+  double Budget = Spec.Pcu.TdpWatts;
+  if (Estimate.packageWatts() <= Budget)
+    return;
+
+  auto CubeRoot = [](double X) { return std::cbrt(std::max(X, 0.0)); };
+
+  if (Spec.Pcu.GpuPriority) {
+    // Haswell-like: the GPU keeps its clock; the CPU absorbs the deficit.
+    double Others = Estimate.packageWatts() - Estimate.CpuWatts +
+                    Spec.CpuPower.LeakageWatts;
+    double AllowedDynamic = Budget - Others;
+    double Coefficient = Spec.CpuPower.CubicWattsPerGHz3 * std::max(CpuAct,
+                                                                    1e-6);
+    double Fitting = CubeRoot(AllowedDynamic / Coefficient);
+    CpuFreq = std::clamp(Fitting, Spec.Cpu.MinFreqGHz, CpuFreq);
+    return;
+  }
+
+  // Proportional policy: both devices' dynamic power scales by s^3.
+  double StaticWatts = Spec.CpuPower.LeakageWatts +
+                       Spec.GpuPower.LeakageWatts + Estimate.UncoreWatts;
+  double DynamicWatts = Estimate.packageWatts() - StaticWatts;
+  if (DynamicWatts <= 0.0)
+    return;
+  double Scale = CubeRoot((Budget - StaticWatts) / DynamicWatts);
+  Scale = std::clamp(Scale, 0.0, 1.0);
+  CpuFreq = std::max(Spec.Cpu.MinFreqGHz, CpuFreq * Scale);
+  GpuFreq = std::max(Spec.Gpu.MinFreqGHz, GpuFreq * Scale);
+}

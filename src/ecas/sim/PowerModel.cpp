@@ -1,0 +1,26 @@
+//===-- ecas/sim/PowerModel.cpp - Package power evaluation ----------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/sim/PowerModel.h"
+
+using namespace ecas;
+
+double ecas::devicePower(const DevicePowerSpec &Power, double FreqGHz,
+                         double Activity) {
+  double Cubic = FreqGHz * FreqGHz * FreqGHz;
+  return Power.LeakageWatts + Power.CubicWattsPerGHz3 * Cubic * Activity;
+}
+
+PowerBreakdown ecas::packagePower(const PlatformSpec &Spec, double CpuFreqGHz,
+                                  double CpuActivity, double GpuFreqGHz,
+                                  double GpuActivity, double TrafficGBs) {
+  PowerBreakdown Out;
+  Out.CpuWatts = devicePower(Spec.CpuPower, CpuFreqGHz, CpuActivity);
+  Out.GpuWatts = devicePower(Spec.GpuPower, GpuFreqGHz, GpuActivity);
+  Out.UncoreWatts =
+      Spec.Uncore.BaseWatts + Spec.Uncore.WattsPerGBs * TrafficGBs;
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===-- ecas/sim/PowerModel.h - Package power evaluation -------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for instantaneous package power. Both the
+/// simulator's energy integration and the PCU's budget enforcement call
+/// these functions, so the governor's view can never drift from the
+/// "physical" power the meter integrates.
+///
+/// Package power = uncore base + traffic-proportional uncore power
+///               + per-device (leakage + K * f^3 * activity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SIM_POWERMODEL_H
+#define ECAS_SIM_POWERMODEL_H
+
+#include "ecas/hw/PlatformSpec.h"
+
+namespace ecas {
+
+/// Per-component instantaneous power in watts.
+struct PowerBreakdown {
+  double CpuWatts = 0.0;
+  double GpuWatts = 0.0;
+  double UncoreWatts = 0.0;
+
+  double packageWatts() const { return CpuWatts + GpuWatts + UncoreWatts; }
+};
+
+/// Dynamic-plus-leakage power of one device at frequency \p FreqGHz and
+/// activity factor \p Activity (in [0, 1]).
+double devicePower(const DevicePowerSpec &Power, double FreqGHz,
+                   double Activity);
+
+/// Full package power for the given operating point. \p TrafficGBs is the
+/// combined DRAM traffic of both devices.
+PowerBreakdown packagePower(const PlatformSpec &Spec, double CpuFreqGHz,
+                            double CpuActivity, double GpuFreqGHz,
+                            double GpuActivity, double TrafficGBs);
+
+} // namespace ecas
+
+#endif // ECAS_SIM_POWERMODEL_H

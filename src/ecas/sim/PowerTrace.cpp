@@ -1,0 +1,82 @@
+//===-- ecas/sim/PowerTrace.cpp - Power-over-time recording ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/sim/PowerTrace.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+PowerTrace::PowerTrace(double SampleIntervalSec)
+    : IntervalSec(SampleIntervalSec) {
+  ECAS_CHECK(SampleIntervalSec > 0.0, "sample interval must be positive");
+}
+
+void PowerTrace::emitCell() {
+  if (CellFilled <= 0.0)
+    return;
+  TraceSample Sample;
+  Sample.TimeSec = CellStart;
+  double Inv = 1.0 / CellFilled;
+  Sample.PackageWatts = CellSum.PackageWatts * Inv;
+  Sample.CpuWatts = CellSum.CpuWatts * Inv;
+  Sample.GpuWatts = CellSum.GpuWatts * Inv;
+  Sample.UncoreWatts = CellSum.UncoreWatts * Inv;
+  Sample.CpuFreqGHz = CellSum.CpuFreqGHz * Inv;
+  Sample.GpuFreqGHz = CellSum.GpuFreqGHz * Inv;
+  Samples.push_back(Sample);
+  CellStart += IntervalSec;
+  CellFilled = 0.0;
+  CellSum = TraceSample();
+}
+
+void PowerTrace::addSegment(double StartSec, double DurationSec,
+                            const PowerBreakdown &Power, double CpuFreqGHz,
+                            double GpuFreqGHz) {
+  ECAS_CHECK(DurationSec >= 0.0, "segment duration cannot be negative");
+  double Cursor = StartSec;
+  double End = StartSec + DurationSec;
+  while (Cursor < End) {
+    double CellEnd = CellStart + IntervalSec;
+    // Idle gaps between segments advance the grid with zero fill.
+    if (Cursor >= CellEnd) {
+      emitCell();
+      if (CellFilled == 0.0 && Cursor >= CellStart + IntervalSec) {
+        // Jump the grid across a long gap instead of emitting empties.
+        double Cells = std::floor((Cursor - CellStart) / IntervalSec);
+        CellStart += Cells * IntervalSec;
+      }
+      continue;
+    }
+    double Step = std::min(End, CellEnd) - Cursor;
+    CellSum.PackageWatts += Power.packageWatts() * Step;
+    CellSum.CpuWatts += Power.CpuWatts * Step;
+    CellSum.GpuWatts += Power.GpuWatts * Step;
+    CellSum.UncoreWatts += Power.UncoreWatts * Step;
+    CellSum.CpuFreqGHz += CpuFreqGHz * Step;
+    CellSum.GpuFreqGHz += GpuFreqGHz * Step;
+    CellFilled += Step;
+    Cursor += Step;
+    if (Cursor >= CellEnd - 1e-15)
+      emitCell();
+  }
+}
+
+void PowerTrace::finish() { emitCell(); }
+
+std::string PowerTrace::toCsv() const {
+  std::string Out = "time_s,package_w,cpu_w,gpu_w,uncore_w,cpu_ghz,gpu_ghz\n";
+  for (const TraceSample &Sample : Samples)
+    Out += formatString("%.6f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+                        Sample.TimeSec, Sample.PackageWatts, Sample.CpuWatts,
+                        Sample.GpuWatts, Sample.UncoreWatts,
+                        Sample.CpuFreqGHz, Sample.GpuFreqGHz);
+  return Out;
+}

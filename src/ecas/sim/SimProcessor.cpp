@@ -1,0 +1,140 @@
+//===-- ecas/sim/SimProcessor.cpp - Integrated-processor simulator --------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/sim/SimProcessor.h"
+
+#include "ecas/sim/PowerModel.h"
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+SimProcessor::SimProcessor(const PlatformSpec &SpecIn)
+    : Spec(SpecIn), Cpu(Spec), Gpu(Spec), Governor(Spec),
+      Meter(Spec.Pcu.EnergyUnitJoules), Pp0Meter(Spec.Pcu.EnergyUnitJoules),
+      Pp1Meter(Spec.Pcu.EnergyUnitJoules) {
+  std::string Error;
+  ECAS_CHECK(Spec.validate(Error), "SimProcessor given an invalid spec");
+  NextEpoch = Spec.Pcu.SamplingIntervalSec;
+}
+
+void SimProcessor::enableTrace(double SampleIntervalSec) {
+  Trace = std::make_unique<PowerTrace>(SampleIntervalSec);
+}
+
+void SimProcessor::setMaxSliceSec(double Seconds) {
+  ECAS_CHECK(Seconds > 0.0, "slice length must be positive");
+  MaxSlice = Seconds;
+}
+
+double SimProcessor::step(double MaxDt) {
+  ECAS_CHECK(MaxDt > 0.0, "step requires positive time budget");
+
+  // Full governor policy runs on the periodic sampling epoch; busy-state
+  // flips between epochs only gate device clocks (bursts shorter than
+  // the sampling interval are invisible to the governor proper).
+  bool CpuBusyNow = Cpu.busy();
+  bool GpuBusyNow = Gpu.busy();
+  if (Now >= NextEpoch - 1e-12) {
+    PcuObservation Obs;
+    Obs.CpuActive = CpuBusyNow;
+    Obs.GpuActive = GpuBusyNow;
+    Obs.CpuActivity = Cpu.lastActivity();
+    Obs.GpuActivity = Gpu.lastActivity();
+    Obs.TrafficGBs = LastTrafficGBs;
+    Governor.stepEpoch(Obs, Now - LastGovernorTime);
+    LastGovernorTime = Now;
+    NextEpoch = Now + Spec.Pcu.SamplingIntervalSec;
+    LastCpuBusy = CpuBusyNow;
+    LastGpuBusy = GpuBusyNow;
+  } else if (CpuBusyNow != LastCpuBusy || GpuBusyNow != LastGpuBusy) {
+    Governor.noteActivityTransition(CpuBusyNow, GpuBusyNow);
+    LastCpuBusy = CpuBusyNow;
+    LastGpuBusy = GpuBusyNow;
+  }
+
+  double CpuFreq = Governor.cpuFreqGHz();
+  double GpuFreq = Governor.gpuFreqGHz();
+
+  // DRAM bandwidth arbitration: max-min fairness, like a round-robin
+  // memory controller — each device is guaranteed half the bandwidth,
+  // and capacity a device doesn't demand flows to the other.
+  RatePoint CpuRate = Cpu.currentRate(CpuFreq);
+  RatePoint GpuRate = Gpu.currentRate(GpuFreq);
+  double CpuShare = CpuRate.BandwidthDemandGBs;
+  double GpuShare = GpuRate.BandwidthDemandGBs;
+  double Capacity = Spec.Memory.BandwidthGBs;
+  if (CpuShare + GpuShare > Capacity) {
+    double Half = Capacity * 0.5;
+    if (CpuShare <= Half)
+      GpuShare = Capacity - CpuShare;
+    else if (GpuShare <= Half)
+      CpuShare = Capacity - GpuShare;
+    else
+      CpuShare = GpuShare = Half;
+  }
+
+  // The slice ends at the earliest of: caller budget, next epoch, either
+  // device draining its head work item.
+  double Dt = std::min(MaxDt, MaxSlice);
+  Dt = std::min(Dt, NextEpoch - Now);
+  if (Cpu.busy())
+    Dt = std::min(Dt, Cpu.timeToHeadDrain(CpuFreq, CpuShare));
+  if (Gpu.busy())
+    Dt = std::min(Dt, Gpu.timeToHeadDrain(GpuFreq, GpuShare));
+  Dt = std::max(Dt, 1e-9); // Guarantee progress against rounding.
+
+  double CpuBusySec = Cpu.advance(Dt, CpuFreq, CpuShare);
+  double GpuBusySec = Gpu.advance(Dt, GpuFreq, GpuShare);
+
+  // Time-weighted activity: a device that drained mid-slice idles for the
+  // remainder.
+  auto BlendActivity = [Dt](double BusySec, double BusyActivity,
+                            double IdleActivity) {
+    return (BusyActivity * BusySec + IdleActivity * (Dt - BusySec)) / Dt;
+  };
+  double CpuActivity = BlendActivity(CpuBusySec, Cpu.lastActivity(),
+                                     Spec.CpuPower.IdleActivity);
+  double GpuActivity = BlendActivity(GpuBusySec, Gpu.lastActivity(),
+                                     Spec.GpuPower.IdleActivity);
+  double TrafficGBs = (Cpu.lastTrafficGBs() * CpuBusySec +
+                       Gpu.lastTrafficGBs() * GpuBusySec) /
+                      Dt;
+
+  PowerBreakdown Power = packagePower(Spec, CpuFreq, CpuActivity, GpuFreq,
+                                      GpuActivity, TrafficGBs);
+  Meter.deposit(Power.packageWatts() * Dt);
+  Pp0Meter.deposit(Power.CpuWatts * Dt);
+  Pp1Meter.deposit(Power.GpuWatts * Dt);
+  if (Trace)
+    Trace->addSegment(Now, Dt, Power, CpuFreq, GpuFreq);
+
+  LastTrafficGBs = TrafficGBs;
+  Now += Dt;
+  return Dt;
+}
+
+double SimProcessor::runUntilIdle(double DeadlineSec) {
+  double Start = Now;
+  while ((Cpu.busy() || Gpu.busy()) && Now - Start < DeadlineSec)
+    step(DeadlineSec - (Now - Start));
+  return Now - Start;
+}
+
+double SimProcessor::runUntilGpuIdle(double DeadlineSec) {
+  double Start = Now;
+  while (Gpu.busy() && Now - Start < DeadlineSec)
+    step(DeadlineSec - (Now - Start));
+  return Now - Start;
+}
+
+void SimProcessor::runFor(double Seconds) {
+  ECAS_CHECK(Seconds >= 0.0, "runFor requires non-negative duration");
+  double End = Now + Seconds;
+  while (Now < End - 1e-12)
+    step(End - Now);
+}

@@ -1,0 +1,101 @@
+//===-- ecas/sim/SimProcessor.h - Integrated-processor simulator *- C++ -*===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Couples the two simulated devices, the PCU governor, the RAPL-style
+/// energy meter, and the optional power trace into one steppable
+/// processor. Virtual time advances in slices bounded by governor epochs
+/// and device-drain events, so kernel completion times are exact under
+/// the throughput model while power management still happens on the
+/// governor's discrete schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SIM_SIMPROCESSOR_H
+#define ECAS_SIM_SIMPROCESSOR_H
+
+#include "ecas/device/SimCpuDevice.h"
+#include "ecas/device/SimGpuDevice.h"
+#include "ecas/hw/PlatformSpec.h"
+#include "ecas/sim/EnergyMeter.h"
+#include "ecas/sim/Pcu.h"
+#include "ecas/sim/PowerTrace.h"
+
+#include <memory>
+
+namespace ecas {
+
+/// One simulated integrated CPU-GPU processor with virtual time.
+class SimProcessor {
+public:
+  explicit SimProcessor(const PlatformSpec &Spec);
+
+  const PlatformSpec &spec() const { return Spec; }
+  SimCpuDevice &cpu() { return Cpu; }
+  SimGpuDevice &gpu() { return Gpu; }
+  const SimCpuDevice &cpu() const { return Cpu; }
+  const SimGpuDevice &gpu() const { return Gpu; }
+  EnergyMeter &meter() { return Meter; }
+  const EnergyMeter &meter() const { return Meter; }
+  /// Per-domain RAPL counters, as real silicon exposes them:
+  /// MSR_PP0_ENERGY_STATUS (CPU cores) and MSR_PP1_ENERGY_STATUS
+  /// (graphics). Package = PP0 + PP1 + uncore.
+  EnergyMeter &pp0Meter() { return Pp0Meter; }
+  const EnergyMeter &pp0Meter() const { return Pp0Meter; }
+  EnergyMeter &pp1Meter() { return Pp1Meter; }
+  const EnergyMeter &pp1Meter() const { return Pp1Meter; }
+  const Pcu &pcu() const { return Governor; }
+  Pcu &pcu() { return Governor; }
+
+  /// Virtual time in seconds since construction.
+  double now() const { return Now; }
+
+  /// Attaches a power trace sampling every \p SampleIntervalSec; replaces
+  /// any prior trace.
+  void enableTrace(double SampleIntervalSec);
+  PowerTrace *trace() { return Trace.get(); }
+
+  /// Runs until both devices are idle or \p DeadlineSec of virtual time
+  /// elapses. \returns the virtual seconds consumed by this call.
+  double runUntilIdle(double DeadlineSec = 1e30);
+
+  /// Runs until the GPU queue drains (CPU may keep work); used by the
+  /// profiling phase's GPU proxy. \returns virtual seconds consumed.
+  double runUntilGpuIdle(double DeadlineSec = 1e30);
+
+  /// Advances exactly \p Seconds of virtual time, accruing idle power if
+  /// there is no work.
+  void runFor(double Seconds);
+
+  /// Upper bound on a single integration slice (default 1 ms). Tighter
+  /// slices refine power integration between governor epochs.
+  void setMaxSliceSec(double Seconds);
+
+private:
+  /// Advances one slice of at most \p MaxDt seconds. Returns the slice
+  /// length (always positive).
+  double step(double MaxDt);
+
+  PlatformSpec Spec;
+  SimCpuDevice Cpu;
+  SimGpuDevice Gpu;
+  Pcu Governor;
+  EnergyMeter Meter;
+  EnergyMeter Pp0Meter;
+  EnergyMeter Pp1Meter;
+  std::unique_ptr<PowerTrace> Trace;
+  double Now = 0.0;
+  double NextEpoch = 0.0;
+  double MaxSlice = 1e-3;
+  double LastTrafficGBs = 0.0;
+  bool LastCpuBusy = false;
+  bool LastGpuBusy = false;
+  double LastGovernorTime = 0.0;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SIM_SIMPROCESSOR_H

@@ -1,0 +1,18 @@
+//===-- ecas/support/Assert.cpp - Fatal errors and unreachable -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ecas;
+
+void ecas::reportFatalError(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "ecas fatal error: %s at %s:%d\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

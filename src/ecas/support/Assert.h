@@ -1,0 +1,43 @@
+//===-- ecas/support/Assert.h - Fatal errors and unreachable ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers: fatal error reporting and an
+/// llvm_unreachable-style marker. Library code never throws; invariant
+/// violations abort with a diagnostic naming the failing location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_ASSERT_H
+#define ECAS_SUPPORT_ASSERT_H
+
+#include <cassert>
+
+namespace ecas {
+
+/// Prints "ecas fatal error: <Msg> at <File>:<Line>" to stderr and aborts.
+/// Used for invariant violations that must be caught even in release builds
+/// (e.g. a caller handing the simulator a malformed platform spec).
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   int Line);
+
+} // namespace ecas
+
+/// Marks a point in control flow that must never execute. Aborts with a
+/// diagnostic when reached; also serves as an optimizer hint.
+#define ECAS_UNREACHABLE(MSG)                                                  \
+  ::ecas::reportFatalError("unreachable executed: " MSG, __FILE__, __LINE__)
+
+/// Release-mode-checked invariant. Unlike assert(), this fires in all build
+/// types; use it for cheap checks guarding state that user inputs can break.
+#define ECAS_CHECK(COND, MSG)                                                  \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::ecas::reportFatalError("check failed (" #COND "): " MSG, __FILE__,     \
+                               __LINE__);                                      \
+  } while (false)
+
+#endif // ECAS_SUPPORT_ASSERT_H

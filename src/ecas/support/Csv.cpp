@@ -1,0 +1,77 @@
+//===-- ecas/support/Csv.cpp - CSV table writer ---------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Csv.h"
+
+#include "ecas/support/Format.h"
+
+#include <cstdio>
+
+using namespace ecas;
+
+static bool needsQuoting(const std::string &Cell) {
+  for (char C : Cell)
+    if (C == ',' || C == '"' || C == '\n' || C == '\r')
+      return true;
+  return false;
+}
+
+static std::string quoteCell(const std::string &Cell) {
+  if (!needsQuoting(Cell))
+    return Cell;
+  std::string Quoted = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Quoted += '"';
+    Quoted += C;
+  }
+  Quoted += '"';
+  return Quoted;
+}
+
+static void renderRow(std::string &Out, const std::vector<std::string> &Row) {
+  for (size_t I = 0; I != Row.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += quoteCell(Row[I]);
+  }
+  Out += '\n';
+}
+
+void CsvTable::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void CsvTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void CsvTable::addNumericRow(const std::vector<double> &Values) {
+  std::vector<std::string> Cells;
+  Cells.reserve(Values.size());
+  for (double V : Values)
+    Cells.push_back(formatString("%.6g", V));
+  Rows.push_back(std::move(Cells));
+}
+
+std::string CsvTable::render() const {
+  std::string Out;
+  if (!Header.empty())
+    renderRow(Out, Header);
+  for (const auto &Row : Rows)
+    renderRow(Out, Row);
+  return Out;
+}
+
+bool CsvTable::writeFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Text = render();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), File) == Text.size();
+  std::fclose(File);
+  return Ok;
+}

@@ -1,0 +1,50 @@
+//===-- ecas/support/Csv.h - CSV table writer ------------------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV emitter used by the benchmark harnesses so that every
+/// figure's data series can be re-plotted from a machine-readable dump in
+/// addition to the human-readable table printed on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_CSV_H
+#define ECAS_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace ecas {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quotes fields containing
+/// separators, quotes, or newlines).
+class CsvTable {
+public:
+  /// Sets the header row. Clears any previously set header.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a row of preformatted cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: appends a row of doubles formatted with %.6g.
+  void addNumericRow(const std::vector<double> &Values);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the full table, header first if present.
+  std::string render() const;
+
+  /// Writes render() to \p Path. Returns false if the file can't be opened.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_CSV_H

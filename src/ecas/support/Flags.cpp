@@ -1,0 +1,99 @@
+//===-- ecas/support/Flags.cpp - Tiny command-line flag parser ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Flags.h"
+
+#include "ecas/support/Format.h"
+
+#include <cstdio>
+
+using namespace ecas;
+
+Flags::Flags(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Values[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    // Bare "--name" is a boolean. The "--name value" form is not
+    // supported: it is ambiguous against positional arguments.
+    Values[Body] = "true";
+  }
+  for (const auto &[Name, Unused] : Values)
+    Queried[Name] = false;
+}
+
+bool Flags::has(const std::string &Name) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return false;
+  Queried[Name] = true;
+  return true;
+}
+
+std::string Flags::getString(const std::string &Name,
+                             const std::string &Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  Queried[Name] = true;
+  return It->second;
+}
+
+double Flags::getDouble(const std::string &Name, double Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  Queried[Name] = true;
+  double Value;
+  if (!parseDouble(It->second, Value)) {
+    std::fprintf(stderr, "warning: flag --%s: '%s' is not a number\n",
+                 Name.c_str(), It->second.c_str());
+    return Default;
+  }
+  return Value;
+}
+
+long long Flags::getInt(const std::string &Name, long long Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  Queried[Name] = true;
+  long long Value;
+  if (!parseInt64(It->second, Value)) {
+    std::fprintf(stderr, "warning: flag --%s: '%s' is not an integer\n",
+                 Name.c_str(), It->second.c_str());
+    return Default;
+  }
+  return Value;
+}
+
+bool Flags::getBool(const std::string &Name, bool Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  Queried[Name] = true;
+  const std::string &Text = It->second;
+  return Text == "true" || Text == "1" || Text == "yes" || Text == "on";
+}
+
+unsigned Flags::reportUnknown() const {
+  unsigned Count = 0;
+  for (const auto &[Name, WasQueried] : Queried) {
+    if (WasQueried)
+      continue;
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n", Name.c_str());
+    ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,55 @@
+//===-- ecas/support/Flags.h - Tiny command-line flag parser ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small --key=value / --key value flag parser shared by the benchmark
+/// harnesses and examples. Every bench binary must also run with zero
+/// arguments, so all flags carry defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_FLAGS_H
+#define ECAS_SUPPORT_FLAGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecas {
+
+/// Parses argv into a key->value map plus positional arguments.
+///
+/// Accepted forms: "--name=value" and bare "--name" (recorded with value
+/// "true"). Anything not starting with "--" is a positional argument.
+/// Unknown flags are kept; callers query what they need and may call
+/// reportUnknown() to diagnose typos.
+class Flags {
+public:
+  Flags(int Argc, const char *const *Argv);
+
+  bool has(const std::string &Name) const;
+
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+  long long getInt(const std::string &Name, long long Default) const;
+  bool getBool(const std::string &Name, bool Default) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Prints "unknown flag" warnings to stderr for any flag never queried.
+  /// \returns the number of unqueried flags.
+  unsigned reportUnknown() const;
+
+private:
+  std::map<std::string, std::string> Values;
+  mutable std::map<std::string, bool> Queried;
+  std::vector<std::string> Positional;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_FLAGS_H

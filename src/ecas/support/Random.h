@@ -1,0 +1,92 @@
+//===-- ecas/support/Random.h - Deterministic PRNGs ------------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 and xoshiro256** pseudo-random generators. Workload
+/// generators and the memory-bound micro-benchmark need fast, seedable,
+/// platform-independent randomness; std::mt19937 output ordering is
+/// standardized but slower and heavier than needed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_RANDOM_H
+#define ECAS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace ecas {
+
+/// SplitMix64: tiny, statistically solid, used to seed Xoshiro256 and for
+/// one-off hashing of kernel identifiers.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the repository's general-purpose PRNG.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 Mix(Seed);
+    for (uint64_t &Word : State)
+      Word = Mix.next();
+  }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be nonzero. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t nextBounded(uint64_t Bound) {
+    const uint64_t Threshold = -Bound % Bound;
+    while (true) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_RANDOM_H

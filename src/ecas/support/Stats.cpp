@@ -1,0 +1,115 @@
+//===-- ecas/support/Stats.cpp - Descriptive statistics ------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Stats.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+void RunningStats::add(double Value) {
+  if (N == 0) {
+    Lo = Hi = Value;
+  } else {
+    Lo = std::min(Lo, Value);
+    Hi = std::max(Hi, Value);
+  }
+  ++N;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (Value - Mean);
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  double Delta = Other.Mean - Mean;
+  size_t Total = N + Other.N;
+  double NewMean = Mean + Delta * static_cast<double>(Other.N) /
+                              static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Total);
+  Mean = NewMean;
+  N = Total;
+  Lo = std::min(Lo, Other.Lo);
+  Hi = std::max(Hi, Other.Hi);
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double ecas::arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ecas::geometricMean(const std::vector<double> &Values) {
+  ECAS_CHECK(!Values.empty(), "geometric mean of empty sample");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    ECAS_CHECK(V > 0.0, "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double ecas::quantile(std::vector<double> Values, double Q) {
+  ECAS_CHECK(!Values.empty(), "quantile of empty sample");
+  ECAS_CHECK(Q >= 0.0 && Q <= 1.0, "quantile must be in [0,1]");
+  std::sort(Values.begin(), Values.end());
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Below = static_cast<size_t>(Pos);
+  if (Below + 1 >= Values.size())
+    return Values.back();
+  double Frac = Pos - static_cast<double>(Below);
+  return Values[Below] * (1.0 - Frac) + Values[Below + 1] * Frac;
+}
+
+double ecas::rSquared(const std::vector<double> &Ref,
+                      const std::vector<double> &Fit) {
+  ECAS_CHECK(Ref.size() == Fit.size() && !Ref.empty(),
+             "rSquared requires equal-sized non-empty vectors");
+  double Mean = arithmeticMean(Ref);
+  double SsRes = 0.0, SsTot = 0.0;
+  for (size_t I = 0; I != Ref.size(); ++I) {
+    double Residual = Ref[I] - Fit[I];
+    double Centered = Ref[I] - Mean;
+    SsRes += Residual * Residual;
+    SsTot += Centered * Centered;
+  }
+  if (SsTot == 0.0)
+    return SsRes == 0.0 ? 1.0 : 0.0;
+  return 1.0 - SsRes / SsTot;
+}
+
+double ecas::rmsError(const std::vector<double> &Ref,
+                      const std::vector<double> &Fit) {
+  ECAS_CHECK(Ref.size() == Fit.size() && !Ref.empty(),
+             "rmsError requires equal-sized non-empty vectors");
+  double Sum = 0.0;
+  for (size_t I = 0; I != Ref.size(); ++I) {
+    double Residual = Ref[I] - Fit[I];
+    Sum += Residual * Residual;
+  }
+  return std::sqrt(Sum / static_cast<double>(Ref.size()));
+}

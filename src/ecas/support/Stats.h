@@ -1,0 +1,68 @@
+//===-- ecas/support/Stats.h - Descriptive statistics ----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Running and batch descriptive statistics. Characterization averages
+/// power samples; the evaluation harness aggregates per-benchmark
+/// efficiencies with arithmetic and geometric means, matching the paper's
+/// "on average X% of Oracle" reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_STATS_H
+#define ECAS_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ecas {
+
+/// Single-pass running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double Value);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats &Other);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Population variance; zero with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return N ? Lo : 0.0; }
+  double max() const { return N ? Hi : 0.0; }
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Lo = 0.0;
+  double Hi = 0.0;
+};
+
+/// Arithmetic mean of \p Values; zero for an empty vector.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values; all entries must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Returns the \p Q quantile (0..1) using linear interpolation between
+/// order statistics. \p Values need not be sorted.
+double quantile(std::vector<double> Values, double Q);
+
+/// Coefficient of determination of predictions \p Fit against observations
+/// \p Ref; 1.0 means a perfect fit. Vectors must be equal-sized and
+/// non-empty.
+double rSquared(const std::vector<double> &Ref, const std::vector<double> &Fit);
+
+/// Root-mean-square error between two equal-sized vectors.
+double rmsError(const std::vector<double> &Ref, const std::vector<double> &Fit);
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_STATS_H

@@ -1,0 +1,218 @@
+//===-- ecas/workloads/BarnesHut.cpp - BH n-body workload -----------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/BarnesHut.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+/// Octree node over the unit cube. Children are indices into the node
+/// pool; 0 is "absent" (node 0 is the root, never a child).
+struct OctNode {
+  float CenterX, CenterY, CenterZ;
+  float HalfSize;
+  float MassX = 0.0f, MassY = 0.0f, MassZ = 0.0f;
+  float Mass = 0.0f;
+  int32_t Body = -1; // Leaf payload; -1 when internal or empty.
+  uint32_t Children[8] = {};
+  bool IsLeaf = true;
+};
+
+class Octree {
+public:
+  explicit Octree(const BodySet &Bodies) : Bodies(Bodies) {
+    Nodes.reserve(Bodies.size() * 2);
+    Nodes.push_back(makeNode(0.5f, 0.5f, 0.5f, 0.5f));
+    for (size_t I = 0; I != Bodies.size(); ++I)
+      insert(0, static_cast<int32_t>(I));
+    summarize(0);
+  }
+
+  const std::vector<OctNode> &nodes() const { return Nodes; }
+  const BodySet &bodies() const { return Bodies; }
+
+private:
+  static OctNode makeNode(float X, float Y, float Z, float Half) {
+    OctNode Node;
+    Node.CenterX = X;
+    Node.CenterY = Y;
+    Node.CenterZ = Z;
+    Node.HalfSize = Half;
+    return Node;
+  }
+
+  unsigned childIndexFor(const OctNode &Node, int32_t Body) const {
+    unsigned Index = 0;
+    if (Bodies.X[Body] >= Node.CenterX)
+      Index |= 1;
+    if (Bodies.Y[Body] >= Node.CenterY)
+      Index |= 2;
+    if (Bodies.Z[Body] >= Node.CenterZ)
+      Index |= 4;
+    return Index;
+  }
+
+  uint32_t ensureChild(uint32_t NodeIdx, unsigned Slot) {
+    OctNode &Node = Nodes[NodeIdx];
+    if (Node.Children[Slot])
+      return Node.Children[Slot];
+    float Quarter = Node.HalfSize * 0.5f;
+    float X = Node.CenterX + ((Slot & 1) ? Quarter : -Quarter);
+    float Y = Node.CenterY + ((Slot & 2) ? Quarter : -Quarter);
+    float Z = Node.CenterZ + ((Slot & 4) ? Quarter : -Quarter);
+    Nodes.push_back(makeNode(X, Y, Z, Quarter));
+    uint32_t Fresh = static_cast<uint32_t>(Nodes.size() - 1);
+    Nodes[NodeIdx].Children[Slot] = Fresh;
+    return Fresh;
+  }
+
+  void insert(uint32_t NodeIdx, int32_t Body) {
+    // Iterative descent with index-only access: ensureChild() may grow
+    // the node pool, so references across it would dangle.
+    unsigned Depth = 0;
+    while (true) {
+      if (!Nodes[NodeIdx].IsLeaf) {
+        unsigned Slot = childIndexFor(Nodes[NodeIdx], Body);
+        NodeIdx = ensureChild(NodeIdx, Slot);
+        ++Depth;
+        continue;
+      }
+      if (Nodes[NodeIdx].Body < 0) {
+        Nodes[NodeIdx].Body = Body;
+        return;
+      }
+      // Degenerate coincident points would split forever; random float
+      // inputs never reach this depth, so dropping the body is safe.
+      if (Depth >= 60)
+        return;
+      // Occupied leaf: push the resident body one level down, then let
+      // the loop retry placing Body from this (now internal) node.
+      int32_t Resident = Nodes[NodeIdx].Body;
+      Nodes[NodeIdx].Body = -1;
+      Nodes[NodeIdx].IsLeaf = false;
+      unsigned Slot = childIndexFor(Nodes[NodeIdx], Resident);
+      uint32_t Child = ensureChild(NodeIdx, Slot);
+      Nodes[Child].Body = Resident; // Fresh leaves are always empty.
+    }
+  }
+
+  /// Bottom-up center-of-mass aggregation.
+  void summarize(uint32_t NodeIdx) {
+    OctNode &Node = Nodes[NodeIdx];
+    if (Node.IsLeaf) {
+      if (Node.Body >= 0) {
+        float M = Bodies.Mass[Node.Body];
+        Node.Mass = M;
+        Node.MassX = Bodies.X[Node.Body];
+        Node.MassY = Bodies.Y[Node.Body];
+        Node.MassZ = Bodies.Z[Node.Body];
+      }
+      return;
+    }
+    float M = 0.0f, X = 0.0f, Y = 0.0f, Z = 0.0f;
+    for (uint32_t Child : Node.Children) {
+      if (!Child)
+        continue;
+      summarize(Child);
+      const OctNode &C = Nodes[Child];
+      M += C.Mass;
+      X += C.MassX * C.Mass;
+      Y += C.MassY * C.Mass;
+      Z += C.MassZ * C.Mass;
+    }
+    Node.Mass = M;
+    if (M > 0.0f) {
+      Node.MassX = X / M;
+      Node.MassY = Y / M;
+      Node.MassZ = Z / M;
+    }
+  }
+
+  const BodySet &Bodies;
+  std::vector<OctNode> Nodes;
+};
+
+/// Force on one body via theta-criterion traversal.
+double forceMagnitude(const Octree &Tree, size_t Body, float Theta) {
+  const BodySet &Bodies = Tree.bodies();
+  const std::vector<OctNode> &Nodes = Tree.nodes();
+  double Fx = 0.0, Fy = 0.0, Fz = 0.0;
+  const float Px = Bodies.X[Body], Py = Bodies.Y[Body], Pz = Bodies.Z[Body];
+  const float ThetaSq = Theta * Theta;
+
+  // Explicit stack: recursion depth is bounded but the iteration is hot.
+  std::vector<uint32_t> Stack{0};
+  while (!Stack.empty()) {
+    uint32_t NodeIdx = Stack.back();
+    Stack.pop_back();
+    const OctNode &Node = Nodes[NodeIdx];
+    if (Node.Mass <= 0.0f)
+      continue;
+    float Dx = Node.MassX - Px, Dy = Node.MassY - Py, Dz = Node.MassZ - Pz;
+    float DistSq = Dx * Dx + Dy * Dy + Dz * Dz + 1e-6f;
+    float Width = Node.HalfSize * 2.0f;
+    bool FarEnough = Width * Width < ThetaSq * DistSq;
+    if (Node.IsLeaf || FarEnough) {
+      if (Node.IsLeaf && Node.Body == static_cast<int32_t>(Body))
+        continue;
+      float InvDist = 1.0f / std::sqrt(DistSq);
+      float Scale = Node.Mass * InvDist * InvDist * InvDist;
+      Fx += Dx * Scale;
+      Fy += Dy * Scale;
+      Fz += Dz * Scale;
+      continue;
+    }
+    for (uint32_t Child : Node.Children)
+      if (Child)
+        Stack.push_back(Child);
+  }
+  return std::sqrt(Fx * Fx + Fy * Fy + Fz * Fz);
+}
+
+} // namespace
+
+uint64_t ecas::runBarnesHutStep(const BodySet &Bodies, float Theta) {
+  ECAS_CHECK(!Bodies.X.empty(), "Barnes-Hut needs at least one body");
+  Octree Tree(Bodies);
+  uint64_t Checksum = 0;
+  for (size_t Body = 0; Body != Bodies.size(); ++Body)
+    Checksum += static_cast<uint64_t>(forceMagnitude(Tree, Body, Theta) *
+                                      1e3);
+  return Checksum;
+}
+
+Workload ecas::makeBarnesHutWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "bh.force";
+  // Theta-criterion traversal visits hundreds of nodes per body.
+  Kernel.CpuCyclesPerIter = 12000.0;
+  Kernel.GpuCyclesPerIter = 12000.0;
+  Kernel.BytesPerIter = 400.0;
+  Kernel.LoadStoresPerIter = 250.0;
+  Kernel.LlcMissRatio = 0.35;
+  Kernel.InstrsPerIter = 2500.0;
+  Kernel.GpuEfficiency = 0.07;
+  Kernel.CpuVectorizable = 0.15;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "BarnesHut";
+  W.Abbrev = "BH";
+  W.Regular = false;
+  W.ExpectedBound = Boundedness::Memory;
+  W.ExpectedCpu = DurationClass::Long;
+  W.ExpectedGpu = DurationClass::Long;
+  W.OnTablet = false;
+  // 1M bodies, one force step, one kernel invocation.
+  W.Trace = {{Kernel, 1e6}};
+  return W;
+}

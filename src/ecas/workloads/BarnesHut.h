@@ -1,0 +1,34 @@
+//===-- ecas/workloads/BarnesHut.h - BH n-body workload ---------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Barnes-Hut hierarchical n-body (Table 1 row BH): a real octree build
+/// plus theta-criterion force traversal over generated bodies, and the
+/// matching simulator workload (irregular, memory-bound, long on both
+/// devices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_BARNESHUT_H
+#define ECAS_WORKLOADS_BARNESHUT_H
+
+#include "ecas/workloads/Generators.h"
+#include "ecas/workloads/Workload.h"
+
+namespace ecas {
+
+/// One Barnes-Hut force-computation step over \p Bodies with opening
+/// angle \p Theta. \returns a checksum: sum of per-body force magnitudes
+/// quantized to 1e-3 (deterministic across platforms at double
+/// precision).
+uint64_t runBarnesHutStep(const BodySet &Bodies, float Theta = 0.5f);
+
+/// Table 1 row BH: 1M bodies, 1 step, 1 kernel invocation (desktop).
+Workload makeBarnesHutWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_BARNESHUT_H

@@ -1,0 +1,76 @@
+//===-- ecas/workloads/BlackScholes.cpp - BS pricing workload -------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/BlackScholes.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+/// Cumulative standard normal via erf.
+static float cumulativeNormal(float X) {
+  return 0.5f * (1.0f + std::erf(X * 0.70710678f));
+}
+
+float ecas::blackScholesCall(float Spot, float Strike, float Years,
+                             float Volatility, float Rate) {
+  float SqrtT = std::sqrt(Years);
+  float D1 = (std::log(Spot / Strike) +
+              (Rate + 0.5f * Volatility * Volatility) * Years) /
+             (Volatility * SqrtT);
+  float D2 = D1 - Volatility * SqrtT;
+  return Spot * cumulativeNormal(D1) -
+         Strike * std::exp(-Rate * Years) * cumulativeNormal(D2);
+}
+
+void ecas::priceBatch(const OptionBatch &Batch, std::vector<float> &CallOut) {
+  CallOut.resize(Batch.size());
+  for (size_t I = 0; I != Batch.size(); ++I)
+    CallOut[I] = blackScholesCall(Batch.Spot[I], Batch.Strike[I],
+                                  Batch.Years[I], Batch.Volatility[I],
+                                  Batch.Rate[I]);
+}
+
+uint64_t ecas::blackScholesChecksum(const OptionBatch &Batch) {
+  std::vector<float> Prices;
+  priceBatch(Batch, Prices);
+  uint64_t Sum = 0;
+  for (float Price : Prices)
+    Sum += static_cast<uint64_t>(Price * 100.0f);
+  return Sum;
+}
+
+Workload ecas::makeBlackScholesWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "bs.price";
+  // log/exp/erf dominate: hundreds of cycles per option on both sides.
+  Kernel.CpuCyclesPerIter = 1300.0;
+  Kernel.GpuCyclesPerIter = 1400.0;
+  Kernel.BytesPerIter = 28.0;
+  Kernel.LoadStoresPerIter = 8.0;
+  Kernel.LlcMissRatio = 0.08;
+  Kernel.InstrsPerIter = 950.0;
+  Kernel.GpuEfficiency = 0.9;
+  Kernel.CpuVectorizable = 0.85;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "Blackscholes";
+  W.Abbrev = "BS";
+  W.Regular = true;
+  W.ExpectedBound = Boundedness::Compute;
+  W.ExpectedCpu = DurationClass::Short;
+  W.ExpectedGpu = DurationClass::Short;
+  W.OnTablet = true;
+  // Desktop: 64K options x 2000 invocations; tablet: one 2.62M batch
+  // repriced the same number of times.
+  double PerInvocation = Config.TabletInputs ? 2621440.0 : 65536.0;
+  unsigned Invocations = 2000;
+  W.Trace.reserve(Invocations);
+  for (unsigned I = 0; I != Invocations; ++I)
+    W.Trace.push_back({Kernel, PerInvocation});
+  return W;
+}

@@ -1,0 +1,39 @@
+//===-- ecas/workloads/BlackScholes.h - BS pricing workload -----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Black-Scholes European option pricing (Table 1 row BS, from PARSEC):
+/// a regular compute-bound kernel invoked 2000 times over the same
+/// batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_BLACKSCHOLES_H
+#define ECAS_WORKLOADS_BLACKSCHOLES_H
+
+#include "ecas/workloads/Generators.h"
+#include "ecas/workloads/Workload.h"
+
+namespace ecas {
+
+/// Prices one European call: the closed-form Black-Scholes formula with
+/// an erf-based cumulative normal.
+float blackScholesCall(float Spot, float Strike, float Years,
+                       float Volatility, float Rate);
+
+/// Prices the whole batch into \p CallOut (resized).
+void priceBatch(const OptionBatch &Batch, std::vector<float> &CallOut);
+
+/// Sum of prices quantized to cents — the validation checksum.
+uint64_t blackScholesChecksum(const OptionBatch &Batch);
+
+/// Table 1 row BS: 64K options x 2000 invocations (desktop) or 2.62M
+/// options (tablet input).
+Workload makeBlackScholesWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_BLACKSCHOLES_H

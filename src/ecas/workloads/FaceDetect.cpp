@@ -1,0 +1,172 @@
+//===-- ecas/workloads/FaceDetect.cpp - FD cascade workload ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/FaceDetect.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+GrayImage ecas::makeTestImage(uint32_t Width, uint32_t Height,
+                              uint64_t Seed) {
+  GrayImage Image;
+  Image.Width = Width;
+  Image.Height = Height;
+  Image.Pixels.assign(static_cast<size_t>(Width) * Height, 0);
+  Xoshiro256 Rng(Seed);
+
+  // Background gradient with noise.
+  for (uint32_t Y = 0; Y != Height; ++Y)
+    for (uint32_t X = 0; X != Width; ++X) {
+      double Base = 80.0 + 60.0 * X / Width + 40.0 * Y / Height;
+      double Noise = Rng.nextDouble(-12.0, 12.0);
+      Image.Pixels[static_cast<size_t>(Y) * Width + X] =
+          static_cast<uint8_t>(std::clamp(Base + Noise, 0.0, 255.0));
+    }
+  // Bright elliptical blobs ("faces").
+  unsigned Blobs = 24;
+  for (unsigned B = 0; B != Blobs; ++B) {
+    uint32_t Cx = static_cast<uint32_t>(Rng.nextBounded(Width));
+    uint32_t Cy = static_cast<uint32_t>(Rng.nextBounded(Height));
+    uint32_t R = 8 + static_cast<uint32_t>(Rng.nextBounded(24));
+    for (uint32_t Y = Cy > R ? Cy - R : 0;
+         Y < std::min(Height, Cy + R); ++Y)
+      for (uint32_t X = Cx > R ? Cx - R : 0;
+           X < std::min(Width, Cx + R); ++X) {
+        double Dist = std::hypot(double(X) - Cx, double(Y) - Cy);
+        if (Dist < R) {
+          auto &Pixel = Image.Pixels[static_cast<size_t>(Y) * Width + X];
+          Pixel = static_cast<uint8_t>(
+              std::min(255.0, Pixel + 90.0 * (1.0 - Dist / R)));
+        }
+      }
+  }
+  return Image;
+}
+
+void ecas::integralImage(const GrayImage &Image, std::vector<uint64_t> &Out) {
+  const uint32_t W = Image.Width, H = Image.Height;
+  Out.assign(static_cast<size_t>(W + 1) * (H + 1), 0);
+  for (uint32_t Y = 0; Y != H; ++Y) {
+    uint64_t RowSum = 0;
+    for (uint32_t X = 0; X != W; ++X) {
+      RowSum += Image.Pixels[static_cast<size_t>(Y) * W + X];
+      Out[static_cast<size_t>(Y + 1) * (W + 1) + X + 1] =
+          Out[static_cast<size_t>(Y) * (W + 1) + X + 1] + RowSum;
+    }
+  }
+}
+
+Cascade ecas::makeSyntheticCascade(unsigned NumStages, uint64_t Seed) {
+  ECAS_CHECK(NumStages > 0, "cascade needs at least one stage");
+  Cascade Result;
+  Xoshiro256 Rng(Seed);
+  for (unsigned Stage = 0; Stage != NumStages; ++Stage) {
+    // Real cascades grow: early stages are cheap, late stages long.
+    unsigned Features = 3 + Stage * 2;
+    std::vector<HaarFeature> StageFeatures;
+    for (unsigned F = 0; F != Features; ++F) {
+      HaarFeature Feature;
+      unsigned Size = Result.WindowSize;
+      Feature.Dx0 = static_cast<uint8_t>(Rng.nextBounded(Size - 4));
+      Feature.Dy0 = static_cast<uint8_t>(Rng.nextBounded(Size - 4));
+      Feature.Dx1 = static_cast<uint8_t>(
+          Feature.Dx0 + 2 + Rng.nextBounded(Size - Feature.Dx0 - 2));
+      Feature.Dy1 = static_cast<uint8_t>(
+          Feature.Dy0 + 2 + Rng.nextBounded(Size - Feature.Dy0 - 2));
+      unsigned Area = (Feature.Dx1 - Feature.Dx0) *
+                      (Feature.Dy1 - Feature.Dy0);
+      // Threshold near the mean so each feature rejects roughly half.
+      Feature.Threshold =
+          static_cast<int32_t>(Area * (115 + Rng.nextBounded(40)));
+      Feature.Invert = Rng.nextBounded(2) == 0;
+      StageFeatures.push_back(Feature);
+    }
+    Result.Stages.push_back(std::move(StageFeatures));
+  }
+  return Result;
+}
+
+/// Rectangle sum on the integral image.
+static uint64_t rectSum(const std::vector<uint64_t> &Integral, uint32_t W,
+                        uint32_t X0, uint32_t Y0, uint32_t X1, uint32_t Y1) {
+  const uint32_t Stride = W + 1;
+  return Integral[static_cast<size_t>(Y1) * Stride + X1] -
+         Integral[static_cast<size_t>(Y0) * Stride + X1] -
+         Integral[static_cast<size_t>(Y1) * Stride + X0] +
+         Integral[static_cast<size_t>(Y0) * Stride + X0];
+}
+
+uint64_t ecas::detectFaces(const GrayImage &Image, const Cascade &Casc) {
+  std::vector<uint64_t> Integral;
+  integralImage(Image, Integral);
+  const uint32_t Window = Casc.WindowSize;
+  if (Image.Width < Window || Image.Height < Window)
+    return 0;
+
+  uint64_t Survivors = 0;
+  for (uint32_t Y = 0; Y + Window <= Image.Height; Y += 2) {
+    for (uint32_t X = 0; X + Window <= Image.Width; X += 2) {
+      bool Alive = true;
+      for (const auto &Stage : Casc.Stages) {
+        int Votes = 0;
+        for (const HaarFeature &Feature : Stage) {
+          uint64_t Sum = rectSum(Integral, Image.Width, X + Feature.Dx0,
+                                 Y + Feature.Dy0, X + Feature.Dx1,
+                                 Y + Feature.Dy1);
+          bool Fired = static_cast<int64_t>(Sum) > Feature.Threshold;
+          if (Fired != Feature.Invert)
+            ++Votes;
+        }
+        // Majority vote per stage; failing any stage rejects the window.
+        if (Votes * 2 < static_cast<int>(Stage.size())) {
+          Alive = false;
+          break;
+        }
+      }
+      if (Alive)
+        ++Survivors;
+    }
+  }
+  return Survivors;
+}
+
+Workload ecas::makeFaceDetectWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "fd.stage";
+  Kernel.CpuCyclesPerIter = 300.0;
+  Kernel.GpuCyclesPerIter = 500.0;
+  Kernel.BytesPerIter = 8.0;
+  Kernel.LoadStoresPerIter = 20.0;
+  Kernel.LlcMissRatio = 0.05;
+  Kernel.InstrsPerIter = 320.0;
+  Kernel.GpuEfficiency = 0.04; // Early-exit divergence.
+  Kernel.CpuVectorizable = 0.40;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "Face Detect";
+  W.Abbrev = "FD";
+  W.Regular = false;
+  W.ExpectedBound = Boundedness::Compute;
+  W.ExpectedCpu = DurationClass::Short;
+  W.ExpectedGpu = DurationClass::Short;
+  W.OnTablet = false;
+  // 132 invocations: cascade stages over pyramid scales; the surviving
+  // window count decays geometrically like a real cascade.
+  double Windows = 3000.0 * 2171.0 / 4.0 * Config.Scale;
+  W.Trace.reserve(132);
+  double N = Windows;
+  for (unsigned I = 0; I != 132; ++I) {
+    W.Trace.push_back({Kernel, std::max(1.0, N)});
+    N *= 0.94;
+  }
+  return W;
+}

@@ -1,0 +1,68 @@
+//===-- ecas/workloads/FaceDetect.h - FD cascade workload -------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Viola-Jones-style face detection (Table 1 row FD): integral image
+/// plus a synthetic Haar-feature rejection cascade over sliding windows.
+/// The paper used OpenCV's detector on the 3000x2171 Solvay-1927
+/// photograph; we substitute a seeded synthetic image and cascade with
+/// the same computational structure (documented in DESIGN.md). The
+/// workload is compute-bound, CPU-biased (early-exit divergence ruins
+/// GPU efficiency), with one invocation per cascade stage and scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_FACEDETECT_H
+#define ECAS_WORKLOADS_FACEDETECT_H
+
+#include "ecas/workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ecas {
+
+/// 8-bit grayscale image.
+struct GrayImage {
+  uint32_t Width = 0, Height = 0;
+  std::vector<uint8_t> Pixels;
+};
+
+/// Procedural test image: smooth gradients plus blob "faces".
+GrayImage makeTestImage(uint32_t Width, uint32_t Height, uint64_t Seed);
+
+/// Summed-area table; Out[(y+1)*(W+1) + (x+1)] = sum of pixels in
+/// [0..x] x [0..y]. Out is resized to (W+1)*(H+1).
+void integralImage(const GrayImage &Image, std::vector<uint64_t> &Out);
+
+/// One Haar-like rectangle feature on the integral image.
+struct HaarFeature {
+  uint8_t Dx0, Dy0, Dx1, Dy1; // Positive rect within the window.
+  int32_t Threshold;
+  bool Invert;
+};
+
+/// A rejection cascade of feature stages.
+struct Cascade {
+  unsigned WindowSize = 24;
+  std::vector<std::vector<HaarFeature>> Stages;
+};
+
+/// Deterministic synthetic cascade with \p NumStages stages of
+/// escalating length.
+Cascade makeSyntheticCascade(unsigned NumStages, uint64_t Seed);
+
+/// Runs the cascade over all windows at stride 2; \returns the number of
+/// windows surviving all stages (the validation checksum).
+uint64_t detectFaces(const GrayImage &Image, const Cascade &Cascade);
+
+/// Table 1 row FD: 132 invocations (stages x scales), compute-bound,
+/// CPU-biased.
+Workload makeFaceDetectWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_FACEDETECT_H

@@ -1,0 +1,64 @@
+//===-- ecas/workloads/Generators.h - Synthetic input builders -*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic input generators standing in for the paper's external
+/// datasets: a synthetic road network in the spirit of the W-USA graph
+/// (planar, low degree, huge diameter), particle/body sets, option
+/// batches, and key streams. All are seeded, so traces and checksums are
+/// reproducible across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_GENERATORS_H
+#define ECAS_WORKLOADS_GENERATORS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecas {
+
+/// CSR adjacency of an undirected graph with float edge weights.
+struct RoadGraph {
+  uint32_t Width = 0;
+  uint32_t Height = 0;
+  /// CSR: node v's edges are Targets[Offsets[v] .. Offsets[v+1]).
+  std::vector<uint32_t> Offsets;
+  std::vector<uint32_t> Targets;
+  std::vector<float> Weights;
+
+  uint32_t numNodes() const { return Width * Height; }
+  size_t numEdges() const { return Targets.size(); }
+};
+
+/// Builds a Width x Height grid road network: 4-neighbour streets with
+/// ~8% of edges removed (dead ends / rivers) and weights in [1, 10).
+/// Planar and low-degree like a real road graph, so BFS/SSSP traverse
+/// thousands of levels — the irregularity profile the paper's graph
+/// workloads exhibit.
+RoadGraph makeRoadGraph(uint32_t Width, uint32_t Height, uint64_t Seed);
+
+/// 3-D body set with positions in the unit cube and masses in [0.5, 2).
+struct BodySet {
+  std::vector<float> X, Y, Z, Mass;
+  size_t size() const { return X.size(); }
+};
+BodySet makeBodies(size_t Count, uint64_t Seed);
+
+/// Black-Scholes option batch.
+struct OptionBatch {
+  std::vector<float> Spot, Strike, Years, Volatility, Rate;
+  size_t size() const { return Spot.size(); }
+};
+OptionBatch makeOptions(size_t Count, uint64_t Seed);
+
+/// Uniformly random 64-bit keys (skip-list inserts).
+std::vector<uint64_t> makeKeys(size_t Count, uint64_t Seed);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_GENERATORS_H

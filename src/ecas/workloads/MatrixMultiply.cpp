@@ -1,0 +1,73 @@
+//===-- ecas/workloads/MatrixMultiply.cpp - MM workload -------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/MatrixMultiply.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Random.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+void ecas::multiplyMatrices(const std::vector<float> &A,
+                            const std::vector<float> &B,
+                            std::vector<float> &C, uint32_t N) {
+  ECAS_CHECK(A.size() == static_cast<size_t>(N) * N &&
+                 B.size() == static_cast<size_t>(N) * N,
+             "matrix operands must be NxN");
+  C.assign(static_cast<size_t>(N) * N, 0.0f);
+  for (uint32_t I = 0; I != N; ++I) {
+    for (uint32_t K = 0; K != N; ++K) {
+      float Aik = A[static_cast<size_t>(I) * N + K];
+      const float *Brow = &B[static_cast<size_t>(K) * N];
+      float *Crow = &C[static_cast<size_t>(I) * N];
+      for (uint32_t J = 0; J != N; ++J)
+        Crow[J] += Aik * Brow[J];
+    }
+  }
+}
+
+uint64_t ecas::matrixMultiplyChecksum(uint32_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  std::vector<float> A(static_cast<size_t>(N) * N),
+      B(static_cast<size_t>(N) * N), C;
+  for (float &V : A)
+    V = static_cast<float>(Rng.nextDouble(-1.0, 1.0));
+  for (float &V : B)
+    V = static_cast<float>(Rng.nextDouble(-1.0, 1.0));
+  multiplyMatrices(A, B, C, N);
+  uint64_t Sum = 0;
+  for (float V : C)
+    Sum += static_cast<uint64_t>(std::llabs(static_cast<long long>(V * 16)));
+  return Sum;
+}
+
+Workload ecas::makeMatrixMultiplyWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "mm.tile";
+  Kernel.CpuCyclesPerIter = 18000.0; // One output element: 2048 MACs.
+  Kernel.GpuCyclesPerIter = 5600.0;
+  Kernel.BytesPerIter = 48.0; // Blocked reuse keeps traffic low.
+  Kernel.LoadStoresPerIter = 600.0;
+  Kernel.LlcMissRatio = 0.02;
+  Kernel.InstrsPerIter = 4500.0;
+  Kernel.GpuEfficiency = 0.30;
+  Kernel.CpuVectorizable = 0.95;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "Matrix Multiply";
+  W.Abbrev = "MM";
+  W.Regular = true;
+  W.ExpectedBound = Boundedness::Compute;
+  W.ExpectedCpu = DurationClass::Long;
+  W.ExpectedGpu = DurationClass::Long;
+  W.OnTablet = true;
+  double Side = Config.TabletInputs ? 1024.0 : 2048.0;
+  W.Trace = {{Kernel, Side * Side}};
+  return W;
+}

@@ -1,0 +1,37 @@
+//===-- ecas/workloads/MatrixMultiply.h - MM workload -----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense single-precision matrix multiply (Table 1 row MM): regular,
+/// compute-bound, one kernel invocation over all output elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_MATRIXMULTIPLY_H
+#define ECAS_WORKLOADS_MATRIXMULTIPLY_H
+
+#include "ecas/workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ecas {
+
+/// C = A * B for row-major NxN matrices (ikj loop order for locality).
+void multiplyMatrices(const std::vector<float> &A,
+                      const std::vector<float> &B, std::vector<float> &C,
+                      uint32_t N);
+
+/// Deterministic validation value: C's elements quantized and summed for
+/// seeded pseudo-random A, B of size NxN.
+uint64_t matrixMultiplyChecksum(uint32_t N, uint64_t Seed);
+
+/// Table 1 row MM: 2048x2048 (desktop), 1024x1024 (tablet), one launch.
+Workload makeMatrixMultiplyWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_MATRIXMULTIPLY_H

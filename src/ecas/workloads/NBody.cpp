@@ -1,0 +1,80 @@
+//===-- ecas/workloads/NBody.cpp - NB all-pairs workload ------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/NBody.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+uint64_t ecas::stepNBody(BodySet &Bodies, std::vector<float> &Vx,
+                         std::vector<float> &Vy, std::vector<float> &Vz,
+                         float Dt) {
+  const size_t N = Bodies.size();
+  ECAS_CHECK(Vx.size() == N && Vy.size() == N && Vz.size() == N,
+             "velocity arrays must match body count");
+  const float Soft = 1e-4f;
+  for (size_t I = 0; I != N; ++I) {
+    float Ax = 0.0f, Ay = 0.0f, Az = 0.0f;
+    const float Px = Bodies.X[I], Py = Bodies.Y[I], Pz = Bodies.Z[I];
+    for (size_t J = 0; J != N; ++J) {
+      float Dx = Bodies.X[J] - Px;
+      float Dy = Bodies.Y[J] - Py;
+      float Dz = Bodies.Z[J] - Pz;
+      float DistSq = Dx * Dx + Dy * Dy + Dz * Dz + Soft;
+      float InvDist = 1.0f / std::sqrt(DistSq);
+      float Scale = Bodies.Mass[J] * InvDist * InvDist * InvDist;
+      Ax += Dx * Scale;
+      Ay += Dy * Scale;
+      Az += Dz * Scale;
+    }
+    Vx[I] += Ax * Dt;
+    Vy[I] += Ay * Dt;
+    Vz[I] += Az * Dt;
+  }
+  uint64_t Checksum = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Bodies.X[I] += Vx[I] * Dt;
+    Bodies.Y[I] += Vy[I] * Dt;
+    Bodies.Z[I] += Vz[I] * Dt;
+    Checksum += static_cast<uint64_t>(std::fabs(Bodies.X[I]) * 1e3) +
+                static_cast<uint64_t>(std::fabs(Bodies.Y[I]) * 1e3);
+  }
+  return Checksum;
+}
+
+Workload ecas::makeNBodyWorkload(const WorkloadConfig &Config) {
+  double Bodies = Config.TabletInputs ? 1024.0 : 4096.0;
+
+  KernelDesc Kernel;
+  Kernel.Name = "nb.step";
+  // One iteration = one body's interactions with all N others. Scalar
+  // rsqrt-heavy inner loop on the CPU; wide and regular on the GPU.
+  Kernel.CpuCyclesPerIter = Bodies * 200.0;
+  Kernel.GpuCyclesPerIter = Bodies * 68.0;
+  Kernel.BytesPerIter = 64.0; // Positions stream through the LLC.
+  Kernel.LoadStoresPerIter = Bodies * 4.0;
+  Kernel.LlcMissRatio = 0.005;
+  Kernel.InstrsPerIter = Bodies * 220.0;
+  Kernel.GpuEfficiency = 0.30;
+  Kernel.CpuVectorizable = 0.0;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "N-Body";
+  W.Abbrev = "NB";
+  W.Regular = true;
+  W.ExpectedBound = Boundedness::Compute;
+  W.ExpectedCpu = DurationClass::Long;
+  W.ExpectedGpu = DurationClass::Short;
+  W.OnTablet = true;
+  W.Trace.reserve(101);
+  for (unsigned Step = 0; Step != 101; ++Step)
+    W.Trace.push_back({Kernel, Bodies});
+  return W;
+}

@@ -1,0 +1,34 @@
+//===-- ecas/workloads/NBody.h - NB all-pairs workload ----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct all-pairs n-body (Table 1 row NB): regular compute-bound
+/// kernel, 101 invocations (time steps), GPU-biased on the desktop
+/// (CPU long / GPU short).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_NBODY_H
+#define ECAS_WORKLOADS_NBODY_H
+
+#include "ecas/workloads/Generators.h"
+#include "ecas/workloads/Workload.h"
+
+namespace ecas {
+
+/// Advances \p Bodies one leapfrog step with softened all-pairs gravity;
+/// \p Vx/Vy/Vz are updated in place. \returns the checksum: sum of
+/// quantized positions after the step.
+uint64_t stepNBody(BodySet &Bodies, std::vector<float> &Vx,
+                   std::vector<float> &Vy, std::vector<float> &Vz,
+                   float Dt = 1e-3f);
+
+/// Table 1 row NB: 4096 bodies (desktop) / 1024 (tablet), 101 steps.
+Workload makeNBodyWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_NBODY_H

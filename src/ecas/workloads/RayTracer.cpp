@@ -1,0 +1,137 @@
+//===-- ecas/workloads/RayTracer.cpp - RT rendering workload --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/RayTracer.h"
+
+#include "ecas/support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ecas;
+
+SphereScene ecas::makeSphereScene(unsigned Spheres, unsigned Lights,
+                                  uint64_t Seed) {
+  SphereScene Scene;
+  Xoshiro256 Rng(Seed);
+  for (unsigned I = 0; I != Spheres; ++I) {
+    Scene.Cx.push_back(static_cast<float>(Rng.nextDouble(-8.0, 8.0)));
+    Scene.Cy.push_back(static_cast<float>(Rng.nextDouble(-4.0, 4.0)));
+    Scene.Cz.push_back(static_cast<float>(Rng.nextDouble(4.0, 24.0)));
+    Scene.Radius.push_back(static_cast<float>(Rng.nextDouble(0.2, 1.2)));
+    Scene.Material.push_back(static_cast<uint8_t>(Rng.nextBounded(3)));
+  }
+  for (unsigned I = 0; I != Lights; ++I) {
+    Scene.Lx.push_back(static_cast<float>(Rng.nextDouble(-10.0, 10.0)));
+    Scene.Ly.push_back(static_cast<float>(Rng.nextDouble(5.0, 12.0)));
+    Scene.Lz.push_back(static_cast<float>(Rng.nextDouble(0.0, 20.0)));
+  }
+  return Scene;
+}
+
+namespace {
+
+/// Nearest sphere hit along ray O + t*D, t > 0.01. Returns index or -1.
+int nearestHit(const SphereScene &Scene, float Ox, float Oy, float Oz,
+               float Dx, float Dy, float Dz, float &THit) {
+  int Best = -1;
+  float BestT = 1e30f;
+  for (size_t I = 0; I != Scene.numSpheres(); ++I) {
+    float Lx = Scene.Cx[I] - Ox, Ly = Scene.Cy[I] - Oy,
+          Lz = Scene.Cz[I] - Oz;
+    float B = Lx * Dx + Ly * Dy + Lz * Dz;
+    float C = Lx * Lx + Ly * Ly + Lz * Lz -
+              Scene.Radius[I] * Scene.Radius[I];
+    float Disc = B * B - C;
+    if (Disc < 0.0f)
+      continue;
+    float Sq = std::sqrt(Disc);
+    float T = B - Sq > 0.01f ? B - Sq : B + Sq;
+    if (T > 0.01f && T < BestT) {
+      BestT = T;
+      Best = static_cast<int>(I);
+    }
+  }
+  THit = BestT;
+  return Best;
+}
+
+} // namespace
+
+uint64_t ecas::renderScene(const SphereScene &Scene, uint32_t Width,
+                           uint32_t Height) {
+  uint64_t Checksum = 0;
+  const float MaterialAlbedo[3] = {0.9f, 0.6f, 0.3f};
+  for (uint32_t Py = 0; Py != Height; ++Py) {
+    for (uint32_t Px = 0; Px != Width; ++Px) {
+      // Pinhole camera at origin looking down +z.
+      float Dx = (2.0f * Px / Width - 1.0f) * 1.2f;
+      float Dy = (1.0f - 2.0f * Py / Height) * 0.9f;
+      float Dz = 1.0f;
+      float Inv = 1.0f / std::sqrt(Dx * Dx + Dy * Dy + Dz * Dz);
+      Dx *= Inv;
+      Dy *= Inv;
+      Dz *= Inv;
+
+      float THit;
+      int Hit = nearestHit(Scene, 0, 0, 0, Dx, Dy, Dz, THit);
+      float Lum = 0.05f; // Sky.
+      if (Hit >= 0) {
+        float Hx = Dx * THit, Hy = Dy * THit, Hz = Dz * THit;
+        float Nx = (Hx - Scene.Cx[Hit]) / Scene.Radius[Hit];
+        float Ny = (Hy - Scene.Cy[Hit]) / Scene.Radius[Hit];
+        float Nz = (Hz - Scene.Cz[Hit]) / Scene.Radius[Hit];
+        float Albedo = MaterialAlbedo[Scene.Material[Hit] % 3];
+        Lum = 0.08f; // Ambient.
+        for (size_t L = 0; L != Scene.Lx.size(); ++L) {
+          float Sx = Scene.Lx[L] - Hx, Sy = Scene.Ly[L] - Hy,
+                Sz = Scene.Lz[L] - Hz;
+          float SInv = 1.0f / std::sqrt(Sx * Sx + Sy * Sy + Sz * Sz);
+          Sx *= SInv;
+          Sy *= SInv;
+          Sz *= SInv;
+          float Diffuse = Nx * Sx + Ny * Sy + Nz * Sz;
+          if (Diffuse <= 0.0f)
+            continue;
+          // Hard shadow test.
+          float TShadow;
+          int Blocker = nearestHit(Scene, Hx + Nx * 0.02f,
+                                   Hy + Ny * 0.02f, Hz + Nz * 0.02f, Sx,
+                                   Sy, Sz, TShadow);
+          if (Blocker < 0)
+            Lum += Albedo * Diffuse / Scene.Lx.size();
+        }
+      }
+      Checksum += static_cast<uint64_t>(std::clamp(Lum, 0.0f, 1.0f) * 255);
+    }
+  }
+  return Checksum;
+}
+
+Workload ecas::makeRayTracerWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "rt.trace";
+  Kernel.CpuCyclesPerIter = 5400.0;
+  Kernel.GpuCyclesPerIter = 5000.0;
+  Kernel.BytesPerIter = 20.0;
+  Kernel.LoadStoresPerIter = 250.0;
+  Kernel.LlcMissRatio = 0.03;
+  Kernel.InstrsPerIter = 3200.0;
+  Kernel.GpuEfficiency = 0.13; // Shadow-ray divergence.
+  Kernel.CpuVectorizable = 0.30;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "Ray Tracer";
+  W.Abbrev = "RT";
+  W.Regular = true;
+  W.ExpectedBound = Boundedness::Compute;
+  W.ExpectedCpu = DurationClass::Long;
+  W.ExpectedGpu = DurationClass::Long;
+  W.OnTablet = true;
+  W.Trace = {{Kernel, 1920.0 * 1080.0}};
+  return W;
+}

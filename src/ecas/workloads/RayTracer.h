@@ -1,0 +1,48 @@
+//===-- ecas/workloads/RayTracer.h - RT rendering workload ------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sphere-scene ray tracer (Table 1 row RT): per-pixel primary ray with
+/// Lambertian shading and hard shadows over a procedurally placed scene
+/// (256 spheres, 3 materials, 5 lights on the desktop input).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_RAYTRACER_H
+#define ECAS_WORKLOADS_RAYTRACER_H
+
+#include "ecas/workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ecas {
+
+/// Procedural scene description.
+struct SphereScene {
+  std::vector<float> Cx, Cy, Cz, Radius;
+  std::vector<uint8_t> Material;
+  std::vector<float> Lx, Ly, Lz; // Point lights.
+  size_t numSpheres() const { return Cx.size(); }
+};
+
+/// Builds a deterministic scene with \p Spheres spheres and \p Lights
+/// lights.
+SphereScene makeSphereScene(unsigned Spheres, unsigned Lights,
+                            uint64_t Seed);
+
+/// Renders a WidthxHeight image; returns the checksum (sum of 8-bit
+/// luminance values).
+uint64_t renderScene(const SphereScene &Scene, uint32_t Width,
+                     uint32_t Height);
+
+/// Table 1 row RT: 256 spheres / 3 materials / 5 lights (desktop);
+/// 225 spheres on the tablet.
+Workload makeRayTracerWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_RAYTRACER_H

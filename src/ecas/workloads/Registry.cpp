@@ -1,0 +1,67 @@
+//===-- ecas/workloads/Registry.cpp - Benchmark suites --------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/Registry.h"
+
+#include "ecas/workloads/BarnesHut.h"
+#include "ecas/workloads/BlackScholes.h"
+#include "ecas/workloads/FaceDetect.h"
+#include "ecas/workloads/GraphWorkloads.h"
+#include "ecas/workloads/Mandelbrot.h"
+#include "ecas/workloads/MatrixMultiply.h"
+#include "ecas/workloads/NBody.h"
+#include "ecas/workloads/RayTracer.h"
+#include "ecas/workloads/Seismic.h"
+#include "ecas/workloads/SkipList.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace ecas;
+
+std::vector<Workload> ecas::desktopSuite(const WorkloadConfig &Config) {
+  std::vector<Workload> Suite;
+  Suite.push_back(makeBarnesHutWorkload(Config));
+  Suite.push_back(makeBfsWorkload(Config));
+  Suite.push_back(makeCcWorkload(Config));
+  Suite.push_back(makeFaceDetectWorkload(Config));
+  Suite.push_back(makeMandelbrotWorkload(Config));
+  Suite.push_back(makeSkipListWorkload(Config));
+  Suite.push_back(makeSsspWorkload(Config));
+  Suite.push_back(makeBlackScholesWorkload(Config));
+  Suite.push_back(makeMatrixMultiplyWorkload(Config));
+  Suite.push_back(makeNBodyWorkload(Config));
+  Suite.push_back(makeRayTracerWorkload(Config));
+  Suite.push_back(makeSeismicWorkload(Config));
+  return Suite;
+}
+
+std::vector<Workload> ecas::tabletSuite(WorkloadConfig Config) {
+  Config.TabletInputs = true;
+  std::vector<Workload> Suite;
+  Suite.push_back(makeMandelbrotWorkload(Config));
+  Suite.push_back(makeSkipListWorkload(Config));
+  Suite.push_back(makeBlackScholesWorkload(Config));
+  Suite.push_back(makeMatrixMultiplyWorkload(Config));
+  Suite.push_back(makeNBodyWorkload(Config));
+  Suite.push_back(makeRayTracerWorkload(Config));
+  Suite.push_back(makeSeismicWorkload(Config));
+  return Suite;
+}
+
+const Workload *ecas::findWorkload(const std::vector<Workload> &Suite,
+                                   const std::string &Abbrev) {
+  auto Lower = [](std::string Text) {
+    std::transform(Text.begin(), Text.end(), Text.begin(),
+                   [](unsigned char C) { return std::tolower(C); });
+    return Text;
+  };
+  std::string Wanted = Lower(Abbrev);
+  for (const Workload &W : Suite)
+    if (Lower(W.Abbrev) == Wanted)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,99 @@
+//===-- ecas/workloads/Seismic.cpp - SM wave simulation -------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/Seismic.h"
+
+#include "ecas/support/Assert.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+SeismicState ecas::makeSeismicState(uint32_t Width, uint32_t Height) {
+  ECAS_CHECK(Width >= 8 && Height >= 8, "seismic grid too small");
+  SeismicState State;
+  State.Width = Width;
+  State.Height = Height;
+  size_t Cells = static_cast<size_t>(Width) * Height;
+  State.Velocity.assign(Cells, 0.0f);
+  State.Stress.assign(Cells, 0.0f);
+  State.Damping.assign(Cells, 1.0f);
+  // Absorbing boundary: damping ramps to 0.9 over a 16-cell border.
+  for (uint32_t Y = 0; Y != Height; ++Y) {
+    for (uint32_t X = 0; X != Width; ++X) {
+      uint32_t Border = std::min(std::min(X, Width - 1 - X),
+                                 std::min(Y, Height - 1 - Y));
+      if (Border < 16)
+        State.Damping[static_cast<size_t>(Y) * Width + X] =
+            0.9f + 0.00625f * Border;
+    }
+  }
+  // Point impulse off-center.
+  State.Stress[static_cast<size_t>(Height / 3) * Width + Width / 4] = 8.0f;
+  return State;
+}
+
+void ecas::stepSeismic(SeismicState &State) {
+  const uint32_t W = State.Width, H = State.Height;
+  auto At = [W](uint32_t X, uint32_t Y) {
+    return static_cast<size_t>(Y) * W + X;
+  };
+  // Velocity update from the stress Laplacian.
+  for (uint32_t Y = 1; Y + 1 < H; ++Y) {
+    for (uint32_t X = 1; X + 1 < W; ++X) {
+      size_t Idx = At(X, Y);
+      float Lap = State.Stress[At(X - 1, Y)] + State.Stress[At(X + 1, Y)] +
+                  State.Stress[At(X, Y - 1)] + State.Stress[At(X, Y + 1)] -
+                  4.0f * State.Stress[Idx];
+      State.Velocity[Idx] =
+          (State.Velocity[Idx] + 0.25f * Lap) * State.Damping[Idx];
+    }
+  }
+  // Stress follows velocity.
+  for (uint32_t Y = 1; Y + 1 < H; ++Y)
+    for (uint32_t X = 1; X + 1 < W; ++X) {
+      size_t Idx = At(X, Y);
+      State.Stress[Idx] =
+          (State.Stress[Idx] + State.Velocity[Idx]) * State.Damping[Idx];
+    }
+}
+
+uint64_t ecas::runSeismic(SeismicState &State, unsigned Frames) {
+  for (unsigned Frame = 0; Frame != Frames; ++Frame)
+    stepSeismic(State);
+  uint64_t Checksum = 0;
+  for (float S : State.Stress)
+    Checksum += static_cast<uint64_t>(std::fabs(S) * 1e4);
+  return Checksum;
+}
+
+Workload ecas::makeSeismicWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "sm.frame";
+  Kernel.CpuCyclesPerIter = 45.0;
+  Kernel.GpuCyclesPerIter = 200.0;
+  Kernel.BytesPerIter = 24.0;
+  Kernel.LoadStoresPerIter = 6.0;
+  Kernel.LlcMissRatio = 0.40;
+  Kernel.InstrsPerIter = 50.0;
+  Kernel.GpuEfficiency = 0.50;
+  Kernel.CpuVectorizable = 0.80;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "Seismic";
+  W.Abbrev = "SM";
+  W.Regular = true;
+  W.ExpectedBound = Boundedness::Memory;
+  W.ExpectedCpu = DurationClass::Short;
+  W.ExpectedGpu = DurationClass::Short;
+  W.OnTablet = true;
+  double Cells = 1950.0 * 1326.0;
+  W.Trace.reserve(100);
+  for (unsigned Frame = 0; Frame != 100; ++Frame)
+    W.Trace.push_back({Kernel, Cells});
+  return W;
+}

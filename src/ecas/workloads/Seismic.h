@@ -1,0 +1,47 @@
+//===-- ecas/workloads/Seismic.h - SM wave simulation -----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seismic wave propagation (Table 1 row SM, from TBB's seismic demo):
+/// a 2-D stress/velocity stencil advanced one frame per kernel
+/// invocation — regular but memory-bound streaming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_SEISMIC_H
+#define ECAS_WORKLOADS_SEISMIC_H
+
+#include "ecas/workloads/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ecas {
+
+/// Seismic simulation state over a WidthxHeight grid.
+struct SeismicState {
+  uint32_t Width = 0, Height = 0;
+  std::vector<float> Velocity;
+  std::vector<float> Stress;
+  std::vector<float> Damping;
+};
+
+/// Initializes the grid with a point impulse and absorbing borders.
+SeismicState makeSeismicState(uint32_t Width, uint32_t Height);
+
+/// Advances one frame (velocity update then stress update).
+void stepSeismic(SeismicState &State);
+
+/// Runs \p Frames frames and returns the checksum: sum of |stress|
+/// quantized to 1e-4.
+uint64_t runSeismic(SeismicState &State, unsigned Frames);
+
+/// Table 1 row SM: 1950x1326 grid, 100 frames (both platforms).
+Workload makeSeismicWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_SEISMIC_H

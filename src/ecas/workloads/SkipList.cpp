@@ -1,0 +1,132 @@
+//===-- ecas/workloads/SkipList.cpp - SL index workload -------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/SkipList.h"
+
+#include "ecas/support/Random.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+struct SkipList::Node {
+  uint64_t Key;
+  unsigned Height;
+  Node *Next[1]; // Over-allocated to Height entries.
+};
+
+static SkipList::Node *allocateNode(uint64_t Key, unsigned Height) {
+  size_t Bytes = sizeof(SkipList::Node) +
+                 (Height - 1) * sizeof(SkipList::Node *);
+  auto *Raw = static_cast<SkipList::Node *>(::operator new(Bytes));
+  Raw->Key = Key;
+  Raw->Height = Height;
+  for (unsigned L = 0; L != Height; ++L)
+    Raw->Next[L] = nullptr;
+  return Raw;
+}
+
+SkipList::SkipList() { Head = allocateNode(0, MaxLevels); }
+
+SkipList::~SkipList() {
+  Node *Cursor = Head;
+  while (Cursor) {
+    Node *Next = Cursor->Next[0];
+    ::operator delete(Cursor);
+    Cursor = Next;
+  }
+}
+
+/// Tower height derived from the key: geometric(1/2), capped. Using the
+/// key keeps the structure independent of insertion order.
+static unsigned towerHeight(uint64_t Key) {
+  SplitMix64 Mix(Key);
+  uint64_t Bits = Mix.next();
+  unsigned Height = 1;
+  while ((Bits & 1) && Height < 32) {
+    ++Height;
+    Bits >>= 1;
+  }
+  return Height;
+}
+
+bool SkipList::insert(uint64_t Key) {
+  Node *Update[MaxLevels];
+  Node *Cursor = Head;
+  for (unsigned LevelPlus1 = Levels; LevelPlus1 != 0; --LevelPlus1) {
+    unsigned L = LevelPlus1 - 1;
+    while (Cursor->Next[L] && Cursor->Next[L]->Key < Key)
+      Cursor = Cursor->Next[L];
+    Update[L] = Cursor;
+  }
+  Node *Candidate = Cursor->Next[0];
+  if (Candidate && Candidate->Key == Key)
+    return false;
+
+  unsigned Height = towerHeight(Key);
+  if (Height > Levels) {
+    for (unsigned L = Levels; L != Height; ++L)
+      Update[L] = Head;
+    Levels = Height;
+  }
+  Node *Fresh = allocateNode(Key, Height);
+  for (unsigned L = 0; L != Height; ++L) {
+    Fresh->Next[L] = Update[L]->Next[L];
+    Update[L]->Next[L] = Fresh;
+  }
+  ++Count;
+  return true;
+}
+
+bool SkipList::contains(uint64_t Key) const {
+  const Node *Cursor = Head;
+  for (unsigned LevelPlus1 = Levels; LevelPlus1 != 0; --LevelPlus1) {
+    unsigned L = LevelPlus1 - 1;
+    while (Cursor->Next[L] && Cursor->Next[L]->Key < Key)
+      Cursor = Cursor->Next[L];
+  }
+  const Node *Candidate = Cursor->Next[0];
+  return Candidate && Candidate->Key == Key;
+}
+
+uint64_t ecas::buildAndProbeSkipList(const std::vector<uint64_t> &Keys) {
+  SkipList List;
+  for (uint64_t Key : Keys)
+    List.insert(Key);
+  uint64_t Hits = 0;
+  for (uint64_t Key : Keys) {
+    if (List.contains(Key))
+      ++Hits;
+    if (List.contains(Key + 1)) // Near-certain miss stream.
+      ++Hits;
+  }
+  return Hits;
+}
+
+Workload ecas::makeSkipListWorkload(const WorkloadConfig &Config) {
+  KernelDesc Kernel;
+  Kernel.Name = "sl.probe";
+  Kernel.CpuCyclesPerIter = 180.0;
+  Kernel.GpuCyclesPerIter = 400.0; // Pointer chasing wrecks the GPU.
+  Kernel.BytesPerIter = 64.0;
+  Kernel.LoadStoresPerIter = 12.0;
+  Kernel.LlcMissRatio = 0.50;
+  Kernel.InstrsPerIter = 200.0;
+  Kernel.GpuEfficiency = 0.08;
+  Kernel.CpuVectorizable = 0.0;
+  Kernel.withAutoId();
+
+  Workload W;
+  W.Name = "SkipList";
+  W.Abbrev = "SL";
+  W.Regular = false;
+  W.ExpectedBound = Boundedness::Memory;
+  W.ExpectedCpu = DurationClass::Long;
+  W.ExpectedGpu = DurationClass::Long;
+  W.OnTablet = true;
+  W.Trace = {{Kernel, Config.TabletInputs ? 45e6 : 500e6}};
+  return W;
+}

@@ -1,0 +1,60 @@
+//===-- ecas/workloads/SkipList.h - SL index workload -----------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Skip-list construction and search (Table 1 row SL): pointer-chasing,
+/// memory-bound, irregular — a real probabilistic skip list over random
+/// 64-bit keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_WORKLOADS_SKIPLIST_H
+#define ECAS_WORKLOADS_SKIPLIST_H
+
+#include "ecas/workloads/Workload.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ecas {
+
+/// Deterministic probabilistic skip list (tower heights drawn from the
+/// key itself, so structure is reproducible).
+class SkipList {
+public:
+  /// Opaque tower node; defined in the implementation file.
+  struct Node;
+
+  SkipList();
+  ~SkipList();
+  SkipList(const SkipList &) = delete;
+  SkipList &operator=(const SkipList &) = delete;
+
+  /// Inserts \p Key (duplicates ignored). \returns true when inserted.
+  bool insert(uint64_t Key);
+  bool contains(uint64_t Key) const;
+  size_t size() const { return Count; }
+  /// Height of the tallest tower.
+  unsigned height() const { return Levels; }
+
+private:
+  static constexpr unsigned MaxLevels = 32;
+  Node *Head;
+  unsigned Levels = 1;
+  size_t Count = 0;
+};
+
+/// Builds a skip list from \p Keys and probes it with every key plus a
+/// shifted miss-stream. \returns hit count (the validation checksum).
+uint64_t buildAndProbeSkipList(const std::vector<uint64_t> &Keys);
+
+/// Table 1 row SL: 500M keys (desktop) / 45M (tablet), one invocation.
+Workload makeSkipListWorkload(const WorkloadConfig &Config);
+
+} // namespace ecas
+
+#endif // ECAS_WORKLOADS_SKIPLIST_H

@@ -1,0 +1,15 @@
+//===-- ecas/workloads/Workload.cpp - Benchmark workloads -----------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Workload is a plain aggregate; its behaviour lives in the per-benchmark
+// translation units. This file exists so the header has a home TU and to
+// keep the build graph uniform.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/Workload.h"
+
+// No out-of-line definitions required.

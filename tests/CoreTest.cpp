@@ -1,0 +1,348 @@
+//===-- tests/CoreTest.cpp - core/ unit tests ------------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/AlphaSearch.h"
+#include "ecas/core/EasScheduler.h"
+#include "ecas/core/ExecutionSession.h"
+#include "ecas/core/KernelHistory.h"
+#include "ecas/core/Metric.h"
+#include "ecas/core/TimeModel.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/power/Characterizer.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ecas;
+
+TEST(Metric, StandardMetrics) {
+  EXPECT_DOUBLE_EQ(Metric::energy().evaluate(10.0, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(Metric::edp().evaluate(10.0, 2.0), 40.0);
+  EXPECT_DOUBLE_EQ(Metric::ed2p().evaluate(10.0, 2.0), 80.0);
+  EXPECT_EQ(Metric::edp().name(), "edp");
+}
+
+TEST(Metric, CustomAndFromMeasurement) {
+  Metric Sqrt = Metric::custom("sqrtE", [](double W, double T) {
+    return std::sqrt(W * T);
+  });
+  EXPECT_DOUBLE_EQ(Sqrt.evaluate(4.0, 1.0), 2.0);
+  // fromMeasurement: E=20 J over 2 s -> P=10 W.
+  EXPECT_DOUBLE_EQ(Metric::edp().fromMeasurement(20.0, 2.0), 40.0);
+}
+
+TEST(TimeModel, AlphaPerfBalancesDevices) {
+  TimeModel Model(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(Model.alphaPerf(), 0.75);
+  // At alpha_PERF both sides finish together; no tail.
+  double N = 1000.0;
+  EXPECT_NEAR(Model.remainingIters(N, 0.75), 0.0, 1e-9);
+  EXPECT_NEAR(Model.totalTime(N, 0.75), N / 400.0, 1e-12);
+}
+
+TEST(TimeModel, ExtremesMatchSingleDevice) {
+  TimeModel Model(100.0, 300.0);
+  double N = 1200.0;
+  EXPECT_NEAR(Model.totalTime(N, 0.0), N / 100.0, 1e-9);
+  EXPECT_NEAR(Model.totalTime(N, 1.0), N / 300.0, 1e-9);
+}
+
+TEST(TimeModel, Equation4TailSelection) {
+  TimeModel Model(100.0, 300.0);
+  double N = 1000.0;
+  // Below alpha_PERF the CPU has the tail.
+  double Alpha = 0.5;
+  double Tcg = Model.combinedTime(N, Alpha); // GPU side: 500/300 = 1.667
+  EXPECT_NEAR(Tcg, 500.0 / 300.0, 1e-9);
+  double Nrem = Model.remainingIters(N, Alpha);
+  EXPECT_NEAR(Nrem, N - Tcg * 400.0, 1e-9);
+  EXPECT_NEAR(Model.totalTime(N, Alpha), Tcg + Nrem / 100.0, 1e-9);
+  // Above alpha_PERF the GPU has the tail.
+  Alpha = 0.9;
+  Tcg = Model.combinedTime(N, Alpha); // CPU side: 100/100 = 1.0
+  EXPECT_NEAR(Tcg, 1.0, 1e-9);
+  Nrem = Model.remainingIters(N, Alpha);
+  EXPECT_NEAR(Model.totalTime(N, Alpha), Tcg + Nrem / 300.0, 1e-9);
+}
+
+TEST(TimeModel, PerfAlphaMinimizesTotalTime) {
+  TimeModel Model(120.0, 280.0);
+  double N = 5000.0;
+  double Best = Model.totalTime(N, Model.alphaPerf());
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += 0.01)
+    EXPECT_GE(Model.totalTime(N, std::min(Alpha, 1.0)), Best - 1e-9);
+}
+
+TEST(TimeModel, ZeroGpuRateForcesCpu) {
+  TimeModel Model(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(Model.alphaPerf(), 0.0);
+  EXPECT_NEAR(Model.totalTime(1000.0, 0.0), 10.0, 1e-9);
+}
+
+TEST(AlphaSearch, FlatPowerPicksPerfForEdp) {
+  // With constant power, minimizing EDP = P*T^2 is minimizing time.
+  TimeModel Model(100.0, 300.0);
+  PowerCurve Flat;
+  Flat.Poly = Polynomial({50.0});
+  AlphaChoice Choice = chooseAlpha(Model, Flat, Metric::edp(), 1000.0);
+  EXPECT_NEAR(Choice.Alpha, 0.8, 0.051); // Grid point nearest 0.75.
+  EXPECT_EQ(Choice.Evaluations, 11u);
+}
+
+TEST(AlphaSearch, CheapGpuPullsEnergyTowardOne) {
+  TimeModel Model(100.0, 300.0);
+  // Power falls steeply with offload: GPU much more efficient.
+  PowerCurve Falling;
+  Falling.Poly = Polynomial({60.0, -35.0});
+  AlphaChoice Choice = chooseAlpha(Model, Falling, Metric::energy(), 1000.0);
+  EXPECT_GE(Choice.Alpha, 0.9);
+}
+
+TEST(AlphaSearch, RefinementImprovesObjective) {
+  TimeModel Model(100.0, 310.0);
+  PowerCurve Curve;
+  Curve.Poly = Polynomial({55.0, -10.0, 8.0});
+  AlphaSearchConfig Coarse;
+  AlphaSearchConfig Fine;
+  Fine.Refine = true;
+  AlphaChoice A = chooseAlpha(Model, Curve, Metric::edp(), 1e6, Coarse);
+  AlphaChoice B = chooseAlpha(Model, Curve, Metric::edp(), 1e6, Fine);
+  EXPECT_LE(B.PredictedMetric, A.PredictedMetric + 1e-12);
+}
+
+TEST(KernelHistory, LookupAndObtain) {
+  KernelHistory History;
+  EXPECT_EQ(History.lookup(42), nullptr);
+  KernelRecord &Record = History.obtain(42);
+  Record.Alpha.addSample(0.5, 10.0);
+  ASSERT_NE(History.lookup(42), nullptr);
+  EXPECT_NEAR(History.lookup(42)->Alpha.value(), 0.5, 1e-12);
+  EXPECT_EQ(History.size(), 1u);
+  History.clear();
+  EXPECT_EQ(History.lookup(42), nullptr);
+}
+
+namespace {
+
+/// Shared fixture: characterize each platform once (expensive) and hand
+/// the curves to every scheduler test.
+const PowerCurveSet &desktopCurves() {
+  static PowerCurveSet Curves =
+      Characterizer(haswellDesktop()).characterize();
+  return Curves;
+}
+
+} // namespace
+
+TEST(EasScheduler, SmallInvocationsRunCpuOnly) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  auto Outcome = Scheduler.execute(Proc, Kernel, 100.0);
+  EXPECT_TRUE(Outcome.CpuOnlyFastPath);
+  EXPECT_DOUBLE_EQ(Outcome.AlphaUsed, 0.0);
+  EXPECT_FALSE(Outcome.Profiled);
+}
+
+TEST(EasScheduler, FirstLargeInvocationProfiles) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  auto First = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_TRUE(First.Profiled);
+  EXPECT_GT(First.ProfileRepetitions, 0u);
+  // Second invocation reuses the table-G alpha without profiling.
+  auto Second = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_FALSE(Second.Profiled);
+  EXPECT_EQ(Second.ProfileRepetitions, 0u);
+  EXPECT_NEAR(Second.AlphaUsed, First.AlphaUsed, 0.2);
+}
+
+TEST(EasScheduler, TinyFirstInvocationDoesNotPinKernel) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  auto Tiny = Scheduler.execute(Proc, Kernel, 64.0);
+  EXPECT_TRUE(Tiny.CpuOnlyFastPath);
+  auto Large = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_TRUE(Large.Profiled);
+}
+
+TEST(EasScheduler, GpuBiasedKernelGoesToGpu) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::energy());
+  // Strongly GPU-biased compute kernel: EAS should offload nearly all.
+  KernelDesc Kernel = computeBoundMicroKernel();
+  Kernel.CpuCyclesPerIter *= 20.0;
+  Kernel.CpuVectorizable = 0.0;
+  Kernel.Name = "test.gpu_biased";
+  Kernel.Id = 0;
+  Kernel.withAutoId();
+  auto Outcome = Scheduler.execute(Proc, Kernel, 5e6);
+  EXPECT_GE(Outcome.AlphaUsed, 0.8);
+}
+
+TEST(EasScheduler, CpuBiasedKernelStaysOnCpu) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::energy());
+  // FD-like: divergence destroys the GPU.
+  KernelDesc Kernel = computeBoundMicroKernel();
+  Kernel.GpuEfficiency = 0.02;
+  Kernel.Name = "test.cpu_biased";
+  Kernel.Id = 0;
+  Kernel.withAutoId();
+  auto Outcome = Scheduler.execute(Proc, Kernel, 5e6);
+  EXPECT_LE(Outcome.AlphaUsed, 0.2);
+}
+
+TEST(ExecutionSession, FixedAlphaExtremesDiffer) {
+  PlatformSpec Spec = haswellDesktop();
+  ExecutionSession Session(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  InvocationTrace Trace{{Kernel, 5e6}};
+  SessionReport Cpu = Session.runCpuOnly(Trace, Metric::energy());
+  SessionReport Gpu = Session.runGpuOnly(Trace, Metric::energy());
+  EXPECT_GT(Cpu.Seconds, 0.0);
+  EXPECT_GT(Gpu.Seconds, 0.0);
+  // Desktop: the GPU is faster and cheaper on regular compute.
+  EXPECT_LT(Gpu.Seconds, Cpu.Seconds);
+  EXPECT_LT(Gpu.Joules, Cpu.Joules);
+  EXPECT_EQ(Cpu.Scheme, "cpu");
+  EXPECT_EQ(Gpu.Scheme, "gpu");
+}
+
+TEST(ExecutionSession, OracleBeatsOrMatchesEveryFixedAlpha) {
+  PlatformSpec Spec = haswellDesktop();
+  ExecutionSession Session(Spec);
+  KernelDesc Kernel = memoryBoundMicroKernel();
+  InvocationTrace Trace{{Kernel, 2e6}, {Kernel, 2e6}};
+  Metric Objective = Metric::edp();
+  SessionReport Oracle = Session.runOracle(Trace, Objective);
+  for (double Alpha : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+    SessionReport Fixed = Session.runFixedAlpha(Trace, Alpha, Objective);
+    EXPECT_LE(Oracle.MetricValue, Fixed.MetricValue + 1e-9);
+  }
+}
+
+TEST(ExecutionSession, PerfMinimizesTimeNotEnergy) {
+  PlatformSpec Spec = haswellDesktop();
+  ExecutionSession Session(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  InvocationTrace Trace{{Kernel, 1e7}};
+  Metric Objective = Metric::energy();
+  SessionReport Perf = Session.runPerf(Trace, Objective);
+  for (double Alpha : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    SessionReport Fixed = Session.runFixedAlpha(Trace, Alpha, Objective);
+    EXPECT_LE(Perf.Seconds, Fixed.Seconds + 1e-9);
+  }
+}
+
+TEST(ExecutionSession, EasApproachesOracleOnEdp) {
+  PlatformSpec Spec = haswellDesktop();
+  ExecutionSession Session(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  InvocationTrace Trace;
+  for (int I = 0; I != 8; ++I)
+    Trace.push_back({Kernel, 2e6});
+  Metric Objective = Metric::edp();
+  SessionReport Oracle = Session.runOracle(Trace, Objective);
+  SessionReport Eas = Session.runEas(Trace, desktopCurves(), Objective);
+  ASSERT_GT(Eas.MetricValue, 0.0);
+  double Efficiency = Oracle.MetricValue / Eas.MetricValue;
+  EXPECT_GT(Efficiency, 0.75) << "EAS EDP efficiency too far from Oracle";
+  EXPECT_TRUE(Eas.WasClassified);
+}
+
+TEST(EasScheduler, ExternalGpuBusyForcesCpuAlone) {
+  // Section 5: "we test GPU performance counter A26 ... to check if it
+  // is busy. In that case, we execute the application entirely on the
+  // CPU."
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  Scheduler.setExternalGpuBusy(true);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  auto Outcome = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_TRUE(Outcome.CpuOnlyFastPath);
+  EXPECT_DOUBLE_EQ(Outcome.AlphaUsed, 0.0);
+  EXPECT_FALSE(Outcome.Profiled);
+  // Nothing was learned while the GPU belonged to someone else.
+  EXPECT_EQ(Scheduler.history().lookup(Kernel.Id), nullptr);
+
+  // Once the GPU frees up, the kernel profiles normally.
+  Scheduler.setExternalGpuBusy(false);
+  auto Fresh = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_TRUE(Fresh.Profiled);
+}
+
+TEST(EasScheduler, PeriodicReprofilingTracksDriftingKernels) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasConfig Config;
+  Config.ReprofileEveryInvocations = 4;
+  EasScheduler Scheduler(desktopCurves(), Metric::edp(), Config);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  unsigned Profiles = 0;
+  for (int I = 0; I != 12; ++I) {
+    auto Outcome = Scheduler.execute(Proc, Kernel, 2e6);
+    if (Outcome.Profiled)
+      ++Profiles;
+  }
+  // Invocation 0 profiles, then every 4th invocation re-profiles.
+  EXPECT_GE(Profiles, 3u);
+  EXPECT_LE(Profiles, 4u);
+}
+
+TEST(EasScheduler, NoReprofilingByDefault) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  unsigned Profiles = 0;
+  for (int I = 0; I != 8; ++I)
+    if (Scheduler.execute(Proc, Kernel, 2e6).Profiled)
+      ++Profiles;
+  EXPECT_EQ(Profiles, 1u);
+}
+
+/// Property sweep: for random throughput pairs, the analytical time
+/// model obeys its invariants on the whole alpha range.
+class TimeModelProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TimeModelProperty, InvariantsHoldAcrossAlpha) {
+  Xoshiro256 Rng(2024 + GetParam());
+  double Rc = Rng.nextDouble(1e4, 1e9);
+  double Rg = Rng.nextDouble(1e4, 1e9);
+  double N = Rng.nextDouble(1e3, 1e8);
+  TimeModel Model(Rc, Rg);
+  double Combined = N / (Rc + Rg);
+  double Best = Model.totalTime(N, Model.alphaPerf());
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += 0.05) {
+    double A = std::min(Alpha, 1.0);
+    double T = Model.totalTime(N, A);
+    // No split beats the combined-throughput lower bound...
+    EXPECT_GE(T, Combined * (1.0 - 1e-9));
+    // ...and alpha_PERF is the global minimizer.
+    EXPECT_GE(T, Best * (1.0 - 1e-9));
+    // The single-device extremes bound everything.
+    EXPECT_LE(T, std::max(N / Rc, N / Rg) * (1.0 + 1e-9));
+    // Remaining iterations are consistent with the combined phase.
+    double Nrem = Model.remainingIters(N, A);
+    EXPECT_GE(Nrem, -1e-6);
+    EXPECT_LE(Nrem, N * (1.0 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRates, TimeModelProperty,
+                         ::testing::Range(0u, 24u));

@@ -1,0 +1,97 @@
+//===-- tests/HwTest.cpp - hw/ unit tests ----------------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/hw/Presets.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecas;
+
+TEST(PlatformSpec, PresetsValidate) {
+  std::string Error;
+  EXPECT_TRUE(haswellDesktop().validate(Error)) << Error;
+  EXPECT_TRUE(bayTrailTablet().validate(Error)) << Error;
+  EXPECT_EQ(allPresets().size(), 2u);
+}
+
+TEST(PlatformSpec, DesktopGeometryMatchesPaper) {
+  PlatformSpec Spec = haswellDesktop();
+  // Section 3.2: 20 EUs x 7 threads x 16-wide SIMD = 2240-way
+  // parallelism, GPU_PROFILE_SIZE = 2048.
+  EXPECT_EQ(Spec.gpuHardwareParallelism(), 2240u);
+  EXPECT_EQ(Spec.defaultGpuProfileSize(), 2048u);
+  EXPECT_EQ(Spec.Cpu.Cores, 4u);
+  EXPECT_EQ(Spec.Cpu.ThreadsPerCore, 2u);
+}
+
+TEST(PlatformSpec, TabletGeometryMatchesPaper) {
+  PlatformSpec Spec = bayTrailTablet();
+  // 4 EUs x 7 threads x 16-wide SIMD = 448.
+  EXPECT_EQ(Spec.gpuHardwareParallelism(), 448u);
+  EXPECT_EQ(Spec.defaultGpuProfileSize(), 256u);
+  EXPECT_DOUBLE_EQ(Spec.Gpu.MaxFreqGHz, 0.667);
+}
+
+TEST(PlatformSpec, SerializeRoundTrip) {
+  PlatformSpec Spec = haswellDesktop();
+  std::string Text = Spec.serialize();
+  auto Restored = PlatformSpec::deserialize(Text);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->Name, Spec.Name);
+  EXPECT_EQ(Restored->Cpu.Cores, Spec.Cpu.Cores);
+  EXPECT_DOUBLE_EQ(Restored->Cpu.MaxTurboGHz, Spec.Cpu.MaxTurboGHz);
+  EXPECT_DOUBLE_EQ(Restored->GpuPower.CubicWattsPerGHz3,
+                   Spec.GpuPower.CubicWattsPerGHz3);
+  EXPECT_DOUBLE_EQ(Restored->Pcu.EnergyUnitJoules,
+                   Spec.Pcu.EnergyUnitJoules);
+  EXPECT_EQ(Restored->Pcu.GpuPriority, Spec.Pcu.GpuPriority);
+  // Round-trip the round-trip: stable fixed point.
+  EXPECT_EQ(Restored->serialize(), Text);
+}
+
+TEST(PlatformSpec, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(PlatformSpec::deserialize("not a spec").has_value());
+  EXPECT_FALSE(PlatformSpec::deserialize("bogus.key = 3\n").has_value());
+  EXPECT_FALSE(
+      PlatformSpec::deserialize("cpu.cores = banana\n").has_value());
+}
+
+TEST(PlatformSpec, DeserializeSkipsCommentsAndBlanks) {
+  PlatformSpec Spec = bayTrailTablet();
+  std::string Text = "# a comment\n\n" + Spec.serialize();
+  auto Restored = PlatformSpec::deserialize(Text);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->Name, Spec.Name);
+}
+
+TEST(PlatformSpec, ValidateCatchesBadRanges) {
+  PlatformSpec Spec = haswellDesktop();
+  Spec.Cpu.MinFreqGHz = 5.0; // min > base
+  std::string Error;
+  EXPECT_FALSE(Spec.validate(Error));
+  EXPECT_FALSE(Error.empty());
+
+  Spec = haswellDesktop();
+  Spec.Cpu.Cores = 0;
+  EXPECT_FALSE(Spec.validate(Error));
+
+  Spec = haswellDesktop();
+  Spec.Memory.BandwidthGBs = -1.0;
+  EXPECT_FALSE(Spec.validate(Error));
+
+  Spec = haswellDesktop();
+  Spec.Pcu.EnergyUnitJoules = 0.0;
+  EXPECT_FALSE(Spec.validate(Error));
+
+  Spec = haswellDesktop();
+  Spec.CpuPower.ComputeActivity = 0.0;
+  EXPECT_FALSE(Spec.validate(Error));
+}
+
+TEST(PlatformSpec, DeviceKindNames) {
+  EXPECT_STREQ(deviceKindName(DeviceKind::Cpu), "cpu");
+  EXPECT_STREQ(deviceKindName(DeviceKind::Gpu), "gpu");
+}

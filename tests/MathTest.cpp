@@ -1,0 +1,275 @@
+//===-- tests/MathTest.cpp - math/ unit tests ------------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/math/Matrix.h"
+#include "ecas/math/Minimize.h"
+#include "ecas/math/PolyFit.h"
+#include "ecas/math/Polynomial.h"
+#include "ecas/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ecas;
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix A(2, 3);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(0, 2) = 3;
+  A.at(1, 0) = 4;
+  A.at(1, 1) = 5;
+  A.at(1, 2) = 6;
+  Matrix I = Matrix::identity(3);
+  Matrix P = A.multiply(I);
+  for (size_t R = 0; R != 2; ++R)
+    for (size_t C = 0; C != 3; ++C)
+      EXPECT_DOUBLE_EQ(P.at(R, C), A.at(R, C));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix A(3, 2);
+  int V = 0;
+  for (size_t R = 0; R != 3; ++R)
+    for (size_t C = 0; C != 2; ++C)
+      A.at(R, C) = ++V;
+  Matrix T = A.transposed();
+  EXPECT_EQ(T.rows(), 2u);
+  EXPECT_EQ(T.cols(), 3u);
+  Matrix Back = T.transposed();
+  for (size_t R = 0; R != 3; ++R)
+    for (size_t C = 0; C != 2; ++C)
+      EXPECT_DOUBLE_EQ(Back.at(R, C), A.at(R, C));
+}
+
+TEST(Matrix, SolveLinearKnownSystem) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  Matrix A(2, 2);
+  A.at(0, 0) = 2;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = -1;
+  std::vector<double> X;
+  ASSERT_TRUE(A.solveLinear({5.0, 1.0}, X));
+  EXPECT_NEAR(X[0], 2.0, 1e-12);
+  EXPECT_NEAR(X[1], 1.0, 1e-12);
+}
+
+TEST(Matrix, SolveLinearSingularFails) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 4;
+  std::vector<double> X;
+  EXPECT_FALSE(A.solveLinear({1.0, 2.0}, X));
+}
+
+TEST(Matrix, SolveLinearRandomRoundTrip) {
+  Xoshiro256 Rng(42);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    const size_t N = 6;
+    Matrix A(N, N);
+    std::vector<double> Truth(N);
+    for (size_t R = 0; R != N; ++R) {
+      Truth[R] = Rng.nextDouble(-5.0, 5.0);
+      for (size_t C = 0; C != N; ++C)
+        A.at(R, C) = Rng.nextDouble(-1.0, 1.0);
+      A.at(R, R) += 4.0; // Diagonally dominant: well-conditioned.
+    }
+    std::vector<double> B = A.multiply(Truth);
+    std::vector<double> X;
+    ASSERT_TRUE(A.solveLinear(B, X));
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_NEAR(X[I], Truth[I], 1e-9);
+  }
+}
+
+TEST(Matrix, LeastSquaresExactSystem) {
+  // Overdetermined but consistent: y = 3x + 1 sampled at 5 points.
+  Matrix A(5, 2);
+  std::vector<double> B(5);
+  for (size_t I = 0; I != 5; ++I) {
+    double X = static_cast<double>(I);
+    A.at(I, 0) = 1.0;
+    A.at(I, 1) = X;
+    B[I] = 3.0 * X + 1.0;
+  }
+  std::vector<double> Coef;
+  ASSERT_TRUE(A.solveLeastSquares(B, Coef));
+  EXPECT_NEAR(Coef[0], 1.0, 1e-10);
+  EXPECT_NEAR(Coef[1], 3.0, 1e-10);
+}
+
+TEST(Matrix, LeastSquaresMinimizesResidual) {
+  // Inconsistent system: the LS answer must beat nearby perturbations.
+  Matrix A(4, 2);
+  std::vector<double> B{1.0, 2.0, 1.5, 3.5};
+  for (size_t I = 0; I != 4; ++I) {
+    A.at(I, 0) = 1.0;
+    A.at(I, 1) = static_cast<double>(I);
+  }
+  std::vector<double> Coef;
+  ASSERT_TRUE(A.solveLeastSquares(B, Coef));
+  auto Residual = [&](const std::vector<double> &C) {
+    std::vector<double> Fit = A.multiply(C);
+    double Sum = 0.0;
+    for (size_t I = 0; I != 4; ++I)
+      Sum += (Fit[I] - B[I]) * (Fit[I] - B[I]);
+    return Sum;
+  };
+  double Best = Residual(Coef);
+  for (double D0 : {-0.01, 0.01})
+    for (double D1 : {-0.01, 0.01}) {
+      std::vector<double> Perturbed{Coef[0] + D0, Coef[1] + D1};
+      EXPECT_GE(Residual(Perturbed), Best);
+    }
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  Polynomial P({1.0, -2.0, 3.0}); // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(P.evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(P.evaluate(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(P.evaluate(2.0), 9.0);
+  EXPECT_EQ(P.degree(), 2u);
+}
+
+TEST(Polynomial, EmptyEvaluatesToZero) {
+  Polynomial P;
+  EXPECT_DOUBLE_EQ(P.evaluate(3.0), 0.0);
+  EXPECT_TRUE(P.empty());
+}
+
+TEST(Polynomial, Derivative) {
+  Polynomial P({5.0, 1.0, 2.0, 4.0}); // 5 + x + 2x^2 + 4x^3
+  Polynomial D = P.derivative();      // 1 + 4x + 12x^2
+  EXPECT_DOUBLE_EQ(D.evaluate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(D.evaluate(1.0), 17.0);
+  EXPECT_EQ(Polynomial({7.0}).derivative().evaluate(3.0), 0.0);
+}
+
+TEST(Polynomial, MinimumOnInterval) {
+  // (x-0.3)^2 + 2 -> min 2 at 0.3.
+  Polynomial P({2.09, -0.6, 1.0});
+  double ArgMin;
+  double Min = P.minimumOn(0.0, 1.0, ArgMin);
+  EXPECT_NEAR(ArgMin, 0.3, 1e-6);
+  EXPECT_NEAR(Min, 2.0, 1e-9);
+  // Decreasing line: minimum at the right endpoint.
+  Polynomial Line({1.0, -1.0});
+  Min = Line.minimumOn(0.0, 1.0, ArgMin);
+  EXPECT_DOUBLE_EQ(ArgMin, 1.0);
+  EXPECT_DOUBLE_EQ(Min, 0.0);
+}
+
+TEST(Polynomial, EquationString) {
+  Polynomial P({1.5, 0.0, -2.0});
+  EXPECT_EQ(P.toEquationString(), "y = -2*x^2 + 1.5");
+  EXPECT_EQ(Polynomial({0.0}).toEquationString(), "y = 0");
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial A({1.0, 2.0});
+  Polynomial B({0.0, 1.0, 3.0});
+  Polynomial Sum = A.plus(B);
+  EXPECT_DOUBLE_EQ(Sum.evaluate(2.0), A.evaluate(2.0) + B.evaluate(2.0));
+  Polynomial Diff = A.minus(B);
+  EXPECT_DOUBLE_EQ(Diff.evaluate(2.0), A.evaluate(2.0) - B.evaluate(2.0));
+  EXPECT_DOUBLE_EQ(A.scaled(3.0).evaluate(2.0), 3.0 * A.evaluate(2.0));
+}
+
+/// Property sweep: fitting recovers exact polynomials of every degree
+/// with both solver backends.
+class PolyFitRecovery
+    : public ::testing::TestWithParam<std::tuple<unsigned, FitMethod>> {};
+
+TEST_P(PolyFitRecovery, RecoversExactCoefficients) {
+  auto [Degree, Method] = GetParam();
+  Xoshiro256 Rng(1000 + Degree);
+  std::vector<double> Coeffs(Degree + 1);
+  for (double &C : Coeffs)
+    C = Rng.nextDouble(-3.0, 3.0);
+  Polynomial Truth(Coeffs);
+
+  std::vector<double> Xs, Ys;
+  for (double X = 0.0; X <= 1.0 + 1e-9; X += 0.05) {
+    Xs.push_back(X);
+    Ys.push_back(Truth.evaluate(X));
+  }
+  auto Fit = fitPolynomial(Xs, Ys, Degree, Method);
+  ASSERT_TRUE(Fit.has_value());
+  EXPECT_GT(Fit->RSquared, 1.0 - 1e-9);
+  for (double X = 0.0; X <= 1.0; X += 0.013)
+    EXPECT_NEAR(Fit->Poly.evaluate(X), Truth.evaluate(X), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndMethods, PolyFitRecovery,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 6u, 8u),
+                       ::testing::Values(FitMethod::QR,
+                                         FitMethod::NormalEquations)));
+
+TEST(PolyFit, UnderdeterminedReturnsNullopt) {
+  EXPECT_FALSE(fitPolynomial({0.0, 1.0}, {1.0, 2.0}, 6).has_value());
+}
+
+TEST(PolyFit, DuplicateAbscissaeFail) {
+  std::vector<double> Xs(10, 0.5), Ys(10, 1.0);
+  EXPECT_FALSE(fitPolynomial(Xs, Ys, 3).has_value());
+}
+
+TEST(PolyFit, NoisyFitHasReasonableQuality) {
+  Xoshiro256 Rng(77);
+  Polynomial Truth({40.0, 10.0, -25.0, 12.0});
+  std::vector<double> Xs, Ys;
+  for (double X = 0.0; X <= 1.0 + 1e-9; X += 0.1) {
+    Xs.push_back(X);
+    Ys.push_back(Truth.evaluate(X) + Rng.nextDouble(-0.5, 0.5));
+  }
+  auto Fit = fitPolynomial(Xs, Ys, 6);
+  ASSERT_TRUE(Fit.has_value());
+  EXPECT_GT(Fit->RSquared, 0.99);
+  EXPECT_LT(Fit->RmsError, 0.5);
+}
+
+TEST(Minimize, GridFindsSampledMinimum) {
+  auto Fn = [](double X) { return (X - 0.42) * (X - 0.42); };
+  MinResult R = minimizeOnGrid(Fn, 0.0, 1.0, 0.1);
+  EXPECT_NEAR(R.ArgMin, 0.4, 1e-12);
+  EXPECT_EQ(R.Evaluations, 11u);
+}
+
+TEST(Minimize, GridIncludesEndpoints) {
+  auto Fn = [](double X) { return -X; }; // Minimum at the right end.
+  MinResult R = minimizeOnGrid(Fn, 0.0, 1.0, 0.3);
+  EXPECT_DOUBLE_EQ(R.ArgMin, 1.0);
+}
+
+TEST(Minimize, GoldenSectionConverges) {
+  auto Fn = [](double X) { return std::cosh(X - 0.37); };
+  MinResult R = minimizeGoldenSection(Fn, 0.0, 1.0, 1e-7);
+  EXPECT_NEAR(R.ArgMin, 0.37, 1e-5);
+}
+
+TEST(Minimize, GridThenRefineBeatsPlainGrid) {
+  auto Fn = [](double X) { return (X - 0.42) * (X - 0.42); };
+  MinResult Grid = minimizeOnGrid(Fn, 0.0, 1.0, 0.1);
+  MinResult Refined = minimizeGridThenRefine(Fn, 0.0, 1.0, 0.1, 1e-7);
+  EXPECT_LE(Refined.Value, Grid.Value);
+  EXPECT_NEAR(Refined.ArgMin, 0.42, 1e-4);
+}
+
+TEST(Minimize, RefineNeverWorseOnMultimodal) {
+  // Two wells; grid finds the deeper one, refinement must not lose it.
+  auto Fn = [](double X) {
+    return std::min((X - 0.1) * (X - 0.1),
+                    0.002 + (X - 0.9) * (X - 0.9));
+  };
+  MinResult Grid = minimizeOnGrid(Fn, 0.0, 1.0, 0.1);
+  MinResult Refined = minimizeGridThenRefine(Fn, 0.0, 1.0, 0.1, 1e-7);
+  EXPECT_LE(Refined.Value, Grid.Value + 1e-12);
+}

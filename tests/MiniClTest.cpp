@@ -1,0 +1,187 @@
+//===-- tests/MiniClTest.cpp - cl/ unit tests -------------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/cl/MiniCl.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace ecas;
+using namespace ecas::cl;
+
+TEST(MiniKernel, IdentityFromName) {
+  MiniKernel A("saxpy", [](uint64_t, uint64_t) {});
+  MiniKernel B("saxpy", [](uint64_t, uint64_t) {});
+  MiniKernel C("gemm", [](uint64_t, uint64_t) {});
+  EXPECT_TRUE(A.valid());
+  EXPECT_EQ(A.id(), B.id());
+  EXPECT_NE(A.id(), C.id());
+  EXPECT_FALSE(MiniKernel().valid());
+}
+
+TEST(CommandQueue, ExecutesAndCompletes) {
+  CommandQueue Queue(
+      "test", [](const RangeBody &Body, uint64_t B, uint64_t E) {
+        Body(B, E);
+      });
+  std::atomic<uint64_t> Sum{0};
+  MiniKernel Kernel("sum", [&Sum](uint64_t Begin, uint64_t End) {
+    for (uint64_t I = Begin; I != End; ++I)
+      Sum.fetch_add(I, std::memory_order_relaxed);
+  });
+  MiniEvent Event = Queue.enqueue(Kernel, 0, 100);
+  Event.wait();
+  EXPECT_EQ(Event.state(), CommandState::Complete);
+  EXPECT_EQ(Event.status(), Status::Success);
+  EXPECT_EQ(Sum.load(), 4950u);
+  EXPECT_EQ(Queue.commandsCompleted(), 1u);
+}
+
+TEST(CommandQueue, InOrderExecution) {
+  CommandQueue Queue(
+      "test", [](const RangeBody &Body, uint64_t B, uint64_t E) {
+        Body(B, E);
+      });
+  std::vector<int> Order;
+  std::mutex OrderMutex;
+  for (int I = 0; I != 10; ++I) {
+    MiniKernel Kernel("step", [&, I](uint64_t, uint64_t) {
+      std::lock_guard<std::mutex> Lock(OrderMutex);
+      Order.push_back(I);
+    });
+    Queue.enqueue(Kernel, 0, 1);
+  }
+  Queue.finish();
+  ASSERT_EQ(Order.size(), 10u);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(CommandQueue, ErrorEventsCompleteImmediately) {
+  CommandQueue Queue(
+      "test", [](const RangeBody &Body, uint64_t B, uint64_t E) {
+        Body(B, E);
+      });
+  MiniEvent BadKernel = Queue.enqueue(MiniKernel(), 0, 10);
+  EXPECT_EQ(BadKernel.state(), CommandState::Complete);
+  EXPECT_EQ(BadKernel.status(), Status::InvalidKernel);
+
+  MiniKernel Kernel("noop", [](uint64_t, uint64_t) {});
+  MiniEvent BadRange = Queue.enqueue(Kernel, 10, 10);
+  EXPECT_EQ(BadRange.status(), Status::InvalidRange);
+}
+
+TEST(CommandQueue, ProfilingTimestampsAreOrdered) {
+  CommandQueue Queue(
+      "test",
+      [](const RangeBody &Body, uint64_t B, uint64_t E) { Body(B, E); },
+      /*DispatchLatencySec=*/1e-3);
+  MiniKernel Kernel("spin", [](uint64_t Begin, uint64_t End) {
+    volatile uint64_t Sink = 0;
+    for (uint64_t I = Begin; I != End; ++I)
+      for (int R = 0; R != 1000; ++R)
+        Sink = Sink + I;
+  });
+  MiniEvent Event = Queue.enqueue(Kernel, 0, 1000);
+  Event.wait();
+  EXPECT_LE(Event.queuedSeconds(), Event.submitSeconds());
+  EXPECT_LE(Event.submitSeconds(), Event.startSeconds());
+  EXPECT_LE(Event.startSeconds(), Event.endSeconds());
+  EXPECT_GT(Event.executionSeconds(), 0.0);
+  // Dispatch latency shows up as overhead, not execution time.
+  EXPECT_GE(Event.overheadSeconds(), 1e-3);
+}
+
+TEST(CommandQueue, FinishWaitsForEverything) {
+  CommandQueue Queue(
+      "test", [](const RangeBody &Body, uint64_t B, uint64_t E) {
+        Body(B, E);
+      });
+  std::atomic<unsigned> Done{0};
+  MiniKernel Kernel("tick", [&Done](uint64_t, uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Done.fetch_add(1);
+  });
+  for (int I = 0; I != 8; ++I)
+    Queue.enqueue(Kernel, 0, 1);
+  Queue.finish();
+  EXPECT_EQ(Done.load(), 8u);
+  EXPECT_EQ(Queue.commandsCompleted(), 8u);
+}
+
+TEST(MiniContext, PartitionedCoversRangeExactlyOnce) {
+  MiniContext Ctx(4);
+  const uint64_t N = 50000;
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  MiniKernel Kernel("cover", [&Hits](uint64_t Begin, uint64_t End) {
+    for (uint64_t I = Begin; I != End; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  auto [CpuEvent, GpuEvent] = Ctx.runPartitioned(Kernel, N, 0.3);
+  EXPECT_EQ(CpuEvent.status(), Status::Success);
+  EXPECT_EQ(GpuEvent.status(), Status::Success);
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(MiniContext, AlphaExtremesSkipTheIdleDevice) {
+  MiniContext Ctx(2);
+  std::atomic<uint64_t> Count{0};
+  MiniKernel Kernel("count", [&Count](uint64_t Begin, uint64_t End) {
+    Count.fetch_add(End - Begin, std::memory_order_relaxed);
+  });
+  auto [CpuOnly, GpuIdle] = Ctx.runPartitioned(Kernel, 1000, 0.0);
+  EXPECT_EQ(Count.load(), 1000u);
+  EXPECT_EQ(GpuIdle.status(), Status::InvalidRange); // Empty GPU share.
+  Count = 0;
+  auto [CpuIdle, GpuOnly] = Ctx.runPartitioned(Kernel, 1000, 1.0);
+  EXPECT_EQ(Count.load(), 1000u);
+  EXPECT_EQ(CpuIdle.status(), Status::InvalidRange);
+  EXPECT_EQ(GpuOnly.status(), Status::Success);
+}
+
+TEST(MiniContext, CustomGpuHookReceivesTheTail) {
+  std::atomic<uint64_t> HookBegin{0}, HookEnd{0};
+  MiniContext Ctx(2, [&](uint64_t Begin, uint64_t End) {
+    HookBegin = Begin;
+    HookEnd = End;
+  });
+  MiniKernel Kernel("noop", [](uint64_t, uint64_t) {});
+  Ctx.runPartitioned(Kernel, 1000, 0.25);
+  EXPECT_EQ(HookBegin.load(), 750u);
+  EXPECT_EQ(HookEnd.load(), 1000u);
+}
+
+TEST(MiniContext, EventTimingsSupportThroughputEstimation) {
+  // The profiling pattern of Section 3.1 on the host layer: enqueue a
+  // chunk per device, derive R from iterations / execution time.
+  MiniContext Ctx(4);
+  MiniKernel Kernel("work", [](uint64_t Begin, uint64_t End) {
+    volatile double Sink = 0;
+    for (uint64_t I = Begin; I != End; ++I)
+      Sink = Sink + 1.0 / (1.0 + static_cast<double>(I));
+  });
+  MiniEvent Cpu = Ctx.cpuQueue().enqueue(Kernel, 0, 200000);
+  MiniEvent Gpu = Ctx.gpuQueue().enqueue(Kernel, 200000, 260000);
+  Cpu.wait();
+  Gpu.wait();
+  ASSERT_GT(Cpu.executionSeconds(), 0.0);
+  ASSERT_GT(Gpu.executionSeconds(), 0.0);
+  double CpuRate = 200000 / Cpu.executionSeconds();
+  double GpuRate = 60000 / Gpu.executionSeconds();
+  EXPECT_GT(CpuRate, 0.0);
+  EXPECT_GT(GpuRate, 0.0);
+}
+
+TEST(StatusNames, AllCovered) {
+  EXPECT_STREQ(statusName(Status::Success), "success");
+  EXPECT_STREQ(statusName(Status::InvalidKernel), "invalid kernel");
+  EXPECT_STREQ(statusName(Status::InvalidRange), "invalid range");
+  EXPECT_STREQ(statusName(Status::DeviceUnavailable),
+               "device unavailable");
+}

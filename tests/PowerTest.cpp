@@ -1,0 +1,228 @@
+//===-- tests/PowerTest.cpp - power/ unit tests ----------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/hw/Presets.h"
+#include "ecas/power/Characterizer.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/power/PowerCurve.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecas;
+
+TEST(PowerCurve, EvaluationClampsToPositive) {
+  PowerCurve Curve;
+  Curve.Poly = Polynomial({-5.0}); // Pathological all-negative fit.
+  EXPECT_GT(Curve.powerAt(0.5), 0.0);
+}
+
+TEST(PowerCurveSet, SetAndLookup) {
+  PowerCurveSet Set;
+  EXPECT_FALSE(Set.complete());
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
+    PowerCurve Curve;
+    Curve.Class = WorkloadClass::fromIndex(I);
+    Curve.Poly = Polynomial({static_cast<double>(I) + 1.0});
+    Curve.RSquared = 0.9;
+    Set.setCurve(Curve);
+  }
+  EXPECT_TRUE(Set.complete());
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I)
+    EXPECT_DOUBLE_EQ(Set.curveFor(WorkloadClass::fromIndex(I)).powerAt(0.3),
+                     I + 1.0);
+}
+
+TEST(PowerCurveSet, SerializeRoundTrip) {
+  PowerCurveSet Set;
+  Set.setPlatformName("test-platform");
+  PowerCurve Curve;
+  Curve.Class = WorkloadClass::fromIndex(5);
+  Curve.Poly = Polynomial({45.0, -3.0, 0.25, 1e-3});
+  Curve.RSquared = 0.987;
+  Set.setCurve(Curve);
+
+  auto Restored = PowerCurveSet::deserialize(Set.serialize());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->platformName(), "test-platform");
+  ASSERT_TRUE(Restored->hasCurve(WorkloadClass::fromIndex(5)));
+  const PowerCurve &Back = Restored->curveFor(WorkloadClass::fromIndex(5));
+  EXPECT_DOUBLE_EQ(Back.RSquared, 0.987);
+  for (double Alpha = 0.0; Alpha <= 1.0; Alpha += 0.25)
+    EXPECT_DOUBLE_EQ(Back.powerAt(Alpha), Curve.powerAt(Alpha));
+  EXPECT_FALSE(Restored->hasCurve(WorkloadClass::fromIndex(0)));
+}
+
+TEST(PowerCurveSet, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(PowerCurveSet::deserialize("curve x = 1 2 3").has_value());
+  EXPECT_FALSE(PowerCurveSet::deserialize("curve 99 = 1 r2 1").has_value());
+  EXPECT_FALSE(
+      PowerCurveSet::deserialize("curve 1 = a b r2 1").has_value());
+}
+
+TEST(MicroBenchmarks, BaseKernelsAreValidAndOpposed) {
+  KernelDesc Compute = computeBoundMicroKernel();
+  KernelDesc Memory = memoryBoundMicroKernel();
+  EXPECT_TRUE(Compute.valid());
+  EXPECT_TRUE(Memory.valid());
+  EXPECT_LT(Compute.memoryIntensity(), 0.33);
+  EXPECT_GT(Memory.memoryIntensity(), 0.33);
+}
+
+TEST(MicroBenchmarks, ProbeRatesArePositiveAndOrdered) {
+  PlatformSpec Spec = haswellDesktop();
+  DeviceRates Rates = probeDeviceRates(Spec, computeBoundMicroKernel());
+  EXPECT_GT(Rates.CpuItersPerSec, 0.0);
+  EXPECT_GT(Rates.GpuItersPerSec, 0.0);
+  // The desktop GPU outruns the CPU on regular compute (2-3x).
+  EXPECT_GT(Rates.GpuItersPerSec, 1.5 * Rates.CpuItersPerSec);
+  EXPECT_LT(Rates.GpuItersPerSec, 5.0 * Rates.CpuItersPerSec);
+}
+
+TEST(MicroBenchmarks, TabletRatesAreComparable) {
+  PlatformSpec Spec = bayTrailTablet();
+  DeviceRates Rates = probeDeviceRates(Spec, computeBoundMicroKernel());
+  // Section 1: "on the Bay Trail, the processors have similar
+  // performance".
+  EXPECT_GT(Rates.GpuItersPerSec, 0.8 * Rates.CpuItersPerSec);
+  EXPECT_LT(Rates.GpuItersPerSec, 3.0 * Rates.CpuItersPerSec);
+}
+
+/// Property sweep: every category's micro-benchmark must land its
+/// single-device durations in the advertised short/long buckets.
+class MicroDurations : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MicroDurations, DurationsMatchCategory) {
+  WorkloadClass Class = WorkloadClass::fromIndex(GetParam());
+  PlatformSpec Spec = haswellDesktop();
+  MicroBenchmark Micro = makeMicroBenchmark(Spec, Class);
+  ASSERT_TRUE(Micro.Kernel.valid());
+  ASSERT_GT(Micro.Iterations, 0.0);
+
+  DeviceRates Rates = probeDeviceRates(Spec, Micro.Kernel);
+  double CpuSeconds = Micro.Iterations / Rates.CpuItersPerSec;
+  double GpuSeconds = Micro.Iterations / Rates.GpuItersPerSec;
+  if (Class.CpuDuration == DurationClass::Short)
+    EXPECT_LT(CpuSeconds, 0.1) << Class.name();
+  else
+    EXPECT_GT(CpuSeconds, 0.1) << Class.name();
+  if (Class.GpuDuration == DurationClass::Short)
+    EXPECT_LT(GpuSeconds, 0.1) << Class.name();
+  else
+    EXPECT_GT(GpuSeconds, 0.1) << Class.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, MicroDurations,
+                         ::testing::Range(0u, 8u));
+
+TEST(Characterizer, MeasuresSaneEndpoints) {
+  PlatformSpec Spec = haswellDesktop();
+  Characterizer Probe(Spec);
+  WorkloadClass LongCompute = WorkloadClass::fromIndex(0); // C L L
+  MicroBenchmark Micro = makeMicroBenchmark(Spec, LongCompute);
+  PowerSamplePoint CpuAlone = Probe.measureAt(Micro, 0.0);
+  PowerSamplePoint GpuAlone = Probe.measureAt(Micro, 1.0);
+  // Paper calibration: ~45 W CPU-alone, ~30 W GPU-alone.
+  EXPECT_NEAR(CpuAlone.AvgPackageWatts, 45.0, 4.0);
+  EXPECT_NEAR(GpuAlone.AvgPackageWatts, 30.0, 4.0);
+}
+
+TEST(Characterizer, FitsCategoryWithGoodQuality) {
+  PlatformSpec Spec = haswellDesktop();
+  Characterizer Probe(Spec);
+  std::vector<PowerSamplePoint> Samples;
+  PowerCurve Curve =
+      Probe.characterizeCategory(WorkloadClass::fromIndex(0), &Samples);
+  EXPECT_EQ(Samples.size(), 11u);
+  EXPECT_EQ(Curve.Poly.degree(), 6u);
+  EXPECT_GT(Curve.RSquared, 0.90);
+  // The curve should reproduce the sweep samples closely.
+  for (const PowerSamplePoint &Point : Samples)
+    EXPECT_NEAR(Curve.powerAt(Point.Alpha), Point.AvgPackageWatts,
+                0.15 * Point.AvgPackageWatts + 1.0);
+}
+
+TEST(Characterizer, FullCharacterizationIsComplete) {
+  // Tablet: smaller curves, faster sweep.
+  PlatformSpec Spec = bayTrailTablet();
+  Characterizer Probe(Spec);
+  PowerCurveSet Set = Probe.characterize();
+  EXPECT_TRUE(Set.complete());
+  EXPECT_EQ(Set.platformName(), Spec.Name);
+  // Round-trip through serialization.
+  auto Restored = PowerCurveSet::deserialize(Set.serialize());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_TRUE(Restored->complete());
+}
+
+TEST(Characterizer, CoarseSweepLowersFitOrder) {
+  PlatformSpec Spec = bayTrailTablet();
+  CharacterizerConfig Config;
+  Config.AlphaStep = 0.25; // 5 samples: degree must drop to 4.
+  Characterizer Probe(Spec, Config);
+  PowerCurve Curve = Probe.characterizeCategory(WorkloadClass::fromIndex(0));
+  EXPECT_LE(Curve.Poly.degree(), 4u);
+}
+
+TEST(Characterizer, DeterministicAcrossRuns) {
+  PlatformSpec Spec = bayTrailTablet();
+  Characterizer Probe(Spec);
+  WorkloadClass Class = WorkloadClass::fromIndex(0);
+  PowerCurve A = Probe.characterizeCategory(Class);
+  PowerCurve B = Probe.characterizeCategory(Class);
+  ASSERT_EQ(A.Poly.coefficients().size(), B.Poly.coefficients().size());
+  for (size_t I = 0; I != A.Poly.coefficients().size(); ++I)
+    EXPECT_DOUBLE_EQ(A.Poly.coefficients()[I], B.Poly.coefficients()[I]);
+}
+
+TEST(Characterizer, DesktopMemoryCurvesRunHotterAtCpuEnd) {
+  // Fig. 5's platform signature: at alpha = 0 the memory-bound
+  // categories sit well above the compute-bound ones.
+  PlatformSpec Spec = haswellDesktop();
+  Characterizer Probe(Spec);
+  WorkloadClass ComputeLL = WorkloadClass::fromIndex(0); // C L L
+  WorkloadClass MemoryLL = WorkloadClass::fromIndex(4);  // M L L
+  PowerCurve Compute = Probe.characterizeCategory(ComputeLL);
+  PowerCurve Memory = Probe.characterizeCategory(MemoryLL);
+  EXPECT_GT(Memory.powerAt(0.0), Compute.powerAt(0.0) + 5.0);
+}
+
+TEST(Characterizer, TabletMemoryCurvesRunCoolerAtCpuEnd) {
+  // Fig. 6's inversion: the tablet's memory-bound curves sit *below*
+  // the compute-bound ones.
+  PlatformSpec Spec = bayTrailTablet();
+  Characterizer Probe(Spec);
+  PowerCurve Compute =
+      Probe.characterizeCategory(WorkloadClass::fromIndex(0));
+  PowerCurve Memory =
+      Probe.characterizeCategory(WorkloadClass::fromIndex(4));
+  EXPECT_LT(Memory.powerAt(0.0), Compute.powerAt(0.0));
+}
+
+TEST(MicroBenchmarks, ShortCategoriesRepeatWithGaps) {
+  PlatformSpec Spec = haswellDesktop();
+  MicroBenchmark Short =
+      makeMicroBenchmark(Spec, WorkloadClass::fromIndex(3)); // C S S
+  MicroBenchmark Long =
+      makeMicroBenchmark(Spec, WorkloadClass::fromIndex(0)); // C L L
+  EXPECT_GT(Short.Repetitions, 1u);
+  EXPECT_GT(Short.GapSeconds, 0.0);
+  EXPECT_EQ(Long.Repetitions, 1u);
+}
+
+TEST(MicroBenchmarks, AdaptiveShapingHandlesExoticSku) {
+  // A GPU monster: fixed shaping cannot make it the "long" device, so
+  // the escalation loop must kick in rather than abort.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.Gpu.ExecutionUnits = 96;
+  WorkloadClass CpuBiased; // memory / cpu-short / gpu-long
+  CpuBiased.Bound = Boundedness::Memory;
+  CpuBiased.CpuDuration = DurationClass::Short;
+  CpuBiased.GpuDuration = DurationClass::Long;
+  MicroBenchmark Micro = makeMicroBenchmark(Spec, CpuBiased);
+  DeviceRates Rates = probeDeviceRates(Spec, Micro.Kernel);
+  EXPECT_LT(Micro.Iterations / Rates.CpuItersPerSec, 0.1);
+  EXPECT_GT(Micro.Iterations / Rates.GpuItersPerSec, 0.1);
+}

@@ -1,0 +1,168 @@
+//===-- tests/ProfileTest.cpp - profile/ unit tests ------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/hw/Presets.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/profile/OnlineProfiler.h"
+#include "ecas/profile/WorkloadClass.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecas;
+
+TEST(WorkloadClass, IndexRoundTrip) {
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
+    WorkloadClass Class = WorkloadClass::fromIndex(I);
+    EXPECT_EQ(Class.index(), I);
+  }
+}
+
+TEST(WorkloadClass, Names) {
+  WorkloadClass Class;
+  Class.Bound = Boundedness::Memory;
+  Class.CpuDuration = DurationClass::Short;
+  Class.GpuDuration = DurationClass::Long;
+  EXPECT_EQ(Class.name(), "memory/cpu-short/gpu-long");
+  EXPECT_EQ(Class.shortName(), "M S L");
+}
+
+TEST(WorkloadClass, ClassifierThresholds) {
+  ClassifierThresholds Thresholds; // 0.33 and 100 ms.
+  WorkloadClass C = classifyWorkload(0.5, 0.05, 0.5, Thresholds);
+  EXPECT_EQ(C.Bound, Boundedness::Memory);
+  EXPECT_EQ(C.CpuDuration, DurationClass::Short);
+  EXPECT_EQ(C.GpuDuration, DurationClass::Long);
+
+  C = classifyWorkload(0.2, 0.5, 0.05, Thresholds);
+  EXPECT_EQ(C.Bound, Boundedness::Compute);
+  EXPECT_EQ(C.CpuDuration, DurationClass::Long);
+  EXPECT_EQ(C.GpuDuration, DurationClass::Short);
+
+  // Boundary: exactly at the threshold stays compute-bound / long.
+  C = classifyWorkload(0.33, 0.1, 0.1, Thresholds);
+  EXPECT_EQ(C.Bound, Boundedness::Compute);
+  EXPECT_EQ(C.CpuDuration, DurationClass::Long);
+}
+
+TEST(SampleWeightedAlpha, WeightedAverage) {
+  SampleWeightedAlpha Acc;
+  EXPECT_FALSE(Acc.hasValue());
+  Acc.addSample(0.2, 100.0);
+  Acc.addSample(0.8, 300.0);
+  ASSERT_TRUE(Acc.hasValue());
+  EXPECT_NEAR(Acc.value(), 0.65, 1e-12);
+}
+
+TEST(SampleWeightedAlpha, ZeroWeightIgnoredInAverage) {
+  SampleWeightedAlpha Acc;
+  Acc.addSample(0.4, 10.0);
+  Acc.addSample(1.0, 0.0);
+  EXPECT_NEAR(Acc.value(), 0.4, 1e-12);
+}
+
+TEST(ProfileSample, AccumulateBlendsByTime) {
+  ProfileSample A;
+  A.CpuIterations = 100;
+  A.GpuIterations = 200;
+  A.ElapsedSeconds = 1.0;
+  A.CpuBusySeconds = 1.0;
+  A.GpuBusySeconds = 0.5;
+  A.CpuThroughput = 100;
+  A.GpuThroughput = 400;
+  A.MissPerLoadStore = 0.2;
+
+  ProfileSample B;
+  B.CpuIterations = 300;
+  B.GpuIterations = 100;
+  B.ElapsedSeconds = 1.0;
+  B.CpuBusySeconds = 1.0;
+  B.GpuBusySeconds = 0.5;
+  B.MissPerLoadStore = 0.4;
+
+  A.accumulate(B);
+  EXPECT_DOUBLE_EQ(A.CpuIterations, 400.0);
+  EXPECT_DOUBLE_EQ(A.GpuIterations, 300.0);
+  EXPECT_DOUBLE_EQ(A.ElapsedSeconds, 2.0);
+  // Throughputs come from per-device busy time, not wall time.
+  EXPECT_DOUBLE_EQ(A.CpuThroughput, 200.0);
+  EXPECT_DOUBLE_EQ(A.GpuThroughput, 300.0);
+  EXPECT_NEAR(A.MissPerLoadStore, 0.3, 1e-12);
+}
+
+TEST(OnlineProfiler, MeasuresBothDevices) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  OnlineProfiler Profiler(Proc, Spec.defaultGpuProfileSize());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  double Remaining = 1e7;
+  ProfileSample Sample = Profiler.profileOnce(Kernel, Remaining);
+  EXPECT_GT(Sample.GpuIterations, 0.0);
+  EXPECT_GT(Sample.CpuIterations, 0.0);
+  EXPECT_GT(Sample.CpuThroughput, 0.0);
+  EXPECT_GT(Sample.GpuThroughput, 0.0);
+  EXPECT_LT(Remaining, 1e7);
+  EXPECT_NEAR(Remaining,
+              1e7 - Sample.CpuIterations - Sample.GpuIterations, 1e-6);
+  // The compute micro has near-zero miss ratio.
+  EXPECT_LT(Sample.MissPerLoadStore, 0.1);
+}
+
+TEST(OnlineProfiler, MemoryKernelShowsHighMissRatio) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  OnlineProfiler Profiler(Proc, Spec.defaultGpuProfileSize());
+  KernelDesc Kernel = memoryBoundMicroKernel();
+  double Remaining = 1e7;
+  ProfileSample Sample = Profiler.profileOnce(Kernel, Remaining);
+  EXPECT_GT(Sample.MissPerLoadStore, 0.33);
+}
+
+TEST(OnlineProfiler, ClassificationUsesRemainingWork) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  OnlineProfiler Profiler(Proc, Spec.defaultGpuProfileSize());
+  ProfileSample Sample;
+  Sample.CpuThroughput = 1e6;
+  Sample.GpuThroughput = 2e6;
+  Sample.MissPerLoadStore = 0.5;
+  // 1e4 remaining at 1e6/s = 10 ms: short on both devices.
+  WorkloadClass Short = Profiler.classify(Sample, 1e4);
+  EXPECT_EQ(Short.CpuDuration, DurationClass::Short);
+  EXPECT_EQ(Short.GpuDuration, DurationClass::Short);
+  EXPECT_EQ(Short.Bound, Boundedness::Memory);
+  // 1e6 remaining: 1 s CPU, 0.5 s GPU — long on both.
+  WorkloadClass Long = Profiler.classify(Sample, 1e6);
+  EXPECT_EQ(Long.CpuDuration, DurationClass::Long);
+  EXPECT_EQ(Long.GpuDuration, DurationClass::Long);
+}
+
+TEST(OnlineProfiler, ExhaustedPoolYieldsEmptySample) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  OnlineProfiler Profiler(Proc, 2048);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  double Remaining = 0.0;
+  ProfileSample Sample = Profiler.profileOnce(Kernel, Remaining);
+  EXPECT_DOUBLE_EQ(Sample.ElapsedSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(Remaining, 0.0);
+}
+
+TEST(OnlineProfiler, RepeatedProfilingConsumesPool) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  OnlineProfiler Profiler(Proc, Spec.defaultGpuProfileSize());
+  KernelDesc Kernel = computeBoundMicroKernel();
+  const double Total = 1e6;
+  double Remaining = Total;
+  unsigned Repetitions = 0;
+  while (Remaining > Total / 2) {
+    Profiler.profileOnce(Kernel, Remaining);
+    ++Repetitions;
+    ASSERT_LT(Repetitions, 10000u) << "profiling failed to make progress";
+  }
+  EXPECT_GT(Repetitions, 1u);
+  EXPECT_LE(Remaining, Total / 2);
+}

