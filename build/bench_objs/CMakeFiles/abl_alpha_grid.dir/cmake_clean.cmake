@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_alpha_grid"
+  "../bench/abl_alpha_grid.pdb"
+  "CMakeFiles/abl_alpha_grid.dir/abl_alpha_grid.cpp.o"
+  "CMakeFiles/abl_alpha_grid.dir/abl_alpha_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alpha_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

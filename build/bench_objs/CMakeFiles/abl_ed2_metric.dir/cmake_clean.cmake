@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ed2_metric"
+  "../bench/abl_ed2_metric.pdb"
+  "CMakeFiles/abl_ed2_metric.dir/abl_ed2_metric.cpp.o"
+  "CMakeFiles/abl_ed2_metric.dir/abl_ed2_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ed2_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_pcu_hints"
+  "../bench/abl_pcu_hints.pdb"
+  "CMakeFiles/abl_pcu_hints.dir/abl_pcu_hints.cpp.o"
+  "CMakeFiles/abl_pcu_hints.dir/abl_pcu_hints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pcu_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sample_weighting"
+  "../bench/abl_sample_weighting.pdb"
+  "CMakeFiles/abl_sample_weighting.dir/abl_sample_weighting.cpp.o"
+  "CMakeFiles/abl_sample_weighting.dir/abl_sample_weighting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

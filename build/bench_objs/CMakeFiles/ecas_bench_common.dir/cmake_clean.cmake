@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecas_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/ecas_bench_common.dir/BenchCommon.cpp.o.d"
+  "libecas_bench_common.a"
+  "libecas_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecas_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_cc_sweep"
+  "../bench/fig01_cc_sweep.pdb"
+  "CMakeFiles/fig01_cc_sweep.dir/fig01_cc_sweep.cpp.o"
+  "CMakeFiles/fig01_cc_sweep.dir/fig01_cc_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

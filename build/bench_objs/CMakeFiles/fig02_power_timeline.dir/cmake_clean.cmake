@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_power_timeline"
+  "../bench/fig02_power_timeline.pdb"
+  "CMakeFiles/fig02_power_timeline.dir/fig02_power_timeline.cpp.o"
+  "CMakeFiles/fig02_power_timeline.dir/fig02_power_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_power_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_micro_traces"
+  "../bench/fig03_micro_traces.pdb"
+  "CMakeFiles/fig03_micro_traces.dir/fig03_micro_traces.cpp.o"
+  "CMakeFiles/fig03_micro_traces.dir/fig03_micro_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_micro_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

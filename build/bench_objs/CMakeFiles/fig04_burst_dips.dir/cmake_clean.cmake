@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_burst_dips"
+  "../bench/fig04_burst_dips.pdb"
+  "CMakeFiles/fig04_burst_dips.dir/fig04_burst_dips.cpp.o"
+  "CMakeFiles/fig04_burst_dips.dir/fig04_burst_dips.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_burst_dips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

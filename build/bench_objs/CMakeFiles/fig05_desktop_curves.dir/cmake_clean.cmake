@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_desktop_curves"
+  "../bench/fig05_desktop_curves.pdb"
+  "CMakeFiles/fig05_desktop_curves.dir/fig05_desktop_curves.cpp.o"
+  "CMakeFiles/fig05_desktop_curves.dir/fig05_desktop_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_desktop_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

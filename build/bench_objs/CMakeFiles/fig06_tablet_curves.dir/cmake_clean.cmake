@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_tablet_curves"
+  "../bench/fig06_tablet_curves.pdb"
+  "CMakeFiles/fig06_tablet_curves.dir/fig06_tablet_curves.cpp.o"
+  "CMakeFiles/fig06_tablet_curves.dir/fig06_tablet_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tablet_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_desktop_edp"
+  "../bench/fig09_desktop_edp.pdb"
+  "CMakeFiles/fig09_desktop_edp.dir/fig09_desktop_edp.cpp.o"
+  "CMakeFiles/fig09_desktop_edp.dir/fig09_desktop_edp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_desktop_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tablet_edp"
+  "../bench/fig11_tablet_edp.pdb"
+  "CMakeFiles/fig11_tablet_edp.dir/fig11_tablet_edp.cpp.o"
+  "CMakeFiles/fig11_tablet_edp.dir/fig11_tablet_edp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tablet_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_tablet_energy"
+  "../bench/fig12_tablet_energy.pdb"
+  "CMakeFiles/fig12_tablet_energy.dir/fig12_tablet_energy.cpp.o"
+  "CMakeFiles/fig12_tablet_energy.dir/fig12_tablet_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tablet_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

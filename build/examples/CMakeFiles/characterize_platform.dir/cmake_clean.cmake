@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_platform.dir/characterize_platform.cpp.o"
+  "CMakeFiles/characterize_platform.dir/characterize_platform.cpp.o.d"
+  "characterize_platform"
+  "characterize_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_scheduling.dir/host_scheduling.cpp.o"
+  "CMakeFiles/host_scheduling.dir/host_scheduling.cpp.o.d"
+  "host_scheduling"
+  "host_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecas/cl/MiniCl.cpp" "src/CMakeFiles/ecas.dir/ecas/cl/MiniCl.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/cl/MiniCl.cpp.o.d"
+  "/root/repo/src/ecas/core/AlphaSearch.cpp" "src/CMakeFiles/ecas.dir/ecas/core/AlphaSearch.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/AlphaSearch.cpp.o.d"
+  "/root/repo/src/ecas/core/EasScheduler.cpp" "src/CMakeFiles/ecas.dir/ecas/core/EasScheduler.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/EasScheduler.cpp.o.d"
+  "/root/repo/src/ecas/core/ExecutionSession.cpp" "src/CMakeFiles/ecas.dir/ecas/core/ExecutionSession.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/ExecutionSession.cpp.o.d"
+  "/root/repo/src/ecas/core/KernelHistory.cpp" "src/CMakeFiles/ecas.dir/ecas/core/KernelHistory.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/KernelHistory.cpp.o.d"
+  "/root/repo/src/ecas/core/Metric.cpp" "src/CMakeFiles/ecas.dir/ecas/core/Metric.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/Metric.cpp.o.d"
+  "/root/repo/src/ecas/core/Schedulers.cpp" "src/CMakeFiles/ecas.dir/ecas/core/Schedulers.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/Schedulers.cpp.o.d"
+  "/root/repo/src/ecas/core/TimeModel.cpp" "src/CMakeFiles/ecas.dir/ecas/core/TimeModel.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/core/TimeModel.cpp.o.d"
+  "/root/repo/src/ecas/device/Device.cpp" "src/CMakeFiles/ecas.dir/ecas/device/Device.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/device/Device.cpp.o.d"
+  "/root/repo/src/ecas/device/KernelDesc.cpp" "src/CMakeFiles/ecas.dir/ecas/device/KernelDesc.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/device/KernelDesc.cpp.o.d"
+  "/root/repo/src/ecas/device/SimCpuDevice.cpp" "src/CMakeFiles/ecas.dir/ecas/device/SimCpuDevice.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/device/SimCpuDevice.cpp.o.d"
+  "/root/repo/src/ecas/device/SimGpuDevice.cpp" "src/CMakeFiles/ecas.dir/ecas/device/SimGpuDevice.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/device/SimGpuDevice.cpp.o.d"
+  "/root/repo/src/ecas/hw/PlatformSpec.cpp" "src/CMakeFiles/ecas.dir/ecas/hw/PlatformSpec.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/hw/PlatformSpec.cpp.o.d"
+  "/root/repo/src/ecas/hw/Presets.cpp" "src/CMakeFiles/ecas.dir/ecas/hw/Presets.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/hw/Presets.cpp.o.d"
+  "/root/repo/src/ecas/math/Matrix.cpp" "src/CMakeFiles/ecas.dir/ecas/math/Matrix.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/math/Matrix.cpp.o.d"
+  "/root/repo/src/ecas/math/Minimize.cpp" "src/CMakeFiles/ecas.dir/ecas/math/Minimize.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/math/Minimize.cpp.o.d"
+  "/root/repo/src/ecas/math/PolyFit.cpp" "src/CMakeFiles/ecas.dir/ecas/math/PolyFit.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/math/PolyFit.cpp.o.d"
+  "/root/repo/src/ecas/math/Polynomial.cpp" "src/CMakeFiles/ecas.dir/ecas/math/Polynomial.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/math/Polynomial.cpp.o.d"
+  "/root/repo/src/ecas/power/Characterizer.cpp" "src/CMakeFiles/ecas.dir/ecas/power/Characterizer.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/power/Characterizer.cpp.o.d"
+  "/root/repo/src/ecas/power/MicroBenchmarks.cpp" "src/CMakeFiles/ecas.dir/ecas/power/MicroBenchmarks.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/power/MicroBenchmarks.cpp.o.d"
+  "/root/repo/src/ecas/power/PowerCurve.cpp" "src/CMakeFiles/ecas.dir/ecas/power/PowerCurve.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/power/PowerCurve.cpp.o.d"
+  "/root/repo/src/ecas/profile/OnlineProfiler.cpp" "src/CMakeFiles/ecas.dir/ecas/profile/OnlineProfiler.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/profile/OnlineProfiler.cpp.o.d"
+  "/root/repo/src/ecas/profile/WorkloadClass.cpp" "src/CMakeFiles/ecas.dir/ecas/profile/WorkloadClass.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/profile/WorkloadClass.cpp.o.d"
+  "/root/repo/src/ecas/runtime/ChaseLevDeque.cpp" "src/CMakeFiles/ecas.dir/ecas/runtime/ChaseLevDeque.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/runtime/ChaseLevDeque.cpp.o.d"
+  "/root/repo/src/ecas/runtime/ParallelFor.cpp" "src/CMakeFiles/ecas.dir/ecas/runtime/ParallelFor.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/runtime/ParallelFor.cpp.o.d"
+  "/root/repo/src/ecas/runtime/ThreadPool.cpp" "src/CMakeFiles/ecas.dir/ecas/runtime/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/runtime/ThreadPool.cpp.o.d"
+  "/root/repo/src/ecas/sim/EnergyMeter.cpp" "src/CMakeFiles/ecas.dir/ecas/sim/EnergyMeter.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/sim/EnergyMeter.cpp.o.d"
+  "/root/repo/src/ecas/sim/Pcu.cpp" "src/CMakeFiles/ecas.dir/ecas/sim/Pcu.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/sim/Pcu.cpp.o.d"
+  "/root/repo/src/ecas/sim/PowerModel.cpp" "src/CMakeFiles/ecas.dir/ecas/sim/PowerModel.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/sim/PowerModel.cpp.o.d"
+  "/root/repo/src/ecas/sim/PowerTrace.cpp" "src/CMakeFiles/ecas.dir/ecas/sim/PowerTrace.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/sim/PowerTrace.cpp.o.d"
+  "/root/repo/src/ecas/sim/SimProcessor.cpp" "src/CMakeFiles/ecas.dir/ecas/sim/SimProcessor.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/sim/SimProcessor.cpp.o.d"
+  "/root/repo/src/ecas/support/Assert.cpp" "src/CMakeFiles/ecas.dir/ecas/support/Assert.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/support/Assert.cpp.o.d"
+  "/root/repo/src/ecas/support/Csv.cpp" "src/CMakeFiles/ecas.dir/ecas/support/Csv.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/support/Csv.cpp.o.d"
+  "/root/repo/src/ecas/support/Flags.cpp" "src/CMakeFiles/ecas.dir/ecas/support/Flags.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/support/Flags.cpp.o.d"
+  "/root/repo/src/ecas/support/Format.cpp" "src/CMakeFiles/ecas.dir/ecas/support/Format.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/support/Format.cpp.o.d"
+  "/root/repo/src/ecas/support/Stats.cpp" "src/CMakeFiles/ecas.dir/ecas/support/Stats.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/support/Stats.cpp.o.d"
+  "/root/repo/src/ecas/workloads/BarnesHut.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/BarnesHut.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/BarnesHut.cpp.o.d"
+  "/root/repo/src/ecas/workloads/BlackScholes.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/BlackScholes.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/BlackScholes.cpp.o.d"
+  "/root/repo/src/ecas/workloads/FaceDetect.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/FaceDetect.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/FaceDetect.cpp.o.d"
+  "/root/repo/src/ecas/workloads/Generators.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/Generators.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/Generators.cpp.o.d"
+  "/root/repo/src/ecas/workloads/GraphWorkloads.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/GraphWorkloads.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/GraphWorkloads.cpp.o.d"
+  "/root/repo/src/ecas/workloads/Mandelbrot.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/Mandelbrot.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/Mandelbrot.cpp.o.d"
+  "/root/repo/src/ecas/workloads/MatrixMultiply.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/MatrixMultiply.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/MatrixMultiply.cpp.o.d"
+  "/root/repo/src/ecas/workloads/NBody.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/NBody.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/NBody.cpp.o.d"
+  "/root/repo/src/ecas/workloads/RayTracer.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/RayTracer.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/RayTracer.cpp.o.d"
+  "/root/repo/src/ecas/workloads/Registry.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/Registry.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/Registry.cpp.o.d"
+  "/root/repo/src/ecas/workloads/Seismic.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/Seismic.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/Seismic.cpp.o.d"
+  "/root/repo/src/ecas/workloads/SkipList.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/SkipList.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/SkipList.cpp.o.d"
+  "/root/repo/src/ecas/workloads/Workload.cpp" "src/CMakeFiles/ecas.dir/ecas/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/ecas.dir/ecas/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicl_test.dir/MiniClTest.cpp.o"
+  "CMakeFiles/minicl_test.dir/MiniClTest.cpp.o.d"
+  "minicl_test"
+  "minicl_test.pdb"
+  "minicl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

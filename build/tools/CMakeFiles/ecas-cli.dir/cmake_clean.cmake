@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecas-cli.dir/ecas_cli.cpp.o"
+  "CMakeFiles/ecas-cli.dir/ecas_cli.cpp.o.d"
+  "ecas-cli"
+  "ecas-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecas-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
