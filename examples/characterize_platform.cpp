@@ -62,11 +62,23 @@ int main(int Argc, char **Argv) {
     Buffer << File.rdbuf();
     return Buffer.str();
   };
-  auto LoadedSpec = PlatformSpec::deserialize(Slurp(SpecPath));
-  auto LoadedCurves = PowerCurveSet::deserialize(Slurp(CurvePath));
-  if (!LoadedSpec || !LoadedCurves || !LoadedCurves->complete()) {
-    std::fprintf(stderr, "round-trip failed\n");
+  ErrorOr<PlatformSpec> LoadedSpec = PlatformSpec::load(Slurp(SpecPath));
+  if (!LoadedSpec) {
+    std::fprintf(stderr, "spec round-trip failed: %s\n",
+                 LoadedSpec.status().message().c_str());
     return 1;
+  }
+  // A corrupt or truncated curve file is an operational event, not a
+  // programming error: report the recoverable status and fall back to
+  // re-characterizing the part (it is a pure function of the spec).
+  ErrorOr<PowerCurveSet> LoadedCurves =
+      PowerCurveSet::load(Slurp(CurvePath), /*RequireComplete=*/true);
+  if (!LoadedCurves) {
+    std::fprintf(stderr,
+                 "cannot load %s (%s: %s); re-characterizing instead\n",
+                 CurvePath.c_str(), errCodeName(LoadedCurves.status().code()),
+                 LoadedCurves.status().message().c_str());
+    LoadedCurves = Characterizer(*LoadedSpec).characterize();
   }
   std::printf("reloaded spec '%s' and %s curve set\n",
               LoadedSpec->Name.c_str(),

@@ -82,6 +82,15 @@ void MiniEvent::wait() const {
   });
 }
 
+Status MiniEvent::waitStatus() const {
+  ECAS_CHECK(Shared != nullptr, "waiting on a null event");
+  std::unique_lock<std::mutex> Lock(Shared->Mutex);
+  Shared->Done.wait(Lock, [this] {
+    return Shared->Stage == CommandState::Complete;
+  });
+  return Shared->Result;
+}
+
 CommandState MiniEvent::state() const {
   ECAS_CHECK(Shared != nullptr, "querying a null event");
   std::lock_guard<std::mutex> Lock(Shared->Mutex);
@@ -194,9 +203,20 @@ uint64_t CommandQueue::commandsCompleted() const {
   return Completed;
 }
 
+void CommandQueue::setFaultHook(std::function<Status()> Hook) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  FaultHook = std::move(Hook);
+}
+
+uint64_t CommandQueue::commandsFailed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Failed;
+}
+
 void CommandQueue::workerLoop() {
   while (true) {
     std::unique_ptr<Command> Cmd;
+    std::function<Status()> Hook;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WorkAvailable.wait(Lock, [this] {
@@ -210,20 +230,37 @@ void CommandQueue::workerLoop() {
       Cmd = std::move(Pending.front());
       Pending.pop_front();
       ++InFlight;
+      Hook = FaultHook;
     }
 
     Cmd->Event->advance(CommandState::Submitted, hostSeconds());
-    if (DispatchLatencySec > 0.0)
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(DispatchLatencySec));
-    Cmd->Event->advance(CommandState::Running, hostSeconds());
-    Dispatch(Cmd->Body, Cmd->Begin, Cmd->End);
+    Status Verdict = Hook ? Hook() : Status::Success;
+    if (Verdict == Status::Success) {
+      if (DispatchLatencySec > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(DispatchLatencySec));
+      Cmd->Event->advance(CommandState::Running, hostSeconds());
+      Dispatch(Cmd->Body, Cmd->Begin, Cmd->End);
+    } else {
+      // The device refused the command: complete the event with the
+      // error so waiters observe the failure instead of deadlocking.
+      std::lock_guard<std::mutex> Lock(Cmd->Event->Mutex);
+      Cmd->Event->Result = Verdict;
+    }
+    // Settle the counters before publishing completion: a waiter released
+    // by the Complete transition must already see this command counted.
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Verdict == Status::Success)
+        ++Completed;
+      else
+        ++Failed;
+    }
     Cmd->Event->advance(CommandState::Complete, hostSeconds());
 
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       --InFlight;
-      ++Completed;
       if (Pending.empty() && InFlight == 0)
         QueueDrained.notify_all();
     }
@@ -272,7 +309,13 @@ MiniContext::runPartitioned(const MiniKernel &Kernel, uint64_t N,
   MiniEvent CpuEvent = Cpu->enqueue(Kernel, 0, CpuEnd);
   if (CpuEnd > 0)
     CpuEvent.wait();
-  if (GpuIters > 0)
-    GpuEvent.wait();
+  if (GpuIters > 0 && GpuEvent.waitStatus() != Status::Success) {
+    // The GPU refused its share; rerun it on the CPU so the partition
+    // still covers all of [0, N).
+    ++GpuFallbacks;
+    MiniEvent Fallback = Cpu->enqueue(Kernel, CpuEnd, N);
+    Fallback.wait();
+    return {CpuEvent, Fallback};
+  }
   return {CpuEvent, GpuEvent};
 }

@@ -75,6 +75,11 @@ public:
   /// Blocks until the command completes.
   void wait() const;
 
+  /// Blocks until the command completes and returns its final status —
+  /// the recoverable-error variant of wait() callers use when a device
+  /// may refuse or abandon work.
+  Status waitStatus() const;
+
   CommandState state() const;
   Status status() const;
 
@@ -125,6 +130,16 @@ public:
   /// Commands executed over the queue's lifetime.
   uint64_t commandsCompleted() const;
 
+  /// Installs a pre-dispatch hook consulted before each command runs:
+  /// a non-Success return fails the command with that status and the
+  /// body never executes — how a fault injector (or a real driver's
+  /// error path) surfaces launch failures through this layer. Pass an
+  /// empty function to remove.
+  void setFaultHook(std::function<Status()> Hook);
+
+  /// Commands failed by the fault hook over the queue's lifetime.
+  uint64_t commandsFailed() const;
+
 private:
   void workerLoop();
 
@@ -132,12 +147,14 @@ private:
   std::string DeviceName;
   std::function<void(const RangeBody &, uint64_t, uint64_t)> Dispatch;
   double DispatchLatencySec;
+  std::function<Status()> FaultHook;
 
   mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::condition_variable QueueDrained;
   std::deque<std::unique_ptr<Command>> Pending;
   uint64_t Completed = 0;
+  uint64_t Failed = 0;
   uint64_t InFlight = 0;
   bool ShuttingDown = false;
   std::thread Worker;
@@ -160,14 +177,22 @@ public:
 
   /// Splits [0, N) at \p Alpha like Fig. 7 steps 23-25: the GPU queue
   /// takes the tail Alpha*N, the CPU queue the head; waits for both.
+  /// When the GPU command fails (a fault hook or driver error), its
+  /// range is transparently re-run on the CPU queue so the partition
+  /// always completes; the returned GPU-side event is then the CPU
+  /// fallback's event and gpuFallbacks() counts the reroute.
   /// \returns the two events (CPU first).
   std::pair<MiniEvent, MiniEvent> runPartitioned(const MiniKernel &Kernel,
                                                  uint64_t N, double Alpha);
+
+  /// GPU commands rerouted to the CPU by runPartitioned().
+  uint64_t gpuFallbacks() const { return GpuFallbacks; }
 
 private:
   ThreadPool Pool;
   std::unique_ptr<CommandQueue> Cpu;
   std::unique_ptr<CommandQueue> Gpu;
+  uint64_t GpuFallbacks = 0;
 };
 
 } // namespace ecas::cl

@@ -9,6 +9,8 @@
 #include "ecas/math/Minimize.h"
 #include "ecas/support/Assert.h"
 
+#include <cmath>
+
 using namespace ecas;
 
 AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
@@ -21,7 +23,11 @@ AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
   auto ObjectiveAt = [&](double Alpha) {
     double Seconds = Model.totalTime(Iterations, Alpha);
     double Watts = Curve.powerAt(Alpha);
-    return Objective.evaluate(Watts, Seconds);
+    double Value = Objective.evaluate(Watts, Seconds);
+    // A degenerate model point (dead device, overflowed product) must
+    // lose to every well-defined grid cell, and a NaN would poison the
+    // min-comparison chain below; map both to a huge finite penalty.
+    return std::isfinite(Value) ? Value : 1e300;
   };
 
   MinResult Min =

@@ -16,8 +16,8 @@ using namespace ecas;
 
 EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
                            EasConfig ConfigIn)
-    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
-      Config(ConfigIn) {
+    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)), Config(ConfigIn),
+      Monitor(Config.Health) {
   ECAS_CHECK(Curves.complete(),
              "EAS requires a complete 8-category power characterization");
   ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
@@ -42,6 +42,31 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
     return Outcome;
   }
 
+  // Graceful degradation: a quarantined GPU pins the invocation to
+  // CPU-alone (alpha = 0) without consulting table G. gpuUsable() also
+  // ends an expired quarantine — the dispatch below then doubles as the
+  // re-probe that can re-admit the device.
+  if (!Monitor.gpuUsable(Proc.now())) {
+    runPartitionedResilient(Proc, Monitor, Kernel, Iterations,
+                            /*Alpha=*/0.0);
+    KernelRecord &Record = History.obtain(Kernel.Id);
+    ++Record.QuarantinedRuns;
+    ++Record.Invocations;
+    Outcome.GpuQuarantined = true;
+    Outcome.CpuOnlyFastPath = true;
+    Outcome.Seconds = Proc.now() - Start;
+    return Outcome;
+  }
+
+  // A recovery since the last invocation means the device coming back
+  // may not be the device that left (thermal state, clocks); force a
+  // re-profile so alpha is re-optimized against the recovered GPU. The
+  // demand is sticky across small-N invocations that cannot profile.
+  if (Monitor.recoveries() != LastSeenRecoveries) {
+    LastSeenRecoveries = Monitor.recoveries();
+    PendingReadmitReprofile = true;
+  }
+
   double GpuProfileSize = Config.GpuProfileSize > 0.0
                               ? Config.GpuProfileSize
                               : Proc.spec().defaultGpuProfileSize();
@@ -52,6 +77,7 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
 
   double Alpha = 0.0;
   double Nrem = Iterations;
+  bool ProfileHang = false;
   const KernelRecord *Known = History.lookup(Kernel.Id);
 
   // Periodic re-profiling for kernels whose behaviour drifts over time
@@ -62,6 +88,11 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
       Known->Invocations >= Config.ReprofileEveryInvocations &&
       Known->Invocations % Config.ReprofileEveryInvocations == 0 &&
       Iterations >= GpuProfileSize;
+  if (PendingReadmitReprofile && Iterations >= GpuProfileSize) {
+    Outcome.GpuReadmitted = true;
+    ReprofileDue = true;
+    PendingReadmitReprofile = false;
+  }
 
   if (Known && Known->Alpha.hasValue() && !ReprofileDue &&
       (Known->Confident || Iterations < GpuProfileSize)) {
@@ -88,11 +119,33 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
     // until both devices have been properly observed.
     Outcome.Profiled = true;
     OnlineProfiler Profiler(Proc, GpuProfileSize);
+    Profiler.setWatchdogPollSec(Config.Health.WatchdogPollSec);
     KernelRecord &Record = History.obtain(Kernel.Id);
     double ProfileFloor = Iterations * Config.ProfileFraction;
     while (Nrem > ProfileFloor) {
       ProfileSample Sample = Profiler.profileOnce(Kernel, Nrem);
       ++Outcome.ProfileRepetitions;
+      if (Sample.GpuLaunchFailed) {
+        // The driver refused the profiling enqueue. Stop measuring; the
+        // remainder execution below retries with backoff and degrades
+        // if the device stays unavailable.
+        Monitor.noteLaunchFailure(Proc.now());
+        ++Outcome.LaunchRetries;
+        break;
+      }
+      if (Sample.GpuHung) {
+        // Quarantine the device and discard the repetition: a hung
+        // chunk's near-zero "throughput" is a property of the fault,
+        // not the kernel, and must not poison table G. The remainder
+        // runs CPU-alone.
+        Monitor.noteHang(Proc.now());
+        Outcome.HangDetected = true;
+        ProfileHang = true;
+        Alpha = 0.0;
+        break;
+      }
+      if (Sample.GpuIterations > 0.0)
+        Monitor.noteGpuSuccess(Proc.now());
       if (Sample.ElapsedSeconds <= 0.0)
         break;
       Record.Sample.accumulate(Sample);
@@ -129,18 +182,28 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   }
 
   // Steps 23-25: execute the remainder at the chosen split, optionally
-  // telling the governor what is coming (future-work extension).
+  // telling the governor what is coming (future-work extension). The
+  // resilient primitive handles launch retries, hang detection, and
+  // quarantine-stranding; on a healthy platform it is exactly
+  // runPartitioned.
   if (Nrem > 0.0) {
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
-    Outcome.Seconds = runPartitioned(Proc, Kernel, Nrem, Alpha);
+    PartitionOutcome Partition =
+        runPartitionedResilient(Proc, Monitor, Kernel, Nrem, Alpha);
+    Outcome.LaunchRetries += Partition.LaunchRetries;
+    Outcome.HangDetected = Outcome.HangDetected || Partition.HangDetected;
+    Outcome.GpuQuarantined =
+        Outcome.GpuQuarantined || Partition.QuarantineSkipped;
   }
 
   // Step 26: sample-weighted accumulation across invocations. Only
   // freshly computed alphas are samples; a table-G reuse feeds back the
-  // accumulator's own value and must not inflate its weight.
+  // accumulator's own value and must not inflate its weight. A
+  // profiling round ended by a hang produced a fault artifact, not a
+  // kernel property, and is kept out of table G.
   KernelRecord &Record = History.obtain(Kernel.Id);
-  if (Outcome.Profiled)
+  if (Outcome.Profiled && !ProfileHang)
     Record.Alpha.addSample(Alpha, std::max(Nrem, 1.0));
   Record.Class = Outcome.Class;
   ++Record.Invocations;

@@ -21,6 +21,7 @@
 #include "ecas/core/AlphaSearch.h"
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
+#include "ecas/fault/GpuHealth.h"
 #include "ecas/power/PowerCurve.h"
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/sim/SimProcessor.h"
@@ -57,6 +58,11 @@ struct EasConfig {
   unsigned ReprofileEveryInvocations = 0;
   /// Classification thresholds (0.33 miss ratio, 100 ms).
   ClassifierThresholds Thresholds;
+  /// Degradation policy: launch-retry budget, quarantine backoff, and
+  /// the hang watchdog's poll interval. Only consulted when something
+  /// goes wrong; with a healthy platform the scheduler never deviates
+  /// from Fig. 7.
+  GpuHealthConfig Health;
 };
 
 /// The energy-aware scheduler. One instance owns a table G and serves
@@ -77,6 +83,17 @@ public:
     WorkloadClass Class;
     /// Profiling repetitions performed (0 when table G was hit).
     unsigned ProfileRepetitions = 0;
+    /// The GPU was quarantined, so this invocation degraded to
+    /// CPU-alone without attempting a dispatch.
+    bool GpuQuarantined = false;
+    /// A hang was detected (during profiling or execution) and the GPU
+    /// share stranded back onto the CPU.
+    bool HangDetected = false;
+    /// Failed GPU enqueue attempts retried during this invocation.
+    unsigned LaunchRetries = 0;
+    /// First invocation after a recovery: the GPU was re-admitted and
+    /// the kernel re-profiled so alpha reflects the recovered device.
+    bool GpuReadmitted = false;
   };
 
   /// Fig. 7's EAS(): schedules and executes one invocation of \p Kernel
@@ -94,7 +111,12 @@ public:
   const KernelHistory &history() const { return History; }
   const Metric &objective() const { return Objective; }
 
-  /// Forgets all table-G state (a fresh application run).
+  /// The GPU health monitor backing this scheduler's degradation policy.
+  const GpuHealthMonitor &health() const { return Monitor; }
+
+  /// Forgets all table-G state (a fresh application run). Health state
+  /// persists — a quarantine outlives application restarts the way a
+  /// broken device does.
   void reset() { History.clear(); }
 
 private:
@@ -102,6 +124,13 @@ private:
   Metric Objective;
   EasConfig Config;
   KernelHistory History;
+  GpuHealthMonitor Monitor;
+  /// Recovery count at the last execute(); a difference means the GPU
+  /// was re-admitted and the next large invocation must re-profile.
+  unsigned LastSeenRecoveries = 0;
+  /// Sticky re-profile demand raised by a recovery, so the forced
+  /// re-optimization survives intervening small-N invocations.
+  bool PendingReadmitReprofile = false;
   bool ExternalGpuBusy = false;
 };
 

@@ -35,20 +35,48 @@ SessionReport ExecutionSession::finishReport(std::string Scheme,
   return Report;
 }
 
+/// Folds one GPU health monitor's tallies plus the injector's (if any)
+/// into a finished report.
+static void attachResilience(SessionReport &Report,
+                             const GpuHealthMonitor &Health,
+                             const SimProcessor &Proc,
+                             unsigned QuarantinedInvocations) {
+  const GpuHealthMonitor::Stats &Stats = Health.stats();
+  Report.Resilience.LaunchRetries = Stats.LaunchFailures;
+  Report.Resilience.LaunchesAbandoned = Stats.LaunchesAbandoned;
+  Report.Resilience.HangsDetected = Stats.HangsDetected;
+  Report.Resilience.Quarantines = Stats.Quarantines;
+  Report.Resilience.QuarantinedInvocations = QuarantinedInvocations;
+  Report.Resilience.Recoveries = Stats.Recoveries;
+  if (const FaultInjector *Faults = Proc.faults()) {
+    Report.Injected = Faults->stats();
+    Report.FaultsEnabled = true;
+  }
+}
+
 SessionReport
 ExecutionSession::runFixedAlpha(const InvocationTrace &Trace, double Alpha,
                                 const Metric &Objective) const {
   SimProcessor Proc(Spec);
+  GpuHealthMonitor Health;
   uint32_t MsrBefore = Proc.meter().readMsr();
   double Start = Proc.now();
-  for (const KernelInvocation &Invocation : Trace)
-    runPartitioned(Proc, Invocation.Kernel, Invocation.Iterations, Alpha);
+  double AlphaIterSum = 0.0;
+  unsigned Quarantined = 0;
+  for (const KernelInvocation &Invocation : Trace) {
+    PartitionOutcome Outcome = runPartitionedResilient(
+        Proc, Health, Invocation.Kernel, Invocation.Iterations, Alpha);
+    AlphaIterSum += Outcome.AlphaEffective * Invocation.Iterations;
+    Quarantined += Outcome.QuarantineSkipped ? 1 : 0;
+  }
   double Seconds = Proc.now() - Start;
   double Joules = Proc.meter().joulesSince(MsrBefore);
   double TotalIters = traceIterations(Trace);
-  return finishReport("fixed", Objective, Seconds, Joules,
-                      Alpha * TotalIters, TotalIters,
-                      static_cast<unsigned>(Trace.size()));
+  SessionReport Report = finishReport("fixed", Objective, Seconds, Joules,
+                                      AlphaIterSum, TotalIters,
+                                      static_cast<unsigned>(Trace.size()));
+  attachResilience(Report, Health, Proc, Quarantined);
+  return Report;
 }
 
 SessionReport ExecutionSession::runCpuOnly(const InvocationTrace &Trace,
@@ -112,10 +140,12 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
   double AlphaIterSum = 0.0;
   WorkloadClass LastClass;
   bool Classified = false;
+  unsigned Quarantined = 0;
   for (const KernelInvocation &Invocation : Trace) {
     EasScheduler::InvocationOutcome Outcome =
         Scheduler.execute(Proc, Invocation.Kernel, Invocation.Iterations);
     AlphaIterSum += Outcome.AlphaUsed * Invocation.Iterations;
+    Quarantined += Outcome.GpuQuarantined ? 1 : 0;
     if (Outcome.Profiled) {
       LastClass = Outcome.Class;
       Classified = true;
@@ -128,5 +158,6 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
       traceIterations(Trace), static_cast<unsigned>(Trace.size()));
   Report.ClassifiedAs = LastClass;
   Report.WasClassified = Classified;
+  attachResilience(Report, Scheduler.health(), Proc, Quarantined);
   return Report;
 }

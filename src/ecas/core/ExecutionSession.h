@@ -29,6 +29,24 @@
 
 namespace ecas {
 
+/// What the degradation machinery did during one run (all zeros on a
+/// healthy platform).
+struct ResilienceSummary {
+  unsigned LaunchRetries = 0;
+  unsigned LaunchesAbandoned = 0;
+  unsigned HangsDetected = 0;
+  unsigned Quarantines = 0;
+  /// Invocations that ran CPU-alone because the GPU was quarantined.
+  unsigned QuarantinedInvocations = 0;
+  unsigned Recoveries = 0;
+
+  /// True when any fault forced the run off its nominal schedule.
+  bool degraded() const {
+    return LaunchesAbandoned || HangsDetected || Quarantines ||
+           QuarantinedInvocations;
+  }
+};
+
 /// Outcome of running one trace under one scheme.
 struct SessionReport {
   std::string Scheme;
@@ -42,6 +60,12 @@ struct SessionReport {
   /// EAS only: classification of the (last profiled) kernel.
   WorkloadClass ClassifiedAs;
   bool WasClassified = false;
+  /// Reaction side: what the degradation policy did.
+  ResilienceSummary Resilience;
+  /// Cause side: what the injector introduced (zeros when no fault plan
+  /// was attached to the platform spec).
+  FaultStats Injected;
+  bool FaultsEnabled = false;
 
   double averageWatts() const { return Seconds > 0.0 ? Joules / Seconds : 0.0; }
 };

@@ -42,6 +42,12 @@ struct KernelRecord {
   /// down).
   bool Confident = false;
   unsigned Invocations = 0;
+  /// Invocations of this kernel forced to CPU-alone because the GPU was
+  /// quarantined at dispatch time. These do not touch Alpha — the
+  /// learned ratio describes the healthy platform, and a recovered GPU
+  /// resumes from it (refined by the post-recovery re-profile) rather
+  /// than from quarantine-poisoned history.
+  unsigned QuarantinedRuns = 0;
 };
 
 /// The table G. Not thread-safe; the GPU proxy thread owns it.

@@ -8,6 +8,7 @@
 
 #include "ecas/support/Assert.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace ecas;
@@ -32,4 +33,95 @@ double ecas::runPartitioned(SimProcessor &Proc, const KernelDesc &Kernel,
     Proc.cpu().enqueue(Kernel, CpuIters);
   Proc.runUntilIdle();
   return Proc.now() - Start;
+}
+
+PartitionOutcome ecas::runPartitionedResilient(SimProcessor &Proc,
+                                               GpuHealthMonitor &Health,
+                                               const KernelDesc &Kernel,
+                                               double Iterations,
+                                               double Alpha) {
+  ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
+  ECAS_CHECK(Iterations >= 0.0, "iteration count cannot be negative");
+  PartitionOutcome Outcome;
+  Outcome.AlphaRequested = Alpha;
+
+  // No injector and never a fault observed: take the exact legacy path,
+  // guaranteeing bit-identical behaviour when injection is disabled.
+  if (!Proc.faults() && Health.pristine()) {
+    Outcome.Seconds = runPartitioned(Proc, Kernel, Iterations, Alpha);
+    Outcome.AlphaEffective = Alpha;
+    return Outcome;
+  }
+
+  const GpuHealthConfig &Config = Health.config();
+  double GpuIters = std::floor(Alpha * Iterations + 0.5);
+  double CpuIters = Iterations - GpuIters;
+  double Start = Proc.now();
+
+  bool GpuLaunched = false;
+  if (GpuIters > 0.0) {
+    if (!Health.gpuUsable(Proc.now())) {
+      // Quarantined: degrade this invocation to CPU-alone up front.
+      Outcome.QuarantineSkipped = true;
+      CpuIters += GpuIters;
+      GpuIters = 0.0;
+    } else {
+      // Bounded retry with exponential backoff around the enqueue. The
+      // probability of failure is the injector's business; the runtime
+      // only sees the driver saying no.
+      double Backoff = Config.InitialRetryBackoffSec;
+      for (unsigned Attempt = 0; Attempt <= Config.MaxLaunchRetries;
+           ++Attempt) {
+        if (Attempt > 0) {
+          Proc.runFor(Backoff);
+          Backoff = std::min(Backoff * Config.RetryBackoffMultiplier,
+                             Config.MaxRetryBackoffSec);
+        }
+        if (Proc.faults() && Proc.faults()->gpuLaunchFails(Proc.now())) {
+          Health.noteLaunchFailure(Proc.now());
+          ++Outcome.LaunchRetries;
+          continue;
+        }
+        Proc.gpu().enqueue(Kernel, GpuIters);
+        GpuLaunched = true;
+        break;
+      }
+      if (!GpuLaunched) {
+        Health.noteLaunchAbandoned(Proc.now());
+        Outcome.LaunchAbandoned = true;
+        CpuIters += GpuIters;
+        GpuIters = 0.0;
+      }
+    }
+  }
+
+  if (CpuIters > 0.0)
+    Proc.cpu().enqueue(Kernel, CpuIters);
+
+  // Progress-based watchdog: poll the run and declare a hang when the
+  // GPU stays busy without retiring a single iteration across a whole
+  // poll interval. Watching progress (not predicted completion time)
+  // keeps throttled-but-moving devices off the hang path.
+  double GpuStranded = 0.0;
+  while (Proc.cpu().busy() || Proc.gpu().busy()) {
+    bool GpuBusyBefore = Proc.gpu().busy();
+    double GpuPendingBefore = Proc.gpu().pendingIterations();
+    Proc.runUntilIdle(Config.WatchdogPollSec);
+    if (GpuBusyBefore && Proc.gpu().busy() &&
+        Proc.gpu().pendingIterations() >= GpuPendingBefore - 1e-9) {
+      Health.noteHang(Proc.now());
+      Outcome.HangDetected = true;
+      GpuStranded = Proc.gpu().cancelRemaining();
+      if (GpuStranded > 0.0)
+        Proc.cpu().enqueue(Kernel, GpuStranded);
+    }
+  }
+
+  if (GpuLaunched && !Outcome.HangDetected)
+    Health.noteGpuSuccess(Proc.now());
+
+  Outcome.Seconds = Proc.now() - Start;
+  Outcome.AlphaEffective =
+      Iterations > 0.0 ? (GpuIters - GpuStranded) / Iterations : 0.0;
+  return Outcome;
 }

@@ -17,6 +17,7 @@
 #define ECAS_CORE_SCHEDULERS_H
 
 #include "ecas/device/KernelDesc.h"
+#include "ecas/fault/GpuHealth.h"
 #include "ecas/sim/SimProcessor.h"
 
 #include <vector>
@@ -40,6 +41,41 @@ double traceIterations(const InvocationTrace &Trace);
 /// then wait for both. \returns elapsed virtual seconds.
 double runPartitioned(SimProcessor &Proc, const KernelDesc &Kernel,
                       double Iterations, double Alpha);
+
+/// What one fault-tolerant partitioned execution did and observed.
+struct PartitionOutcome {
+  double Seconds = 0.0;
+  /// The split the caller asked for.
+  double AlphaRequested = 0.0;
+  /// The fraction of iterations the GPU actually completed: lower than
+  /// requested when the launch was abandoned, the device was
+  /// quarantined, or a hang stranded part of the GPU share back to the
+  /// CPU.
+  double AlphaEffective = 0.0;
+  /// Failed enqueue attempts that were retried with backoff.
+  unsigned LaunchRetries = 0;
+  /// Retry budget exhausted; the GPU share ran on the CPU instead.
+  bool LaunchAbandoned = false;
+  /// The watchdog declared the dispatch hung and stranded the GPU's
+  /// remaining iterations to the CPU.
+  bool HangDetected = false;
+  /// The GPU was skipped up front because \p Health had it quarantined.
+  bool QuarantineSkipped = false;
+};
+
+/// Fault-tolerant variant of runPartitioned(), the execution primitive
+/// behind every scheme's graceful degradation: consults \p Health before
+/// touching the GPU, retries failed launches with exponential backoff up
+/// to the configured budget, watches for hangs by polling for iteration
+/// progress, and strands any unrecoverable GPU share back onto the CPU
+/// so the invocation always completes. A clean GPU completion is
+/// reported to \p Health (from the Probing state that is the recovery
+/// that re-admits the device). With no fault injector on \p Proc and a
+/// pristine monitor this is bit-identical to runPartitioned().
+PartitionOutcome runPartitionedResilient(SimProcessor &Proc,
+                                         GpuHealthMonitor &Health,
+                                         const KernelDesc &Kernel,
+                                         double Iterations, double Alpha);
 
 } // namespace ecas
 

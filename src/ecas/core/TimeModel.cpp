@@ -9,16 +9,34 @@
 #include "ecas/support/Assert.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace ecas;
 
 TimeModel::TimeModel(double CpuRate, double GpuRate)
     : Rc(CpuRate), Rg(GpuRate) {
-  ECAS_CHECK(Rc >= 0.0 && Rg >= 0.0, "throughputs cannot be negative");
-  ECAS_CHECK(Rc > 0.0 || Rg > 0.0, "at least one device must make progress");
+  // Throughputs come from measurement, and measurements on a degraded
+  // platform can be zero, negative garbage, or NaN (a profiling window
+  // with no completed iterations, glitched counters). The model must
+  // stay total over such inputs — every query below answers with a
+  // clamped-but-finite or 1e30 sentinel instead of aborting — so a
+  // fault during profiling degrades the schedule rather than the
+  // process. Note the NaN ordering trap: ECAS_CHECK(Rc >= 0.0) would
+  // *pass* sanitized garbage through, because NaN fails every
+  // comparison; explicit isfinite tests are required.
+  if (!std::isfinite(Rc) || Rc < 0.0)
+    Rc = 0.0;
+  if (!std::isfinite(Rg) || Rg < 0.0)
+    Rg = 0.0;
 }
 
-double TimeModel::alphaPerf() const { return Rg / (Rc + Rg); }
+double TimeModel::alphaPerf() const {
+  // Both devices dead: no finishing-together ratio exists; 0 (all-CPU)
+  // is the conservative answer.
+  if (Rc + Rg <= 0.0)
+    return 0.0;
+  return Rg / (Rc + Rg);
+}
 
 double TimeModel::combinedTime(double N, double Alpha) const {
   ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");

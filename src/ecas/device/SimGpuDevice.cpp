@@ -23,7 +23,7 @@ RatePoint SimGpuDevice::rateModel(const KernelDesc &Kernel, double FreqGHz,
   double FullRate =
       Lanes * Kernel.GpuEfficiency * FreqGHz * 1e9 / Kernel.GpuCyclesPerIter;
   double Occupancy = std::min(1.0, PendingIters / Lanes);
-  Rate.ComputeRate = FullRate * Occupancy;
+  Rate.ComputeRate = FullRate * Occupancy * Derate;
   // Multithreading hides DRAM latency; stalls appear only when the
   // bandwidth cap binds (handled by the caller).
   Rate.LatencyStallFraction = 0.0;

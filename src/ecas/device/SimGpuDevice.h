@@ -27,6 +27,13 @@ public:
   explicit SimGpuDevice(const PlatformSpec &Spec)
       : SimDevice(DeviceKind::Gpu), Spec(Spec) {}
 
+  /// Fault-injection hook: multiplies the modeled throughput (and the
+  /// bandwidth it demands) by \p Scale. 1 is nominal; 0 models a hung
+  /// device that accepts work but retires nothing. Set by SimProcessor
+  /// each step from the active fault plan.
+  void setThroughputDerate(double Scale) { Derate = Scale; }
+  double throughputDerate() const { return Derate; }
+
 protected:
   RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
                       double PendingIters) const override;
@@ -37,6 +44,7 @@ protected:
 
 private:
   const PlatformSpec &Spec;
+  double Derate = 1.0;
 };
 
 } // namespace ecas

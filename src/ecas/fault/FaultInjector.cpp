@@ -1,0 +1,85 @@
+//===-- ecas/fault/FaultInjector.cpp - Seeded fault realization -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/fault/FaultInjector.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+FaultInjector::FaultInjector(FaultPlan PlanIn)
+    : Plan(std::move(PlanIn)), Rng(Plan.seed()),
+      Fired(Plan.events().size(), false) {}
+
+bool FaultInjector::gpuLaunchFails(double NowSec) {
+  for (const FaultEvent &Event : Plan.events()) {
+    if (Event.Kind != FaultKind::GpuLaunchFail || !Event.activeAt(NowSec))
+      continue;
+    if (Event.Probability >= 1.0 || Rng.nextDouble() < Event.Probability) {
+      ++Stats.LaunchFailures;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::gpuThroughputScale(double NowSec) {
+  double Scale = 1.0;
+  for (const FaultEvent &Event : Plan.events()) {
+    if (!Event.activeAt(NowSec))
+      continue;
+    if (Event.Kind == FaultKind::GpuHang) {
+      ++Stats.HangQueries;
+      return 0.0;
+    }
+    if (Event.Kind == FaultKind::GpuThrottle)
+      Scale = std::min(Scale, Event.Magnitude);
+  }
+  if (Scale < 1.0)
+    ++Stats.ThrottleQueries;
+  return Scale;
+}
+
+bool FaultInjector::dropRaplSample(double NowSec) {
+  for (const FaultEvent &Event : Plan.events()) {
+    if (Event.Kind != FaultKind::RaplDropout || !Event.activeAt(NowSec))
+      continue;
+    if (Event.Probability >= 1.0 || Rng.nextDouble() < Event.Probability) {
+      ++Stats.RaplSamplesDropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::pendingRaplJumpUnits(double NowSec) {
+  uint64_t Units = 0;
+  for (size_t I = 0; I != Plan.events().size(); ++I) {
+    const FaultEvent &Event = Plan.events()[I];
+    if (Event.Kind != FaultKind::RaplWrapJump || Fired[I] ||
+        NowSec < Event.StartSec)
+      continue;
+    Fired[I] = true;
+    ++Stats.RaplCounterJumps;
+    // Magnitude counts 32-bit wraps; fractional magnitudes leave a
+    // visible residue in the low 32 bits.
+    Units += static_cast<uint64_t>(Event.Magnitude * 4294967296.0);
+  }
+  return Units;
+}
+
+double FaultInjector::counterNoiseScale(double NowSec) {
+  double Scale = 1.0;
+  for (const FaultEvent &Event : Plan.events()) {
+    if (Event.Kind != FaultKind::CounterNoise || !Event.activeAt(NowSec))
+      continue;
+    double Half = std::max(0.0, Event.Magnitude);
+    Scale *= Rng.nextDouble(1.0 - Half, 1.0 + Half);
+  }
+  if (Scale != 1.0)
+    ++Stats.NoisyCounterReads;
+  return std::max(Scale, 1e-3);
+}

@@ -1,0 +1,86 @@
+//===-- ecas/fault/FaultInjector.h - Seeded fault realization --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Realizes a FaultPlan against a clock the caller supplies: every query
+/// takes the current (virtual) time and answers "does this fault fire
+/// now?". Stochastic kinds draw from a PRNG seeded by the plan, so a
+/// (plan, query sequence) pair always reproduces the same faults. The
+/// injector also keeps tallies of everything it injected, which the CLI
+/// prints alongside the scheduler's degradation report so a scenario's
+/// cause and effect can be compared side by side.
+///
+/// Only the simulator substrate touches the injector. The scheduler
+/// stack never does — it observes faults exactly the way it would on
+/// real silicon: enqueues that report failure, kernels that never
+/// complete, throughput that collapses, energy counters that misbehave.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_FAULT_FAULTINJECTOR_H
+#define ECAS_FAULT_FAULTINJECTOR_H
+
+#include "ecas/fault/FaultPlan.h"
+#include "ecas/support/Random.h"
+
+namespace ecas {
+
+/// Tallies of injected faults (causes, not reactions).
+struct FaultStats {
+  uint64_t LaunchFailures = 0;
+  uint64_t HangQueries = 0;
+  uint64_t ThrottleQueries = 0;
+  uint64_t RaplSamplesDropped = 0;
+  uint64_t RaplCounterJumps = 0;
+  uint64_t NoisyCounterReads = 0;
+
+  bool anyInjected() const {
+    return LaunchFailures || HangQueries || ThrottleQueries ||
+           RaplSamplesDropped || RaplCounterJumps || NoisyCounterReads;
+  }
+};
+
+/// Stateful realization of one FaultPlan.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan Plan);
+
+  const FaultPlan &plan() const { return Plan; }
+  bool enabled() const { return Plan.enabled(); }
+
+  /// True when a GPU enqueue issued at \p NowSec should fail.
+  bool gpuLaunchFails(double NowSec);
+
+  /// Multiplier on GPU throughput at \p NowSec: 0 while a hang is
+  /// active, the strongest active throttle scale otherwise, 1 when
+  /// nothing fires.
+  double gpuThroughputScale(double NowSec);
+
+  /// True when a package-energy deposit at \p NowSec should be dropped.
+  bool dropRaplSample(double NowSec);
+
+  /// Counter units the RAPL MSR should jump by right now; each
+  /// RaplWrapJump event fires exactly once, when the clock first passes
+  /// its StartSec. Returns 0 when nothing is pending.
+  uint64_t pendingRaplJumpUnits(double NowSec);
+
+  /// Multiplicative scale to apply to one performance-counter reading at
+  /// \p NowSec; 1.0 when no noise event is active.
+  double counterNoiseScale(double NowSec);
+
+  const FaultStats &stats() const { return Stats; }
+
+private:
+  FaultPlan Plan;
+  Xoshiro256 Rng;
+  FaultStats Stats;
+  /// One flag per plan event; marks one-shot events already fired.
+  std::vector<bool> Fired;
+};
+
+} // namespace ecas
+
+#endif // ECAS_FAULT_FAULTINJECTOR_H

@@ -1,0 +1,177 @@
+//===-- ecas/fault/FaultPlan.cpp - Fault-injection scenarios --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/fault/FaultPlan.h"
+
+#include "ecas/support/Format.h"
+
+#include <cmath>
+
+using namespace ecas;
+
+const char *ecas::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::GpuLaunchFail:
+    return "gpu-launch-fail";
+  case FaultKind::GpuHang:
+    return "gpu-hang";
+  case FaultKind::GpuThrottle:
+    return "gpu-throttle";
+  case FaultKind::RaplDropout:
+    return "rapl-dropout";
+  case FaultKind::RaplWrapJump:
+    return "rapl-wrap-jump";
+  case FaultKind::CounterNoise:
+    return "counter-noise";
+  }
+  ECAS_UNREACHABLE("unknown fault kind");
+}
+
+static bool kindFromName(const std::string &Name, FaultKind &Out) {
+  for (FaultKind Kind :
+       {FaultKind::GpuLaunchFail, FaultKind::GpuHang, FaultKind::GpuThrottle,
+        FaultKind::RaplDropout, FaultKind::RaplWrapJump,
+        FaultKind::CounterNoise}) {
+    if (Name == faultKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string Out = formatString("name = %s\n", Name.c_str());
+  Out += formatString("seed = %llu\n",
+                      static_cast<unsigned long long>(Seed));
+  for (const FaultEvent &Event : Events)
+    Out += formatString("fault %s start=%.17g end=%.17g mag=%.17g "
+                        "prob=%.17g\n",
+                        faultKindName(Event.Kind), Event.StartSec,
+                        Event.EndSec, Event.Magnitude, Event.Probability);
+  return Out;
+}
+
+ErrorOr<FaultPlan> FaultPlan::load(const std::string &Text) {
+  FaultPlan Plan;
+  unsigned LineNo = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto Fail = [LineNo](ErrCode Code, const std::string &Msg) {
+      return Status::error(Code,
+                           formatString("line %u: %s", LineNo, Msg.c_str()));
+    };
+    if (Line.rfind("fault ", 0) != 0) {
+      size_t Eq = Line.find('=');
+      if (Eq == std::string::npos)
+        return Fail(ErrCode::ParseError, "expected 'key = value'");
+      std::string Key = trimString(Line.substr(0, Eq));
+      std::string Value = trimString(Line.substr(Eq + 1));
+      if (Key == "name") {
+        Plan.Name = Value;
+      } else if (Key == "seed") {
+        long long Seed;
+        if (!parseInt64(Value, Seed) || Seed < 0)
+          return Fail(ErrCode::ParseError, "bad seed '" + Value + "'");
+        Plan.Seed = static_cast<uint64_t>(Seed);
+      } else {
+        return Fail(ErrCode::ParseError, "unknown key '" + Key + "'");
+      }
+      continue;
+    }
+    std::vector<std::string> Tokens;
+    for (const std::string &Tok : splitString(Line.substr(6), ' '))
+      if (!Tok.empty())
+        Tokens.push_back(Tok);
+    if (Tokens.empty())
+      return Fail(ErrCode::Truncated, "fault line names no kind");
+    FaultEvent Event;
+    if (!kindFromName(Tokens.front(), Event.Kind))
+      return Fail(ErrCode::ParseError,
+                  "unknown fault kind '" + Tokens.front() + "'");
+    for (size_t I = 1; I < Tokens.size(); ++I) {
+      size_t Eq = Tokens[I].find('=');
+      if (Eq == std::string::npos)
+        return Fail(ErrCode::ParseError,
+                    "expected attr=value, got '" + Tokens[I] + "'");
+      std::string Attr = Tokens[I].substr(0, Eq);
+      double Value;
+      if (!parseDouble(Tokens[I].substr(Eq + 1), Value) ||
+          !std::isfinite(Value))
+        return Fail(ErrCode::ParseError,
+                    "non-finite or unparsable value in '" + Tokens[I] + "'");
+      if (Attr == "start")
+        Event.StartSec = Value;
+      else if (Attr == "end")
+        Event.EndSec = Value;
+      else if (Attr == "mag")
+        Event.Magnitude = Value;
+      else if (Attr == "prob")
+        Event.Probability = Value;
+      else
+        return Fail(ErrCode::ParseError, "unknown attribute '" + Attr + "'");
+    }
+    if (Event.StartSec < 0.0 || Event.EndSec < Event.StartSec)
+      return Fail(ErrCode::OutOfRange, "event window is inverted or negative");
+    if (Event.Probability <= 0.0 || Event.Probability > 1.0)
+      return Fail(ErrCode::OutOfRange, "probability must lie in (0, 1]");
+    if (Event.Kind == FaultKind::GpuThrottle &&
+        (Event.Magnitude < 0.0 || Event.Magnitude > 1.0))
+      return Fail(ErrCode::OutOfRange, "throttle scale must lie in [0, 1]");
+    Plan.Events.push_back(Event);
+  }
+  return Plan;
+}
+
+ErrorOr<FaultPlan> FaultPlan::scenario(const std::string &Name) {
+  FaultPlan Plan;
+  Plan.setName(Name);
+  auto Add = [&Plan](FaultKind Kind, double Start, double End, double Mag,
+                     double Prob) {
+    FaultEvent Event;
+    Event.Kind = Kind;
+    Event.StartSec = Start;
+    Event.EndSec = End;
+    Event.Magnitude = Mag;
+    Event.Probability = Prob;
+    Plan.addEvent(Event);
+  };
+  if (Name == "gpu-hang") {
+    // Mid-run hang that clears: exercises watchdog -> quarantine ->
+    // re-probe -> re-admission.
+    Add(FaultKind::GpuHang, 0.02, 0.2, 0.0, 1.0);
+  } else if (Name == "gpu-flaky-launch") {
+    // Persistent 40% launch-failure rate: exercises bounded retry with
+    // backoff and the eventual CPU fallback.
+    Add(FaultKind::GpuLaunchFail, 0.0, 1e30, 0.0, 0.4);
+  } else if (Name == "thermal-throttle") {
+    // Throughput collapses to 8% for a window, then recovers.
+    Add(FaultKind::GpuThrottle, 0.05, 0.4, 0.08, 1.0);
+  } else if (Name == "rapl-glitch") {
+    // Dropped samples plus a double-wraparound jump.
+    Add(FaultKind::RaplDropout, 0.0, 1e30, 0.0, 0.1);
+    Add(FaultKind::RaplWrapJump, 0.1, 1e30, 2.25, 1.0);
+  } else if (Name == "noisy-counters") {
+    Add(FaultKind::CounterNoise, 0.0, 1e30, 0.2, 1.0);
+  } else if (Name == "kitchen-sink") {
+    Add(FaultKind::GpuLaunchFail, 0.0, 1e30, 0.0, 0.15);
+    Add(FaultKind::GpuHang, 0.05, 0.12, 0.0, 1.0);
+    Add(FaultKind::GpuThrottle, 0.2, 0.35, 0.1, 1.0);
+    Add(FaultKind::RaplDropout, 0.0, 1e30, 0.0, 0.05);
+    Add(FaultKind::CounterNoise, 0.0, 1e30, 0.1, 1.0);
+  } else {
+    return Status::error(ErrCode::InvalidArgument,
+                         "unknown fault scenario '" + Name + "'");
+  }
+  return Plan;
+}
+
+std::vector<std::string> FaultPlan::scenarioNames() {
+  return {"gpu-hang",    "gpu-flaky-launch", "thermal-throttle",
+          "rapl-glitch", "noisy-counters",   "kitchen-sink"};
+}

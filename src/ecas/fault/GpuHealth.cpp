@@ -1,0 +1,83 @@
+//===-- ecas/fault/GpuHealth.cpp - GPU quarantine state machine -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/fault/GpuHealth.h"
+
+#include "ecas/support/Assert.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+const char *ecas::gpuHealthStateName(GpuHealthState State) {
+  switch (State) {
+  case GpuHealthState::Healthy:
+    return "healthy";
+  case GpuHealthState::Quarantined:
+    return "quarantined";
+  case GpuHealthState::Probing:
+    return "probing";
+  }
+  ECAS_UNREACHABLE("unknown health state");
+}
+
+GpuHealthMonitor::GpuHealthMonitor(GpuHealthConfig ConfigIn)
+    : Config(ConfigIn), CurrentQuarantineSec(Config.InitialQuarantineSec) {
+  ECAS_CHECK(Config.InitialQuarantineSec > 0.0 &&
+                 Config.QuarantineBackoffMultiplier >= 1.0,
+             "quarantine backoff must be positive and non-shrinking");
+  ECAS_CHECK(Config.WatchdogPollSec > 0.0,
+             "watchdog poll interval must be positive");
+}
+
+bool GpuHealthMonitor::gpuUsable(double NowSec) {
+  switch (State) {
+  case GpuHealthState::Healthy:
+  case GpuHealthState::Probing:
+    return true;
+  case GpuHealthState::Quarantined:
+    if (NowSec < QuarantinedUntil)
+      return false;
+    State = GpuHealthState::Probing;
+    ++Counters.ProbesAttempted;
+    return true;
+  }
+  ECAS_UNREACHABLE("unknown health state");
+}
+
+void GpuHealthMonitor::quarantine(double NowSec) {
+  ++Counters.Quarantines;
+  State = GpuHealthState::Quarantined;
+  QuarantinedUntil = NowSec + CurrentQuarantineSec;
+  CurrentQuarantineSec =
+      std::min(CurrentQuarantineSec * Config.QuarantineBackoffMultiplier,
+               Config.MaxQuarantineSec);
+}
+
+void GpuHealthMonitor::noteLaunchFailure(double NowSec) {
+  Pristine = false;
+  ++Counters.LaunchFailures;
+}
+
+void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
+  Pristine = false;
+  ++Counters.LaunchesAbandoned;
+  quarantine(NowSec);
+}
+
+void GpuHealthMonitor::noteHang(double NowSec) {
+  Pristine = false;
+  ++Counters.HangsDetected;
+  quarantine(NowSec);
+}
+
+void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
+  if (State == GpuHealthState::Probing) {
+    ++Counters.Recoveries;
+    CurrentQuarantineSec = Config.InitialQuarantineSec;
+  }
+  State = GpuHealthState::Healthy;
+}

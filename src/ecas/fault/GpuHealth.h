@@ -1,0 +1,112 @@
+//===-- ecas/fault/GpuHealth.h - GPU quarantine state machine --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The degradation policy's bookkeeping: a three-state machine tracking
+/// whether the runtime may hand work to the GPU.
+///
+///   Healthy ──hang / launch abandoned──▶ Quarantined
+///   Quarantined ──backoff expires──▶ Probing (next dispatch re-probes)
+///   Probing ──dispatch succeeds──▶ Healthy   (recovery; backoff resets)
+///   Probing ──dispatch fails──▶ Quarantined  (backoff doubles)
+///
+/// The monitor is pure policy over observations the runtime already has
+/// (an enqueue failed, a watchdog expired, a dispatch completed); it
+/// never inspects the injector, so the same code path would govern a
+/// real driver. Corbera et al.'s point that degradation is part of the
+/// scheduler, not an afterthought, is realized here: every execution
+/// primitive consults this monitor before touching the GPU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_FAULT_GPUHEALTH_H
+#define ECAS_FAULT_GPUHEALTH_H
+
+namespace ecas {
+
+/// Tunables of the retry / quarantine / re-probe policy.
+struct GpuHealthConfig {
+  /// Enqueue retries before a launch is abandoned to the CPU.
+  unsigned MaxLaunchRetries = 3;
+  /// First retry delay; doubles per attempt up to the cap.
+  double InitialRetryBackoffSec = 100e-6;
+  double RetryBackoffMultiplier = 2.0;
+  double MaxRetryBackoffSec = 10e-3;
+  /// First quarantine length; doubles per re-quarantine up to the cap,
+  /// and resets on a successful recovery.
+  double InitialQuarantineSec = 0.05;
+  double QuarantineBackoffMultiplier = 2.0;
+  double MaxQuarantineSec = 2.0;
+  /// Hang watchdog: the GPU is declared hung when a dispatch shows no
+  /// iteration progress across one whole poll interval.
+  double WatchdogPollSec = 0.02;
+};
+
+enum class GpuHealthState { Healthy, Quarantined, Probing };
+
+/// Returns "healthy", "quarantined", or "probing".
+const char *gpuHealthStateName(GpuHealthState State);
+
+/// Tracks GPU availability for one execution context (an
+/// ExecutionSession run or an EasScheduler instance).
+class GpuHealthMonitor {
+public:
+  explicit GpuHealthMonitor(GpuHealthConfig Config = {});
+
+  const GpuHealthConfig &config() const { return Config; }
+  GpuHealthState state() const { return State; }
+
+  /// True while no fault has ever been observed — callers use this to
+  /// stay on the exact fault-free fast path.
+  bool pristine() const { return Pristine; }
+
+  /// May the runtime hand work to the GPU at \p NowSec? While
+  /// quarantined, returns false until the backoff expires; the first
+  /// query after expiry transitions to Probing and returns true, making
+  /// the caller's next dispatch the re-probe.
+  bool gpuUsable(double NowSec);
+
+  /// A single enqueue attempt failed (will be retried).
+  void noteLaunchFailure(double NowSec);
+  /// Retries exhausted; the launch was rerouted to the CPU. Quarantines.
+  void noteLaunchAbandoned(double NowSec);
+  /// The watchdog declared a dispatch hung. Quarantines.
+  void noteHang(double NowSec);
+  /// A GPU dispatch ran to completion. From Probing this is the
+  /// recovery that re-admits the device and resets the backoff.
+  void noteGpuSuccess(double NowSec);
+
+  /// Reaction-side tallies (what the policy did, not what was injected).
+  struct Stats {
+    unsigned LaunchFailures = 0;
+    unsigned LaunchesAbandoned = 0;
+    unsigned HangsDetected = 0;
+    unsigned Quarantines = 0;
+    unsigned ProbesAttempted = 0;
+    unsigned Recoveries = 0;
+  };
+  const Stats &stats() const { return Counters; }
+
+  /// Monotone recovery counter; schedulers compare it across
+  /// invocations to notice a re-admission and re-optimize alpha.
+  unsigned recoveries() const { return Counters.Recoveries; }
+
+  double quarantinedUntil() const { return QuarantinedUntil; }
+
+private:
+  void quarantine(double NowSec);
+
+  GpuHealthConfig Config;
+  GpuHealthState State = GpuHealthState::Healthy;
+  Stats Counters;
+  bool Pristine = true;
+  double QuarantinedUntil = 0.0;
+  double CurrentQuarantineSec;
+};
+
+} // namespace ecas
+
+#endif // ECAS_FAULT_GPUHEALTH_H

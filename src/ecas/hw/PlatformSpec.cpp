@@ -30,6 +30,19 @@ unsigned PlatformSpec::defaultGpuProfileSize() const {
   return Pow2;
 }
 
+namespace {
+
+/// One serializable scalar field: name plus load/store accessors.
+struct FieldBinding {
+  const char *Key;
+  std::function<double(const PlatformSpec &)> Load;
+  std::function<void(PlatformSpec &, double)> Store;
+};
+
+} // namespace
+
+static std::vector<FieldBinding> fieldBindings();
+
 bool PlatformSpec::validate(std::string &Error) const {
   auto Fail = [&Error](std::string Msg) {
     Error = std::move(Msg);
@@ -66,19 +79,13 @@ bool PlatformSpec::validate(std::string &Error) const {
     if (Power->ComputeActivity <= 0.0 || Power->MemoryActivity <= 0.0)
       return Fail("device activity factors must be positive");
   }
+  // Range checks above compare against NaN (always false), so a NaN can
+  // slip through every one of them; sweep all scalar fields explicitly.
+  for (const FieldBinding &Field : fieldBindings())
+    if (!std::isfinite(Field.Load(*this)))
+      return Fail(std::string(Field.Key) + " is not finite");
   return true;
 }
-
-namespace {
-
-/// One serializable scalar field: name plus load/store accessors.
-struct FieldBinding {
-  const char *Key;
-  std::function<double(const PlatformSpec &)> Load;
-  std::function<void(PlatformSpec &, double)> Store;
-};
-
-} // namespace
 
 static std::vector<FieldBinding> fieldBindings() {
   std::vector<FieldBinding> Fields;
@@ -153,16 +160,19 @@ std::string PlatformSpec::serialize() const {
   return Out;
 }
 
-std::optional<PlatformSpec>
-PlatformSpec::deserialize(const std::string &Text) {
+ErrorOr<PlatformSpec> PlatformSpec::load(const std::string &Text) {
   PlatformSpec Spec;
   std::vector<FieldBinding> Fields = fieldBindings();
+  unsigned LineNo = 0;
   for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
     size_t Eq = Line.find('=');
     if (Eq == std::string::npos)
-      return std::nullopt;
+      return Status::error(
+          ErrCode::ParseError,
+          formatString("line %u: expected 'key = value'", LineNo));
     std::string Key = trimString(Line.substr(0, Eq));
     std::string Value = trimString(Line.substr(Eq + 1));
     if (Key == "name") {
@@ -175,16 +185,34 @@ PlatformSpec::deserialize(const std::string &Text) {
         continue;
       double Parsed;
       if (!parseDouble(Value, Parsed))
-        return std::nullopt;
+        return Status::error(ErrCode::ParseError,
+                             formatString("line %u: unparsable value '%s' for "
+                                          "key '%s'",
+                                          LineNo, Value.c_str(), Key.c_str()));
+      if (!std::isfinite(Parsed))
+        return Status::error(ErrCode::OutOfRange,
+                             formatString("line %u: non-finite value for key "
+                                          "'%s'",
+                                          LineNo, Key.c_str()));
       Field.Store(Spec, Parsed);
       Known = true;
       break;
     }
     if (!Known)
-      return std::nullopt;
+      return Status::error(
+          ErrCode::ParseError,
+          formatString("line %u: unknown key '%s'", LineNo, Key.c_str()));
   }
   std::string Error;
   if (!Spec.validate(Error))
-    return std::nullopt;
+    return Status::error(ErrCode::InvalidArgument, Error);
   return Spec;
+}
+
+std::optional<PlatformSpec>
+PlatformSpec::deserialize(const std::string &Text) {
+  ErrorOr<PlatformSpec> Loaded = load(Text);
+  if (!Loaded.ok())
+    return std::nullopt;
+  return *Loaded;
 }

@@ -17,6 +17,9 @@
 #ifndef ECAS_HW_PLATFORMSPEC_H
 #define ECAS_HW_PLATFORMSPEC_H
 
+#include "ecas/fault/FaultPlan.h"
+#include "ecas/support/Error.h"
+
 #include <optional>
 #include <string>
 
@@ -120,6 +123,11 @@ struct PlatformSpec {
   DevicePowerSpec GpuPower;
   UncorePowerSpec Uncore;
   PcuSpec Pcu;
+  /// Fault-injection plan driving the simulator built from this spec.
+  /// Empty (the default) means no injection and bit-identical behaviour
+  /// to a fault-free build. Deliberately not serialized: a spec file
+  /// describes a platform, not a failure scenario.
+  FaultPlan Faults;
 
   /// EUs x threads/EU x SIMD width: the work-item count needed to fill
   /// the GPU (2240 on the desktop preset, matching Section 3.2).
@@ -130,12 +138,21 @@ struct PlatformSpec {
   unsigned defaultGpuProfileSize() const;
 
   /// Checks internal consistency (positive frequencies, ordered ranges,
-  /// nonzero budgets). On failure returns false and fills \p Error.
+  /// nonzero budgets, all scalars finite). On failure returns false and
+  /// fills \p Error.
   bool validate(std::string &Error) const;
 
   /// Text round-trip (key = value lines) so characterization results can
   /// name the platform they were measured on.
   std::string serialize() const;
+
+  /// Parses a serialized spec, returning a recoverable error naming the
+  /// offending line for malformed input (unknown key, unparsable or
+  /// non-finite value, failed validation).
+  static ErrorOr<PlatformSpec> load(const std::string &Text);
+
+  /// Legacy wrapper over load() for callers that only care about
+  /// success/failure.
   static std::optional<PlatformSpec> deserialize(const std::string &Text);
 };
 

@@ -10,11 +10,17 @@
 #include "ecas/support/Format.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace ecas;
 
 double PowerCurve::powerAt(double Alpha) const {
-  return std::max(Poly.evaluate(Alpha), 1e-3);
+  double Watts = Poly.evaluate(Alpha);
+  // std::max(NaN, floor) returns NaN, so a curve fitted through glitched
+  // measurements needs an explicit finiteness gate before the clamp.
+  if (!std::isfinite(Watts))
+    return 1e-3;
+  return std::max(Watts, 1e-3);
 }
 
 void PowerCurveSet::setCurve(PowerCurve Curve) {
@@ -51,15 +57,21 @@ std::string PowerCurveSet::serialize() const {
   return Out;
 }
 
-std::optional<PowerCurveSet>
-PowerCurveSet::deserialize(const std::string &Text) {
+ErrorOr<PowerCurveSet> PowerCurveSet::load(const std::string &Text,
+                                           bool RequireComplete) {
   PowerCurveSet Set;
+  unsigned LineNo = 0;
   for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
+    auto Fail = [LineNo](ErrCode Code, const std::string &Msg) {
+      return Status::error(Code,
+                           formatString("line %u: %s", LineNo, Msg.c_str()));
+    };
     size_t Eq = Line.find('=');
     if (Eq == std::string::npos)
-      return std::nullopt;
+      return Fail(ErrCode::ParseError, "expected 'key = value'");
     std::string Key = trimString(Line.substr(0, Eq));
     std::string Value = trimString(Line.substr(Eq + 1));
     if (Key == "platform") {
@@ -67,31 +79,64 @@ PowerCurveSet::deserialize(const std::string &Text) {
       continue;
     }
     if (Key.rfind("curve ", 0) != 0)
-      return std::nullopt;
+      return Fail(ErrCode::ParseError, "unknown key '" + Key + "'");
     long long Index;
     if (!parseInt64(Key.substr(6), Index) || Index < 0 ||
         Index >= static_cast<long long>(WorkloadClass::NumClasses))
-      return std::nullopt;
+      return Fail(ErrCode::OutOfRange,
+                  "unknown workload-class tag '" + Key.substr(6) + "'");
     std::vector<std::string> Tokens;
     for (const std::string &Tok : splitString(Value, ' '))
       if (!Tok.empty())
         Tokens.push_back(Tok);
     // Expect coefficients followed by "r2 <value>".
     if (Tokens.size() < 3 || Tokens[Tokens.size() - 2] != "r2")
-      return std::nullopt;
+      return Fail(ErrCode::Truncated,
+                  "curve line is truncated (need coefficients and an r2 "
+                  "tail)");
     PowerCurve Curve;
     Curve.Class = WorkloadClass::fromIndex(static_cast<unsigned>(Index));
     std::vector<double> Coeffs;
     for (size_t I = 0; I + 2 < Tokens.size(); ++I) {
       double C;
       if (!parseDouble(Tokens[I], C))
-        return std::nullopt;
+        return Fail(ErrCode::ParseError,
+                    "unparsable coefficient '" + Tokens[I] + "'");
+      if (!std::isfinite(C))
+        return Fail(ErrCode::OutOfRange,
+                    formatString("coefficient %zu is not finite", I));
       Coeffs.push_back(C);
     }
-    if (!parseDouble(Tokens.back(), Curve.RSquared))
-      return std::nullopt;
+    // A characterization polynomial is degree 6 (7 coefficients); leave
+    // headroom but reject counts no fit could have produced.
+    if (Coeffs.empty() || Coeffs.size() > 16)
+      return Fail(ErrCode::OutOfRange,
+                  formatString("implausible coefficient count %zu",
+                               Coeffs.size()));
+    if (!parseDouble(Tokens.back(), Curve.RSquared) ||
+        !std::isfinite(Curve.RSquared))
+      return Fail(ErrCode::ParseError,
+                  "unparsable or non-finite r2 value '" + Tokens.back() +
+                      "'");
     Curve.Poly = Polynomial(std::move(Coeffs));
     Set.setCurve(std::move(Curve));
   }
+  if (RequireComplete && !Set.complete()) {
+    unsigned Have = 0;
+    for (unsigned Index = 0; Index != WorkloadClass::NumClasses; ++Index)
+      Have += Set.Present[Index] ? 1 : 0;
+    return Status::error(
+        ErrCode::Incomplete,
+        formatString("characterization has %u of %u categories", Have,
+                     static_cast<unsigned>(WorkloadClass::NumClasses)));
+  }
   return Set;
+}
+
+std::optional<PowerCurveSet>
+PowerCurveSet::deserialize(const std::string &Text) {
+  ErrorOr<PowerCurveSet> Loaded = load(Text);
+  if (!Loaded.ok())
+    return std::nullopt;
+  return *Loaded;
 }

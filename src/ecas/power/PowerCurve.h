@@ -17,6 +17,7 @@
 
 #include "ecas/math/Polynomial.h"
 #include "ecas/profile/WorkloadClass.h"
+#include "ecas/support/Error.h"
 
 #include <array>
 #include <optional>
@@ -52,6 +53,18 @@ public:
 
   /// Text round-trip: "platform = ...\ncurve <idx> = c0 c1 ... r2=..".
   std::string serialize() const;
+
+  /// Parses a serialized set, returning a recoverable error naming the
+  /// offending line for malformed input: truncated curve lines, unknown
+  /// class indices, non-finite coefficients, implausible coefficient
+  /// counts. With \p RequireComplete, a set missing any of the eight
+  /// categories fails with ErrCode::Incomplete — the signal
+  /// characterization callers use to fall back to re-characterizing.
+  static ErrorOr<PowerCurveSet> load(const std::string &Text,
+                                     bool RequireComplete = false);
+
+  /// Legacy wrapper over load() for callers that only care about
+  /// success/failure.
   static std::optional<PowerCurveSet> deserialize(const std::string &Text);
 
 private:

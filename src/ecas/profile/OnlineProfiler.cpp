@@ -20,6 +20,8 @@ void ProfileSample::accumulate(const ProfileSample &Other) {
     *this = Other;
     return;
   }
+  GpuLaunchFailed = GpuLaunchFailed || Other.GpuLaunchFailed;
+  GpuHung = GpuHung || Other.GpuHung;
   CpuIterations += Other.CpuIterations;
   GpuIterations += Other.GpuIterations;
   CpuBusySeconds += Other.CpuBusySeconds;
@@ -53,11 +55,25 @@ OnlineProfiler::OnlineProfiler(SimProcessor &Proc, double GpuProfileSize)
   ECAS_CHECK(GpuProfileSize > 0.0, "GPU profile size must be positive");
 }
 
+void OnlineProfiler::setWatchdogPollSec(double Seconds) {
+  ECAS_CHECK(Seconds > 0.0, "watchdog poll interval must be positive");
+  WatchdogPollSec = Seconds;
+}
+
 ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
                                           double &RemainingIters) {
   ProfileSample Sample;
   if (RemainingIters <= 0.0)
     return Sample;
+
+  FaultInjector *Faults = Proc.faults();
+
+  // A refused profiling enqueue measures nothing; report the failure and
+  // let the scheduler's policy decide between retrying and degrading.
+  if (Faults && Faults->gpuLaunchFails(Proc.now())) {
+    Sample.GpuLaunchFailed = true;
+    return Sample;
+  }
 
   double GpuChunk = std::min(GpuProfileSize, RemainingIters);
   double CpuShare = RemainingIters - GpuChunk;
@@ -70,8 +86,25 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
   if (CpuShare > 0.0)
     Proc.cpu().enqueue(Kernel, CpuShare);
 
-  // Fig. 7 step 32: the proxy waits for the GPU chunk...
-  Proc.runUntilGpuIdle();
+  // Fig. 7 step 32: the proxy waits for the GPU chunk. With an injector
+  // active the wait is guarded by a progress watchdog: a GPU that stays
+  // busy without retiring an iteration across a whole poll interval is
+  // declared hung and its unprocessed chunk cancelled. Without an
+  // injector the wait is the exact unbounded legacy wait.
+  if (Faults) {
+    while (Proc.gpu().busy()) {
+      double PendingBefore = Proc.gpu().pendingIterations();
+      Proc.runUntilGpuIdle(WatchdogPollSec);
+      if (Proc.gpu().busy() &&
+          Proc.gpu().pendingIterations() >= PendingBefore - 1e-9) {
+        Sample.GpuHung = true;
+        Proc.gpu().cancelRemaining();
+        break;
+      }
+    }
+  } else {
+    Proc.runUntilGpuIdle();
+  }
   // ...then (step 33) terminates the CPU workers, returning their
   // unprocessed share to the pool.
   double Unprocessed = Proc.cpu().cancelRemaining();
@@ -80,7 +113,9 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
   PerfCounters CpuDelta = Proc.cpu().counters() - CpuBefore;
   PerfCounters GpuDelta = Proc.gpu().counters() - GpuBefore;
 
-  Sample.GpuIterations = GpuChunk;
+  // On the clean path the GPU processed its whole chunk by construction;
+  // under faults, trust only what the counters saw retire.
+  Sample.GpuIterations = Sample.GpuHung ? GpuDelta.IterationsDone : GpuChunk;
   Sample.CpuIterations = CpuShare - Unprocessed;
   Sample.ElapsedSeconds = Elapsed;
   // Throughputs come from per-device execution time: the CPU's busy
@@ -97,6 +132,13 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
     Sample.GpuThroughput = Sample.GpuIterations / GpuDelta.BusySeconds;
   Sample.MissPerLoadStore = CpuDelta.missPerLoadStore();
   Sample.InstructionsRetired = CpuDelta.InstructionsRetired;
+  if (Faults) {
+    // Counter-noise faults perturb what PCM-style reads report, not what
+    // the hardware did: independent draws per counter, as each MSR read
+    // glitches on its own.
+    Sample.MissPerLoadStore *= Faults->counterNoiseScale(Proc.now());
+    Sample.InstructionsRetired *= Faults->counterNoiseScale(Proc.now());
+  }
 
   RemainingIters -= Sample.GpuIterations + Sample.CpuIterations;
   RemainingIters = std::max(RemainingIters, 0.0);

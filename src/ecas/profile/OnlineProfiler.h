@@ -38,6 +38,15 @@ struct ProfileSample {
   /// LLC misses per load-store over the profiled CPU execution.
   double MissPerLoadStore = 0.0;
   double InstructionsRetired = 0.0;
+  /// The GPU refused the profiling enqueue; the repetition measured
+  /// nothing and the scheduler should fall back to resilient execution.
+  bool GpuLaunchFailed = false;
+  /// The watchdog saw the GPU chunk stop retiring; its unprocessed share
+  /// was returned to the pool and the throughputs cover only what ran.
+  bool GpuHung = false;
+
+  /// True when this repetition observed any GPU fault.
+  bool faulted() const { return GpuLaunchFailed || GpuHung; }
 
   /// Merges another repetition (iteration-weighted) into this sample.
   void accumulate(const ProfileSample &Other);
@@ -64,6 +73,11 @@ public:
   /// pick it from PlatformSpec::defaultGpuProfileSize().
   OnlineProfiler(SimProcessor &Proc, double GpuProfileSize);
 
+  /// Hang-watchdog poll interval used while a fault injector is active
+  /// on the processor (no effect otherwise); schedulers propagate their
+  /// GpuHealthConfig::WatchdogPollSec here.
+  void setWatchdogPollSec(double Seconds);
+
   /// One repetition: offloads min(GpuProfileSize, remaining) iterations
   /// of \p Kernel to the GPU while the CPU drains the rest of the shared
   /// pool; on GPU completion the CPU share is cancelled back into the
@@ -79,6 +93,7 @@ public:
 private:
   SimProcessor &Proc;
   double GpuProfileSize;
+  double WatchdogPollSec = 0.02;
 };
 
 } // namespace ecas

@@ -28,7 +28,15 @@ void EnergyMeter::deposit(double Joules) {
       static_cast<uint64_t>(Whole) & 0xffffffffULL);
 }
 
+double EnergyMeter::counterPeriodJoules() const {
+  return 4294967296.0 * UnitJoules;
+}
+
 double EnergyMeter::joulesSince(uint32_t EarlierSample) const {
   uint32_t Delta = Counter - EarlierSample; // Modulo-2^32 by construction.
   return static_cast<double>(Delta) * UnitJoules;
+}
+
+void EnergyMeter::injectCounterJump(uint64_t Units) {
+  Counter += static_cast<uint32_t>(Units & 0xffffffffULL);
 }

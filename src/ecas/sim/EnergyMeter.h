@@ -21,6 +21,17 @@
 namespace ecas {
 
 /// Accumulates energy deposits and exposes them as a wrapping 32-bit MSR.
+///
+/// Sampling-interval contract: joulesSince() recovers the true interval
+/// energy if and only if the counter wrapped AT MOST ONCE between the two
+/// samples, because a 32-bit difference is inherently modulo 2^32. With
+/// the desktop unit (61 uJ) one full wrap is ~262 kJ — minutes at TDP —
+/// so readers must sample at least that often. An interval spanning k >= 2
+/// wraps aliases: the reader sees the true energy minus floor(k) *
+/// counterPeriodJoules() and cannot detect the loss. This mirrors real
+/// RAPL, where the kernel's polling thread exists precisely to bound the
+/// sample interval; the fault injector's RaplWrapJump event exercises the
+/// aliasing case deliberately.
 class EnergyMeter {
 public:
   explicit EnergyMeter(double EnergyUnitJoules);
@@ -34,8 +45,20 @@ public:
   /// Joules represented by one counter increment.
   double energyUnitJoules() const { return UnitJoules; }
 
-  /// Energy elapsed since an earlier MSR sample, handling one wraparound.
+  /// Joules represented by one full trip around the 32-bit counter:
+  /// 2^32 * energyUnitJoules(). Energy amounts congruent modulo this
+  /// period are indistinguishable to joulesSince().
+  double counterPeriodJoules() const;
+
+  /// Energy elapsed since an earlier MSR sample. Correct for intervals
+  /// containing at most one wraparound (see the class contract above);
+  /// intervals spanning k >= 2 wraps under-report by floor(k) periods.
   double joulesSince(uint32_t EarlierSample) const;
+
+  /// Fault-injection hook: advances the raw counter by \p Units without
+  /// touching the ground-truth total, emulating a glitched MSR read or an
+  /// interval that silently spanned extra wraparounds.
+  void injectCounterJump(uint64_t Units);
 
   /// Exact accumulated energy — ground truth for tests; real hardware has
   /// no equivalent, so library code other than tests must not use it.

@@ -20,6 +20,8 @@ SimProcessor::SimProcessor(const PlatformSpec &SpecIn)
   std::string Error;
   ECAS_CHECK(Spec.validate(Error), "SimProcessor given an invalid spec");
   NextEpoch = Spec.Pcu.SamplingIntervalSec;
+  if (Spec.Faults.enabled())
+    Faults = std::make_unique<FaultInjector>(Spec.Faults);
 }
 
 void SimProcessor::enableTrace(double SampleIntervalSec) {
@@ -33,6 +35,13 @@ void SimProcessor::setMaxSliceSec(double Seconds) {
 
 double SimProcessor::step(double MaxDt) {
   ECAS_CHECK(MaxDt > 0.0, "step requires positive time budget");
+
+  // Fault injection: the GPU's throughput derate is re-sampled each
+  // slice (0 while a hang is active, throttle scale otherwise), so the
+  // scheduler only ever observes its *effects* — work that stops
+  // retiring — never the injector itself.
+  if (Faults)
+    Gpu.setThroughputDerate(Faults->gpuThroughputScale(Now));
 
   // Full governor policy runs on the periodic sampling epoch; busy-state
   // flips between epochs only gate device clocks (bursts shorter than
@@ -107,7 +116,17 @@ double SimProcessor::step(double MaxDt) {
 
   PowerBreakdown Power = packagePower(Spec, CpuFreq, CpuActivity, GpuFreq,
                                       GpuActivity, TrafficGBs);
-  Meter.deposit(Power.packageWatts() * Dt);
+  // RAPL faults hit only the package meter the characterization reads;
+  // PP0/PP1 stay truthful so tests can still see the ground truth. A
+  // dropped sample is energy that flowed but was never counted; a
+  // counter jump is the reverse.
+  bool DropSample = Faults && Faults->dropRaplSample(Now);
+  if (!DropSample)
+    Meter.deposit(Power.packageWatts() * Dt);
+  if (Faults) {
+    if (uint64_t Jump = Faults->pendingRaplJumpUnits(Now))
+      Meter.injectCounterJump(Jump);
+  }
   Pp0Meter.deposit(Power.CpuWatts * Dt);
   Pp1Meter.deposit(Power.GpuWatts * Dt);
   if (Trace)

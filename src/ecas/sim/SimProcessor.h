@@ -19,6 +19,7 @@
 
 #include "ecas/device/SimCpuDevice.h"
 #include "ecas/device/SimGpuDevice.h"
+#include "ecas/fault/FaultInjector.h"
 #include "ecas/hw/PlatformSpec.h"
 #include "ecas/sim/EnergyMeter.h"
 #include "ecas/sim/Pcu.h"
@@ -58,6 +59,12 @@ public:
   void enableTrace(double SampleIntervalSec);
   PowerTrace *trace() { return Trace.get(); }
 
+  /// The fault injector realizing spec().Faults, or nullptr when the plan
+  /// is empty (the default). With no injector every code path below is
+  /// the exact pre-fault-subsystem behaviour.
+  FaultInjector *faults() { return Faults.get(); }
+  const FaultInjector *faults() const { return Faults.get(); }
+
   /// Runs until both devices are idle or \p DeadlineSec of virtual time
   /// elapses. \returns the virtual seconds consumed by this call.
   double runUntilIdle(double DeadlineSec = 1e30);
@@ -86,6 +93,7 @@ private:
   EnergyMeter Meter;
   EnergyMeter Pp0Meter;
   EnergyMeter Pp1Meter;
+  std::unique_ptr<FaultInjector> Faults;
   std::unique_ptr<PowerTrace> Trace;
   double Now = 0.0;
   double NextEpoch = 0.0;

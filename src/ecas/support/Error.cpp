@@ -1,0 +1,31 @@
+//===-- ecas/support/Error.cpp - Recoverable error propagation ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Error.h"
+
+using namespace ecas;
+
+const char *ecas::errCodeName(ErrCode Code) {
+  switch (Code) {
+  case ErrCode::InvalidArgument:
+    return "invalid argument";
+  case ErrCode::ParseError:
+    return "parse error";
+  case ErrCode::Truncated:
+    return "truncated input";
+  case ErrCode::OutOfRange:
+    return "out of range";
+  case ErrCode::Incomplete:
+    return "incomplete input";
+  case ErrCode::DeviceUnavailable:
+    return "device unavailable";
+  case ErrCode::Timeout:
+    return "timeout";
+  case ErrCode::IoError:
+    return "i/o error";
+  }
+  ECAS_UNREACHABLE("unknown error code");
+}

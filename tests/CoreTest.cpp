@@ -346,3 +346,35 @@ TEST_P(TimeModelProperty, InvariantsHoldAcrossAlpha) {
 
 INSTANTIATE_TEST_SUITE_P(RandomRates, TimeModelProperty,
                          ::testing::Range(0u, 24u));
+
+TEST(TimeModel, DegenerateRatesAreSanitizedNotPropagated) {
+  TimeModel FromNan(std::nan(""), std::nan(""));
+  EXPECT_DOUBLE_EQ(FromNan.cpuRate(), 0.0);
+  EXPECT_DOUBLE_EQ(FromNan.gpuRate(), 0.0);
+  EXPECT_DOUBLE_EQ(FromNan.alphaPerf(), 0.0);
+  // A dead model reports "effectively forever", never NaN, so alpha
+  // objective comparisons stay well ordered.
+  EXPECT_TRUE(std::isfinite(FromNan.totalTime(1e6, 0.5)));
+  EXPECT_GE(FromNan.totalTime(1e6, 0.5), 1e29);
+
+  TimeModel Negative(-5.0, 2.0);
+  EXPECT_DOUBLE_EQ(Negative.cpuRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Negative.gpuRate(), 2.0);
+  EXPECT_DOUBLE_EQ(Negative.alphaPerf(), 1.0);
+}
+
+TEST(AlphaSearch, DeadDevicesStillYieldAValidAlpha) {
+  PowerCurve Curve;
+  Curve.Poly = Polynomial({30.0});
+  AlphaChoice Choice =
+      chooseAlpha(TimeModel(0.0, 0.0), Curve, Metric::edp(), 1e6);
+  EXPECT_GE(Choice.Alpha, 0.0);
+  EXPECT_LE(Choice.Alpha, 1.0);
+  EXPECT_TRUE(std::isfinite(Choice.PredictedMetric));
+
+  // A NaN GPU probe (hung profiling run) must not poison the search:
+  // every iteration lands on the device that still answers.
+  Choice =
+      chooseAlpha(TimeModel(1e8, std::nan("")), Curve, Metric::edp(), 1e6);
+  EXPECT_DOUBLE_EQ(Choice.Alpha, 0.0);
+}

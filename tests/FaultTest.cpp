@@ -1,0 +1,263 @@
+//===-- tests/FaultTest.cpp - fault plan / injector / health units --------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit coverage of the fault-injection subsystem: FaultPlan's text
+/// round-trip and error reporting, FaultInjector's seeded determinism
+/// and per-kind semantics, and the GpuHealthMonitor quarantine state
+/// machine the degradation policy is built on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ecas/fault/FaultInjector.h"
+#include "ecas/fault/FaultPlan.h"
+#include "ecas/fault/GpuHealth.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecas;
+
+namespace {
+
+FaultEvent makeEvent(FaultKind Kind, double Start, double End, double Mag,
+                     double Prob) {
+  FaultEvent Event;
+  Event.Kind = Kind;
+  Event.StartSec = Start;
+  Event.EndSec = End;
+  Event.Magnitude = Mag;
+  Event.Probability = Prob;
+  return Event;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FaultPlan
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, EmptyPlanIsDisabled) {
+  FaultPlan Plan;
+  EXPECT_FALSE(Plan.enabled());
+  Plan.addEvent(makeEvent(FaultKind::GpuHang, 0.0, 1.0, 0.0, 1.0));
+  EXPECT_TRUE(Plan.enabled());
+}
+
+TEST(FaultPlan, SerializeLoadRoundTrip) {
+  FaultPlan Plan;
+  Plan.setName("round-trip");
+  Plan.setSeed(12345);
+  Plan.addEvent(makeEvent(FaultKind::GpuLaunchFail, 0.0, 1e30, 0.0, 0.25));
+  Plan.addEvent(makeEvent(FaultKind::GpuThrottle, 0.1, 0.5, 0.125, 1.0));
+  Plan.addEvent(makeEvent(FaultKind::RaplWrapJump, 0.2, 1e30, 2.25, 1.0));
+
+  ErrorOr<FaultPlan> Reloaded = FaultPlan::load(Plan.serialize());
+  ASSERT_TRUE(Reloaded.ok()) << Reloaded.status().toString();
+  EXPECT_EQ(Reloaded->name(), "round-trip");
+  EXPECT_EQ(Reloaded->seed(), 12345u);
+  ASSERT_EQ(Reloaded->events().size(), 3u);
+  EXPECT_EQ(Reloaded->events()[1].Kind, FaultKind::GpuThrottle);
+  EXPECT_DOUBLE_EQ(Reloaded->events()[1].Magnitude, 0.125);
+  EXPECT_DOUBLE_EQ(Reloaded->events()[0].Probability, 0.25);
+}
+
+TEST(FaultPlan, LoadSkipsCommentsAndBlanks) {
+  ErrorOr<FaultPlan> Plan = FaultPlan::load(
+      "# a comment\n\nname = commented\nfault gpu-hang start=0 end=1\n");
+  ASSERT_TRUE(Plan.ok());
+  EXPECT_EQ(Plan->name(), "commented");
+  ASSERT_EQ(Plan->events().size(), 1u);
+}
+
+TEST(FaultPlan, LoadRejectsUnknownKindWithLineNumber) {
+  ErrorOr<FaultPlan> Plan =
+      FaultPlan::load("name = bad\nfault gpu-melt start=0 end=1\n");
+  ASSERT_FALSE(Plan.ok());
+  EXPECT_EQ(Plan.status().code(), ErrCode::ParseError);
+  EXPECT_NE(Plan.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FaultPlan, LoadRejectsInvertedWindow) {
+  ErrorOr<FaultPlan> Plan =
+      FaultPlan::load("fault gpu-hang start=2 end=1\n");
+  ASSERT_FALSE(Plan.ok());
+  EXPECT_EQ(Plan.status().code(), ErrCode::OutOfRange);
+}
+
+TEST(FaultPlan, LoadRejectsBadProbabilityAndThrottleScale) {
+  EXPECT_FALSE(FaultPlan::load("fault gpu-launch-fail prob=0\n").ok());
+  EXPECT_FALSE(FaultPlan::load("fault gpu-launch-fail prob=1.5\n").ok());
+  EXPECT_FALSE(FaultPlan::load("fault gpu-throttle mag=1.5\n").ok());
+  EXPECT_FALSE(FaultPlan::load("fault gpu-hang start=nan\n").ok());
+}
+
+TEST(FaultPlan, EveryNamedScenarioLoads) {
+  std::vector<std::string> Names = FaultPlan::scenarioNames();
+  EXPECT_FALSE(Names.empty());
+  for (const std::string &Name : Names) {
+    ErrorOr<FaultPlan> Plan = FaultPlan::scenario(Name);
+    ASSERT_TRUE(Plan.ok()) << Name;
+    EXPECT_TRUE(Plan->enabled()) << Name;
+    // Each scenario must survive its own text round-trip.
+    ErrorOr<FaultPlan> Reloaded = FaultPlan::load(Plan->serialize());
+    ASSERT_TRUE(Reloaded.ok()) << Name;
+    EXPECT_EQ(Reloaded->events().size(), Plan->events().size()) << Name;
+  }
+  EXPECT_FALSE(FaultPlan::scenario("no-such-scenario").ok());
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, SameSeedSameRealization) {
+  FaultPlan Plan;
+  Plan.setSeed(99);
+  Plan.addEvent(makeEvent(FaultKind::GpuLaunchFail, 0.0, 1e30, 0.0, 0.5));
+
+  FaultInjector A(Plan), B(Plan);
+  for (int I = 0; I < 64; ++I) {
+    double Now = 0.001 * I;
+    EXPECT_EQ(A.gpuLaunchFails(Now), B.gpuLaunchFails(Now)) << I;
+  }
+  EXPECT_GT(A.stats().LaunchFailures, 0u);
+  EXPECT_LT(A.stats().LaunchFailures, 64u);
+}
+
+TEST(FaultInjector, EventsOnlyFireInsideTheirWindow) {
+  FaultPlan Plan;
+  Plan.addEvent(makeEvent(FaultKind::GpuThrottle, 0.1, 0.2, 0.25, 1.0));
+  FaultInjector Injector(Plan);
+  EXPECT_DOUBLE_EQ(Injector.gpuThroughputScale(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(Injector.gpuThroughputScale(0.15), 0.25);
+  EXPECT_DOUBLE_EQ(Injector.gpuThroughputScale(0.25), 1.0);
+}
+
+TEST(FaultInjector, HangForcesZeroThroughputOverThrottle) {
+  FaultPlan Plan;
+  Plan.addEvent(makeEvent(FaultKind::GpuThrottle, 0.0, 1.0, 0.5, 1.0));
+  Plan.addEvent(makeEvent(FaultKind::GpuHang, 0.0, 1.0, 0.0, 1.0));
+  FaultInjector Injector(Plan);
+  EXPECT_DOUBLE_EQ(Injector.gpuThroughputScale(0.5), 0.0);
+}
+
+TEST(FaultInjector, WrapJumpFiresExactlyOnce) {
+  FaultPlan Plan;
+  Plan.addEvent(makeEvent(FaultKind::RaplWrapJump, 0.1, 1e30, 2.0, 1.0));
+  FaultInjector Injector(Plan);
+  EXPECT_EQ(Injector.pendingRaplJumpUnits(0.05), 0u);
+  uint64_t Units = Injector.pendingRaplJumpUnits(0.15);
+  EXPECT_EQ(Units, uint64_t(2) << 32);
+  EXPECT_EQ(Injector.pendingRaplJumpUnits(0.2), 0u);
+  EXPECT_EQ(Injector.stats().RaplCounterJumps, 1u);
+}
+
+TEST(FaultInjector, CounterNoiseStaysInsideBand) {
+  FaultPlan Plan;
+  Plan.addEvent(makeEvent(FaultKind::CounterNoise, 0.0, 1.0, 0.2, 1.0));
+  FaultInjector Injector(Plan);
+  for (int I = 0; I < 100; ++I) {
+    double Scale = Injector.counterNoiseScale(0.5);
+    EXPECT_GE(Scale, 0.8);
+    EXPECT_LE(Scale, 1.2);
+  }
+  EXPECT_DOUBLE_EQ(Injector.counterNoiseScale(1.5), 1.0);
+  EXPECT_EQ(Injector.stats().NoisyCounterReads, 100u);
+}
+
+TEST(FaultInjector, DropoutRespectsProbabilityRoughly) {
+  FaultPlan Plan;
+  Plan.addEvent(makeEvent(FaultKind::RaplDropout, 0.0, 1e30, 0.0, 0.5));
+  FaultInjector Injector(Plan);
+  unsigned Dropped = 0;
+  for (int I = 0; I < 1000; ++I)
+    Dropped += Injector.dropRaplSample(0.001 * I) ? 1 : 0;
+  EXPECT_GT(Dropped, 400u);
+  EXPECT_LT(Dropped, 600u);
+  EXPECT_EQ(Injector.stats().RaplSamplesDropped, Dropped);
+}
+
+//===----------------------------------------------------------------------===//
+// GpuHealthMonitor
+//===----------------------------------------------------------------------===//
+
+TEST(GpuHealth, StartsHealthyAndPristine) {
+  GpuHealthMonitor Monitor;
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Healthy);
+  EXPECT_TRUE(Monitor.pristine());
+  EXPECT_TRUE(Monitor.gpuUsable(0.0));
+  // A success on a healthy device changes nothing.
+  Monitor.noteGpuSuccess(0.0);
+  EXPECT_TRUE(Monitor.pristine());
+  EXPECT_EQ(Monitor.stats().Recoveries, 0u);
+}
+
+TEST(GpuHealth, HangQuarantinesUntilBackoffExpires) {
+  GpuHealthConfig Config;
+  Config.InitialQuarantineSec = 0.5;
+  GpuHealthMonitor Monitor(Config);
+
+  Monitor.noteHang(1.0);
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Quarantined);
+  EXPECT_FALSE(Monitor.pristine());
+  EXPECT_FALSE(Monitor.gpuUsable(1.2));
+  EXPECT_DOUBLE_EQ(Monitor.quarantinedUntil(), 1.5);
+
+  // First query past expiry flips to Probing and permits the dispatch.
+  EXPECT_TRUE(Monitor.gpuUsable(1.6));
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Probing);
+  EXPECT_EQ(Monitor.stats().ProbesAttempted, 1u);
+
+  Monitor.noteGpuSuccess(1.7);
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Healthy);
+  EXPECT_EQ(Monitor.stats().Recoveries, 1u);
+  // Recovery never restores pristineness: a fault happened.
+  EXPECT_FALSE(Monitor.pristine());
+}
+
+TEST(GpuHealth, QuarantineBackoffDoublesAndResetsOnRecovery) {
+  GpuHealthConfig Config;
+  Config.InitialQuarantineSec = 0.1;
+  Config.QuarantineBackoffMultiplier = 2.0;
+  Config.MaxQuarantineSec = 0.3;
+  GpuHealthMonitor Monitor(Config);
+
+  Monitor.noteHang(0.0); // quarantine #1: 0.1 s
+  EXPECT_DOUBLE_EQ(Monitor.quarantinedUntil(), 0.1);
+  EXPECT_TRUE(Monitor.gpuUsable(0.2)); // probing
+  Monitor.noteHang(0.2); // probe failed -> quarantine #2: 0.2 s
+  EXPECT_DOUBLE_EQ(Monitor.quarantinedUntil(), 0.4);
+  EXPECT_TRUE(Monitor.gpuUsable(0.5));
+  Monitor.noteHang(0.5); // quarantine #3 capped at 0.3 s
+  EXPECT_DOUBLE_EQ(Monitor.quarantinedUntil(), 0.8);
+  EXPECT_EQ(Monitor.stats().Quarantines, 3u);
+  EXPECT_EQ(Monitor.stats().HangsDetected, 3u);
+
+  // Recovery resets the backoff to the initial quarantine length.
+  EXPECT_TRUE(Monitor.gpuUsable(0.9));
+  Monitor.noteGpuSuccess(0.9);
+  Monitor.noteHang(1.0);
+  EXPECT_DOUBLE_EQ(Monitor.quarantinedUntil(), 1.1);
+}
+
+TEST(GpuHealth, LaunchFailureAloneDoesNotQuarantine) {
+  GpuHealthMonitor Monitor;
+  Monitor.noteLaunchFailure(0.0);
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Healthy);
+  EXPECT_FALSE(Monitor.pristine());
+  EXPECT_EQ(Monitor.stats().LaunchFailures, 1u);
+
+  Monitor.noteLaunchAbandoned(0.0);
+  EXPECT_EQ(Monitor.state(), GpuHealthState::Quarantined);
+  EXPECT_EQ(Monitor.stats().LaunchesAbandoned, 1u);
+  EXPECT_EQ(Monitor.stats().Quarantines, 1u);
+}
+
+TEST(GpuHealth, StateNamesAreStable) {
+  EXPECT_STREQ(gpuHealthStateName(GpuHealthState::Healthy), "healthy");
+  EXPECT_STREQ(gpuHealthStateName(GpuHealthState::Quarantined),
+               "quarantined");
+  EXPECT_STREQ(gpuHealthStateName(GpuHealthState::Probing), "probing");
+}

@@ -95,3 +95,40 @@ TEST(PlatformSpec, DeviceKindNames) {
   EXPECT_STREQ(deviceKindName(DeviceKind::Cpu), "cpu");
   EXPECT_STREQ(deviceKindName(DeviceKind::Gpu), "gpu");
 }
+
+TEST(PlatformSpec, LoadReportsParseErrorsWithLineNumbers) {
+  ErrorOr<PlatformSpec> Result = PlatformSpec::load("no equals sign");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::ParseError);
+  EXPECT_NE(Result.status().message().find("line 1"), std::string::npos);
+
+  Result = PlatformSpec::load("name = x\nbogus.key = 3\n");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::ParseError);
+  EXPECT_NE(Result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(PlatformSpec, LoadRejectsNonFiniteValues) {
+  // NaN passes ordinary range comparisons, so load() screens finiteness
+  // explicitly before validate() ever sees the value.
+  std::string Text = haswellDesktop().serialize();
+  size_t Key = Text.find("pcu.energy_unit_joules");
+  ASSERT_NE(Key, std::string::npos);
+  size_t Eq = Text.find(" = ", Key);
+  size_t End = Text.find('\n', Eq);
+  Text.replace(Eq, End - Eq, " = nan");
+  ErrorOr<PlatformSpec> Result = PlatformSpec::load(Text);
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::OutOfRange);
+}
+
+TEST(PlatformSpec, LoadRunsSemanticValidation) {
+  // Structurally well-formed but semantically absurd specs surface
+  // validate()'s message through the recoverable-error channel.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.Cpu.Cores = 0;
+  ErrorOr<PlatformSpec> Result = PlatformSpec::load(Spec.serialize());
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::InvalidArgument);
+  EXPECT_FALSE(Result.status().message().empty());
+}

@@ -185,3 +185,44 @@ TEST(StatusNames, AllCovered) {
   EXPECT_STREQ(statusName(Status::DeviceUnavailable),
                "device unavailable");
 }
+
+TEST(CommandQueue, FaultHookFailsCommandsWithoutRunningThem) {
+  CommandQueue Queue("sim-gpu",
+                     [](const RangeBody &Body, uint64_t Begin, uint64_t End) {
+                       Body(Begin, End);
+                     });
+  std::atomic<uint64_t> Ran{0};
+  MiniKernel Kernel("count", [&](uint64_t Begin, uint64_t End) {
+    Ran += End - Begin;
+  });
+
+  Queue.setFaultHook([] { return Status::DeviceUnavailable; });
+  MiniEvent Failed = Queue.enqueue(Kernel, 0, 10);
+  EXPECT_EQ(Failed.waitStatus(), Status::DeviceUnavailable);
+  EXPECT_EQ(Ran.load(), 0u); // The body never ran.
+  EXPECT_EQ(Queue.commandsFailed(), 1u);
+  EXPECT_EQ(Queue.commandsCompleted(), 0u);
+
+  // Clearing the hook restores normal service on the same queue.
+  Queue.setFaultHook({});
+  EXPECT_EQ(Queue.enqueue(Kernel, 0, 10).waitStatus(), Status::Success);
+  EXPECT_EQ(Ran.load(), 10u);
+  EXPECT_EQ(Queue.commandsCompleted(), 1u);
+}
+
+TEST(MiniContext, GpuRefusalFallsBackToCpuExactlyOnce) {
+  MiniContext Ctx(2);
+  Ctx.gpuQueue().setFaultHook([] { return Status::DeviceUnavailable; });
+  std::atomic<uint64_t> Covered{0};
+  MiniKernel Kernel("cover", [&](uint64_t Begin, uint64_t End) {
+    Covered += End - Begin;
+  });
+  auto [CpuEvent, GpuEvent] = Ctx.runPartitioned(Kernel, 1000, 0.5);
+  // The refused GPU share was rerun on the CPU: the range is covered
+  // exactly once and the returned GPU-side event is the fallback's.
+  EXPECT_EQ(CpuEvent.status(), Status::Success);
+  EXPECT_EQ(GpuEvent.status(), Status::Success);
+  EXPECT_EQ(Covered.load(), 1000u);
+  EXPECT_EQ(Ctx.gpuFallbacks(), 1u);
+  EXPECT_EQ(Ctx.gpuQueue().commandsFailed(), 1u);
+}

@@ -226,3 +226,50 @@ TEST(MicroBenchmarks, AdaptiveShapingHandlesExoticSku) {
   EXPECT_LT(Micro.Iterations / Rates.CpuItersPerSec, 0.1);
   EXPECT_GT(Micro.Iterations / Rates.GpuItersPerSec, 0.1);
 }
+
+TEST(PowerCurveSet, LoadNamesTheOffendingLine) {
+  // Missing "r2 <value>" tail: the file was cut short mid-write.
+  ErrorOr<PowerCurveSet> Result =
+      PowerCurveSet::load("platform = p\ncurve 1 = 40 2 3\n");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::Truncated);
+  EXPECT_NE(Result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(PowerCurveSet, LoadDistinguishesErrorCauses) {
+  // Unknown workload-class tag.
+  ErrorOr<PowerCurveSet> Result =
+      PowerCurveSet::load("curve 12 = 40 r2 0.9\n");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::OutOfRange);
+
+  // Non-finite coefficient: NaN would sail through powerAt() otherwise.
+  Result = PowerCurveSet::load("curve 2 = 40 nan 3 r2 0.9\n");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::OutOfRange);
+
+  // Unparsable coefficient is a syntax problem, not a range problem.
+  Result = PowerCurveSet::load("curve 2 = 40 two r2 0.9\n");
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::ParseError);
+}
+
+TEST(PowerCurveSet, RequireCompleteFlagsMissingCategories) {
+  PowerCurveSet Partial;
+  PowerCurve Curve;
+  Curve.Class = WorkloadClass::fromIndex(3);
+  Curve.Poly = Polynomial({42.0});
+  Curve.RSquared = 0.9;
+  Partial.setCurve(Curve);
+  std::string Text = Partial.serialize();
+
+  // A partial set is fine for incremental characterization...
+  EXPECT_TRUE(PowerCurveSet::load(Text).ok());
+  // ...but a deployment load demanding all 8 categories must fail with
+  // a recoverable, descriptive error (the re-characterize signal).
+  ErrorOr<PowerCurveSet> Result =
+      PowerCurveSet::load(Text, /*RequireComplete=*/true);
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrCode::Incomplete);
+  EXPECT_NE(Result.status().message().find("1 of 8"), std::string::npos);
+}

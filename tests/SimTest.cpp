@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/MicroBenchmarks.h"
 #include "ecas/sim/EnergyMeter.h"
@@ -43,6 +44,34 @@ TEST(EnergyMeter, WraparoundHandledBySamplingProtocol) {
   Meter.deposit(10.0);
   EXPECT_NEAR(Meter.joulesSince(Sample), 10.0, 1.0);
   EXPECT_LT(Meter.readMsr(), 10u); // Wrapped.
+}
+
+TEST(EnergyMeter, CounterPeriodIsOneFullCounterTrip) {
+  EnergyMeter Meter(61e-6); // Desktop RAPL unit.
+  EXPECT_DOUBLE_EQ(Meter.counterPeriodJoules(), 4294967296.0 * 61e-6);
+}
+
+TEST(EnergyMeter, TwoWrapIntervalAliasesByWholePeriods) {
+  // Regression for the sampling-interval contract: an interval spanning
+  // k >= 2 wraps under-reports by exactly k counter periods, and the
+  // reader has no way to detect the loss.
+  EnergyMeter Meter(1.0);
+  uint32_t Sample = Meter.readMsr();
+  double TwoWrapsAndChange = 2.0 * Meter.counterPeriodJoules() + 10.0;
+  Meter.deposit(TwoWrapsAndChange);
+  EXPECT_DOUBLE_EQ(Meter.totalJoules(), TwoWrapsAndChange);
+  EXPECT_NEAR(Meter.joulesSince(Sample), 10.0, 1.0);
+  EXPECT_NEAR(TwoWrapsAndChange - Meter.joulesSince(Sample),
+              2.0 * Meter.counterPeriodJoules(), 1.0);
+}
+
+TEST(EnergyMeter, InjectedJumpSkewsMsrNotGroundTruth) {
+  EnergyMeter Meter(1.0);
+  Meter.deposit(100.0);
+  uint32_t Before = Meter.readMsr();
+  Meter.injectCounterJump((uint64_t(2) << 32) + 5); // Two wraps + 5 units.
+  EXPECT_EQ(Meter.readMsr(), Before + 5u); // Only the low 32 bits survive.
+  EXPECT_DOUBLE_EQ(Meter.totalJoules(), 100.0); // Truth untouched.
 }
 
 TEST(PowerModel, ComponentsAddUp) {
@@ -471,4 +500,46 @@ TEST(SimProcessor, CpuOnlyRunKeepsGraphicsDomainCold) {
   // PP1 sees only GPU leakage + idle clocking.
   EXPECT_LT(Proc.pp1Meter().totalJoules(),
             1.5 * Spec.GpuPower.LeakageWatts * Elapsed);
+}
+
+TEST(SimProcessor, RaplDropoutStarvesPackageMeterOnly) {
+  PlatformSpec Spec = haswellDesktop();
+  FaultEvent Drop;
+  Drop.Kind = FaultKind::RaplDropout;
+  Drop.Probability = 1.0;
+  Spec.Faults.addEvent(Drop);
+  SimProcessor Proc(Spec);
+  uint32_t Pkg = Proc.meter().readMsr();
+  uint32_t Pp0 = Proc.pp0Meter().readMsr();
+  Proc.runFor(0.05);
+  // Every package deposit was dropped, but the per-domain counters the
+  // characterization never reads stay truthful.
+  EXPECT_DOUBLE_EQ(Proc.meter().joulesSince(Pkg), 0.0);
+  EXPECT_GT(Proc.pp0Meter().joulesSince(Pp0), 0.0);
+  ASSERT_NE(Proc.faults(), nullptr);
+  EXPECT_GT(Proc.faults()->stats().RaplSamplesDropped, 0u);
+}
+
+TEST(SimProcessor, RaplWrapJumpAliasesMeasurementNotTruth) {
+  PlatformSpec Faulty = haswellDesktop();
+  FaultEvent Jump;
+  Jump.Kind = FaultKind::RaplWrapJump;
+  Jump.StartSec = 0.01;
+  Jump.Magnitude = 2.25;
+  Faulty.Faults.addEvent(Jump);
+  SimProcessor Faulted(Faulty);
+  SimProcessor Clean(haswellDesktop());
+  uint32_t FaultedBefore = Faulted.meter().readMsr();
+  uint32_t CleanBefore = Clean.meter().readMsr();
+  Faulted.runFor(0.05);
+  Clean.runFor(0.05);
+  // The jump advances the counter by 2.25 periods, of which only the
+  // fractional 0.25 survives the modular read -- exactly the aliasing
+  // case the EnergyMeter contract documents.
+  double Skew = Faulted.meter().joulesSince(FaultedBefore) -
+                Clean.meter().joulesSince(CleanBefore);
+  EXPECT_NEAR(Skew, 0.25 * Faulted.meter().counterPeriodJoules(), 1e-6);
+  EXPECT_DOUBLE_EQ(Faulted.meter().totalJoules(),
+                   Clean.meter().totalJoules());
+  EXPECT_EQ(Faulted.faults()->stats().RaplCounterJumps, 1u);
 }

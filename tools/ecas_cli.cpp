@@ -6,7 +6,7 @@
 //
 //   ecas-cli platforms
 //   ecas-cli characterize --platform=haswell-desktop --out=curves.txt
-//   ecas-cli run --platform=haswell-desktop --workload=CC --scheme=eas \
+//   ecas-cli run --platform=haswell-desktop --workload=CC --scheme=eas
 //            --metric=edp [--curves=curves.txt] [--scale=0.3]
 //   ecas-cli sweep --platform=baytrail-tablet --workload=MM
 //   ecas-cli suite --platform=haswell-desktop --metric=edp
@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ecas/core/ExecutionSession.h"
+#include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/support/Flags.h"
@@ -39,9 +40,14 @@ int usage() {
       "               [--out=FILE]         characterization\n"
       "  run  --platform=NAME --workload=ABBR [--scheme=eas|cpu|gpu|perf|\n"
       "       oracle] [--metric=energy|edp|ed2p] [--curves=FILE]\n"
-      "       [--scale=S]\n"
+      "       [--scale=S] [--fault-plan=FILE]\n"
       "  sweep --platform=NAME --workload=ABBR [--metric=M] [--scale=S]\n"
-      "  suite --platform=NAME [--metric=M] [--scale=S]\n");
+      "        [--fault-plan=FILE]\n"
+      "  suite --platform=NAME [--metric=M] [--scale=S]\n"
+      "        [--fault-plan=FILE]\n"
+      "  faults --platform=NAME [--scenario=NAME] [--workload=ABBR]\n"
+      "         [--metric=M] [--scale=S]   replay fault scenarios and\n"
+      "                                    report the degradation policy\n");
   return 2;
 }
 
@@ -57,6 +63,54 @@ std::optional<PlatformSpec> platformByName(const std::string &Name) {
     return PlatformSpec::deserialize(Buffer.str());
   }
   return std::nullopt;
+}
+
+/// Attaches --fault-plan=FILE to \p Spec when present. Returns false on
+/// an unreadable or malformed plan (already reported to stderr).
+bool applyFaultPlan(PlatformSpec &Spec, const Flags &Args) {
+  std::string Path = Args.getString("fault-plan", "");
+  if (Path.empty())
+    return true;
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot read fault plan %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  ErrorOr<FaultPlan> Plan = FaultPlan::load(Buffer.str());
+  if (!Plan) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                 Plan.status().message().c_str());
+    return false;
+  }
+  Spec.Faults = *Plan;
+  std::printf("fault plan '%s': %zu events, seed %llu\n",
+              Plan->name().c_str(), Plan->events().size(),
+              static_cast<unsigned long long>(Plan->seed()));
+  return true;
+}
+
+/// Cause (injected faults) and effect (degradation policy) side by side.
+void printDegradation(const SessionReport &R) {
+  if (R.FaultsEnabled) {
+    const FaultStats &F = R.Injected;
+    std::printf("  injected: %llu launch-fail, %llu hang-query, "
+                "%llu throttle-query, %llu rapl-drop, %llu rapl-jump, "
+                "%llu counter-noise\n",
+                static_cast<unsigned long long>(F.LaunchFailures),
+                static_cast<unsigned long long>(F.HangQueries),
+                static_cast<unsigned long long>(F.ThrottleQueries),
+                static_cast<unsigned long long>(F.RaplSamplesDropped),
+                static_cast<unsigned long long>(F.RaplCounterJumps),
+                static_cast<unsigned long long>(F.NoisyCounterReads));
+  }
+  const ResilienceSummary &S = R.Resilience;
+  std::printf("  reaction: %u retries, %u abandoned, %u hangs, "
+              "%u quarantines, %u cpu-only invocations, %u recoveries%s\n",
+              S.LaunchRetries, S.LaunchesAbandoned, S.HangsDetected,
+              S.Quarantines, S.QuarantinedInvocations, S.Recoveries,
+              S.degraded() ? "  [degraded]" : "");
 }
 
 Metric metricByName(const std::string &Name) {
@@ -143,6 +197,8 @@ int cmdRun(const Flags &Args) {
     std::fprintf(stderr, "error: unknown platform\n");
     return 1;
   }
+  if (!applyFaultPlan(*Spec, Args))
+    return 1;
   std::vector<Workload> Suite = suiteFor(*Spec, Args);
   const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
   if (!W) {
@@ -158,17 +214,20 @@ int cmdRun(const Flags &Args) {
   std::printf("%s on %s, optimizing %s (%u invocations)\n",
               W->Name.c_str(), Spec->Name.c_str(),
               Objective.name().c_str(), W->numInvocations());
+  SessionReport Report;
   if (Scheme == "cpu")
-    printReport(Session.runCpuOnly(W->Trace, Objective));
+    Report = Session.runCpuOnly(W->Trace, Objective);
   else if (Scheme == "gpu")
-    printReport(Session.runGpuOnly(W->Trace, Objective));
+    Report = Session.runGpuOnly(W->Trace, Objective);
   else if (Scheme == "perf")
-    printReport(Session.runPerf(W->Trace, Objective));
+    Report = Session.runPerf(W->Trace, Objective);
   else if (Scheme == "oracle")
-    printReport(Session.runOracle(W->Trace, Objective));
+    Report = Session.runOracle(W->Trace, Objective);
   else
-    printReport(Session.runEas(W->Trace, curvesFor(*Spec, Args),
-                               Objective));
+    Report = Session.runEas(W->Trace, curvesFor(*Spec, Args), Objective);
+  printReport(Report);
+  if (Report.FaultsEnabled || Report.Resilience.degraded())
+    printDegradation(Report);
   return 0;
 }
 
@@ -178,6 +237,8 @@ int cmdSweep(const Flags &Args) {
     std::fprintf(stderr, "error: unknown platform\n");
     return 1;
   }
+  if (!applyFaultPlan(*Spec, Args))
+    return 1;
   std::vector<Workload> Suite = suiteFor(*Spec, Args);
   const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
   if (!W) {
@@ -204,6 +265,8 @@ int cmdSuite(const Flags &Args) {
     std::fprintf(stderr, "error: unknown platform\n");
     return 1;
   }
+  if (!applyFaultPlan(*Spec, Args))
+    return 1;
   Metric Objective = metricByName(Args.getString("metric", "edp"));
   PowerCurveSet Curves = curvesFor(*Spec, Args);
   ExecutionSession Session(*Spec);
@@ -225,6 +288,70 @@ int cmdSuite(const Flags &Args) {
   return 0;
 }
 
+int cmdFaults(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return 1;
+  }
+  std::vector<Workload> Suite = suiteFor(*Spec, Args);
+  const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
+  if (!W) {
+    std::fprintf(stderr, "error: unknown workload\n");
+    return 1;
+  }
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+
+  std::vector<std::string> Names;
+  std::string Requested = Args.getString("scenario", "");
+  if (Requested.empty())
+    Names = FaultPlan::scenarioNames();
+  else
+    Names.push_back(Requested);
+
+  // Resolve every scenario up front so a typo fails before the (slow)
+  // characterization and baseline run.
+  std::vector<FaultPlan> Plans;
+  for (const std::string &Name : Names) {
+    ErrorOr<FaultPlan> Plan = FaultPlan::scenario(Name);
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s (have:", Plan.status().message().c_str());
+      for (const std::string &Known : FaultPlan::scenarioNames())
+        std::fprintf(stderr, " %s", Known.c_str());
+      std::fprintf(stderr, ")\n");
+      return 1;
+    }
+    Plans.push_back(*Plan);
+  }
+
+  // Curves come from the healthy platform: characterization happens
+  // before deployment, the faults afterwards.
+  PowerCurveSet Curves = Characterizer(*Spec).characterize();
+
+  // Healthy baseline to compare each scenario against.
+  {
+    ExecutionSession Session(*Spec);
+    SessionReport R = Session.runEas(W->Trace, Curves, Objective);
+    std::printf("baseline (no faults): %s on %s\n", W->Name.c_str(),
+                Spec->Name.c_str());
+    printReport(R);
+  }
+
+  for (size_t I = 0; I != Plans.size(); ++I) {
+    const FaultPlan &Plan = Plans[I];
+    PlatformSpec Faulty = *Spec;
+    Faulty.Faults = Plan;
+    ExecutionSession Session(Faulty);
+    std::printf("\nscenario '%s' (%zu events, seed %llu)\n", Names[I].c_str(),
+                Plan.events().size(),
+                static_cast<unsigned long long>(Plan.seed()));
+    SessionReport R = Session.runEas(W->Trace, Curves, Objective);
+    printReport(R);
+    printDegradation(R);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -242,6 +369,8 @@ int main(int Argc, char **Argv) {
     return cmdSweep(Args);
   if (Command == "suite")
     return cmdSuite(Args);
+  if (Command == "faults")
+    return cmdFaults(Args);
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
   return usage();
 }
