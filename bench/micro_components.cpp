@@ -150,8 +150,11 @@ static void BM_EasDecisionOverhead(benchmark::State &State) {
     const PowerCurve &Curve = Curves.curveFor(Class);
     TimeModel Model(Sample.CpuThroughput, Sample.GpuThroughput);
     AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e6);
-    KernelRecord &Record = History.obtain(Id);
-    Record.Alpha.addSample(Choice.Alpha, 1e6);
+    History.update(Id, [&](KernelRecord &Record) {
+      Record.Alpha.addSample(Choice.Alpha, 1e6);
+    });
+    KernelRecord Record;
+    History.lookup(Id, Record);
     benchmark::DoNotOptimize(Record.Alpha.value());
   }
 }

@@ -24,6 +24,8 @@ const char *ecas::cl::statusName(Status S) {
     return "invalid range";
   case Status::DeviceUnavailable:
     return "device unavailable";
+  case Status::Cancelled:
+    return "cancelled";
   }
   ECAS_UNREACHABLE("unknown status");
 }
@@ -88,6 +90,20 @@ Status MiniEvent::waitStatus() const {
   Shared->Done.wait(Lock, [this] {
     return Shared->Stage == CommandState::Complete;
   });
+  return Shared->Result;
+}
+
+Status MiniEvent::waitStatus(const CancellationToken &Cancel,
+                             double PollSec) const {
+  ECAS_CHECK(Shared != nullptr, "waiting on a null event");
+  if (PollSec <= 0.0)
+    PollSec = 1e-3;
+  std::unique_lock<std::mutex> Lock(Shared->Mutex);
+  while (Shared->Stage != CommandState::Complete) {
+    if (Cancel.shouldStop(hostSeconds()))
+      return Status::Cancelled;
+    Shared->Done.wait_for(Lock, std::chrono::duration<double>(PollSec));
+  }
   return Shared->Result;
 }
 
@@ -213,6 +229,27 @@ uint64_t CommandQueue::commandsFailed() const {
   return Failed;
 }
 
+uint64_t CommandQueue::cancelPending() {
+  std::deque<std::unique_ptr<Command>> Flushed;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Flushed.swap(Pending);
+    Failed += Flushed.size();
+    if (InFlight == 0)
+      QueueDrained.notify_all();
+  }
+  // Complete the flushed events outside the queue lock: waiters run
+  // arbitrary code when released.
+  for (auto &Cmd : Flushed) {
+    {
+      std::lock_guard<std::mutex> Lock(Cmd->Event->Mutex);
+      Cmd->Event->Result = Status::Cancelled;
+    }
+    Cmd->Event->advance(CommandState::Complete, hostSeconds());
+  }
+  return Flushed.size();
+}
+
 void CommandQueue::workerLoop() {
   while (true) {
     std::unique_ptr<Command> Cmd;
@@ -301,21 +338,36 @@ MiniContext::MiniContext(unsigned CpuThreads, GpuExecutor GpuHook,
 
 std::pair<MiniEvent, MiniEvent>
 MiniContext::runPartitioned(const MiniKernel &Kernel, uint64_t N,
-                            double Alpha) {
+                            double Alpha, const CancellationToken *Cancel) {
   ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
   uint64_t GpuIters = static_cast<uint64_t>(Alpha * static_cast<double>(N));
   uint64_t CpuEnd = N - GpuIters;
   MiniEvent GpuEvent = Gpu->enqueue(Kernel, CpuEnd, N);
   MiniEvent CpuEvent = Cpu->enqueue(Kernel, 0, CpuEnd);
-  if (CpuEnd > 0)
-    CpuEvent.wait();
-  if (GpuIters > 0 && GpuEvent.waitStatus() != Status::Success) {
-    // The GPU refused its share; rerun it on the CPU so the partition
-    // still covers all of [0, N).
-    ++GpuFallbacks;
-    MiniEvent Fallback = Cpu->enqueue(Kernel, CpuEnd, N);
-    Fallback.wait();
-    return {CpuEvent, Fallback};
+  if (CpuEnd > 0) {
+    if (Cancel)
+      CpuEvent.waitStatus(*Cancel);
+    else
+      CpuEvent.wait();
+  }
+  if (GpuIters > 0) {
+    Status GpuStatus =
+        Cancel ? GpuEvent.waitStatus(*Cancel) : GpuEvent.waitStatus();
+    if (GpuStatus == Status::Cancelled)
+      // The waiter gave up; do not pile a CPU fallback onto a run the
+      // caller is abandoning.
+      return {CpuEvent, GpuEvent};
+    if (GpuStatus != Status::Success) {
+      // The GPU refused its share; rerun it on the CPU so the partition
+      // still covers all of [0, N).
+      GpuFallbacks.fetch_add(1, std::memory_order_relaxed);
+      MiniEvent Fallback = Cpu->enqueue(Kernel, CpuEnd, N);
+      if (Cancel)
+        Fallback.waitStatus(*Cancel);
+      else
+        Fallback.wait();
+      return {CpuEvent, Fallback};
+    }
   }
   return {CpuEvent, GpuEvent};
 }

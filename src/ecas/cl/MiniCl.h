@@ -25,7 +25,9 @@
 #define ECAS_CL_MINICL_H
 
 #include "ecas/runtime/ParallelFor.h"
+#include "ecas/support/Cancellation.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,6 +44,9 @@ enum class Status {
   InvalidKernel,
   InvalidRange,
   DeviceUnavailable,
+  /// The waiter abandoned the command (cancellation token fired) or the
+  /// command was flushed from the queue before running.
+  Cancelled,
 };
 
 /// Returns a human-readable name for \p S.
@@ -79,6 +84,15 @@ public:
   /// the recoverable-error variant of wait() callers use when a device
   /// may refuse or abandon work.
   Status waitStatus() const;
+
+  /// Token-aware wait — the GPU proxy's cancellation point. Polls
+  /// \p Cancel every \p PollSec while waiting; if the token fires before
+  /// the command completes, returns Status::Cancelled and stops waiting.
+  /// The command itself still runs to completion on the queue worker
+  /// (hardware cannot be preempted mid-kernel), but the caller regains
+  /// control immediately.
+  Status waitStatus(const CancellationToken &Cancel,
+                    double PollSec = 1e-3) const;
 
   CommandState state() const;
   Status status() const;
@@ -140,6 +154,12 @@ public:
   /// Commands failed by the fault hook over the queue's lifetime.
   uint64_t commandsFailed() const;
 
+  /// Fails every queued-but-not-yet-running command with
+  /// Status::Cancelled, waking their waiters. The in-flight command (if
+  /// any) is unaffected. Used by graceful shutdown to drain the queue
+  /// against a deadline. \returns the number of commands flushed.
+  uint64_t cancelPending();
+
 private:
   void workerLoop();
 
@@ -181,18 +201,24 @@ public:
   /// range is transparently re-run on the CPU queue so the partition
   /// always completes; the returned GPU-side event is then the CPU
   /// fallback's event and gpuFallbacks() counts the reroute.
+  /// \p Cancel, when non-null, bounds the waits: a fired token abandons
+  /// the outstanding events (no CPU fallback is attempted) and the
+  /// caller sees whatever statuses the events settled with.
   /// \returns the two events (CPU first).
-  std::pair<MiniEvent, MiniEvent> runPartitioned(const MiniKernel &Kernel,
-                                                 uint64_t N, double Alpha);
+  std::pair<MiniEvent, MiniEvent>
+  runPartitioned(const MiniKernel &Kernel, uint64_t N, double Alpha,
+                 const CancellationToken *Cancel = nullptr);
 
   /// GPU commands rerouted to the CPU by runPartitioned().
-  uint64_t gpuFallbacks() const { return GpuFallbacks; }
+  uint64_t gpuFallbacks() const {
+    return GpuFallbacks.load(std::memory_order_relaxed);
+  }
 
 private:
   ThreadPool Pool;
   std::unique_ptr<CommandQueue> Cpu;
   std::unique_ptr<CommandQueue> Gpu;
-  uint64_t GpuFallbacks = 0;
+  std::atomic<uint64_t> GpuFallbacks{0};
 };
 
 } // namespace ecas::cl

@@ -6,36 +6,148 @@
 
 #include "ecas/core/EasScheduler.h"
 
+#include "ecas/core/HistorySnapshot.h"
 #include "ecas/core/Schedulers.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/support/Assert.h"
 
 #include <algorithm>
+#include <chrono>
+#include <vector>
 
 using namespace ecas;
 
 EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
                            EasConfig ConfigIn)
-    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)), Config(ConfigIn),
-      Monitor(Config.Health) {
+    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
+      Config(std::move(ConfigIn)), Monitor(Config.Health) {
   ECAS_CHECK(Curves.complete(),
              "EAS requires a complete 8-category power characterization");
   ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
              "alpha step must lie in (0, 1]");
   ECAS_CHECK(Config.ProfileFraction > 0.0 && Config.ProfileFraction <= 1.0,
              "profile fraction must lie in (0, 1]");
+  if (!Config.HistoryFile.empty()) {
+    ErrorOr<size_t> Restored = loadKernelHistory(History, Config.HistoryFile);
+    if (Restored)
+      RestoredRecords = *Restored;
+    else
+      RestoreStatus = Restored.status();
+  }
+}
+
+EasScheduler::~EasScheduler() { shutdown(); }
+
+bool EasScheduler::stopRequested(double NowSec,
+                                 const CancellationToken *Cancel) const {
+  return DrainToken.cancelled() || (Cancel && Cancel->shouldStop(NowSec));
+}
+
+void EasScheduler::endInvocation() {
+  if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Take the lifecycle mutex so a shutdown() thread between its
+    // predicate check and its wait cannot miss this notification.
+    std::lock_guard<std::mutex> Lock(LifecycleMutex);
+    Drained.notify_all();
+  }
+}
+
+Status EasScheduler::shutdown(double DrainGraceSec) {
+  bool WasAdmitting = true;
+  if (!Admitting.compare_exchange_strong(WasAdmitting, false,
+                                         std::memory_order_acq_rel)) {
+    // Someone else is (or finished) shutting down; wait for their
+    // verdict so shutdown() is idempotent.
+    std::unique_lock<std::mutex> Lock(LifecycleMutex);
+    Drained.wait(Lock, [this] { return ShutdownComplete; });
+    return ShutdownResult;
+  }
+
+  // Phase 1: drain. New invocations already bounce off the admission
+  // gate; give the in-flight ones the grace period to finish cleanly.
+  {
+    std::unique_lock<std::mutex> Lock(LifecycleMutex);
+    bool Clean = Drained.wait_for(
+        Lock, std::chrono::duration<double>(std::max(DrainGraceSec, 0.0)),
+        [this] { return InFlight.load(std::memory_order_acquire) == 0; });
+    if (!Clean) {
+      // Phase 2: cancel. Stragglers observe the drain token at their
+      // next cooperative point; every point is reached in bounded time,
+      // so this wait terminates.
+      DrainToken.cancel();
+      Drained.wait(Lock, [this] {
+        return InFlight.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  // Phase 3: persist table G.
+  Status S = Status::success();
+  if (!Config.HistoryFile.empty())
+    S = saveKernelHistory(History, Config.HistoryFile);
+
+  {
+    std::lock_guard<std::mutex> Lock(LifecycleMutex);
+    ShutdownComplete = true;
+    ShutdownResult = S;
+  }
+  Drained.notify_all();
+  return S;
+}
+
+Status EasScheduler::snapshot(const std::string &Path) const {
+  return saveKernelHistory(History, Path);
 }
 
 EasScheduler::InvocationOutcome
 EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
                       double Iterations) {
+  InFlight.fetch_add(1, std::memory_order_acq_rel);
+  if (!Admitting.load(std::memory_order_acquire)) {
+    endInvocation();
+    InvocationOutcome Outcome;
+    Outcome.Rejected = true;
+    return Outcome;
+  }
+  InvocationOutcome Outcome =
+      executeAdmitted(Proc, Kernel, Iterations, nullptr);
+  endInvocation();
+  return Outcome;
+}
+
+EasScheduler::InvocationOutcome
+EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                      double Iterations, const CancellationToken &Cancel) {
+  InFlight.fetch_add(1, std::memory_order_acq_rel);
+  if (!Admitting.load(std::memory_order_acquire)) {
+    endInvocation();
+    InvocationOutcome Outcome;
+    Outcome.Rejected = true;
+    return Outcome;
+  }
+  InvocationOutcome Outcome =
+      executeAdmitted(Proc, Kernel, Iterations, &Cancel);
+  endInvocation();
+  return Outcome;
+}
+
+EasScheduler::InvocationOutcome
+EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
+                              double Iterations,
+                              const CancellationToken *Cancel) {
   ECAS_CHECK(Kernel.Id != 0, "kernel requires a stable nonzero id");
   InvocationOutcome Outcome;
   double Start = Proc.now();
 
+  // Cancellation point 1: invocation entry.
+  if (stopRequested(Proc.now(), Cancel)) {
+    Outcome.Cancelled = true;
+    return Outcome;
+  }
+
   // Section 5: when the GPU is busy with another client (performance
   // counter A26 on the paper's machines), run entirely on the CPU.
-  if (ExternalGpuBusy) {
+  if (externalGpuBusy()) {
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
@@ -49,9 +161,8 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   if (!Monitor.gpuUsable(Proc.now())) {
     runPartitionedResilient(Proc, Monitor, Kernel, Iterations,
                             /*Alpha=*/0.0);
-    KernelRecord &Record = History.obtain(Kernel.Id);
-    ++Record.QuarantinedRuns;
-    ++Record.Invocations;
+    History.bumpQuarantinedRuns(Kernel.Id);
+    History.bumpInvocations(Kernel.Id);
     Outcome.GpuQuarantined = true;
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
@@ -62,10 +173,13 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   // may not be the device that left (thermal state, clocks); force a
   // re-profile so alpha is re-optimized against the recovered GPU. The
   // demand is sticky across small-N invocations that cannot profile.
-  if (Monitor.recoveries() != LastSeenRecoveries) {
-    LastSeenRecoveries = Monitor.recoveries();
-    PendingReadmitReprofile = true;
-  }
+  // The CAS makes exactly one client raise the demand per recovery.
+  unsigned Recoveries = Monitor.recoveries();
+  unsigned Seen = LastSeenRecoveries.load(std::memory_order_acquire);
+  if (Recoveries != Seen &&
+      LastSeenRecoveries.compare_exchange_strong(Seen, Recoveries,
+                                                 std::memory_order_acq_rel))
+    PendingReadmitReprofile.store(true, std::memory_order_release);
 
   double GpuProfileSize = Config.GpuProfileSize > 0.0
                               ? Config.GpuProfileSize
@@ -78,36 +192,46 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   double Alpha = 0.0;
   double Nrem = Iterations;
   bool ProfileHang = false;
-  const KernelRecord *Known = History.lookup(Kernel.Id);
+  KernelRecord KnownRec;
+  bool Known = History.lookup(Kernel.Id, KnownRec);
 
   // Periodic re-profiling for kernels whose behaviour drifts over time
   // (Section 3.1: "we repeat profiling step since our online profiling
   // has low overhead").
   bool ReprofileDue =
       Config.ReprofileEveryInvocations > 0 && Known &&
-      Known->Invocations >= Config.ReprofileEveryInvocations &&
-      Known->Invocations % Config.ReprofileEveryInvocations == 0 &&
+      KnownRec.Invocations >= Config.ReprofileEveryInvocations &&
+      KnownRec.Invocations % Config.ReprofileEveryInvocations == 0 &&
       Iterations >= GpuProfileSize;
-  if (PendingReadmitReprofile && Iterations >= GpuProfileSize) {
+  if (Iterations >= GpuProfileSize &&
+      PendingReadmitReprofile.exchange(false, std::memory_order_acq_rel)) {
     Outcome.GpuReadmitted = true;
     ReprofileDue = true;
-    PendingReadmitReprofile = false;
   }
 
-  if (Known && Known->Alpha.hasValue() && !ReprofileDue &&
-      (Known->Confident || Iterations < GpuProfileSize)) {
+  // Freshly measured samples to merge into table G at the end; the
+  // accumulate operation is associative and commutative, so merging the
+  // local deltas under the record lock preserves every concurrent
+  // client's contribution (and reproduces the single-threaded result
+  // exactly).
+  std::vector<ProfileSample> Deltas;
+
+  if (Known && KnownRec.Alpha.hasValue() && !ReprofileDue &&
+      (KnownRec.Confident || Iterations < GpuProfileSize)) {
     // Steps 2-4: multiple invocations of f reuse the learned ratio.
-    Alpha = Known->Alpha.value();
-    Outcome.Class = Known->Class;
+    // This steady-state hit is the lock-free path: one lookup, the
+    // partitioned run, one counter bump.
+    Alpha = KnownRec.Alpha.value();
+    Outcome.Class = KnownRec.Class;
   } else if (Iterations < GpuProfileSize) {
     // Steps 6-10: not enough parallelism to fill the GPU — run this
     // invocation on the multicore CPU alone. The kernel is not pinned:
     // a later invocation large enough to fill the GPU still profiles
     // (graph kernels routinely open with a tiny frontier).
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
-    KernelRecord &Record = History.obtain(Kernel.Id);
-    Record.CpuOnly = true;
-    ++Record.Invocations;
+    History.update(Kernel.Id,
+                   [](KernelRecord &Rec) { Rec.CpuOnly = true; });
+    History.bumpInvocations(Kernel.Id);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
     return Outcome;
@@ -116,13 +240,20 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
     // measurements fold into the kernel's record, so a kernel whose
     // first large invocation starved one device (a growing BFS frontier
     // barely above GPU_PROFILE_SIZE) keeps refining across invocations
-    // until both devices have been properly observed.
+    // until both devices have been properly observed. Profiling works
+    // on a private copy (base record + local deltas); the deltas merge
+    // into the shared record once, at the end.
     Outcome.Profiled = true;
     OnlineProfiler Profiler(Proc, GpuProfileSize);
     Profiler.setWatchdogPollSec(Config.Health.WatchdogPollSec);
-    KernelRecord &Record = History.obtain(Kernel.Id);
+    KernelRecord Local = KnownRec;
     double ProfileFloor = Iterations * Config.ProfileFraction;
     while (Nrem > ProfileFloor) {
+      // Cancellation point 2: between profiling repetitions.
+      if (stopRequested(Proc.now(), Cancel)) {
+        Outcome.Cancelled = true;
+        break;
+      }
       ProfileSample Sample = Profiler.profileOnce(Kernel, Nrem);
       ++Outcome.ProfileRepetitions;
       if (Sample.GpuLaunchFailed) {
@@ -148,22 +279,23 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
         Monitor.noteGpuSuccess(Proc.now());
       if (Sample.ElapsedSeconds <= 0.0)
         break;
-      Record.Sample.accumulate(Sample);
-      if (Record.Sample.CpuThroughput <= 0.0 &&
-          Record.Sample.GpuThroughput <= 0.0)
+      Local.Sample.accumulate(Sample);
+      Deltas.push_back(Sample);
+      if (Local.Sample.CpuThroughput <= 0.0 &&
+          Local.Sample.GpuThroughput <= 0.0)
         break;
 
       // Steps 17-19: classify and pick the matching power curve.
       Outcome.Class =
-          Profiler.classify(Record.Sample, Nrem, Config.Thresholds);
+          Profiler.classify(Local.Sample, Nrem, Config.Thresholds);
       const PowerCurve &Curve = Curves.curveFor(Outcome.Class);
 
       // Step 20: minimize OBJ over the alpha grid. Profiling may have
       // consumed every iteration (small invocations); the argmin of
       // P(a)*T(a)^k is independent of N, so clamping N away from zero
       // keeps the objective non-degenerate without changing the answer.
-      TimeModel Model(Record.Sample.CpuThroughput,
-                      Record.Sample.GpuThroughput);
+      TimeModel Model(Local.Sample.CpuThroughput,
+                      Local.Sample.GpuThroughput);
       AlphaSearchConfig Search;
       Search.Step = Config.AlphaStep;
       Search.Refine = Config.RefineAlpha;
@@ -171,22 +303,20 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
                           Search)
                   .Alpha;
     }
-    if (!Record.Confident &&
-        Record.Sample.CpuIterations >= MinProfileIters &&
-        Record.Sample.GpuIterations >= MinProfileIters) {
-      // First trustworthy measurement: discard the provisional alphas
-      // accumulated while one device was starved of observations.
-      Record.Confident = true;
-      Record.Alpha = SampleWeightedAlpha();
-    }
   }
+
+  // Cancellation point 3: before the remainder execution. A cancelled
+  // invocation keeps its completed measurements (merged below) but runs
+  // nothing further.
+  if (!Outcome.Cancelled && stopRequested(Proc.now(), Cancel))
+    Outcome.Cancelled = true;
 
   // Steps 23-25: execute the remainder at the chosen split, optionally
   // telling the governor what is coming (future-work extension). The
   // resilient primitive handles launch retries, hang detection, and
   // quarantine-stranding; on a healthy platform it is exactly
   // runPartitioned.
-  if (Nrem > 0.0) {
+  if (Nrem > 0.0 && !Outcome.Cancelled) {
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
     PartitionOutcome Partition =
@@ -201,12 +331,31 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   // freshly computed alphas are samples; a table-G reuse feeds back the
   // accumulator's own value and must not inflate its weight. A
   // profiling round ended by a hang produced a fault artifact, not a
-  // kernel property, and is kept out of table G.
-  KernelRecord &Record = History.obtain(Kernel.Id);
-  if (Outcome.Profiled && !ProfileHang)
-    Record.Alpha.addSample(Alpha, std::max(Nrem, 1.0));
-  Record.Class = Outcome.Class;
-  ++Record.Invocations;
+  // kernel property, and is kept out of table G — as is the alpha of a
+  // cancelled invocation, whose partial profiling must not be weighted
+  // like a finished one.
+  if (Outcome.Profiled) {
+    bool AddAlpha = !ProfileHang && !Outcome.Cancelled;
+    double AlphaWeight = std::max(Nrem, 1.0);
+    History.update(Kernel.Id, [&](KernelRecord &Rec) {
+      for (const ProfileSample &S : Deltas)
+        Rec.Sample.accumulate(S);
+      if (!Rec.Confident && Rec.Sample.CpuIterations >= MinProfileIters &&
+          Rec.Sample.GpuIterations >= MinProfileIters) {
+        // First trustworthy measurement: discard the provisional alphas
+        // accumulated while one device was starved of observations.
+        Rec.Confident = true;
+        Rec.Alpha = SampleWeightedAlpha();
+      }
+      if (AddAlpha)
+        Rec.Alpha.addSample(Alpha, AlphaWeight);
+      Rec.Class = Outcome.Class;
+    });
+  }
+  // A cancelled invocation did not complete; counting it would make
+  // periodic re-profiling cadence drift under cancellation storms.
+  if (!Outcome.Cancelled)
+    History.bumpInvocations(Kernel.Id);
 
   Outcome.AlphaUsed = Alpha;
   Outcome.Seconds = Proc.now() - Start;

@@ -13,6 +13,15 @@
 /// metric under the analytical time model; subsequent invocations reuse
 /// the table-G entry, refined by sample-weighted accumulation.
 ///
+/// The scheduler is a concurrent service: any number of client threads
+/// (each with its own SimProcessor) may call execute() against one
+/// shared table G. The steady-state hit — lookup alpha, run, count the
+/// invocation — is lock-free. Invocations accept an optional
+/// deadline/cancellation token, honoured at cooperative points between
+/// profiling repetitions and before the remainder execution; shutdown()
+/// closes admission, drains in-flight work against a grace period, and
+/// snapshots table G to the configured history file.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECAS_CORE_EASSCHEDULER_H
@@ -25,6 +34,13 @@
 #include "ecas/power/PowerCurve.h"
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/sim/SimProcessor.h"
+#include "ecas/support/Cancellation.h"
+#include "ecas/support/Error.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
 
 namespace ecas {
 
@@ -63,16 +79,25 @@ struct EasConfig {
   /// goes wrong; with a healthy platform the scheduler never deviates
   /// from Fig. 7.
   GpuHealthConfig Health;
+  /// Durable table-G snapshot path. When non-empty the constructor
+  /// restores the table from it (corruption degrades to a cold table,
+  /// reported by restoreStatus()) and shutdown()/the destructor write it
+  /// back atomically, so learned alphas survive restarts.
+  std::string HistoryFile;
 };
 
 /// The energy-aware scheduler. One instance owns a table G and serves
-/// every kernel invocation of an application run.
+/// every kernel invocation of an application run — from any number of
+/// threads.
 class EasScheduler {
 public:
   /// \p Curves must be complete (all eight categories) for the platform
   /// that \p Metric-optimized runs will execute on.
   EasScheduler(const PowerCurveSet &Curves, Metric Objective,
                EasConfig Config = {});
+
+  /// Drains and snapshots via shutdown() if the caller has not already.
+  ~EasScheduler();
 
   /// What one invocation did.
   struct InvocationOutcome {
@@ -94,19 +119,39 @@ public:
     /// First invocation after a recovery: the GPU was re-admitted and
     /// the kernel re-profiled so alpha reflects the recovered device.
     bool GpuReadmitted = false;
+    /// The scheduler is shutting down; nothing ran and nothing was
+    /// learned.
+    bool Rejected = false;
+    /// The deadline/cancellation token fired mid-invocation. Completed
+    /// profiling measurements were still merged into table G, but no
+    /// alpha sample was added and the invocation was not counted, so a
+    /// partial run cannot poison the learned ratio.
+    bool Cancelled = false;
   };
 
   /// Fig. 7's EAS(): schedules and executes one invocation of \p Kernel
-  /// with \p Iterations parallel iterations on \p Proc.
+  /// with \p Iterations parallel iterations on \p Proc. Thread-safe;
+  /// concurrent callers must each bring their own \p Proc.
   InvocationOutcome execute(SimProcessor &Proc, const KernelDesc &Kernel,
                             double Iterations);
+
+  /// As above, bounded by \p Cancel (deadlines are measured against
+  /// \p Proc's clock). Checked at invocation entry, between profiling
+  /// repetitions, and before the remainder execution.
+  InvocationOutcome execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                            double Iterations,
+                            const CancellationToken &Cancel);
 
   /// Marks the GPU as claimed by another client (the paper tests GPU
   /// performance counter A26: "in that case, we execute the application
   /// entirely on the CPU"). While set, every invocation runs CPU-alone
   /// and nothing is learned into table G.
-  void setExternalGpuBusy(bool Busy) { ExternalGpuBusy = Busy; }
-  bool externalGpuBusy() const { return ExternalGpuBusy; }
+  void setExternalGpuBusy(bool Busy) {
+    ExternalGpuBusy.store(Busy, std::memory_order_release);
+  }
+  bool externalGpuBusy() const {
+    return ExternalGpuBusy.load(std::memory_order_acquire);
+  }
 
   const KernelHistory &history() const { return History; }
   const Metric &objective() const { return Objective; }
@@ -114,24 +159,76 @@ public:
   /// The GPU health monitor backing this scheduler's degradation policy.
   const GpuHealthMonitor &health() const { return Monitor; }
 
+  /// Graceful shutdown: stop admitting invocations (new calls return
+  /// Rejected), wait up to \p DrainGraceSec (host wall-clock) for
+  /// in-flight invocations to finish, then fire the internal drain
+  /// token so stragglers stop at their next cancellation point, and
+  /// finally snapshot table G to EasConfig::HistoryFile (when set).
+  /// Idempotent — later calls wait for and return the first call's
+  /// result. \returns the snapshot status (success when no history file
+  /// is configured).
+  Status shutdown(double DrainGraceSec = 5.0);
+
+  /// False once shutdown() has begun; new invocations are rejected.
+  bool acceptingWork() const {
+    return Admitting.load(std::memory_order_acquire);
+  }
+
+  /// Outcome of the constructor's snapshot restore: success with a cold
+  /// table when no file existed, an error (table left cold) when the
+  /// snapshot was corrupt, truncated, or version-mismatched.
+  const Status &restoreStatus() const { return RestoreStatus; }
+  /// Records recovered by the constructor's restore.
+  size_t restoredRecords() const { return RestoredRecords; }
+
+  /// Writes a snapshot of table G to \p Path now (atomic tmp+rename).
+  Status snapshot(const std::string &Path) const;
+
   /// Forgets all table-G state (a fresh application run). Health state
   /// persists — a quarantine outlives application restarts the way a
   /// broken device does.
   void reset() { History.clear(); }
 
 private:
+  InvocationOutcome executeAdmitted(SimProcessor &Proc,
+                                    const KernelDesc &Kernel,
+                                    double Iterations,
+                                    const CancellationToken *Cancel);
+  /// True when the caller's token or the shutdown drain token fired.
+  bool stopRequested(double NowSec, const CancellationToken *Cancel) const;
+  void endInvocation();
+
   const PowerCurveSet &Curves;
   Metric Objective;
   EasConfig Config;
   KernelHistory History;
   GpuHealthMonitor Monitor;
+  Status RestoreStatus = Status::success();
+  size_t RestoredRecords = 0;
+
   /// Recovery count at the last execute(); a difference means the GPU
   /// was re-admitted and the next large invocation must re-profile.
-  unsigned LastSeenRecoveries = 0;
+  std::atomic<unsigned> LastSeenRecoveries{0};
   /// Sticky re-profile demand raised by a recovery, so the forced
-  /// re-optimization survives intervening small-N invocations.
-  bool PendingReadmitReprofile = false;
-  bool ExternalGpuBusy = false;
+  /// re-optimization survives intervening small-N invocations. Consumed
+  /// by exactly one large invocation (atomic exchange).
+  std::atomic<bool> PendingReadmitReprofile{false};
+  std::atomic<bool> ExternalGpuBusy{false};
+
+  //===--------------------------------------------------------------===//
+  // Lifecycle (admission gate + drain). Lock order: LifecycleMutex is a
+  // leaf — nothing else is acquired while holding it.
+  //===--------------------------------------------------------------===//
+  std::atomic<bool> Admitting{true};
+  std::atomic<unsigned> InFlight{0};
+  /// Fired by shutdown() when the drain grace expires; every in-flight
+  /// invocation observes it at its next cancellation point.
+  CancellationToken DrainToken;
+  std::mutex LifecycleMutex;
+  std::condition_variable Drained;
+  /// Guarded by LifecycleMutex.
+  bool ShutdownComplete = false;
+  Status ShutdownResult = Status::success();
 };
 
 } // namespace ecas

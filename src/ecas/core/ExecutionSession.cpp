@@ -41,7 +41,7 @@ static void attachResilience(SessionReport &Report,
                              const GpuHealthMonitor &Health,
                              const SimProcessor &Proc,
                              unsigned QuarantinedInvocations) {
-  const GpuHealthMonitor::Stats &Stats = Health.stats();
+  const GpuHealthMonitor::Stats Stats = Health.stats();
   Report.Resilience.LaunchRetries = Stats.LaunchFailures;
   Report.Resilience.LaunchesAbandoned = Stats.LaunchesAbandoned;
   Report.Resilience.HangsDetected = Stats.HangsDetected;
@@ -132,7 +132,8 @@ SessionReport ExecutionSession::runPerf(const InvocationTrace &Trace,
 SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
                                        const PowerCurveSet &Curves,
                                        const Metric &Objective,
-                                       const EasConfig &Config) const {
+                                       const EasConfig &Config,
+                                       const CancellationToken *Cancel) const {
   SimProcessor Proc(Spec);
   EasScheduler Scheduler(Curves, Objective, Config);
   uint32_t MsrBefore = Proc.meter().readMsr();
@@ -141,9 +142,24 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
   WorkloadClass LastClass;
   bool Classified = false;
   unsigned Quarantined = 0;
+  unsigned Completed = 0;
+  bool Cancelled = false;
   for (const KernelInvocation &Invocation : Trace) {
+    // Deadlines are judged against the virtual clock the run advances.
+    if (Cancel && Cancel->shouldStop(Proc.now())) {
+      Cancelled = true;
+      break;
+    }
     EasScheduler::InvocationOutcome Outcome =
-        Scheduler.execute(Proc, Invocation.Kernel, Invocation.Iterations);
+        Cancel ? Scheduler.execute(Proc, Invocation.Kernel,
+                                   Invocation.Iterations, *Cancel)
+               : Scheduler.execute(Proc, Invocation.Kernel,
+                                   Invocation.Iterations);
+    if (Outcome.Cancelled || Outcome.Rejected) {
+      Cancelled = true;
+      break;
+    }
+    ++Completed;
     AlphaIterSum += Outcome.AlphaUsed * Invocation.Iterations;
     Quarantined += Outcome.GpuQuarantined ? 1 : 0;
     if (Outcome.Profiled) {
@@ -153,11 +169,12 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
   }
   double Seconds = Proc.now() - Start;
   double Joules = Proc.meter().joulesSince(MsrBefore);
-  SessionReport Report = finishReport(
-      "eas", Objective, Seconds, Joules, AlphaIterSum,
-      traceIterations(Trace), static_cast<unsigned>(Trace.size()));
+  SessionReport Report = finishReport("eas", Objective, Seconds, Joules,
+                                      AlphaIterSum, traceIterations(Trace),
+                                      Completed);
   Report.ClassifiedAs = LastClass;
   Report.WasClassified = Classified;
+  Report.Cancelled = Cancelled;
   attachResilience(Report, Scheduler.health(), Proc, Quarantined);
   return Report;
 }

@@ -66,6 +66,9 @@ struct SessionReport {
   /// was attached to the platform spec).
   FaultStats Injected;
   bool FaultsEnabled = false;
+  /// A cancellation token cut the run short; the totals cover only the
+  /// invocations that ran (Invocations counts completed ones).
+  bool Cancelled = false;
 
   double averageWatts() const { return Seconds > 0.0 ? Joules / Seconds : 0.0; }
 };
@@ -101,10 +104,16 @@ public:
   SessionReport runPerf(const InvocationTrace &Trace,
                         const Metric &Objective, double Step = 0.1) const;
 
-  /// The energy-aware scheduler (Fig. 7) with fresh table-G state.
+  /// The energy-aware scheduler (Fig. 7) with fresh table-G state —
+  /// unless \p Config.HistoryFile names a snapshot, in which case the
+  /// run resumes from (and persists back to) that table G. \p Cancel,
+  /// when non-null, bounds the run: it is checked between invocations
+  /// and passed into the scheduler's cooperative cancellation points;
+  /// a fired token ends the run early with Report.Cancelled set.
   SessionReport runEas(const InvocationTrace &Trace,
                        const PowerCurveSet &Curves, const Metric &Objective,
-                       const EasConfig &Config = {}) const;
+                       const EasConfig &Config = {},
+                       const CancellationToken *Cancel = nullptr) const;
 
 private:
   SessionReport finishReport(std::string Scheme, const Metric &Objective,

@@ -1,0 +1,242 @@
+//===-- ecas/core/HistorySnapshot.cpp - Durable table-G snapshots ---------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/HistorySnapshot.h"
+
+#include "ecas/support/Crc32.h"
+#include "ecas/support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+using namespace ecas;
+
+namespace {
+
+constexpr char Magic[8] = {'E', 'C', 'A', 'S', 'T', 'B', 'L', 'G'};
+constexpr size_t HeaderBytes = 24;
+constexpr size_t RecordBytes = 112;
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitive encoding
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
+}
+
+void putF64(std::string &Out, double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+uint32_t getU32(const unsigned char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+double getF64(const unsigned char *P) {
+  uint64_t Bits = getU64(P);
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+void encodeRecord(std::string &Out, uint64_t Key, const KernelRecord &Rec) {
+  putU64(Out, Key);
+  putF64(Out, Rec.Alpha.weightedSum());
+  putF64(Out, Rec.Alpha.totalWeight());
+  putU32(Out, Rec.Class.index());
+  Out.push_back(static_cast<char>(Rec.CpuOnly ? 1 : 0));
+  Out.push_back(static_cast<char>(Rec.Confident ? 1 : 0));
+  Out.push_back(static_cast<char>(Rec.Sample.GpuLaunchFailed ? 1 : 0));
+  Out.push_back(static_cast<char>(Rec.Sample.GpuHung ? 1 : 0));
+  putU32(Out, Rec.Invocations);
+  putU32(Out, Rec.QuarantinedRuns);
+  putF64(Out, Rec.Sample.CpuThroughput);
+  putF64(Out, Rec.Sample.GpuThroughput);
+  putF64(Out, Rec.Sample.CpuIterations);
+  putF64(Out, Rec.Sample.GpuIterations);
+  putF64(Out, Rec.Sample.ElapsedSeconds);
+  putF64(Out, Rec.Sample.CpuBusySeconds);
+  putF64(Out, Rec.Sample.GpuBusySeconds);
+  putF64(Out, Rec.Sample.MissPerLoadStore);
+  putF64(Out, Rec.Sample.InstructionsRetired);
+}
+
+std::pair<uint64_t, KernelRecord> decodeRecord(const unsigned char *P) {
+  KernelRecord Rec;
+  uint64_t Key = getU64(P);
+  Rec.Alpha = SampleWeightedAlpha::fromParts(getF64(P + 8), getF64(P + 16));
+  Rec.Class = WorkloadClass::fromIndex(getU32(P + 24) %
+                                       WorkloadClass::NumClasses);
+  Rec.CpuOnly = P[28] != 0;
+  Rec.Confident = P[29] != 0;
+  Rec.Sample.GpuLaunchFailed = P[30] != 0;
+  Rec.Sample.GpuHung = P[31] != 0;
+  Rec.Invocations = getU32(P + 32);
+  Rec.QuarantinedRuns = getU32(P + 36);
+  Rec.Sample.CpuThroughput = getF64(P + 40);
+  Rec.Sample.GpuThroughput = getF64(P + 48);
+  Rec.Sample.CpuIterations = getF64(P + 56);
+  Rec.Sample.GpuIterations = getF64(P + 64);
+  Rec.Sample.ElapsedSeconds = getF64(P + 72);
+  Rec.Sample.CpuBusySeconds = getF64(P + 80);
+  Rec.Sample.GpuBusySeconds = getF64(P + 88);
+  Rec.Sample.MissPerLoadStore = getF64(P + 96);
+  Rec.Sample.InstructionsRetired = getF64(P + 104);
+  return {Key, Rec};
+}
+
+} // namespace
+
+std::string ecas::serializeKernelHistory(const KernelHistory &History) {
+  std::vector<std::pair<uint64_t, KernelRecord>> Entries = History.entries();
+  std::string Payload;
+  Payload.reserve(Entries.size() * RecordBytes);
+  for (const auto &[Key, Rec] : Entries)
+    encodeRecord(Payload, Key, Rec);
+
+  std::string Out;
+  Out.reserve(HeaderBytes + Payload.size());
+  Out.append(Magic, sizeof(Magic));
+  putU32(Out, HistorySnapshotVersion);
+  putU64(Out, Entries.size());
+  putU32(Out, crc32(Payload.data(), Payload.size()));
+  Out += Payload;
+  return Out;
+}
+
+ErrorOr<size_t> ecas::deserializeKernelHistory(KernelHistory &History,
+                                               std::string_view Bytes) {
+  History.clear();
+  if (Bytes.size() < HeaderBytes)
+    return Status::error(ErrCode::Truncated,
+                         "snapshot smaller than its 24-byte header (" +
+                             std::to_string(Bytes.size()) + " bytes)");
+  const auto *P = reinterpret_cast<const unsigned char *>(Bytes.data());
+  if (std::memcmp(P, Magic, sizeof(Magic)) != 0)
+    return Status::error(ErrCode::CorruptData,
+                         "snapshot magic mismatch (not a table-G file)");
+  uint32_t Version = getU32(P + 8);
+  if (Version != HistorySnapshotVersion)
+    return Status::error(ErrCode::VersionMismatch,
+                         "snapshot format v" + std::to_string(Version) +
+                             ", this build reads v" +
+                             std::to_string(HistorySnapshotVersion));
+  uint64_t CountField = getU64(P + 12);
+  uint32_t ExpectedCrc = getU32(P + 20);
+  if (Bytes.size() - HeaderBytes != CountField * RecordBytes)
+    return Status::error(
+        ErrCode::Truncated,
+        "snapshot declares " + std::to_string(CountField) + " records (" +
+            std::to_string(CountField * RecordBytes) + " payload bytes) but " +
+            std::to_string(Bytes.size() - HeaderBytes) + " are present");
+  uint32_t ActualCrc =
+      crc32(P + HeaderBytes, Bytes.size() - HeaderBytes);
+  if (ActualCrc != ExpectedCrc)
+    return Status::error(ErrCode::CorruptData,
+                         "snapshot payload CRC mismatch (stored " +
+                             std::to_string(ExpectedCrc) + ", computed " +
+                             std::to_string(ActualCrc) + ")");
+
+  std::vector<std::pair<uint64_t, KernelRecord>> Entries;
+  Entries.reserve(CountField);
+  for (uint64_t I = 0; I != CountField; ++I)
+    Entries.push_back(decodeRecord(P + HeaderBytes + I * RecordBytes));
+  History.restore(Entries);
+  return Entries.size();
+}
+
+namespace {
+
+/// Flushes \p Path's data to stable storage. Best-effort on platforms
+/// without fsync.
+Status syncFile(const std::string &Path) {
+#ifndef _WIN32
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Status::error(ErrCode::IoError,
+                         "cannot reopen " + Path + " for fsync: " +
+                             std::strerror(errno));
+  int Rc = ::fsync(Fd);
+  ::close(Fd);
+  if (Rc != 0)
+    return Status::error(ErrCode::IoError,
+                         "fsync " + Path + ": " + std::strerror(errno));
+#endif
+  return Status::success();
+}
+
+} // namespace
+
+Status ecas::saveKernelHistory(const KernelHistory &History,
+                               const std::string &Path) {
+  std::string Bytes = serializeKernelHistory(History);
+  std::string TempPath = Path + ".tmp";
+  {
+    std::ofstream File(TempPath, std::ios::binary | std::ios::trunc);
+    if (!File)
+      return Status::error(ErrCode::IoError, "cannot write " + TempPath);
+    File.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    File.flush();
+    if (!File)
+      return Status::error(ErrCode::IoError, "short write to " + TempPath);
+  }
+  if (Status S = syncFile(TempPath); !S)
+    return S;
+  if (std::rename(TempPath.c_str(), Path.c_str()) != 0)
+    return Status::error(ErrCode::IoError, "rename " + TempPath + " -> " +
+                                               Path + ": " +
+                                               std::strerror(errno));
+  return Status::success();
+}
+
+ErrorOr<size_t> ecas::loadKernelHistory(KernelHistory &History,
+                                        const std::string &Path) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File) {
+    // No snapshot yet: a cold start, not a failure.
+    History.clear();
+    return size_t{0};
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  if (File.bad()) {
+    History.clear();
+    return Status::error(ErrCode::IoError, "read error on " + Path);
+  }
+  std::string Bytes = Buffer.str();
+  ErrorOr<size_t> Result = deserializeKernelHistory(History, Bytes);
+  if (!Result)
+    return Status::error(Result.status().code(),
+                         Path + ": " + Result.status().message());
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===-- ecas/core/HistorySnapshot.h - Durable table-G snapshots *- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary persistence for the table G, making the paper's
+/// one-time-characterization + accumulated-history design (Fig. 7) hold
+/// across process restarts: learned sample-weighted alphas survive a
+/// crash and a restarted scheduler resumes from the last good snapshot.
+///
+/// File format (all integers and doubles little-endian):
+///
+///   offset  size  field
+///   0       8     magic "ECASTBLG"
+///   8       4     u32 format version (currently 1)
+///   12      8     u64 record count
+///   20      4     u32 CRC-32 of the payload
+///   24      ...   payload: count x 112-byte records
+///
+/// Each record: u64 kernel id; f64 alpha weighted-sum, f64 alpha total
+/// weight; u32 class index, u8 cpu-only, u8 confident, u8 launch-failed,
+/// u8 hung; u32 invocations, u32 quarantined runs; then the accumulated
+/// ProfileSample as 9 f64 (cpu/gpu throughput, cpu/gpu iterations,
+/// elapsed, cpu/gpu busy seconds, miss ratio, instructions).
+///
+/// Writes are atomic: the snapshot is serialized to "<path>.tmp", fsynced,
+/// and renamed over the destination, so a crash mid-write leaves either
+/// the previous snapshot or a stray temp file — never a torn
+/// destination. Loads verify magic, version, declared size, and CRC;
+/// any mismatch returns a recoverable Status and the caller degrades to
+/// a cold table instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_HISTORYSNAPSHOT_H
+#define ECAS_CORE_HISTORYSNAPSHOT_H
+
+#include "ecas/core/KernelHistory.h"
+#include "ecas/support/Error.h"
+
+#include <string>
+#include <string_view>
+
+namespace ecas {
+
+/// Current snapshot format version.
+inline constexpr uint32_t HistorySnapshotVersion = 1;
+
+/// Serializes a consistent copy of \p History into the snapshot byte
+/// format (header + CRC-checked payload).
+std::string serializeKernelHistory(const KernelHistory &History);
+
+/// Parses \p Bytes into \p History, replacing its contents. On any
+/// error (bad magic, truncation, version mismatch, CRC failure) the
+/// table is left cleared — a cold start — and the Status says why.
+/// \returns the number of records restored.
+ErrorOr<size_t> deserializeKernelHistory(KernelHistory &History,
+                                         std::string_view Bytes);
+
+/// Atomically writes \p History to \p Path (temp file + fsync + rename).
+Status saveKernelHistory(const KernelHistory &History,
+                         const std::string &Path);
+
+/// Loads \p Path into \p History. A missing file is a cold start, not an
+/// error: returns 0 records loaded. Corruption, truncation, and version
+/// mismatches return the error Status with the table left cold.
+/// \returns the number of records restored.
+ErrorOr<size_t> loadKernelHistory(KernelHistory &History,
+                                  const std::string &Path);
+
+} // namespace ecas
+
+#endif // ECAS_CORE_HISTORYSNAPSHOT_H

@@ -6,13 +6,170 @@
 
 #include "ecas/core/KernelHistory.h"
 
+#include <algorithm>
+
 using namespace ecas;
 
-const KernelRecord *KernelHistory::lookup(uint64_t KernelId) const {
-  auto It = Records.find(KernelId);
-  return It == Records.end() ? nullptr : &It->second;
+KernelHistory::~KernelHistory() {
+  for (Shard &S : Shards)
+    destroyChain(S.Head.load(std::memory_order_relaxed));
+  for (Entry *Chain : RetiredChains)
+    destroyChain(Chain);
 }
 
-KernelRecord &KernelHistory::obtain(uint64_t KernelId) {
-  return Records[KernelId];
+void KernelHistory::destroyChain(Entry *Head) {
+  while (Head) {
+    Entry *Next = Head->Next.load(std::memory_order_relaxed);
+    Version *V = Head->Current.load(std::memory_order_relaxed);
+    while (V) {
+      Version *Older = V->Older;
+      delete V;
+      V = Older;
+    }
+    delete Head;
+    Head = Next;
+  }
+}
+
+unsigned KernelHistory::shardIndex(uint64_t KernelId) {
+  // Fibonacci hashing spreads sequential ids across shards.
+  return static_cast<unsigned>((KernelId * 0x9e3779b97f4a7c15ull) >> 60) &
+         (NumShards - 1);
+}
+
+KernelHistory::Entry *KernelHistory::findEntry(const Shard &S,
+                                               uint64_t KernelId) {
+  for (Entry *E = S.Head.load(std::memory_order_acquire); E;
+       E = E->Next.load(std::memory_order_acquire))
+    if (E->Key == KernelId)
+      return E;
+  return nullptr;
+}
+
+KernelHistory::Entry &KernelHistory::obtainEntry(uint64_t KernelId) {
+  Shard &S = Shards[shardIndex(KernelId)];
+  if (Entry *E = findEntry(S, KernelId))
+    return *E;
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  // Re-check: another writer may have inserted while we waited.
+  if (Entry *E = findEntry(S, KernelId))
+    return *E;
+  auto *Fresh = new Entry(KernelId);
+  Fresh->Current.store(new Version(), std::memory_order_relaxed);
+  Fresh->Next.store(S.Head.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  // Publish: the release store makes the entry (and its empty first
+  // version) visible to lock-free readers walking the list.
+  S.Head.store(Fresh, std::memory_order_release);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  return *Fresh;
+}
+
+void KernelHistory::composeRecord(const Entry &E, const Version *V,
+                                  KernelRecord &Out) {
+  Out = V->Rec;
+  Out.Invocations = E.Invocations.load(std::memory_order_relaxed);
+  Out.QuarantinedRuns = E.QuarantinedRuns.load(std::memory_order_relaxed);
+}
+
+bool KernelHistory::lookup(uint64_t KernelId, KernelRecord &Out) const {
+  const Shard &S = Shards[shardIndex(KernelId)];
+  const Entry *E = findEntry(S, KernelId);
+  if (!E)
+    return false;
+  composeRecord(*E, E->Current.load(std::memory_order_acquire), Out);
+  return true;
+}
+
+std::optional<KernelRecord> KernelHistory::find(uint64_t KernelId) const {
+  KernelRecord Rec;
+  if (!lookup(KernelId, Rec))
+    return std::nullopt;
+  return Rec;
+}
+
+void KernelHistory::update(uint64_t KernelId,
+                           const std::function<void(KernelRecord &)> &Fn) {
+  Entry &E = obtainEntry(KernelId);
+  Shard &S = Shards[shardIndex(KernelId)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  Version *Cur = E.Current.load(std::memory_order_relaxed);
+  auto *Fresh = new Version();
+  composeRecord(E, Cur, Fresh->Rec);
+  unsigned InvocationsBefore = Fresh->Rec.Invocations;
+  unsigned QuarantinedBefore = Fresh->Rec.QuarantinedRuns;
+  Fn(Fresh->Rec);
+  // Counters are owned by the bump*() atomics; a stale copy must not be
+  // resurrected into the published version.
+  Fresh->Rec.Invocations = InvocationsBefore;
+  Fresh->Rec.QuarantinedRuns = QuarantinedBefore;
+  Fresh->Older = Cur;
+  E.Current.store(Fresh, std::memory_order_release);
+}
+
+unsigned KernelHistory::bumpInvocations(uint64_t KernelId) {
+  return obtainEntry(KernelId).Invocations.fetch_add(
+             1, std::memory_order_relaxed) +
+         1;
+}
+
+unsigned KernelHistory::bumpQuarantinedRuns(uint64_t KernelId) {
+  return obtainEntry(KernelId).QuarantinedRuns.fetch_add(
+             1, std::memory_order_relaxed) +
+         1;
+}
+
+std::vector<std::pair<uint64_t, KernelRecord>> KernelHistory::entries() const {
+  std::vector<std::pair<uint64_t, KernelRecord>> Out;
+  Out.reserve(Count.load(std::memory_order_relaxed));
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (const Entry *E = S.Head.load(std::memory_order_acquire); E;
+         E = E->Next.load(std::memory_order_acquire)) {
+      KernelRecord Rec;
+      composeRecord(*E, E->Current.load(std::memory_order_acquire), Rec);
+      Out.emplace_back(E->Key, Rec);
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+void KernelHistory::restore(
+    const std::vector<std::pair<uint64_t, KernelRecord>> &Entries) {
+  clear();
+  for (const auto &[Key, Rec] : Entries) {
+    Entry &E = obtainEntry(Key);
+    E.Invocations.store(Rec.Invocations, std::memory_order_relaxed);
+    E.QuarantinedRuns.store(Rec.QuarantinedRuns, std::memory_order_relaxed);
+    update(Key, [&Rec](KernelRecord &Target) {
+      Target.Alpha = Rec.Alpha;
+      Target.Class = Rec.Class;
+      Target.Sample = Rec.Sample;
+      Target.CpuOnly = Rec.CpuOnly;
+      Target.Confident = Rec.Confident;
+    });
+  }
+}
+
+void KernelHistory::clear() {
+  // Unlink each shard's chain but keep the entries alive: a concurrent
+  // lookup may still be walking them. They are freed with the table.
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Entry *Old = S.Head.exchange(nullptr, std::memory_order_acq_rel);
+    if (!Old)
+      continue;
+    size_t Unlinked = 0;
+    for (Entry *E = Old; E; E = E->Next.load(std::memory_order_relaxed))
+      ++Unlinked;
+    Count.fetch_sub(Unlinked, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> RetireLock(RetiredMutex);
+    RetiredChains.push_back(Old);
+  }
+}
+
+size_t KernelHistory::size() const {
+  return Count.load(std::memory_order_relaxed);
 }

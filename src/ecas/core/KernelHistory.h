@@ -10,6 +10,18 @@
 /// GPU offload ratio, accumulated across invocations with the
 /// sample-weighted technique of [12].
 ///
+/// The table is sharded and safe for any number of concurrent readers
+/// and writers. The steady-state hit — "kernel seen before, reuse its
+/// alpha" — is lock-free: shards are insert-only atomic singly-linked
+/// lists, and each entry publishes an immutable record version through
+/// an atomic pointer, so lookup() never takes a lock. Mutation
+/// (profiling merges) copies the current version, applies the change
+/// under the shard lock, and republishes; replaced versions are retired
+/// and reclaimed when the table is destroyed, so a concurrent reader can
+/// keep dereferencing the version it loaded. The per-invocation counters
+/// (Invocations, QuarantinedRuns) are plain atomics beside the published
+/// pointer, keeping the whole hot path — lookup + count — lock-free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECAS_CORE_KERNELHISTORY_H
@@ -18,8 +30,13 @@
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/profile/WorkloadClass.h"
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace ecas {
 
@@ -50,20 +67,93 @@ struct KernelRecord {
   unsigned QuarantinedRuns = 0;
 };
 
-/// The table G. Not thread-safe; the GPU proxy thread owns it.
+/// The table G. Thread-safe; see the file comment for the sharding and
+/// publication scheme.
 class KernelHistory {
 public:
-  /// Returns the record for \p KernelId, or nullptr when never seen.
-  const KernelRecord *lookup(uint64_t KernelId) const;
+  static constexpr unsigned NumShards = 16;
 
-  /// Returns (creating on first use) the mutable record.
-  KernelRecord &obtain(uint64_t KernelId);
+  KernelHistory() = default;
+  ~KernelHistory();
 
-  void clear() { Records.clear(); }
-  size_t size() const { return Records.size(); }
+  KernelHistory(const KernelHistory &) = delete;
+  KernelHistory &operator=(const KernelHistory &) = delete;
+
+  /// Lock-free fast path: copies the record for \p KernelId into \p Out.
+  /// Returns false (leaving \p Out untouched) when never seen.
+  bool lookup(uint64_t KernelId, KernelRecord &Out) const;
+
+  /// Convenience form of lookup().
+  std::optional<KernelRecord> find(uint64_t KernelId) const;
+
+  /// Mutates the record (creating it on first use): \p Fn receives a
+  /// private copy of the current record and the result is republished
+  /// for lock-free readers. Runs under the shard lock, so concurrent
+  /// updates of the same kernel serialize and additive merges
+  /// (Sample.accumulate, Alpha.addSample) never lose a contribution.
+  /// The counters in the copy (Invocations, QuarantinedRuns) are
+  /// read-only context: changes \p Fn makes to them are discarded; use
+  /// the bump*() calls, which are their only writers.
+  void update(uint64_t KernelId,
+              const std::function<void(KernelRecord &)> &Fn);
+
+  /// Lock-free monotone counters, the per-invocation hot path. Both
+  /// create the entry on first use (that slow path takes the shard lock
+  /// once). \returns the post-increment value.
+  unsigned bumpInvocations(uint64_t KernelId);
+  unsigned bumpQuarantinedRuns(uint64_t KernelId);
+
+  /// Consistent per-record copy of the whole table, sorted by kernel id
+  /// (shards are visited under their locks; the table may keep moving
+  /// between shards).
+  std::vector<std::pair<uint64_t, KernelRecord>> entries() const;
+
+  /// Replaces the table's contents with \p Entries (snapshot recovery).
+  void restore(const std::vector<std::pair<uint64_t, KernelRecord>> &Entries);
+
+  void clear();
+  size_t size() const;
 
 private:
-  std::unordered_map<uint64_t, KernelRecord> Records;
+  /// One published, immutable version of a record. Replaced versions
+  /// stay on the Older chain until the table dies, so readers that
+  /// loaded them keep a valid pointer (the table holds few kernels and
+  /// republishes only on profiling merges, so the garbage is bounded by
+  /// the profile count).
+  struct Version {
+    KernelRecord Rec;
+    Version *Older = nullptr;
+  };
+
+  struct Entry {
+    explicit Entry(uint64_t KeyIn) : Key(KeyIn) {}
+    const uint64_t Key;
+    std::atomic<Version *> Current{nullptr};
+    std::atomic<uint32_t> Invocations{0};
+    std::atomic<uint32_t> QuarantinedRuns{0};
+    std::atomic<Entry *> Next{nullptr};
+  };
+
+  struct Shard {
+    std::atomic<Entry *> Head{nullptr};
+    mutable std::mutex Mutex;
+  };
+
+  static unsigned shardIndex(uint64_t KernelId);
+  /// Lock-free find within a shard's list.
+  static Entry *findEntry(const Shard &S, uint64_t KernelId);
+  /// Finds or inserts; takes the shard lock only when inserting.
+  Entry &obtainEntry(uint64_t KernelId);
+  static void composeRecord(const Entry &E, const Version *V,
+                            KernelRecord &Out);
+  static void destroyChain(Entry *Head);
+
+  Shard Shards[NumShards];
+  std::atomic<size_t> Count{0};
+  /// Entries unlinked by clear()/restore(), kept alive for concurrent
+  /// readers and freed with the table.
+  std::mutex RetiredMutex;
+  std::vector<Entry *> RetiredChains;
 };
 
 } // namespace ecas

@@ -25,6 +25,8 @@
 #ifndef ECAS_FAULT_GPUHEALTH_H
 #define ECAS_FAULT_GPUHEALTH_H
 
+#include <mutex>
+
 namespace ecas {
 
 /// Tunables of the retry / quarantine / re-probe policy.
@@ -51,17 +53,26 @@ enum class GpuHealthState { Healthy, Quarantined, Probing };
 const char *gpuHealthStateName(GpuHealthState State);
 
 /// Tracks GPU availability for one execution context (an
-/// ExecutionSession run or an EasScheduler instance).
+/// ExecutionSession run or an EasScheduler instance). Internally
+/// synchronized: concurrent EasScheduler clients observe and feed the
+/// state machine under one mutex, so transitions stay atomic (a probe
+/// grant and its counter bump cannot interleave with a quarantine).
 class GpuHealthMonitor {
 public:
   explicit GpuHealthMonitor(GpuHealthConfig Config = {});
 
   const GpuHealthConfig &config() const { return Config; }
-  GpuHealthState state() const { return State; }
+  GpuHealthState state() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return State;
+  }
 
   /// True while no fault has ever been observed — callers use this to
   /// stay on the exact fault-free fast path.
-  bool pristine() const { return Pristine; }
+  bool pristine() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Pristine;
+  }
 
   /// May the runtime hand work to the GPU at \p NowSec? While
   /// quarantined, returns false until the backoff expires; the first
@@ -88,18 +99,31 @@ public:
     unsigned ProbesAttempted = 0;
     unsigned Recoveries = 0;
   };
-  const Stats &stats() const { return Counters; }
+  /// Consistent copy of the tallies (by value: the live counters mutate
+  /// under the monitor's mutex).
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Counters;
+  }
 
   /// Monotone recovery counter; schedulers compare it across
   /// invocations to notice a re-admission and re-optimize alpha.
-  unsigned recoveries() const { return Counters.Recoveries; }
+  unsigned recoveries() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Counters.Recoveries;
+  }
 
-  double quarantinedUntil() const { return QuarantinedUntil; }
+  double quarantinedUntil() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return QuarantinedUntil;
+  }
 
 private:
+  /// Requires Mutex held.
   void quarantine(double NowSec);
 
   GpuHealthConfig Config;
+  mutable std::mutex Mutex;
   GpuHealthState State = GpuHealthState::Healthy;
   Stats Counters;
   bool Pristine = true;

@@ -50,6 +50,15 @@ double SampleWeightedAlpha::value() const {
   return WeightedSum / TotalWeight;
 }
 
+SampleWeightedAlpha SampleWeightedAlpha::fromParts(double WeightedSum,
+                                                   double TotalWeight) {
+  ECAS_CHECK(TotalWeight >= 0.0, "total weight cannot be negative");
+  SampleWeightedAlpha Alpha;
+  Alpha.WeightedSum = WeightedSum;
+  Alpha.TotalWeight = TotalWeight;
+  return Alpha;
+}
+
 OnlineProfiler::OnlineProfiler(SimProcessor &Proc, double GpuProfileSize)
     : Proc(Proc), GpuProfileSize(GpuProfileSize) {
   ECAS_CHECK(GpuProfileSize > 0.0, "GPU profile size must be positive");

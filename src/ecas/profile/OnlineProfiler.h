@@ -61,6 +61,14 @@ public:
   bool hasValue() const { return TotalWeight > 0.0; }
   double value() const;
 
+  /// Accumulator internals, exposed for exact round-trips through the
+  /// durable table-G snapshots (value() alone cannot reconstruct the
+  /// weight future merges blend against).
+  double weightedSum() const { return WeightedSum; }
+  double totalWeight() const { return TotalWeight; }
+  static SampleWeightedAlpha fromParts(double WeightedSum,
+                                       double TotalWeight);
+
 private:
   double WeightedSum = 0.0;
   double TotalWeight = 0.0;

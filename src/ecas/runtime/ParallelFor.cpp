@@ -27,9 +27,9 @@ uint64_t WorkPool::remaining() const {
   return Cursor >= End ? 0 : End - Cursor;
 }
 
-void ecas::parallelFor(ThreadPool &Pool, uint64_t N, const RangeBody &Body,
-                       uint64_t Grain) {
-  Pool.parallelFor(0, N, Grain, Body);
+uint64_t ecas::parallelFor(ThreadPool &Pool, uint64_t N, const RangeBody &Body,
+                           uint64_t Grain, const CancellationToken *Cancel) {
+  return Pool.parallelFor(0, N, Grain, Body, Cancel);
 }
 
 namespace {
@@ -45,17 +45,23 @@ double hostSeconds() {
 
 HybridResult ecas::hybridParallelFor(ThreadPool &Pool, uint64_t N,
                                      double Alpha, const RangeBody &CpuBody,
-                                     const GpuExecutor &Gpu, uint64_t Grain) {
+                                     const GpuExecutor &Gpu, uint64_t Grain,
+                                     const CancellationToken *Cancel) {
   ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
   HybridResult Result;
+  if (Cancel && Cancel->shouldStop(hostSeconds())) {
+    Result.Cancelled = true;
+    return Result;
+  }
   uint64_t GpuIters = static_cast<uint64_t>(Alpha * static_cast<double>(N));
   GpuIters = std::min(GpuIters, N);
   uint64_t CpuEnd = N - GpuIters;
-  Result.CpuIterations = CpuEnd;
   Result.GpuIterations = GpuIters;
 
   // The GPU proxy is one dedicated thread driving the executor, exactly
-  // like the proxy CPU worker of Section 3.1.
+  // like the proxy CPU worker of Section 3.1. Once launched the GPU
+  // share runs to completion — only the executor itself (e.g. MiniCl's
+  // token-aware wait) can cut it short.
   std::thread Proxy;
   double GpuStart = hostSeconds();
   if (GpuIters > 0)
@@ -66,11 +72,14 @@ HybridResult ecas::hybridParallelFor(ThreadPool &Pool, uint64_t N,
 
   if (CpuEnd > 0) {
     double CpuStart = hostSeconds();
-    Pool.parallelFor(0, CpuEnd, Grain, CpuBody);
+    Result.CpuIterations = Pool.parallelFor(0, CpuEnd, Grain, CpuBody, Cancel);
     Result.CpuSeconds = hostSeconds() - CpuStart;
   }
   if (Proxy.joinable())
     Proxy.join();
+  if (Result.CpuIterations != CpuEnd ||
+      (Cancel && Cancel->shouldStop(hostSeconds())))
+    Result.Cancelled = true;
   return Result;
 }
 
@@ -78,8 +87,13 @@ HybridResult ecas::profileChunkOnHost(WorkPool &Pool, uint64_t GpuChunk,
                                       unsigned Threads,
                                       const RangeBody &CpuBody,
                                       const GpuExecutor &Gpu,
-                                      uint64_t CpuGrab) {
+                                      uint64_t CpuGrab,
+                                      const CancellationToken *Cancel) {
   HybridResult Result;
+  if (Cancel && Cancel->shouldStop(hostSeconds())) {
+    Result.Cancelled = true;
+    return Result;
+  }
   IterRange GpuRange = Pool.grab(GpuChunk);
   Result.GpuIterations = GpuRange.size();
 
@@ -90,7 +104,12 @@ HybridResult ecas::profileChunkOnHost(WorkPool &Pool, uint64_t GpuChunk,
   double CpuStart = hostSeconds();
   for (unsigned I = 0; I != Threads; ++I)
     CpuWorkers.emplace_back([&] {
+      // The grab loop is the CPU worker's cooperative cancellation
+      // point: the token is polled between chunks, so a fired token
+      // stops a worker after at most one CpuGrab-sized chunk.
       while (!Stop.load(std::memory_order_acquire)) {
+        if (Cancel && Cancel->shouldStop(hostSeconds()))
+          return;
         IterRange Range = Pool.grab(CpuGrab);
         if (Range.size() == 0)
           return;
@@ -111,5 +130,7 @@ HybridResult ecas::profileChunkOnHost(WorkPool &Pool, uint64_t GpuChunk,
     Worker.join();
   Result.CpuSeconds = hostSeconds() - CpuStart;
   Result.CpuIterations = CpuDone.load(std::memory_order_relaxed);
+  if (Cancel && Cancel->shouldStop(hostSeconds()))
+    Result.Cancelled = true;
   return Result;
 }

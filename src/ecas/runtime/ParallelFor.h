@@ -53,28 +53,39 @@ struct HybridResult {
   /// Wall-clock seconds each side spent busy (host steady clock).
   double CpuSeconds = 0.0;
   double GpuSeconds = 0.0;
+  /// The run was cut short by a cancellation token; the iteration counts
+  /// above cover only what actually executed.
+  bool Cancelled = false;
 };
 
 /// Convenience wrapper: CPU-only parallel_for over [0, N).
-void parallelFor(ThreadPool &Pool, uint64_t N, const RangeBody &Body,
-                 uint64_t Grain = 256);
+/// \returns iterations executed (N unless \p Cancel fired).
+uint64_t parallelFor(ThreadPool &Pool, uint64_t N, const RangeBody &Body,
+                     uint64_t Grain = 256,
+                     const CancellationToken *Cancel = nullptr);
 
 /// Partitioned execution per Fig. 7 steps 23-25: the GPU proxy offloads
 /// the tail Alpha*N iterations to \p Gpu while the CPU side executes the
 /// head ((1-Alpha)*N) with work-stealing. Blocks until both finish.
+/// \p Cancel bounds the CPU side cooperatively and is checked before the
+/// GPU share is launched; a GPU executor that can observe the token
+/// should poll it too (the MiniCl layer's waits do).
 HybridResult hybridParallelFor(ThreadPool &Pool, uint64_t N, double Alpha,
                                const RangeBody &CpuBody,
-                               const GpuExecutor &Gpu, uint64_t Grain = 256);
+                               const GpuExecutor &Gpu, uint64_t Grain = 256,
+                               const CancellationToken *Cancel = nullptr);
 
 /// Host-side adaptive profiling chunk (Fig. 7 steps 28-35): offloads
 /// \p GpuChunk iterations from \p Pool to the GPU proxy while \p Threads
 /// CPU workers drain the shared pool; CPU workers halt when the GPU
 /// finishes. Returns iteration counts and busy seconds for throughput
-/// estimation.
+/// estimation. \p Cancel is polled between CPU grabs (the worker loop's
+/// cancellation point) and before the GPU chunk launches.
 HybridResult profileChunkOnHost(WorkPool &Pool, uint64_t GpuChunk,
                                 unsigned Threads, const RangeBody &CpuBody,
                                 const GpuExecutor &Gpu,
-                                uint64_t CpuGrab = 64);
+                                uint64_t CpuGrab = 64,
+                                const CancellationToken *Cancel = nullptr);
 
 } // namespace ecas
 

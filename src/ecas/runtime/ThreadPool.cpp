@@ -10,8 +10,15 @@
 #include "ecas/support/Random.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace ecas;
+
+static double hostSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
 
 ThreadPool::ThreadPool(unsigned NumWorkers) {
   if (NumWorkers == 0) {
@@ -37,21 +44,39 @@ ThreadPool::~ThreadPool() {
       W->Thread.join();
 }
 
-void ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
-                             const RangeBody &Body) {
+bool ThreadPool::jobCancelled() {
+  if (CurrentJob.Cancelled.load(std::memory_order_acquire))
+    return true;
+  const CancellationToken *Cancel =
+      CurrentJob.Cancel.load(std::memory_order_acquire);
+  if (Cancel && Cancel->shouldStop(hostSeconds())) {
+    CurrentJob.Cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+uint64_t ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
+                                 const RangeBody &Body,
+                                 const CancellationToken *Cancel) {
   if (End <= Begin)
-    return;
+    return 0;
   if (Grain == 0)
     Grain = 1;
   std::lock_guard<std::mutex> CallerLock(CallerMutex);
 
   const uint64_t Total = End - Begin;
-  CurrentJob.Body = &Body;
-  CurrentJob.Grain = Grain;
+  CurrentJob.Body.store(&Body, std::memory_order_relaxed);
+  CurrentJob.Grain.store(Grain, std::memory_order_relaxed);
+  CurrentJob.Cancel.store(Cancel, std::memory_order_relaxed);
+  CurrentJob.Cancelled.store(false, std::memory_order_relaxed);
+  CurrentJob.Executed.store(0, std::memory_order_relaxed);
   CurrentJob.PendingIters.store(Total, std::memory_order_release);
 
   // Seed one contiguous chunk per worker. Workers refine their chunk via
-  // recursive splitting, and imbalance evens out through stealing.
+  // recursive splitting, and imbalance evens out through stealing. The
+  // mutexed publication of each chunk also publishes the job fields
+  // stored above to whoever acquires the range.
   const unsigned N = numWorkers();
   uint64_t Cursor = Begin;
   for (unsigned I = 0; I != N && Cursor < End; ++I) {
@@ -63,7 +88,12 @@ void ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
     }
     Cursor = ChunkEnd;
   }
-  JobEpoch.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Bump the epoch under the mutex: a worker evaluating the wait
+    // predicate cannot then miss the notification (lost-wakeup race).
+    std::lock_guard<std::mutex> Lock(Mutex);
+    JobEpoch.fetch_add(1, std::memory_order_acq_rel);
+  }
   WorkAvailable.notify_all();
 
   // The caller participates: grab injected or stolen ranges and execute
@@ -75,15 +105,31 @@ void ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
       std::this_thread::yield();
       continue;
     }
-    const RangeBody &Fn = *CurrentJob.Body;
+    if (jobCancelled()) {
+      CurrentJob.PendingIters.fetch_sub(Range.size(),
+                                        std::memory_order_acq_rel);
+      continue;
+    }
+    const RangeBody &Fn = Body;
     for (uint64_t Piece = Range.Begin; Piece < Range.End;) {
       uint64_t PieceEnd = std::min(Range.End, Piece + Grain);
       Fn(Piece, PieceEnd);
+      CurrentJob.Executed.fetch_add(PieceEnd - Piece,
+                                    std::memory_order_relaxed);
       CurrentJob.PendingIters.fetch_sub(PieceEnd - Piece,
                                         std::memory_order_acq_rel);
       Piece = PieceEnd;
+      if (jobCancelled()) {
+        CurrentJob.PendingIters.fetch_sub(Range.End - Piece,
+                                          std::memory_order_acq_rel);
+        break;
+      }
     }
   }
+  // Drop the token before the caller's stack frame (which may own it)
+  // unwinds; lingering workers only ever see null or the live pointer.
+  CurrentJob.Cancel.store(nullptr, std::memory_order_release);
+  return CurrentJob.Executed.load(std::memory_order_acquire);
 }
 
 bool ThreadPool::takeInjected(IterRange &Out) {
@@ -110,9 +156,18 @@ bool ThreadPool::stealFrom(Xoshiro256 &Rng, IterRange &Out) {
 }
 
 void ThreadPool::runRange(unsigned SelfIndex, IterRange Range) {
+  // Cooperative cancellation point: a cancelled job's ranges are
+  // discarded (counted off, never executed) so the job drains promptly.
+  if (jobCancelled()) {
+    CurrentJob.PendingIters.fetch_sub(Range.size(),
+                                      std::memory_order_acq_rel);
+    return;
+  }
   Worker &Self = *Workers[SelfIndex];
-  const RangeBody &Fn = *CurrentJob.Body;
-  const uint64_t Grain = CurrentJob.Grain;
+  // The acquire loads pair with the release publication of the range we
+  // just acquired, so these reads see the owning job's fields.
+  const RangeBody &Fn = *CurrentJob.Body.load(std::memory_order_acquire);
+  const uint64_t Grain = CurrentJob.Grain.load(std::memory_order_acquire);
   // Recursive halving: keep the lower half, expose the upper to thieves.
   while (Range.size() > Grain) {
     uint64_t Mid = Range.Begin + Range.size() / 2;
@@ -120,6 +175,7 @@ void ThreadPool::runRange(unsigned SelfIndex, IterRange Range) {
     Range.End = Mid;
   }
   Fn(Range.Begin, Range.End);
+  CurrentJob.Executed.fetch_add(Range.size(), std::memory_order_relaxed);
   CurrentJob.PendingIters.fetch_sub(Range.size(),
                                     std::memory_order_acq_rel);
 }

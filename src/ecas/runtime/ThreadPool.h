@@ -16,6 +16,7 @@
 #define ECAS_RUNTIME_THREADPOOL_H
 
 #include "ecas/runtime/ChaseLevDeque.h"
+#include "ecas/support/Cancellation.h"
 #include "ecas/support/Random.h"
 
 #include <atomic>
@@ -53,10 +54,18 @@ public:
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
   /// Runs \p Body over [Begin, End) with ranges no smaller than \p Grain
-  /// (except tails), blocking until every iteration completed. The
-  /// calling thread participates in the work.
-  void parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
-                   const RangeBody &Body);
+  /// (except tails), blocking until every iteration completed or the job
+  /// was cancelled. The calling thread participates in the work.
+  ///
+  /// \p Cancel, when non-null, is polled (against the host steady clock
+  /// for its deadline) at every range boundary — the CPU worker loop's
+  /// cooperative cancellation point. On cancellation the remaining
+  /// ranges are discarded without running \p Body and the call returns
+  /// promptly. \returns the number of iterations actually executed
+  /// (End - Begin unless cancelled).
+  uint64_t parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
+                       const RangeBody &Body,
+                       const CancellationToken *Cancel = nullptr);
 
   /// Lifetime total of successful steals — a scheduling-quality statistic
   /// surfaced by the micro-benchmarks.
@@ -70,13 +79,23 @@ private:
     std::thread Thread;
   };
 
-  /// State of the in-flight job; reset for each parallelFor.
+  /// State of the in-flight job; reset for each parallelFor. The fields
+  /// are atomics because a worker lingering from the previous job may
+  /// read them concurrently with the caller installing the next job; the
+  /// release publication of the seed ranges orders the reads.
   struct Job {
-    const RangeBody *Body = nullptr;
-    uint64_t Grain = 1;
+    std::atomic<const RangeBody *> Body{nullptr};
+    std::atomic<uint64_t> Grain{1};
     std::atomic<uint64_t> PendingIters{0};
+    std::atomic<const CancellationToken *> Cancel{nullptr};
+    /// Latched by the first worker that observes the token fire, so the
+    /// rest short-circuit without re-reading the clock.
+    std::atomic<bool> Cancelled{false};
+    std::atomic<uint64_t> Executed{0};
   };
 
+  /// True once this job should stop executing bodies (token fired).
+  bool jobCancelled();
   void workerLoop(unsigned SelfIndex);
   /// Runs ranges from the worker's own deque, then steals. Returns when
   /// the job has no pending iterations.

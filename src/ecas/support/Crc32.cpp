@@ -1,0 +1,36 @@
+//===-- ecas/support/Crc32.cpp - CRC-32 checksum --------------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/Crc32.h"
+
+#include <array>
+
+using namespace ecas;
+
+namespace {
+
+/// Reflected-polynomial lookup table, built once at first use.
+std::array<uint32_t, 256> buildTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int Bit = 0; Bit != 8; ++Bit)
+      C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t ecas::crc32(const void *Data, size_t Len, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = buildTable();
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xffffffffu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}

@@ -1,0 +1,27 @@
+//===-- ecas/support/Crc32.h - CRC-32 checksum -----------------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table-driven CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant)
+/// used to integrity-check durable snapshot files before trusting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_CRC32_H
+#define ECAS_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecas {
+
+/// CRC-32 of \p Len bytes at \p Data. Pass a previous result as \p Seed
+/// to checksum data incrementally; the default seed starts a fresh sum.
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_CRC32_H

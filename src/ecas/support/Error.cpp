@@ -26,6 +26,12 @@ const char *ecas::errCodeName(ErrCode Code) {
     return "timeout";
   case ErrCode::IoError:
     return "i/o error";
+  case ErrCode::Cancelled:
+    return "cancelled";
+  case ErrCode::VersionMismatch:
+    return "version mismatch";
+  case ErrCode::CorruptData:
+    return "corrupt data";
   }
   ECAS_UNREACHABLE("unknown error code");
 }

@@ -36,6 +36,9 @@ enum class ErrCode {
   DeviceUnavailable,
   Timeout,
   IoError,
+  Cancelled,
+  VersionMismatch,
+  CorruptData,
 };
 
 /// Returns a stable lowercase name for \p Code ("parse error", ...).

@@ -1,0 +1,367 @@
+//===-- tests/ConcurrencyTest.cpp - concurrent service-core coverage ------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The concurrent EAS service core under load: many client threads
+/// hammering one shared scheduler (table G) with mixed kernels while a
+/// fault plan injects GPU hangs — no lost invocation counts, no alpha
+/// contributions dropped, no deadlock on shutdown. Plus the cooperative
+/// cancellation surfaces: ThreadPool::parallelFor token polling, expired
+/// deadlines, and the scheduler's guarantee that a cancelled invocation
+/// never poisons the learned ratio.
+///
+/// This suite is the primary ThreadSanitizer target (ctest label `tsan`
+/// in the tsan preset).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/EasScheduler.h"
+#include "ecas/core/KernelHistory.h"
+#include "ecas/fault/FaultPlan.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/power/Characterizer.h"
+#include "ecas/runtime/ThreadPool.h"
+#include "ecas/support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+const PowerCurveSet &desktopCurves() {
+  static PowerCurveSet Curves = Characterizer(haswellDesktop()).characterize();
+  return Curves;
+}
+
+PlatformSpec faultySpec(const std::string &Scenario) {
+  PlatformSpec Spec = haswellDesktop();
+  ErrorOr<FaultPlan> Plan = FaultPlan::scenario(Scenario);
+  EXPECT_TRUE(Plan.ok()) << Scenario;
+  Spec.Faults = *Plan;
+  return Spec;
+}
+
+KernelDesc namedKernel(const std::string &Name) {
+  KernelDesc Kernel;
+  Kernel.Name = Name;
+  return Kernel.withAutoId();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Table G under concurrent mutation
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, KernelHistoryLosesNoContributions) {
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 500;
+  KernelHistory History;
+
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T != Threads; ++T)
+    Clients.emplace_back([&History, T] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        // Everyone merges into the shared kernel 1...
+        History.update(1, [](KernelRecord &Rec) {
+          Rec.Alpha.addSample(0.5, 1.0);
+        });
+        History.bumpInvocations(1);
+        // ...and into a private kernel, exercising concurrent inserts
+        // across shards.
+        History.update(100 + T, [](KernelRecord &Rec) {
+          Rec.Alpha.addSample(0.25, 2.0);
+        });
+        History.bumpQuarantinedRuns(100 + T);
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+
+  EXPECT_EQ(History.size(), 1u + Threads);
+
+  // The shared record saw every one of the Threads * PerThread merges:
+  // weights are integral, so the sums are exact.
+  std::optional<KernelRecord> Shared = History.find(1);
+  ASSERT_TRUE(Shared.has_value());
+  EXPECT_EQ(Shared->Alpha.totalWeight(), double(Threads) * PerThread);
+  EXPECT_EQ(Shared->Alpha.weightedSum(), 0.5 * Threads * PerThread);
+  EXPECT_EQ(Shared->Invocations, Threads * PerThread);
+
+  for (unsigned T = 0; T != Threads; ++T) {
+    std::optional<KernelRecord> Mine = History.find(100 + T);
+    ASSERT_TRUE(Mine.has_value()) << "kernel " << (100 + T);
+    EXPECT_EQ(Mine->Alpha.totalWeight(), 2.0 * PerThread);
+    EXPECT_EQ(Mine->QuarantinedRuns, PerThread);
+    EXPECT_EQ(Mine->Invocations, 0u);
+  }
+}
+
+TEST(Concurrency, KernelHistoryReadersSeeConsistentVersions) {
+  KernelHistory History;
+  std::atomic<bool> Stop{false};
+
+  // Writer keeps republishing versions; every published version has
+  // alpha value exactly 0.5 (all samples are 0.5), so a reader that ever
+  // observes anything else caught a torn record.
+  std::thread Writer([&] {
+    for (unsigned I = 0; I != 20000; ++I) {
+      History.update(77, [](KernelRecord &Rec) {
+        Rec.Alpha.addSample(0.5, 1.0);
+      });
+      History.bumpInvocations(77);
+    }
+    Stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> Readers;
+  std::atomic<unsigned> Torn{0};
+  for (unsigned R = 0; R != 4; ++R)
+    Readers.emplace_back([&] {
+      KernelRecord Rec;
+      while (!Stop.load(std::memory_order_acquire))
+        if (History.lookup(77, Rec) && Rec.Alpha.hasValue() &&
+            Rec.Alpha.value() != 0.5)
+          Torn.fetch_add(1, std::memory_order_relaxed);
+    });
+
+  Writer.join();
+  for (std::thread &Reader : Readers)
+    Reader.join();
+  EXPECT_EQ(Torn.load(), 0u);
+
+  std::optional<KernelRecord> Final = History.find(77);
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_EQ(Final->Alpha.totalWeight(), 20000.0);
+  EXPECT_EQ(Final->Invocations, 20000u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool cancellation points
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, ParallelForStopsAtCancellation) {
+  ThreadPool Pool(4);
+  constexpr uint64_t N = 1u << 20;
+
+  CancellationToken Cancel;
+  std::atomic<uint64_t> Executed{0};
+  uint64_t Ran = Pool.parallelFor(0, N, 256,
+                                  [&](uint64_t Begin, uint64_t End) {
+                                    Executed.fetch_add(
+                                        End - Begin,
+                                        std::memory_order_relaxed);
+                                    if (Executed.load(
+                                            std::memory_order_relaxed) >
+                                        8192)
+                                      Cancel.cancel();
+                                  },
+                                  &Cancel);
+
+  // Cancellation is polled at range boundaries, so in-flight ranges
+  // complete but the bulk of the space is discarded.
+  EXPECT_LT(Ran, N);
+  EXPECT_GT(Ran, 0u);
+  // The return value is an exact count of executed iterations.
+  EXPECT_EQ(Ran, Executed.load());
+}
+
+TEST(Concurrency, ParallelForWithExpiredDeadlineRunsNothing) {
+  ThreadPool Pool(4);
+  // Deadline 0 on the host steady clock is always in the past.
+  CancellationToken Cancel = CancellationToken::withDeadline(0.0);
+  std::atomic<uint64_t> Executed{0};
+  uint64_t Ran = Pool.parallelFor(0, 1u << 16, 256,
+                                  [&](uint64_t Begin, uint64_t End) {
+                                    Executed.fetch_add(
+                                        End - Begin,
+                                        std::memory_order_relaxed);
+                                  },
+                                  &Cancel);
+  EXPECT_EQ(Ran, 0u);
+  EXPECT_EQ(Executed.load(), 0u);
+
+  // The pool survives a cancelled job: the next (uncancelled) job runs
+  // to completion.
+  uint64_t Full = Pool.parallelFor(0, 1u << 16, 256,
+                                   [](uint64_t, uint64_t) {});
+  EXPECT_EQ(Full, uint64_t(1) << 16);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, ExpiredDeadlineCancelsWithoutPoisoningTableG) {
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  SimProcessor Proc(haswellDesktop());
+  KernelDesc Kernel = namedKernel("deadline-probe");
+
+  // Learn the kernel normally first.
+  EasScheduler::InvocationOutcome First = Scheduler.execute(Proc, Kernel, 2e6);
+  EXPECT_TRUE(First.Profiled);
+  std::optional<KernelRecord> Before = Scheduler.history().find(Kernel.Id);
+  ASSERT_TRUE(Before.has_value());
+
+  // A deadline already expired on the virtual clock: the invocation is
+  // cancelled at its entry point and must not touch what was learned.
+  CancellationToken Expired = CancellationToken::withDeadline(Proc.now());
+  EasScheduler::InvocationOutcome Cancelled =
+      Scheduler.execute(Proc, Kernel, 2e6, Expired);
+  EXPECT_TRUE(Cancelled.Cancelled);
+  EXPECT_FALSE(Cancelled.Rejected);
+
+  std::optional<KernelRecord> After = Scheduler.history().find(Kernel.Id);
+  ASSERT_TRUE(After.has_value());
+  EXPECT_EQ(After->Alpha.weightedSum(), Before->Alpha.weightedSum());
+  EXPECT_EQ(After->Alpha.totalWeight(), Before->Alpha.totalWeight());
+  // A cancelled invocation is not counted.
+  EXPECT_EQ(After->Invocations, Before->Invocations);
+
+  // A generous deadline leaves the invocation untouched.
+  CancellationToken Roomy = CancellationToken::withDeadline(Proc.now() + 1e6);
+  EasScheduler::InvocationOutcome Normal =
+      Scheduler.execute(Proc, Kernel, 2e6, Roomy);
+  EXPECT_FALSE(Normal.Cancelled);
+  std::optional<KernelRecord> Counted = Scheduler.history().find(Kernel.Id);
+  ASSERT_TRUE(Counted.has_value());
+  EXPECT_EQ(Counted->Invocations, Before->Invocations + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The acceptance stress: shared scheduler, faults, graceful shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, SchedulerStressUnderFaultsLosesNoUpdates) {
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 120;
+  constexpr unsigned Kernels = 4;
+
+  PlatformSpec Spec = faultySpec("gpu-hang");
+  std::vector<KernelDesc> Mixed;
+  for (unsigned K = 0; K != Kernels; ++K)
+    Mixed.push_back(namedKernel("stress-" + std::to_string(K)));
+
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+
+  std::atomic<unsigned> Completed{0};
+  std::atomic<unsigned> Rejected{0};
+  std::atomic<unsigned> CancelledCount{0};
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T != Threads; ++T)
+    Clients.emplace_back([&, T] {
+      // Each client is its own machine: private simulated processor and
+      // virtual clock, shared table G and health monitor.
+      SimProcessor Proc(Spec);
+      for (unsigned I = 0; I != PerThread; ++I) {
+        const KernelDesc &Kernel = Mixed[(T + I) % Kernels];
+        // Vary sizes so both the small-N CPU pin and the profile path
+        // are exercised concurrently.
+        double Iterations = (I % 7 == 0) ? 1e3 : 2e6;
+        EasScheduler::InvocationOutcome Outcome =
+            Scheduler.execute(Proc, Kernel, Iterations);
+        if (Outcome.Rejected)
+          Rejected.fetch_add(1, std::memory_order_relaxed);
+        else if (Outcome.Cancelled)
+          CancelledCount.fetch_add(1, std::memory_order_relaxed);
+        else
+          Completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+
+  // Nothing was shutting down or cancelling, so everything completed.
+  EXPECT_EQ(Rejected.load(), 0u);
+  EXPECT_EQ(CancelledCount.load(), 0u);
+  EXPECT_EQ(Completed.load(), Threads * PerThread);
+
+  // No lost updates in table G: every completed invocation was counted
+  // exactly once, whether it hit, profiled, or ran quarantined.
+  auto Entries = Scheduler.history().entries();
+  EXPECT_EQ(Entries.size(), Kernels);
+  unsigned Recorded = 0;
+  for (const auto &[Key, Rec] : Entries)
+    Recorded += Rec.Invocations;
+  EXPECT_EQ(Recorded, Completed.load());
+
+  // Graceful shutdown with nothing in flight: immediate and clean.
+  Status Down = Scheduler.shutdown();
+  EXPECT_TRUE(Down.ok()) << Down.toString();
+  EXPECT_FALSE(Scheduler.acceptingWork());
+
+  // Post-shutdown admission is rejected without touching the table.
+  SimProcessor Late(Spec);
+  EasScheduler::InvocationOutcome Refused =
+      Scheduler.execute(Late, Mixed[0], 2e6);
+  EXPECT_TRUE(Refused.Rejected);
+  unsigned RecordedAfter = 0;
+  for (const auto &[Key, Rec] : Scheduler.history().entries())
+    RecordedAfter += Rec.Invocations;
+  EXPECT_EQ(RecordedAfter, Recorded);
+
+  // Idempotent: a second shutdown returns the first call's result.
+  EXPECT_TRUE(Scheduler.shutdown().ok());
+}
+
+TEST(Concurrency, ShutdownDrainsActiveClientsWithoutDeadlock) {
+  PlatformSpec Spec = haswellDesktop();
+  KernelDesc Kernel = namedKernel("drain-probe");
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+
+  // Clients run until the admission gate turns them away.
+  std::atomic<unsigned> Completed{0};
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T != 4; ++T)
+    Clients.emplace_back([&] {
+      SimProcessor Proc(Spec);
+      while (true) {
+        EasScheduler::InvocationOutcome Outcome =
+            Scheduler.execute(Proc, Kernel, 2e6);
+        if (Outcome.Rejected)
+          return;
+        Completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  // Let them get in flight, then close the gate. A zero grace forces
+  // the drain token path: stragglers stop at their next cancellation
+  // point, so shutdown() must still return (no deadlock) and the
+  // clients must all observe Rejected and exit.
+  while (Completed.load(std::memory_order_relaxed) < 8)
+    std::this_thread::yield();
+  Status Down = Scheduler.shutdown(/*DrainGraceSec=*/0.0);
+  EXPECT_TRUE(Down.ok()) << Down.toString();
+  for (std::thread &Client : Clients)
+    Client.join();
+
+  EXPECT_FALSE(Scheduler.acceptingWork());
+  EXPECT_GE(Completed.load(), 8u);
+}
+
+TEST(Concurrency, ConcurrentShutdownCallsAgree) {
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  SimProcessor Proc(haswellDesktop());
+  Scheduler.execute(Proc, namedKernel("shutdown-race"), 2e6);
+
+  // Many racers, one winner — everyone gets the same (ok) result and
+  // nobody hangs.
+  std::vector<std::thread> Racers;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != 4; ++T)
+    Racers.emplace_back([&] {
+      if (!Scheduler.shutdown().ok())
+        Failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &Racer : Racers)
+    Racer.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_FALSE(Scheduler.acceptingWork());
+}

@@ -116,16 +116,18 @@ TEST(AlphaSearch, RefinementImprovesObjective) {
   EXPECT_LE(B.PredictedMetric, A.PredictedMetric + 1e-12);
 }
 
-TEST(KernelHistory, LookupAndObtain) {
+TEST(KernelHistory, LookupAndUpdate) {
   KernelHistory History;
-  EXPECT_EQ(History.lookup(42), nullptr);
-  KernelRecord &Record = History.obtain(42);
-  Record.Alpha.addSample(0.5, 10.0);
-  ASSERT_NE(History.lookup(42), nullptr);
-  EXPECT_NEAR(History.lookup(42)->Alpha.value(), 0.5, 1e-12);
+  EXPECT_FALSE(History.find(42).has_value());
+  History.update(42, [](KernelRecord &Record) {
+    Record.Alpha.addSample(0.5, 10.0);
+  });
+  std::optional<KernelRecord> Found = History.find(42);
+  ASSERT_TRUE(Found.has_value());
+  EXPECT_NEAR(Found->Alpha.value(), 0.5, 1e-12);
   EXPECT_EQ(History.size(), 1u);
   History.clear();
-  EXPECT_EQ(History.lookup(42), nullptr);
+  EXPECT_FALSE(History.find(42).has_value());
 }
 
 namespace {
@@ -278,7 +280,7 @@ TEST(EasScheduler, ExternalGpuBusyForcesCpuAlone) {
   EXPECT_DOUBLE_EQ(Outcome.AlphaUsed, 0.0);
   EXPECT_FALSE(Outcome.Profiled);
   // Nothing was learned while the GPU belonged to someone else.
-  EXPECT_EQ(Scheduler.history().lookup(Kernel.Id), nullptr);
+  EXPECT_FALSE(Scheduler.history().find(Kernel.Id).has_value());
 
   // Once the GPU frees up, the kernel profiles normally.
   Scheduler.setExternalGpuBusy(false);

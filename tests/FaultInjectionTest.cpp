@@ -143,8 +143,8 @@ TEST(FaultInjection, EasPerInvocationOutcomesShowTheFullArc) {
   EXPECT_GE(Scheduler.health().stats().Recoveries, 1u);
 
   // Quarantined runs were recorded in table G without polluting alpha.
-  const KernelRecord *Record = Scheduler.history().lookup(Kernel.Id);
-  ASSERT_NE(Record, nullptr);
+  std::optional<KernelRecord> Record = Scheduler.history().find(Kernel.Id);
+  ASSERT_TRUE(Record.has_value());
   EXPECT_GE(Record->QuarantinedRuns, 1u);
 }
 

@@ -10,6 +10,12 @@
 //            --metric=edp [--curves=curves.txt] [--scale=0.3]
 //   ecas-cli sweep --platform=baytrail-tablet --workload=MM
 //   ecas-cli suite --platform=haswell-desktop --metric=edp
+//   ecas-cli serve --platform=haswell-desktop --threads=8
+//            --invocations=200 --history-file=tableg.bin
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, snapshot corruption,
+// drain failure), 2 usage error (unknown command/platform/workload/
+// scenario or malformed flag value).
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,18 +23,28 @@
 #include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/Characterizer.h"
+#include "ecas/support/Cancellation.h"
 #include "ecas/support/Flags.h"
 #include "ecas/support/Format.h"
 #include "ecas/workloads/Registry.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace ecas;
 
 namespace {
+
+/// Distinct exit codes so scripts can tell operator mistakes from
+/// failures of the run itself.
+constexpr int ExitOk = 0;
+constexpr int ExitRuntime = 1;
+constexpr int ExitUsage = 2;
 
 int usage() {
   std::fprintf(
@@ -40,15 +56,23 @@ int usage() {
       "               [--out=FILE]         characterization\n"
       "  run  --platform=NAME --workload=ABBR [--scheme=eas|cpu|gpu|perf|\n"
       "       oracle] [--metric=energy|edp|ed2p] [--curves=FILE]\n"
-      "       [--scale=S] [--fault-plan=FILE]\n"
+      "       [--scale=S] [--fault-plan=PLAN] [--history-file=FILE]\n"
+      "       [--deadline-ms=N]\n"
       "  sweep --platform=NAME --workload=ABBR [--metric=M] [--scale=S]\n"
-      "        [--fault-plan=FILE]\n"
+      "        [--fault-plan=PLAN]\n"
       "  suite --platform=NAME [--metric=M] [--scale=S]\n"
-      "        [--fault-plan=FILE]\n"
+      "        [--fault-plan=PLAN]\n"
       "  faults --platform=NAME [--scenario=NAME] [--workload=ABBR]\n"
       "         [--metric=M] [--scale=S]   replay fault scenarios and\n"
-      "                                    report the degradation policy\n");
-  return 2;
+      "                                    report the degradation policy\n"
+      "  serve --platform=NAME [--threads=N] [--invocations=M]\n"
+      "        [--metric=M] [--scale=S] [--fault-plan=PLAN]\n"
+      "        [--history-file=FILE] [--deadline-ms=N]\n"
+      "        [--drain-grace-ms=N]        concurrent stress: N client\n"
+      "                                    threads share one scheduler,\n"
+      "                                    then shut it down gracefully\n"
+      "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
+  return ExitUsage;
 }
 
 std::optional<PlatformSpec> platformByName(const std::string &Name) {
@@ -65,23 +89,33 @@ std::optional<PlatformSpec> platformByName(const std::string &Name) {
   return std::nullopt;
 }
 
-/// Attaches --fault-plan=FILE to \p Spec when present. Returns false on
-/// an unreadable or malformed plan (already reported to stderr).
+/// Attaches --fault-plan=FILE|SCENARIO to \p Spec when present: a path
+/// to a serialized plan, or (when no such file exists) a built-in
+/// scenario name from `ecas-cli faults`. Returns false on an unreadable
+/// or malformed plan (already reported to stderr).
 bool applyFaultPlan(PlatformSpec &Spec, const Flags &Args) {
   std::string Path = Args.getString("fault-plan", "");
   if (Path.empty())
     return true;
+  ErrorOr<FaultPlan> Plan = FaultPlan::scenario(Path);
   std::ifstream File(Path);
-  if (!File) {
-    std::fprintf(stderr, "error: cannot read fault plan %s\n", Path.c_str());
-    return false;
-  }
-  std::ostringstream Buffer;
-  Buffer << File.rdbuf();
-  ErrorOr<FaultPlan> Plan = FaultPlan::load(Buffer.str());
-  if (!Plan) {
-    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
-                 Plan.status().message().c_str());
+  if (File) {
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Plan = FaultPlan::load(Buffer.str());
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                   Plan.status().message().c_str());
+      return false;
+    }
+  } else if (!Plan) {
+    std::fprintf(stderr,
+                 "error: fault plan %s is neither a readable file nor a "
+                 "built-in scenario (have:",
+                 Path.c_str());
+    for (const std::string &Known : FaultPlan::scenarioNames())
+      std::fprintf(stderr, " %s", Known.c_str());
+    std::fprintf(stderr, ")\n");
     return false;
   }
   Spec.Faults = *Plan;
@@ -166,39 +200,39 @@ int cmdPlatforms() {
                 Spec.Cpu.MaxTurboGHz, Spec.Gpu.ExecutionUnits,
                 Spec.Gpu.MinFreqGHz, Spec.Gpu.MaxFreqGHz,
                 Spec.Memory.BandwidthGBs, Spec.Pcu.TdpWatts);
-  return 0;
+  return ExitOk;
 }
 
 int cmdCharacterize(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
     std::fprintf(stderr, "error: unknown platform\n");
-    return 1;
+    return ExitUsage;
   }
   PowerCurveSet Curves = Characterizer(*Spec).characterize();
   std::string Out = Args.getString("out", "");
   if (Out.empty()) {
     std::fputs(Curves.serialize().c_str(), stdout);
-    return 0;
+    return ExitOk;
   }
   std::ofstream File(Out);
   if (!File) {
     std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
-    return 1;
+    return ExitRuntime;
   }
   File << Curves.serialize();
   std::printf("wrote %s\n", Out.c_str());
-  return 0;
+  return ExitOk;
 }
 
 int cmdRun(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
     std::fprintf(stderr, "error: unknown platform\n");
-    return 1;
+    return ExitUsage;
   }
   if (!applyFaultPlan(*Spec, Args))
-    return 1;
+    return ExitRuntime;
   std::vector<Workload> Suite = suiteFor(*Spec, Args);
   const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
   if (!W) {
@@ -206,7 +240,7 @@ int cmdRun(const Flags &Args) {
     for (const Workload &Each : Suite)
       std::fprintf(stderr, " %s", Each.Abbrev.c_str());
     std::fprintf(stderr, ")\n");
-    return 1;
+    return ExitUsage;
   }
   Metric Objective = metricByName(Args.getString("metric", "edp"));
   ExecutionSession Session(*Spec);
@@ -223,27 +257,149 @@ int cmdRun(const Flags &Args) {
     Report = Session.runPerf(W->Trace, Objective);
   else if (Scheme == "oracle")
     Report = Session.runOracle(W->Trace, Objective);
-  else
-    Report = Session.runEas(W->Trace, curvesFor(*Spec, Args), Objective);
+  else {
+    EasConfig Config;
+    Config.HistoryFile = Args.getString("history-file", "");
+    // The deadline bounds the run in the workload's virtual time (each
+    // run starts its clock at zero).
+    double DeadlineMs = Args.getDouble("deadline-ms", 0.0);
+    CancellationToken Deadline;
+    bool Bounded = DeadlineMs > 0.0;
+    if (Bounded)
+      Deadline.setDeadline(DeadlineMs / 1000.0);
+    Report = Session.runEas(W->Trace, curvesFor(*Spec, Args), Objective,
+                            Config, Bounded ? &Deadline : nullptr);
+    if (Report.Cancelled)
+      std::printf("deadline hit: %u of %zu invocations completed\n",
+                  Report.Invocations, W->Trace.size());
+  }
   printReport(Report);
   if (Report.FaultsEnabled || Report.Resilience.degraded())
     printDegradation(Report);
-  return 0;
+  return ExitOk;
+}
+
+int cmdServe(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return ExitUsage;
+  }
+  if (!applyFaultPlan(*Spec, Args))
+    return ExitRuntime;
+  long long Threads = Args.getInt("threads", 8);
+  long long PerThread = Args.getInt("invocations", 100);
+  if (Threads < 1 || PerThread < 1) {
+    std::fprintf(stderr,
+                 "error: --threads and --invocations must be positive\n");
+    return ExitUsage;
+  }
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+  double DeadlineMs = Args.getDouble("deadline-ms", 0.0);
+  double DrainGraceSec = Args.getDouble("drain-grace-ms", 5000.0) / 1000.0;
+
+  // Mixed kernels: every workload of the platform's suite contributes
+  // its invocations to one flat work list the clients cycle over.
+  InvocationTrace Work;
+  for (const Workload &W : suiteFor(*Spec, Args))
+    Work.insert(Work.end(), W.Trace.begin(), W.Trace.end());
+  if (Work.empty()) {
+    std::fprintf(stderr, "error: empty workload suite\n");
+    return ExitRuntime;
+  }
+
+  EasConfig Config;
+  Config.HistoryFile = Args.getString("history-file", "");
+  EasScheduler Scheduler(curvesFor(*Spec, Args), Objective, Config);
+  if (!Scheduler.restoreStatus())
+    std::fprintf(stderr, "warning: %s (starting cold)\n",
+                 Scheduler.restoreStatus().message().c_str());
+  else if (Scheduler.restoredRecords() > 0)
+    std::printf("restored %zu table-G records from %s\n",
+                Scheduler.restoredRecords(), Config.HistoryFile.c_str());
+
+  std::atomic<uint64_t> Completed{0}, Cancelled{0}, Rejected{0};
+  std::atomic<uint64_t> Profiled{0}, Quarantined{0};
+  std::vector<std::thread> Clients;
+  Clients.reserve(static_cast<size_t>(Threads));
+  for (long long T = 0; T != Threads; ++T)
+    Clients.emplace_back([&, T] {
+      // Each client brings its own processor (its own virtual clock and
+      // energy meter); only the scheduler and its table G are shared.
+      SimProcessor Proc(*Spec);
+      for (long long K = 0; K != PerThread; ++K) {
+        const KernelInvocation &Inv =
+            Work[static_cast<size_t>(T + K * Threads) % Work.size()];
+        EasScheduler::InvocationOutcome Outcome;
+        if (DeadlineMs > 0.0) {
+          CancellationToken Deadline;
+          Deadline.setDeadline(Proc.now() + DeadlineMs / 1000.0);
+          Outcome =
+              Scheduler.execute(Proc, Inv.Kernel, Inv.Iterations, Deadline);
+        } else {
+          Outcome = Scheduler.execute(Proc, Inv.Kernel, Inv.Iterations);
+        }
+        if (Outcome.Rejected)
+          ++Rejected;
+        else if (Outcome.Cancelled)
+          ++Cancelled;
+        else
+          ++Completed;
+        Profiled += Outcome.Profiled ? 1 : 0;
+        Quarantined += Outcome.GpuQuarantined ? 1 : 0;
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+
+  Status Shutdown = Scheduler.shutdown(DrainGraceSec);
+
+  // No lost updates: every completed invocation must be counted in
+  // table G (cancelled ones are deliberately not).
+  uint64_t Recorded = 0;
+  for (const auto &[Key, Rec] : Scheduler.history().entries())
+    Recorded += Rec.Invocations;
+
+  std::printf("serve: %lld threads x %lld invocations over %zu kernels\n",
+              Threads, PerThread, Scheduler.history().size());
+  std::printf("  completed %llu, cancelled %llu, rejected %llu, "
+              "profiled %llu, quarantined %llu\n",
+              static_cast<unsigned long long>(Completed.load()),
+              static_cast<unsigned long long>(Cancelled.load()),
+              static_cast<unsigned long long>(Rejected.load()),
+              static_cast<unsigned long long>(Profiled.load()),
+              static_cast<unsigned long long>(Quarantined.load()));
+  std::printf("  table G records %llu invocations%s\n",
+              static_cast<unsigned long long>(Recorded),
+              Config.HistoryFile.empty()
+                  ? ""
+                  : (", snapshot " + Config.HistoryFile).c_str());
+  if (const GpuHealthMonitor::Stats Stats = Scheduler.health().stats();
+      Stats.Quarantines || Stats.Recoveries)
+    std::printf("  health: %u quarantines, %u recoveries, state %s\n",
+                Stats.Quarantines, Stats.Recoveries,
+                gpuHealthStateName(Scheduler.health().state()));
+  if (!Shutdown) {
+    std::fprintf(stderr, "error: shutdown: %s\n",
+                 Shutdown.message().c_str());
+    return ExitRuntime;
+  }
+  return ExitOk;
 }
 
 int cmdSweep(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
     std::fprintf(stderr, "error: unknown platform\n");
-    return 1;
+    return ExitUsage;
   }
   if (!applyFaultPlan(*Spec, Args))
-    return 1;
+    return ExitRuntime;
   std::vector<Workload> Suite = suiteFor(*Spec, Args);
   const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
   if (!W) {
     std::fprintf(stderr, "error: unknown workload\n");
-    return 1;
+    return ExitUsage;
   }
   Metric Objective = metricByName(Args.getString("metric", "edp"));
   ExecutionSession Session(*Spec);
@@ -256,17 +412,17 @@ int cmdSweep(const Flags &Args) {
                 formatDuration(R.Seconds).c_str(),
                 formatEnergy(R.Joules).c_str(), R.MetricValue);
   }
-  return 0;
+  return ExitOk;
 }
 
 int cmdSuite(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
     std::fprintf(stderr, "error: unknown platform\n");
-    return 1;
+    return ExitUsage;
   }
   if (!applyFaultPlan(*Spec, Args))
-    return 1;
+    return ExitRuntime;
   Metric Objective = metricByName(Args.getString("metric", "edp"));
   PowerCurveSet Curves = curvesFor(*Spec, Args);
   ExecutionSession Session(*Spec);
@@ -285,20 +441,20 @@ int cmdSuite(const Flags &Args) {
                 Eff(Session.runEas(W.Trace, Curves, Objective)),
                 Oracle.MeanAlpha);
   }
-  return 0;
+  return ExitOk;
 }
 
 int cmdFaults(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
     std::fprintf(stderr, "error: unknown platform\n");
-    return 1;
+    return ExitUsage;
   }
   std::vector<Workload> Suite = suiteFor(*Spec, Args);
   const Workload *W = findWorkload(Suite, Args.getString("workload", "CC"));
   if (!W) {
     std::fprintf(stderr, "error: unknown workload\n");
-    return 1;
+    return ExitUsage;
   }
   Metric Objective = metricByName(Args.getString("metric", "edp"));
 
@@ -319,7 +475,7 @@ int cmdFaults(const Flags &Args) {
       for (const std::string &Known : FaultPlan::scenarioNames())
         std::fprintf(stderr, " %s", Known.c_str());
       std::fprintf(stderr, ")\n");
-      return 1;
+      return ExitUsage;
     }
     Plans.push_back(*Plan);
   }
@@ -349,7 +505,7 @@ int cmdFaults(const Flags &Args) {
     printReport(R);
     printDegradation(R);
   }
-  return 0;
+  return ExitOk;
 }
 
 } // namespace
@@ -371,6 +527,8 @@ int main(int Argc, char **Argv) {
     return cmdSuite(Args);
   if (Command == "faults")
     return cmdFaults(Args);
+  if (Command == "serve")
+    return cmdServe(Args);
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
   return usage();
 }
