@@ -36,6 +36,7 @@ static double wallSeconds() {
 static void benchmarkSink(double Value) {
   static volatile double Sink;
   Sink = Value;
+  (void)Sink;
 }
 
 int main(int Argc, char **Argv) {

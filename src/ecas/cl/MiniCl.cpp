@@ -45,17 +45,19 @@ MiniKernel::MiniKernel(std::string NameIn, RangeBody BodyIn)
 //===----------------------------------------------------------------------===//
 
 struct MiniEvent::State {
-  mutable std::mutex Mutex;
+  /// Leaf lock of the MiniCl hierarchy: no other lock is acquired while
+  /// an event's mutex is held.
+  mutable AnnotatedMutex Mutex{"MiniCl.Event"};
   mutable std::condition_variable Done;
-  CommandState Stage = CommandState::Queued;
-  Status Result = Status::Success;
-  double QueuedAt = 0.0;
-  double SubmitAt = 0.0;
-  double StartAt = 0.0;
-  double EndAt = 0.0;
+  CommandState Stage ECAS_GUARDED_BY(Mutex) = CommandState::Queued;
+  Status Result ECAS_GUARDED_BY(Mutex) = Status::Success;
+  double QueuedAt ECAS_GUARDED_BY(Mutex) = 0.0;
+  double SubmitAt ECAS_GUARDED_BY(Mutex) = 0.0;
+  double StartAt ECAS_GUARDED_BY(Mutex) = 0.0;
+  double EndAt ECAS_GUARDED_BY(Mutex) = 0.0;
 
   void advance(CommandState Next, double Timestamp) {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     Stage = Next;
     switch (Next) {
     case CommandState::Queued:
@@ -74,22 +76,29 @@ struct MiniEvent::State {
     if (Next == CommandState::Complete)
       Done.notify_all();
   }
+
+  /// Records a failure verdict; kept separate from advance() so no
+  /// caller ever touches Result outside the event lock.
+  void fail(Status Verdict) {
+    LockGuard Lock(Mutex);
+    Result = Verdict;
+  }
 };
 
 void MiniEvent::wait() const {
   ECAS_CHECK(Shared != nullptr, "waiting on a null event");
-  std::unique_lock<std::mutex> Lock(Shared->Mutex);
-  Shared->Done.wait(Lock, [this] {
-    return Shared->Stage == CommandState::Complete;
-  });
+  // Explicit wait loops keep the guarded reads inside the scope that
+  // visibly holds the capability.
+  UniqueLock Lock(Shared->Mutex);
+  while (Shared->Stage != CommandState::Complete)
+    Shared->Done.wait(Lock.native());
 }
 
 Status MiniEvent::waitStatus() const {
   ECAS_CHECK(Shared != nullptr, "waiting on a null event");
-  std::unique_lock<std::mutex> Lock(Shared->Mutex);
-  Shared->Done.wait(Lock, [this] {
-    return Shared->Stage == CommandState::Complete;
-  });
+  UniqueLock Lock(Shared->Mutex);
+  while (Shared->Stage != CommandState::Complete)
+    Shared->Done.wait(Lock.native());
   return Shared->Result;
 }
 
@@ -98,41 +107,57 @@ Status MiniEvent::waitStatus(const CancellationToken &Cancel,
   ECAS_CHECK(Shared != nullptr, "waiting on a null event");
   if (PollSec <= 0.0)
     PollSec = 1e-3;
-  std::unique_lock<std::mutex> Lock(Shared->Mutex);
+  UniqueLock Lock(Shared->Mutex);
   while (Shared->Stage != CommandState::Complete) {
     if (Cancel.shouldStop(hostSeconds()))
       return Status::Cancelled;
-    Shared->Done.wait_for(Lock, std::chrono::duration<double>(PollSec));
+    Shared->Done.wait_for(Lock.native(),
+                          std::chrono::duration<double>(PollSec));
   }
   return Shared->Result;
 }
 
 CommandState MiniEvent::state() const {
   ECAS_CHECK(Shared != nullptr, "querying a null event");
-  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  LockGuard Lock(Shared->Mutex);
   return Shared->Stage;
 }
 
 Status MiniEvent::status() const {
   ECAS_CHECK(Shared != nullptr, "querying a null event");
-  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  LockGuard Lock(Shared->Mutex);
   return Shared->Result;
 }
 
-double MiniEvent::queuedSeconds() const { return Shared->QueuedAt; }
-double MiniEvent::submitSeconds() const { return Shared->SubmitAt; }
-double MiniEvent::startSeconds() const { return Shared->StartAt; }
-double MiniEvent::endSeconds() const { return Shared->EndAt; }
+// The timestamp accessors take the event lock: annotating the fields
+// surfaced that these reads were bare, which is a data race when a
+// profiler polls an event the queue worker is still advancing.
+double MiniEvent::queuedSeconds() const {
+  LockGuard Lock(Shared->Mutex);
+  return Shared->QueuedAt;
+}
+double MiniEvent::submitSeconds() const {
+  LockGuard Lock(Shared->Mutex);
+  return Shared->SubmitAt;
+}
+double MiniEvent::startSeconds() const {
+  LockGuard Lock(Shared->Mutex);
+  return Shared->StartAt;
+}
+double MiniEvent::endSeconds() const {
+  LockGuard Lock(Shared->Mutex);
+  return Shared->EndAt;
+}
 
 double MiniEvent::executionSeconds() const {
-  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  LockGuard Lock(Shared->Mutex);
   if (Shared->Stage != CommandState::Complete)
     return 0.0;
   return Shared->EndAt - Shared->StartAt;
 }
 
 double MiniEvent::overheadSeconds() const {
-  std::lock_guard<std::mutex> Lock(Shared->Mutex);
+  LockGuard Lock(Shared->Mutex);
   if (Shared->Stage != CommandState::Complete)
     return 0.0;
   return Shared->StartAt - Shared->QueuedAt;
@@ -161,7 +186,7 @@ CommandQueue::CommandQueue(
 
 CommandQueue::~CommandQueue() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     ShuttingDown = true;
   }
   WorkAvailable.notify_all();
@@ -174,17 +199,22 @@ MiniEvent CommandQueue::enqueue(const MiniKernel &Kernel, uint64_t Begin,
   MiniEvent Event;
   Event.Shared = std::make_shared<MiniEvent::State>();
   double Now = hostSeconds();
-  Event.Shared->QueuedAt = Now;
+  {
+    // The event is not yet visible to any other thread, but the guard
+    // keeps every access to guarded state uniform.
+    LockGuard Lock(Event.Shared->Mutex);
+    Event.Shared->QueuedAt = Now;
+  }
 
   // Immediate-error events complete synchronously, like clEnqueue*
   // returning an error code.
   if (!Kernel.valid()) {
-    Event.Shared->Result = Status::InvalidKernel;
+    Event.Shared->fail(Status::InvalidKernel);
     Event.Shared->advance(CommandState::Complete, Now);
     return Event;
   }
   if (End <= Begin) {
-    Event.Shared->Result = Status::InvalidRange;
+    Event.Shared->fail(Status::InvalidRange);
     Event.Shared->advance(CommandState::Complete, Now);
     return Event;
   }
@@ -195,9 +225,9 @@ MiniEvent CommandQueue::enqueue(const MiniKernel &Kernel, uint64_t Begin,
   Cmd->End = End;
   Cmd->Event = Event.Shared;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     if (ShuttingDown) {
-      Event.Shared->Result = Status::DeviceUnavailable;
+      Event.Shared->fail(Status::DeviceUnavailable);
       Event.Shared->advance(CommandState::Complete, hostSeconds());
       return Event;
     }
@@ -208,31 +238,30 @@ MiniEvent CommandQueue::enqueue(const MiniKernel &Kernel, uint64_t Begin,
 }
 
 void CommandQueue::finish() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  QueueDrained.wait(Lock, [this] {
-    return Pending.empty() && InFlight == 0;
-  });
+  UniqueLock Lock(Mutex);
+  while (!(Pending.empty() && InFlight == 0))
+    QueueDrained.wait(Lock.native());
 }
 
 uint64_t CommandQueue::commandsCompleted() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Completed;
 }
 
 void CommandQueue::setFaultHook(std::function<Status()> Hook) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   FaultHook = std::move(Hook);
 }
 
 uint64_t CommandQueue::commandsFailed() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   return Failed;
 }
 
 uint64_t CommandQueue::cancelPending() {
   std::deque<std::unique_ptr<Command>> Flushed;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     Flushed.swap(Pending);
     Failed += Flushed.size();
     if (InFlight == 0)
@@ -241,10 +270,7 @@ uint64_t CommandQueue::cancelPending() {
   // Complete the flushed events outside the queue lock: waiters run
   // arbitrary code when released.
   for (auto &Cmd : Flushed) {
-    {
-      std::lock_guard<std::mutex> Lock(Cmd->Event->Mutex);
-      Cmd->Event->Result = Status::Cancelled;
-    }
+    Cmd->Event->fail(Status::Cancelled);
     Cmd->Event->advance(CommandState::Complete, hostSeconds());
   }
   return Flushed.size();
@@ -255,10 +281,9 @@ void CommandQueue::workerLoop() {
     std::unique_ptr<Command> Cmd;
     std::function<Status()> Hook;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WorkAvailable.wait(Lock, [this] {
-        return ShuttingDown || !Pending.empty();
-      });
+      UniqueLock Lock(Mutex);
+      while (!ShuttingDown && Pending.empty())
+        WorkAvailable.wait(Lock.native());
       if (Pending.empty()) {
         // Shutting down with an empty queue.
         QueueDrained.notify_all();
@@ -281,13 +306,12 @@ void CommandQueue::workerLoop() {
     } else {
       // The device refused the command: complete the event with the
       // error so waiters observe the failure instead of deadlocking.
-      std::lock_guard<std::mutex> Lock(Cmd->Event->Mutex);
-      Cmd->Event->Result = Verdict;
+      Cmd->Event->fail(Verdict);
     }
     // Settle the counters before publishing completion: a waiter released
     // by the Complete transition must already see this command counted.
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      LockGuard Lock(Mutex);
       if (Verdict == Status::Success)
         ++Completed;
       else
@@ -296,7 +320,7 @@ void CommandQueue::workerLoop() {
     Cmd->Event->advance(CommandState::Complete, hostSeconds());
 
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      LockGuard Lock(Mutex);
       --InFlight;
       if (Pending.empty() && InFlight == 0)
         QueueDrained.notify_all();

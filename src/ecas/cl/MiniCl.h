@@ -26,13 +26,13 @@
 
 #include "ecas/runtime/ParallelFor.h"
 #include "ecas/support/Cancellation.h"
+#include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -167,16 +167,19 @@ private:
   std::string DeviceName;
   std::function<void(const RangeBody &, uint64_t, uint64_t)> Dispatch;
   double DispatchLatencySec;
-  std::function<Status()> FaultHook;
 
-  mutable std::mutex Mutex;
+  /// Guards the queue state below. Ordered after every scheduler and
+  /// pool lock and before MiniCl.Event (DESIGN.md §9); the worker
+  /// completes events only after dropping it.
+  mutable AnnotatedMutex Mutex{"MiniCl.Queue"};
   std::condition_variable WorkAvailable;
   std::condition_variable QueueDrained;
-  std::deque<std::unique_ptr<Command>> Pending;
-  uint64_t Completed = 0;
-  uint64_t Failed = 0;
-  uint64_t InFlight = 0;
-  bool ShuttingDown = false;
+  std::deque<std::unique_ptr<Command>> Pending ECAS_GUARDED_BY(Mutex);
+  uint64_t Completed ECAS_GUARDED_BY(Mutex) = 0;
+  uint64_t Failed ECAS_GUARDED_BY(Mutex) = 0;
+  uint64_t InFlight ECAS_GUARDED_BY(Mutex) = 0;
+  bool ShuttingDown ECAS_GUARDED_BY(Mutex) = false;
+  std::function<Status()> FaultHook ECAS_GUARDED_BY(Mutex);
   std::thread Worker;
 };
 

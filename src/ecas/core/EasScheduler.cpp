@@ -47,7 +47,7 @@ void EasScheduler::endInvocation() {
   if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Take the lifecycle mutex so a shutdown() thread between its
     // predicate check and its wait cannot miss this notification.
-    std::lock_guard<std::mutex> Lock(LifecycleMutex);
+    LockGuard Lock(LifecycleMutex);
     Drained.notify_all();
   }
 }
@@ -57,25 +57,28 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
   if (!Admitting.compare_exchange_strong(WasAdmitting, false,
                                          std::memory_order_acq_rel)) {
     // Someone else is (or finished) shutting down; wait for their
-    // verdict so shutdown() is idempotent.
-    std::unique_lock<std::mutex> Lock(LifecycleMutex);
-    Drained.wait(Lock, [this] { return ShutdownComplete; });
+    // verdict so shutdown() is idempotent. (Explicit loop: the analysis
+    // sees the guarded reads under the held capability.)
+    UniqueLock Lock(LifecycleMutex);
+    while (!ShutdownComplete)
+      Drained.wait(Lock.native());
     return ShutdownResult;
   }
 
   // Phase 1: drain. New invocations already bounce off the admission
   // gate; give the in-flight ones the grace period to finish cleanly.
   {
-    std::unique_lock<std::mutex> Lock(LifecycleMutex);
+    UniqueLock Lock(LifecycleMutex);
     bool Clean = Drained.wait_for(
-        Lock, std::chrono::duration<double>(std::max(DrainGraceSec, 0.0)),
+        Lock.native(),
+        std::chrono::duration<double>(std::max(DrainGraceSec, 0.0)),
         [this] { return InFlight.load(std::memory_order_acquire) == 0; });
     if (!Clean) {
       // Phase 2: cancel. Stragglers observe the drain token at their
       // next cooperative point; every point is reached in bounded time,
       // so this wait terminates.
       DrainToken.cancel();
-      Drained.wait(Lock, [this] {
+      Drained.wait(Lock.native(), [this] {
         return InFlight.load(std::memory_order_acquire) == 0;
       });
     }
@@ -87,7 +90,7 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
     S = saveKernelHistory(History, Config.HistoryFile);
 
   {
-    std::lock_guard<std::mutex> Lock(LifecycleMutex);
+    LockGuard Lock(LifecycleMutex);
     ShutdownComplete = true;
     ShutdownResult = S;
   }

@@ -36,10 +36,10 @@
 #include "ecas/sim/SimProcessor.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Error.h"
+#include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <condition_variable>
-#include <mutex>
 #include <string>
 
 namespace ecas {
@@ -224,11 +224,10 @@ private:
   /// Fired by shutdown() when the drain grace expires; every in-flight
   /// invocation observes it at its next cancellation point.
   CancellationToken DrainToken;
-  std::mutex LifecycleMutex;
+  AnnotatedMutex LifecycleMutex{"EasScheduler.Lifecycle"};
   std::condition_variable Drained;
-  /// Guarded by LifecycleMutex.
-  bool ShutdownComplete = false;
-  Status ShutdownResult = Status::success();
+  bool ShutdownComplete ECAS_GUARDED_BY(LifecycleMutex) = false;
+  Status ShutdownResult ECAS_GUARDED_BY(LifecycleMutex) = Status::success();
 };
 
 } // namespace ecas

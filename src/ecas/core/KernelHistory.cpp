@@ -13,8 +13,12 @@ using namespace ecas;
 KernelHistory::~KernelHistory() {
   for (Shard &S : Shards)
     destroyChain(S.Head.load(std::memory_order_relaxed));
+  // The table is quiescent in its destructor, but the guard keeps the
+  // annotation contract (and the analysis) simple.
+  LockGuard Lock(RetiredMutex);
   for (Entry *Chain : RetiredChains)
     destroyChain(Chain);
+  RetiredChains.clear();
 }
 
 void KernelHistory::destroyChain(Entry *Head) {
@@ -50,7 +54,7 @@ KernelHistory::Entry &KernelHistory::obtainEntry(uint64_t KernelId) {
   Shard &S = Shards[shardIndex(KernelId)];
   if (Entry *E = findEntry(S, KernelId))
     return *E;
-  std::lock_guard<std::mutex> Lock(S.Mutex);
+  LockGuard Lock(S.Mutex);
   // Re-check: another writer may have inserted while we waited.
   if (Entry *E = findEntry(S, KernelId))
     return *E;
@@ -92,7 +96,7 @@ void KernelHistory::update(uint64_t KernelId,
                            const std::function<void(KernelRecord &)> &Fn) {
   Entry &E = obtainEntry(KernelId);
   Shard &S = Shards[shardIndex(KernelId)];
-  std::lock_guard<std::mutex> Lock(S.Mutex);
+  LockGuard Lock(S.Mutex);
   Version *Cur = E.Current.load(std::memory_order_relaxed);
   auto *Fresh = new Version();
   composeRecord(E, Cur, Fresh->Rec);
@@ -123,7 +127,7 @@ std::vector<std::pair<uint64_t, KernelRecord>> KernelHistory::entries() const {
   std::vector<std::pair<uint64_t, KernelRecord>> Out;
   Out.reserve(Count.load(std::memory_order_relaxed));
   for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.Mutex);
+    LockGuard Lock(S.Mutex);
     for (const Entry *E = S.Head.load(std::memory_order_acquire); E;
          E = E->Next.load(std::memory_order_acquire)) {
       KernelRecord Rec;
@@ -156,18 +160,28 @@ void KernelHistory::restore(
 void KernelHistory::clear() {
   // Unlink each shard's chain but keep the entries alive: a concurrent
   // lookup may still be walking them. They are freed with the table.
+  // Chains are collected first and retired after the shard locks are
+  // released — the shard lock and RetiredMutex are never held together,
+  // keeping both leaves of the lock hierarchy (DESIGN.md §9).
+  std::vector<Entry *> Unlinked;
   for (Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.Mutex);
-    Entry *Old = S.Head.exchange(nullptr, std::memory_order_acq_rel);
+    Entry *Old;
+    {
+      LockGuard Lock(S.Mutex);
+      Old = S.Head.exchange(nullptr, std::memory_order_acq_rel);
+    }
     if (!Old)
       continue;
-    size_t Unlinked = 0;
+    size_t Chained = 0;
     for (Entry *E = Old; E; E = E->Next.load(std::memory_order_relaxed))
-      ++Unlinked;
-    Count.fetch_sub(Unlinked, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> RetireLock(RetiredMutex);
-    RetiredChains.push_back(Old);
+      ++Chained;
+    Count.fetch_sub(Chained, std::memory_order_relaxed);
+    Unlinked.push_back(Old);
   }
+  if (Unlinked.empty())
+    return;
+  LockGuard RetireLock(RetiredMutex);
+  RetiredChains.insert(RetiredChains.end(), Unlinked.begin(), Unlinked.end());
 }
 
 size_t KernelHistory::size() const {

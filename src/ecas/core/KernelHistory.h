@@ -29,11 +29,11 @@
 
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/profile/WorkloadClass.h"
+#include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -135,8 +135,12 @@ private:
   };
 
   struct Shard {
+    /// Insert-only list head; lock-free readers walk it under no lock,
+    /// writers publish under Mutex (so Head is atomic, not guarded).
     std::atomic<Entry *> Head{nullptr};
-    mutable std::mutex Mutex;
+    /// All 16 shard locks are one lock class in the acquired-before
+    /// graph; no path may hold two shards at once (DESIGN.md §9).
+    mutable AnnotatedMutex Mutex{"KernelHistory.Shard"};
   };
 
   static unsigned shardIndex(uint64_t KernelId);
@@ -151,9 +155,11 @@ private:
   Shard Shards[NumShards];
   std::atomic<size_t> Count{0};
   /// Entries unlinked by clear()/restore(), kept alive for concurrent
-  /// readers and freed with the table.
-  std::mutex RetiredMutex;
-  std::vector<Entry *> RetiredChains;
+  /// readers and freed with the table. Leaf lock, never taken while a
+  /// shard lock is held: clear() collects unlinked chains first and
+  /// retires them after releasing the shard locks.
+  AnnotatedMutex RetiredMutex{"KernelHistory.Retired"};
+  std::vector<Entry *> RetiredChains ECAS_GUARDED_BY(RetiredMutex);
 };
 
 } // namespace ecas

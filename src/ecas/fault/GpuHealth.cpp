@@ -34,7 +34,7 @@ GpuHealthMonitor::GpuHealthMonitor(GpuHealthConfig ConfigIn)
 }
 
 bool GpuHealthMonitor::gpuUsable(double NowSec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   switch (State) {
   case GpuHealthState::Healthy:
   case GpuHealthState::Probing:
@@ -59,27 +59,27 @@ void GpuHealthMonitor::quarantine(double NowSec) {
 }
 
 void GpuHealthMonitor::noteLaunchFailure(double NowSec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   Pristine = false;
   ++Counters.LaunchFailures;
 }
 
 void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   Pristine = false;
   ++Counters.LaunchesAbandoned;
   quarantine(NowSec);
 }
 
 void GpuHealthMonitor::noteHang(double NowSec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   Pristine = false;
   ++Counters.HangsDetected;
   quarantine(NowSec);
 }
 
 void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   if (State == GpuHealthState::Probing) {
     ++Counters.Recoveries;
     CurrentQuarantineSec = Config.InitialQuarantineSec;

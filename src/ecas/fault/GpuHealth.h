@@ -25,7 +25,7 @@
 #ifndef ECAS_FAULT_GPUHEALTH_H
 #define ECAS_FAULT_GPUHEALTH_H
 
-#include <mutex>
+#include "ecas/support/ThreadAnnotations.h"
 
 namespace ecas {
 
@@ -63,14 +63,14 @@ public:
 
   const GpuHealthConfig &config() const { return Config; }
   GpuHealthState state() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     return State;
   }
 
   /// True while no fault has ever been observed — callers use this to
   /// stay on the exact fault-free fast path.
   bool pristine() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     return Pristine;
   }
 
@@ -102,33 +102,34 @@ public:
   /// Consistent copy of the tallies (by value: the live counters mutate
   /// under the monitor's mutex).
   Stats stats() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     return Counters;
   }
 
   /// Monotone recovery counter; schedulers compare it across
   /// invocations to notice a re-admission and re-optimize alpha.
   unsigned recoveries() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     return Counters.Recoveries;
   }
 
   double quarantinedUntil() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     return QuarantinedUntil;
   }
 
 private:
-  /// Requires Mutex held.
-  void quarantine(double NowSec);
+  void quarantine(double NowSec) ECAS_REQUIRES(Mutex);
 
   GpuHealthConfig Config;
-  mutable std::mutex Mutex;
-  GpuHealthState State = GpuHealthState::Healthy;
-  Stats Counters;
-  bool Pristine = true;
-  double QuarantinedUntil = 0.0;
-  double CurrentQuarantineSec;
+  /// Leaf lock: nothing else is acquired while this monitor's mutex is
+  /// held (DESIGN.md §9 lock hierarchy).
+  mutable AnnotatedMutex Mutex{"GpuHealth"};
+  GpuHealthState State ECAS_GUARDED_BY(Mutex) = GpuHealthState::Healthy;
+  Stats Counters ECAS_GUARDED_BY(Mutex);
+  bool Pristine ECAS_GUARDED_BY(Mutex) = true;
+  double QuarantinedUntil ECAS_GUARDED_BY(Mutex) = 0.0;
+  double CurrentQuarantineSec ECAS_GUARDED_BY(Mutex);
 };
 
 } // namespace ecas

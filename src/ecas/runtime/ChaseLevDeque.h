@@ -27,7 +27,12 @@ namespace ecas {
 /// Work-stealing deque of trivially copyable elements.
 ///
 /// Thread-safety contract: exactly one owner thread may call push() and
-/// pop(); any number of threads may call steal() concurrently.
+/// pop(); any number of threads may call steal() concurrently. The
+/// deque is lock-free, so there is no capability to annotate (DESIGN.md
+/// §9): the owner restriction is enforced structurally — each
+/// ThreadPool worker owns exactly its own deque — and validated
+/// dynamically under the TSan preset rather than by Clang's analysis,
+/// which has no owner-thread concept.
 template <typename T> class ChaseLevDeque {
   static_assert(std::is_trivially_copyable_v<T>,
                 "ChaseLevDeque elements must be trivially copyable");

@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(unsigned NumWorkers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     ShuttingDown.store(true, std::memory_order_release);
   }
   WorkAvailable.notify_all();
@@ -63,7 +63,7 @@ uint64_t ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
     return 0;
   if (Grain == 0)
     Grain = 1;
-  std::lock_guard<std::mutex> CallerLock(CallerMutex);
+  LockGuard CallerLock(CallerMutex);
 
   const uint64_t Total = End - Begin;
   CurrentJob.Body.store(&Body, std::memory_order_relaxed);
@@ -83,7 +83,7 @@ uint64_t ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
     uint64_t Size = (Total + N - 1) / N;
     uint64_t ChunkEnd = std::min(End, Cursor + Size);
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      LockGuard Lock(Mutex);
       Injected.push_back({Cursor, ChunkEnd});
     }
     Cursor = ChunkEnd;
@@ -91,7 +91,7 @@ uint64_t ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
   {
     // Bump the epoch under the mutex: a worker evaluating the wait
     // predicate cannot then miss the notification (lost-wakeup race).
-    std::lock_guard<std::mutex> Lock(Mutex);
+    LockGuard Lock(Mutex);
     JobEpoch.fetch_add(1, std::memory_order_acq_rel);
   }
   WorkAvailable.notify_all();
@@ -133,7 +133,7 @@ uint64_t ThreadPool::parallelFor(uint64_t Begin, uint64_t End, uint64_t Grain,
 }
 
 bool ThreadPool::takeInjected(IterRange &Out) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  LockGuard Lock(Mutex);
   if (Injected.empty())
     return false;
   Out = Injected.back();
@@ -205,8 +205,8 @@ void ThreadPool::workerLoop(unsigned SelfIndex) {
   uint64_t SeenEpoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WorkAvailable.wait(Lock, [this, SeenEpoch] {
+      UniqueLock Lock(Mutex);
+      WorkAvailable.wait(Lock.native(), [this, SeenEpoch] {
         return ShuttingDown.load(std::memory_order_acquire) ||
                JobEpoch.load(std::memory_order_acquire) != SeenEpoch;
       });

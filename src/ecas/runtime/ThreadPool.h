@@ -18,13 +18,13 @@
 #include "ecas/runtime/ChaseLevDeque.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Random.h"
+#include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -111,12 +111,15 @@ private:
   Job CurrentJob;
   /// Seed chunks awaiting a first owner (callers cannot push onto a
   /// worker-owned deque, so parallelFor stages work here).
-  std::vector<IterRange> Injected;
+  std::vector<IterRange> Injected ECAS_GUARDED_BY(Mutex);
   /// Serializes concurrent parallelFor callers; the pool runs one job at
-  /// a time.
-  std::mutex CallerMutex;
+  /// a time. Acquired before ThreadPool.Queue (DESIGN.md §9): the
+  /// caller stages seed chunks and bumps the epoch under Mutex while
+  /// still holding the caller slot.
+  AnnotatedMutex CallerMutex{"ThreadPool.Caller"};
 
-  std::mutex Mutex;
+  /// Guards the injection queue and the sleep/wake protocol.
+  AnnotatedMutex Mutex{"ThreadPool.Queue"};
   std::condition_variable WorkAvailable;
   std::condition_variable JobDone;
   /// Incremented for each parallelFor; lets sleeping workers detect a

@@ -36,6 +36,12 @@ struct PcuObservation {
 
 /// The governor. Deterministic: identical observation sequences yield
 /// identical frequency sequences.
+///
+/// Thread-safety contract: externally synchronized (DESIGN.md §9). A
+/// Pcu is owned by exactly one SimProcessor, and a SimProcessor serves
+/// one client thread; nothing here may be touched concurrently, so the
+/// class carries no capability. Concurrent EAS clients each bring their
+/// own SimProcessor (and therefore their own Pcu).
 class Pcu {
 public:
   explicit Pcu(const PlatformSpec &Spec);

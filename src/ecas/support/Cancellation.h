@@ -28,7 +28,11 @@
 namespace ecas {
 
 /// Copyable handle to shared cancellation state; all copies observe the
-/// same flag and deadline. Thread-safe.
+/// same flag and deadline. Thread-safe without locks: the shared state
+/// is two atomics with release/acquire publication, so there is no
+/// capability to annotate (DESIGN.md §9) and polling a token can never
+/// participate in a lock cycle — tokens are safe to touch from any
+/// cancellation point, whatever locks the caller holds.
 class CancellationToken {
 public:
   CancellationToken() : Shared(std::make_shared<State>()) {}

@@ -1,0 +1,187 @@
+//===-- ecas/support/LockOrder.cpp - Lockdep-style order validator --------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/LockOrder.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace ecas;
+
+namespace {
+
+/// One instrumented lock currently held by this thread. The stack is
+/// shared by every validator (thread_local storage cannot be a member),
+/// so entries carry their owner and queries filter by it.
+struct HeldEntry {
+  const LockOrderValidator *Owner;
+  const void *Lock;
+  const char *LockClass;
+};
+
+thread_local std::vector<HeldEntry> HeldStack;
+
+std::string renderStack(const std::vector<std::string> &Stack) {
+  std::string Out;
+  for (const std::string &Name : Stack) {
+    if (!Out.empty())
+      Out += " -> ";
+    Out += Name;
+  }
+  return Out;
+}
+
+} // namespace
+
+LockOrderValidator &LockOrderValidator::global() {
+  // Leaked on purpose: instrumented locks may be released during static
+  // destruction, after a function-local static would have died.
+  static LockOrderValidator *V = new LockOrderValidator();
+  return *V;
+}
+
+LockOrderValidator::~LockOrderValidator() {
+  // Drop any record of this validator from the destroying thread's held
+  // stack so a later validator at the same address cannot inherit it.
+  HeldStack.erase(std::remove_if(HeldStack.begin(), HeldStack.end(),
+                                 [this](const HeldEntry &E) {
+                                   return E.Owner == this;
+                                 }),
+                  HeldStack.end());
+}
+
+bool LockOrderValidator::reachable(const std::string &From,
+                                   const std::string &To) const {
+  std::deque<const std::string *> Frontier{&From};
+  std::set<std::string> Seen{From};
+  while (!Frontier.empty()) {
+    const std::string &Node = *Frontier.front();
+    Frontier.pop_front();
+    if (Node == To)
+      return true;
+    auto It = Edges.find(Node);
+    if (It == Edges.end())
+      continue;
+    for (const std::string &Next : It->second)
+      if (Seen.insert(Next).second)
+        Frontier.push_back(&Next);
+  }
+  return false;
+}
+
+void LockOrderValidator::report(const std::string &From, const std::string &To,
+                                const std::vector<std::string> &CurrentStack) {
+  // Walk the pre-existing To ~> From path to recover the acquisition
+  // that recorded the inverse ordering; its first edge's origin stack is
+  // "the other side" of the deadlock.
+  std::map<std::string, std::string> Parent;
+  std::deque<std::string> Frontier{To};
+  Parent[To] = To;
+  while (!Frontier.empty() && !Parent.count(From)) {
+    std::string Node = Frontier.front();
+    Frontier.pop_front();
+    auto It = Edges.find(Node);
+    if (It == Edges.end())
+      continue;
+    for (const std::string &Next : It->second)
+      if (Parent.emplace(Next, Node).second)
+        Frontier.push_back(Next);
+  }
+  // First hop of the path To -> ... -> From.
+  std::string Hop = From;
+  while (Parent.count(Hop) && Parent[Hop] != To)
+    Hop = Parent[Hop];
+
+  Violation V;
+  V.First = From;
+  V.Second = To;
+  auto OriginIt = Origins.find(std::make_pair(To, Hop));
+  if (OriginIt != Origins.end())
+    V.PriorStack = OriginIt->second.Stack;
+  V.CurrentStack = CurrentStack;
+  V.Message = "potential deadlock: acquiring '" + To + "' while holding '" +
+              From + "', but '" + To + "' was previously held when '" + Hop +
+              "' was acquired\n  prior ordering:   " +
+              renderStack(V.PriorStack) +
+              "\n  current ordering: " + renderStack(V.CurrentStack);
+  Violations.push_back(std::move(V));
+}
+
+void LockOrderValidator::onAcquire(const void *Lock, const char *LockClass) {
+  // Snapshot the classes this thread already holds from this validator,
+  // outermost first, before pushing the new acquisition.
+  std::vector<std::string> Held;
+  for (const HeldEntry &E : HeldStack)
+    if (E.Owner == this)
+      Held.emplace_back(E.LockClass);
+  HeldStack.push_back({this, Lock, LockClass});
+  if (Held.empty())
+    return;
+
+  std::vector<std::string> Current = Held;
+  Current.emplace_back(LockClass);
+  const std::string To = LockClass;
+
+  std::lock_guard<std::mutex> G(GraphMutex);
+  for (const std::string &From : Held) {
+    if (From == To) {
+      // Same class twice on one stack: two threads picking opposite
+      // instance orders deadlock, exactly like an inversion.
+      if (Reported.insert(std::make_pair(From, To)).second) {
+        Violation V;
+        V.First = From;
+        V.Second = To;
+        V.CurrentStack = Current;
+        V.Message = "potential deadlock: recursive acquisition of lock "
+                    "class '" +
+                    From +
+                    "'\n  current ordering: " + renderStack(Current);
+        Violations.push_back(std::move(V));
+      }
+      continue;
+    }
+    if (!Edges[From].insert(To).second)
+      continue; // Known edge: already validated (and reported, if bad).
+    Origins.emplace(std::make_pair(From, To), EdgeOrigin{Current});
+    if (reachable(To, From)) {
+      auto Key = From < To ? std::make_pair(From, To)
+                           : std::make_pair(To, From);
+      if (Reported.insert(Key).second)
+        report(From, To, Current);
+    }
+  }
+}
+
+void LockOrderValidator::onRelease(const void *Lock, const char *LockClass) {
+  (void)LockClass;
+  // Releases are LIFO for guard scopes but may interleave for manual
+  // unlock(); remove the most recent matching entry.
+  for (auto It = HeldStack.rbegin(); It != HeldStack.rend(); ++It) {
+    if (It->Owner == this && It->Lock == Lock) {
+      HeldStack.erase(std::next(It).base());
+      return;
+    }
+  }
+}
+
+std::vector<LockOrderValidator::Violation>
+LockOrderValidator::violations() const {
+  std::lock_guard<std::mutex> G(GraphMutex);
+  return Violations;
+}
+
+size_t LockOrderValidator::violationCount() const {
+  std::lock_guard<std::mutex> G(GraphMutex);
+  return Violations.size();
+}
+
+void LockOrderValidator::reset() {
+  std::lock_guard<std::mutex> G(GraphMutex);
+  Edges.clear();
+  Origins.clear();
+  Reported.clear();
+  Violations.clear();
+}

@@ -1,0 +1,131 @@
+//===-- ecas/support/LockOrder.h - Lockdep-style order validator *- C++ -*===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lockdep-style lock-order validator: every AnnotatedMutex
+/// acquisition records an acquired-before edge from each lock class the
+/// thread already holds to the class being acquired, into one global
+/// directed graph. An edge that closes a cycle is a potential deadlock
+/// — two threads can interleave the two orderings and block forever —
+/// and is reported deterministically on the first occurrence, with both
+/// orderings: the held-lock stack of the acquisition that recorded the
+/// inverse edge and the held-lock stack of the acquisition that closed
+/// the cycle. Each offending class pair is reported exactly once, so a
+/// hot path cannot flood the log.
+///
+/// Like lockdep, the graph is keyed by lock *class* (the name passed to
+/// AnnotatedMutex), not by instance: taking shard 3 then shard 9 of the
+/// same sharded table is one self-edge on the class, flagged as a
+/// recursive acquisition — the pattern deadlocks as soon as two threads
+/// pick opposite shard orders.
+///
+/// Cost model: the validator itself always compiles (tests drive
+/// instances directly), but the hooks inside AnnotatedMutex are empty
+/// inline functions unless the build defines ECAS_LOCK_ORDER (CMake
+/// option of the same name), so production builds pay nothing. With the
+/// option on, an acquisition costs a thread-local vector push plus, for
+/// first-time edges only, a graph insertion under the validator's own
+/// (plain, unhooked) mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_LOCKORDER_H
+#define ECAS_SUPPORT_LOCKORDER_H
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecas {
+
+/// The acquired-before graph plus per-thread held stacks. Thread-safe.
+/// Tests instantiate their own validator; the AnnotatedMutex hooks feed
+/// the global() instance.
+class LockOrderValidator {
+public:
+  LockOrderValidator() = default;
+  ~LockOrderValidator();
+
+  LockOrderValidator(const LockOrderValidator &) = delete;
+  LockOrderValidator &operator=(const LockOrderValidator &) = delete;
+
+  /// Process-wide instance behind the AnnotatedMutex hooks.
+  static LockOrderValidator &global();
+
+  /// Records that the calling thread acquired \p Lock of class
+  /// \p LockClass. Adds held-class -> LockClass edges and reports any
+  /// cycle they close.
+  void onAcquire(const void *Lock, const char *LockClass);
+
+  /// Records that the calling thread released \p Lock.
+  void onRelease(const void *Lock, const char *LockClass);
+
+  /// One potential-deadlock report. Formatted text plus the structured
+  /// pieces the tests assert on.
+  struct Violation {
+    /// The edge that closed the cycle (acquired-before: First -> Second).
+    std::string First;
+    std::string Second;
+    /// Held-lock stack (outermost first, including the acquired class)
+    /// of the acquisition that recorded the inverse ordering earlier.
+    std::vector<std::string> PriorStack;
+    /// Held-lock stack of the acquisition that closed the cycle now.
+    std::vector<std::string> CurrentStack;
+    /// Human-readable rendering of all of the above.
+    std::string Message;
+  };
+
+  /// Violations reported so far, in detection order.
+  std::vector<Violation> violations() const;
+  size_t violationCount() const;
+
+  /// Drops the graph, reports, and dedupe state (held stacks of live
+  /// threads are per-thread and survive; callers reset between tests
+  /// while no instrumented lock is held).
+  void reset();
+
+private:
+  struct EdgeOrigin {
+    /// Held stack at the moment the edge was first recorded.
+    std::vector<std::string> Stack;
+  };
+
+  /// Requires GraphMutex. True when \p From reaches \p To along
+  /// recorded edges.
+  bool reachable(const std::string &From, const std::string &To) const;
+  /// Requires GraphMutex. Builds and stores the violation for the edge
+  /// (From -> To) whose inverse path already exists.
+  void report(const std::string &From, const std::string &To,
+              const std::vector<std::string> &CurrentStack);
+
+  /// The validator's own lock is a plain std::mutex on purpose: it must
+  /// not feed itself. It is a leaf — no callback runs under it.
+  mutable std::mutex GraphMutex;
+  std::map<std::string, std::set<std::string>> Edges;
+  std::map<std::pair<std::string, std::string>, EdgeOrigin> Origins;
+  std::set<std::pair<std::string, std::string>> Reported;
+  std::vector<Violation> Violations;
+};
+
+#if defined(ECAS_LOCK_ORDER)
+inline void lockOrderAcquired(const void *Lock, const char *LockClass) {
+  LockOrderValidator::global().onAcquire(Lock, LockClass);
+}
+inline void lockOrderReleased(const void *Lock, const char *LockClass) {
+  LockOrderValidator::global().onRelease(Lock, LockClass);
+}
+#else
+inline void lockOrderAcquired(const void *, const char *) {}
+inline void lockOrderReleased(const void *, const char *) {}
+#endif
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_LOCKORDER_H

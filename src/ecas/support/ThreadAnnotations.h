@@ -1,0 +1,176 @@
+//===-- ecas/support/ThreadAnnotations.h - Thread-safety macros *- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang Thread Safety Analysis attribute macros plus the project's
+/// capability-annotated mutex wrappers. Every piece of shared mutable
+/// state in the runtime declares its lock with ECAS_GUARDED_BY, every
+/// lock-requiring helper with ECAS_REQUIRES, and builds under Clang run
+/// with -Wthread-safety -Wthread-safety-beta -Werror so a read of
+/// guarded state without its lock is a compile error, not a TSan roll of
+/// the dice. Under compilers without the attributes (GCC) the macros
+/// expand to nothing and the wrappers reduce to std::mutex +
+/// std::lock_guard.
+///
+/// The wrappers also carry the debug-mode lock-order validator hooks
+/// (support/LockOrder.h): when the build defines ECAS_LOCK_ORDER, each
+/// AnnotatedMutex acquisition/release is reported to the global
+/// lockdep-style acquired-before graph. When the option is off the hook
+/// calls are empty inline functions and the wrappers cost exactly a
+/// std::mutex.
+///
+/// Conventions (DESIGN.md §9):
+///   - No naked std::mutex outside src/ecas/support/ — shared state uses
+///     AnnotatedMutex so both static analysis and the lock-order
+///     validator see it (enforced by tools/ecas_lint.py).
+///   - Scopes that never block use LockGuard; scopes that wait on a
+///     condition variable use UniqueLock and pass native() to wait().
+///   - Each AnnotatedMutex names its lock class ("KernelHistory.Shard");
+///     instances sharing a name share a node in the acquired-before
+///     graph, exactly like lockdep lock classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_THREADANNOTATIONS_H
+#define ECAS_SUPPORT_THREADANNOTATIONS_H
+
+#include "ecas/support/LockOrder.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ECAS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ECAS_THREAD_ANNOTATION
+#define ECAS_THREAD_ANNOTATION(x)
+#endif
+
+/// Type is a synchronization capability (a lock).
+#define ECAS_CAPABILITY(x) ECAS_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define ECAS_SCOPED_CAPABILITY ECAS_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be accessed while holding the given capability.
+#define ECAS_GUARDED_BY(x) ECAS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointed-to data may only be accessed while holding the capability.
+#define ECAS_PT_GUARDED_BY(x) ECAS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability(ies) held on entry (and exit).
+#define ECAS_REQUIRES(...)                                                    \
+  ECAS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (it acquires it).
+#define ECAS_EXCLUDES(...) ECAS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and holds it past return.
+#define ECAS_ACQUIRE(...)                                                     \
+  ECAS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define ECAS_RELEASE(...)                                                     \
+  ECAS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function tries to acquire; holds it iff the return equals the first arg.
+#define ECAS_TRY_ACQUIRE(...)                                                 \
+  ECAS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define ECAS_RETURN_CAPABILITY(x) ECAS_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch; every use needs a comment explaining why it is sound.
+#define ECAS_NO_THREAD_SAFETY_ANALYSIS                                        \
+  ECAS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ecas {
+
+/// A std::mutex that (a) is a Clang thread-safety capability and (b)
+/// feeds the debug lock-order validator. The lock-class name groups
+/// instances (all 16 KernelHistory shards are one class) in the
+/// acquired-before graph.
+class ECAS_CAPABILITY("mutex") AnnotatedMutex {
+public:
+  explicit AnnotatedMutex(const char *LockClass) : LockClass_(LockClass) {}
+
+  AnnotatedMutex(const AnnotatedMutex &) = delete;
+  AnnotatedMutex &operator=(const AnnotatedMutex &) = delete;
+
+  void lock() ECAS_ACQUIRE() {
+    M.lock();
+    lockOrderAcquired(this, LockClass_);
+  }
+
+  void unlock() ECAS_RELEASE() {
+    lockOrderReleased(this, LockClass_);
+    M.unlock();
+  }
+
+  bool try_lock() ECAS_TRY_ACQUIRE(true) {
+    if (!M.try_lock())
+      return false;
+    lockOrderAcquired(this, LockClass_);
+    return true;
+  }
+
+  /// The underlying mutex, for std::condition_variable interop only.
+  /// Waiting releases and reacquires the raw mutex without touching the
+  /// validator hooks; that is sound because the waiting thread holds no
+  /// other interleaved acquisition while blocked and the capability is
+  /// held again before the wait returns.
+  std::mutex &native() ECAS_RETURN_CAPABILITY(this) { return M; }
+
+  const char *lockClass() const { return LockClass_; }
+
+private:
+  std::mutex M;
+  const char *LockClass_;
+};
+
+/// Non-blocking critical section: std::lock_guard over AnnotatedMutex.
+/// Code inside a LockGuard scope must never wait, sleep, or join
+/// (enforced by ecas-lint's wait-under-lock-guard rule); scopes that
+/// block on a condition variable use UniqueLock below.
+class ECAS_SCOPED_CAPABILITY LockGuard {
+public:
+  explicit LockGuard(AnnotatedMutex &M) ECAS_ACQUIRE(M) : M_(M) { M_.lock(); }
+  ~LockGuard() ECAS_RELEASE() { M_.unlock(); }
+
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+  AnnotatedMutex &M_;
+};
+
+/// Waitable critical section: owns the lock for its scope and exposes
+/// the native std::unique_lock for condition_variable::wait. The
+/// acquisition goes through AnnotatedMutex::lock() so the lock-order
+/// validator sees it; the std::unique_lock adopts the held mutex.
+class ECAS_SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(AnnotatedMutex &M) ECAS_ACQUIRE(M)
+      : M_(M), Inner(acquire(M), std::adopt_lock) {}
+
+  ~UniqueLock() ECAS_RELEASE() {
+    if (Inner.owns_lock())
+      lockOrderReleased(&M_, M_.lockClass());
+    // Inner's destructor performs the raw unlock.
+  }
+
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+  /// For condition_variable::wait only; see AnnotatedMutex::native().
+  std::unique_lock<std::mutex> &native() { return Inner; }
+
+private:
+  static std::mutex &acquire(AnnotatedMutex &M) {
+    M.lock();
+    return M.native();
+  }
+
+  AnnotatedMutex &M_;
+  std::unique_lock<std::mutex> Inner;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_THREADANNOTATIONS_H

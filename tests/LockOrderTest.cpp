@@ -1,0 +1,238 @@
+//===-- tests/LockOrderTest.cpp - Lock-order validator tests ----------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/LockOrder.h"
+#include "ecas/support/ThreadAnnotations.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+/// Fake lock instances: the validator only needs distinct addresses.
+struct FakeLocks {
+  char A1 = 0, A2 = 0, B = 0, C = 0;
+};
+
+} // namespace
+
+TEST(LockOrder, SingleLockReportsNothing) {
+  LockOrderValidator V;
+  FakeLocks L;
+  for (int I = 0; I != 100; ++I) {
+    V.onAcquire(&L.A1, "A");
+    V.onRelease(&L.A1, "A");
+  }
+  EXPECT_EQ(V.violationCount(), 0u);
+}
+
+TEST(LockOrder, ConsistentOrderReportsNothing) {
+  LockOrderValidator V;
+  FakeLocks L;
+  // A -> B -> C, repeatedly and from several threads: a DAG, no report.
+  auto Use = [&] {
+    for (int I = 0; I != 50; ++I) {
+      V.onAcquire(&L.A1, "A");
+      V.onAcquire(&L.B, "B");
+      V.onAcquire(&L.C, "C");
+      V.onRelease(&L.C, "C");
+      V.onRelease(&L.B, "B");
+      V.onRelease(&L.A1, "A");
+    }
+  };
+  std::thread T1(Use), T2(Use);
+  Use();
+  T1.join();
+  T2.join();
+  EXPECT_EQ(V.violationCount(), 0u);
+}
+
+TEST(LockOrder, InvertedOrderReportedOnceWithBothStacks) {
+  LockOrderValidator V;
+  FakeLocks L;
+  // Record A -> B...
+  V.onAcquire(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onRelease(&L.B, "B");
+  V.onRelease(&L.A1, "A");
+  EXPECT_EQ(V.violationCount(), 0u);
+  // ...then close the cycle with B -> A.
+  V.onAcquire(&L.B, "B");
+  V.onAcquire(&L.A1, "A");
+  V.onRelease(&L.A1, "A");
+  V.onRelease(&L.B, "B");
+  ASSERT_EQ(V.violationCount(), 1u);
+
+  LockOrderValidator::Violation Report = V.violations()[0];
+  // The edge that closed the cycle: acquiring A while holding B.
+  EXPECT_EQ(Report.First, "B");
+  EXPECT_EQ(Report.Second, "A");
+  // Both orderings, outermost first.
+  ASSERT_EQ(Report.PriorStack, (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(Report.CurrentStack, (std::vector<std::string>{"B", "A"}));
+  EXPECT_NE(Report.Message.find("potential deadlock"), std::string::npos);
+  EXPECT_NE(Report.Message.find("A -> B"), std::string::npos);
+  EXPECT_NE(Report.Message.find("B -> A"), std::string::npos);
+
+  // Re-running both orderings must not produce a second report: the
+  // pair is deduplicated no matter how hot the path is.
+  for (int I = 0; I != 10; ++I) {
+    V.onAcquire(&L.A1, "A");
+    V.onAcquire(&L.B, "B");
+    V.onRelease(&L.B, "B");
+    V.onRelease(&L.A1, "A");
+    V.onAcquire(&L.B, "B");
+    V.onAcquire(&L.A1, "A");
+    V.onRelease(&L.A1, "A");
+    V.onRelease(&L.B, "B");
+  }
+  EXPECT_EQ(V.violationCount(), 1u);
+}
+
+TEST(LockOrder, TransitiveCycleReported) {
+  LockOrderValidator V;
+  FakeLocks L;
+  // A -> B and B -> C are fine; C -> A closes a three-class cycle even
+  // though no single pair inverts.
+  V.onAcquire(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onRelease(&L.B, "B");
+  V.onRelease(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onAcquire(&L.C, "C");
+  V.onRelease(&L.C, "C");
+  V.onRelease(&L.B, "B");
+  EXPECT_EQ(V.violationCount(), 0u);
+  V.onAcquire(&L.C, "C");
+  V.onAcquire(&L.A1, "A");
+  V.onRelease(&L.A1, "A");
+  V.onRelease(&L.C, "C");
+  ASSERT_EQ(V.violationCount(), 1u);
+  LockOrderValidator::Violation Report = V.violations()[0];
+  EXPECT_EQ(Report.First, "C");
+  EXPECT_EQ(Report.Second, "A");
+  EXPECT_EQ(Report.CurrentStack, (std::vector<std::string>{"C", "A"}));
+  // The prior side is the A -> B edge: A was held when the path toward C
+  // started.
+  EXPECT_EQ(Report.PriorStack, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(LockOrder, RecursiveClassAcquisitionReported) {
+  LockOrderValidator V;
+  FakeLocks L;
+  // Two *instances* of one class on a single stack: the sharded-table
+  // anti-pattern. Reported once.
+  V.onAcquire(&L.A1, "Shard");
+  V.onAcquire(&L.A2, "Shard");
+  V.onRelease(&L.A2, "Shard");
+  V.onRelease(&L.A1, "Shard");
+  V.onAcquire(&L.A1, "Shard");
+  V.onAcquire(&L.A2, "Shard");
+  V.onRelease(&L.A2, "Shard");
+  V.onRelease(&L.A1, "Shard");
+  ASSERT_EQ(V.violationCount(), 1u);
+  EXPECT_NE(V.violations()[0].Message.find("recursive acquisition"),
+            std::string::npos);
+  EXPECT_EQ(V.violations()[0].CurrentStack,
+            (std::vector<std::string>{"Shard", "Shard"}));
+}
+
+TEST(LockOrder, InversionAcrossThreadsReported) {
+  LockOrderValidator V;
+  FakeLocks L;
+  // Thread 1 records A -> B; after it joins, thread 2 records B -> A.
+  // The graph is global, so the inversion is caught even though neither
+  // thread ever holds both orderings itself.
+  std::thread T1([&] {
+    V.onAcquire(&L.A1, "A");
+    V.onAcquire(&L.B, "B");
+    V.onRelease(&L.B, "B");
+    V.onRelease(&L.A1, "A");
+  });
+  T1.join();
+  std::thread T2([&] {
+    V.onAcquire(&L.B, "B");
+    V.onAcquire(&L.A1, "A");
+    V.onRelease(&L.A1, "A");
+    V.onRelease(&L.B, "B");
+  });
+  T2.join();
+  EXPECT_EQ(V.violationCount(), 1u);
+}
+
+TEST(LockOrder, ResetClearsGraphAndReports) {
+  LockOrderValidator V;
+  FakeLocks L;
+  V.onAcquire(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onRelease(&L.B, "B");
+  V.onRelease(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onAcquire(&L.A1, "A");
+  V.onRelease(&L.A1, "A");
+  V.onRelease(&L.B, "B");
+  ASSERT_EQ(V.violationCount(), 1u);
+  V.reset();
+  EXPECT_EQ(V.violationCount(), 0u);
+  // After reset the same inversion is reported again (fresh graph).
+  V.onAcquire(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onRelease(&L.B, "B");
+  V.onRelease(&L.A1, "A");
+  V.onAcquire(&L.B, "B");
+  V.onAcquire(&L.A1, "A");
+  V.onRelease(&L.A1, "A");
+  V.onRelease(&L.B, "B");
+  EXPECT_EQ(V.violationCount(), 1u);
+}
+
+#if defined(ECAS_LOCK_ORDER)
+// End-to-end through the AnnotatedMutex hooks: only meaningful when the
+// build arms them (default preset). Uses the global validator, so reset
+// around the test to stay independent of other instrumented code in
+// this binary.
+TEST(LockOrder, AnnotatedMutexFeedsGlobalValidator) {
+  LockOrderValidator &V = LockOrderValidator::global();
+  V.reset();
+  AnnotatedMutex MuA{"Test.X"};
+  AnnotatedMutex MuB{"Test.Y"};
+  {
+    LockGuard GA(MuA);
+    LockGuard GB(MuB);
+  }
+  EXPECT_EQ(V.violationCount(), 0u);
+  {
+    LockGuard GB(MuB);
+    LockGuard GA(MuA);
+  }
+  ASSERT_EQ(V.violationCount(), 1u);
+  EXPECT_EQ(V.violations()[0].First, "Test.Y");
+  EXPECT_EQ(V.violations()[0].Second, "Test.X");
+  V.reset();
+}
+
+TEST(LockOrder, UniqueLockFeedsGlobalValidator) {
+  LockOrderValidator &V = LockOrderValidator::global();
+  V.reset();
+  AnnotatedMutex MuA{"Test.P"};
+  AnnotatedMutex MuB{"Test.Q"};
+  {
+    UniqueLock LA(MuA);
+    UniqueLock LB(MuB);
+  }
+  {
+    UniqueLock LB(MuB);
+    UniqueLock LA(MuA);
+  }
+  EXPECT_EQ(V.violationCount(), 1u);
+  V.reset();
+}
+#endif // ECAS_LOCK_ORDER

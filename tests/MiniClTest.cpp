@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ecas/cl/MiniCl.h"
+#include "ecas/support/ThreadAnnotations.h"
 
 #include <gtest/gtest.h>
 
@@ -48,10 +49,10 @@ TEST(CommandQueue, InOrderExecution) {
         Body(B, E);
       });
   std::vector<int> Order;
-  std::mutex OrderMutex;
+  AnnotatedMutex OrderMutex{"Test.Order"};
   for (int I = 0; I != 10; ++I) {
     MiniKernel Kernel("step", [&, I](uint64_t, uint64_t) {
-      std::lock_guard<std::mutex> Lock(OrderMutex);
+      LockGuard Lock(OrderMutex);
       Order.push_back(I);
     });
     Queue.enqueue(Kernel, 0, 1);

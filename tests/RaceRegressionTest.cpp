@@ -1,0 +1,103 @@
+//===-- tests/RaceRegressionTest.cpp - Latent-race regressions --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// Regression tests for the two latent findings surfaced while annotating
+// the tree for Clang's thread-safety analysis (DESIGN.md §9):
+//
+//  1. MiniEvent's profiling timestamps were read without the event lock,
+//     racing the queue worker's writes. The accessors now lock, so
+//     polling them while a command completes must be clean under TSan.
+//
+//  2. KernelHistory::clear() retired unlinked chains while still holding
+//     a shard lock, nesting KernelHistory.Retired inside
+//     KernelHistory.Shard and inverting the documented hierarchy. The
+//     rewrite unlinks under the shard locks and retires after releasing
+//     them; concurrent clear()/update()/entries() must neither deadlock
+//     nor trip the lock-order validator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/cl/MiniCl.h"
+#include "ecas/core/KernelHistory.h"
+#include "ecas/support/LockOrder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace ecas;
+using namespace ecas::cl;
+
+// Readers hammer every timestamp accessor while commands run to
+// completion. Before the fix the loads were unsynchronized with the
+// worker's stores; TSan (tsan preset) flagged the pair.
+TEST(RaceRegression, EventTimestampsRaceFreeDuringCompletion) {
+  CommandQueue Queue(
+      "test", [](const RangeBody &Body, uint64_t B, uint64_t E) {
+        Body(B, E);
+      });
+  for (int Round = 0; Round != 20; ++Round) {
+    std::atomic<bool> Stop{false};
+    MiniKernel Kernel("spin", [](uint64_t B, uint64_t E) {
+      uint64_t Acc = 0;
+      for (uint64_t I = B; I != E; ++I)
+        Acc += I;
+      volatile uint64_t Sink = Acc;
+      (void)Sink;
+    });
+    MiniEvent Event = Queue.enqueue(Kernel, 0, 50'000);
+    std::thread Reader([&] {
+      double Acc = 0.0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        Acc += Event.queuedSeconds() + Event.submitSeconds() +
+               Event.startSeconds() + Event.endSeconds() +
+               Event.executionSeconds() + Event.overheadSeconds();
+      }
+      EXPECT_GE(Acc, 0.0);
+    });
+    Event.wait();
+    Stop.store(true, std::memory_order_release);
+    Reader.join();
+    EXPECT_EQ(Event.status(), cl::Status::Success);
+    // Complete events expose a consistent window.
+    EXPECT_GE(Event.endSeconds(), Event.startSeconds());
+    EXPECT_GE(Event.startSeconds(), Event.queuedSeconds());
+  }
+}
+
+// clear() racing writers and snapshotters: must terminate (no deadlock)
+// and, in ECAS_LOCK_ORDER builds, must not report a Shard -> Retired
+// inversion on the global validator.
+TEST(RaceRegression, HistoryClearDoesNotNestRetiredInsideShard) {
+#if defined(ECAS_LOCK_ORDER)
+  LockOrderValidator::global().reset();
+#endif
+  KernelHistory History;
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    uint64_t K = 0;
+    while (!Stop.load(std::memory_order_acquire)) {
+      History.update(K++ % 64, [](KernelRecord &Rec) {
+        Rec.Invocations += 1;
+      });
+    }
+  });
+  std::thread Snapshotter([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      (void)History.entries();
+    }
+  });
+  for (int I = 0; I != 200; ++I)
+    History.clear();
+  Stop.store(true, std::memory_order_release);
+  Writer.join();
+  Snapshotter.join();
+  EXPECT_EQ(History.size(), History.entries().size());
+#if defined(ECAS_LOCK_ORDER)
+  for (const auto &V : LockOrderValidator::global().violations())
+    ADD_FAILURE() << V.Message;
+  LockOrderValidator::global().reset();
+#endif
+}

@@ -1,0 +1,51 @@
+//===-- tests/ThreadSafetyNegative.cpp - Analysis must reject this ----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// NOT part of any build target. The CI static-analysis job compiles this
+// file with `clang++ -fsyntax-only -Wthread-safety -Werror` and asserts
+// the compile FAILS — proving the annotation macros are live under clang
+// and actually reject unguarded access, not just that the clean tree
+// happens to build. If this file ever compiles under those flags, the
+// analysis has been silently disabled and the job errors out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/ThreadAnnotations.h"
+
+namespace {
+
+class Counter {
+public:
+  // Violation 1: writes a guarded field without holding the mutex.
+  void incrementUnlocked() { Value += 1; }
+
+  // Violation 2: declares the requirement but the caller below does not
+  // satisfy it.
+  void incrementLocked() ECAS_REQUIRES(Mutex) { Value += 1; }
+
+  void callWithoutLock() { incrementLocked(); }
+
+  // Violation 3: returns with the lock still held (no unlock on the
+  // early path).
+  int readLeakingLock() {
+    Mutex.lock();
+    if (Value > 0)
+      return Value;
+    Mutex.unlock();
+    return 0;
+  }
+
+private:
+  ecas::AnnotatedMutex Mutex{"Negative.Counter"};
+  int Value ECAS_GUARDED_BY(Mutex) = 0;
+};
+
+} // namespace
+
+int main() {
+  Counter C;
+  C.incrementUnlocked();
+  C.callWithoutLock();
+  return C.readLeakingLock();
+}

@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""ecas-lint: project-convention linter for the ecas tree.
+
+Complements clang-tidy and the Clang thread-safety build with rules that
+are about *this* project's conventions (DESIGN.md §9), so they stay
+enforced even under toolchains that cannot run the Clang analyses:
+
+  naked-mutex            No std::mutex / std::lock_guard / std::unique_lock
+                         (or friends) outside src/ecas/support/. Shared
+                         state uses AnnotatedMutex + LockGuard/UniqueLock so
+                         the thread-safety analysis and the lock-order
+                         validator both see every acquisition.
+  unchecked-value        No .value() on an ErrorOr variable without a prior
+                         ok() / truthiness check of that variable.
+  wait-under-lock-guard  No blocking call (condition wait, sleep, join,
+                         queue finish) inside a LockGuard/std::lock_guard
+                         scope. Blocking scopes must use UniqueLock, which
+                         is the reviewable marker that a wait happens with
+                         a lock held.
+  include-hygiene        A .cpp includes its own header first; no <bits/...>
+                         internals; headers carry an ECAS_ include guard or
+                         #pragma once; no duplicate includes in one file.
+  no-std-rand            No std::rand/srand/random_shuffle; randomness goes
+                         through support/Random.h so runs stay reproducible.
+
+Suppressions (use sparingly, justify in a comment on the same line):
+  // ecas-lint: allow(rule-name)         on the offending line
+  // ecas-lint: allow-file(rule-name)    anywhere in the first 15 lines
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors. Run from anywhere: paths are resolved against --root (defaults
+to the repository root containing this script's parent directory).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_DIRS = ["src", "tools", "tests", "bench", "examples"]
+CXX_EXTENSIONS = (".h", ".cpp")
+
+ALLOW_LINE = re.compile(r"//\s*ecas-lint:\s*allow\(([\w-]+)\)")
+ALLOW_FILE = re.compile(r"//\s*ecas-lint:\s*allow-file\(([\w-]+)\)")
+
+NAKED_MUTEX = re.compile(
+    r"\bstd::(mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|"
+    r"shared_timed_mutex|timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+ERROROR_DECL = re.compile(r"\bErrorOr<[^;=]*?>\s+(\w+)\s*[=({]")
+VALUE_CALL = re.compile(r"\b(\w+)\.value\(\)")
+CHECKED_OK = re.compile(r"\b(\w+)\.ok\(\)")
+CHECKED_TRUTHY = re.compile(r"(?:if\s*\(|while\s*\(|&&\s*|\|\|\s*|!\s*)\(?(\w+)\)")
+LOCK_GUARD_DECL = re.compile(r"\b(?:LockGuard|std::lock_guard(?:<[^>]*>)?)\s+\w+\s*[({]")
+BLOCKING_CALL = re.compile(
+    r"(\.|->)(wait|wait_for|wait_until|join|finish)\s*\(|"
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\bstd::this_thread::yield\s*\(\)"
+)
+STD_RAND = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_shuffle\b")
+INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+GUARD = re.compile(r"^\s*#\s*ifndef\s+ECAS_\w+")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Replaces comment and string-literal contents with spaces so the
+    rule regexes cannot match inside them. Returns (code, in_block)."""
+    out = []
+    i = 0
+    n = len(line)
+    in_string = None
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if c == "*" and nxt == "/":
+                in_block_comment = False
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+            continue
+        if in_string:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+                out.append(c)
+                i += 1
+                continue
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            out.append(" " * (n - i))
+            break
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+            continue
+        if c in "\"'":
+            in_string = c
+            out.append(c)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def line_allows(raw_line, rule):
+    m = ALLOW_LINE.search(raw_line)
+    return bool(m) and m.group(1) == rule
+
+
+def file_allows(raw_lines, rule):
+    for raw in raw_lines[:15]:
+        m = ALLOW_FILE.search(raw)
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def check_naked_mutex(path, raw_lines, code_lines, findings):
+    if os.sep + os.path.join("src", "ecas", "support") + os.sep in path:
+        return  # The wrappers themselves live here.
+    rule = "naked-mutex"
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        m = NAKED_MUTEX.search(code)
+        if m and not line_allows(raw_lines[ln - 1], rule):
+            findings.append(Finding(
+                path, ln, rule,
+                f"std::{m.group(1)} outside src/ecas/support/; use "
+                "AnnotatedMutex/LockGuard/UniqueLock from "
+                "ecas/support/ThreadAnnotations.h"))
+
+
+def check_unchecked_value(path, raw_lines, code_lines, findings):
+    rule = "unchecked-value"
+    if file_allows(raw_lines, rule):
+        return
+    # Variables declared as ErrorOr<...> in this file, mapped to the set
+    # of line numbers where they were declared; a variable is "checked"
+    # once an ok()/truthiness test of it appears after the declaration.
+    declared = {}
+    checked = set()
+    for ln, code in enumerate(code_lines, 1):
+        for m in ERROROR_DECL.finditer(code):
+            declared[m.group(1)] = ln
+            checked.discard(m.group(1))
+        for m in CHECKED_OK.finditer(code):
+            checked.add(m.group(1))
+        for m in CHECKED_TRUTHY.finditer(code):
+            if m.group(1) in declared:
+                checked.add(m.group(1))
+        if "ECAS_CHECK" in code or "ECAS_ASSERT" in code or "ASSERT_TRUE" in code or "EXPECT_TRUE" in code:
+            for name in declared:
+                if re.search(rf"\b{re.escape(name)}\b", code):
+                    checked.add(name)
+        for m in VALUE_CALL.finditer(code):
+            name = m.group(1)
+            if name in declared and name not in checked:
+                if not line_allows(raw_lines[ln - 1], rule):
+                    findings.append(Finding(
+                        path, ln, rule,
+                        f"'{name}.value()' without a prior '{name}.ok()' "
+                        f"(declared ErrorOr at line {declared[name]})"))
+
+
+def check_wait_under_lock_guard(path, raw_lines, code_lines, findings):
+    rule = "wait-under-lock-guard"
+    if file_allows(raw_lines, rule):
+        return
+    depth = 0
+    guard_depths = []  # brace depth at each active LockGuard declaration
+    for ln, code in enumerate(code_lines, 1):
+        if guard_depths and not line_allows(raw_lines[ln - 1], rule):
+            m = BLOCKING_CALL.search(code)
+            if m and not LOCK_GUARD_DECL.search(code):
+                findings.append(Finding(
+                    path, ln, rule,
+                    "blocking call inside a LockGuard scope; scopes that "
+                    "wait use UniqueLock (see DESIGN.md §9)"))
+        if LOCK_GUARD_DECL.search(code):
+            guard_depths.append(depth)
+        for c in code:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                while guard_depths and depth <= guard_depths[-1]:
+                    guard_depths.pop()
+    # Unbalanced braces (macro tricks) simply end analysis at EOF.
+
+
+def check_include_hygiene(path, raw_lines, code_lines, findings):
+    rule = "include-hygiene"
+    if file_allows(raw_lines, rule):
+        return
+    seen = {}
+    first_include = None
+    for ln, raw in enumerate(raw_lines, 1):
+        # Match the raw line: the string stripper blanks quoted include
+        # paths. A commented-out include is skipped via the code line.
+        if not INCLUDE.match(code_lines[ln - 1]):
+            continue
+        m = INCLUDE.match(raw)
+        if not m:
+            continue
+        style, target = m.groups()
+        if first_include is None:
+            first_include = (ln, style, target)
+        if target.startswith("bits/"):
+            if not line_allows(raw_lines[ln - 1], rule):
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"libstdc++ internal header <{target}>; include the "
+                    "standard header instead"))
+        if target in seen:
+            if not line_allows(raw_lines[ln - 1], rule):
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"duplicate include of '{target}' "
+                    f"(first at line {seen[target]})"))
+        else:
+            seen[target] = ln
+
+    norm = path.replace(os.sep, "/")
+    if path.endswith(".cpp") and "/src/ecas/" in norm:
+        own = os.path.basename(path)[:-4] + ".h"
+        sibling = os.path.join(os.path.dirname(path), own)
+        if os.path.exists(sibling):
+            subpath = norm.split("/src/", 1)[1]  # ecas/<dir>/<Name>.cpp
+            expected = subpath[:-4] + ".h"
+            if first_include is None or first_include[2] != expected:
+                where = first_include[0] if first_include else 1
+                findings.append(Finding(
+                    path, where, rule,
+                    f'first include must be the unit\'s own header '
+                    f'"{expected}"'))
+
+    if path.endswith(".h"):
+        has_guard = any(GUARD.match(c) or PRAGMA_ONCE.match(c)
+                        for c in code_lines[:40])
+        if not has_guard:
+            findings.append(Finding(
+                path, 1, rule,
+                "header lacks an ECAS_ include guard or #pragma once"))
+
+
+def check_no_std_rand(path, raw_lines, code_lines, findings):
+    rule = "no-std-rand"
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        if STD_RAND.search(code) and not line_allows(raw_lines[ln - 1], rule):
+            findings.append(Finding(
+                path, ln, rule,
+                "std::rand/srand/random_shuffle; use the seeded generators "
+                "in ecas/support/Random.h"))
+
+
+CHECKS = [
+    check_naked_mutex,
+    check_unchecked_value,
+    check_wait_under_lock_guard,
+    check_include_hygiene,
+    check_no_std_rand,
+]
+
+
+def lint_file(path, findings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        findings.append(Finding(path, 0, "io", str(e)))
+        return
+    code_lines = []
+    in_block = False
+    for raw in raw_lines:
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        code_lines.append(code)
+    for check in CHECKS:
+        check(path, raw_lines, code_lines, findings)
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories (default: the ecas tree)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for check in CHECKS:
+            print(check.__name__.replace("check_", "").replace("_", "-"))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or [d for d in DEFAULT_DIRS
+                           if os.path.isdir(os.path.join(root, d))]
+    findings = []
+    files = collect_files(root, paths)
+    if not files:
+        print("ecas-lint: no input files", file=sys.stderr)
+        return 2
+    for path in files:
+        lint_file(path, findings)
+
+    for f in findings:
+        print(f.render(root))
+    print(f"ecas-lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
