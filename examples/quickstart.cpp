@@ -43,15 +43,19 @@ int main() {
   std::printf("workload: %s, %u invocations, %.0f total iterations\n\n",
               Bs.Name.c_str(), Bs.numInvocations(), Bs.totalIterations());
 
-  // 4. Run it under every scheme, optimizing the energy-delay product.
+  // 4. Run it under every scheme through the unified run() API: one
+  //    RunOptions bundle, one SchemeKind per comparison scheme.
   ExecutionSession Session(Spec);
-  Metric Objective = Metric::edp();
-  SessionReport Oracle = Session.runOracle(Bs.Trace, Objective);
+  RunOptions Options;
+  Options.Trace = &Bs.Trace;
+  Options.Curves = &Curves;
+  Options.Objective = Metric::edp();
+  SessionReport Oracle = Session.run(SchemeKind::Oracle, Options);
   for (const SessionReport &R :
-       {Session.runCpuOnly(Bs.Trace, Objective),
-        Session.runGpuOnly(Bs.Trace, Objective),
-        Session.runPerf(Bs.Trace, Objective),
-        Session.runEas(Bs.Trace, Curves, Objective), Oracle}) {
+       {Session.run(SchemeKind::CpuOnly, Options),
+        Session.run(SchemeKind::GpuOnly, Options),
+        Session.run(SchemeKind::Perf, Options),
+        Session.run(SchemeKind::Eas, Options), Oracle}) {
     std::printf("%-7s time %-10s energy %-10s avg %5.1f W  EDP %.4g  "
                 "(%.1f%% of oracle, mean alpha %.2f)\n",
                 R.Scheme.c_str(), formatDuration(R.Seconds).c_str(),

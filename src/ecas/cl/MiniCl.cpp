@@ -8,8 +8,10 @@
 
 #include "ecas/device/KernelDesc.h"
 #include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
 
 #include <chrono>
+#include <limits>
 
 using namespace ecas;
 using namespace ecas::cl;
@@ -94,7 +96,7 @@ void MiniEvent::wait() const {
     Shared->Done.wait(Lock.native());
 }
 
-Status MiniEvent::waitStatus() const {
+cl::Status MiniEvent::waitStatus() const {
   ECAS_CHECK(Shared != nullptr, "waiting on a null event");
   UniqueLock Lock(Shared->Mutex);
   while (Shared->Stage != CommandState::Complete)
@@ -102,7 +104,7 @@ Status MiniEvent::waitStatus() const {
   return Shared->Result;
 }
 
-Status MiniEvent::waitStatus(const CancellationToken &Cancel,
+cl::Status MiniEvent::waitStatus(const CancellationToken &Cancel,
                              double PollSec) const {
   ECAS_CHECK(Shared != nullptr, "waiting on a null event");
   if (PollSec <= 0.0)
@@ -123,7 +125,7 @@ CommandState MiniEvent::state() const {
   return Shared->Stage;
 }
 
-Status MiniEvent::status() const {
+cl::Status MiniEvent::status() const {
   ECAS_CHECK(Shared != nullptr, "querying a null event");
   LockGuard Lock(Shared->Mutex);
   return Shared->Result;
@@ -171,6 +173,9 @@ struct CommandQueue::Command {
   RangeBody Body;
   uint64_t Begin = 0;
   uint64_t End = 0;
+  /// QUEUED timestamp, duplicated from the event so the worker can
+  /// publish the lifecycle spans without re-taking the event lock.
+  double QueuedAt = 0.0;
   std::shared_ptr<MiniEvent::State> Event;
 };
 
@@ -223,6 +228,7 @@ MiniEvent CommandQueue::enqueue(const MiniKernel &Kernel, uint64_t Begin,
   Cmd->Body = Kernel.body();
   Cmd->Begin = Begin;
   Cmd->End = End;
+  Cmd->QueuedAt = Now;
   Cmd->Event = Event.Shared;
   {
     LockGuard Lock(Mutex);
@@ -295,13 +301,16 @@ void CommandQueue::workerLoop() {
       Hook = FaultHook;
     }
 
-    Cmd->Event->advance(CommandState::Submitted, hostSeconds());
+    double SubmitAt = hostSeconds();
+    Cmd->Event->advance(CommandState::Submitted, SubmitAt);
     Status Verdict = Hook ? Hook() : Status::Success;
+    double StartAt = 0.0;
     if (Verdict == Status::Success) {
       if (DispatchLatencySec > 0.0)
         std::this_thread::sleep_for(
             std::chrono::duration<double>(DispatchLatencySec));
-      Cmd->Event->advance(CommandState::Running, hostSeconds());
+      StartAt = hostSeconds();
+      Cmd->Event->advance(CommandState::Running, StartAt);
       Dispatch(Cmd->Body, Cmd->Begin, Cmd->End);
     } else {
       // The device refused the command: complete the event with the
@@ -317,7 +326,31 @@ void CommandQueue::workerLoop() {
       else
         ++Failed;
     }
-    Cmd->Event->advance(CommandState::Complete, hostSeconds());
+    double EndAt = hostSeconds();
+    Cmd->Event->advance(CommandState::Complete, EndAt);
+
+    // Publish the settled lifecycle outside every lock (the recorder's
+    // registration mutex is a leaf and must stay one).
+    if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire)) {
+      std::string Range = formatString(
+          "%s [%llu,%llu)", DeviceName.c_str(),
+          static_cast<unsigned long long>(Cmd->Begin),
+          static_cast<unsigned long long>(Cmd->End));
+      if (Verdict == Status::Success) {
+        T->completeSpan("minicl", "queue-wait", Cmd->QueuedAt,
+                        StartAt - Cmd->QueuedAt,
+                        std::numeric_limits<double>::quiet_NaN(), Range);
+        T->completeSpan("minicl", "exec", StartAt, EndAt - StartAt,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        std::move(Range));
+        T->count("minicl.commands");
+      } else {
+        T->instant("minicl", "launch-failed",
+                   std::numeric_limits<double>::quiet_NaN(),
+                   Range + " " + statusName(Verdict));
+        T->count("minicl.launch_failures");
+      }
+    }
 
     {
       LockGuard Lock(Mutex);

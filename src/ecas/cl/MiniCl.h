@@ -24,6 +24,7 @@
 #ifndef ECAS_CL_MINICL_H
 #define ECAS_CL_MINICL_H
 
+#include "ecas/obs/Trace.h"
 #include "ecas/runtime/ParallelFor.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/ThreadAnnotations.h"
@@ -160,6 +161,17 @@ public:
   /// against a deadline. \returns the number of commands flushed.
   uint64_t cancelPending();
 
+  /// Attaches a trace recorder (nullptr detaches). The queue worker then
+  /// publishes each settled command's QUEUED/SUBMIT/START/END lifecycle
+  /// as two complete spans — "queue-wait" (QUEUED to START) and "exec"
+  /// (START to END) — plus a "minicl.commands" counter; commands the
+  /// fault hook refused emit a "launch-failed" instant instead. Events
+  /// are recorded after the command completes, outside the queue and
+  /// event mutexes.
+  void setTrace(obs::TraceRecorder *Recorder) {
+    Trace.store(Recorder, std::memory_order_release);
+  }
+
 private:
   void workerLoop();
 
@@ -180,6 +192,7 @@ private:
   uint64_t InFlight ECAS_GUARDED_BY(Mutex) = 0;
   bool ShuttingDown ECAS_GUARDED_BY(Mutex) = false;
   std::function<Status()> FaultHook ECAS_GUARDED_BY(Mutex);
+  std::atomic<obs::TraceRecorder *> Trace{nullptr};
   std::thread Worker;
 };
 
@@ -215,6 +228,14 @@ public:
   /// GPU commands rerouted to the CPU by runPartitioned().
   uint64_t gpuFallbacks() const {
     return GpuFallbacks.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches \p Recorder to both queues and the thread pool in one
+  /// call (nullptr detaches everywhere).
+  void setTrace(obs::TraceRecorder *Recorder) {
+    Pool.setTrace(Recorder);
+    Cpu->setTrace(Recorder);
+    Gpu->setTrace(Recorder);
   }
 
 private:

@@ -20,6 +20,8 @@ AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
   ECAS_CHECK(Config.Step > 0.0 && Config.Step <= 1.0,
              "alpha step must lie in (0, 1]");
 
+  if (Config.GridOut)
+    Config.GridOut->clear();
   auto ObjectiveAt = [&](double Alpha) {
     double Seconds = Model.totalTime(Iterations, Alpha);
     double Watts = Curve.powerAt(Alpha);
@@ -27,7 +29,10 @@ AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
     // A degenerate model point (dead device, overflowed product) must
     // lose to every well-defined grid cell, and a NaN would poison the
     // min-comparison chain below; map both to a huge finite penalty.
-    return std::isfinite(Value) ? Value : 1e300;
+    Value = std::isfinite(Value) ? Value : 1e300;
+    if (Config.GridOut)
+      Config.GridOut->emplace_back(Alpha, Value);
+    return Value;
   };
 
   MinResult Min =

@@ -19,6 +19,9 @@
 #include "ecas/core/TimeModel.h"
 #include "ecas/power/PowerCurve.h"
 
+#include <utility>
+#include <vector>
+
 namespace ecas {
 
 /// Search configuration.
@@ -29,6 +32,11 @@ struct AlphaSearchConfig {
   /// search (an extension over the paper's plain grid).
   bool Refine = false;
   double RefineTolerance = 1e-3;
+  /// When non-null, receives every (alpha, objective) point the search
+  /// evaluated, in evaluation order. The observability layer attaches
+  /// this grid to the alpha-search trace event; the search itself never
+  /// reads it back.
+  std::vector<std::pair<double, double>> *GridOut = nullptr;
 };
 
 /// The chosen ratio and its predicted consequences.

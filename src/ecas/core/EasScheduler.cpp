@@ -10,6 +10,7 @@
 #include "ecas/core/Schedulers.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
 
 #include <algorithm>
 #include <chrono>
@@ -17,16 +18,49 @@
 
 using namespace ecas;
 
+Status EasConfig::validate() const {
+  auto Invalid = [](std::string Message) {
+    return Status::error(ErrCode::InvalidArgument, std::move(Message));
+  };
+  if (!(AlphaStep > 0.0 && AlphaStep <= 1.0))
+    return Invalid(formatString("alpha step %g outside (0, 1]", AlphaStep));
+  if (!(ProfileFraction > 0.0 && ProfileFraction <= 1.0))
+    return Invalid(
+        formatString("profile fraction %g outside (0, 1]", ProfileFraction));
+  if (MinProfileIters < 0.0)
+    return Invalid(formatString("negative minimum profile iterations %g",
+                                MinProfileIters));
+  if (GpuProfileSize < 0.0)
+    return Invalid(
+        formatString("negative GPU profile size %g", GpuProfileSize));
+  if (Health.MaxLaunchRetries == 0)
+    return Invalid("zero-capacity launch-retry budget");
+  if (!(Health.WatchdogPollSec > 0.0))
+    return Invalid(formatString("non-positive watchdog poll interval %g",
+                                Health.WatchdogPollSec));
+  if (!(Health.InitialQuarantineSec > 0.0))
+    return Invalid(formatString("non-positive quarantine backoff %g",
+                                Health.InitialQuarantineSec));
+  if (Health.QuarantineBackoffMultiplier < 1.0)
+    return Invalid(formatString("shrinking quarantine backoff multiplier %g",
+                                Health.QuarantineBackoffMultiplier));
+  if (Health.RetryBackoffMultiplier < 1.0)
+    return Invalid(formatString("shrinking retry backoff multiplier %g",
+                                Health.RetryBackoffMultiplier));
+  return Status::success();
+}
+
 EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
                            EasConfig ConfigIn)
     : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
       Config(std::move(ConfigIn)), Monitor(Config.Health) {
   ECAS_CHECK(Curves.complete(),
              "EAS requires a complete 8-category power characterization");
-  ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
-             "alpha step must lie in (0, 1]");
-  ECAS_CHECK(Config.ProfileFraction > 0.0 && Config.ProfileFraction <= 1.0,
-             "profile fraction must lie in (0, 1]");
+  // Misconfiguration is a usage error, not an environment failure:
+  // callers with untrusted configs validate() first.
+  if (Status Valid = Config.validate(); !Valid.ok())
+    reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
+  Monitor.setTrace(Config.Trace);
   if (!Config.HistoryFile.empty()) {
     ErrorOr<size_t> Restored = loadKernelHistory(History, Config.HistoryFile);
     if (Restored)
@@ -68,6 +102,7 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
   // Phase 1: drain. New invocations already bounce off the admission
   // gate; give the in-flight ones the grace period to finish cleanly.
   {
+    obs::ScopedSpan DrainSpan(Config.Trace, "eas", "drain");
     UniqueLock Lock(LifecycleMutex);
     bool Clean = Drained.wait_for(
         Lock.native(),
@@ -86,8 +121,12 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
 
   // Phase 3: persist table G.
   Status S = Status::success();
-  if (!Config.HistoryFile.empty())
+  if (!Config.HistoryFile.empty()) {
+    obs::ScopedSpan SnapshotSpan(Config.Trace, "eas", "snapshot");
     S = saveKernelHistory(History, Config.HistoryFile);
+    if (Config.Trace)
+      SnapshotSpan.setEndDetail(S.toString());
+  }
 
   {
     LockGuard Lock(LifecycleMutex);
@@ -108,6 +147,10 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   InFlight.fetch_add(1, std::memory_order_acq_rel);
   if (!Admitting.load(std::memory_order_acquire)) {
     endInvocation();
+    if (Config.Trace) {
+      Config.Trace->instant("eas", "rejected", Proc.now());
+      Config.Trace->count("eas.rejected");
+    }
     InvocationOutcome Outcome;
     Outcome.Rejected = true;
     return Outcome;
@@ -124,6 +167,10 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
   InFlight.fetch_add(1, std::memory_order_acq_rel);
   if (!Admitting.load(std::memory_order_acquire)) {
     endInvocation();
+    if (Config.Trace) {
+      Config.Trace->instant("eas", "rejected", Proc.now());
+      Config.Trace->count("eas.rejected");
+    }
     InvocationOutcome Outcome;
     Outcome.Rejected = true;
     return Outcome;
@@ -142,18 +189,41 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   InvocationOutcome Outcome;
   double Start = Proc.now();
 
+  // The whole invocation is one span on the virtual-clock track. All
+  // recording below is observation-only: with T == nullptr every helper
+  // no-ops, and with a recorder attached the scheduling decisions are
+  // bit-identical (ObsTest's null-sink regression).
+  obs::TraceRecorder *T = Config.Trace;
+  obs::ScopedSpan Invocation(
+      T, "eas", "invocation",
+      T ? std::function<double()>([&Proc] { return Proc.now(); })
+        : std::function<double()>(),
+      T ? formatString("kernel=%llu n=%.0f",
+                       static_cast<unsigned long long>(Kernel.Id), Iterations)
+        : std::string());
+  if (T)
+    T->count("eas.invocations");
+
   // Cancellation point 1: invocation entry.
   if (stopRequested(Proc.now(), Cancel)) {
     Outcome.Cancelled = true;
+    if (T) {
+      T->instant("eas", "cancelled", Proc.now(), "at-entry");
+      T->count("eas.cancelled");
+    }
     return Outcome;
   }
 
   // Section 5: when the GPU is busy with another client (performance
   // counter A26 on the paper's machines), run entirely on the CPU.
   if (externalGpuBusy()) {
+    if (T)
+      T->instant("eas", "external-gpu-busy", Proc.now());
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    if (T)
+      T->count("eas.cpu_only");
     return Outcome;
   }
 
@@ -162,6 +232,11 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   // ends an expired quarantine — the dispatch below then doubles as the
   // re-probe that can re-admit the device.
   if (!Monitor.gpuUsable(Proc.now())) {
+    obs::ScopedSpan Dispatch(
+        T, "eas", "dispatch",
+        T ? std::function<double()>([&Proc] { return Proc.now(); })
+          : std::function<double()>(),
+        "alpha=0.00 quarantined");
     runPartitionedResilient(Proc, Monitor, Kernel, Iterations,
                             /*Alpha=*/0.0);
     History.bumpQuarantinedRuns(Kernel.Id);
@@ -169,6 +244,10 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     Outcome.GpuQuarantined = true;
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    if (T) {
+      T->count("eas.quarantined_runs");
+      T->count("eas.cpu_only");
+    }
     return Outcome;
   }
 
@@ -210,6 +289,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
       PendingReadmitReprofile.exchange(false, std::memory_order_acq_rel)) {
     Outcome.GpuReadmitted = true;
     ReprofileDue = true;
+    if (T)
+      T->instant("eas", "readmit-reprofile", Proc.now());
   }
 
   // Freshly measured samples to merge into table G at the end; the
@@ -226,17 +307,28 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     // partitioned run, one counter bump.
     Alpha = KnownRec.Alpha.value();
     Outcome.Class = KnownRec.Class;
+    if (T) {
+      T->instant("eas", "table-hit", Proc.now(),
+                 formatString("alpha=%.3f", Alpha));
+      T->count("eas.table_hits");
+    }
   } else if (Iterations < GpuProfileSize) {
     // Steps 6-10: not enough parallelism to fill the GPU — run this
     // invocation on the multicore CPU alone. The kernel is not pinned:
     // a later invocation large enough to fill the GPU still profiles
     // (graph kernels routinely open with a tiny frontier).
+    if (T)
+      T->instant("eas", "small-invocation", Proc.now(),
+                 formatString("n=%.0f below profile size %.0f", Iterations,
+                              GpuProfileSize));
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
     History.update(Kernel.Id,
                    [](KernelRecord &Rec) { Rec.CpuOnly = true; });
     History.bumpInvocations(Kernel.Id);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    if (T)
+      T->count("eas.cpu_only");
     return Outcome;
   } else {
     // Steps 11-22: repeat profiling for half of the iterations. The
@@ -247,18 +339,30 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     // on a private copy (base record + local deltas); the deltas merge
     // into the shared record once, at the end.
     Outcome.Profiled = true;
+    obs::ScopedSpan Profile(
+        T, "eas", "profile",
+        T ? std::function<double()>([&Proc] { return Proc.now(); })
+          : std::function<double()>());
     OnlineProfiler Profiler(Proc, GpuProfileSize);
     Profiler.setWatchdogPollSec(Config.Health.WatchdogPollSec);
+    Profiler.setTrace(T);
+    std::vector<std::pair<double, double>> Grid;
     KernelRecord Local = KnownRec;
     double ProfileFloor = Iterations * Config.ProfileFraction;
     while (Nrem > ProfileFloor) {
       // Cancellation point 2: between profiling repetitions.
       if (stopRequested(Proc.now(), Cancel)) {
         Outcome.Cancelled = true;
+        if (T) {
+          T->instant("eas", "cancelled", Proc.now(), "mid-profile");
+          T->count("eas.cancelled");
+        }
         break;
       }
       ProfileSample Sample = Profiler.profileOnce(Kernel, Nrem);
       ++Outcome.ProfileRepetitions;
+      if (T)
+        T->count("eas.profile_reps");
       if (Sample.GpuLaunchFailed) {
         // The driver refused the profiling enqueue. Stop measuring; the
         // remainder execution below retries with backoff and degrades
@@ -292,6 +396,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
       Outcome.Class =
           Profiler.classify(Local.Sample, Nrem, Config.Thresholds);
       const PowerCurve &Curve = Curves.curveFor(Outcome.Class);
+      if (T)
+        T->instant("eas", "classify", Proc.now(), Outcome.Class.name());
 
       // Step 20: minimize OBJ over the alpha grid. Profiling may have
       // consumed every iteration (small invocations); the argmin of
@@ -302,17 +408,35 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
       AlphaSearchConfig Search;
       Search.Step = Config.AlphaStep;
       Search.Refine = Config.RefineAlpha;
-      Alpha = chooseAlpha(Model, Curve, Objective, std::max(Nrem, 1.0),
-                          Search)
-                  .Alpha;
+      if (T)
+        Search.GridOut = &Grid;
+      AlphaChoice Choice = chooseAlpha(Model, Curve, Objective,
+                                       std::max(Nrem, 1.0), Search);
+      Alpha = Choice.Alpha;
+      ++Outcome.AlphaSearches;
+      if (T) {
+        std::string Detail = formatString(
+            "alpha=%.3f obj=%.6g evals=%u grid=", Choice.Alpha,
+            Choice.PredictedMetric, Choice.Evaluations);
+        for (size_t I = 0; I != Grid.size(); ++I)
+          Detail += formatString(I ? ",%.2f:%.4g" : "%.2f:%.4g",
+                                 Grid[I].first, Grid[I].second);
+        T->instant("eas", "alpha-search", Proc.now(), std::move(Detail));
+        T->count("eas.alpha_searches");
+      }
     }
   }
 
   // Cancellation point 3: before the remainder execution. A cancelled
   // invocation keeps its completed measurements (merged below) but runs
   // nothing further.
-  if (!Outcome.Cancelled && stopRequested(Proc.now(), Cancel))
+  if (!Outcome.Cancelled && stopRequested(Proc.now(), Cancel)) {
     Outcome.Cancelled = true;
+    if (T) {
+      T->instant("eas", "cancelled", Proc.now(), "before-dispatch");
+      T->count("eas.cancelled");
+    }
+  }
 
   // Steps 23-25: execute the remainder at the chosen split, optionally
   // telling the governor what is coming (future-work extension). The
@@ -320,6 +444,11 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   // quarantine-stranding; on a healthy platform it is exactly
   // runPartitioned.
   if (Nrem > 0.0 && !Outcome.Cancelled) {
+    obs::ScopedSpan Dispatch(
+        T, "eas", "dispatch",
+        T ? std::function<double()>([&Proc] { return Proc.now(); })
+          : std::function<double()>(),
+        T ? formatString("alpha=%.3f n=%.0f", Alpha, Nrem) : std::string());
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
     PartitionOutcome Partition =
@@ -328,6 +457,12 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     Outcome.HangDetected = Outcome.HangDetected || Partition.HangDetected;
     Outcome.GpuQuarantined =
         Outcome.GpuQuarantined || Partition.QuarantineSkipped;
+    if (T && (Partition.LaunchRetries || Partition.HangDetected ||
+              Partition.QuarantineSkipped))
+      Dispatch.setEndDetail(formatString(
+          "retries=%u%s%s", Partition.LaunchRetries,
+          Partition.HangDetected ? " hang" : "",
+          Partition.QuarantineSkipped ? " quarantine-skipped" : ""));
   }
 
   // Step 26: sample-weighted accumulation across invocations. Only
@@ -362,5 +497,17 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
 
   Outcome.AlphaUsed = Alpha;
   Outcome.Seconds = Proc.now() - Start;
+  if (T) {
+    if (Outcome.LaunchRetries)
+      T->count("eas.launch_retries", Outcome.LaunchRetries);
+    if (Outcome.HangDetected)
+      T->count("eas.hangs");
+    if (Outcome.GpuReadmitted)
+      T->count("eas.readmissions");
+    Invocation.setEndDetail(formatString("alpha=%.3f seconds=%.6f%s", Alpha,
+                                         Outcome.Seconds,
+                                         Outcome.Cancelled ? " cancelled"
+                                                           : ""));
+  }
   return Outcome;
 }

@@ -31,6 +31,7 @@
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
 #include "ecas/fault/GpuHealth.h"
+#include "ecas/obs/Trace.h"
 #include "ecas/power/PowerCurve.h"
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/sim/SimProcessor.h"
@@ -84,6 +85,24 @@ struct EasConfig {
   /// reported by restoreStatus()) and shutdown()/the destructor write it
   /// back atomically, so learned alphas survive restarts.
   std::string HistoryFile;
+  /// Optional trace recorder (not owned; must outlive the scheduler).
+  /// When set, every invocation emits spans and counters through it —
+  /// admission, profiling repetitions, classification, the alpha
+  /// search (with the evaluated grid), the remainder dispatch, health
+  /// transitions, and the shutdown drain/snapshot phases. When null,
+  /// nothing is recorded and scheduling is bit-identical to a build
+  /// without the observability layer (ObsTest's regression).
+  obs::TraceRecorder *Trace = nullptr;
+
+  /// Checks every tunable for sanity: AlphaStep outside (0, 1],
+  /// non-positive ProfileFraction (or above 1), negative
+  /// MinProfileIters/GpuProfileSize, and zero-capacity Health budgets
+  /// (no launch retries, non-positive quarantine or watchdog intervals,
+  /// shrinking backoff multipliers) are all InvalidArgument. The
+  /// EasScheduler constructor calls this and treats a failure as a
+  /// fatal usage error; callers assembling configs from external input
+  /// should validate first and surface the Status instead.
+  Status validate() const;
 };
 
 /// The energy-aware scheduler. One instance owns a table G and serves
@@ -108,6 +127,9 @@ public:
     WorkloadClass Class;
     /// Profiling repetitions performed (0 when table G was hit).
     unsigned ProfileRepetitions = 0;
+    /// Alpha-grid optimizations performed (once per profiling
+    /// repetition that produced a usable sample).
+    unsigned AlphaSearches = 0;
     /// The GPU was quarantined, so this invocation degraded to
     /// CPU-alone without attempting a dispatch.
     bool GpuQuarantined = false;

@@ -7,10 +7,29 @@
 #include "ecas/core/ExecutionSession.h"
 
 #include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
 
 #include <algorithm>
 
 using namespace ecas;
+
+const char *ecas::schemeKindName(SchemeKind Kind) {
+  switch (Kind) {
+  case SchemeKind::FixedAlpha:
+    return "fixed";
+  case SchemeKind::CpuOnly:
+    return "cpu";
+  case SchemeKind::GpuOnly:
+    return "gpu";
+  case SchemeKind::Oracle:
+    return "oracle";
+  case SchemeKind::Perf:
+    return "perf";
+  case SchemeKind::Eas:
+    return "eas";
+  }
+  ECAS_UNREACHABLE("unknown SchemeKind");
+}
 
 ExecutionSession::ExecutionSession(const PlatformSpec &SpecIn)
     : Spec(SpecIn) {
@@ -18,14 +37,15 @@ ExecutionSession::ExecutionSession(const PlatformSpec &SpecIn)
   ECAS_CHECK(Spec.validate(Error), "ExecutionSession given an invalid spec");
 }
 
-SessionReport ExecutionSession::finishReport(std::string Scheme,
+SessionReport ExecutionSession::finishReport(SchemeKind Kind,
                                              const Metric &Objective,
                                              double Seconds, double Joules,
                                              double AlphaIterSum,
                                              double TotalIters,
                                              unsigned Invocations) const {
   SessionReport Report;
-  Report.Scheme = std::move(Scheme);
+  Report.Kind = Kind;
+  Report.Scheme = schemeKindName(Kind);
   Report.Seconds = Seconds;
   Report.Joules = Joules;
   Report.MetricValue =
@@ -54,9 +74,47 @@ static void attachResilience(SessionReport &Report,
   }
 }
 
+SessionReport ExecutionSession::run(SchemeKind Kind,
+                                    const RunOptions &Options) const {
+  ECAS_CHECK(Options.Trace, "run() requires RunOptions::Trace");
+  ECAS_CHECK(Kind != SchemeKind::Eas || Options.Curves,
+             "SchemeKind::Eas requires RunOptions::Curves");
+  SessionReport Report;
+  {
+    obs::ScopedSpan Session(Options.Recorder, "session", "session", {},
+                            formatString("scheme=%s", schemeKindName(Kind)));
+    switch (Kind) {
+    case SchemeKind::FixedAlpha:
+    case SchemeKind::CpuOnly:
+    case SchemeKind::GpuOnly:
+      Report = runFixedAlphaScheme(Kind, Options);
+      break;
+    case SchemeKind::Oracle:
+    case SchemeKind::Perf:
+      Report = runSweepScheme(Kind, Options);
+      break;
+    case SchemeKind::Eas:
+      Report = runEasScheme(Options);
+      break;
+    }
+    if (Options.Recorder) {
+      Session.setEndDetail(formatString(
+          "scheme=%s seconds=%.6f joules=%.3f invocations=%u",
+          schemeKindName(Kind), Report.Seconds, Report.Joules,
+          Report.Invocations));
+      Report.TraceEventCount = Options.Recorder->eventsRecorded();
+    }
+  }
+  return Report;
+}
+
 SessionReport
-ExecutionSession::runFixedAlpha(const InvocationTrace &Trace, double Alpha,
-                                const Metric &Objective) const {
+ExecutionSession::runFixedAlphaScheme(SchemeKind Kind,
+                                      const RunOptions &Options) const {
+  const double Alpha = Kind == SchemeKind::CpuOnly   ? 0.0
+                       : Kind == SchemeKind::GpuOnly ? 1.0
+                                                     : Options.Alpha;
+  const InvocationTrace &Trace = *Options.Trace;
   SimProcessor Proc(Spec);
   GpuHealthMonitor Health;
   uint32_t MsrBefore = Proc.meter().readMsr();
@@ -72,70 +130,47 @@ ExecutionSession::runFixedAlpha(const InvocationTrace &Trace, double Alpha,
   double Seconds = Proc.now() - Start;
   double Joules = Proc.meter().joulesSince(MsrBefore);
   double TotalIters = traceIterations(Trace);
-  SessionReport Report = finishReport("fixed", Objective, Seconds, Joules,
+  SessionReport Report = finishReport(Kind, Options.Objective, Seconds, Joules,
                                       AlphaIterSum, TotalIters,
                                       static_cast<unsigned>(Trace.size()));
   attachResilience(Report, Health, Proc, Quarantined);
   return Report;
 }
 
-SessionReport ExecutionSession::runCpuOnly(const InvocationTrace &Trace,
-                                           const Metric &Objective) const {
-  SessionReport Report = runFixedAlpha(Trace, 0.0, Objective);
-  Report.Scheme = "cpu";
-  return Report;
-}
-
-SessionReport ExecutionSession::runGpuOnly(const InvocationTrace &Trace,
-                                           const Metric &Objective) const {
-  SessionReport Report = runFixedAlpha(Trace, 1.0, Objective);
-  Report.Scheme = "gpu";
-  return Report;
-}
-
-SessionReport ExecutionSession::runOracle(const InvocationTrace &Trace,
-                                          const Metric &Objective,
-                                          double Step) const {
-  ECAS_CHECK(Step > 0.0 && Step <= 1.0, "oracle step must lie in (0, 1]");
+SessionReport ExecutionSession::runSweepScheme(SchemeKind Kind,
+                                               const RunOptions &Options) const {
+  ECAS_CHECK(Options.Step > 0.0 && Options.Step <= 1.0,
+             "sweep step must lie in (0, 1]");
+  const bool ByTime = Kind == SchemeKind::Perf;
+  RunOptions Point = Options;
   SessionReport Best;
   bool HaveBest = false;
-  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Step) {
+  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Options.Step) {
+    Point.Alpha = std::min(Alpha, 1.0);
     SessionReport Candidate =
-        runFixedAlpha(Trace, std::min(Alpha, 1.0), Objective);
-    if (!HaveBest || Candidate.MetricValue < Best.MetricValue) {
+        runFixedAlphaScheme(SchemeKind::FixedAlpha, Point);
+    bool Better = ByTime ? Candidate.Seconds < Best.Seconds
+                         : Candidate.MetricValue < Best.MetricValue;
+    if (!HaveBest || Better) {
       Best = Candidate;
       HaveBest = true;
     }
   }
-  Best.Scheme = "oracle";
+  Best.Kind = Kind;
+  Best.Scheme = schemeKindName(Kind);
   return Best;
 }
 
-SessionReport ExecutionSession::runPerf(const InvocationTrace &Trace,
-                                        const Metric &Objective,
-                                        double Step) const {
-  ECAS_CHECK(Step > 0.0 && Step <= 1.0, "perf step must lie in (0, 1]");
-  SessionReport Best;
-  bool HaveBest = false;
-  for (double Alpha = 0.0; Alpha <= 1.0 + 1e-9; Alpha += Step) {
-    SessionReport Candidate =
-        runFixedAlpha(Trace, std::min(Alpha, 1.0), Objective);
-    if (!HaveBest || Candidate.Seconds < Best.Seconds) {
-      Best = Candidate;
-      HaveBest = true;
-    }
-  }
-  Best.Scheme = "perf";
-  return Best;
-}
-
-SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
-                                       const PowerCurveSet &Curves,
-                                       const Metric &Objective,
-                                       const EasConfig &Config,
-                                       const CancellationToken *Cancel) const {
+SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
+  const InvocationTrace &Trace = *Options.Trace;
+  const CancellationToken *Cancel = Options.Cancel;
+  // The recorder rides into the scheduler through its config — unless
+  // the caller already wired one there explicitly.
+  EasConfig Config = Options.Eas;
+  if (Options.Recorder && !Config.Trace)
+    Config.Trace = Options.Recorder;
   SimProcessor Proc(Spec);
-  EasScheduler Scheduler(Curves, Objective, Config);
+  EasScheduler Scheduler(*Options.Curves, Options.Objective, Config);
   uint32_t MsrBefore = Proc.meter().readMsr();
   double Start = Proc.now();
   double AlphaIterSum = 0.0;
@@ -143,6 +178,9 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
   bool Classified = false;
   unsigned Quarantined = 0;
   unsigned Completed = 0;
+  unsigned ProfileReps = 0;
+  unsigned AlphaSearches = 0;
+  unsigned CpuOnlyFastPaths = 0;
   bool Cancelled = false;
   for (const KernelInvocation &Invocation : Trace) {
     // Deadlines are judged against the virtual clock the run advances.
@@ -155,6 +193,12 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
                                    Invocation.Iterations, *Cancel)
                : Scheduler.execute(Proc, Invocation.Kernel,
                                    Invocation.Iterations);
+    // Tally the work counters before judging cancellation so they agree
+    // with the trace counters (a cancelled invocation may still have
+    // profiled before the token fired).
+    ProfileReps += Outcome.ProfileRepetitions;
+    AlphaSearches += Outcome.AlphaSearches;
+    CpuOnlyFastPaths += Outcome.CpuOnlyFastPath ? 1 : 0;
     if (Outcome.Cancelled || Outcome.Rejected) {
       Cancelled = true;
       break;
@@ -169,12 +213,75 @@ SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
   }
   double Seconds = Proc.now() - Start;
   double Joules = Proc.meter().joulesSince(MsrBefore);
-  SessionReport Report = finishReport("eas", Objective, Seconds, Joules,
-                                      AlphaIterSum, traceIterations(Trace),
-                                      Completed);
+  SessionReport Report = finishReport(SchemeKind::Eas, Options.Objective,
+                                      Seconds, Joules, AlphaIterSum,
+                                      traceIterations(Trace), Completed);
   Report.ClassifiedAs = LastClass;
   Report.WasClassified = Classified;
   Report.Cancelled = Cancelled;
+  Report.ProfileRepetitions = ProfileReps;
+  Report.AlphaSearches = AlphaSearches;
+  Report.CpuOnlyFastPaths = CpuOnlyFastPaths;
   attachResilience(Report, Scheduler.health(), Proc, Quarantined);
   return Report;
+}
+
+SessionReport
+ExecutionSession::runFixedAlpha(const InvocationTrace &Trace, double Alpha,
+                                const Metric &Objective) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Objective = Objective;
+  Options.Alpha = Alpha;
+  return run(SchemeKind::FixedAlpha, Options);
+}
+
+SessionReport ExecutionSession::runCpuOnly(const InvocationTrace &Trace,
+                                           const Metric &Objective) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Objective = Objective;
+  return run(SchemeKind::CpuOnly, Options);
+}
+
+SessionReport ExecutionSession::runGpuOnly(const InvocationTrace &Trace,
+                                           const Metric &Objective) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Objective = Objective;
+  return run(SchemeKind::GpuOnly, Options);
+}
+
+SessionReport ExecutionSession::runOracle(const InvocationTrace &Trace,
+                                          const Metric &Objective,
+                                          double Step) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Objective = Objective;
+  Options.Step = Step;
+  return run(SchemeKind::Oracle, Options);
+}
+
+SessionReport ExecutionSession::runPerf(const InvocationTrace &Trace,
+                                        const Metric &Objective,
+                                        double Step) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Objective = Objective;
+  Options.Step = Step;
+  return run(SchemeKind::Perf, Options);
+}
+
+SessionReport ExecutionSession::runEas(const InvocationTrace &Trace,
+                                       const PowerCurveSet &Curves,
+                                       const Metric &Objective,
+                                       const EasConfig &Config,
+                                       const CancellationToken *Cancel) const {
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Curves = &Curves;
+  Options.Objective = Objective;
+  Options.Eas = Config;
+  Options.Cancel = Cancel;
+  return run(SchemeKind::Eas, Options);
 }

@@ -5,18 +5,40 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The library's front door. An ExecutionSession binds a platform,
+/// The library's front door. An ExecutionSession binds a platform and
 /// executes invocation traces under every comparison scheme of Section 5
-/// — CPU-alone, GPU-alone, the exhaustive Oracle, best-performance PERF,
-/// and EAS — and reports time, energy, and the chosen metric for each.
+/// — CPU-alone, GPU-alone, a fixed ratio, the exhaustive Oracle,
+/// best-performance PERF, and EAS — reporting time, energy, and the
+/// chosen metric for each.
+///
+/// The primary entry point is the unified run() API: pick a SchemeKind
+/// and bundle everything else — the invocation trace, the power curves,
+/// the objective metric, the fixed alpha or sweep step, the EasConfig,
+/// a cancellation token, and an observability recorder — into one
+/// RunOptions:
 ///
 /// \code
 ///   ecas::PlatformSpec Spec = ecas::haswellDesktop();
-///   ecas::Characterizer Probe(Spec);
-///   ecas::PowerCurveSet Curves = Probe.characterize(); // once per SKU
+///   ecas::PowerCurveSet Curves = ecas::Characterizer(Spec).characterize();
 ///   ecas::ExecutionSession Session(Spec);
-///   auto Report = Session.runEas(Trace, Curves, ecas::Metric::edp());
+///
+///   ecas::RunOptions Options;
+///   Options.Trace = &Trace;                  // the invocation sequence
+///   Options.Curves = &Curves;                // required for Eas/alpha search
+///   Options.Objective = ecas::Metric::edp();
+///   ecas::obs::TraceRecorder Recorder;       // optional observability
+///   Options.Recorder = &Recorder;
+///   ecas::SessionReport Report = Session.run(ecas::SchemeKind::Eas, Options);
+///
+///   ecas::obs::ChromeTraceSink Sink("run.trace.json");
+///   Recorder.drainTo(Sink);                  // open in Perfetto
 /// \endcode
+///
+/// The legacy per-scheme methods (runEas, runFixedAlpha, ...) remain as
+/// one-line wrappers over run() and behave exactly as before. Attaching
+/// a Recorder never changes scheduling decisions: with
+/// Options.Recorder == nullptr the run is bit-identical to the
+/// pre-observability library (enforced by ObsTest).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +48,58 @@
 #include "ecas/core/EasScheduler.h"
 #include "ecas/core/Schedulers.h"
 #include "ecas/hw/PlatformSpec.h"
+#include "ecas/obs/Trace.h"
 
 namespace ecas {
+
+/// The comparison schemes of Section 5.
+enum class SchemeKind {
+  /// One fixed offload ratio (RunOptions::Alpha) for the whole trace.
+  FixedAlpha,
+  /// CPU-alone (TBB-style multicore baseline); alpha pinned to 0.
+  CpuOnly,
+  /// GPU-alone (vendor-OpenCL-style baseline); alpha pinned to 1.
+  GpuOnly,
+  /// Exhaustive sweep over fixed ratios, best by the objective metric.
+  Oracle,
+  /// Exhaustive sweep, best by execution time, reported under the
+  /// objective metric.
+  Perf,
+  /// The energy-aware scheduler of Fig. 7.
+  Eas,
+};
+
+/// Stable lowercase name ("fixed", "cpu", "gpu", "oracle", "perf",
+/// "eas") — the value SessionReport::Scheme carries for CSV and bench
+/// compatibility.
+const char *schemeKindName(SchemeKind Kind);
+
+/// Everything one run() needs besides the scheme. Pointer members are
+/// borrowed, never owned, and must outlive the call.
+struct RunOptions {
+  /// The invocation sequence to execute (required).
+  const InvocationTrace *Trace = nullptr;
+  /// Power characterization; required for SchemeKind::Eas, ignored by
+  /// the fixed-ratio schemes.
+  const PowerCurveSet *Curves = nullptr;
+  /// The metric every scheme optimizes and reports.
+  Metric Objective = Metric::edp();
+  /// Fixed offload ratio for SchemeKind::FixedAlpha.
+  double Alpha = 0.0;
+  /// Sweep increment for Oracle/Perf.
+  double Step = 0.1;
+  /// Tunables for SchemeKind::Eas.
+  EasConfig Eas;
+  /// Optional deadline/cancellation token (Eas only): checked between
+  /// invocations and at the scheduler's cooperative points; a fired
+  /// token ends the run early with Report.Cancelled set.
+  const CancellationToken *Cancel = nullptr;
+  /// Optional observability recorder. When set, the run emits a
+  /// "session" span, wires the recorder through the EAS scheduler
+  /// (unless Eas.Trace is already set), and fills the report's
+  /// TraceEventCount. Never changes scheduling.
+  obs::TraceRecorder *Recorder = nullptr;
+};
 
 /// What the degradation machinery did during one run (all zeros on a
 /// healthy platform).
@@ -49,6 +121,10 @@ struct ResilienceSummary {
 
 /// Outcome of running one trace under one scheme.
 struct SessionReport {
+  /// Which scheme produced this report.
+  SchemeKind Kind = SchemeKind::FixedAlpha;
+  /// schemeKindName(Kind), kept as a field so CSV emitters and the
+  /// bench harness keep working unchanged.
   std::string Scheme;
   double Seconds = 0.0;
   double Joules = 0.0;
@@ -70,6 +146,23 @@ struct SessionReport {
   /// invocations that ran (Invocations counts completed ones).
   bool Cancelled = false;
 
+  //===--------------------------------------------------------------===//
+  // Aggregate observability counters (EAS runs; zero elsewhere). Each
+  // mirrors a trace counter so a drained TraceLog can be cross-checked
+  // against the report: eas.profile_reps, eas.alpha_searches,
+  // eas.cpu_only.
+  //===--------------------------------------------------------------===//
+  /// Total online-profiling repetitions across the run.
+  unsigned ProfileRepetitions = 0;
+  /// Total alpha-grid optimizations performed.
+  unsigned AlphaSearches = 0;
+  /// Invocations that took a CPU-only fast path (small N, external GPU
+  /// owner, or quarantine).
+  unsigned CpuOnlyFastPaths = 0;
+  /// Events the attached recorder had captured when the run finished
+  /// (0 without a recorder).
+  uint64_t TraceEventCount = 0;
+
   double averageWatts() const { return Seconds > 0.0 ? Joules / Seconds : 0.0; }
 };
 
@@ -81,6 +174,10 @@ public:
   explicit ExecutionSession(const PlatformSpec &Spec);
 
   const PlatformSpec &spec() const { return Spec; }
+
+  /// Runs \p Options.Trace under \p Kind. See the file comment for the
+  /// full contract; the per-scheme methods below are wrappers over this.
+  SessionReport run(SchemeKind Kind, const RunOptions &Options) const;
 
   /// Runs the whole trace at one fixed offload ratio.
   SessionReport runFixedAlpha(const InvocationTrace &Trace, double Alpha,
@@ -116,7 +213,12 @@ public:
                        const CancellationToken *Cancel = nullptr) const;
 
 private:
-  SessionReport finishReport(std::string Scheme, const Metric &Objective,
+  SessionReport runFixedAlphaScheme(SchemeKind Kind,
+                                    const RunOptions &Options) const;
+  SessionReport runSweepScheme(SchemeKind Kind,
+                               const RunOptions &Options) const;
+  SessionReport runEasScheme(const RunOptions &Options) const;
+  SessionReport finishReport(SchemeKind Kind, const Metric &Objective,
                              double Seconds, double Joules,
                              double AlphaIterSum, double TotalIters,
                              unsigned Invocations) const;

@@ -34,19 +34,28 @@ GpuHealthMonitor::GpuHealthMonitor(GpuHealthConfig ConfigIn)
 }
 
 bool GpuHealthMonitor::gpuUsable(double NowSec) {
-  LockGuard Lock(Mutex);
-  switch (State) {
-  case GpuHealthState::Healthy:
-  case GpuHealthState::Probing:
-    return true;
-  case GpuHealthState::Quarantined:
-    if (NowSec < QuarantinedUntil)
-      return false;
-    State = GpuHealthState::Probing;
-    ++Counters.ProbesAttempted;
-    return true;
-  }
-  ECAS_UNREACHABLE("unknown health state");
+  bool Probing = false;
+  bool Usable = [&] {
+    LockGuard Lock(Mutex);
+    switch (State) {
+    case GpuHealthState::Healthy:
+    case GpuHealthState::Probing:
+      return true;
+    case GpuHealthState::Quarantined:
+      if (NowSec < QuarantinedUntil)
+        return false;
+      State = GpuHealthState::Probing;
+      ++Counters.ProbesAttempted;
+      Probing = true;
+      return true;
+    }
+    ECAS_UNREACHABLE("unknown health state");
+  }();
+  // Leaf-lock discipline: trace events only after the mutex is released.
+  if (Probing)
+    if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
+      T->instant("health", "probe", NowSec);
+  return Usable;
 }
 
 void GpuHealthMonitor::quarantine(double NowSec) {
@@ -59,30 +68,51 @@ void GpuHealthMonitor::quarantine(double NowSec) {
 }
 
 void GpuHealthMonitor::noteLaunchFailure(double NowSec) {
-  LockGuard Lock(Mutex);
-  Pristine = false;
-  ++Counters.LaunchFailures;
+  {
+    LockGuard Lock(Mutex);
+    Pristine = false;
+    ++Counters.LaunchFailures;
+  }
+  if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
+    T->instant("health", "launch-retry", NowSec);
 }
 
 void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
-  LockGuard Lock(Mutex);
-  Pristine = false;
-  ++Counters.LaunchesAbandoned;
-  quarantine(NowSec);
+  {
+    LockGuard Lock(Mutex);
+    Pristine = false;
+    ++Counters.LaunchesAbandoned;
+    quarantine(NowSec);
+  }
+  if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
+    T->instant("health", "quarantine", NowSec, "launch-abandoned");
 }
 
 void GpuHealthMonitor::noteHang(double NowSec) {
-  LockGuard Lock(Mutex);
-  Pristine = false;
-  ++Counters.HangsDetected;
-  quarantine(NowSec);
+  {
+    LockGuard Lock(Mutex);
+    Pristine = false;
+    ++Counters.HangsDetected;
+    quarantine(NowSec);
+  }
+  if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire)) {
+    T->instant("health", "hang", NowSec);
+    T->instant("health", "quarantine", NowSec, "hang");
+  }
 }
 
 void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
-  LockGuard Lock(Mutex);
-  if (State == GpuHealthState::Probing) {
-    ++Counters.Recoveries;
-    CurrentQuarantineSec = Config.InitialQuarantineSec;
+  bool Recovered = false;
+  {
+    LockGuard Lock(Mutex);
+    if (State == GpuHealthState::Probing) {
+      ++Counters.Recoveries;
+      CurrentQuarantineSec = Config.InitialQuarantineSec;
+      Recovered = true;
+    }
+    State = GpuHealthState::Healthy;
   }
-  State = GpuHealthState::Healthy;
+  if (Recovered)
+    if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
+      T->instant("health", "recovery", NowSec);
 }

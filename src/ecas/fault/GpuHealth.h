@@ -25,7 +25,10 @@
 #ifndef ECAS_FAULT_GPUHEALTH_H
 #define ECAS_FAULT_GPUHEALTH_H
 
+#include "ecas/obs/Trace.h"
 #include "ecas/support/ThreadAnnotations.h"
+
+#include <atomic>
 
 namespace ecas {
 
@@ -118,6 +121,16 @@ public:
     return QuarantinedUntil;
   }
 
+  /// Attaches (or detaches, with nullptr) a trace recorder. State
+  /// transitions then emit "health" instants — quarantine, probe,
+  /// recovery, hang — stamped with the observation's virtual time.
+  /// Events are always emitted after the monitor's mutex is released:
+  /// this mutex is a documented leaf, so no other lock (the recorder's
+  /// registry included) may be acquired under it.
+  void setTrace(obs::TraceRecorder *Recorder) {
+    Trace.store(Recorder, std::memory_order_release);
+  }
+
 private:
   void quarantine(double NowSec) ECAS_REQUIRES(Mutex);
 
@@ -130,6 +143,9 @@ private:
   bool Pristine ECAS_GUARDED_BY(Mutex) = true;
   double QuarantinedUntil ECAS_GUARDED_BY(Mutex) = 0.0;
   double CurrentQuarantineSec ECAS_GUARDED_BY(Mutex);
+  /// Not guarded: read/written with its own acquire/release ordering so
+  /// transition events can be emitted outside the leaf mutex.
+  std::atomic<obs::TraceRecorder *> Trace{nullptr};
 };
 
 } // namespace ecas

@@ -1,0 +1,110 @@
+//===-- ecas/obs/Sinks.cpp - CSV and summary trace sinks ------------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/obs/Sinks.h"
+
+#include "ecas/support/Format.h"
+
+#include <map>
+
+using namespace ecas;
+using namespace ecas::obs;
+
+Status NullSink::consume(const TraceLog &Log) {
+  Consumed += Log.Events.size();
+  return Status::success();
+}
+
+CsvTraceSink::CsvTraceSink(std::string PathIn) : Path(std::move(PathIn)) {}
+
+Status CsvTraceSink::consume(const TraceLog &Log) {
+  Table = CsvTable();
+  Table.setHeader({"kind", "category", "name", "host_sec", "virtual_sec",
+                   "value", "thread", "detail"});
+  for (const TraceEvent &E : Log.Events)
+    Table.addRow({eventKindName(E.Kind), E.Category, E.Name,
+                  formatString("%.9f", E.HostSeconds - Log.EpochHostSeconds),
+                  E.hasVirtualTime() ? formatString("%.9f", E.VirtualSeconds)
+                                     : std::string(),
+                  formatString("%.6g", E.Value),
+                  formatString("%u", E.ThreadId), E.Detail});
+  for (const CounterTotal &C : Log.Counters)
+    Table.addRow({"counter-total", "counter", C.Name, "", "",
+                  formatString("%.6g", C.Total),
+                  formatString("%llu",
+                               static_cast<unsigned long long>(C.Samples)),
+                  ""});
+  if (Path.empty())
+    return Status::success();
+  if (!Table.writeFile(Path))
+    return Status::error(ErrCode::IoError, "cannot write trace CSV " + Path);
+  return Status::success();
+}
+
+Status SummarySink::consume(const TraceLog &Log) {
+  // Pair begin/end per (thread, name) by nesting order to charge each
+  // span its host-clock duration; SpanComplete events carry theirs.
+  struct SpanStats {
+    uint64_t Count = 0;
+    double TotalSeconds = 0.0;
+  };
+  std::map<std::string, SpanStats> Spans;
+  std::map<std::string, uint64_t> Instants;
+  std::map<std::pair<uint32_t, std::string>, std::vector<double>> Open;
+  for (const TraceEvent &E : Log.Events) {
+    switch (E.Kind) {
+    case EventKind::SpanBegin:
+      Open[{E.ThreadId, E.Name}].push_back(E.HostSeconds);
+      break;
+    case EventKind::SpanEnd: {
+      auto &Stack = Open[{E.ThreadId, E.Name}];
+      SpanStats &S = Spans[E.Name];
+      ++S.Count;
+      if (!Stack.empty()) {
+        S.TotalSeconds += E.HostSeconds - Stack.back();
+        Stack.pop_back();
+      }
+      break;
+    }
+    case EventKind::SpanComplete: {
+      SpanStats &S = Spans[E.Name];
+      ++S.Count;
+      S.TotalSeconds += E.Value;
+      break;
+    }
+    case EventKind::Instant:
+      ++Instants[E.Name];
+      break;
+    case EventKind::Counter:
+      break;
+    }
+  }
+
+  std::string Out;
+  Out += formatString("trace summary: %zu events\n", Log.Events.size());
+  if (!Spans.empty()) {
+    Out += "  spans:\n";
+    for (const auto &[Name, S] : Spans)
+      Out += formatString("    %-24s x%-8llu %s\n", Name.c_str(),
+                          static_cast<unsigned long long>(S.Count),
+                          formatDuration(S.TotalSeconds).c_str());
+  }
+  if (!Instants.empty()) {
+    Out += "  instants:\n";
+    for (const auto &[Name, N] : Instants)
+      Out += formatString("    %-24s x%llu\n", Name.c_str(),
+                          static_cast<unsigned long long>(N));
+  }
+  if (!Log.Counters.empty()) {
+    Out += "  counters:\n";
+    for (const CounterTotal &C : Log.Counters)
+      Out += formatString("    %-24s %.6g (%llu samples)\n", C.Name.c_str(),
+                          C.Total,
+                          static_cast<unsigned long long>(C.Samples));
+  }
+  Text = std::move(Out);
+  return Status::success();
+}

@@ -1,0 +1,71 @@
+//===-- ecas/obs/Sinks.h - CSV and summary trace sinks ---------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The render half of the observability layer (the Chrome trace-event
+/// exporter lives in obs/ChromeTrace.h): a CSV exporter built on
+/// support/Csv for spreadsheet-side analysis, a human-readable summary
+/// (per-span tallies plus counter totals) for terminals, and the
+/// explicit NullSink that discards everything — the do-nothing
+/// TraceSink used where an API wants a sink object rather than a null
+/// recorder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_OBS_SINKS_H
+#define ECAS_OBS_SINKS_H
+
+#include "ecas/obs/Trace.h"
+#include "ecas/support/Csv.h"
+
+namespace ecas::obs {
+
+/// Discards the log. Exists so "no observability" is expressible as a
+/// sink, not only as a null recorder.
+class NullSink : public TraceSink {
+public:
+  Status consume(const TraceLog &Log) override;
+  uint64_t consumed() const { return Consumed; }
+
+private:
+  uint64_t Consumed = 0;
+};
+
+/// Renders every event as one CSV row
+/// (kind,category,name,host_sec,virtual_sec,value,thread,detail) with a
+/// trailing counter-total section, reusing support/Csv's quoting.
+class CsvTraceSink : public TraceSink {
+public:
+  /// \p Path may be empty: the table is then only kept in memory
+  /// (render() / table()).
+  explicit CsvTraceSink(std::string Path = {});
+
+  Status consume(const TraceLog &Log) override;
+
+  const CsvTable &table() const { return Table; }
+  std::string render() const { return Table.render(); }
+
+private:
+  std::string Path;
+  CsvTable Table;
+};
+
+/// Per-span-name durations (count, total host seconds), instant tallies,
+/// and counter totals as a fixed-width text table.
+class SummarySink : public TraceSink {
+public:
+  Status consume(const TraceLog &Log) override;
+
+  /// The rendered report ("" before consume()).
+  const std::string &text() const { return Text; }
+
+private:
+  std::string Text;
+};
+
+} // namespace ecas::obs
+
+#endif // ECAS_OBS_SINKS_H

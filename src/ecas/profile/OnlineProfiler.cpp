@@ -7,6 +7,7 @@
 #include "ecas/profile/OnlineProfiler.h"
 
 #include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
 
 #include <algorithm>
 
@@ -81,6 +82,8 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
   // let the scheduler's policy decide between retrying and degrading.
   if (Faults && Faults->gpuLaunchFails(Proc.now())) {
     Sample.GpuLaunchFailed = true;
+    if (Trace)
+      Trace->instant("profile", "profile-launch-failed", Proc.now());
     return Sample;
   }
 
@@ -90,6 +93,7 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
   PerfCounters CpuBefore = Proc.cpu().counters();
   PerfCounters GpuBefore = Proc.gpu().counters();
   double Start = Proc.now();
+  double HostStart = Trace ? obs::TraceRecorder::hostSeconds() : 0.0;
 
   Proc.gpu().enqueue(Kernel, GpuChunk);
   if (CpuShare > 0.0)
@@ -151,6 +155,13 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
 
   RemainingIters -= Sample.GpuIterations + Sample.CpuIterations;
   RemainingIters = std::max(RemainingIters, 0.0);
+  if (Trace)
+    Trace->completeSpan(
+        "profile", "profile-rep", HostStart,
+        obs::TraceRecorder::hostSeconds() - HostStart, Start,
+        formatString("cpu=%.0f gpu=%.0f elapsed=%.6fs%s",
+                     Sample.CpuIterations, Sample.GpuIterations,
+                     Sample.ElapsedSeconds, Sample.GpuHung ? " hung" : ""));
   return Sample;
 }
 

@@ -19,6 +19,7 @@
 #define ECAS_PROFILE_ONLINEPROFILER_H
 
 #include "ecas/device/KernelDesc.h"
+#include "ecas/obs/Trace.h"
 #include "ecas/profile/WorkloadClass.h"
 #include "ecas/sim/SimProcessor.h"
 
@@ -86,6 +87,13 @@ public:
   /// GpuHealthConfig::WatchdogPollSec here.
   void setWatchdogPollSec(double Seconds);
 
+  /// Attaches a trace recorder (nullptr detaches): each repetition then
+  /// emits a "profile-rep" span covering its virtual-time window, with
+  /// the measured split in the detail. Purely observational — the
+  /// profiler's measurements and RemainingIters arithmetic are
+  /// bit-identical with or without a recorder.
+  void setTrace(obs::TraceRecorder *Recorder) { Trace = Recorder; }
+
   /// One repetition: offloads min(GpuProfileSize, remaining) iterations
   /// of \p Kernel to the GPU while the CPU drains the rest of the shared
   /// pool; on GPU completion the CPU share is cancelled back into the
@@ -102,6 +110,7 @@ private:
   SimProcessor &Proc;
   double GpuProfileSize;
   double WatchdogPollSec = 0.02;
+  obs::TraceRecorder *Trace = nullptr;
 };
 
 } // namespace ecas

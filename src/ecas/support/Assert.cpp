@@ -3,6 +3,9 @@
 // Part of the ecas project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// ecas-lint: allow-file(no-raw-output) -- fatal errors abort the process;
+// stderr is the only channel left when Status cannot propagate.
 
 #include "ecas/support/Assert.h"
 

@@ -3,6 +3,10 @@
 // Part of the ecas project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// ecas-lint: allow-file(no-raw-output) -- malformed-flag warnings go to
+// stderr by design: the parser runs before any reporting machinery and
+// must not abort a CLI over a typo.
 
 #include "ecas/support/Flags.h"
 

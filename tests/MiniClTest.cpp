@@ -38,7 +38,7 @@ TEST(CommandQueue, ExecutesAndCompletes) {
   MiniEvent Event = Queue.enqueue(Kernel, 0, 100);
   Event.wait();
   EXPECT_EQ(Event.state(), CommandState::Complete);
-  EXPECT_EQ(Event.status(), Status::Success);
+  EXPECT_EQ(Event.status(), cl::Status::Success);
   EXPECT_EQ(Sum.load(), 4950u);
   EXPECT_EQ(Queue.commandsCompleted(), 1u);
 }
@@ -70,11 +70,11 @@ TEST(CommandQueue, ErrorEventsCompleteImmediately) {
       });
   MiniEvent BadKernel = Queue.enqueue(MiniKernel(), 0, 10);
   EXPECT_EQ(BadKernel.state(), CommandState::Complete);
-  EXPECT_EQ(BadKernel.status(), Status::InvalidKernel);
+  EXPECT_EQ(BadKernel.status(), cl::Status::InvalidKernel);
 
   MiniKernel Kernel("noop", [](uint64_t, uint64_t) {});
   MiniEvent BadRange = Queue.enqueue(Kernel, 10, 10);
-  EXPECT_EQ(BadRange.status(), Status::InvalidRange);
+  EXPECT_EQ(BadRange.status(), cl::Status::InvalidRange);
 }
 
 TEST(CommandQueue, ProfilingTimestampsAreOrdered) {
@@ -124,8 +124,8 @@ TEST(MiniContext, PartitionedCoversRangeExactlyOnce) {
       Hits[I].fetch_add(1, std::memory_order_relaxed);
   });
   auto [CpuEvent, GpuEvent] = Ctx.runPartitioned(Kernel, N, 0.3);
-  EXPECT_EQ(CpuEvent.status(), Status::Success);
-  EXPECT_EQ(GpuEvent.status(), Status::Success);
+  EXPECT_EQ(CpuEvent.status(), cl::Status::Success);
+  EXPECT_EQ(GpuEvent.status(), cl::Status::Success);
   for (uint64_t I = 0; I != N; ++I)
     ASSERT_EQ(Hits[I].load(), 1u) << "index " << I;
 }
@@ -138,12 +138,12 @@ TEST(MiniContext, AlphaExtremesSkipTheIdleDevice) {
   });
   auto [CpuOnly, GpuIdle] = Ctx.runPartitioned(Kernel, 1000, 0.0);
   EXPECT_EQ(Count.load(), 1000u);
-  EXPECT_EQ(GpuIdle.status(), Status::InvalidRange); // Empty GPU share.
+  EXPECT_EQ(GpuIdle.status(), cl::Status::InvalidRange); // Empty GPU share.
   Count = 0;
   auto [CpuIdle, GpuOnly] = Ctx.runPartitioned(Kernel, 1000, 1.0);
   EXPECT_EQ(Count.load(), 1000u);
-  EXPECT_EQ(CpuIdle.status(), Status::InvalidRange);
-  EXPECT_EQ(GpuOnly.status(), Status::Success);
+  EXPECT_EQ(CpuIdle.status(), cl::Status::InvalidRange);
+  EXPECT_EQ(GpuOnly.status(), cl::Status::Success);
 }
 
 TEST(MiniContext, CustomGpuHookReceivesTheTail) {
@@ -180,10 +180,10 @@ TEST(MiniContext, EventTimingsSupportThroughputEstimation) {
 }
 
 TEST(StatusNames, AllCovered) {
-  EXPECT_STREQ(statusName(Status::Success), "success");
-  EXPECT_STREQ(statusName(Status::InvalidKernel), "invalid kernel");
-  EXPECT_STREQ(statusName(Status::InvalidRange), "invalid range");
-  EXPECT_STREQ(statusName(Status::DeviceUnavailable),
+  EXPECT_STREQ(statusName(cl::Status::Success), "success");
+  EXPECT_STREQ(statusName(cl::Status::InvalidKernel), "invalid kernel");
+  EXPECT_STREQ(statusName(cl::Status::InvalidRange), "invalid range");
+  EXPECT_STREQ(statusName(cl::Status::DeviceUnavailable),
                "device unavailable");
 }
 
@@ -197,23 +197,23 @@ TEST(CommandQueue, FaultHookFailsCommandsWithoutRunningThem) {
     Ran += End - Begin;
   });
 
-  Queue.setFaultHook([] { return Status::DeviceUnavailable; });
+  Queue.setFaultHook([] { return cl::Status::DeviceUnavailable; });
   MiniEvent Failed = Queue.enqueue(Kernel, 0, 10);
-  EXPECT_EQ(Failed.waitStatus(), Status::DeviceUnavailable);
+  EXPECT_EQ(Failed.waitStatus(), cl::Status::DeviceUnavailable);
   EXPECT_EQ(Ran.load(), 0u); // The body never ran.
   EXPECT_EQ(Queue.commandsFailed(), 1u);
   EXPECT_EQ(Queue.commandsCompleted(), 0u);
 
   // Clearing the hook restores normal service on the same queue.
   Queue.setFaultHook({});
-  EXPECT_EQ(Queue.enqueue(Kernel, 0, 10).waitStatus(), Status::Success);
+  EXPECT_EQ(Queue.enqueue(Kernel, 0, 10).waitStatus(), cl::Status::Success);
   EXPECT_EQ(Ran.load(), 10u);
   EXPECT_EQ(Queue.commandsCompleted(), 1u);
 }
 
 TEST(MiniContext, GpuRefusalFallsBackToCpuExactlyOnce) {
   MiniContext Ctx(2);
-  Ctx.gpuQueue().setFaultHook([] { return Status::DeviceUnavailable; });
+  Ctx.gpuQueue().setFaultHook([] { return cl::Status::DeviceUnavailable; });
   std::atomic<uint64_t> Covered{0};
   MiniKernel Kernel("cover", [&](uint64_t Begin, uint64_t End) {
     Covered += End - Begin;
@@ -221,8 +221,8 @@ TEST(MiniContext, GpuRefusalFallsBackToCpuExactlyOnce) {
   auto [CpuEvent, GpuEvent] = Ctx.runPartitioned(Kernel, 1000, 0.5);
   // The refused GPU share was rerun on the CPU: the range is covered
   // exactly once and the returned GPU-side event is the fallback's.
-  EXPECT_EQ(CpuEvent.status(), Status::Success);
-  EXPECT_EQ(GpuEvent.status(), Status::Success);
+  EXPECT_EQ(CpuEvent.status(), cl::Status::Success);
+  EXPECT_EQ(GpuEvent.status(), cl::Status::Success);
   EXPECT_EQ(Covered.load(), 1000u);
   EXPECT_EQ(Ctx.gpuFallbacks(), 1u);
   EXPECT_EQ(Ctx.gpuQueue().commandsFailed(), 1u);

@@ -22,6 +22,8 @@
 #include "ecas/core/ExecutionSession.h"
 #include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
+#include "ecas/obs/ChromeTrace.h"
+#include "ecas/obs/Sinks.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Flags.h"
@@ -55,9 +57,12 @@ int usage() {
       "  characterize --platform=NAME      run the one-time power\n"
       "               [--out=FILE]         characterization\n"
       "  run  --platform=NAME --workload=ABBR [--scheme=eas|cpu|gpu|perf|\n"
-      "       oracle] [--metric=energy|edp|ed2p] [--curves=FILE]\n"
-      "       [--scale=S] [--fault-plan=PLAN] [--history-file=FILE]\n"
-      "       [--deadline-ms=N]\n"
+      "       oracle|fixed] [--alpha=A] [--metric=energy|edp|ed2p]\n"
+      "       [--curves=FILE] [--scale=S] [--fault-plan=PLAN]\n"
+      "       [--history-file=FILE] [--deadline-ms=N]\n"
+      "       [--trace-out=FILE]           write a Chrome trace-event\n"
+      "                                    JSON (Perfetto-loadable)\n"
+      "       [--metrics]                  print span/counter summary\n"
       "  sweep --platform=NAME --workload=ABBR [--metric=M] [--scale=S]\n"
       "        [--fault-plan=PLAN]\n"
       "  suite --platform=NAME [--metric=M] [--scale=S]\n"
@@ -69,8 +74,8 @@ int usage() {
       "        [--metric=M] [--scale=S] [--fault-plan=PLAN]\n"
       "        [--history-file=FILE] [--deadline-ms=N]\n"
       "        [--drain-grace-ms=N]        concurrent stress: N client\n"
-      "                                    threads share one scheduler,\n"
-      "                                    then shut it down gracefully\n"
+      "        [--trace-out=FILE]          threads share one scheduler,\n"
+      "        [--metrics]                 then shut it down gracefully\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
   return ExitUsage;
 }
@@ -145,6 +150,55 @@ void printDegradation(const SessionReport &R) {
               S.LaunchRetries, S.LaunchesAbandoned, S.HangsDetected,
               S.Quarantines, S.QuarantinedInvocations, S.Recoveries,
               S.degraded() ? "  [degraded]" : "");
+}
+
+std::optional<SchemeKind> schemeByName(const std::string &Name) {
+  if (Name == "eas")
+    return SchemeKind::Eas;
+  if (Name == "cpu")
+    return SchemeKind::CpuOnly;
+  if (Name == "gpu")
+    return SchemeKind::GpuOnly;
+  if (Name == "perf")
+    return SchemeKind::Perf;
+  if (Name == "oracle")
+    return SchemeKind::Oracle;
+  if (Name == "fixed")
+    return SchemeKind::FixedAlpha;
+  return std::nullopt;
+}
+
+/// True when either observability flag asks for a recorder.
+bool wantsObservability(const Flags &Args) {
+  return !Args.getString("trace-out", "").empty() ||
+         Args.getBool("metrics", false);
+}
+
+/// Drains \p Recorder into whatever the --trace-out / --metrics flags
+/// requested. Returns false on an I/O failure (already reported).
+bool drainObservability(const obs::TraceRecorder &Recorder,
+                        const Flags &Args) {
+  std::string TraceOut = Args.getString("trace-out", "");
+  if (!TraceOut.empty()) {
+    obs::ChromeTraceSink Sink(TraceOut);
+    if (Status S = Recorder.drainTo(Sink); !S) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return false;
+    }
+    std::printf("wrote %s (%llu events; load in Perfetto or "
+                "chrome://tracing)\n",
+                TraceOut.c_str(),
+                static_cast<unsigned long long>(Recorder.eventsRecorded()));
+  }
+  if (Args.getBool("metrics", false)) {
+    obs::SummarySink Summary;
+    if (Status S = Recorder.drainTo(Summary); !S) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return false;
+    }
+    std::fputs(Summary.text().c_str(), stdout);
+  }
+  return true;
 }
 
 Metric metricByName(const std::string &Name) {
@@ -243,39 +297,60 @@ int cmdRun(const Flags &Args) {
     return ExitUsage;
   }
   Metric Objective = metricByName(Args.getString("metric", "edp"));
+  std::optional<SchemeKind> Kind = schemeByName(Args.getString("scheme", "eas"));
+  if (!Kind) {
+    std::fprintf(stderr,
+                 "error: unknown scheme (have: eas cpu gpu perf oracle "
+                 "fixed)\n");
+    return ExitUsage;
+  }
   ExecutionSession Session(*Spec);
-  std::string Scheme = Args.getString("scheme", "eas");
   std::printf("%s on %s, optimizing %s (%u invocations)\n",
               W->Name.c_str(), Spec->Name.c_str(),
               Objective.name().c_str(), W->numInvocations());
-  SessionReport Report;
-  if (Scheme == "cpu")
-    Report = Session.runCpuOnly(W->Trace, Objective);
-  else if (Scheme == "gpu")
-    Report = Session.runGpuOnly(W->Trace, Objective);
-  else if (Scheme == "perf")
-    Report = Session.runPerf(W->Trace, Objective);
-  else if (Scheme == "oracle")
-    Report = Session.runOracle(W->Trace, Objective);
-  else {
-    EasConfig Config;
-    Config.HistoryFile = Args.getString("history-file", "");
+
+  obs::TraceRecorder Recorder;
+  RunOptions Options;
+  Options.Trace = &W->Trace;
+  Options.Objective = Objective;
+  Options.Alpha = Args.getDouble("alpha", 0.5);
+  if (wantsObservability(Args))
+    Options.Recorder = &Recorder;
+
+  // EAS alone needs curves, a table-G file, and a deadline; the sweep
+  // and fixed-ratio schemes ignore those options.
+  std::optional<PowerCurveSet> Curves;
+  CancellationToken Deadline;
+  if (*Kind == SchemeKind::Eas) {
+    Options.Eas.HistoryFile = Args.getString("history-file", "");
     // The deadline bounds the run in the workload's virtual time (each
     // run starts its clock at zero).
     double DeadlineMs = Args.getDouble("deadline-ms", 0.0);
-    CancellationToken Deadline;
-    bool Bounded = DeadlineMs > 0.0;
-    if (Bounded)
+    if (DeadlineMs > 0.0) {
       Deadline.setDeadline(DeadlineMs / 1000.0);
-    Report = Session.runEas(W->Trace, curvesFor(*Spec, Args), Objective,
-                            Config, Bounded ? &Deadline : nullptr);
-    if (Report.Cancelled)
-      std::printf("deadline hit: %u of %zu invocations completed\n",
-                  Report.Invocations, W->Trace.size());
+      Options.Cancel = &Deadline;
+    }
+    Curves.emplace(curvesFor(*Spec, Args));
+    Options.Curves = &*Curves;
   }
+
+  SessionReport Report = Session.run(*Kind, Options);
+  if (Report.Cancelled)
+    std::printf("deadline hit: %u of %zu invocations completed\n",
+                Report.Invocations, W->Trace.size());
   printReport(Report);
   if (Report.FaultsEnabled || Report.Resilience.degraded())
     printDegradation(Report);
+  if (Options.Recorder) {
+    if (Report.Kind == SchemeKind::Eas)
+      std::printf("  observed: %u profile reps, %u alpha searches, "
+                  "%u cpu-only fast paths, %llu trace events\n",
+                  Report.ProfileRepetitions, Report.AlphaSearches,
+                  Report.CpuOnlyFastPaths,
+                  static_cast<unsigned long long>(Report.TraceEventCount));
+    if (!drainObservability(Recorder, Args))
+      return ExitRuntime;
+  }
   return ExitOk;
 }
 
@@ -308,8 +383,11 @@ int cmdServe(const Flags &Args) {
     return ExitRuntime;
   }
 
+  obs::TraceRecorder Recorder;
   EasConfig Config;
   Config.HistoryFile = Args.getString("history-file", "");
+  if (wantsObservability(Args))
+    Config.Trace = &Recorder;
   EasScheduler Scheduler(curvesFor(*Spec, Args), Objective, Config);
   if (!Scheduler.restoreStatus())
     std::fprintf(stderr, "warning: %s (starting cold)\n",
@@ -384,6 +462,8 @@ int cmdServe(const Flags &Args) {
                  Shutdown.message().c_str());
     return ExitRuntime;
   }
+  if (Config.Trace && !drainObservability(Recorder, Args))
+    return ExitRuntime;
   return ExitOk;
 }
 

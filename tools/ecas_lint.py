@@ -22,6 +22,11 @@ enforced even under toolchains that cannot run the Clang analyses:
                          #pragma once; no duplicate includes in one file.
   no-std-rand            No std::rand/srand/random_shuffle; randomness goes
                          through support/Random.h so runs stay reproducible.
+  no-raw-output          No std::cout/std::cerr/printf/fprintf/puts/fputs
+                         (or <iostream>) inside src/ecas/: library code
+                         reports through Status/ErrorOr and the obs layer,
+                         never by writing to the process's streams.
+                         snprintf-into-a-buffer (support/Format) is fine.
 
 Suppressions (use sparingly, justify in a comment on the same line):
   // ecas-lint: allow(rule-name)         on the offending line
@@ -58,6 +63,14 @@ BLOCKING_CALL = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\bstd::this_thread::yield\s*\(\)"
 )
 STD_RAND = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_shuffle\b")
+# \bprintf cannot match inside snprintf/vsnprintf (preceded by a word
+# character), so buffer-formatting helpers stay legal.
+RAW_OUTPUT = re.compile(
+    r"\bstd::(cout|cerr|clog)\b|"
+    r"\b(?:std::)?(printf|fprintf|puts|fputs|putchar|fputc)\s*\("
+)
+# <cstdio> stays legal: snprintf/vsnprintf formatting needs it.
+IOSTREAM_INCLUDE = re.compile(r"^\s*#\s*include\s*<(iostream|syncstream)>")
 INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 GUARD = re.compile(r"^\s*#\s*ifndef\s+ECAS_\w+")
@@ -260,7 +273,7 @@ def check_include_hygiene(path, raw_lines, code_lines, findings):
 
     if path.endswith(".h"):
         has_guard = any(GUARD.match(c) or PRAGMA_ONCE.match(c)
-                        for c in code_lines[:40])
+                        for c in code_lines[:60])
         if not has_guard:
             findings.append(Finding(
                 path, 1, rule,
@@ -279,12 +292,40 @@ def check_no_std_rand(path, raw_lines, code_lines, findings):
                 "in ecas/support/Random.h"))
 
 
+def check_no_raw_output(path, raw_lines, code_lines, findings):
+    rule = "no-raw-output"
+    norm = path.replace(os.sep, "/")
+    if "/src/ecas/" not in norm:
+        return  # Tools, tests, benches, and examples print freely.
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        if line_allows(raw_lines[ln - 1], rule):
+            continue
+        m = IOSTREAM_INCLUDE.match(code)
+        if m:
+            findings.append(Finding(
+                path, ln, rule,
+                f"<{m.group(1)}> in library code; report through Status/"
+                "ErrorOr or the obs layer instead of a stream"))
+            continue
+        m = RAW_OUTPUT.search(code)
+        if m:
+            what = m.group(1) or m.group(2)
+            findings.append(Finding(
+                path, ln, rule,
+                f"raw '{what}' output in library code; report through "
+                "Status/ErrorOr or the obs layer (snprintf into a buffer "
+                "via support/Format is fine)"))
+
+
 CHECKS = [
     check_naked_mutex,
     check_unchecked_value,
     check_wait_under_lock_guard,
     check_include_hygiene,
     check_no_std_rand,
+    check_no_raw_output,
 ]
 
 
