@@ -9,11 +9,13 @@
 #include "ecas/core/HistorySnapshot.h"
 #include "ecas/core/Schedulers.h"
 #include "ecas/core/TimeModel.h"
+#include "ecas/obs/MetricNames.h"
 #include "ecas/support/Assert.h"
 #include "ecas/support/Format.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <vector>
 
 using namespace ecas;
@@ -50,6 +52,15 @@ Status EasConfig::validate() const {
   return Status::success();
 }
 
+double EasScheduler::InvocationOutcome::timeRelError() const {
+  return std::abs(PredictedSeconds - MeasuredSeconds) / MeasuredSeconds;
+}
+
+double EasScheduler::InvocationOutcome::energyRelError() const {
+  return std::abs(PredictedWatts * PredictedSeconds - MeasuredJoules) /
+         MeasuredJoules;
+}
+
 EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
                            EasConfig ConfigIn)
     : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
@@ -61,6 +72,7 @@ EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
   if (Status Valid = Config.validate(); !Valid.ok())
     reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
   Monitor.setTrace(Config.Trace);
+  registerInstruments();
   if (!Config.HistoryFile.empty()) {
     ErrorOr<size_t> Restored = loadKernelHistory(History, Config.HistoryFile);
     if (Restored)
@@ -71,6 +83,140 @@ EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
 }
 
 EasScheduler::~EasScheduler() { shutdown(); }
+
+void EasScheduler::registerInstruments() {
+  obs::MetricsRegistry *M = Config.Metrics;
+  if (!M)
+    return;
+  // Rel errors are ratios spanning "model is exact" (1e-4) to "model is
+  // off by an order of magnitude"; log buckets keep both ends resolved.
+  const std::vector<double> RelErrBuckets = obs::logBuckets(1e-4, 2.0, 18);
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
+    obs::MetricLabels ByClass{{"class", WorkloadClass::fromIndex(I).name()}};
+    Ins.TimeRelError[I] = &M->histogram(
+        obs::names::ModelTimeRelError, RelErrBuckets, ByClass,
+        "Relative error of the analytical T(alpha) prediction against the "
+        "measured dispatch time");
+    Ins.EnergyRelError[I] = &M->histogram(
+        obs::names::ModelEnergyRelError, RelErrBuckets, ByClass,
+        "Relative error of the predicted dispatch energy P(alpha)*T(alpha) "
+        "against the measured joules");
+  }
+  Ins.AlphaChosen =
+      &M->histogram(obs::names::AlphaChosen, obs::linearBuckets(0.0, 0.05, 20),
+                    {}, "GPU offload ratio used by completed invocations");
+  Ins.AlphaSearchEvals = &M->histogram(
+      obs::names::AlphaSearchEvals, obs::linearBuckets(0.0, 8.0, 16), {},
+      "Objective evaluations spent in one invocation's alpha searches");
+  Ins.ProfileOverhead = &M->histogram(
+      obs::names::ProfileOverheadFraction, obs::linearBuckets(0.0, 0.05, 20),
+      {}, "Fraction of a profiled invocation spent profiling");
+  Ins.InvocationSeconds =
+      &M->histogram(obs::names::InvocationSeconds,
+                    obs::logBuckets(1e-5, 4.0, 16), {},
+                    "Virtual seconds per completed invocation");
+  Ins.ProfileRepSeconds =
+      &M->histogram(obs::names::ProfileRepSeconds,
+                    obs::logBuckets(1e-6, 4.0, 16), {},
+                    "Virtual seconds per online-profiling repetition");
+  Ins.Invocations = &M->counter(obs::names::InvocationsTotal, {},
+                                "Invocations admitted (including cancelled)");
+  Ins.TableHits = &M->counter(obs::names::TableHitsTotal, {},
+                              "Invocations served from a table-G hit");
+  Ins.TableMisses = &M->counter(obs::names::TableMissesTotal, {},
+                                "Invocations that had to profile");
+  Ins.CpuOnly = &M->counter(obs::names::CpuOnlyTotal, {},
+                            "Invocations on a CPU-only fast path");
+  Ins.Cancelled = &M->counter(obs::names::CancelledTotal, {},
+                              "Invocations cut short by a token");
+  Ins.Rejected = &M->counter(obs::names::RejectedTotal, {},
+                             "Invocations bounced by the admission gate");
+  Ins.ProfileReps = &M->counter(obs::names::ProfileRepsTotal, {},
+                                "Online-profiling repetitions performed");
+  Ins.LaunchRetries = &M->counter(obs::names::LaunchRetriesTotal, {},
+                                  "GPU enqueue attempts retried");
+  Ins.Readmissions =
+      &M->counter(obs::names::ReadmissionsTotal, {},
+                  "Recovered-GPU re-admissions that forced a re-profile");
+  Ins.QuarantinedRuns =
+      &M->counter(obs::names::QuarantinedRunsTotal, {},
+                  "Invocations pinned to the CPU by an active quarantine");
+  Ins.DecisionsLogged = &M->counter(obs::names::DecisionsLoggedTotal, {},
+                                    "Audit records appended");
+  Ins.ShutdownDrain =
+      &M->gauge(obs::names::ShutdownDrainSeconds, {},
+                "Host seconds the last shutdown spent draining");
+  GpuHealthMonitor::MetricHooks Hooks;
+  Hooks.Hangs = &M->counter(obs::names::HangsTotal, {},
+                            "Hangs declared by the watchdog");
+  Hooks.Quarantines =
+      &M->counter(obs::names::QuarantinesTotal, {}, "GPU quarantines entered");
+  Hooks.Probes = &M->counter(obs::names::ProbesTotal, {},
+                             "Post-quarantine re-probe dispatches granted");
+  Hooks.Recoveries = &M->counter(obs::names::RecoveriesTotal, {},
+                                 "Probes that re-admitted the GPU");
+  Monitor.setMetrics(Hooks);
+}
+
+void EasScheduler::recordInvocation(const KernelDesc &Kernel,
+                                    const InvocationOutcome &Outcome) {
+  if (Config.Decisions) {
+    obs::DecisionRecord Rec;
+    Rec.KernelId = Kernel.Id;
+    Rec.ClassIndex = Outcome.TableHit || Outcome.Profiled
+                         ? static_cast<int>(Outcome.Class.index())
+                         : -1;
+    Rec.Alpha = Outcome.AlphaUsed;
+    Rec.HasPrediction = Outcome.HasPrediction;
+    Rec.PredictedSeconds = Outcome.PredictedSeconds;
+    Rec.PredictedWatts = Outcome.PredictedWatts;
+    Rec.PredictedMetric = Outcome.PredictedMetric;
+    Rec.MeasuredSeconds = Outcome.MeasuredSeconds;
+    Rec.MeasuredJoules = Outcome.MeasuredJoules;
+    Rec.TableHit = Outcome.TableHit;
+    Rec.Profiled = Outcome.Profiled;
+    Rec.CpuOnlyFastPath = Outcome.CpuOnlyFastPath;
+    Rec.GpuQuarantined = Outcome.GpuQuarantined;
+    Rec.Cancelled = Outcome.Cancelled;
+    Config.Decisions->append(Rec);
+    if (Ins.DecisionsLogged)
+      Ins.DecisionsLogged->add();
+  }
+  if (!Config.Metrics)
+    return;
+  Ins.Invocations->add();
+  if (Outcome.TableHit)
+    Ins.TableHits->add();
+  if (Outcome.Profiled)
+    Ins.TableMisses->add();
+  if (Outcome.CpuOnlyFastPath)
+    Ins.CpuOnly->add();
+  if (Outcome.GpuQuarantined)
+    Ins.QuarantinedRuns->add();
+  if (Outcome.GpuReadmitted)
+    Ins.Readmissions->add();
+  if (Outcome.LaunchRetries)
+    Ins.LaunchRetries->add(Outcome.LaunchRetries);
+  if (Outcome.ProfileRepetitions)
+    Ins.ProfileReps->add(Outcome.ProfileRepetitions);
+  if (Outcome.Cancelled) {
+    // Partial invocations keep their work counters (above) but stay out
+    // of the completed-run distributions.
+    Ins.Cancelled->add();
+    return;
+  }
+  Ins.InvocationSeconds->record(Outcome.Seconds);
+  Ins.AlphaChosen->record(Outcome.AlphaUsed);
+  if (Outcome.AlphaSearches)
+    Ins.AlphaSearchEvals->record(Outcome.AlphaEvaluations);
+  if (Outcome.Profiled && Outcome.Seconds > 0.0)
+    Ins.ProfileOverhead->record(Outcome.ProfileSeconds / Outcome.Seconds);
+  if (Outcome.hasModelSample()) {
+    unsigned Idx = Outcome.Class.index();
+    Ins.TimeRelError[Idx]->record(Outcome.timeRelError());
+    Ins.EnergyRelError[Idx]->record(Outcome.energyRelError());
+  }
+}
 
 bool EasScheduler::stopRequested(double NowSec,
                                  const CancellationToken *Cancel) const {
@@ -101,6 +247,8 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
 
   // Phase 1: drain. New invocations already bounce off the admission
   // gate; give the in-flight ones the grace period to finish cleanly.
+  std::chrono::steady_clock::time_point DrainStart =
+      std::chrono::steady_clock::now();
   {
     obs::ScopedSpan DrainSpan(Config.Trace, "eas", "drain");
     UniqueLock Lock(LifecycleMutex);
@@ -118,6 +266,10 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
       });
     }
   }
+  if (Ins.ShutdownDrain)
+    Ins.ShutdownDrain->set(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - DrainStart)
+                               .count());
 
   // Phase 3: persist table G.
   Status S = Status::success();
@@ -151,12 +303,15 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
       Config.Trace->instant("eas", "rejected", Proc.now());
       Config.Trace->count("eas.rejected");
     }
+    if (Ins.Rejected)
+      Ins.Rejected->add();
     InvocationOutcome Outcome;
     Outcome.Rejected = true;
     return Outcome;
   }
   InvocationOutcome Outcome =
       executeAdmitted(Proc, Kernel, Iterations, nullptr);
+  recordInvocation(Kernel, Outcome);
   endInvocation();
   return Outcome;
 }
@@ -171,12 +326,15 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
       Config.Trace->instant("eas", "rejected", Proc.now());
       Config.Trace->count("eas.rejected");
     }
+    if (Ins.Rejected)
+      Ins.Rejected->add();
     InvocationOutcome Outcome;
     Outcome.Rejected = true;
     return Outcome;
   }
   InvocationOutcome Outcome =
       executeAdmitted(Proc, Kernel, Iterations, &Cancel);
+  recordInvocation(Kernel, Outcome);
   endInvocation();
   return Outcome;
 }
@@ -188,6 +346,9 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   ECAS_CHECK(Kernel.Id != 0, "kernel requires a stable nonzero id");
   InvocationOutcome Outcome;
   double Start = Proc.now();
+  // Energy sample for the measured-window telemetry. A const read of the
+  // emulated MSR: harmless without a registry, so it is not gated.
+  uint32_t StartMsr = Proc.meter().readMsr();
 
   // The whole invocation is one span on the virtual-clock track. All
   // recording below is observation-only: with T == nullptr every helper
@@ -222,6 +383,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    Outcome.MeasuredSeconds = Outcome.Seconds;
+    Outcome.MeasuredJoules = Proc.meter().joulesSince(StartMsr);
     if (T)
       T->count("eas.cpu_only");
     return Outcome;
@@ -244,6 +407,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     Outcome.GpuQuarantined = true;
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    Outcome.MeasuredSeconds = Outcome.Seconds;
+    Outcome.MeasuredJoules = Proc.meter().joulesSince(StartMsr);
     if (T) {
       T->count("eas.quarantined_runs");
       T->count("eas.cpu_only");
@@ -307,6 +472,21 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     // partitioned run, one counter bump.
     Alpha = KnownRec.Alpha.value();
     Outcome.Class = KnownRec.Class;
+    Outcome.TableHit = true;
+    if ((Config.Metrics || Config.Decisions) &&
+        (KnownRec.Sample.CpuThroughput > 0.0 ||
+         KnownRec.Sample.GpuThroughput > 0.0)) {
+      // Re-evaluate the analytical model from the stored record so hit
+      // invocations contribute fidelity samples too. Observation only:
+      // neither the prediction nor the telemetry touches Alpha.
+      TimeModel Model(KnownRec.Sample.CpuThroughput,
+                      KnownRec.Sample.GpuThroughput);
+      Outcome.HasPrediction = true;
+      Outcome.PredictedSeconds = Model.totalTime(Iterations, Alpha);
+      Outcome.PredictedWatts = Curves.curveFor(KnownRec.Class).powerAt(Alpha);
+      Outcome.PredictedMetric = Objective.evaluate(Outcome.PredictedWatts,
+                                                   Outcome.PredictedSeconds);
+    }
     if (T) {
       T->instant("eas", "table-hit", Proc.now(),
                  formatString("alpha=%.3f", Alpha));
@@ -327,6 +507,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     History.bumpInvocations(Kernel.Id);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
+    Outcome.MeasuredSeconds = Outcome.Seconds;
+    Outcome.MeasuredJoules = Proc.meter().joulesSince(StartMsr);
     if (T)
       T->count("eas.cpu_only");
     return Outcome;
@@ -339,6 +521,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     // on a private copy (base record + local deltas); the deltas merge
     // into the shared record once, at the end.
     Outcome.Profiled = true;
+    double ProfileStart = Proc.now();
     obs::ScopedSpan Profile(
         T, "eas", "profile",
         T ? std::function<double()>([&Proc] { return Proc.now(); })
@@ -346,6 +529,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     OnlineProfiler Profiler(Proc, GpuProfileSize);
     Profiler.setWatchdogPollSec(Config.Health.WatchdogPollSec);
     Profiler.setTrace(T);
+    Profiler.setRepSeconds(Ins.ProfileRepSeconds);
     std::vector<std::pair<double, double>> Grid;
     KernelRecord Local = KnownRec;
     double ProfileFloor = Iterations * Config.ProfileFraction;
@@ -414,6 +598,14 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
                                        std::max(Nrem, 1.0), Search);
       Alpha = Choice.Alpha;
       ++Outcome.AlphaSearches;
+      Outcome.AlphaEvaluations += Choice.Evaluations;
+      // Profiling decrements Nrem before each search, so the last
+      // search's prediction covers exactly the remainder dispatched
+      // below — it is the fidelity sample this invocation yields.
+      Outcome.HasPrediction = true;
+      Outcome.PredictedSeconds = Choice.PredictedSeconds;
+      Outcome.PredictedWatts = Choice.PredictedWatts;
+      Outcome.PredictedMetric = Choice.PredictedMetric;
       if (T) {
         std::string Detail = formatString(
             "alpha=%.3f obj=%.6g evals=%u grid=", Choice.Alpha,
@@ -425,6 +617,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         T->count("eas.alpha_searches");
       }
     }
+    Outcome.ProfileSeconds = Proc.now() - ProfileStart;
   }
 
   // Cancellation point 3: before the remainder execution. A cancelled
@@ -451,8 +644,12 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         T ? formatString("alpha=%.3f n=%.0f", Alpha, Nrem) : std::string());
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
+    double DispatchStart = Proc.now();
+    uint32_t DispatchMsr = Proc.meter().readMsr();
     PartitionOutcome Partition =
         runPartitionedResilient(Proc, Monitor, Kernel, Nrem, Alpha);
+    Outcome.MeasuredSeconds = Proc.now() - DispatchStart;
+    Outcome.MeasuredJoules = Proc.meter().joulesSince(DispatchMsr);
     Outcome.LaunchRetries += Partition.LaunchRetries;
     Outcome.HangDetected = Outcome.HangDetected || Partition.HangDetected;
     Outcome.GpuQuarantined =
@@ -464,6 +661,12 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
           Partition.HangDetected ? " hang" : "",
           Partition.QuarantineSkipped ? " quarantine-skipped" : ""));
   }
+
+  // A prediction encodes the healthy-platform assumption; a hang or a
+  // quarantine-stranded GPU share broke it mid-flight, so the measured
+  // window no longer answers "how good is the model".
+  if (Outcome.HangDetected || Outcome.GpuQuarantined)
+    Outcome.HasPrediction = false;
 
   // Step 26: sample-weighted accumulation across invocations. Only
   // freshly computed alphas are samples; a table-G reuse feeds back the

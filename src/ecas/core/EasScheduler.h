@@ -31,6 +31,8 @@
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
 #include "ecas/fault/GpuHealth.h"
+#include "ecas/obs/DecisionLog.h"
+#include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
 #include "ecas/power/PowerCurve.h"
 #include "ecas/profile/OnlineProfiler.h"
@@ -93,6 +95,19 @@ struct EasConfig {
   /// nothing is recorded and scheduling is bit-identical to a build
   /// without the observability layer (ObsTest's regression).
   obs::TraceRecorder *Trace = nullptr;
+  /// Optional metrics registry (not owned; must outlive the scheduler).
+  /// When set, the constructor pre-registers every instrument of the
+  /// eas_* taxonomy (DESIGN.md §11) and each invocation folds its
+  /// telemetry in — model rel-error histograms per workload class, the
+  /// chosen-alpha distribution, profile overhead, lifecycle counters,
+  /// and the health monitor's transition counters. Same contract as
+  /// Trace: null means nothing is recorded and scheduling is
+  /// bit-identical (MetricsTest's regression).
+  obs::MetricsRegistry *Metrics = nullptr;
+  /// Optional per-decision audit ring (not owned). When set, every
+  /// admitted invocation appends one DecisionRecord after it finishes.
+  /// Null no-ops, preserving bit-identity like Trace and Metrics.
+  obs::DecisionLog *Decisions = nullptr;
 
   /// Checks every tunable for sanity: AlphaStep outside (0, 1],
   /// non-positive ProfileFraction (or above 1), negative
@@ -149,6 +164,47 @@ public:
     /// alpha sample was added and the invocation was not counted, so a
     /// partial run cannot poison the learned ratio.
     bool Cancelled = false;
+    /// The ratio came straight from a table-G hit (steps 2-4).
+    bool TableHit = false;
+
+    //===------------------------------------------------------------===//
+    // Model-validation telemetry. Filled from pure observation — const
+    // reads of the virtual clock, the energy meter, and table G — and
+    // never fed back into scheduling, so an un-metered run computes none
+    // of it yet schedules identically.
+    //===------------------------------------------------------------===//
+    /// A T(alpha)/P(alpha) prediction backed the dispatch: either the
+    /// alpha search's winning point (profiled path) or the analytical
+    /// model re-evaluated from the table-G record (hit path). Cleared
+    /// when a fault (hang, quarantine-stranding) invalidated the
+    /// healthy-platform assumption the prediction encodes.
+    bool HasPrediction = false;
+    double PredictedSeconds = 0.0;
+    double PredictedWatts = 0.0;
+    /// Objective value the prediction implied.
+    double PredictedMetric = 0.0;
+    /// Measured window the prediction covers: the remainder dispatch on
+    /// the profiled/hit paths, the whole invocation on CPU-only paths.
+    double MeasuredSeconds = 0.0;
+    double MeasuredJoules = 0.0;
+    /// Virtual seconds spent inside profiling repetitions.
+    double ProfileSeconds = 0.0;
+    /// Total objective evaluations across this invocation's alpha
+    /// searches.
+    unsigned AlphaEvaluations = 0;
+
+    /// True when this invocation yields one model-fidelity sample: a
+    /// prediction existed and the measured window completed with
+    /// nonzero time and energy.
+    bool hasModelSample() const {
+      return HasPrediction && !Cancelled && MeasuredSeconds > 0.0 &&
+             MeasuredJoules > 0.0;
+    }
+    /// |T_pred - T_meas| / T_meas; call only when hasModelSample().
+    double timeRelError() const;
+    /// |P_pred*T_pred - E_meas| / E_meas; call only when
+    /// hasModelSample().
+    double energyRelError() const;
   };
 
   /// Fig. 7's EAS(): schedules and executes one invocation of \p Kernel
@@ -219,12 +275,44 @@ private:
   /// True when the caller's token or the shutdown drain token fired.
   bool stopRequested(double NowSec, const CancellationToken *Cancel) const;
   void endInvocation();
+  /// Pre-registers every instrument when Config.Metrics is set, so the
+  /// execute() fast path never touches the registry mutex.
+  void registerInstruments();
+  /// Folds one finished invocation into the registry and the decision
+  /// log (both optional; no-ops when neither is configured).
+  void recordInvocation(const KernelDesc &Kernel,
+                        const InvocationOutcome &Outcome);
 
   const PowerCurveSet &Curves;
   Metric Objective;
   EasConfig Config;
   KernelHistory History;
   GpuHealthMonitor Monitor;
+
+  /// Instruments cached at construction (all null without a registry).
+  /// Per-class histograms are indexed by WorkloadClass::index().
+  struct MetricInstruments {
+    obs::Histogram *TimeRelError[WorkloadClass::NumClasses] = {};
+    obs::Histogram *EnergyRelError[WorkloadClass::NumClasses] = {};
+    obs::Histogram *AlphaChosen = nullptr;
+    obs::Histogram *AlphaSearchEvals = nullptr;
+    obs::Histogram *ProfileOverhead = nullptr;
+    obs::Histogram *InvocationSeconds = nullptr;
+    obs::Histogram *ProfileRepSeconds = nullptr;
+    obs::Counter *Invocations = nullptr;
+    obs::Counter *TableHits = nullptr;
+    obs::Counter *TableMisses = nullptr;
+    obs::Counter *CpuOnly = nullptr;
+    obs::Counter *Cancelled = nullptr;
+    obs::Counter *Rejected = nullptr;
+    obs::Counter *ProfileReps = nullptr;
+    obs::Counter *LaunchRetries = nullptr;
+    obs::Counter *Readmissions = nullptr;
+    obs::Counter *QuarantinedRuns = nullptr;
+    obs::Counter *DecisionsLogged = nullptr;
+    obs::Gauge *ShutdownDrain = nullptr;
+  };
+  MetricInstruments Ins;
   Status RestoreStatus = Status::success();
   size_t RestoredRecords = 0;
 

@@ -6,6 +6,7 @@
 
 #include "ecas/core/ExecutionSession.h"
 
+#include "ecas/obs/MetricNames.h"
 #include "ecas/support/Assert.h"
 #include "ecas/support/Format.h"
 
@@ -169,7 +170,16 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
   EasConfig Config = Options.Eas;
   if (Options.Recorder && !Config.Trace)
     Config.Trace = Options.Recorder;
+  if (Options.Metrics && !Config.Metrics)
+    Config.Metrics = Options.Metrics;
+  if (Options.Decisions && !Config.Decisions)
+    Config.Decisions = Options.Decisions;
   SimProcessor Proc(Spec);
+  if (Config.Metrics)
+    Proc.meter().setReadCounter(&Config.Metrics->counter(
+        obs::names::MsrReadsTotal, {},
+        "Emulated MSR_PKG_ENERGY_STATUS reads (sampling cadence the "
+        "wrap-at-most-once contract depends on)"));
   EasScheduler Scheduler(*Options.Curves, Options.Objective, Config);
   uint32_t MsrBefore = Proc.meter().readMsr();
   double Start = Proc.now();
@@ -181,6 +191,9 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
   unsigned ProfileReps = 0;
   unsigned AlphaSearches = 0;
   unsigned CpuOnlyFastPaths = 0;
+  double TimeErrSum = 0.0;
+  double EnergyErrSum = 0.0;
+  unsigned ModelSamples = 0;
   bool Cancelled = false;
   for (const KernelInvocation &Invocation : Trace) {
     // Deadlines are judged against the virtual clock the run advances.
@@ -199,6 +212,13 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
     ProfileReps += Outcome.ProfileRepetitions;
     AlphaSearches += Outcome.AlphaSearches;
     CpuOnlyFastPaths += Outcome.CpuOnlyFastPath ? 1 : 0;
+    // Invocation-order sums, the same fold a histogram performs — a
+    // single-class run's means then match the registry's bitwise.
+    if (Outcome.hasModelSample()) {
+      TimeErrSum += Outcome.timeRelError();
+      EnergyErrSum += Outcome.energyRelError();
+      ++ModelSamples;
+    }
     if (Outcome.Cancelled || Outcome.Rejected) {
       Cancelled = true;
       break;
@@ -222,6 +242,11 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
   Report.ProfileRepetitions = ProfileReps;
   Report.AlphaSearches = AlphaSearches;
   Report.CpuOnlyFastPaths = CpuOnlyFastPaths;
+  if (ModelSamples) {
+    Report.ModelTimeRelError = TimeErrSum / ModelSamples;
+    Report.ModelEnergyRelError = EnergyErrSum / ModelSamples;
+    Report.ModelSamples = ModelSamples;
+  }
   attachResilience(Report, Scheduler.health(), Proc, Quarantined);
   return Report;
 }

@@ -99,6 +99,13 @@ struct RunOptions {
   /// (unless Eas.Trace is already set), and fills the report's
   /// TraceEventCount. Never changes scheduling.
   obs::TraceRecorder *Recorder = nullptr;
+  /// Optional metrics registry, wired through the EAS scheduler like the
+  /// recorder (unless Eas.Metrics is already set). An EAS run also
+  /// attaches eas_msr_reads_total to the processor's energy meter. Null
+  /// keeps the run bit-identical — the same contract as Recorder.
+  obs::MetricsRegistry *Metrics = nullptr;
+  /// Optional per-decision audit ring (unless Eas.Decisions is set).
+  obs::DecisionLog *Decisions = nullptr;
 };
 
 /// What the degradation machinery did during one run (all zeros on a
@@ -162,6 +169,20 @@ struct SessionReport {
   /// Events the attached recorder had captured when the run finished
   /// (0 without a recorder).
   uint64_t TraceEventCount = 0;
+
+  //===--------------------------------------------------------------===//
+  // Model-fidelity aggregates (EAS runs with model samples; zero
+  // elsewhere). Means over every invocation that produced a prediction
+  // and a completed measured window, folded in invocation order — for a
+  // single-class run they equal the mean of the matching
+  // eas_model_*_rel_error histogram exactly (MetricsTest asserts it).
+  //===--------------------------------------------------------------===//
+  /// Mean |T_pred - T_meas| / T_meas across model samples.
+  double ModelTimeRelError = 0.0;
+  /// Mean |E_pred - E_meas| / E_meas across model samples.
+  double ModelEnergyRelError = 0.0;
+  /// Invocations contributing to the two means.
+  unsigned ModelSamples = 0;
 
   double averageWatts() const { return Seconds > 0.0 ? Joules / Seconds : 0.0; }
 };

@@ -51,10 +51,14 @@ bool GpuHealthMonitor::gpuUsable(double NowSec) {
     }
     ECAS_UNREACHABLE("unknown health state");
   }();
-  // Leaf-lock discipline: trace events only after the mutex is released.
-  if (Probing)
+  // Leaf-lock discipline: trace events and counter bumps only after the
+  // mutex is released.
+  if (Probing) {
     if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
       T->instant("health", "probe", NowSec);
+    if (Metrics.Probes)
+      Metrics.Probes->add();
+  }
   return Usable;
 }
 
@@ -86,6 +90,8 @@ void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
   }
   if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
     T->instant("health", "quarantine", NowSec, "launch-abandoned");
+  if (Metrics.Quarantines)
+    Metrics.Quarantines->add();
 }
 
 void GpuHealthMonitor::noteHang(double NowSec) {
@@ -99,6 +105,10 @@ void GpuHealthMonitor::noteHang(double NowSec) {
     T->instant("health", "hang", NowSec);
     T->instant("health", "quarantine", NowSec, "hang");
   }
+  if (Metrics.Hangs)
+    Metrics.Hangs->add();
+  if (Metrics.Quarantines)
+    Metrics.Quarantines->add();
 }
 
 void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
@@ -112,7 +122,10 @@ void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
     }
     State = GpuHealthState::Healthy;
   }
-  if (Recovered)
+  if (Recovered) {
     if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
       T->instant("health", "recovery", NowSec);
+    if (Metrics.Recoveries)
+      Metrics.Recoveries->add();
+  }
 }

@@ -25,6 +25,7 @@
 #ifndef ECAS_FAULT_GPUHEALTH_H
 #define ECAS_FAULT_GPUHEALTH_H
 
+#include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
 #include "ecas/support/ThreadAnnotations.h"
 
@@ -131,6 +132,20 @@ public:
     Trace.store(Recorder, std::memory_order_release);
   }
 
+  /// Counters for the reaction-side transitions (hang, quarantine,
+  /// probe, recovery), bumped after the leaf mutex is released, exactly
+  /// like the trace instants. Null members are skipped. Attach before
+  /// concurrent use — the EasScheduler constructor does — because the
+  /// hook pointers themselves are unsynchronized (the counters they
+  /// point at are atomic).
+  struct MetricHooks {
+    obs::Counter *Hangs = nullptr;
+    obs::Counter *Quarantines = nullptr;
+    obs::Counter *Probes = nullptr;
+    obs::Counter *Recoveries = nullptr;
+  };
+  void setMetrics(const MetricHooks &Hooks) { Metrics = Hooks; }
+
 private:
   void quarantine(double NowSec) ECAS_REQUIRES(Mutex);
 
@@ -146,6 +161,8 @@ private:
   /// Not guarded: read/written with its own acquire/release ordering so
   /// transition events can be emitted outside the leaf mutex.
   std::atomic<obs::TraceRecorder *> Trace{nullptr};
+  /// Not guarded: written once by setMetrics() before concurrent use.
+  MetricHooks Metrics;
 };
 
 } // namespace ecas

@@ -1,0 +1,108 @@
+//===-- ecas/obs/DecisionLog.h - Per-decision audit records ----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The audit half of model-fidelity telemetry: where the histograms in
+/// obs/Metrics.h answer "how wrong is the model on average", the
+/// DecisionLog answers "what exactly did the scheduler decide for
+/// invocation N and why". Each EasScheduler::execute appends one
+/// DecisionRecord — kernel id, workload class, chosen alpha, the
+/// predicted T/P/metric that justified it, the measured T/E that
+/// followed, and whether the choice came from a table-G hit or a fresh
+/// profile — into a fixed-capacity in-memory ring (old records are
+/// overwritten, a service never grows unbounded). DecisionLogSink
+/// renders a ring snapshot as CSV or JSON-lines for offline diffing,
+/// mirroring the CsvTraceSink / ChromeTrace split in the trace layer.
+///
+/// Like the registry, a null DecisionLog pointer in EasConfig no-ops
+/// every append and scheduling stays bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_OBS_DECISIONLOG_H
+#define ECAS_OBS_DECISIONLOG_H
+
+#include "ecas/support/Error.h"
+#include "ecas/support/ThreadAnnotations.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecas::obs {
+
+/// Everything the scheduler knew (and then learned) about one
+/// invocation. Prediction fields are meaningful only when
+/// HasPrediction; measured fields only when the run completed
+/// (!Cancelled).
+struct DecisionRecord {
+  /// Monotonic append index (survives ring wrap, so gaps reveal
+  /// overwritten history).
+  uint64_t Sequence = 0;
+  uint64_t KernelId = 0;
+  /// WorkloadClass::index(), or -1 when never classified.
+  int ClassIndex = -1;
+  double Alpha = 0.0;
+  bool HasPrediction = false;
+  double PredictedSeconds = 0.0;
+  double PredictedWatts = 0.0;
+  /// Objective value (EDP/ED^2P/energy...) the alpha search minimised.
+  double PredictedMetric = 0.0;
+  double MeasuredSeconds = 0.0;
+  double MeasuredJoules = 0.0;
+  bool TableHit = false;
+  bool Profiled = false;
+  bool CpuOnlyFastPath = false;
+  bool GpuQuarantined = false;
+  bool Cancelled = false;
+};
+
+/// Thread-safe fixed-capacity ring of DecisionRecords. append() takes
+/// one leaf mutex ("Obs.DecisionLog"); the scheduler calls it once per
+/// invocation, after dispatch, outside every scheduler lock.
+class DecisionLog {
+public:
+  explicit DecisionLog(size_t Capacity = 1024);
+
+  /// Stamps Sequence and stores \p Record, overwriting the oldest entry
+  /// once the ring is full.
+  void append(DecisionRecord Record);
+
+  /// Records still resident, oldest first.
+  std::vector<DecisionRecord> snapshot() const;
+
+  /// Total appends over the log's lifetime (>= snapshot().size()).
+  uint64_t appended() const;
+
+  size_t capacity() const { return Cap; }
+
+private:
+  const size_t Cap;
+  /// Leaf lock: nothing else is ever acquired while it is held.
+  mutable AnnotatedMutex Mutex{"Obs.DecisionLog"};
+  std::vector<DecisionRecord> Ring ECAS_GUARDED_BY(Mutex);
+  uint64_t Next ECAS_GUARDED_BY(Mutex) = 0;
+};
+
+/// Renders ring snapshots for offline inspection.
+class DecisionLogSink {
+public:
+  /// CSV with a header row; one line per record, columns matching the
+  /// DecisionRecord fields.
+  static std::string renderCsv(const std::vector<DecisionRecord> &Records);
+
+  /// JSON-lines: one self-contained object per record.
+  static std::string
+  renderJsonLines(const std::vector<DecisionRecord> &Records);
+
+  /// Writes \p Log's snapshot to \p Path (atomically); format picked by
+  /// extension — ".csv" renders CSV, anything else JSON-lines.
+  static Status write(const DecisionLog &Log, const std::string &Path);
+};
+
+} // namespace ecas::obs
+
+#endif // ECAS_OBS_DECISIONLOG_H

@@ -1,0 +1,66 @@
+//===-- ecas/obs/MetricNames.h - Canonical metric names --------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every metric name the runtime registers, in one place. Names are
+/// lowercase snake_case with the `eas_` prefix; ecas-lint's metric-name
+/// rule checks both the literals here and that no other file under
+/// src/ecas registers an instrument with an inline string — new metrics
+/// get a constant here first, so the taxonomy in DESIGN.md §11 stays
+/// the complete list.
+///
+/// Units follow Prometheus conventions: a `_seconds`/`_joules` suffix
+/// for physical quantities, `_total` for monotonic event counts, bare
+/// names for distributions of dimensionless ratios (rel-errors, alpha).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_OBS_METRICNAMES_H
+#define ECAS_OBS_METRICNAMES_H
+
+namespace ecas::obs::names {
+
+// Model fidelity — the paper's headline question (how well T(alpha) and
+// P(alpha) track reality), as |predicted - measured| / measured.
+inline constexpr char ModelTimeRelError[] = "eas_model_time_rel_error";
+inline constexpr char ModelEnergyRelError[] = "eas_model_energy_rel_error";
+
+// Decision shape.
+inline constexpr char AlphaChosen[] = "eas_alpha_chosen";
+inline constexpr char AlphaSearchEvals[] = "eas_alpha_search_evaluations";
+inline constexpr char ProfileOverheadFraction[] =
+    "eas_profile_overhead_fraction";
+
+// Invocation lifecycle.
+inline constexpr char InvocationSeconds[] = "eas_invocation_seconds";
+inline constexpr char InvocationsTotal[] = "eas_invocations_total";
+inline constexpr char TableHitsTotal[] = "eas_table_hits_total";
+inline constexpr char TableMissesTotal[] = "eas_table_misses_total";
+inline constexpr char CpuOnlyTotal[] = "eas_cpu_only_total";
+inline constexpr char CancelledTotal[] = "eas_cancelled_total";
+inline constexpr char RejectedTotal[] = "eas_rejected_total";
+inline constexpr char ProfileRepsTotal[] = "eas_profile_reps_total";
+inline constexpr char ProfileRepSeconds[] = "eas_profile_rep_seconds";
+inline constexpr char DecisionsLoggedTotal[] = "eas_decisions_logged_total";
+
+// GPU health (fault layer).
+inline constexpr char LaunchRetriesTotal[] = "eas_launch_retries_total";
+inline constexpr char HangsTotal[] = "eas_health_hangs_total";
+inline constexpr char QuarantinesTotal[] = "eas_health_quarantines_total";
+inline constexpr char RecoveriesTotal[] = "eas_health_recoveries_total";
+inline constexpr char ProbesTotal[] = "eas_health_probes_total";
+inline constexpr char ReadmissionsTotal[] = "eas_health_readmissions_total";
+inline constexpr char QuarantinedRunsTotal[] = "eas_quarantined_runs_total";
+
+// Service lifecycle.
+inline constexpr char ShutdownDrainSeconds[] = "eas_shutdown_drain_seconds";
+
+// Simulated RAPL plumbing (sim layer).
+inline constexpr char MsrReadsTotal[] = "eas_msr_reads_total";
+
+} // namespace ecas::obs::names
+
+#endif // ECAS_OBS_METRICNAMES_H

@@ -155,6 +155,8 @@ ProfileSample OnlineProfiler::profileOnce(const KernelDesc &Kernel,
 
   RemainingIters -= Sample.GpuIterations + Sample.CpuIterations;
   RemainingIters = std::max(RemainingIters, 0.0);
+  if (RepSeconds && Sample.ElapsedSeconds > 0.0)
+    RepSeconds->record(Sample.ElapsedSeconds);
   if (Trace)
     Trace->completeSpan(
         "profile", "profile-rep", HostStart,

@@ -19,6 +19,7 @@
 #define ECAS_PROFILE_ONLINEPROFILER_H
 
 #include "ecas/device/KernelDesc.h"
+#include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
 #include "ecas/profile/WorkloadClass.h"
 #include "ecas/sim/SimProcessor.h"
@@ -94,6 +95,12 @@ public:
   /// bit-identical with or without a recorder.
   void setTrace(obs::TraceRecorder *Recorder) { Trace = Recorder; }
 
+  /// Attaches a histogram (nullptr detaches) that receives each
+  /// repetition's elapsed virtual seconds (eas_profile_rep_seconds) —
+  /// the per-repetition cost underlying the paper's "low overhead"
+  /// claim. Purely observational, like setTrace().
+  void setRepSeconds(obs::Histogram *H) { RepSeconds = H; }
+
   /// One repetition: offloads min(GpuProfileSize, remaining) iterations
   /// of \p Kernel to the GPU while the CPU drains the rest of the shared
   /// pool; on GPU completion the CPU share is cancelled back into the
@@ -111,6 +118,7 @@ private:
   double GpuProfileSize;
   double WatchdogPollSec = 0.02;
   obs::TraceRecorder *Trace = nullptr;
+  obs::Histogram *RepSeconds = nullptr;
 };
 
 } // namespace ecas

@@ -16,6 +16,8 @@
 #ifndef ECAS_SIM_ENERGYMETER_H
 #define ECAS_SIM_ENERGYMETER_H
 
+#include "ecas/obs/Metrics.h"
+
 #include <cstdint>
 
 namespace ecas {
@@ -40,7 +42,18 @@ public:
   void deposit(double Joules);
 
   /// Reads the emulated MSR_PKG_ENERGY_STATUS value.
-  uint32_t readMsr() const { return Counter; }
+  uint32_t readMsr() const {
+    if (ReadCounter)
+      ReadCounter->add();
+    return Counter;
+  }
+
+  /// Observability hook (eas_msr_reads_total): when attached, every
+  /// readMsr() bumps the counter, exposing the sampling cadence the
+  /// wrap contract below depends on. Attach before concurrent use
+  /// (ExecutionSession does, at run entry); purely observational — the
+  /// MSR value returned is untouched.
+  void setReadCounter(obs::Counter *C) { ReadCounter = C; }
 
   /// Joules represented by one counter increment.
   double energyUnitJoules() const { return UnitJoules; }
@@ -70,6 +83,7 @@ private:
   /// Sub-unit remainder awaiting the next counter increment.
   double Fraction = 0.0;
   uint32_t Counter = 0;
+  obs::Counter *ReadCounter = nullptr;
 };
 
 } // namespace ecas

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 using namespace ecas;
 
@@ -74,15 +75,55 @@ double ecas::geometricMean(const std::vector<double> &Values) {
 }
 
 double ecas::quantile(std::vector<double> Values, double Q) {
-  ECAS_CHECK(!Values.empty(), "quantile of empty sample");
-  ECAS_CHECK(Q >= 0.0 && Q <= 1.0, "quantile must be in [0,1]");
+  Values.erase(std::remove_if(Values.begin(), Values.end(),
+                              [](double V) { return std::isnan(V); }),
+               Values.end());
   std::sort(Values.begin(), Values.end());
-  double Pos = Q * static_cast<double>(Values.size() - 1);
+  return quantileSorted(Values, Q);
+}
+
+double ecas::quantileSorted(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  Q = std::clamp(Q, 0.0, 1.0);
+  double Pos = Q * static_cast<double>(Sorted.size() - 1);
   size_t Below = static_cast<size_t>(Pos);
-  if (Below + 1 >= Values.size())
-    return Values.back();
+  if (Below + 1 >= Sorted.size())
+    return Sorted.back();
   double Frac = Pos - static_cast<double>(Below);
-  return Values[Below] * (1.0 - Frac) + Values[Below + 1] * Frac;
+  return Sorted[Below] * (1.0 - Frac) + Sorted[Below + 1] * Frac;
+}
+
+double ecas::quantileFromBuckets(const std::vector<double> &UpperBounds,
+                                 const std::vector<uint64_t> &Counts,
+                                 double Q) {
+  ECAS_CHECK(Counts.size() == UpperBounds.size() + 1,
+             "bucket counts must cover every bound plus overflow");
+  uint64_t Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  if (Total == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  Q = std::clamp(Q, 0.0, 1.0);
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I != UpperBounds.size(); ++I) {
+    uint64_t Before = Cumulative;
+    Cumulative += Counts[I];
+    if (static_cast<double>(Cumulative) < Rank)
+      continue;
+    double Lower = I == 0 ? 0.0 : UpperBounds[I - 1];
+    double Upper = UpperBounds[I];
+    if (Counts[I] == 0)
+      return Upper;
+    double Within = (Rank - static_cast<double>(Before)) /
+                    static_cast<double>(Counts[I]);
+    return Lower + (Upper - Lower) * std::clamp(Within, 0.0, 1.0);
+  }
+  // The quantile lands in the overflow bucket: the bounds cannot say
+  // where, so report the highest finite edge (Prometheus' convention).
+  return UpperBounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : UpperBounds.back();
 }
 
 double ecas::rSquared(const std::vector<double> &Ref,

@@ -16,6 +16,7 @@
 #define ECAS_SUPPORT_STATS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ecas {
@@ -52,8 +53,28 @@ double arithmeticMean(const std::vector<double> &Values);
 double geometricMean(const std::vector<double> &Values);
 
 /// Returns the \p Q quantile (0..1) using linear interpolation between
-/// order statistics. \p Values need not be sorted.
+/// order statistics. \p Values need not be sorted; NaN entries are
+/// dropped first, and an empty (or all-NaN) sample yields NaN rather
+/// than a value pulled from thin air.
 double quantile(std::vector<double> Values, double Q);
+
+/// The single quantile implementation every other helper delegates to
+/// (quantile(), the metrics histograms, the bench JSON summaries).
+/// \p Sorted must be ascending and NaN-free; returns NaN for an empty
+/// vector, the sole element for a one-sample vector, and clamps \p Q
+/// into [0, 1].
+double quantileSorted(const std::vector<double> &Sorted, double Q);
+
+/// Quantile estimated from log- or linear-bucketed counts, the way
+/// Prometheus' histogram_quantile does it: \p UpperBounds are the
+/// ascending finite bucket upper edges and \p Counts holds one entry
+/// per bound plus a trailing overflow bucket (so Counts.size() ==
+/// UpperBounds.size() + 1). The result interpolates linearly inside the
+/// target bucket (the first bucket's lower edge is 0); a quantile
+/// landing in the overflow bucket reports the highest finite bound.
+/// Returns NaN when no samples were recorded.
+double quantileFromBuckets(const std::vector<double> &UpperBounds,
+                           const std::vector<uint64_t> &Counts, double Q);
 
 /// Coefficient of determination of predictions \p Fit against observations
 /// \p Ref; 1.0 means a perfect fit. Vectors must be equal-sized and

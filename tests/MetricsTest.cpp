@@ -1,0 +1,541 @@
+//===-- tests/MetricsTest.cpp - Metrics registry & telemetry --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Coverage of the metrics tentpole: the lock-free histogram fast path
+/// (bucket placement, le semantics, NaN handling, concurrent recording
+/// with exact totals), snapshot merging, the Prometheus/JSON/report
+/// exporters and the Prometheus parser round trip, the decision audit
+/// ring, and the two end-to-end invariants: an EAS run's
+/// eas_model_*_rel_error histogram mean equals the SessionReport mean
+/// bitwise for a single-class trace, and a null registry leaves
+/// scheduling bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/ExecutionSession.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/obs/DecisionLog.h"
+#include "ecas/obs/MetricNames.h"
+#include "ecas/obs/Metrics.h"
+#include "ecas/obs/MetricsExport.h"
+#include "ecas/power/Characterizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+KernelDesc testKernel(const char *Name = "metrics-probe") {
+  KernelDesc Kernel;
+  Kernel.Name = Name;
+  return Kernel.withAutoId();
+}
+
+/// One kernel repeated: every invocation lands in a single workload
+/// class, which is what makes the report-vs-histogram mean comparison
+/// exact.
+InvocationTrace singleClassTrace(unsigned Invocations = 60,
+                                 double Iterations = 2e6) {
+  InvocationTrace Trace;
+  for (unsigned I = 0; I != Invocations; ++I)
+    Trace.push_back({testKernel(), Iterations});
+  return Trace;
+}
+
+const PowerCurveSet &desktopCurves() {
+  static PowerCurveSet Curves = Characterizer(haswellDesktop()).characterize();
+  return Curves;
+}
+
+void expectSameMeasurement(const SessionReport &A, const SessionReport &B) {
+  EXPECT_EQ(A.Seconds, B.Seconds);
+  EXPECT_EQ(A.Joules, B.Joules);
+  EXPECT_EQ(A.MetricValue, B.MetricValue);
+  EXPECT_EQ(A.MeanAlpha, B.MeanAlpha);
+  EXPECT_EQ(A.Invocations, B.Invocations);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, ReturnsSameInstrumentForSameNameAndLabels) {
+  obs::MetricsRegistry Registry;
+  obs::Counter &A = Registry.counter("eas_test_total", {}, "help");
+  obs::Counter &B = Registry.counter("eas_test_total", {}, "other help");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(Registry.size(), 1u);
+
+  obs::Counter &Labeled =
+      Registry.counter("eas_test_total", {{"class", "c0"}}, "");
+  EXPECT_NE(&A, &Labeled);
+  EXPECT_EQ(Registry.size(), 2u);
+
+  A.add();
+  A.add(2.5);
+  Labeled.add(4.0);
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  // total() folds every variant of a family (histograms excluded).
+  EXPECT_DOUBLE_EQ(Snap.total("eas_test_total"), 7.5);
+  const obs::MetricSample *Plain = Snap.find("eas_test_total", {});
+  ASSERT_NE(Plain, nullptr);
+  EXPECT_DOUBLE_EQ(Plain->Value, 3.5);
+  // Help comes from the first registration.
+  EXPECT_EQ(Plain->Help, "help");
+}
+
+TEST(MetricsRegistry, GaugeSetsAndAdds) {
+  obs::MetricsRegistry Registry;
+  obs::Gauge &G = Registry.gauge("eas_drain_seconds", {}, "");
+  G.set(2.0);
+  G.add(0.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  G.set(0.25);
+  EXPECT_DOUBLE_EQ(Registry.snapshot().find("eas_drain_seconds")->Value, 0.25);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByNameThenLabels) {
+  obs::MetricsRegistry Registry;
+  Registry.counter("eas_zz_total", {}, "");
+  Registry.counter("eas_aa_total", {{"class", "c1"}}, "");
+  Registry.counter("eas_aa_total", {{"class", "c0"}}, "");
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  ASSERT_EQ(Snap.Samples.size(), 3u);
+  EXPECT_EQ(Snap.Samples[0].Name, "eas_aa_total");
+  EXPECT_EQ(Snap.Samples[0].Labels[0].second, "c0");
+  EXPECT_EQ(Snap.Samples[1].Labels[0].second, "c1");
+  EXPECT_EQ(Snap.Samples[2].Name, "eas_zz_total");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketPlacementUsesLessOrEqual) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H =
+      Registry.histogram("eas_lat_seconds", {1.0, 2.0, 4.0}, {}, "");
+  H.record(0.5);  // bucket 0 (le 1)
+  H.record(1.0);  // bucket 0: a value equal to an edge belongs to it
+  H.record(1.5);  // bucket 1 (le 2)
+  H.record(4.0);  // bucket 2 (le 4)
+  H.record(9.0);  // overflow (+Inf)
+  H.record(-3.0); // below every bound still lands in bucket 0
+  obs::HistogramSnapshot Snap = H.snapshot();
+  ASSERT_EQ(Snap.Counts.size(), 4u);
+  EXPECT_EQ(Snap.Counts[0], 3u);
+  EXPECT_EQ(Snap.Counts[1], 1u);
+  EXPECT_EQ(Snap.Counts[2], 1u);
+  EXPECT_EQ(Snap.Counts[3], 1u);
+  EXPECT_EQ(Snap.Count, 6u);
+  EXPECT_DOUBLE_EQ(Snap.Sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0 - 3.0);
+  EXPECT_DOUBLE_EQ(Snap.Min, -3.0);
+  EXPECT_DOUBLE_EQ(Snap.Max, 9.0);
+}
+
+TEST(Histogram, NanIsDroppedAndEmptySnapshotIsZeroed) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H = Registry.histogram("eas_lat_seconds", {1.0}, {}, "");
+  H.record(std::nan(""));
+  obs::HistogramSnapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Count, 0u);
+  EXPECT_DOUBLE_EQ(Snap.Sum, 0.0);
+  EXPECT_DOUBLE_EQ(Snap.Min, 0.0);
+  EXPECT_DOUBLE_EQ(Snap.Max, 0.0);
+  EXPECT_TRUE(std::isnan(Snap.quantile(0.5)));
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H =
+      Registry.histogram("eas_lat_seconds", {1.0, 2.0, 4.0}, {}, "");
+  // 10 samples in (0,1], 10 in (1,2]: the median sits exactly on the
+  // first edge, p75 halfway through the second bucket.
+  for (int I = 0; I != 10; ++I) {
+    H.record(0.5);
+    H.record(1.5);
+  }
+  obs::HistogramSnapshot Snap = H.snapshot();
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.75), 1.5);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(Snap.mean(), 1.0);
+}
+
+TEST(Histogram, MergeFoldsCountsAndExtrema) {
+  obs::MetricsRegistry A, B;
+  obs::Histogram &Ha = A.histogram("eas_lat_seconds", {1.0, 2.0}, {}, "");
+  obs::Histogram &Hb = B.histogram("eas_lat_seconds", {1.0, 2.0}, {}, "");
+  Ha.record(0.25);
+  Ha.record(1.5);
+  Hb.record(0.75);
+  Hb.record(8.0);
+  obs::HistogramSnapshot Merged = Ha.snapshot();
+  Merged.merge(Hb.snapshot());
+  EXPECT_EQ(Merged.Count, 4u);
+  EXPECT_DOUBLE_EQ(Merged.Sum, 0.25 + 1.5 + 0.75 + 8.0);
+  EXPECT_DOUBLE_EQ(Merged.Min, 0.25);
+  EXPECT_DOUBLE_EQ(Merged.Max, 8.0);
+  EXPECT_EQ(Merged.Counts[0], 2u);
+  EXPECT_EQ(Merged.Counts[1], 1u);
+  EXPECT_EQ(Merged.Counts[2], 1u);
+
+  // Merging an empty snapshot must not poison the extrema.
+  obs::MetricsRegistry C;
+  obs::HistogramSnapshot Empty =
+      C.histogram("eas_lat_seconds", {1.0, 2.0}, {}, "").snapshot();
+  obs::HistogramSnapshot Kept = Ha.snapshot();
+  Kept.merge(Empty);
+  EXPECT_DOUBLE_EQ(Kept.Min, 0.25);
+  EXPECT_DOUBLE_EQ(Kept.Max, 1.5);
+}
+
+TEST(Histogram, BucketGenerators) {
+  std::vector<double> Log = obs::logBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(Log.size(), 4u);
+  EXPECT_DOUBLE_EQ(Log[0], 1.0);
+  EXPECT_DOUBLE_EQ(Log[3], 8.0);
+  std::vector<double> Lin = obs::linearBuckets(0.0, 0.25, 4);
+  ASSERT_EQ(Lin.size(), 4u);
+  EXPECT_DOUBLE_EQ(Lin[0], 0.25);
+  EXPECT_DOUBLE_EQ(Lin[3], 1.0);
+}
+
+TEST(Histogram, ConcurrentRecordingIsExact) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H =
+      Registry.histogram("eas_mt_seconds", {2.0, 5.0}, {}, "");
+  obs::Counter &Total = Registry.counter("eas_mt_total", {}, "");
+  constexpr unsigned Threads = 4;
+  constexpr unsigned PerThread = 20000;
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Writers.emplace_back([&H, &Total] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        // Integer values: double fetch_add sums them exactly, so the
+        // totals below are equalities, not tolerances.
+        H.record(static_cast<double>(I % 8));
+        Total.add();
+      }
+    });
+  for (std::thread &W : Writers)
+    W.join();
+
+  obs::HistogramSnapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Count, uint64_t{Threads} * PerThread);
+  // Per thread: sum of 0..7 over 20000/8 cycles.
+  EXPECT_DOUBLE_EQ(Snap.Sum, double(Threads) * (PerThread / 8) * 28.0);
+  // Values 0,1,2 le 2.0; 3,4,5 le 5.0; 6,7 overflow.
+  EXPECT_EQ(Snap.Counts[0], uint64_t{Threads} * PerThread / 8 * 3);
+  EXPECT_EQ(Snap.Counts[1], uint64_t{Threads} * PerThread / 8 * 3);
+  EXPECT_EQ(Snap.Counts[2], uint64_t{Threads} * PerThread / 8 * 2);
+  EXPECT_DOUBLE_EQ(Snap.Min, 0.0);
+  EXPECT_DOUBLE_EQ(Snap.Max, 7.0);
+  EXPECT_DOUBLE_EQ(Total.value(), double(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsExport, PrometheusGolden) {
+  obs::MetricsRegistry Registry;
+  // FP-exact values (powers of two and their sums) keep the golden
+  // stable across platforms.
+  obs::Histogram &H = Registry.histogram("eas_lat_seconds", {0.5, 1.0},
+                                         {{"class", "c0"}}, "latency");
+  H.record(0.25);
+  H.record(0.5);
+  H.record(2.0);
+  Registry.counter("eas_test_total", {}, "a counter").add(3.0);
+
+  std::string Text = obs::renderPrometheus(Registry.snapshot());
+  EXPECT_EQ(Text, "# HELP eas_lat_seconds latency\n"
+                  "# TYPE eas_lat_seconds histogram\n"
+                  "eas_lat_seconds_bucket{class=\"c0\",le=\"0.5\"} 2\n"
+                  "eas_lat_seconds_bucket{class=\"c0\",le=\"1\"} 2\n"
+                  "eas_lat_seconds_bucket{class=\"c0\",le=\"+Inf\"} 3\n"
+                  "eas_lat_seconds_sum{class=\"c0\"} 2.75\n"
+                  "eas_lat_seconds_count{class=\"c0\"} 3\n"
+                  "# HELP eas_test_total a counter\n"
+                  "# TYPE eas_test_total counter\n"
+                  "eas_test_total 3\n");
+}
+
+TEST(MetricsExport, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry Registry;
+  Registry.counter("eas_esc_total", {{"path", "a\\b\"c\nd"}}, "").add();
+  std::string Text = obs::renderPrometheus(Registry.snapshot());
+  EXPECT_NE(Text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+
+  // The parser must invert the escaping exactly.
+  ErrorOr<obs::MetricsSnapshot> Back = obs::parsePrometheusText(Text);
+  ASSERT_TRUE(Back.ok()) << Back.status().message();
+  ASSERT_EQ(Back.value().Samples.size(), 1u);
+  EXPECT_EQ(Back.value().Samples[0].Labels[0].second, "a\\b\"c\nd");
+}
+
+TEST(MetricsExport, JsonRendersValuesAndHistograms) {
+  obs::MetricsRegistry Registry;
+  Registry.counter("eas_test_total", {{"k", "v"}}, "").add(2.0);
+  obs::Histogram &H = Registry.histogram("eas_lat_seconds", {1.0}, {}, "");
+  H.record(0.5);
+  std::string Json = obs::renderMetricsJson(Registry.snapshot());
+  EXPECT_NE(Json.find("\"name\": \"eas_test_total\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(Json.find("\"k\": \"v\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"bounds\": [1]"), std::string::npos);
+  EXPECT_NE(Json.find("\"counts\": [1, 0]"), std::string::npos);
+  EXPECT_NE(Json.find("\"sum\": 0.5"), std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusRoundTrip) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H = Registry.histogram(
+      "eas_lat_seconds", obs::logBuckets(0.001, 4.0, 6), {{"class", "c3"}},
+      "round trip");
+  for (double V : {0.0005, 0.002, 0.002, 0.3, 10.0, 1e6})
+    H.record(V);
+  Registry.counter("eas_test_total", {}, "").add(41.0);
+  Registry.gauge("eas_drain_seconds", {}, "drain").set(0.125);
+
+  obs::MetricsSnapshot Before = Registry.snapshot();
+  ErrorOr<obs::MetricsSnapshot> After =
+      obs::parsePrometheusText(obs::renderPrometheus(Before));
+  ASSERT_TRUE(After.ok()) << After.status().message();
+  ASSERT_EQ(After.value().Samples.size(), Before.Samples.size());
+  for (size_t I = 0; I != Before.Samples.size(); ++I) {
+    const obs::MetricSample &B = Before.Samples[I];
+    const obs::MetricSample &A = After.value().Samples[I];
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Kind, B.Kind);
+    EXPECT_EQ(A.Labels, B.Labels);
+    if (B.Kind == obs::MetricKind::Histogram) {
+      EXPECT_EQ(A.Hist.UpperBounds, B.Hist.UpperBounds);
+      EXPECT_EQ(A.Hist.Counts, B.Hist.Counts);
+      EXPECT_EQ(A.Hist.Count, B.Hist.Count);
+      EXPECT_EQ(A.Hist.Sum, B.Hist.Sum);
+    } else {
+      EXPECT_EQ(A.Value, B.Value);
+    }
+  }
+}
+
+TEST(MetricsExport, ParserRejectsMalformedInput) {
+  // Histogram with no +Inf bucket: incomplete, not silently dropped.
+  ErrorOr<obs::MetricsSnapshot> NoInf = obs::parsePrometheusText(
+      "# TYPE eas_lat_seconds histogram\n"
+      "eas_lat_seconds_bucket{le=\"1\"} 2\n"
+      "eas_lat_seconds_sum 1.5\n"
+      "eas_lat_seconds_count 2\n");
+  ASSERT_FALSE(NoInf.ok());
+  EXPECT_EQ(NoInf.status().code(), ErrCode::Incomplete);
+
+  // Cumulative counts that go down are corrupt.
+  ErrorOr<obs::MetricsSnapshot> Shrinking = obs::parsePrometheusText(
+      "# TYPE eas_lat_seconds histogram\n"
+      "eas_lat_seconds_bucket{le=\"1\"} 5\n"
+      "eas_lat_seconds_bucket{le=\"+Inf\"} 3\n"
+      "eas_lat_seconds_sum 1.5\n"
+      "eas_lat_seconds_count 3\n");
+  ASSERT_FALSE(Shrinking.ok());
+  EXPECT_EQ(Shrinking.status().code(), ErrCode::CorruptData);
+
+  ErrorOr<obs::MetricsSnapshot> Garbage =
+      obs::parsePrometheusText("eas_test_total not-a-number\n");
+  ASSERT_FALSE(Garbage.ok());
+  EXPECT_EQ(Garbage.status().code(), ErrCode::ParseError);
+}
+
+TEST(MetricsExport, ReportRendersHistogramSummaries) {
+  obs::MetricsRegistry Registry;
+  obs::Histogram &H = Registry.histogram("eas_lat_seconds", {1.0, 2.0}, {}, "");
+  for (int I = 0; I != 4; ++I)
+    H.record(0.5);
+  Registry.counter("eas_test_total", {}, "").add(7.0);
+  std::string Report = obs::renderMetricsReport(Registry.snapshot());
+  EXPECT_NE(Report.find("eas_lat_seconds"), std::string::npos);
+  EXPECT_NE(Report.find("count=4"), std::string::npos);
+  EXPECT_NE(Report.find("p50="), std::string::npos);
+  EXPECT_NE(Report.find("p99="), std::string::npos);
+  EXPECT_NE(Report.find("eas_test_total"), std::string::npos);
+}
+
+TEST(MetricsExport, WriteFileAtomicReplacesContent) {
+  std::string Path = ::testing::TempDir() + "ecas_metrics_atomic.txt";
+  ASSERT_TRUE(obs::writeFileAtomic(Path, "first\n").ok());
+  ASSERT_TRUE(obs::writeFileAtomic(Path, "second\n").ok());
+  std::ifstream In(Path);
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(Content, "second\n");
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionLog
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionLog, RingKeepsNewestRecordsOldestFirst) {
+  obs::DecisionLog Log(4);
+  for (uint64_t I = 0; I != 10; ++I) {
+    obs::DecisionRecord R;
+    R.KernelId = 100 + I;
+    Log.append(R);
+  }
+  EXPECT_EQ(Log.appended(), 10u);
+  std::vector<obs::DecisionRecord> Snap = Log.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  for (size_t I = 0; I != Snap.size(); ++I) {
+    EXPECT_EQ(Snap[I].Sequence, 6 + I);
+    EXPECT_EQ(Snap[I].KernelId, 106 + I);
+  }
+}
+
+TEST(DecisionLog, SinksRenderCsvAndJsonLines) {
+  obs::DecisionLog Log;
+  obs::DecisionRecord R;
+  R.KernelId = 7;
+  R.ClassIndex = 3;
+  R.Alpha = 0.5;
+  R.HasPrediction = true;
+  R.PredictedSeconds = 0.25;
+  R.TableHit = true;
+  Log.append(R);
+  Log.append(R);
+
+  std::string Csv = obs::DecisionLogSink::renderCsv(Log.snapshot());
+  EXPECT_EQ(Csv.find("sequence"), 0u); // header row first
+  EXPECT_EQ(std::count(Csv.begin(), Csv.end(), '\n'), 3); // header + 2 rows
+
+  std::string Jsonl = obs::DecisionLogSink::renderJsonLines(Log.snapshot());
+  EXPECT_EQ(std::count(Jsonl.begin(), Jsonl.end(), '\n'), 2);
+  EXPECT_EQ(Jsonl.front(), '{');
+  EXPECT_NE(Jsonl.find("\"kernel_id\": 7"), std::string::npos);
+
+  std::string Path = ::testing::TempDir() + "ecas_decisions.csv";
+  ASSERT_TRUE(obs::DecisionLogSink::write(Log, Path).ok());
+  std::ifstream In(Path);
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(Content, Csv);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// End to end through the scheduler
+//===----------------------------------------------------------------------===//
+
+TEST(EasTelemetry, RegistryMatchesSessionReport) {
+  InvocationTrace Trace = singleClassTrace();
+  ExecutionSession Session(haswellDesktop());
+
+  obs::MetricsRegistry Registry;
+  obs::DecisionLog Decisions;
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Curves = &desktopCurves();
+  Options.Objective = Metric::edp();
+  Options.Metrics = &Registry;
+  Options.Decisions = &Decisions;
+  SessionReport Report = Session.run(SchemeKind::Eas, Options);
+
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  EXPECT_DOUBLE_EQ(Snap.total(obs::names::InvocationsTotal),
+                   double(Report.Invocations));
+  EXPECT_DOUBLE_EQ(Snap.total(obs::names::TableHitsTotal) +
+                       Snap.total(obs::names::TableMissesTotal),
+                   double(Report.Invocations));
+  EXPECT_DOUBLE_EQ(Snap.total(obs::names::ProfileRepsTotal),
+                   double(Report.ProfileRepetitions));
+  EXPECT_DOUBLE_EQ(Snap.total(obs::names::CpuOnlyTotal),
+                   double(Report.CpuOnlyFastPaths));
+  EXPECT_GT(Snap.total(obs::names::MsrReadsTotal), 0.0);
+
+  const obs::MetricSample *Alpha = Snap.find(obs::names::AlphaChosen);
+  ASSERT_NE(Alpha, nullptr);
+  EXPECT_EQ(Alpha->Hist.Count, uint64_t{Report.Invocations});
+
+  // Exactly one workload class saw model samples (one kernel repeated),
+  // and its histogram was folded in the same order as the report means —
+  // the equality is bitwise, not approximate.
+  ASSERT_GT(Report.ModelSamples, 0u);
+  uint64_t TimeErrCount = 0;
+  const obs::MetricSample *ClassSample = nullptr;
+  for (const obs::MetricSample &S : Snap.Samples) {
+    if (S.Name != obs::names::ModelTimeRelError)
+      continue;
+    TimeErrCount += S.Hist.Count;
+    if (S.Hist.Count)
+      ClassSample = &S;
+  }
+  EXPECT_EQ(TimeErrCount, uint64_t{Report.ModelSamples});
+  ASSERT_NE(ClassSample, nullptr);
+  EXPECT_EQ(ClassSample->Hist.mean(), Report.ModelTimeRelError);
+  ASSERT_EQ(ClassSample->Labels.size(), 1u);
+  EXPECT_EQ(ClassSample->Labels[0].first, "class");
+
+  const obs::MetricSample *EnergySample =
+      Snap.find(obs::names::ModelEnergyRelError, ClassSample->Labels);
+  ASSERT_NE(EnergySample, nullptr);
+  EXPECT_EQ(EnergySample->Hist.Count, uint64_t{Report.ModelSamples});
+  EXPECT_EQ(EnergySample->Hist.mean(), Report.ModelEnergyRelError);
+
+  // One audit record per invocation; the newest ones are resident.
+  EXPECT_EQ(Decisions.appended(), uint64_t{Report.Invocations});
+  EXPECT_DOUBLE_EQ(Snap.total(obs::names::DecisionsLoggedTotal),
+                   double(Report.Invocations));
+  std::vector<obs::DecisionRecord> Audit = Decisions.snapshot();
+  ASSERT_FALSE(Audit.empty());
+  unsigned Hits = 0, Misses = 0;
+  for (const obs::DecisionRecord &R : Audit) {
+    EXPECT_FALSE(R.Cancelled);
+    Hits += R.TableHit;
+    Misses += R.Profiled;
+  }
+  EXPECT_EQ(Hits + Misses, unsigned(Audit.size()));
+}
+
+TEST(EasTelemetry, NullRegistryIsBitIdentical) {
+  InvocationTrace Trace = singleClassTrace();
+  ExecutionSession Session(haswellDesktop());
+  SessionReport Bare =
+      Session.runEas(Trace, desktopCurves(), Metric::edp());
+
+  obs::MetricsRegistry Registry;
+  obs::DecisionLog Decisions;
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.Curves = &desktopCurves();
+  Options.Objective = Metric::edp();
+  Options.Metrics = &Registry;
+  Options.Decisions = &Decisions;
+  SessionReport Observed = Session.run(SchemeKind::Eas, Options);
+
+  // The telemetry is pure observation: const reads of the clock, the
+  // emulated MSR, and table G. Attaching it must not move a single bit.
+  expectSameMeasurement(Bare, Observed);
+  EXPECT_EQ(Bare.ProfileRepetitions, Observed.ProfileRepetitions);
+  EXPECT_EQ(Bare.AlphaSearches, Observed.AlphaSearches);
+
+  // Table-hit invocations only re-evaluate the model when telemetry is
+  // attached (the bare fast path stays one lookup + dispatch), so the
+  // observed run reports model samples for hits the bare run skipped.
+  EXPECT_GT(Bare.ModelSamples, 0u);
+  EXPECT_GE(Observed.ModelSamples, Bare.ModelSamples);
+}

@@ -144,6 +144,42 @@ TEST(Stats, Quantiles) {
   EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.0);
 }
 
+TEST(Stats, QuantileEdgeCases) {
+  // No data has no quantile — NaN, not a crash or a sentinel zero.
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(quantileSorted({}, 0.5)));
+
+  // One sample answers every quantile.
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 1.0), 7.0);
+
+  // Out-of-range Q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(quantileSorted({1.0, 2.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantileSorted({1.0, 2.0}, 2.0), 2.0);
+
+  // NaN samples are dropped before ranking.
+  std::vector<double> WithNan{std::nan(""), 2.0, std::nan(""), 4.0};
+  EXPECT_DOUBLE_EQ(quantile(WithNan, 0.5), 3.0);
+  EXPECT_TRUE(std::isnan(quantile({std::nan("")}, 0.5)));
+}
+
+TEST(Stats, QuantileFromBuckets) {
+  std::vector<double> Bounds{1.0, 2.0};
+  // Empty histogram → NaN, matching the sample-based helper.
+  EXPECT_TRUE(std::isnan(quantileFromBuckets(Bounds, {0, 0, 0}, 0.5)));
+
+  // 10 below 1, 10 in (1,2]: the median sits on the shared edge and
+  // intermediate ranks interpolate linearly inside their bucket.
+  std::vector<uint64_t> Counts{10, 10, 0};
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(Bounds, Counts, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(Bounds, Counts, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(Bounds, Counts, 0.25), 0.5);
+
+  // Mass in the overflow bucket can only be bounded by the last edge.
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(Bounds, {0, 0, 5}, 0.5), 2.0);
+}
+
 TEST(Stats, FitQuality) {
   std::vector<double> Ref{1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(rSquared(Ref, Ref), 1.0);

@@ -23,14 +23,20 @@
 #include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/obs/ChromeTrace.h"
+#include "ecas/obs/DecisionLog.h"
+#include "ecas/obs/Metrics.h"
+#include "ecas/obs/MetricsExport.h"
 #include "ecas/obs/Sinks.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Flags.h"
 #include "ecas/support/Format.h"
+#include "ecas/support/ThreadAnnotations.h"
 #include "ecas/workloads/Registry.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -63,6 +69,10 @@ int usage() {
       "       [--trace-out=FILE]           write a Chrome trace-event\n"
       "                                    JSON (Perfetto-loadable)\n"
       "       [--metrics]                  print span/counter summary\n"
+      "       [--metrics-out=FILE]         write a Prometheus-text snapshot\n"
+      "       [--metrics-json=FILE]        write a JSON metrics snapshot\n"
+      "       [--decision-log=FILE]        dump the per-decision audit ring\n"
+      "                                    (.csv renders CSV, else JSONL)\n"
       "  sweep --platform=NAME --workload=ABBR [--metric=M] [--scale=S]\n"
       "        [--fault-plan=PLAN]\n"
       "  suite --platform=NAME [--metric=M] [--scale=S]\n"
@@ -76,6 +86,11 @@ int usage() {
       "        [--drain-grace-ms=N]        concurrent stress: N client\n"
       "        [--trace-out=FILE]          threads share one scheduler,\n"
       "        [--metrics]                 then shut it down gracefully\n"
+      "        [--metrics-out=FILE]        Prometheus snapshot at exit, or\n"
+      "        [--metrics-interval-ms=N]   rewritten atomically every N ms\n"
+      "        [--metrics-json=FILE] [--decision-log=FILE]\n"
+      "  stats FILE                        pretty-print a Prometheus-text\n"
+      "                                    snapshot (from --metrics-out)\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
   return ExitUsage;
 }
@@ -201,6 +216,59 @@ bool drainObservability(const obs::TraceRecorder &Recorder,
   return true;
 }
 
+/// True when any flag asks for a metrics registry.
+bool wantsMetricsRegistry(const Flags &Args) {
+  return !Args.getString("metrics-out", "").empty() ||
+         !Args.getString("metrics-json", "").empty();
+}
+
+/// Writes the registry snapshot and the audit ring wherever
+/// --metrics-out, --metrics-json, and --decision-log point (each write
+/// atomic: tmp + rename). Returns false on an I/O failure (reported).
+bool writeMetricsOutputs(const obs::MetricsRegistry &Registry,
+                         const obs::DecisionLog *Decisions,
+                         const Flags &Args) {
+  std::string Out = Args.getString("metrics-out", "");
+  std::string Json = Args.getString("metrics-json", "");
+  if (!Out.empty() || !Json.empty()) {
+    obs::MetricsSnapshot Snap = Registry.snapshot();
+    if (!Out.empty()) {
+      if (Status S = obs::writeFileAtomic(Out, obs::renderPrometheus(Snap));
+          !S) {
+        std::fprintf(stderr, "error: %s: %s\n", Out.c_str(),
+                     S.message().c_str());
+        return false;
+      }
+      std::printf("wrote %s (%zu series; render with `ecas-cli stats %s`)\n",
+                  Out.c_str(), Snap.Samples.size(), Out.c_str());
+    }
+    if (!Json.empty()) {
+      if (Status S =
+              obs::writeFileAtomic(Json, obs::renderMetricsJson(Snap));
+          !S) {
+        std::fprintf(stderr, "error: %s: %s\n", Json.c_str(),
+                     S.message().c_str());
+        return false;
+      }
+      std::printf("wrote %s (%zu series, JSON)\n", Json.c_str(),
+                  Snap.Samples.size());
+    }
+  }
+  std::string LogPath = Args.getString("decision-log", "");
+  if (!LogPath.empty() && Decisions) {
+    if (Status S = obs::DecisionLogSink::write(*Decisions, LogPath); !S) {
+      std::fprintf(stderr, "error: %s: %s\n", LogPath.c_str(),
+                   S.message().c_str());
+      return false;
+    }
+    std::printf("wrote %s (%llu decisions, newest %zu resident)\n",
+                LogPath.c_str(),
+                static_cast<unsigned long long>(Decisions->appended()),
+                Decisions->snapshot().size());
+  }
+  return true;
+}
+
 Metric metricByName(const std::string &Name) {
   if (Name == "energy")
     return Metric::energy();
@@ -310,12 +378,19 @@ int cmdRun(const Flags &Args) {
               Objective.name().c_str(), W->numInvocations());
 
   obs::TraceRecorder Recorder;
+  obs::MetricsRegistry Registry;
+  obs::DecisionLog Decisions;
   RunOptions Options;
   Options.Trace = &W->Trace;
   Options.Objective = Objective;
   Options.Alpha = Args.getDouble("alpha", 0.5);
   if (wantsObservability(Args))
     Options.Recorder = &Recorder;
+  if (wantsMetricsRegistry(Args))
+    Options.Metrics = &Registry;
+  bool WantDecisions = !Args.getString("decision-log", "").empty();
+  if (WantDecisions)
+    Options.Decisions = &Decisions;
 
   // EAS alone needs curves, a table-G file, and a deadline; the sweep
   // and fixed-ratio schemes ignore those options.
@@ -341,6 +416,11 @@ int cmdRun(const Flags &Args) {
   printReport(Report);
   if (Report.FaultsEnabled || Report.Resilience.degraded())
     printDegradation(Report);
+  if (Report.ModelSamples)
+    std::printf("  model: %u samples, mean rel-err time %.2f%% "
+                "energy %.2f%%\n",
+                Report.ModelSamples, 100.0 * Report.ModelTimeRelError,
+                100.0 * Report.ModelEnergyRelError);
   if (Options.Recorder) {
     if (Report.Kind == SchemeKind::Eas)
       std::printf("  observed: %u profile reps, %u alpha searches, "
@@ -351,6 +431,9 @@ int cmdRun(const Flags &Args) {
     if (!drainObservability(Recorder, Args))
       return ExitRuntime;
   }
+  if (!writeMetricsOutputs(Registry, WantDecisions ? &Decisions : nullptr,
+                           Args))
+    return ExitRuntime;
   return ExitOk;
 }
 
@@ -384,10 +467,17 @@ int cmdServe(const Flags &Args) {
   }
 
   obs::TraceRecorder Recorder;
+  obs::MetricsRegistry Registry;
+  obs::DecisionLog Decisions;
   EasConfig Config;
   Config.HistoryFile = Args.getString("history-file", "");
   if (wantsObservability(Args))
     Config.Trace = &Recorder;
+  if (wantsMetricsRegistry(Args))
+    Config.Metrics = &Registry;
+  bool WantDecisions = !Args.getString("decision-log", "").empty();
+  if (WantDecisions)
+    Config.Decisions = &Decisions;
   EasScheduler Scheduler(curvesFor(*Spec, Args), Objective, Config);
   if (!Scheduler.restoreStatus())
     std::fprintf(stderr, "warning: %s (starting cold)\n",
@@ -395,6 +485,35 @@ int cmdServe(const Flags &Args) {
   else if (Scheduler.restoredRecords() > 0)
     std::printf("restored %zu table-G records from %s\n",
                 Scheduler.restoredRecords(), Config.HistoryFile.c_str());
+
+  // Periodic exporter: while the clients hammer the scheduler, rewrite
+  // the Prometheus snapshot atomically every interval — what a scrape
+  // target looks like for a service without an HTTP listener.
+  std::string MetricsOut = Args.getString("metrics-out", "");
+  double IntervalMs = Args.getDouble("metrics-interval-ms", 0.0);
+  AnnotatedMutex ExportMutex{"Cli.MetricsExport"};
+  std::condition_variable ExportCv;
+  bool ExportDone = false;
+  std::thread Exporter;
+  if (!MetricsOut.empty() && IntervalMs > 0.0)
+    Exporter = std::thread([&] {
+      UniqueLock Lock(ExportMutex);
+      unsigned Rewrites = 0;
+      while (!ExportCv.wait_for(
+          Lock.native(), std::chrono::duration<double, std::milli>(IntervalMs),
+          [&] { return ExportDone; })) {
+        if (Status S = obs::writeFileAtomic(
+                MetricsOut, obs::renderPrometheus(Registry.snapshot()));
+            !S)
+          std::fprintf(stderr, "warning: %s: %s\n", MetricsOut.c_str(),
+                       S.message().c_str());
+        else
+          ++Rewrites;
+      }
+      if (Rewrites)
+        std::printf("  metrics: %u periodic rewrites of %s\n", Rewrites,
+                    MetricsOut.c_str());
+    });
 
   std::atomic<uint64_t> Completed{0}, Cancelled{0}, Rejected{0};
   std::atomic<uint64_t> Profiled{0}, Quarantined{0};
@@ -432,6 +551,15 @@ int cmdServe(const Flags &Args) {
 
   Status Shutdown = Scheduler.shutdown(DrainGraceSec);
 
+  if (Exporter.joinable()) {
+    {
+      LockGuard Lock(ExportMutex);
+      ExportDone = true;
+    }
+    ExportCv.notify_all();
+    Exporter.join();
+  }
+
   // No lost updates: every completed invocation must be counted in
   // table G (cancelled ones are deliberately not).
   uint64_t Recorded = 0;
@@ -464,6 +592,43 @@ int cmdServe(const Flags &Args) {
   }
   if (Config.Trace && !drainObservability(Recorder, Args))
     return ExitRuntime;
+  // Final authoritative write — covers the no-interval case and leaves
+  // the post-shutdown totals (drain gauge included) on disk.
+  if (!writeMetricsOutputs(Registry, WantDecisions ? &Decisions : nullptr,
+                           Args))
+    return ExitRuntime;
+  return ExitOk;
+}
+
+int cmdStats(const Flags &Args) {
+  if (Args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: ecas-cli stats FILE\n");
+    return ExitUsage;
+  }
+  const std::string &Path = Args.positional()[1];
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return ExitRuntime;
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Text = Buffer.str();
+  size_t First = Text.find_first_not_of(" \t\r\n");
+  if (First != std::string::npos && Text[First] == '{') {
+    std::fprintf(stderr,
+                 "error: %s looks like a JSON snapshot; stats renders the "
+                 "Prometheus text form (--metrics-out)\n",
+                 Path.c_str());
+    return ExitUsage;
+  }
+  ErrorOr<obs::MetricsSnapshot> Snap = obs::parsePrometheusText(Text);
+  if (!Snap) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                 Snap.status().message().c_str());
+    return ExitRuntime;
+  }
+  std::fputs(obs::renderMetricsReport(*Snap).c_str(), stdout);
   return ExitOk;
 }
 
@@ -609,6 +774,8 @@ int main(int Argc, char **Argv) {
     return cmdFaults(Args);
   if (Command == "serve")
     return cmdServe(Args);
+  if (Command == "stats")
+    return cmdStats(Args);
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
   return usage();
 }

@@ -27,6 +27,14 @@ enforced even under toolchains that cannot run the Clang analyses:
                          reports through Status/ErrorOr and the obs layer,
                          never by writing to the process's streams.
                          snprintf-into-a-buffer (support/Format) is fine.
+  metric-name            Metric names are lowercase snake_case with the
+                         eas_ prefix and live in src/ecas/obs/MetricNames.h:
+                         the literals there must match ^eas_[a-z][a-z0-9_]*$,
+                         and no other file under src/ecas may register an
+                         instrument (.counter/.gauge/.histogram) with an
+                         inline string literal — add a names:: constant
+                         instead so DESIGN.md §11 stays the complete
+                         taxonomy. Tests/tools/bench register freely.
 
 Suppressions (use sparingly, justify in a comment on the same line):
   // ecas-lint: allow(rule-name)         on the offending line
@@ -71,6 +79,9 @@ RAW_OUTPUT = re.compile(
 )
 # <cstdio> stays legal: snprintf/vsnprintf formatting needs it.
 IOSTREAM_INCLUDE = re.compile(r"^\s*#\s*include\s*<(iostream|syncstream)>")
+METRIC_NAME_VALID = re.compile(r"^eas_[a-z][a-z0-9_]*$")
+STRING_LITERAL = re.compile(r'"([^"\\]*)"')
+METRIC_INLINE_REG = re.compile(r"(?:\.|->)\s*(counter|gauge|histogram)\s*\(\s*\"")
 INCLUDE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 GUARD = re.compile(r"^\s*#\s*ifndef\s+ECAS_\w+")
@@ -319,6 +330,39 @@ def check_no_raw_output(path, raw_lines, code_lines, findings):
                 "via support/Format is fine)"))
 
 
+def check_metric_name(path, raw_lines, code_lines, findings):
+    rule = "metric-name"
+    if file_allows(raw_lines, rule):
+        return
+    norm = path.replace(os.sep, "/")
+    if norm.endswith("/src/ecas/obs/MetricNames.h"):
+        # Every string literal in the canonical-names header is a metric
+        # name; quotes survive comment stripping, so a quote in the code
+        # line marks a real literal on the raw line.
+        for ln, code in enumerate(code_lines, 1):
+            if '"' not in code or line_allows(raw_lines[ln - 1], rule):
+                continue
+            for m in STRING_LITERAL.finditer(raw_lines[ln - 1]):
+                name = m.group(1)
+                if not METRIC_NAME_VALID.match(name):
+                    findings.append(Finding(
+                        path, ln, rule,
+                        f'metric name "{name}" must match '
+                        "^eas_[a-z][a-z0-9_]*$ (lowercase snake_case, "
+                        "eas_ prefix)"))
+        return
+    if "/src/ecas/" not in norm:
+        return  # Tests, tools, and benches may register ad-hoc metrics.
+    for ln, code in enumerate(code_lines, 1):
+        if METRIC_INLINE_REG.search(code) and \
+                not line_allows(raw_lines[ln - 1], rule):
+            findings.append(Finding(
+                path, ln, rule,
+                "instrument registered with an inline string literal; add "
+                "the name to ecas/obs/MetricNames.h and pass the names:: "
+                "constant"))
+
+
 CHECKS = [
     check_naked_mutex,
     check_unchecked_value,
@@ -326,6 +370,7 @@ CHECKS = [
     check_include_hygiene,
     check_no_std_rand,
     check_no_raw_output,
+    check_metric_name,
 ]
 
 
