@@ -296,29 +296,28 @@ Status EasScheduler::snapshot(const std::string &Path) const {
 EasScheduler::InvocationOutcome
 EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
                       double Iterations) {
-  InFlight.fetch_add(1, std::memory_order_acq_rel);
-  if (!Admitting.load(std::memory_order_acquire)) {
-    endInvocation();
-    if (Config.Trace) {
-      Config.Trace->instant("eas", "rejected", Proc.now());
-      Config.Trace->count("eas.rejected");
-    }
-    if (Ins.Rejected)
-      Ins.Rejected->add();
-    InvocationOutcome Outcome;
-    Outcome.Rejected = true;
-    return Outcome;
-  }
-  InvocationOutcome Outcome =
-      executeAdmitted(Proc, Kernel, Iterations, nullptr);
-  recordInvocation(Kernel, Outcome);
-  endInvocation();
-  return Outcome;
+  return executeGated(Proc, Kernel, Iterations, Kernel.Id, nullptr);
 }
 
 EasScheduler::InvocationOutcome
 EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
                       double Iterations, const CancellationToken &Cancel) {
+  return executeGated(Proc, Kernel, Iterations, Kernel.Id, &Cancel);
+}
+
+EasScheduler::InvocationOutcome
+EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                      double Iterations, const RequestContext &Request,
+                      const CancellationToken *Cancel) {
+  return executeGated(Proc, Kernel, Iterations,
+                      namespacedKernelKey(Request.TenantId, Kernel.Id),
+                      Cancel);
+}
+
+EasScheduler::InvocationOutcome
+EasScheduler::executeGated(SimProcessor &Proc, const KernelDesc &Kernel,
+                           double Iterations, uint64_t HistoryKey,
+                           const CancellationToken *Cancel) {
   InFlight.fetch_add(1, std::memory_order_acq_rel);
   if (!Admitting.load(std::memory_order_acquire)) {
     endInvocation();
@@ -333,7 +332,7 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
     return Outcome;
   }
   InvocationOutcome Outcome =
-      executeAdmitted(Proc, Kernel, Iterations, &Cancel);
+      executeAdmitted(Proc, Kernel, Iterations, HistoryKey, Cancel);
   recordInvocation(Kernel, Outcome);
   endInvocation();
   return Outcome;
@@ -341,9 +340,10 @@ EasScheduler::execute(SimProcessor &Proc, const KernelDesc &Kernel,
 
 EasScheduler::InvocationOutcome
 EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
-                              double Iterations,
+                              double Iterations, uint64_t HistoryKey,
                               const CancellationToken *Cancel) {
   ECAS_CHECK(Kernel.Id != 0, "kernel requires a stable nonzero id");
+  ECAS_CHECK(HistoryKey != 0, "history key must be nonzero");
   InvocationOutcome Outcome;
   double Start = Proc.now();
   // Energy sample for the measured-window telemetry. A const read of the
@@ -402,8 +402,8 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         "alpha=0.00 quarantined");
     runPartitionedResilient(Proc, Monitor, Kernel, Iterations,
                             /*Alpha=*/0.0);
-    History.bumpQuarantinedRuns(Kernel.Id);
-    History.bumpInvocations(Kernel.Id);
+    History.bumpQuarantinedRuns(HistoryKey);
+    History.bumpInvocations(HistoryKey);
     Outcome.GpuQuarantined = true;
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
@@ -440,7 +440,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   double Nrem = Iterations;
   bool ProfileHang = false;
   KernelRecord KnownRec;
-  bool Known = History.lookup(Kernel.Id, KnownRec);
+  bool Known = History.lookup(HistoryKey, KnownRec);
 
   // Periodic re-profiling for kernels whose behaviour drifts over time
   // (Section 3.1: "we repeat profiling step since our online profiling
@@ -502,9 +502,9 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
                  formatString("n=%.0f below profile size %.0f", Iterations,
                               GpuProfileSize));
     runPartitioned(Proc, Kernel, Iterations, /*Alpha=*/0.0);
-    History.update(Kernel.Id,
+    History.update(HistoryKey,
                    [](KernelRecord &Rec) { Rec.CpuOnly = true; });
-    History.bumpInvocations(Kernel.Id);
+    History.bumpInvocations(HistoryKey);
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
     Outcome.MeasuredSeconds = Outcome.Seconds;
@@ -678,7 +678,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   if (Outcome.Profiled) {
     bool AddAlpha = !ProfileHang && !Outcome.Cancelled;
     double AlphaWeight = std::max(Nrem, 1.0);
-    History.update(Kernel.Id, [&](KernelRecord &Rec) {
+    History.update(HistoryKey, [&](KernelRecord &Rec) {
       for (const ProfileSample &S : Deltas)
         Rec.Sample.accumulate(S);
       if (!Rec.Confident && Rec.Sample.CpuIterations >= MinProfileIters &&
@@ -696,7 +696,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   // A cancelled invocation did not complete; counting it would make
   // periodic re-profiling cadence drift under cancellation storms.
   if (!Outcome.Cancelled)
-    History.bumpInvocations(Kernel.Id);
+    History.bumpInvocations(HistoryKey);
 
   Outcome.AlphaUsed = Alpha;
   Outcome.Seconds = Proc.now() - Start;

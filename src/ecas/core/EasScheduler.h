@@ -30,6 +30,7 @@
 #include "ecas/core/AlphaSearch.h"
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
+#include "ecas/core/RequestContext.h"
 #include "ecas/fault/GpuHealth.h"
 #include "ecas/obs/DecisionLog.h"
 #include "ecas/obs/Metrics.h"
@@ -220,6 +221,15 @@ public:
                             double Iterations,
                             const CancellationToken &Cancel);
 
+  /// Multi-tenant entry point: as above, but table-G lookups and updates
+  /// use the tenant-namespaced key namespacedKernelKey(Request.TenantId,
+  /// Kernel.Id), so one tenant's pathological kernels cannot poison
+  /// another's learned alphas. Tenant 0 behaves exactly like the
+  /// single-tenant overloads.
+  InvocationOutcome execute(SimProcessor &Proc, const KernelDesc &Kernel,
+                            double Iterations, const RequestContext &Request,
+                            const CancellationToken *Cancel = nullptr);
+
   /// Marks the GPU as claimed by another client (the paper tests GPU
   /// performance counter A26: "in that case, we execute the application
   /// entirely on the CPU"). While set, every invocation runs CPU-alone
@@ -268,9 +278,16 @@ public:
   void reset() { History.clear(); }
 
 private:
+  /// Common admission prolog shared by every execute() overload: count
+  /// the invocation in flight, bounce it when the shutdown gate is
+  /// closed, and otherwise run it under \p HistoryKey and record the
+  /// outcome.
+  InvocationOutcome executeGated(SimProcessor &Proc, const KernelDesc &Kernel,
+                                 double Iterations, uint64_t HistoryKey,
+                                 const CancellationToken *Cancel);
   InvocationOutcome executeAdmitted(SimProcessor &Proc,
                                     const KernelDesc &Kernel,
-                                    double Iterations,
+                                    double Iterations, uint64_t HistoryKey,
                                     const CancellationToken *Cancel);
   /// True when the caller's token or the shutdown drain token fired.
   bool stopRequested(double NowSec, const CancellationToken *Cancel) const;

@@ -201,11 +201,9 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
       Cancelled = true;
       break;
     }
-    EasScheduler::InvocationOutcome Outcome =
-        Cancel ? Scheduler.execute(Proc, Invocation.Kernel,
-                                   Invocation.Iterations, *Cancel)
-               : Scheduler.execute(Proc, Invocation.Kernel,
-                                   Invocation.Iterations);
+    EasScheduler::InvocationOutcome Outcome = Scheduler.execute(
+        Proc, Invocation.Kernel, Invocation.Iterations, Options.Request,
+        Cancel);
     // Tally the work counters before judging cancellation so they agree
     // with the trace counters (a cancelled invocation may still have
     // profiled before the token fired).

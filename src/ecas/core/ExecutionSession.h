@@ -106,6 +106,11 @@ struct RunOptions {
   obs::MetricsRegistry *Metrics = nullptr;
   /// Optional per-decision audit ring (unless Eas.Decisions is set).
   obs::DecisionLog *Decisions = nullptr;
+  /// Who this run belongs to (Eas only). The default — anonymous tenant,
+  /// SLA1, no deadline — schedules bit-identically to the pre-service
+  /// library; a nonzero TenantId namespaces every table-G key so the
+  /// run's learned alphas stay private to the tenant.
+  RequestContext Request;
 };
 
 /// What the degradation machinery did during one run (all zeros on a

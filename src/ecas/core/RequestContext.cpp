@@ -1,0 +1,44 @@
+//===-- ecas/core/RequestContext.cpp - Multi-tenant request id ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/RequestContext.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Random.h"
+
+using namespace ecas;
+
+const char *ecas::slaClassName(SlaClass Sla) {
+  switch (Sla) {
+  case SlaClass::Sla0:
+    return "SLA0";
+  case SlaClass::Sla1:
+    return "SLA1";
+  case SlaClass::Sla2:
+    return "SLA2";
+  }
+  ECAS_UNREACHABLE("unknown SLA class");
+}
+
+SlaClass ecas::slaFromIndex(unsigned Index) {
+  ECAS_CHECK(Index < NumSlaClasses, "SLA index out of range");
+  return static_cast<SlaClass>(Index);
+}
+
+uint64_t ecas::namespacedKernelKey(uint64_t TenantId, uint64_t KernelId) {
+  if (TenantId == 0)
+    return KernelId;
+  // Mix the tenant id through SplitMix64 before XORing so that adjacent
+  // tenant ids (1, 2, 3...) land in unrelated parts of the key space and
+  // a tenant cannot trivially craft a kernel id that collides with
+  // another tenant's records.
+  SplitMix64 Mixer(TenantId);
+  uint64_t Key = Mixer.next() ^ KernelId;
+  // Table G reserves key 0 for "no kernel"; remix rather than hand it out.
+  if (Key == 0)
+    Key = Mixer.next() | 1;
+  return Key;
+}

@@ -1,0 +1,79 @@
+//===-- ecas/core/RequestContext.h - Multi-tenant request id ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Who is asking and how urgently. A RequestContext travels with every
+/// scheduled invocation in a multi-tenant deployment: the tenant
+/// identity namespaces the table-G kernel history (one tenant's
+/// pathological kernels cannot poison another's learned alphas), the
+/// SLA class selects the service queue lane and dequeue weight, and the
+/// deadline budget bounds queue wait plus execution.
+///
+/// The SLA tiers follow the SLA0-2 convention of datacenter schedulers
+/// (see SNIPPETS.md Snippet 1): SLA0 is latency-critical (web-style
+/// requests), SLA1 is throughput-oriented (AI/crypto batches), SLA2 is
+/// background/best-effort (HPC soak work). A default-constructed
+/// context — anonymous tenant, SLA1, no deadline — schedules exactly
+/// like the pre-service library, so single-tenant callers never notice
+/// this type exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_REQUESTCONTEXT_H
+#define ECAS_CORE_REQUESTCONTEXT_H
+
+#include <cstdint>
+#include <limits>
+
+namespace ecas {
+
+/// Service tiers, strictest first. The numeric values index per-class
+/// arrays (queue lanes, dequeue weights, counters).
+enum class SlaClass : unsigned {
+  /// Latency-critical: must start quickly or not at all.
+  Sla0 = 0,
+  /// Throughput: wants to finish, tolerates queueing.
+  Sla1 = 1,
+  /// Background: runs whenever capacity is spare, must not starve.
+  Sla2 = 2,
+};
+
+inline constexpr unsigned NumSlaClasses = 3;
+
+/// Stable display name ("SLA0", "SLA1", "SLA2").
+const char *slaClassName(SlaClass Sla);
+
+/// Index form for per-class arrays; always < NumSlaClasses.
+inline unsigned slaIndex(SlaClass Sla) { return static_cast<unsigned>(Sla); }
+
+/// slaIndex's inverse; \p Index must be < NumSlaClasses.
+SlaClass slaFromIndex(unsigned Index);
+
+/// Identity and urgency of one scheduled request.
+struct RequestContext {
+  /// Tenant identity. 0 is the anonymous/default tenant, whose history
+  /// keys are the raw kernel ids — bit-identical to single-tenant use.
+  uint64_t TenantId = 0;
+  SlaClass Sla = SlaClass::Sla1;
+  /// Total budget in seconds for queue wait plus execution, measured
+  /// from submission. Infinity (the default) means no deadline.
+  double DeadlineSec = std::numeric_limits<double>::infinity();
+
+  bool hasDeadline() const {
+    return DeadlineSec < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Folds \p TenantId into \p KernelId to form the table-G history key,
+/// so each tenant learns against its own records. TenantId 0 returns
+/// \p KernelId unchanged (legacy snapshots and single-tenant callers
+/// keep their keys). The result is never 0 — table G rejects the null
+/// kernel id.
+uint64_t namespacedKernelKey(uint64_t TenantId, uint64_t KernelId);
+
+} // namespace ecas
+
+#endif // ECAS_CORE_REQUESTCONTEXT_H

@@ -164,6 +164,26 @@ ErrorOr<FaultPlan> FaultPlan::scenario(const std::string &Name) {
     Add(FaultKind::GpuThrottle, 0.2, 0.35, 0.1, 1.0);
     Add(FaultKind::RaplDropout, 0.0, 1e30, 0.0, 0.05);
     Add(FaultKind::CounterNoise, 0.0, 1e30, 0.1, 1.0);
+  } else if (Name == "overload") {
+    // The chaos-soak plan: a persistently degraded platform whose drain
+    // rate collapses below the offered load, so admission control and
+    // deadline shedding must do the surviving. Throttled throughput,
+    // frequent launch failures, and two hang windows (the second long
+    // enough to quarantine through several requests).
+    Add(FaultKind::GpuThrottle, 0.0, 1e30, 0.3, 1.0);
+    Add(FaultKind::GpuLaunchFail, 0.0, 1e30, 0.0, 0.25);
+    Add(FaultKind::GpuHang, 0.05, 0.1, 0.0, 1.0);
+    Add(FaultKind::GpuHang, 0.3, 0.5, 0.0, 1.0);
+  } else if (Name == "bursty-tenant") {
+    // One tenant's traffic pattern turned into platform weather: short
+    // repeated hang bursts that quarantine and recover over and over,
+    // under persistent counter noise so profiling never sees the same
+    // numbers twice.
+    Add(FaultKind::GpuHang, 0.02, 0.05, 0.0, 1.0);
+    Add(FaultKind::GpuHang, 0.15, 0.18, 0.0, 1.0);
+    Add(FaultKind::GpuHang, 0.3, 0.33, 0.0, 1.0);
+    Add(FaultKind::GpuHang, 0.45, 0.48, 0.0, 1.0);
+    Add(FaultKind::CounterNoise, 0.0, 1e30, 0.15, 1.0);
   } else {
     return Status::error(ErrCode::InvalidArgument,
                          "unknown fault scenario '" + Name + "'");
@@ -172,6 +192,7 @@ ErrorOr<FaultPlan> FaultPlan::scenario(const std::string &Name) {
 }
 
 std::vector<std::string> FaultPlan::scenarioNames() {
-  return {"gpu-hang",    "gpu-flaky-launch", "thermal-throttle",
-          "rapl-glitch", "noisy-counters",   "kitchen-sink"};
+  return {"gpu-hang",       "gpu-flaky-launch", "thermal-throttle",
+          "rapl-glitch",    "noisy-counters",   "kitchen-sink",
+          "overload",       "bursty-tenant"};
 }

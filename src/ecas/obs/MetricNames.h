@@ -58,6 +58,21 @@ inline constexpr char QuarantinedRunsTotal[] = "eas_quarantined_runs_total";
 // Service lifecycle.
 inline constexpr char ShutdownDrainSeconds[] = "eas_shutdown_drain_seconds";
 
+// Multi-tenant service front end (service layer). Labelled by SLA class
+// ("sla"), rejection reason ("reason"), and — for the shed counter the
+// soak harness audits — the tenant ("tenant").
+inline constexpr char ServiceSubmittedTotal[] = "eas_service_submitted_total";
+inline constexpr char ServiceAdmittedTotal[] = "eas_service_admitted_total";
+inline constexpr char ServiceRejectedTotal[] = "eas_service_rejected_total";
+inline constexpr char ServiceShedTotal[] = "eas_service_shed_total";
+inline constexpr char ServiceCompletedTotal[] = "eas_service_completed_total";
+inline constexpr char ServiceCancelledTotal[] = "eas_service_cancelled_total";
+inline constexpr char ServiceQueueDepth[] = "eas_service_queue_depth";
+inline constexpr char ServiceQueueWaitSeconds[] =
+    "eas_service_queue_wait_seconds";
+inline constexpr char ServiceRetryAfterSeconds[] =
+    "eas_service_retry_after_seconds";
+
 // Simulated RAPL plumbing (sim layer).
 inline constexpr char MsrReadsTotal[] = "eas_msr_reads_total";
 

@@ -1,0 +1,120 @@
+//===-- ecas/service/Admission.cpp - Overload admission control -----------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/service/Admission.h"
+
+#include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
+
+#include <algorithm>
+
+using namespace ecas;
+
+Status AdmissionPolicy::validate() const {
+  auto Invalid = [](std::string Message) {
+    return Status::error(ErrCode::InvalidArgument, std::move(Message));
+  };
+  if (Workers == 0)
+    return Invalid("admission policy needs at least one worker");
+  if (!(DefaultServiceSec > 0.0))
+    return Invalid(formatString("non-positive service-time prior %g",
+                                DefaultServiceSec));
+  if (!(ServiceEwmaAlpha > 0.0 && ServiceEwmaAlpha <= 1.0))
+    return Invalid(
+        formatString("EWMA alpha %g outside (0, 1]", ServiceEwmaAlpha));
+  if (QuarantineInflation < 1.0)
+    return Invalid(formatString("quarantine inflation %g below 1",
+                                QuarantineInflation));
+  if (!(MinRetryAfterSec > 0.0) || MaxRetryAfterSec < MinRetryAfterSec)
+    return Invalid(formatString("retry-after bounds [%g, %g] are not a range",
+                                MinRetryAfterSec, MaxRetryAfterSec));
+  return Status::success();
+}
+
+AdmissionController::AdmissionController(AdmissionPolicy PolicyIn,
+                                         const GpuHealthMonitor *HealthIn)
+    : Policy(PolicyIn), Health(HealthIn),
+      EwmaServiceSec(PolicyIn.DefaultServiceSec) {
+  if (Status Valid = Policy.validate(); !Valid.ok())
+    reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
+}
+
+double AdmissionController::estimatedServiceSec() const {
+  return EwmaServiceSec.load(std::memory_order_relaxed);
+}
+
+double AdmissionController::effectiveServiceSec() const {
+  double Est = estimatedServiceSec();
+  if (Health && Health->state() == GpuHealthState::Quarantined)
+    Est *= Policy.QuarantineInflation;
+  return Est;
+}
+
+double AdmissionController::clampRetry(double Seconds) const {
+  return std::clamp(Seconds, Policy.MinRetryAfterSec, Policy.MaxRetryAfterSec);
+}
+
+void AdmissionController::noteServiceTime(double Seconds) {
+  if (!(Seconds > 0.0))
+    return;
+  if (!HaveSample.exchange(true, std::memory_order_acq_rel)) {
+    // First real measurement replaces the prior outright.
+    EwmaServiceSec.store(Seconds, std::memory_order_relaxed);
+    return;
+  }
+  double Prev = EwmaServiceSec.load(std::memory_order_relaxed);
+  double Next;
+  do {
+    Next = Prev + Policy.ServiceEwmaAlpha * (Seconds - Prev);
+  } while (!EwmaServiceSec.compare_exchange_weak(Prev, Next,
+                                                 std::memory_order_relaxed));
+}
+
+AdmissionController::Decision
+AdmissionController::admit(const RequestContext &Ctx, size_t LaneDepth,
+                           size_t LaneCapacity) const {
+  Decision D;
+  // A deadline that is non-positive at submit is not a capacity problem;
+  // no backoff can revive it, so the hint is 0 ("replan, don't retry").
+  if (Ctx.hasDeadline() && Ctx.DeadlineSec <= 0.0) {
+    D.Verdict = Status::error(
+        ErrCode::DeadlineInfeasible,
+        formatString("deadline budget %g s already expired at submit",
+                     Ctx.DeadlineSec));
+    return D;
+  }
+
+  double ServiceSec = effectiveServiceSec();
+  double ExpectedWaitSec = static_cast<double>(LaneDepth) * ServiceSec /
+                           static_cast<double>(Policy.Workers);
+
+  if (LaneDepth >= LaneCapacity) {
+    // Backpressure: the lane is full, so the soonest a slot can open is
+    // roughly one service time per queued-ahead request per worker.
+    D.Verdict = Status::error(
+        ErrCode::Overloaded,
+        formatString("%s lane full (%zu/%zu queued)", slaClassName(Ctx.Sla),
+                     LaneDepth, LaneCapacity));
+    D.RetryAfterSec = clampRetry(ExpectedWaitSec + ServiceSec);
+    return D;
+  }
+
+  if (Ctx.hasDeadline() && ExpectedWaitSec + ServiceSec > Ctx.DeadlineSec) {
+    // Queueing doomed work steals drain capacity from feasible requests;
+    // the client should retry once the backlog has shrunk enough that
+    // its budget fits.
+    D.Verdict = Status::error(
+        ErrCode::DeadlineInfeasible,
+        formatString("estimated wait %.3g s + service %.3g s exceed "
+                     "deadline budget %.3g s",
+                     ExpectedWaitSec, ServiceSec, Ctx.DeadlineSec));
+    D.RetryAfterSec = clampRetry(ExpectedWaitSec + ServiceSec -
+                                 Ctx.DeadlineSec + ServiceSec);
+    return D;
+  }
+
+  return D;
+}

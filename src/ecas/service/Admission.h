@@ -1,0 +1,107 @@
+//===-- ecas/service/Admission.h - Overload admission control --*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service front end's gatekeeper. Before a request enters its SLA
+/// lane, the AdmissionController judges whether queueing it can possibly
+/// end well: a full lane is backpressure (Overloaded), and a deadline
+/// the estimated queue wait plus service time already exceeds is doomed
+/// work (DeadlineInfeasible) — queueing it would only waste capacity the
+/// feasible requests need (Mei et al., arXiv 2104.00486: deadline-class
+/// admission precedes any energy/deadline trade-off). Both verdicts
+/// carry a retry-after hint the synthetic tenants feed into their
+/// capped-exponential backoff.
+///
+/// Service-time estimation is a lock-free EWMA over completed requests,
+/// seeded with a configurable prior; while the GPU is quarantined the
+/// estimate is inflated, since every request degrades to CPU-alone and
+/// drains the queue correspondingly slower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SERVICE_ADMISSION_H
+#define ECAS_SERVICE_ADMISSION_H
+
+#include "ecas/core/RequestContext.h"
+#include "ecas/fault/GpuHealth.h"
+#include "ecas/support/Error.h"
+
+#include <atomic>
+#include <cstddef>
+
+namespace ecas {
+
+/// Tunables of the admission decision.
+struct AdmissionPolicy {
+  /// Dequeuing workers — the drain parallelism the wait estimate divides
+  /// queue depth by.
+  unsigned Workers = 4;
+  /// Service-time prior (seconds) used until the EWMA has samples.
+  double DefaultServiceSec = 0.05;
+  /// EWMA smoothing factor in (0, 1]; higher weighs recent requests more.
+  double ServiceEwmaAlpha = 0.2;
+  /// Multiplier applied to the service-time estimate while the GPU is
+  /// quarantined (everything runs CPU-alone, so the queue drains slower).
+  double QuarantineInflation = 4.0;
+  /// Bounds on the retry-after hint handed to rejected clients.
+  double MinRetryAfterSec = 1e-3;
+  double MaxRetryAfterSec = 5.0;
+
+  Status validate() const;
+};
+
+/// Decides, per request, between admit / Overloaded / DeadlineInfeasible.
+/// Thread-safe: decisions read two atomics and the (internally locked)
+/// health monitor.
+class AdmissionController {
+public:
+  /// \p Health may be null (no quarantine awareness — tests of the pure
+  /// queue math). Borrowed; must outlive the controller.
+  AdmissionController(AdmissionPolicy Policy,
+                      const GpuHealthMonitor *Health = nullptr);
+
+  /// The verdict for one request. RetryAfterSec is meaningful only when
+  /// Verdict is an error; 0 means "do not bother retrying" (the request
+  /// was infeasible on arrival, not a capacity problem).
+  struct Decision {
+    Status Verdict = Status::success();
+    double RetryAfterSec = 0.0;
+
+    bool admitted() const { return Verdict.ok(); }
+  };
+
+  /// Judges \p Ctx against its lane's occupancy. \p LaneDepth and
+  /// \p LaneCapacity describe the request's SLA lane at decision time
+  /// (a lost race against concurrent producers is fine — the queue's
+  /// tryPush re-checks under its lock).
+  Decision admit(const RequestContext &Ctx, size_t LaneDepth,
+                 size_t LaneCapacity) const;
+
+  /// Folds one completed request's service time into the EWMA.
+  void noteServiceTime(double Seconds);
+
+  /// Current smoothed service-time estimate, without quarantine
+  /// inflation.
+  double estimatedServiceSec() const;
+
+  const AdmissionPolicy &policy() const { return Policy; }
+
+private:
+  /// estimatedServiceSec(), inflated when the GPU is unusable.
+  double effectiveServiceSec() const;
+  double clampRetry(double Seconds) const;
+
+  AdmissionPolicy Policy;
+  const GpuHealthMonitor *Health;
+  /// EWMA state; lock-free CAS updates so completion accounting never
+  /// serializes behind admission decisions.
+  std::atomic<double> EwmaServiceSec;
+  std::atomic<bool> HaveSample{false};
+};
+
+} // namespace ecas
+
+#endif // ECAS_SERVICE_ADMISSION_H

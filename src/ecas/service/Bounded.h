@@ -1,0 +1,69 @@
+//===-- ecas/service/Bounded.h - Fixed-capacity containers -----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BoundedRing: the service layer's only queue storage. Every queue in
+/// src/ecas/service must have a capacity fixed at construction so that
+/// overload turns into backpressure (a failed push the admission
+/// controller converts into a typed rejection) instead of unbounded
+/// memory growth; ecas-lint's unbounded-queue rule forbids std::deque /
+/// std::queue members here and points at this header.
+///
+/// Not internally synchronized — the owning structure (SlaQueue) holds
+/// its mutex around every call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SERVICE_BOUNDED_H
+#define ECAS_SERVICE_BOUNDED_H
+
+#include "ecas/support/Assert.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ecas {
+
+/// FIFO ring over pre-allocated slots. A capacity of 0 is legal and
+/// permanently full — the zero-capacity service queue degenerates into
+/// "reject everything", which the edge-case tests exercise.
+template <typename T> class BoundedRing {
+public:
+  explicit BoundedRing(size_t Capacity) : Slots(Capacity) {}
+
+  size_t capacity() const { return Slots.size(); }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  bool full() const { return Count == Slots.size(); }
+
+  /// False when full; the value is untouched on failure.
+  bool tryPush(T &&Value) {
+    if (full())
+      return false;
+    Slots[(Head + Count) % Slots.size()] = std::move(Value);
+    ++Count;
+    return true;
+  }
+
+  /// Requires !empty().
+  T pop() {
+    ECAS_CHECK(!empty(), "pop() on an empty BoundedRing");
+    T Value = std::move(Slots[Head]);
+    Head = (Head + 1) % Slots.size();
+    --Count;
+    return Value;
+  }
+
+private:
+  std::vector<T> Slots;
+  size_t Head = 0;
+  size_t Count = 0;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SERVICE_BOUNDED_H

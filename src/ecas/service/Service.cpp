@@ -1,0 +1,383 @@
+//===-- ecas/service/Service.cpp - Multi-tenant service front end ---------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/service/Service.h"
+
+#include "ecas/obs/MetricNames.h"
+#include "ecas/support/Assert.h"
+#include "ecas/support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace ecas;
+
+Status ServiceConfig::validate() const {
+  auto Invalid = [](std::string Message) {
+    return Status::error(ErrCode::InvalidArgument, std::move(Message));
+  };
+  if (Workers == 0)
+    return Invalid("service needs at least one worker");
+  if (!Weights.valid())
+    return Invalid("every SLA dequeue weight must be >= 1");
+  if (DrainGraceSec < 0.0)
+    return Invalid(formatString("negative drain grace %g", DrainGraceSec));
+  AdmissionPolicy Effective = Admission;
+  Effective.Workers = Workers;
+  return Effective.validate();
+}
+
+int ecas::serveExitCode(const ServiceStats &Stats,
+                        double ShedThresholdFraction) {
+  if (Stats.Sla0DeadlineMisses > 0)
+    return 1;
+  if (Stats.shedFraction() > ShedThresholdFraction)
+    return 1;
+  return 0;
+}
+
+namespace {
+AdmissionPolicy effectivePolicy(const ServiceConfig &Config) {
+  AdmissionPolicy Policy = Config.Admission;
+  Policy.Workers = Config.Workers;
+  return Policy;
+}
+
+double hostSteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+ServiceFrontEnd::ServiceFrontEnd(EasScheduler &SchedulerIn,
+                                 const PlatformSpec &SpecIn,
+                                 ServiceConfig ConfigIn)
+    : Scheduler(SchedulerIn), Spec(SpecIn), Config(std::move(ConfigIn)),
+      Queue(Config.QueueCapPerClass, Config.Weights),
+      Admission(effectivePolicy(Config), &Scheduler.health()) {
+  if (Status Valid = Config.validate(); !Valid.ok())
+    reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
+  if (!Config.Clock)
+    Config.Clock = hostSteadySeconds;
+  registerInstruments();
+  {
+    LockGuard Lock(TokenMutex);
+    ActiveTokens.resize(Config.Workers);
+  }
+  WorkerThreads.reserve(Config.Workers);
+  for (unsigned I = 0; I != Config.Workers; ++I)
+    WorkerThreads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ServiceFrontEnd::~ServiceFrontEnd() { shutdown(); }
+
+void ServiceFrontEnd::registerInstruments() {
+  obs::MetricsRegistry *M = Config.Metrics;
+  if (!M)
+    return;
+  const std::vector<double> WaitBuckets = obs::logBuckets(1e-4, 2.0, 20);
+  for (unsigned I = 0; I != NumSlaClasses; ++I) {
+    obs::MetricLabels BySla{{"sla", slaClassName(slaFromIndex(I))}};
+    Ins.Submitted[I] = &M->counter(obs::names::ServiceSubmittedTotal, BySla,
+                                   "Requests offered to the service");
+    Ins.Completed[I] = &M->counter(obs::names::ServiceCompletedTotal, BySla,
+                                   "Requests executed to completion");
+    Ins.Cancelled[I] =
+        &M->counter(obs::names::ServiceCancelledTotal, BySla,
+                    "Requests cut short mid-flight (deadline token or "
+                    "shutdown hard-stop)");
+    Ins.QueueDepth[I] = &M->gauge(obs::names::ServiceQueueDepth, BySla,
+                                  "Requests currently queued in this lane");
+    Ins.QueueWait[I] =
+        &M->histogram(obs::names::ServiceQueueWaitSeconds, WaitBuckets, BySla,
+                      "Service-clock seconds between enqueue and dequeue");
+  }
+  Ins.Admitted = &M->counter(obs::names::ServiceAdmittedTotal, {},
+                             "Requests that entered a queue lane");
+  Ins.RejectedOverloaded =
+      &M->counter(obs::names::ServiceRejectedTotal,
+                  {{"reason", "overloaded"}},
+                  "Submissions bounced by backpressure");
+  Ins.RejectedInfeasible =
+      &M->counter(obs::names::ServiceRejectedTotal,
+                  {{"reason", "deadline_infeasible"}},
+                  "Submissions whose deadline could not be met");
+  Ins.RetryAfter = &M->histogram(obs::names::ServiceRetryAfterSeconds,
+                                 obs::logBuckets(1e-3, 2.0, 16), {},
+                                 "Backoff hints handed to rejected clients");
+}
+
+obs::Counter *ServiceFrontEnd::shedCounter(const QueuedRequest &Request) {
+  if (!Config.Metrics)
+    return nullptr;
+  // Registered on demand: the tenant label space is open-ended, and
+  // shedding is off the submit/execute fast paths, so the registry's
+  // find-or-create mutex is acceptable here.
+  return &Config.Metrics->counter(
+      obs::names::ServiceShedTotal,
+      {{"tenant", formatString("%llu", static_cast<unsigned long long>(
+                                           Request.Ctx.TenantId))},
+       {"sla", slaClassName(Request.Ctx.Sla)}},
+      "Requests dropped at dequeue because their deadline expired while "
+      "queued");
+}
+
+void ServiceFrontEnd::updateDepthGauges() {
+  if (!Config.Metrics)
+    return;
+  for (unsigned I = 0; I != NumSlaClasses; ++I)
+    Ins.QueueDepth[I]->set(
+        static_cast<double>(Queue.depth(slaFromIndex(I))));
+}
+
+SubmitResult ServiceFrontEnd::submit(const KernelDesc &Kernel,
+                                     double Iterations,
+                                     const RequestContext &Ctx) {
+  SubmitResult Result;
+  Result.Sequence = NextSequence.fetch_add(1, std::memory_order_relaxed);
+  unsigned Sla = slaIndex(Ctx.Sla);
+  {
+    LockGuard Lock(StatsMutex);
+    ++Counts.Submitted;
+    ++Counts.SubmittedBySla[Sla];
+  }
+  if (Ins.Submitted[Sla])
+    Ins.Submitted[Sla]->add();
+
+  auto Reject = [&](Status Verdict, double RetryAfterSec) {
+    {
+      LockGuard Lock(StatsMutex);
+      ++Counts.Rejected;
+      ++Counts.RejectedBySla[Sla];
+    }
+    if (Config.Metrics) {
+      obs::Counter *C = Verdict.code() == ErrCode::Overloaded
+                            ? Ins.RejectedOverloaded
+                            : Ins.RejectedInfeasible;
+      C->add();
+      if (RetryAfterSec > 0.0)
+        Ins.RetryAfter->record(RetryAfterSec);
+    }
+    Result.Verdict = std::move(Verdict);
+    Result.RetryAfterSec = RetryAfterSec;
+    return Result;
+  };
+
+  if (!Accepting.load(std::memory_order_acquire))
+    return Reject(Status::error(ErrCode::Overloaded,
+                                "service is shutting down"),
+                  0.0);
+
+  AdmissionController::Decision Decision =
+      Admission.admit(Ctx, Queue.depth(Ctx.Sla), Queue.capacityPerClass());
+  if (!Decision.admitted())
+    return Reject(std::move(Decision.Verdict), Decision.RetryAfterSec);
+
+  QueuedRequest Request;
+  Request.Kernel = Kernel;
+  Request.Iterations = Iterations;
+  Request.Ctx = Ctx;
+  Request.EnqueueSec = Config.Clock();
+  Request.Sequence = Result.Sequence;
+  if (!Queue.tryPush(std::move(Request))) {
+    // Lost the race against concurrent producers (or the queue closed
+    // between the accepting check and the push); same verdict as a full
+    // lane seen at admission time.
+    double RetryAfter = Admission.policy().MinRetryAfterSec;
+    return Reject(
+        Status::error(ErrCode::Overloaded,
+                      formatString("%s lane filled while admitting",
+                                   slaClassName(Ctx.Sla))),
+        RetryAfter);
+  }
+
+  if (Ins.Admitted)
+    Ins.Admitted->add();
+  updateDepthGauges();
+  return Result;
+}
+
+void ServiceFrontEnd::accountShed(const QueuedRequest &Request,
+                                  double WaitSec) {
+  unsigned Sla = slaIndex(Request.Ctx.Sla);
+  {
+    LockGuard Lock(StatsMutex);
+    ++Counts.Shed;
+    ++Counts.ShedBySla[Sla];
+    if (Request.Ctx.Sla == SlaClass::Sla0)
+      ++Counts.Sla0DeadlineMisses;
+    Counts.MaxQueueWaitSec[Sla] =
+        std::max(Counts.MaxQueueWaitSec[Sla], WaitSec);
+  }
+  if (obs::Counter *C = shedCounter(Request))
+    C->add();
+  if (Ins.QueueWait[Sla])
+    Ins.QueueWait[Sla]->record(WaitSec);
+}
+
+void ServiceFrontEnd::accountCancelled(const QueuedRequest &Request,
+                                       bool DeadlineMiss) {
+  unsigned Sla = slaIndex(Request.Ctx.Sla);
+  {
+    LockGuard Lock(StatsMutex);
+    ++Counts.Cancelled;
+    ++Counts.CancelledBySla[Sla];
+    if (DeadlineMiss && Request.Ctx.Sla == SlaClass::Sla0)
+      ++Counts.Sla0DeadlineMisses;
+  }
+  if (Ins.Cancelled[Sla])
+    Ins.Cancelled[Sla]->add();
+}
+
+void ServiceFrontEnd::accountCompleted(const QueuedRequest &Request,
+                                       double WaitSec, double ServiceSec) {
+  unsigned Sla = slaIndex(Request.Ctx.Sla);
+  bool MissedDeadline =
+      Request.Ctx.hasDeadline() &&
+      WaitSec + ServiceSec > Request.Ctx.DeadlineSec;
+  {
+    LockGuard Lock(StatsMutex);
+    ++Counts.Completed;
+    ++Counts.CompletedBySla[Sla];
+    if (MissedDeadline && Request.Ctx.Sla == SlaClass::Sla0)
+      ++Counts.Sla0DeadlineMisses;
+    Counts.MaxQueueWaitSec[Sla] =
+        std::max(Counts.MaxQueueWaitSec[Sla], WaitSec);
+  }
+  if (Ins.Completed[Sla])
+    Ins.Completed[Sla]->add();
+  if (Ins.QueueWait[Sla])
+    Ins.QueueWait[Sla]->record(WaitSec);
+}
+
+void ServiceFrontEnd::workerLoop(unsigned WorkerIndex) {
+  SimProcessor Proc(Spec);
+  while (std::optional<QueuedRequest> Request = Queue.pop()) {
+    InFlight.fetch_add(1, std::memory_order_acq_rel);
+    updateDepthGauges();
+    double NowSec = Config.Clock();
+    double WaitSec = std::max(0.0, NowSec - Request->EnqueueSec);
+
+    // Register this request's token before judging anything, under the
+    // same mutex the hard-stop takes: either the hard-stop sees (and
+    // cancels) the token, or this worker sees HardStop — no window where
+    // a request slips past both.
+    CancellationToken Token;
+    bool Stopped;
+    {
+      LockGuard Lock(TokenMutex);
+      Stopped = HardStop;
+      if (!Stopped)
+        ActiveTokens[WorkerIndex] = Token;
+    }
+    if (Stopped) {
+      // Shutdown hard-stop: void residual queued work without running it.
+      accountCancelled(*Request, /*DeadlineMiss=*/false);
+      InFlight.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // Deadline-aware shedding happens here — after the queue wait is
+    // known, strictly before any profiling or dispatch starts. Once
+    // execution begins, a blown deadline is the token's business (a
+    // cancellation, not a shed).
+    if (Request->Ctx.hasDeadline() &&
+        WaitSec >= Request->Ctx.DeadlineSec) {
+      {
+        LockGuard Lock(TokenMutex);
+        ActiveTokens[WorkerIndex].reset();
+      }
+      accountShed(*Request, WaitSec);
+      InFlight.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // The remaining budget becomes an absolute deadline on this worker's
+    // virtual clock; the scheduler's cooperative points honour it.
+    if (Request->Ctx.hasDeadline())
+      Token.setDeadline(Proc.now() +
+                        (Request->Ctx.DeadlineSec - WaitSec));
+
+    double ExecStart = Proc.now();
+    EasScheduler::InvocationOutcome Outcome = Scheduler.execute(
+        Proc, Request->Kernel, Request->Iterations, Request->Ctx, &Token);
+    double ExecSec = Proc.now() - ExecStart;
+
+    bool StoppedDuringRun;
+    {
+      LockGuard Lock(TokenMutex);
+      StoppedDuringRun = HardStop;
+      ActiveTokens[WorkerIndex].reset();
+    }
+
+    if (Outcome.Rejected || Outcome.Cancelled) {
+      // A rejected outcome means the scheduler itself is shutting down;
+      // a cancelled one means the deadline token (or the hard-stop)
+      // fired mid-flight. Only a genuine deadline expiry counts as an
+      // SLA0 miss.
+      bool DeadlineMiss = Outcome.Cancelled && !StoppedDuringRun &&
+                          Request->Ctx.hasDeadline();
+      accountCancelled(*Request, DeadlineMiss);
+    } else {
+      accountCompleted(*Request, WaitSec, ExecSec);
+      Admission.noteServiceTime(ExecSec);
+    }
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+ServiceStats ServiceFrontEnd::shutdown() {
+  bool First = false;
+  if (!ShutdownStarted.compare_exchange_strong(First, true,
+                                               std::memory_order_acq_rel)) {
+    UniqueLock Lock(ShutdownMutex);
+    while (!ShutdownComplete)
+      ShutdownDone.wait(Lock.native());
+    return stats();
+  }
+
+  // Phase 1: stop admitting and let the workers drain what is queued.
+  Accepting.store(false, std::memory_order_release);
+  Queue.close();
+  using SteadyClock = std::chrono::steady_clock;
+  SteadyClock::time_point GraceEnd =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(Config.DrainGraceSec, 0.0)));
+  auto drained = [this] {
+    return Queue.totalDepth() == 0 &&
+           InFlight.load(std::memory_order_acquire) == 0;
+  };
+  while (!drained() && SteadyClock::now() < GraceEnd)
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+
+  // Phase 2: grace expired — cancel in-flight work and void the rest of
+  // the queue. Workers observe HardStop before executing anything new.
+  if (!drained()) {
+    LockGuard Lock(TokenMutex);
+    HardStop = true;
+    for (std::optional<CancellationToken> &Token : ActiveTokens)
+      if (Token)
+        Token->cancel();
+  }
+
+  for (std::thread &Worker : WorkerThreads)
+    Worker.join();
+  updateDepthGauges();
+
+  {
+    LockGuard Lock(ShutdownMutex);
+    ShutdownComplete = true;
+  }
+  ShutdownDone.notify_all();
+  return stats();
+}
+
+ServiceStats ServiceFrontEnd::stats() const {
+  LockGuard Lock(StatsMutex);
+  return Counts;
+}

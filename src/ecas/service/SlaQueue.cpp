@@ -1,0 +1,103 @@
+//===-- ecas/service/SlaQueue.cpp - SLA-partitioned request queue ---------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/service/SlaQueue.h"
+
+#include "ecas/support/Assert.h"
+
+using namespace ecas;
+
+SlaQueue::SlaQueue(size_t CapacityPerClassIn, SlaWeights WeightsIn)
+    : CapacityPerClass(CapacityPerClassIn), Weights(WeightsIn) {
+  ECAS_CHECK(Weights.valid(), "every SLA dequeue weight must be >= 1");
+  Lanes.reserve(NumSlaClasses);
+  for (unsigned I = 0; I != NumSlaClasses; ++I)
+    Lanes.emplace_back(CapacityPerClass);
+  for (unsigned I = 0; I != NumSlaClasses; ++I)
+    Credits[I] = Weights.Weight[I];
+}
+
+bool SlaQueue::tryPush(QueuedRequest Request) {
+  {
+    LockGuard Lock(Mutex);
+    if (Closed)
+      return false;
+    if (!Lanes[slaIndex(Request.Ctx.Sla)].tryPush(std::move(Request)))
+      return false;
+  }
+  // Notify outside the lock so the woken popper never bounces off a
+  // still-held mutex.
+  Ready.notify_one();
+  return true;
+}
+
+unsigned SlaQueue::pickLane() {
+  // Highest-priority nonempty lane holding a credit wins; when none
+  // holds one, refill every lane's credits from the weights and retry.
+  // Scanning strictest-first makes SLA0 unstarvable; the credit cap
+  // makes SLA2 progress inevitable while it has queued work.
+  for (int Round = 0; Round != 2; ++Round) {
+    for (unsigned I = 0; I != NumSlaClasses; ++I)
+      if (!Lanes[I].empty() && Credits[I] > 0) {
+        --Credits[I];
+        return I;
+      }
+    bool AnyQueued = false;
+    for (unsigned I = 0; I != NumSlaClasses; ++I)
+      AnyQueued = AnyQueued || !Lanes[I].empty();
+    if (!AnyQueued)
+      return NumSlaClasses;
+    for (unsigned I = 0; I != NumSlaClasses; ++I)
+      Credits[I] = Weights.Weight[I];
+  }
+  ECAS_UNREACHABLE("refilled credits found no nonempty lane");
+}
+
+std::optional<QueuedRequest> SlaQueue::pop() {
+  UniqueLock Lock(Mutex);
+  while (true) {
+    unsigned Lane = pickLane();
+    if (Lane != NumSlaClasses)
+      return Lanes[Lane].pop();
+    if (Closed)
+      return std::nullopt;
+    Ready.wait(Lock.native());
+  }
+}
+
+std::optional<QueuedRequest> SlaQueue::tryPop() {
+  LockGuard Lock(Mutex);
+  unsigned Lane = pickLane();
+  if (Lane == NumSlaClasses)
+    return std::nullopt;
+  return Lanes[Lane].pop();
+}
+
+void SlaQueue::close() {
+  {
+    LockGuard Lock(Mutex);
+    Closed = true;
+  }
+  Ready.notify_all();
+}
+
+bool SlaQueue::closed() const {
+  LockGuard Lock(Mutex);
+  return Closed;
+}
+
+size_t SlaQueue::depth(SlaClass Sla) const {
+  LockGuard Lock(Mutex);
+  return Lanes[slaIndex(Sla)].size();
+}
+
+size_t SlaQueue::totalDepth() const {
+  LockGuard Lock(Mutex);
+  size_t Total = 0;
+  for (const BoundedRing<QueuedRequest> &Lane : Lanes)
+    Total += Lane.size();
+  return Total;
+}

@@ -32,6 +32,10 @@ const char *ecas::errCodeName(ErrCode Code) {
     return "version mismatch";
   case ErrCode::CorruptData:
     return "corrupt data";
+  case ErrCode::Overloaded:
+    return "overloaded";
+  case ErrCode::DeadlineInfeasible:
+    return "deadline infeasible";
   }
   ECAS_UNREACHABLE("unknown error code");
 }

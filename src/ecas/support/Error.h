@@ -39,6 +39,11 @@ enum class ErrCode {
   Cancelled,
   VersionMismatch,
   CorruptData,
+  /// The service cannot queue more work right now; retry after backoff.
+  Overloaded,
+  /// Queue wait plus expected service time already exceed the request's
+  /// deadline — queueing it would only produce doomed work.
+  DeadlineInfeasible,
 };
 
 /// Returns a stable lowercase name for \p Code ("parse error", ...).

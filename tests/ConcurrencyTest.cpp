@@ -23,11 +23,14 @@
 #include "ecas/hw/Presets.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/runtime/ThreadPool.h"
+#include "ecas/service/Service.h"
 #include "ecas/support/Cancellation.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -364,4 +367,134 @@ TEST(Concurrency, ConcurrentShutdownCallsAgree) {
     Racer.join();
   EXPECT_EQ(Failures.load(), 0u);
   EXPECT_FALSE(Scheduler.acceptingWork());
+}
+
+//===----------------------------------------------------------------------===//
+// Service front-end edge cases under concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, ZeroCapacityServiceRejectsEveryConcurrentSubmission) {
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  ServiceConfig Config;
+  Config.Workers = 2;
+  Config.QueueCapPerClass = 0; // permanently full: pure backpressure
+  ServiceFrontEnd Service(Scheduler, haswellDesktop(), Config);
+
+  constexpr unsigned Threads = 4;
+  constexpr unsigned PerThread = 50;
+  std::atomic<unsigned> Overloaded{0};
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T != Threads; ++T)
+    Clients.emplace_back([&, T] {
+      KernelDesc Kernel = namedKernel("zero-cap");
+      for (unsigned I = 0; I != PerThread; ++I) {
+        RequestContext Ctx;
+        Ctx.TenantId = T + 1;
+        Ctx.Sla = slaFromIndex(I % NumSlaClasses);
+        SubmitResult Result = Service.submit(Kernel, 1e6, Ctx);
+        EXPECT_FALSE(Result.admitted());
+        if (Result.Verdict.code() == ErrCode::Overloaded) {
+          Overloaded.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_GT(Result.RetryAfterSec, 0.0);
+        }
+      }
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+
+  ServiceStats Stats = Service.shutdown();
+  EXPECT_TRUE(Stats.consistent());
+  EXPECT_EQ(Stats.Submitted, uint64_t(Threads) * PerThread);
+  EXPECT_EQ(Stats.Rejected, Stats.Submitted) << "nothing can ever queue";
+  EXPECT_EQ(Overloaded.load(), Stats.Submitted);
+  EXPECT_EQ(Stats.Completed + Stats.Shed + Stats.Cancelled, 0u);
+  EXPECT_TRUE(Scheduler.shutdown().ok());
+}
+
+TEST(Concurrency, ExpiredAtSubmitDeadlineIsRejectedNotQueued) {
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  ServiceFrontEnd Service(Scheduler, haswellDesktop());
+
+  RequestContext Ctx;
+  Ctx.TenantId = 1;
+  Ctx.Sla = SlaClass::Sla0;
+  Ctx.DeadlineSec = -1.0; // dead on arrival
+  SubmitResult Result = Service.submit(namedKernel("doa"), 1e6, Ctx);
+  EXPECT_FALSE(Result.admitted());
+  EXPECT_EQ(Result.Verdict.code(), ErrCode::DeadlineInfeasible);
+  EXPECT_EQ(Result.RetryAfterSec, 0.0) << "retrying cannot help";
+
+  ServiceStats Stats = Service.shutdown();
+  EXPECT_TRUE(Stats.consistent());
+  EXPECT_EQ(Stats.Rejected, 1u);
+  EXPECT_EQ(Stats.Shed, 0u) << "rejected at the door, never queued";
+  EXPECT_TRUE(Scheduler.shutdown().ok());
+}
+
+TEST(Concurrency, NamespacedKeysStayCollisionFreeAcrossManyTenants) {
+  // 200 tenants x 20 kernels sharing the same raw kernel ids: every
+  // namespaced key must be distinct (and distinct from the raw ids an
+  // anonymous caller maps to).
+  std::set<uint64_t> Keys;
+  for (uint64_t Kernel = 1; Kernel <= 20; ++Kernel)
+    ASSERT_TRUE(Keys.insert(namespacedKernelKey(0, Kernel)).second);
+  for (uint64_t Tenant = 1; Tenant <= 200; ++Tenant)
+    for (uint64_t Kernel = 1; Kernel <= 20; ++Kernel) {
+      uint64_t Key = namespacedKernelKey(Tenant, Kernel);
+      EXPECT_NE(Key, 0u);
+      EXPECT_TRUE(Keys.insert(Key).second)
+          << "tenant " << Tenant << " kernel " << Kernel
+          << " collided with an earlier key";
+    }
+}
+
+TEST(Concurrency, ShutdownRacesProducersSpammingAFullQueue) {
+  EasScheduler Scheduler(desktopCurves(), Metric::edp());
+  ServiceConfig Config;
+  Config.Workers = 2;
+  Config.QueueCapPerClass = 2; // tiny lanes: pushes race the close
+  Config.DrainGraceSec = 0.05; // force the hard-stop path quickly
+  auto Service = std::make_unique<ServiceFrontEnd>(
+      Scheduler, haswellDesktop(), Config);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Submitted{0};
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T != 4; ++T)
+    Producers.emplace_back([&, T] {
+      KernelDesc Kernel = namedKernel("spam");
+      while (!Stop.load(std::memory_order_acquire)) {
+        RequestContext Ctx;
+        Ctx.TenantId = T + 1;
+        Ctx.Sla = slaFromIndex(Submitted.load(std::memory_order_relaxed) %
+                               NumSlaClasses);
+        Service->submit(Kernel, 4e6, Ctx);
+        Submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  // Let the lanes fill and the workers chew, then shut down while the
+  // producers are still spamming: submit() must keep returning typed
+  // rejections (never block, never crash) and shutdown must come back.
+  while (Submitted.load(std::memory_order_relaxed) < 64)
+    std::this_thread::yield();
+  ServiceStats Stats = Service->shutdown();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &Producer : Producers)
+    Producer.join();
+
+  // The shutdown-time snapshot may straddle an in-progress submit (its
+  // Submitted counted, its rejection not yet), so mid-race the law only
+  // bounds one direction; once the producers have joined the books must
+  // balance exactly.
+  EXPECT_GE(Stats.Submitted,
+            Stats.Rejected + Stats.Shed + Stats.Completed + Stats.Cancelled);
+  ServiceStats Final = Service->stats();
+  EXPECT_TRUE(Final.consistent());
+  EXPECT_GE(Final.Submitted, Stats.Submitted);
+  EXPECT_EQ(Final.Completed + Final.Shed + Final.Cancelled,
+            Stats.Completed + Stats.Shed + Stats.Cancelled)
+      << "post-shutdown submissions can only be rejected";
+  Service.reset(); // destructor re-runs shutdown: must stay idempotent
+  EXPECT_TRUE(Scheduler.shutdown().ok());
 }

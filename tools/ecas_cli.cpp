@@ -28,12 +28,15 @@
 #include "ecas/obs/MetricsExport.h"
 #include "ecas/obs/Sinks.h"
 #include "ecas/power/Characterizer.h"
+#include "ecas/service/Service.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Flags.h"
 #include "ecas/support/Format.h"
+#include "ecas/support/Random.h"
 #include "ecas/support/ThreadAnnotations.h"
 #include "ecas/workloads/Registry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -80,15 +83,25 @@ int usage() {
       "  faults --platform=NAME [--scenario=NAME] [--workload=ABBR]\n"
       "         [--metric=M] [--scale=S]   replay fault scenarios and\n"
       "                                    report the degradation policy\n"
-      "  serve --platform=NAME [--threads=N] [--invocations=M]\n"
-      "        [--metric=M] [--scale=S] [--fault-plan=PLAN]\n"
-      "        [--history-file=FILE] [--deadline-ms=N]\n"
-      "        [--drain-grace-ms=N]        concurrent stress: N client\n"
-      "        [--trace-out=FILE]          threads share one scheduler,\n"
-      "        [--metrics]                 then shut it down gracefully\n"
-      "        [--metrics-out=FILE]        Prometheus snapshot at exit, or\n"
-      "        [--metrics-interval-ms=N]   rewritten atomically every N ms\n"
+      "  serve --platform=NAME [--tenants=N] [--requests=M]\n"
+      "        [--workers=W] [--queue-cap=C] [--sla-mix=A:B:C]\n"
+      "        [--qps=Q]                   multi-tenant service: N synthetic\n"
+      "        [--sla0-deadline-ms=N]      tenants submit M requests each\n"
+      "        [--sla1-deadline-ms=N]      through the SLA-class queue and\n"
+      "        [--shed-threshold=F]        admission controller, retrying\n"
+      "        [--metric=M] [--scale=S]    rejections with capped backoff\n"
+      "        [--fault-plan=PLAN] [--history-file=FILE]\n"
+      "        [--drain-grace-ms=N] [--trace-out=FILE] [--metrics]\n"
+      "        [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
       "        [--metrics-json=FILE] [--decision-log=FILE]\n"
+      "        (--threads/--invocations keep working as legacy aliases;\n"
+      "        exit 1 when any SLA0 deadline missed or shed fraction\n"
+      "        exceeds --shed-threshold)\n"
+      "  bench-service --platform=NAME [--requests=N] [--workers=W]\n"
+      "        [--out=FILE]                steady-state admission+decision\n"
+      "                                    latency and service throughput,\n"
+      "                                    written as JSON (default\n"
+      "                                    BENCH_service.json)\n"
       "  stats FILE                        pretty-print a Prometheus-text\n"
       "                                    snapshot (from --metrics-out)\n"
       "exit codes: 0 success, 1 runtime failure, 2 usage error\n");
@@ -437,6 +450,21 @@ int cmdRun(const Flags &Args) {
   return ExitOk;
 }
 
+/// Parses --sla-mix=A:B:C into assignment weights (any nonnegative
+/// doubles, at least one positive).
+bool parseSlaMix(const std::string &Text, double (&Mix)[NumSlaClasses]) {
+  std::vector<std::string> Parts = splitString(Text, ':');
+  if (Parts.size() != NumSlaClasses)
+    return false;
+  double Sum = 0.0;
+  for (unsigned I = 0; I != NumSlaClasses; ++I) {
+    if (!parseDouble(Parts[I], Mix[I]) || Mix[I] < 0.0)
+      return false;
+    Sum += Mix[I];
+  }
+  return Sum > 0.0;
+}
+
 int cmdServe(const Flags &Args) {
   auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
   if (!Spec) {
@@ -445,19 +473,36 @@ int cmdServe(const Flags &Args) {
   }
   if (!applyFaultPlan(*Spec, Args))
     return ExitRuntime;
-  long long Threads = Args.getInt("threads", 8);
-  long long PerThread = Args.getInt("invocations", 100);
-  if (Threads < 1 || PerThread < 1) {
+  // --threads/--invocations remain as legacy aliases of
+  // --tenants/--requests so pre-service scripts keep working.
+  long long Tenants =
+      Args.getInt("tenants", Args.getInt("threads", 8));
+  long long PerTenant =
+      Args.getInt("requests", Args.getInt("invocations", 100));
+  long long Workers = Args.getInt("workers", 4);
+  long long QueueCap = Args.getInt("queue-cap", 64);
+  if (Tenants < 1 || PerTenant < 1 || Workers < 1 || QueueCap < 0) {
     std::fprintf(stderr,
-                 "error: --threads and --invocations must be positive\n");
+                 "error: --tenants/--requests/--workers must be positive "
+                 "and --queue-cap nonnegative\n");
     return ExitUsage;
   }
+  double Mix[NumSlaClasses] = {2.0, 5.0, 3.0};
+  if (std::string MixText = Args.getString("sla-mix", "");
+      !MixText.empty() && !parseSlaMix(MixText, Mix)) {
+    std::fprintf(stderr, "error: --sla-mix wants A:B:C nonnegative "
+                         "weights with a positive sum\n");
+    return ExitUsage;
+  }
+  double Qps = Args.getDouble("qps", 0.0);
+  double Sla0DeadlineSec = Args.getDouble("sla0-deadline-ms", 200.0) / 1e3;
+  double Sla1DeadlineSec = Args.getDouble("sla1-deadline-ms", 1000.0) / 1e3;
+  double ShedThreshold = Args.getDouble("shed-threshold", 0.5);
   Metric Objective = metricByName(Args.getString("metric", "edp"));
-  double DeadlineMs = Args.getDouble("deadline-ms", 0.0);
   double DrainGraceSec = Args.getDouble("drain-grace-ms", 5000.0) / 1000.0;
 
   // Mixed kernels: every workload of the platform's suite contributes
-  // its invocations to one flat work list the clients cycle over.
+  // its invocations to one flat work list the tenants cycle over.
   InvocationTrace Work;
   for (const Workload &W : suiteFor(*Spec, Args))
     Work.insert(Work.end(), W.Trace.begin(), W.Trace.end());
@@ -478,7 +523,10 @@ int cmdServe(const Flags &Args) {
   bool WantDecisions = !Args.getString("decision-log", "").empty();
   if (WantDecisions)
     Config.Decisions = &Decisions;
-  EasScheduler Scheduler(curvesFor(*Spec, Args), Objective, Config);
+  // The scheduler borrows the curve set; keep it alive for the whole
+  // serve run (a temporary here is a dangling reference).
+  PowerCurveSet Curves = curvesFor(*Spec, Args);
+  EasScheduler Scheduler(Curves, Objective, Config);
   if (!Scheduler.restoreStatus())
     std::fprintf(stderr, "warning: %s (starting cold)\n",
                  Scheduler.restoreStatus().message().c_str());
@@ -486,7 +534,15 @@ int cmdServe(const Flags &Args) {
     std::printf("restored %zu table-G records from %s\n",
                 Scheduler.restoredRecords(), Config.HistoryFile.c_str());
 
-  // Periodic exporter: while the clients hammer the scheduler, rewrite
+  ServiceConfig FrontConfig;
+  FrontConfig.Workers = static_cast<unsigned>(Workers);
+  FrontConfig.QueueCapPerClass = static_cast<size_t>(QueueCap);
+  FrontConfig.DrainGraceSec = DrainGraceSec;
+  if (wantsMetricsRegistry(Args))
+    FrontConfig.Metrics = &Registry;
+  ServiceFrontEnd Service(Scheduler, *Spec, FrontConfig);
+
+  // Periodic exporter: while the tenants hammer the service, rewrite
   // the Prometheus snapshot atomically every interval — what a scrape
   // target looks like for a service without an HTTP listener.
   std::string MetricsOut = Args.getString("metrics-out", "");
@@ -515,40 +571,67 @@ int cmdServe(const Flags &Args) {
                     MetricsOut.c_str());
     });
 
-  std::atomic<uint64_t> Completed{0}, Cancelled{0}, Rejected{0};
-  std::atomic<uint64_t> Profiled{0}, Quarantined{0};
+  // Synthetic tenants: each offers PerTenant requests at its SLA mix,
+  // re-offering rejected work under capped exponential backoff with
+  // jitter so backpressure sheds load in time, not in requests.
+  std::atomic<uint64_t> Offered{0}, Retries{0}, GiveUps{0};
+  constexpr unsigned MaxRetries = 6;
   std::vector<std::thread> Clients;
-  Clients.reserve(static_cast<size_t>(Threads));
-  for (long long T = 0; T != Threads; ++T)
+  Clients.reserve(static_cast<size_t>(Tenants));
+  for (long long T = 0; T != Tenants; ++T)
     Clients.emplace_back([&, T] {
-      // Each client brings its own processor (its own virtual clock and
-      // energy meter); only the scheduler and its table G are shared.
-      SimProcessor Proc(*Spec);
-      for (long long K = 0; K != PerThread; ++K) {
+      uint64_t TenantId = static_cast<uint64_t>(T) + 1;
+      Xoshiro256 Rng(0x7e4a5eed2026ULL + TenantId * 7919);
+      double MixSum = Mix[0] + Mix[1] + Mix[2];
+      for (long long K = 0; K != PerTenant; ++K) {
         const KernelInvocation &Inv =
-            Work[static_cast<size_t>(T + K * Threads) % Work.size()];
-        EasScheduler::InvocationOutcome Outcome;
-        if (DeadlineMs > 0.0) {
-          CancellationToken Deadline;
-          Deadline.setDeadline(Proc.now() + DeadlineMs / 1000.0);
-          Outcome =
-              Scheduler.execute(Proc, Inv.Kernel, Inv.Iterations, Deadline);
+            Work[static_cast<size_t>(T + K * Tenants) % Work.size()];
+        RequestContext Ctx;
+        Ctx.TenantId = TenantId;
+        double Draw = Rng.nextDouble() * MixSum;
+        if (Draw < Mix[0]) {
+          Ctx.Sla = SlaClass::Sla0;
+          Ctx.DeadlineSec = Sla0DeadlineSec;
+        } else if (Draw < Mix[0] + Mix[1]) {
+          Ctx.Sla = SlaClass::Sla1;
+          Ctx.DeadlineSec = Sla1DeadlineSec;
         } else {
-          Outcome = Scheduler.execute(Proc, Inv.Kernel, Inv.Iterations);
+          Ctx.Sla = SlaClass::Sla2;
         }
-        if (Outcome.Rejected)
-          ++Rejected;
-        else if (Outcome.Cancelled)
-          ++Cancelled;
-        else
-          ++Completed;
-        Profiled += Outcome.Profiled ? 1 : 0;
-        Quarantined += Outcome.GpuQuarantined ? 1 : 0;
+        ++Offered;
+        for (unsigned Attempt = 0;; ++Attempt) {
+          SubmitResult Result = Service.submit(Inv.Kernel, Inv.Iterations,
+                                               Ctx);
+          if (Result.admitted())
+            break;
+          // A zero hint means "replan, not retry" (infeasible deadline
+          // at submit, or the service is closing).
+          if (Result.RetryAfterSec <= 0.0 || Attempt >= MaxRetries) {
+            ++GiveUps;
+            break;
+          }
+          ++Retries;
+          double Base = std::max(Result.RetryAfterSec, 1e-3);
+          double Delay =
+              std::min(Base * static_cast<double>(1u << std::min(Attempt, 6u)),
+                       0.25);
+          Delay *= 0.5 + Rng.nextDouble(); // jitter in [0.5x, 1.5x)
+          std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+        }
+        if (Qps > 0.0) {
+          // Bursty arrivals: every 24th request opens a burst of 6
+          // back-to-back submissions; the rest pace to the target rate.
+          bool InBurst = (K % 24) < 6;
+          if (!InBurst)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                (0.5 + Rng.nextDouble()) / Qps));
+        }
       }
     });
   for (std::thread &Client : Clients)
     Client.join();
 
+  ServiceStats Stats = Service.shutdown();
   Status Shutdown = Scheduler.shutdown(DrainGraceSec);
 
   if (Exporter.joinable()) {
@@ -566,28 +649,53 @@ int cmdServe(const Flags &Args) {
   for (const auto &[Key, Rec] : Scheduler.history().entries())
     Recorded += Rec.Invocations;
 
-  std::printf("serve: %lld threads x %lld invocations over %zu kernels\n",
-              Threads, PerThread, Scheduler.history().size());
-  std::printf("  completed %llu, cancelled %llu, rejected %llu, "
-              "profiled %llu, quarantined %llu\n",
-              static_cast<unsigned long long>(Completed.load()),
-              static_cast<unsigned long long>(Cancelled.load()),
-              static_cast<unsigned long long>(Rejected.load()),
-              static_cast<unsigned long long>(Profiled.load()),
-              static_cast<unsigned long long>(Quarantined.load()));
+  std::printf("serve: %lld tenants x %lld requests, %lld workers, "
+              "queue cap %lld/class, %zu tenant-kernels in table G\n",
+              Tenants, PerTenant, Workers, QueueCap,
+              Scheduler.history().size());
+  std::printf("  offered %llu first-time, %llu retries, %llu give-ups\n",
+              static_cast<unsigned long long>(Offered.load()),
+              static_cast<unsigned long long>(Retries.load()),
+              static_cast<unsigned long long>(GiveUps.load()));
+  for (unsigned I = 0; I != NumSlaClasses; ++I)
+    std::printf("  %s: submitted %llu, rejected %llu, shed %llu, "
+                "completed %llu, cancelled %llu, max wait %.1f ms\n",
+                slaClassName(slaFromIndex(I)),
+                static_cast<unsigned long long>(Stats.SubmittedBySla[I]),
+                static_cast<unsigned long long>(Stats.RejectedBySla[I]),
+                static_cast<unsigned long long>(Stats.ShedBySla[I]),
+                static_cast<unsigned long long>(Stats.CompletedBySla[I]),
+                static_cast<unsigned long long>(Stats.CancelledBySla[I]),
+                1e3 * Stats.MaxQueueWaitSec[I]);
+  std::printf("  accounting: %llu submitted == %llu rejected + %llu shed "
+              "+ %llu completed + %llu cancelled%s\n",
+              static_cast<unsigned long long>(Stats.Submitted),
+              static_cast<unsigned long long>(Stats.Rejected),
+              static_cast<unsigned long long>(Stats.Shed),
+              static_cast<unsigned long long>(Stats.Completed),
+              static_cast<unsigned long long>(Stats.Cancelled),
+              Stats.consistent() ? "" : "  [BROKEN]");
+  std::printf("  sla0 deadline misses %llu, shed fraction %.1f%% "
+              "(threshold %.1f%%)\n",
+              static_cast<unsigned long long>(Stats.Sla0DeadlineMisses),
+              100.0 * Stats.shedFraction(), 100.0 * ShedThreshold);
   std::printf("  table G records %llu invocations%s\n",
               static_cast<unsigned long long>(Recorded),
               Config.HistoryFile.empty()
                   ? ""
                   : (", snapshot " + Config.HistoryFile).c_str());
-  if (const GpuHealthMonitor::Stats Stats = Scheduler.health().stats();
-      Stats.Quarantines || Stats.Recoveries)
+  if (const GpuHealthMonitor::Stats Health = Scheduler.health().stats();
+      Health.Quarantines || Health.Recoveries)
     std::printf("  health: %u quarantines, %u recoveries, state %s\n",
-                Stats.Quarantines, Stats.Recoveries,
+                Health.Quarantines, Health.Recoveries,
                 gpuHealthStateName(Scheduler.health().state()));
   if (!Shutdown) {
     std::fprintf(stderr, "error: shutdown: %s\n",
                  Shutdown.message().c_str());
+    return ExitRuntime;
+  }
+  if (!Stats.consistent()) {
+    std::fprintf(stderr, "error: request accounting does not balance\n");
     return ExitRuntime;
   }
   if (Config.Trace && !drainObservability(Recorder, Args))
@@ -597,6 +705,146 @@ int cmdServe(const Flags &Args) {
   if (!writeMetricsOutputs(Registry, WantDecisions ? &Decisions : nullptr,
                            Args))
     return ExitRuntime;
+  // Overload is an outcome, not a detail: an SLA0 miss or a shed storm
+  // exits 1 so scripts can tell a degraded run from a clean one.
+  return serveExitCode(Stats, ShedThreshold) == 0 ? ExitOk : ExitRuntime;
+}
+
+/// Sorted-sample quantile in nanoseconds (\p Samples already sorted).
+double quantileNs(const std::vector<double> &Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  double Pos = Q * static_cast<double>(Samples.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Samples[Lo] + (Samples[Hi] - Samples[Lo]) * Frac;
+}
+
+int cmdBenchService(const Flags &Args) {
+  auto Spec = platformByName(Args.getString("platform", "haswell-desktop"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown platform\n");
+    return ExitUsage;
+  }
+  long long Requests = Args.getInt("requests", 1000);
+  long long Workers = Args.getInt("workers", 4);
+  if (Requests < 1 || Workers < 1) {
+    std::fprintf(stderr, "error: --requests and --workers must be positive\n");
+    return ExitUsage;
+  }
+  std::string Out = Args.getString("out", "BENCH_service.json");
+  Metric Objective = metricByName(Args.getString("metric", "edp"));
+
+  InvocationTrace Work;
+  for (const Workload &W : suiteFor(*Spec, Args))
+    Work.insert(Work.end(), W.Trace.begin(), W.Trace.end());
+  if (Work.empty()) {
+    std::fprintf(stderr, "error: empty workload suite\n");
+    return ExitRuntime;
+  }
+
+  PowerCurveSet Curves = Characterizer(*Spec).characterize();
+  EasScheduler Scheduler(Curves, Objective, {});
+
+  // Warm table G so the measured decisions are steady-state hits, not
+  // first-seen profiling runs.
+  {
+    SimProcessor Warm(*Spec);
+    for (const KernelInvocation &Inv : Work)
+      Scheduler.execute(Warm, Inv.Kernel, Inv.Iterations);
+  }
+
+  using HostClock = std::chrono::steady_clock;
+  auto ElapsedNs = [](HostClock::time_point T0) {
+    return std::chrono::duration<double, std::nano>(HostClock::now() - T0)
+        .count();
+  };
+
+  // Decision latency: host cost of one steady-state scheduler decision
+  // plus its simulated execution, against a warmed table G.
+  std::vector<double> DecisionNs;
+  DecisionNs.reserve(static_cast<size_t>(Requests));
+  {
+    SimProcessor Proc(*Spec);
+    for (long long I = 0; I != Requests; ++I) {
+      const KernelInvocation &Inv =
+          Work[static_cast<size_t>(I) % Work.size()];
+      HostClock::time_point T0 = HostClock::now();
+      Scheduler.execute(Proc, Inv.Kernel, Inv.Iterations);
+      DecisionNs.push_back(ElapsedNs(T0));
+    }
+  }
+
+  // Admission + throughput: submit every request through the service
+  // front end (lane capacity sized so admission itself is what we
+  // measure), then drain and derive completed-per-second.
+  ServiceConfig FrontConfig;
+  FrontConfig.Workers = static_cast<unsigned>(Workers);
+  FrontConfig.QueueCapPerClass = static_cast<size_t>(Requests);
+  ServiceFrontEnd Service(Scheduler, *Spec, FrontConfig);
+  std::vector<double> AdmissionNs;
+  AdmissionNs.reserve(static_cast<size_t>(Requests));
+  HostClock::time_point RunStart = HostClock::now();
+  for (long long I = 0; I != Requests; ++I) {
+    const KernelInvocation &Inv = Work[static_cast<size_t>(I) % Work.size()];
+    RequestContext Ctx;
+    Ctx.TenantId = 1 + static_cast<uint64_t>(I % 4);
+    Ctx.Sla = static_cast<SlaClass>(I % NumSlaClasses);
+    HostClock::time_point T0 = HostClock::now();
+    Service.submit(Inv.Kernel, Inv.Iterations, Ctx);
+    AdmissionNs.push_back(ElapsedNs(T0));
+  }
+  ServiceStats Stats = Service.shutdown();
+  double RunSec = std::chrono::duration<double>(HostClock::now() - RunStart)
+                      .count();
+  double ThroughputRps =
+      RunSec > 0.0 ? static_cast<double>(Stats.Completed) / RunSec : 0.0;
+
+  std::sort(AdmissionNs.begin(), AdmissionNs.end());
+  std::sort(DecisionNs.begin(), DecisionNs.end());
+  auto MeanOf = [](const std::vector<double> &Samples) {
+    double Sum = 0.0;
+    for (double S : Samples)
+      Sum += S;
+    return Samples.empty() ? 0.0
+                           : Sum / static_cast<double>(Samples.size());
+  };
+
+  std::string Json = formatString(
+      "{\n"
+      "  \"bench\": \"service\",\n"
+      "  \"platform\": \"%s\",\n"
+      "  \"requests\": %lld,\n"
+      "  \"workers\": %lld,\n"
+      "  \"admission_latency_ns\": "
+      "{\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"mean\": %.0f},\n"
+      "  \"decision_latency_ns\": "
+      "{\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"mean\": %.0f},\n"
+      "  \"throughput_rps\": %.1f,\n"
+      "  \"completed\": %llu,\n"
+      "  \"rejected\": %llu,\n"
+      "  \"shed\": %llu,\n"
+      "  \"cancelled\": %llu\n"
+      "}\n",
+      Spec->Name.c_str(), Requests, Workers, quantileNs(AdmissionNs, 0.5),
+      quantileNs(AdmissionNs, 0.9), quantileNs(AdmissionNs, 0.99),
+      MeanOf(AdmissionNs), quantileNs(DecisionNs, 0.5),
+      quantileNs(DecisionNs, 0.9), quantileNs(DecisionNs, 0.99),
+      MeanOf(DecisionNs), ThroughputRps,
+      static_cast<unsigned long long>(Stats.Completed),
+      static_cast<unsigned long long>(Stats.Rejected),
+      static_cast<unsigned long long>(Stats.Shed),
+      static_cast<unsigned long long>(Stats.Cancelled));
+  if (Status S = obs::writeFileAtomic(Out, Json); !S) {
+    std::fprintf(stderr, "error: %s: %s\n", Out.c_str(),
+                 S.message().c_str());
+    return ExitRuntime;
+  }
+  std::printf("bench-service: admission p99 %.0f ns, decision p99 %.0f ns, "
+              "%.1f completed/s -> %s\n",
+              quantileNs(AdmissionNs, 0.99), quantileNs(DecisionNs, 0.99),
+              ThroughputRps, Out.c_str());
   return ExitOk;
 }
 
@@ -774,6 +1022,8 @@ int main(int Argc, char **Argv) {
     return cmdFaults(Args);
   if (Command == "serve")
     return cmdServe(Args);
+  if (Command == "bench-service")
+    return cmdBenchService(Args);
   if (Command == "stats")
     return cmdStats(Args);
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());

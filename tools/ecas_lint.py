@@ -27,6 +27,11 @@ enforced even under toolchains that cannot run the Clang analyses:
                          reports through Status/ErrorOr and the obs layer,
                          never by writing to the process's streams.
                          snprintf-into-a-buffer (support/Format) is fine.
+  unbounded-queue        No std::deque / std::queue / std::priority_queue /
+                         std::list inside src/ecas/service/: every service
+                         queue must have a capacity fixed at construction
+                         (service/Bounded.h) so overload becomes typed
+                         backpressure instead of unbounded memory growth.
   metric-name            Metric names are lowercase snake_case with the
                          eas_ prefix and live in src/ecas/obs/MetricNames.h:
                          the literals there must match ^eas_[a-z][a-z0-9_]*$,
@@ -71,6 +76,7 @@ BLOCKING_CALL = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\bstd::this_thread::yield\s*\(\)"
 )
 STD_RAND = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|\bstd::random_shuffle\b")
+UNBOUNDED_QUEUE = re.compile(r"\bstd::(deque|queue|priority_queue|list)\s*<")
 # \bprintf cannot match inside snprintf/vsnprintf (preceded by a word
 # character), so buffer-formatting helpers stay legal.
 RAW_OUTPUT = re.compile(
@@ -303,6 +309,24 @@ def check_no_std_rand(path, raw_lines, code_lines, findings):
                 "in ecas/support/Random.h"))
 
 
+def check_unbounded_queue(path, raw_lines, code_lines, findings):
+    rule = "unbounded-queue"
+    norm = path.replace(os.sep, "/")
+    if "/src/ecas/service/" not in norm:
+        return  # Only the service layer promises bounded queues.
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        m = UNBOUNDED_QUEUE.search(code)
+        if m and not line_allows(raw_lines[ln - 1], rule):
+            findings.append(Finding(
+                path, ln, rule,
+                f"std::{m.group(1)} in the service layer grows without "
+                "bound under overload; use BoundedRing "
+                "(ecas/service/Bounded.h) so a full queue becomes typed "
+                "backpressure"))
+
+
 def check_no_raw_output(path, raw_lines, code_lines, findings):
     rule = "no-raw-output"
     norm = path.replace(os.sep, "/")
@@ -369,6 +393,7 @@ CHECKS = [
     check_wait_under_lock_guard,
     check_include_hygiene,
     check_no_std_rand,
+    check_unbounded_queue,
     check_no_raw_output,
     check_metric_name,
 ]
