@@ -49,6 +49,16 @@ Status EasConfig::validate() const {
   if (Health.RetryBackoffMultiplier < 1.0)
     return Invalid(formatString("shrinking retry backoff multiplier %g",
                                 Health.RetryBackoffMultiplier));
+  if (Journal.Enabled) {
+    if (HistoryFile.empty())
+      return Invalid("journaling requires a history file (the journal is "
+                     "the delta against a snapshot; alone it is neither)");
+    if (Journal.GroupCommitRecords == 0)
+      return Invalid("zero group-commit record threshold (1 means "
+                     "per-record commit)");
+    if (Journal.GroupCommitBytes == 0)
+      return Invalid("zero group-commit byte threshold");
+  }
   return Status::success();
 }
 
@@ -73,13 +83,103 @@ EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
     reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
   Monitor.setTrace(Config.Trace);
   registerInstruments();
-  if (!Config.HistoryFile.empty()) {
+  initDurability();
+}
+
+void EasScheduler::initDurability() {
+  if (!Config.Journal.Enabled) {
+    if (Config.HistoryFile.empty())
+      return;
     ErrorOr<size_t> Restored = loadKernelHistory(History, Config.HistoryFile);
     if (Restored)
       RestoredRecords = *Restored;
     else
       RestoreStatus = Restored.status();
+    return;
   }
+
+  // Journal-aware recovery: newest valid snapshot + replay, compacted
+  // to a fresh epoch before the journal reopens for appending.
+  obs::ScopedSpan RecoverySpan(Config.Trace, "eas", "recovery");
+  Recovery =
+      recoverKernelHistory(History, Config.HistoryFile, journalPath());
+  RestoredRecords = Recovery.SnapshotRecords + Recovery.ReplayedRecords;
+  if (!Recovery.SnapshotStatus.ok())
+    RestoreStatus = Recovery.SnapshotStatus;
+  if (Config.Trace)
+    RecoverySpan.setEndDetail(formatString(
+        "outcome=%s snapshot=%zu replayed=%zu truncated=%zu epoch=%llu",
+        recoveryOutcomeName(Recovery.Outcome), Recovery.SnapshotRecords,
+        Recovery.ReplayedRecords, Recovery.TruncatedRecords,
+        static_cast<unsigned long long>(Recovery.Epoch)));
+  if (Ins.ReplayedRecords && Recovery.ReplayedRecords)
+    Ins.ReplayedRecords->add(Recovery.ReplayedRecords);
+  if (Ins.TruncatedRecords && Recovery.TruncatedRecords)
+    Ins.TruncatedRecords->add(Recovery.TruncatedRecords);
+  if (Ins.RecoverySecondsGauge)
+    Ins.RecoverySecondsGauge->set(Recovery.Seconds);
+  if (obs::Counter *Outcome =
+          Ins.RecoveryOutcomes[static_cast<unsigned>(Recovery.Outcome)])
+    Outcome->add();
+
+  JournalOptions Opts;
+  Opts.Path = journalPath();
+  Opts.GroupCommitRecords = Config.Journal.GroupCommitRecords;
+  Opts.GroupCommitBytes = Config.Journal.GroupCommitBytes;
+  Opts.SyncOnFlush = Config.Journal.SyncOnFlush;
+  ErrorOr<std::unique_ptr<HistoryJournal>> Opened =
+      HistoryJournal::open(std::move(Opts), Recovery.Epoch);
+  if (!Opened) {
+    // Snapshot-only mode: scheduling is unaffected, durability degrades
+    // to what pre-journal builds offered, journalStatus() says why.
+    noteJournalFailure(Opened.status());
+    return;
+  }
+  Journal = std::move(*Opened);
+  HistoryJournal::MetricHooks Hooks;
+  Hooks.Appends = Ins.JournalAppends;
+  Hooks.Bytes = Ins.JournalBytes;
+  Journal->setMetrics(Hooks);
+}
+
+std::string EasScheduler::journalPath() const {
+  if (!Config.Journal.Enabled)
+    return {};
+  if (!Config.Journal.File.empty())
+    return Config.Journal.File;
+  return Config.HistoryFile + ".wal";
+}
+
+Status EasScheduler::journalStatus() const {
+  LockGuard Lock(JournalStatusMutex);
+  return JournalFailure;
+}
+
+void EasScheduler::noteJournalFailure(const Status &S) {
+  LockGuard Lock(JournalStatusMutex);
+  if (JournalFailure.ok())
+    JournalFailure = S;
+}
+
+void EasScheduler::journalRecord(const HistoryDeltaRecord &Rec) {
+  if (Journal)
+    Journal->enqueue(Rec);
+}
+
+void EasScheduler::journalCommit() {
+  if (!Journal)
+    return;
+  if (Status S = Journal->maybeFlush(); !S.ok())
+    noteJournalFailure(S);
+}
+
+Status EasScheduler::flushJournal() {
+  if (!Journal)
+    return Status::success();
+  Status S = Journal->flush();
+  if (!S.ok())
+    noteJournalFailure(S);
+  return S;
 }
 
 EasScheduler::~EasScheduler() { shutdown(); }
@@ -146,6 +246,26 @@ void EasScheduler::registerInstruments() {
   Ins.ShutdownDrain =
       &M->gauge(obs::names::ShutdownDrainSeconds, {},
                 "Host seconds the last shutdown spent draining");
+  Ins.JournalAppends =
+      &M->counter(obs::names::HistoryJournalAppendsTotal, {},
+                  "Table-G delta records appended to the write-ahead journal");
+  Ins.JournalBytes =
+      &M->counter(obs::names::HistoryJournalBytesTotal, {},
+                  "Bytes of framed records appended to the journal");
+  Ins.ReplayedRecords =
+      &M->counter(obs::names::HistoryReplayedRecordsTotal, {},
+                  "Journal records replayed onto the snapshot at recovery");
+  Ins.TruncatedRecords =
+      &M->counter(obs::names::HistoryTruncatedRecordsTotal, {},
+                  "Torn or corrupt journal records truncated at recovery");
+  Ins.RecoverySecondsGauge =
+      &M->gauge(obs::names::RecoverySeconds, {},
+                "Host seconds the constructor's table-G recovery took");
+  for (unsigned I = 0; I != 4; ++I)
+    Ins.RecoveryOutcomes[I] = &M->counter(
+        obs::names::HistoryRecoveryOutcome,
+        {{"outcome", recoveryOutcomeName(static_cast<RecoveryOutcome>(I))}},
+        "Recoveries by how they found the on-disk state");
   GpuHealthMonitor::MetricHooks Hooks;
   Hooks.Hangs = &M->counter(obs::names::HangsTotal, {},
                             "Hangs declared by the watchdog");
@@ -271,11 +391,23 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
                                std::chrono::steady_clock::now() - DrainStart)
                                .count());
 
-  // Phase 3: persist table G.
+  // Phase 3: persist table G. With a live journal this is a compaction:
+  // flush the tail, snapshot at the next epoch, and only then reset the
+  // journal to it — dying between the two leaves a stale journal the
+  // next recovery skips, never a double-apply.
   Status S = Status::success();
   if (!Config.HistoryFile.empty()) {
     obs::ScopedSpan SnapshotSpan(Config.Trace, "eas", "snapshot");
-    S = saveKernelHistory(History, Config.HistoryFile);
+    if (Journal) {
+      if (Status FlushS = Journal->flush(); !FlushS.ok())
+        noteJournalFailure(FlushS);
+      uint64_t NewEpoch = Journal->epoch() + 1;
+      S = saveKernelHistory(History, Config.HistoryFile, NewEpoch);
+      if (S.ok())
+        S = Journal->reset(NewEpoch);
+    } else {
+      S = saveKernelHistory(History, Config.HistoryFile);
+    }
     if (Config.Trace)
       SnapshotSpan.setEndDetail(S.toString());
   }
@@ -290,7 +422,8 @@ Status EasScheduler::shutdown(double DrainGraceSec) {
 }
 
 Status EasScheduler::snapshot(const std::string &Path) const {
-  return saveKernelHistory(History, Path);
+  return saveKernelHistory(History, Path,
+                           Journal ? Journal->epoch() : uint64_t{0});
 }
 
 EasScheduler::InvocationOutcome
@@ -404,6 +537,14 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
                             /*Alpha=*/0.0);
     History.bumpQuarantinedRuns(HistoryKey);
     History.bumpInvocations(HistoryKey);
+    if (Journal) {
+      HistoryDeltaRecord Delta;
+      Delta.Key = HistoryKey;
+      Delta.QuarantinedDelta = 1;
+      Delta.InvocationsDelta = 1;
+      journalRecord(Delta);
+      journalCommit();
+    }
     Outcome.GpuQuarantined = true;
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
@@ -505,6 +646,16 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     History.update(HistoryKey,
                    [](KernelRecord &Rec) { Rec.CpuOnly = true; });
     History.bumpInvocations(HistoryKey);
+    if (Journal) {
+      // Setting CpuOnly commutes (it only ever becomes true), so the
+      // record may enqueue outside the shard lock.
+      HistoryDeltaRecord Delta;
+      Delta.Key = HistoryKey;
+      Delta.SetCpuOnly = true;
+      Delta.InvocationsDelta = 1;
+      journalRecord(Delta);
+      journalCommit();
+    }
     Outcome.CpuOnlyFastPath = true;
     Outcome.Seconds = Proc.now() - Start;
     Outcome.MeasuredSeconds = Outcome.Seconds;
@@ -679,6 +830,15 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
     bool AddAlpha = !ProfileHang && !Outcome.Cancelled;
     double AlphaWeight = std::max(Nrem, 1.0);
     History.update(HistoryKey, [&](KernelRecord &Rec) {
+      // The journal record mirrors this merge field for field and is
+      // enqueued before the shard lock releases, so journal order
+      // equals merge order per key and replay is order-exact (sample
+      // accumulation and the confident transition do not commute).
+      // enqueue() buffers without IO, so no fsync runs under the lock.
+      HistoryDeltaRecord Delta;
+      Delta.Key = HistoryKey;
+      if (Journal)
+        Delta.Samples = Deltas;
       for (const ProfileSample &S : Deltas)
         Rec.Sample.accumulate(S);
       if (!Rec.Confident && Rec.Sample.CpuIterations >= MinProfileIters &&
@@ -687,16 +847,32 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         // accumulated while one device was starved of observations.
         Rec.Confident = true;
         Rec.Alpha = SampleWeightedAlpha();
+        Delta.BecameConfident = true;
       }
-      if (AddAlpha)
+      if (AddAlpha) {
         Rec.Alpha.addSample(Alpha, AlphaWeight);
+        Delta.HasAlphaSample = true;
+        Delta.AlphaValue = Alpha;
+        Delta.AlphaWeight = AlphaWeight;
+      }
       Rec.Class = Outcome.Class;
+      Delta.HasClass = true;
+      Delta.ClassIndex = Outcome.Class.index();
+      journalRecord(Delta);
     });
   }
   // A cancelled invocation did not complete; counting it would make
   // periodic re-profiling cadence drift under cancellation storms.
-  if (!Outcome.Cancelled)
+  if (!Outcome.Cancelled) {
     History.bumpInvocations(HistoryKey);
+    if (Journal) {
+      HistoryDeltaRecord Delta;
+      Delta.Key = HistoryKey;
+      Delta.InvocationsDelta = 1;
+      journalRecord(Delta);
+    }
+  }
+  journalCommit();
 
   Outcome.AlphaUsed = Alpha;
   Outcome.Seconds = Proc.now() - Start;

@@ -28,6 +28,7 @@
 #define ECAS_CORE_EASSCHEDULER_H
 
 #include "ecas/core/AlphaSearch.h"
+#include "ecas/core/HistoryJournal.h"
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
 #include "ecas/core/RequestContext.h"
@@ -88,6 +89,22 @@ struct EasConfig {
   /// reported by restoreStatus()) and shutdown()/the destructor write it
   /// back atomically, so learned alphas survive restarts.
   std::string HistoryFile;
+  /// Write-ahead journaling of table-G merges (DESIGN.md §13). Off by
+  /// default: snapshot-only durability is what every pre-§13 caller
+  /// gets. The serve front end turns it on whenever --history-file is
+  /// set.
+  struct JournalConfig {
+    /// Journal every table-G mutation and recover snapshot + journal at
+    /// construction. Requires HistoryFile (or an explicit File).
+    bool Enabled = false;
+    /// Journal path; empty derives "<HistoryFile>.wal".
+    std::string File;
+    /// Group-commit thresholds and fsync policy (JournalOptions).
+    unsigned GroupCommitRecords = 32;
+    size_t GroupCommitBytes = 64 * 1024;
+    bool SyncOnFlush = true;
+  };
+  JournalConfig Journal;
   /// Optional trace recorder (not owned; must outlive the scheduler).
   /// When set, every invocation emits spans and counters through it —
   /// admission, profiling repetitions, classification, the alpha
@@ -269,7 +286,29 @@ public:
   /// Records recovered by the constructor's restore.
   size_t restoredRecords() const { return RestoredRecords; }
 
-  /// Writes a snapshot of table G to \p Path now (atomic tmp+rename).
+  /// What the constructor's journal-aware recovery did (meaningful only
+  /// with Config.Journal.Enabled; a snapshot-only restore reports Cold
+  /// or Clean with zero replayed records).
+  const RecoveryReport &recoveryReport() const { return Recovery; }
+  /// Non-success when journaling was requested but the journal could
+  /// not be opened (or a flush failed); the scheduler keeps running
+  /// with snapshot-only durability.
+  Status journalStatus() const;
+  /// True while the write-ahead journal is live.
+  bool journaling() const { return Journal != nullptr; }
+  /// Append-side counters (zeros without a live journal).
+  HistoryJournal::Stats journalStats() const {
+    return Journal ? Journal->stats() : HistoryJournal::Stats{};
+  }
+  /// Durably commits every journaled record enqueued so far (the
+  /// service's idle-flush hook). No-op without a live journal.
+  Status flushJournal();
+  /// Resolved journal path ("" when journaling is off).
+  std::string journalPath() const;
+
+  /// Writes a snapshot of table G to \p Path now (atomic tmp+rename),
+  /// stamped with the live journal epoch so a copy taken mid-run pairs
+  /// with the journal it rode alongside.
   Status snapshot(const std::string &Path) const;
 
   /// Forgets all table-G state (a fresh application run). Health state
@@ -328,10 +367,42 @@ private:
     obs::Counter *QuarantinedRuns = nullptr;
     obs::Counter *DecisionsLogged = nullptr;
     obs::Gauge *ShutdownDrain = nullptr;
+    obs::Counter *JournalAppends = nullptr;
+    obs::Counter *JournalBytes = nullptr;
+    obs::Counter *ReplayedRecords = nullptr;
+    obs::Counter *TruncatedRecords = nullptr;
+    obs::Gauge *RecoverySecondsGauge = nullptr;
+    /// One counter per RecoveryOutcome, labelled outcome=<name>.
+    obs::Counter *RecoveryOutcomes[4] = {};
   };
   MetricInstruments Ins;
   Status RestoreStatus = Status::success();
   size_t RestoredRecords = 0;
+
+  //===--------------------------------------------------------------===//
+  // Durability (DESIGN.md §13). The journal pointer is set once in the
+  // constructor and cleared only by the destructor, so the execute()
+  // paths read it without synchronization. Flush failures are sticky:
+  // the first one is kept for journalStatus() and the journal keeps
+  // accepting appends (best-effort durability, never a scheduling
+  // failure).
+  //===--------------------------------------------------------------===//
+  /// Runs the constructor's recovery + journal open; never throws —
+  /// failures degrade to snapshot-only mode with JournalOpenStatus set.
+  void initDurability();
+  /// Buffers one delta record into the journal (no IO; legal inside the
+  /// table-G shard-locked merge closure). No-op without a live journal.
+  void journalRecord(const HistoryDeltaRecord &Rec);
+  /// Group-commits when a threshold is crossed. Called outside shard
+  /// locks, once per journaled invocation path.
+  void journalCommit();
+  void noteJournalFailure(const Status &S);
+
+  std::unique_ptr<HistoryJournal> Journal;
+  RecoveryReport Recovery;
+  mutable AnnotatedMutex JournalStatusMutex{"EasScheduler.JournalStatus"};
+  Status JournalFailure ECAS_GUARDED_BY(JournalStatusMutex) =
+      Status::success();
 
   /// Recovery count at the last execute(); a difference means the GPU
   /// was re-admitted and the next large invocation must re-profile.

@@ -1,0 +1,64 @@
+//===-- ecas/core/HistoryCodec.h - Table-G wire primitives -----*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian primitive encoding shared by the two durable table-G
+/// formats — snapshots (HistorySnapshot) and the write-ahead journal
+/// (HistoryJournal) — so both sides of the durability contract agree on
+/// byte order and float representation by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_CORE_HISTORYCODEC_H
+#define ECAS_CORE_HISTORYCODEC_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ecas::history_codec {
+
+inline void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
+}
+
+inline void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
+}
+
+inline void putF64(std::string &Out, double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+inline uint32_t getU32(const unsigned char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+inline uint64_t getU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+inline double getF64(const unsigned char *P) {
+  uint64_t Bits = getU64(P);
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace ecas::history_codec
+
+#endif // ECAS_CORE_HISTORYCODEC_H

@@ -6,68 +6,22 @@
 
 #include "ecas/core/HistorySnapshot.h"
 
+#include "ecas/core/HistoryCodec.h"
+#include "ecas/support/AtomicFile.h"
 #include "ecas/support/Crc32.h"
-#include "ecas/support/Format.h"
 
-#include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
-
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include <vector>
 
 using namespace ecas;
+using namespace ecas::history_codec;
 
 namespace {
 
 constexpr char Magic[8] = {'E', 'C', 'A', 'S', 'T', 'B', 'L', 'G'};
 constexpr size_t HeaderBytes = 24;
 constexpr size_t RecordBytes = 112;
-
-//===----------------------------------------------------------------------===//
-// Little-endian primitive encoding
-//===----------------------------------------------------------------------===//
-
-void putU32(std::string &Out, uint32_t V) {
-  for (int I = 0; I != 4; ++I)
-    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
-}
-
-void putU64(std::string &Out, uint64_t V) {
-  for (int I = 0; I != 8; ++I)
-    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xffu));
-}
-
-void putF64(std::string &Out, double V) {
-  uint64_t Bits;
-  static_assert(sizeof(Bits) == sizeof(V));
-  std::memcpy(&Bits, &V, sizeof(Bits));
-  putU64(Out, Bits);
-}
-
-uint32_t getU32(const unsigned char *P) {
-  uint32_t V = 0;
-  for (int I = 0; I != 4; ++I)
-    V |= static_cast<uint32_t>(P[I]) << (8 * I);
-  return V;
-}
-
-uint64_t getU64(const unsigned char *P) {
-  uint64_t V = 0;
-  for (int I = 0; I != 8; ++I)
-    V |= static_cast<uint64_t>(P[I]) << (8 * I);
-  return V;
-}
-
-double getF64(const unsigned char *P) {
-  uint64_t Bits = getU64(P);
-  double V;
-  std::memcpy(&V, &Bits, sizeof(V));
-  return V;
-}
+constexpr size_t EpochBytes = 8;
 
 void encodeRecord(std::string &Out, uint64_t Key, const KernelRecord &Rec) {
   putU64(Out, Key);
@@ -117,10 +71,12 @@ std::pair<uint64_t, KernelRecord> decodeRecord(const unsigned char *P) {
 
 } // namespace
 
-std::string ecas::serializeKernelHistory(const KernelHistory &History) {
+std::string ecas::serializeKernelHistory(const KernelHistory &History,
+                                         uint64_t Epoch) {
   std::vector<std::pair<uint64_t, KernelRecord>> Entries = History.entries();
   std::string Payload;
-  Payload.reserve(Entries.size() * RecordBytes);
+  Payload.reserve(EpochBytes + Entries.size() * RecordBytes);
+  putU64(Payload, Epoch);
   for (const auto &[Key, Rec] : Entries)
     encodeRecord(Payload, Key, Rec);
 
@@ -135,8 +91,11 @@ std::string ecas::serializeKernelHistory(const KernelHistory &History) {
 }
 
 ErrorOr<size_t> ecas::deserializeKernelHistory(KernelHistory &History,
-                                               std::string_view Bytes) {
+                                               std::string_view Bytes,
+                                               uint64_t *EpochOut) {
   History.clear();
+  if (EpochOut)
+    *EpochOut = 0;
   if (Bytes.size() < HeaderBytes)
     return Status::error(ErrCode::Truncated,
                          "snapshot smaller than its 24-byte header (" +
@@ -146,18 +105,26 @@ ErrorOr<size_t> ecas::deserializeKernelHistory(KernelHistory &History,
     return Status::error(ErrCode::CorruptData,
                          "snapshot magic mismatch (not a table-G file)");
   uint32_t Version = getU32(P + 8);
-  if (Version != HistorySnapshotVersion)
+  if (Version != 1 && Version != HistorySnapshotVersion)
     return Status::error(ErrCode::VersionMismatch,
                          "snapshot format v" + std::to_string(Version) +
-                             ", this build reads v" +
+                             ", this build reads v1-v" +
                              std::to_string(HistorySnapshotVersion));
+  size_t PayloadPrefix = Version >= 2 ? EpochBytes : 0;
   uint64_t CountField = getU64(P + 12);
   uint32_t ExpectedCrc = getU32(P + 20);
-  if (Bytes.size() - HeaderBytes != CountField * RecordBytes)
+  size_t PayloadSize = Bytes.size() - HeaderBytes;
+  // The count field is not CRC-covered (the CRC spans the payload), so
+  // bound it before the multiplication: a flipped high bit would wrap
+  // CountField * RecordBytes past 2^64, slip through the equality, and
+  // turn the reserve() below into an unhandled length_error.
+  if (CountField > PayloadSize / RecordBytes ||
+      PayloadSize != PayloadPrefix + CountField * RecordBytes)
     return Status::error(
         ErrCode::Truncated,
         "snapshot declares " + std::to_string(CountField) + " records (" +
-            std::to_string(CountField * RecordBytes) + " payload bytes) but " +
+            std::to_string(PayloadPrefix + CountField * RecordBytes) +
+            " payload bytes) but " +
             std::to_string(Bytes.size() - HeaderBytes) + " are present");
   uint32_t ActualCrc =
       crc32(P + HeaderBytes, Bytes.size() - HeaderBytes);
@@ -166,75 +133,40 @@ ErrorOr<size_t> ecas::deserializeKernelHistory(KernelHistory &History,
                          "snapshot payload CRC mismatch (stored " +
                              std::to_string(ExpectedCrc) + ", computed " +
                              std::to_string(ActualCrc) + ")");
+  if (EpochOut && Version >= 2)
+    *EpochOut = getU64(P + HeaderBytes);
 
+  const unsigned char *Records = P + HeaderBytes + PayloadPrefix;
   std::vector<std::pair<uint64_t, KernelRecord>> Entries;
   Entries.reserve(CountField);
   for (uint64_t I = 0; I != CountField; ++I)
-    Entries.push_back(decodeRecord(P + HeaderBytes + I * RecordBytes));
+    Entries.push_back(decodeRecord(Records + I * RecordBytes));
   History.restore(Entries);
   return Entries.size();
 }
 
-namespace {
-
-/// Flushes \p Path's data to stable storage. Best-effort on platforms
-/// without fsync.
-Status syncFile(const std::string &Path) {
-#ifndef _WIN32
-  int Fd = ::open(Path.c_str(), O_RDONLY);
-  if (Fd < 0)
-    return Status::error(ErrCode::IoError,
-                         "cannot reopen " + Path + " for fsync: " +
-                             std::strerror(errno));
-  int Rc = ::fsync(Fd);
-  ::close(Fd);
-  if (Rc != 0)
-    return Status::error(ErrCode::IoError,
-                         "fsync " + Path + ": " + std::strerror(errno));
-#endif
-  return Status::success();
-}
-
-} // namespace
-
 Status ecas::saveKernelHistory(const KernelHistory &History,
-                               const std::string &Path) {
-  std::string Bytes = serializeKernelHistory(History);
-  std::string TempPath = Path + ".tmp";
-  {
-    std::ofstream File(TempPath, std::ios::binary | std::ios::trunc);
-    if (!File)
-      return Status::error(ErrCode::IoError, "cannot write " + TempPath);
-    File.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-    File.flush();
-    if (!File)
-      return Status::error(ErrCode::IoError, "short write to " + TempPath);
-  }
-  if (Status S = syncFile(TempPath); !S)
-    return S;
-  if (std::rename(TempPath.c_str(), Path.c_str()) != 0)
-    return Status::error(ErrCode::IoError, "rename " + TempPath + " -> " +
-                                               Path + ": " +
-                                               std::strerror(errno));
-  return Status::success();
+                               const std::string &Path, uint64_t Epoch) {
+  return writeFileAtomic(Path, serializeKernelHistory(History, Epoch));
 }
 
 ErrorOr<size_t> ecas::loadKernelHistory(KernelHistory &History,
-                                        const std::string &Path) {
-  std::ifstream File(Path, std::ios::binary);
-  if (!File) {
+                                        const std::string &Path,
+                                        uint64_t *EpochOut) {
+  if (EpochOut)
+    *EpochOut = 0;
+  std::string Bytes;
+  bool Existed = false;
+  if (Status S = readFileBytes(Path, Bytes, Existed); !S) {
+    History.clear();
+    return S;
+  }
+  if (!Existed) {
     // No snapshot yet: a cold start, not a failure.
     History.clear();
     return size_t{0};
   }
-  std::ostringstream Buffer;
-  Buffer << File.rdbuf();
-  if (File.bad()) {
-    History.clear();
-    return Status::error(ErrCode::IoError, "read error on " + Path);
-  }
-  std::string Bytes = Buffer.str();
-  ErrorOr<size_t> Result = deserializeKernelHistory(History, Bytes);
+  ErrorOr<size_t> Result = deserializeKernelHistory(History, Bytes, EpochOut);
   if (!Result)
     return Status::error(Result.status().code(),
                          Path + ": " + Result.status().message());

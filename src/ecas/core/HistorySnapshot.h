@@ -14,10 +14,12 @@
 ///
 ///   offset  size  field
 ///   0       8     magic "ECASTBLG"
-///   8       4     u32 format version (currently 1)
+///   8       4     u32 format version (currently 2)
 ///   12      8     u64 record count
 ///   20      4     u32 CRC-32 of the payload
-///   24      ...   payload: count x 112-byte records
+///   24      ...   payload: u64 journal epoch, then count x 112-byte
+///                 records (v1 payloads have no epoch field and imply
+///                 epoch 0; this build still reads them)
 ///
 /// Each record: u64 kernel id; f64 alpha weighted-sum, f64 alpha total
 /// weight; u32 class index, u8 cpu-only, u8 confident, u8 launch-failed,
@@ -25,12 +27,17 @@
 /// ProfileSample as 9 f64 (cpu/gpu throughput, cpu/gpu iterations,
 /// elapsed, cpu/gpu busy seconds, miss ratio, instructions).
 ///
-/// Writes are atomic: the snapshot is serialized to "<path>.tmp", fsynced,
-/// and renamed over the destination, so a crash mid-write leaves either
-/// the previous snapshot or a stray temp file — never a torn
-/// destination. Loads verify magic, version, declared size, and CRC;
-/// any mismatch returns a recoverable Status and the caller degrades to
-/// a cold table instead of aborting.
+/// The epoch ties a snapshot to its write-ahead journal (DESIGN.md
+/// §13): a snapshot at epoch E plus a journal at epoch E reproduce the
+/// live table; a journal whose epoch is below the snapshot's has
+/// already been compacted in and must not be replayed twice.
+///
+/// Writes go through support/AtomicFile (temp + fsync + rename +
+/// parent-dir fsync), so a crash mid-write leaves either the previous
+/// snapshot or the new one — never a torn destination, and never a
+/// rename the filesystem forgets. Loads verify magic, version, declared
+/// size, and CRC; any mismatch returns a recoverable Status and the
+/// caller degrades to a cold table instead of aborting.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,30 +52,37 @@
 
 namespace ecas {
 
-/// Current snapshot format version.
-inline constexpr uint32_t HistorySnapshotVersion = 1;
+/// Current snapshot format version. v2 added the journal epoch as the
+/// first payload field; v1 files remain readable (epoch 0).
+inline constexpr uint32_t HistorySnapshotVersion = 2;
 
 /// Serializes a consistent copy of \p History into the snapshot byte
-/// format (header + CRC-checked payload).
-std::string serializeKernelHistory(const KernelHistory &History);
+/// format (header + CRC-checked payload), stamped with \p Epoch.
+std::string serializeKernelHistory(const KernelHistory &History,
+                                   uint64_t Epoch = 0);
 
 /// Parses \p Bytes into \p History, replacing its contents. On any
 /// error (bad magic, truncation, version mismatch, CRC failure) the
 /// table is left cleared — a cold start — and the Status says why.
-/// \returns the number of records restored.
+/// \p EpochOut, when non-null, receives the stored journal epoch
+/// (0 for v1 files). \returns the number of records restored.
 ErrorOr<size_t> deserializeKernelHistory(KernelHistory &History,
-                                         std::string_view Bytes);
+                                         std::string_view Bytes,
+                                         uint64_t *EpochOut = nullptr);
 
-/// Atomically writes \p History to \p Path (temp file + fsync + rename).
+/// Atomically writes \p History to \p Path at \p Epoch (temp file +
+/// fsync + rename + parent-dir fsync via support/AtomicFile).
 Status saveKernelHistory(const KernelHistory &History,
-                         const std::string &Path);
+                         const std::string &Path, uint64_t Epoch = 0);
 
 /// Loads \p Path into \p History. A missing file is a cold start, not an
 /// error: returns 0 records loaded. Corruption, truncation, and version
 /// mismatches return the error Status with the table left cold.
-/// \returns the number of records restored.
+/// \p EpochOut, when non-null, receives the stored epoch (0 when the
+/// file is missing or bad). \returns the number of records restored.
 ErrorOr<size_t> loadKernelHistory(KernelHistory &History,
-                                  const std::string &Path);
+                                  const std::string &Path,
+                                  uint64_t *EpochOut = nullptr);
 
 } // namespace ecas
 

@@ -1,0 +1,57 @@
+//===-- ecas/fault/StorageFaults.cpp - Storage fault injection ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/fault/StorageFaults.h"
+
+#include <atomic>
+
+using namespace ecas;
+
+StorageFaultInjector::StorageFaultInjector(StorageFaultPlan PlanIn)
+    : Plan(PlanIn), Rng(PlanIn.Seed) {}
+
+StorageFaultInjector::Effect StorageFaultInjector::mangle(std::string &Bytes) {
+  Effect E;
+  if (Bytes.empty() || !Plan.enabled())
+    return E;
+  LockGuard Lock(Mutex);
+  ++Counts.WritesSeen;
+  // Flip before truncating, so a flip can land anywhere in the original
+  // buffer and still survive (or not) the truncation — both orders occur
+  // on real media; this one exercises more reader states.
+  if (Plan.BitFlipProbability > 0.0 &&
+      Rng.nextDouble() < Plan.BitFlipProbability) {
+    uint64_t Bit = Rng.next() % (Bytes.size() * 8);
+    Bytes[Bit / 8] ^= static_cast<char>(1u << (Bit % 8));
+    E.BitFlip = true;
+    ++Counts.BitFlips;
+  }
+  if (Plan.ShortWriteProbability > 0.0 &&
+      Rng.nextDouble() < Plan.ShortWriteProbability) {
+    Bytes.resize(static_cast<size_t>(Rng.nextDouble() *
+                                     static_cast<double>(Bytes.size())));
+    E.ShortWrite = true;
+    ++Counts.ShortWrites;
+  }
+  return E;
+}
+
+StorageFaultInjector::Stats StorageFaultInjector::stats() const {
+  LockGuard Lock(Mutex);
+  return Counts;
+}
+
+namespace {
+std::atomic<StorageFaultInjector *> GlobalInjector{nullptr};
+} // namespace
+
+void ecas::setStorageFaultInjector(StorageFaultInjector *Injector) {
+  GlobalInjector.store(Injector, std::memory_order_release);
+}
+
+StorageFaultInjector *ecas::storageFaultInjector() {
+  return GlobalInjector.load(std::memory_order_acquire);
+}

@@ -1,0 +1,116 @@
+//===-- ecas/fault/StorageFaults.h - Storage fault injection ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection for the durability layer (DESIGN.md §13), extending
+/// the virtual-clock fault taxonomy of FaultPlan with the failure modes
+/// only storage has:
+///
+///   short writes  — a suffix of the buffer never reaches the medium
+///                   (power cut between page writebacks, ENOSPC races).
+///                   AtomicFile detects them (the destination stays
+///                   untouched, like a real failed write(2)); the
+///                   journal models the undetectable variant — a torn
+///                   tail the next recovery must truncate at.
+///   bit flips     — silent media corruption; the reader's CRC framing
+///                   is the only defense, and the corruption-matrix
+///                   fuzz asserts it always degrades to cold-table or
+///                   truncated-replay, never a crash.
+///
+/// The injector is consulted through a process-global hook because the
+/// write paths it corrupts (AtomicFile, HistoryJournal) sit below every
+/// dependency-injection seam; tests install one with ScopedStorageFaults
+/// so the hook cannot leak across test boundaries. The default — no
+/// injector — costs one relaxed atomic load per write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_FAULT_STORAGEFAULTS_H
+#define ECAS_FAULT_STORAGEFAULTS_H
+
+#include "ecas/support/Random.h"
+#include "ecas/support/ThreadAnnotations.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ecas {
+
+/// Probabilities of each storage-fault mode, evaluated independently
+/// per write. All default to "healthy storage".
+struct StorageFaultPlan {
+  /// Seed for the injector's private RNG; runs are reproducible.
+  uint64_t Seed = 0x5707a9efaULL;
+  /// P(a write persists only a prefix). The surviving fraction is drawn
+  /// uniformly from [0, 1) of the buffer.
+  double ShortWriteProbability = 0.0;
+  /// P(one uniformly chosen bit of the write is inverted).
+  double BitFlipProbability = 0.0;
+
+  bool enabled() const {
+    return ShortWriteProbability > 0.0 || BitFlipProbability > 0.0;
+  }
+};
+
+/// Deterministic, thread-safe storage corrupter. Write paths call
+/// mangle() on the exact bytes about to hit the disk.
+class StorageFaultInjector {
+public:
+  explicit StorageFaultInjector(StorageFaultPlan Plan);
+
+  /// What mangle() did to one buffer.
+  struct Effect {
+    bool ShortWrite = false;
+    bool BitFlip = false;
+    bool any() const { return ShortWrite || BitFlip; }
+  };
+
+  /// Possibly truncates and/or corrupts \p Bytes in place per the plan.
+  /// Thread-safe; the RNG is serialized under a leaf mutex (this is the
+  /// slow fsync-bound path, never the enqueue hot path).
+  Effect mangle(std::string &Bytes);
+
+  struct Stats {
+    uint64_t WritesSeen = 0;
+    uint64_t ShortWrites = 0;
+    uint64_t BitFlips = 0;
+  };
+  Stats stats() const;
+
+private:
+  const StorageFaultPlan Plan;
+  mutable AnnotatedMutex Mutex{"StorageFaults.Rng"};
+  Xoshiro256 Rng ECAS_GUARDED_BY(Mutex);
+  Stats Counts ECAS_GUARDED_BY(Mutex);
+};
+
+/// Installs \p Injector as the process-global hook (nullptr uninstalls).
+/// Borrowed, not owned: the caller keeps it alive while installed.
+void setStorageFaultInjector(StorageFaultInjector *Injector);
+
+/// The currently installed hook, or nullptr for healthy storage.
+StorageFaultInjector *storageFaultInjector();
+
+/// RAII installer for tests: installs on construction, restores the
+/// previous hook on destruction.
+class ScopedStorageFaults {
+public:
+  explicit ScopedStorageFaults(StorageFaultInjector &Injector)
+      : Previous(storageFaultInjector()) {
+    setStorageFaultInjector(&Injector);
+  }
+  ~ScopedStorageFaults() { setStorageFaultInjector(Previous); }
+
+  ScopedStorageFaults(const ScopedStorageFaults &) = delete;
+  ScopedStorageFaults &operator=(const ScopedStorageFaults &) = delete;
+
+private:
+  StorageFaultInjector *Previous;
+};
+
+} // namespace ecas
+
+#endif // ECAS_FAULT_STORAGEFAULTS_H

@@ -58,6 +58,22 @@ inline constexpr char QuarantinedRunsTotal[] = "eas_quarantined_runs_total";
 // Service lifecycle.
 inline constexpr char ShutdownDrainSeconds[] = "eas_shutdown_drain_seconds";
 
+// Table-G durability (DESIGN.md §13): the write-ahead journal's append
+// side, what recovery replayed or had to truncate, how long it took,
+// and how it classified the on-disk state (labelled "outcome":
+// clean / replayed / truncated / cold).
+inline constexpr char HistoryJournalAppendsTotal[] =
+    "eas_history_journal_appends_total";
+inline constexpr char HistoryJournalBytesTotal[] =
+    "eas_history_journal_bytes_total";
+inline constexpr char HistoryReplayedRecordsTotal[] =
+    "eas_history_replayed_records_total";
+inline constexpr char HistoryTruncatedRecordsTotal[] =
+    "eas_history_truncated_records_total";
+inline constexpr char RecoverySeconds[] = "eas_recovery_seconds";
+inline constexpr char HistoryRecoveryOutcome[] =
+    "eas_history_recovery_outcome";
+
 // Multi-tenant service front end (service layer). Labelled by SLA class
 // ("sla"), rejection reason ("reason"), and — for the shed counter the
 // soak harness audits — the tenant ("tenant").

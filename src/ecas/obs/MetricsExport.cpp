@@ -6,22 +6,15 @@
 
 #include "ecas/obs/MetricsExport.h"
 
+#include "ecas/support/AtomicFile.h"
 #include "ecas/support/Format.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
-
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 using namespace ecas;
 using namespace ecas::obs;
@@ -507,26 +500,9 @@ ErrorOr<MetricsSnapshot> ecas::obs::parsePrometheusText(
 
 Status ecas::obs::writeFileAtomic(const std::string &Path,
                                   const std::string &Text) {
-  std::string TempPath = Path + ".tmp";
-  {
-    std::ofstream File(TempPath, std::ios::binary | std::ios::trunc);
-    if (!File)
-      return Status::error(ErrCode::IoError, "cannot write " + TempPath);
-    File.write(Text.data(), static_cast<std::streamsize>(Text.size()));
-    File.flush();
-    if (!File)
-      return Status::error(ErrCode::IoError, "short write to " + TempPath);
-  }
-#ifndef _WIN32
-  int Fd = ::open(TempPath.c_str(), O_RDONLY);
-  if (Fd >= 0) {
-    ::fsync(Fd);
-    ::close(Fd);
-  }
-#endif
-  if (std::rename(TempPath.c_str(), Path.c_str()) != 0)
-    return Status::error(ErrCode::IoError, "rename " + TempPath + " -> " +
-                                               Path + ": " +
-                                               std::strerror(errno));
-  return Status::success();
+  // Delegates to the one blessed implementation (DESIGN.md §13), which
+  // closes the durability hole this helper used to have: without the
+  // parent-directory fsync after rename, a power cut could forget the
+  // rename and resurrect the old file — or none at all.
+  return ecas::writeFileAtomic(Path, Text);
 }

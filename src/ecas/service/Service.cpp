@@ -25,6 +25,8 @@ Status ServiceConfig::validate() const {
     return Invalid("every SLA dequeue weight must be >= 1");
   if (DrainGraceSec < 0.0)
     return Invalid(formatString("negative drain grace %g", DrainGraceSec));
+  if (IdleFlushSec < 0.0)
+    return Invalid(formatString("negative idle-flush tick %g", IdleFlushSec));
   AdmissionPolicy Effective = Admission;
   Effective.Workers = Workers;
   return Effective.validate();
@@ -256,7 +258,22 @@ void ServiceFrontEnd::accountCompleted(const QueuedRequest &Request,
 
 void ServiceFrontEnd::workerLoop(unsigned WorkerIndex) {
   SimProcessor Proc(Spec);
-  while (std::optional<QueuedRequest> Request = Queue.pop()) {
+  const bool IdleTick =
+      Config.IdleFlushSec > 0.0 && Scheduler.journaling();
+  while (true) {
+    std::optional<QueuedRequest> Request =
+        IdleTick ? Queue.popFor(Config.IdleFlushSec) : Queue.pop();
+    if (!Request) {
+      // Once closed, depth only shrinks, so closed-and-empty is a
+      // stable exit condition; closed with residue means a push raced
+      // our timeout — loop and pop it.
+      if (Queue.closed() && Queue.totalDepth() == 0)
+        break;
+      // Idle: commit the journal's group-commit tail so a lull (or a
+      // kill -9 during one) costs nothing that was enqueued before it.
+      (void)Scheduler.flushJournal();
+      continue;
+    }
     InFlight.fetch_add(1, std::memory_order_acq_rel);
     updateDepthGauges();
     double NowSec = Config.Clock();

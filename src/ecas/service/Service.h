@@ -69,6 +69,11 @@ struct ServiceConfig {
   /// Host seconds the graceful shutdown drain may take before the
   /// hard-stop cancels in-flight work and voids the residual queue.
   double DrainGraceSec = 5.0;
+  /// Idle tick: a worker that finds the queue empty for this long
+  /// flushes the scheduler's journal, so a group-commit tail never
+  /// outlives a traffic lull by more than this bound. 0 disables the
+  /// tick (workers block indefinitely, pre-journal behaviour).
+  double IdleFlushSec = 0.25;
   /// Service clock (seconds); queue waits and shed decisions are judged
   /// on it. Defaults to host steady time; deterministic tests inject a
   /// controlled clock.

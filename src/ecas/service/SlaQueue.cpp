@@ -8,6 +8,9 @@
 
 #include "ecas/support/Assert.h"
 
+#include <algorithm>
+#include <chrono>
+
 using namespace ecas;
 
 SlaQueue::SlaQueue(size_t CapacityPerClassIn, SlaWeights WeightsIn)
@@ -65,6 +68,29 @@ std::optional<QueuedRequest> SlaQueue::pop() {
     if (Closed)
       return std::nullopt;
     Ready.wait(Lock.native());
+  }
+}
+
+std::optional<QueuedRequest> SlaQueue::popFor(double Sec) {
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(Sec, 0.0)));
+  UniqueLock Lock(Mutex);
+  while (true) {
+    unsigned Lane = pickLane();
+    if (Lane != NumSlaClasses)
+      return Lanes[Lane].pop();
+    if (Closed)
+      return std::nullopt;
+    if (Ready.wait_until(Lock.native(), Deadline) ==
+        std::cv_status::timeout) {
+      // One more look: a push may have raced the timeout.
+      Lane = pickLane();
+      if (Lane != NumSlaClasses)
+        return Lanes[Lane].pop();
+      return std::nullopt;
+    }
   }
 }
 

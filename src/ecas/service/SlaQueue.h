@@ -79,6 +79,12 @@ public:
   /// drained (nullopt). Concurrent poppers each get distinct requests.
   std::optional<QueuedRequest> pop();
 
+  /// As pop(), but gives up after \p Sec host seconds: nullopt then
+  /// means "idle right now", not "closed" — check closed() to tell the
+  /// two apart. Workers use the timeout as their idle tick (journal
+  /// group-commit flush).
+  std::optional<QueuedRequest> popFor(double Sec);
+
   /// Non-blocking pop for shutdown drains: a request if one is queued,
   /// nullopt otherwise (closed or momentarily empty).
   std::optional<QueuedRequest> tryPop();

@@ -139,7 +139,7 @@ TEST(HistorySnapshot, RoundTripIsExact) {
   populate(Original);
 
   std::string Bytes = serializeKernelHistory(Original);
-  EXPECT_EQ(Bytes.size(), 24u + 3u * 112u);
+  EXPECT_EQ(Bytes.size(), 24u + 8u + 3u * 112u);
 
   KernelHistory Restored;
   ErrorOr<size_t> Count = deserializeKernelHistory(Restored, Bytes);

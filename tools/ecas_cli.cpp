@@ -91,6 +91,12 @@ int usage() {
       "        [--shed-threshold=F]        admission controller, retrying\n"
       "        [--metric=M] [--scale=S]    rejections with capped backoff\n"
       "        [--fault-plan=PLAN] [--history-file=FILE]\n"
+      "        [--no-journal] [--journal=FILE]\n"
+      "                                    with --history-file, table-G\n"
+      "                                    merges journal to FILE (default\n"
+      "                                    <history>.wal) and restarts\n"
+      "                                    recover snapshot + journal;\n"
+      "                                    --no-journal opts out\n"
       "        [--drain-grace-ms=N] [--trace-out=FILE] [--metrics]\n"
       "        [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
       "        [--metrics-json=FILE] [--decision-log=FILE]\n"
@@ -516,6 +522,12 @@ int cmdServe(const Flags &Args) {
   obs::DecisionLog Decisions;
   EasConfig Config;
   Config.HistoryFile = Args.getString("history-file", "");
+  // Journaling is the default whenever history persists: a kill -9 then
+  // costs at most one group-commit window, not everything since the
+  // last snapshot. --no-journal opts back into snapshot-only mode.
+  Config.Journal.Enabled =
+      !Config.HistoryFile.empty() && !Args.getBool("no-journal", false);
+  Config.Journal.File = Args.getString("journal", "");
   if (wantsObservability(Args))
     Config.Trace = &Recorder;
   if (wantsMetricsRegistry(Args))
@@ -533,6 +545,21 @@ int cmdServe(const Flags &Args) {
   else if (Scheduler.restoredRecords() > 0)
     std::printf("restored %zu table-G records from %s\n",
                 Scheduler.restoredRecords(), Config.HistoryFile.c_str());
+  if (Config.Journal.Enabled) {
+    const RecoveryReport &Recovery = Scheduler.recoveryReport();
+    std::printf("recovery: outcome=%s snapshot=%zu replayed=%zu "
+                "truncated=%zu epoch=%llu %.3f ms (journal %s)\n",
+                recoveryOutcomeName(Recovery.Outcome),
+                Recovery.SnapshotRecords, Recovery.ReplayedRecords,
+                Recovery.TruncatedRecords,
+                static_cast<unsigned long long>(Recovery.Epoch),
+                1e3 * Recovery.Seconds, Scheduler.journalPath().c_str());
+    if (!Scheduler.journalStatus())
+      std::fprintf(stderr,
+                   "warning: journal unavailable, snapshot-only "
+                   "durability: %s\n",
+                   Scheduler.journalStatus().message().c_str());
+  }
 
   ServiceConfig FrontConfig;
   FrontConfig.Workers = static_cast<unsigned>(Workers);
@@ -684,6 +711,19 @@ int cmdServe(const Flags &Args) {
               Config.HistoryFile.empty()
                   ? ""
                   : (", snapshot " + Config.HistoryFile).c_str());
+  if (Scheduler.journaling()) {
+    HistoryJournal::Stats JournalStats = Scheduler.journalStats();
+    const RecoveryReport &Recovery = Scheduler.recoveryReport();
+    std::printf("  journal: %llu appends (%llu bytes, %llu flushes), "
+                "recovery outcome %s\n",
+                static_cast<unsigned long long>(JournalStats.Appends),
+                static_cast<unsigned long long>(JournalStats.AppendedBytes),
+                static_cast<unsigned long long>(JournalStats.Flushes),
+                recoveryOutcomeName(Recovery.Outcome));
+    if (!Scheduler.journalStatus())
+      std::fprintf(stderr, "warning: journal degraded: %s\n",
+                   Scheduler.journalStatus().message().c_str());
+  }
   if (const GpuHealthMonitor::Stats Health = Scheduler.health().stats();
       Health.Quarantines || Health.Recoveries)
     std::printf("  health: %u quarantines, %u recoveries, state %s\n",

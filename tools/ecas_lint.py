@@ -32,6 +32,13 @@ enforced even under toolchains that cannot run the Clang analyses:
                          queue must have a capacity fixed at construction
                          (service/Bounded.h) so overload becomes typed
                          backpressure instead of unbounded memory growth.
+  atomic-write           No raw std::rename/::rename or bare fsync inside
+                         src/ecas outside the blessed durability modules
+                         (support/AtomicFile.cpp, core/HistoryJournal.cpp):
+                         a rename without the parent-directory fsync is the
+                         crash-consistency hole DESIGN.md §13 closed, so
+                         every durable write goes through
+                         support/AtomicFile.h.
   metric-name            Metric names are lowercase snake_case with the
                          eas_ prefix and live in src/ecas/obs/MetricNames.h:
                          the literals there must match ^eas_[a-z][a-z0-9_]*$,
@@ -354,6 +361,34 @@ def check_no_raw_output(path, raw_lines, code_lines, findings):
                 "via support/Format is fine)"))
 
 
+ATOMIC_WRITE = re.compile(r"\b(?:std::)?rename\s*\(|(?<![\w.>])fsync\s*\(")
+ATOMIC_WRITE_BLESSED = (
+    "/src/ecas/support/AtomicFile.cpp",
+    "/src/ecas/core/HistoryJournal.cpp",
+)
+
+
+def check_atomic_write(path, raw_lines, code_lines, findings):
+    rule = "atomic-write"
+    norm = path.replace(os.sep, "/")
+    if "/src/ecas/" not in norm:
+        return  # Tools, tests, and benches manage their own files.
+    if any(norm.endswith(b) for b in ATOMIC_WRITE_BLESSED):
+        return
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        m = ATOMIC_WRITE.search(code)
+        if m and not line_allows(raw_lines[ln - 1], rule):
+            what = m.group(0).rstrip("(").strip()
+            findings.append(Finding(
+                path, ln, rule,
+                f"raw '{what}(' outside the blessed durability modules; "
+                "use writeFileAtomic/syncParentDir from "
+                "ecas/support/AtomicFile.h so the rename survives a crash "
+                "(DESIGN.md §13)"))
+
+
 def check_metric_name(path, raw_lines, code_lines, findings):
     rule = "metric-name"
     if file_allows(raw_lines, rule):
@@ -395,6 +430,7 @@ CHECKS = [
     check_no_std_rand,
     check_unbounded_queue,
     check_no_raw_output,
+    check_atomic_write,
     check_metric_name,
 ]
 
