@@ -1,0 +1,178 @@
+//===-- bench/micro_decision.cpp - Decision hot-path latency ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the steady-state scheduling decision: the warmed table-G hit
+// (lookup, alpha reuse, partitioned dispatch bookkeeping) and the alpha
+// search that profiling repetitions pay. Links support/AllocGuard.cpp so
+// the run also reports allocations per decision — the committed
+// BENCH_decision.json at the repo root pins allocations_per_decision at
+// 0, the same property HotPathTest asserts and tools/ecas_hotpath.py
+// proves statically (DESIGN.md §14).
+//
+// Usage: micro_decision [output.json]   (default: BENCH_decision.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ecas/core/AlphaSearch.h"
+#include "ecas/core/EasScheduler.h"
+#include "ecas/core/TimeModel.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/power/MicroBenchmarks.h"
+#include "ecas/support/AllocGuard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - Start)
+      .count();
+}
+
+struct LatencyStats {
+  double P50 = 0.0;
+  double P90 = 0.0;
+  double P99 = 0.0;
+  double Mean = 0.0;
+};
+
+LatencyStats summarize(std::vector<double> &SamplesNs) {
+  LatencyStats Stats;
+  if (SamplesNs.empty())
+    return Stats;
+  std::sort(SamplesNs.begin(), SamplesNs.end());
+  auto Pct = [&](double P) {
+    size_t Idx = static_cast<size_t>(P * (SamplesNs.size() - 1));
+    return SamplesNs[Idx];
+  };
+  Stats.P50 = Pct(0.50);
+  Stats.P90 = Pct(0.90);
+  Stats.P99 = Pct(0.99);
+  double Sum = 0.0;
+  for (double S : SamplesNs)
+    Sum += S;
+  Stats.Mean = Sum / static_cast<double>(SamplesNs.size());
+  return Stats;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_decision.json";
+  bench::printBanner(
+      "micro_decision: steady-state decision latency",
+      "hot path is allocation-free; decisions are sub-microsecond");
+
+  PlatformSpec Spec = haswellDesktop();
+  PowerCurveSet Curves = Characterizer(Spec).characterize();
+  SimProcessor Proc(Spec);
+  EasScheduler Scheduler(Curves, Metric::edp());
+  KernelDesc Kernel = computeBoundMicroKernel();
+
+  // Learn the kernel and warm every lazily-grown buffer to steady state.
+  constexpr double N = 2e6;
+  if (!Scheduler.execute(Proc, Kernel, N).Profiled) {
+    std::fprintf(stderr, "error: first invocation did not profile\n");
+    return 1;
+  }
+  for (int I = 0; I != 16; ++I) {
+    if (!Scheduler.execute(Proc, Kernel, N).TableHit) {
+      std::fprintf(stderr, "error: warmup invocation missed table G\n");
+      return 1;
+    }
+  }
+
+  // Warmed table-hit decisions: wall-clock latency + allocation count.
+  // Each execute() simulates the whole dispatch, so the figure is the
+  // runtime's per-invocation overhead including the simulator step —
+  // an upper bound on the scheduling decision itself.
+  constexpr int HitIterations = 2000;
+  std::vector<double> HitNs;
+  HitNs.reserve(HitIterations);
+  AllocTally HitTally;
+  for (int I = 0; I != HitIterations; ++I) {
+    Clock::time_point T0 = Clock::now();
+    auto Outcome = Scheduler.execute(Proc, Kernel, N);
+    HitNs.push_back(nsSince(T0));
+    if (!Outcome.TableHit) {
+      std::fprintf(stderr, "error: measured invocation missed table G\n");
+      return 1;
+    }
+  }
+  uint64_t HitAllocs = HitTally.allocations();
+  LatencyStats Hit = summarize(HitNs);
+  double AllocsPerDecision =
+      static_cast<double>(HitAllocs) / HitIterations;
+
+  // Alpha search at profiling fidelity (grid + golden-section refine).
+  TimeModel Model(4e8, 7e8);
+  const PowerCurve &Curve = Curves.curveFor(WorkloadClass{});
+  Metric Objective = Metric::edp();
+  AlphaSearchConfig Search;
+  Search.Step = 0.05;
+  Search.Refine = true;
+  (void)chooseAlpha(Model, Curve, Objective, N, Search); // warm
+  constexpr int SearchIterations = 5000;
+  std::vector<double> SearchNs;
+  SearchNs.reserve(SearchIterations);
+  AllocTally SearchTally;
+  unsigned Evals = 0;
+  for (int I = 0; I != SearchIterations; ++I) {
+    Clock::time_point T0 = Clock::now();
+    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, N, Search);
+    SearchNs.push_back(nsSince(T0));
+    Evals = Choice.Evaluations;
+  }
+  uint64_t SearchAllocs = SearchTally.allocations();
+  LatencyStats Alpha = summarize(SearchNs);
+
+  std::printf("table-hit decision: p50 %.0f ns  p90 %.0f ns  p99 %.0f ns  "
+              "mean %.0f ns  (%d invocations, %llu allocations)\n",
+              Hit.P50, Hit.P90, Hit.P99, Hit.Mean, HitIterations,
+              static_cast<unsigned long long>(HitAllocs));
+  std::printf("alpha search:       p50 %.0f ns  p90 %.0f ns  p99 %.0f ns  "
+              "mean %.0f ns  (%u evaluations/search, %llu allocations)\n",
+              Alpha.P50, Alpha.P90, Alpha.P99, Alpha.Mean, Evals,
+              static_cast<unsigned long long>(SearchAllocs));
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\n"
+               "  \"bench\": \"decision\",\n"
+               "  \"platform\": \"haswell-desktop\",\n"
+               "  \"invocations\": %d,\n"
+               "  \"table_hit_latency_ns\": "
+               "{\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
+               "\"mean\": %.0f},\n"
+               "  \"alpha_search_latency_ns\": "
+               "{\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
+               "\"mean\": %.0f},\n"
+               "  \"alpha_search_evaluations\": %u,\n"
+               "  \"allocations_per_decision\": %.0f,\n"
+               "  \"allocations_per_alpha_search\": %.0f\n"
+               "}\n",
+               HitIterations, Hit.P50, Hit.P90, Hit.P99, Hit.Mean, Alpha.P50,
+               Alpha.P90, Alpha.P99, Alpha.Mean, Evals, AllocsPerDecision,
+               static_cast<double>(SearchAllocs) / SearchIterations);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  return AllocsPerDecision == 0.0 ? 0 : 1;
+}

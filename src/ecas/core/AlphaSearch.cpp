@@ -30,8 +30,8 @@ AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
     // lose to every well-defined grid cell, and a NaN would poison the
     // min-comparison chain below; map both to a huge finite penalty.
     Value = std::isfinite(Value) ? Value : 1e300;
-    if (Config.GridOut)
-      Config.GridOut->emplace_back(Alpha, Value);
+    if (Config.GridOut) // observability only: null on the decision path
+      Config.GridOut->emplace_back(Alpha, Value); // ecas-hotpath: allow(alloc)
     return Value;
   };
 

@@ -18,6 +18,7 @@
 #include "ecas/core/Metric.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/power/PowerCurve.h"
+#include "ecas/support/HotPath.h"
 
 #include <utility>
 #include <vector>
@@ -48,10 +49,14 @@ struct AlphaChoice {
   unsigned Evaluations = 0;
 };
 
-/// Minimizes Metric(P(alpha), T(alpha; N)) over alpha in [0, 1].
-AlphaChoice chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
-                        const Metric &Objective, double Iterations,
-                        const AlphaSearchConfig &Config = {});
+/// Minimizes Metric(P(alpha), T(alpha; N)) over alpha in [0, 1]. Runs
+/// every profiling repetition, so it is a hot-path root: the objective
+/// closure stays a stack lambda fed to the Minimize.h templates (a
+/// std::function here heap-allocated once per search — DESIGN.md §14).
+ECAS_HOT AlphaChoice chooseAlpha(const TimeModel &Model,
+                                 const PowerCurve &Curve,
+                                 const Metric &Objective, double Iterations,
+                                 const AlphaSearchConfig &Config = {});
 
 } // namespace ecas
 

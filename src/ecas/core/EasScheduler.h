@@ -41,6 +41,7 @@
 #include "ecas/sim/SimProcessor.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Error.h"
+#include "ecas/support/HotPath.h"
 #include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
@@ -328,6 +329,19 @@ private:
                                     const KernelDesc &Kernel,
                                     double Iterations, uint64_t HistoryKey,
                                     const CancellationToken *Cancel);
+  /// The steady-state table-hit path (Fig. 7 steps 2-4 through the
+  /// remainder dispatch): reuse the learned alpha, optionally re-evaluate
+  /// the analytical model for fidelity telemetry, dispatch, count the
+  /// invocation, and journal the bump. This is the sub-microsecond
+  /// decision path of ROADMAP item 3 — ECAS_HOT marks it as a root for
+  /// tools/ecas_hotpath.py, and with observability and journaling off it
+  /// must stay allocation-free end to end (the AllocGuard regression).
+  /// Behaviour is bit-identical to the pre-extraction inline branch.
+  ECAS_HOT InvocationOutcome
+  runTableHit(SimProcessor &Proc, const KernelDesc &Kernel, double Iterations,
+              uint64_t HistoryKey, const KernelRecord &KnownRec,
+              const CancellationToken *Cancel, double Start, uint32_t StartMsr,
+              obs::TraceRecorder *T, obs::ScopedSpan &Invocation);
   /// True when the caller's token or the shutdown drain token fired.
   bool stopRequested(double NowSec, const CancellationToken *Cancel) const;
   void endInvocation();

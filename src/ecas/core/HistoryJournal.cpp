@@ -479,6 +479,12 @@ HistoryJournal::~HistoryJournal() {
 #endif
 }
 
+// Hot-path exception (DESIGN.md §14): journaling is opt-in durability.
+// enqueue() buffers the encoded frame under the leaf buffer lock and
+// never touches the file; allocation is amortized into the pending
+// batch. Invocations without a journal never get here (journalRecord
+// gates on the Journal pointer).
+// ecas-hotpath: allow(alloc, lock)
 void HistoryJournal::enqueue(const HistoryDeltaRecord &Rec) {
   if (Rec.empty())
     return;
@@ -497,6 +503,11 @@ void HistoryJournal::enqueue(const HistoryDeltaRecord &Rec) {
     Metrics.Bytes->add(Frame.size());
 }
 
+// Hot-path exception (DESIGN.md §14): the group-commit flush is the
+// documented blocking cost of opt-in durability — it takes the IO
+// mutex and calls write/fsync when the pending batch crosses the
+// group-commit threshold. Journal-less schedulers never reach it.
+// ecas-hotpath: allow(io, alloc, lock, extern-call)
 Status HistoryJournal::maybeFlush() {
   {
     LockGuard Lock(BufferMutex);

@@ -58,8 +58,11 @@ KernelHistory::Entry &KernelHistory::obtainEntry(uint64_t KernelId) {
   // Re-check: another writer may have inserted while we waited.
   if (Entry *E = findEntry(S, KernelId))
     return *E;
-  auto *Fresh = new Entry(KernelId);
-  Fresh->Current.store(new Version(), std::memory_order_relaxed);
+  // First sighting of this kernel: one entry + one empty version, once
+  // per kernel lifetime — the warmed hit path re-reads these forever.
+  auto *Fresh = new Entry(KernelId); // ecas-hotpath: allow(alloc)
+  Fresh->Current.store(new Version(), // ecas-hotpath: allow(alloc)
+                       std::memory_order_relaxed);
   Fresh->Next.store(S.Head.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   // Publish: the release store makes the entry (and its empty first

@@ -29,6 +29,7 @@
 
 #include "ecas/profile/OnlineProfiler.h"
 #include "ecas/profile/WorkloadClass.h"
+#include "ecas/support/HotPath.h"
 #include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
@@ -81,7 +82,7 @@ public:
 
   /// Lock-free fast path: copies the record for \p KernelId into \p Out.
   /// Returns false (leaving \p Out untouched) when never seen.
-  bool lookup(uint64_t KernelId, KernelRecord &Out) const;
+  ECAS_HOT bool lookup(uint64_t KernelId, KernelRecord &Out) const;
 
   /// Convenience form of lookup().
   std::optional<KernelRecord> find(uint64_t KernelId) const;
@@ -99,9 +100,10 @@ public:
 
   /// Lock-free monotone counters, the per-invocation hot path. Both
   /// create the entry on first use (that slow path takes the shard lock
-  /// once). \returns the post-increment value.
-  unsigned bumpInvocations(uint64_t KernelId);
-  unsigned bumpQuarantinedRuns(uint64_t KernelId);
+  /// once — the one mutex the hot-path analyzer whitelists, see
+  /// tools/ecas_hotpath.py). \returns the post-increment value.
+  ECAS_HOT unsigned bumpInvocations(uint64_t KernelId);
+  ECAS_HOT unsigned bumpQuarantinedRuns(uint64_t KernelId);
 
   /// Consistent per-record copy of the whole table, sorted by kernel id
   /// (shards are visited under their locks; the table may keep moving

@@ -38,7 +38,9 @@ Metric Metric::custom(std::string Name, Fn Body) {
 }
 
 double Metric::evaluate(double Watts, double Seconds) const {
-  return Body(Watts, Seconds);
+  // Invoking the stored std::function does not allocate; construction
+  // cost was paid when the Metric was built (off the hot path).
+  return Body(Watts, Seconds); // ecas-hotpath: allow(extern-call)
 }
 
 double Metric::fromMeasurement(double Joules, double Seconds) const {

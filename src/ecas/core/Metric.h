@@ -16,6 +16,8 @@
 #ifndef ECAS_CORE_METRIC_H
 #define ECAS_CORE_METRIC_H
 
+#include "ecas/support/HotPath.h"
+
 #include <functional>
 #include <string>
 
@@ -36,7 +38,9 @@ public:
   static Metric custom(std::string Name, Fn Body);
 
   /// Objective value at average power \p Watts over \p Seconds.
-  double evaluate(double Watts, double Seconds) const;
+  /// Hot-path root: called once per grid point of every alpha search and
+  /// on every table-hit model re-evaluation.
+  ECAS_HOT double evaluate(double Watts, double Seconds) const;
 
   /// Objective value from measured totals (uses P = Joules/Seconds).
   double fromMeasurement(double Joules, double Seconds) const;

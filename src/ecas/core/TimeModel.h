@@ -16,6 +16,8 @@
 #ifndef ECAS_CORE_TIMEMODEL_H
 #define ECAS_CORE_TIMEMODEL_H
 
+#include "ecas/support/HotPath.h"
+
 namespace ecas {
 
 /// Analytical time model parameterized by profiled device throughputs.
@@ -31,18 +33,18 @@ public:
 
   /// Eq. 2: the offload ratio at which both devices finish together —
   /// the performance-oriented choice alpha_PERF = R_G / (R_C + R_G).
-  double alphaPerf() const;
+  ECAS_HOT double alphaPerf() const;
 
   /// Eq. 1: time both devices spend executing together,
   /// min((1-a)N/R_C, aN/R_G).
-  double combinedTime(double N, double Alpha) const;
+  ECAS_HOT double combinedTime(double N, double Alpha) const;
 
   /// Eq. 3: iterations left for the single-device tail,
   /// N - T_CG * (R_C + R_G).
-  double remainingIters(double N, double Alpha) const;
+  ECAS_HOT double remainingIters(double N, double Alpha) const;
 
   /// Eq. 4: total predicted time for N iterations at ratio \p Alpha.
-  double totalTime(double N, double Alpha) const;
+  ECAS_HOT double totalTime(double N, double Alpha) const;
 
 private:
   double Rc;

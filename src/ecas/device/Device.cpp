@@ -31,22 +31,46 @@ double PerfCounters::missPerLoadStore() const {
   return LoadStores > 0.0 ? LlcMisses / LoadStores : 0.0;
 }
 
-void SimDevice::enqueue(const KernelDesc &Kernel, double Iterations) {
+void SimDevice::enqueue(const KernelCost &Kernel, double Iterations) {
   ECAS_CHECK(Kernel.valid(), "enqueue of malformed kernel descriptor");
   if (Iterations <= 0.0)
     return;
+  if (Head == Queue.size()) {
+    // Drained ring: rewind and reuse the vector's capacity, so a warmed
+    // device enqueues without allocating.
+    Head = 0;
+    Queue.clear();
+  }
+  // Amortized: the drained-ring rewind above reuses capacity, so a
+  // warmed device appends in place (HotPathTest pins zero allocations).
+  // ecas-hotpath: allow(alloc)
   Queue.push_back({Kernel, Iterations, Iterations, setupSeconds()});
+}
+
+void SimDevice::popHead() {
+  ++Head;
+  if (Head == Queue.size()) {
+    Head = 0;
+    Queue.clear();
+  } else if (Head >= 64 && Head * 2 >= Queue.size()) {
+    // A queue that never fully drains would otherwise grow without
+    // bound; compacting the consumed prefix in place keeps memory
+    // proportional to the live items and allocates nothing.
+    Queue.erase(Queue.begin(), Queue.begin() + static_cast<long>(Head));
+    Head = 0;
+  }
 }
 
 double SimDevice::pendingIterations() const {
   double Total = 0.0;
-  for (const WorkItem &Item : Queue)
-    Total += Item.IterationsLeft;
+  for (size_t I = Head; I != Queue.size(); ++I)
+    Total += Queue[I].IterationsLeft;
   return Total;
 }
 
 double SimDevice::cancelRemaining() {
   double Unprocessed = pendingIterations();
+  Head = 0;
   Queue.clear();
   return Unprocessed;
 }
@@ -66,32 +90,32 @@ static void applyBandwidthCap(const RatePoint &Rate, double BytesPerIter,
 }
 
 RatePoint SimDevice::currentRate(double FreqGHz) const {
-  if (Queue.empty())
+  if (!busy())
     return RatePoint();
-  const WorkItem &Head = Queue.front();
-  if (Head.SetupSecondsLeft > 0.0)
+  const WorkItem &Item = head();
+  if (Item.SetupSecondsLeft > 0.0)
     return RatePoint(); // Launch overhead: no issue, no traffic.
-  return rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+  return rateModel(Item.Kernel, FreqGHz, Item.InitialIterations);
 }
 
 double SimDevice::timeToHeadDrain(double FreqGHz,
                                   double BandwidthShareGBs) const {
-  if (Queue.empty())
+  if (!busy())
     return 1e30;
-  const WorkItem &Head = Queue.front();
+  const WorkItem &Item = head();
   // While in setup the device advertises no bandwidth demand, so the
   // caller's arbitration gave it none; the next schedulable event is the
   // end of setup, after which shares are recomputed.
-  if (Head.SetupSecondsLeft > 0.0)
-    return Head.SetupSecondsLeft;
+  if (Item.SetupSecondsLeft > 0.0)
+    return Item.SetupSecondsLeft;
   double Total = 0.0;
-  RatePoint Rate = rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+  RatePoint Rate = rateModel(Item.Kernel, FreqGHz, Item.InitialIterations);
   double EffRate, StallFraction;
-  applyBandwidthCap(Rate, Head.Kernel.BytesPerIter, BandwidthShareGBs,
+  applyBandwidthCap(Rate, Item.Kernel.BytesPerIter, BandwidthShareGBs,
                     EffRate, StallFraction);
   if (EffRate <= 0.0)
     return 1e30;
-  return Total + Head.IterationsLeft / EffRate;
+  return Total + Item.IterationsLeft / EffRate;
 }
 
 double SimDevice::advance(double Dt, double FreqGHz,
@@ -104,35 +128,35 @@ double SimDevice::advance(double Dt, double FreqGHz,
   double Consumed = 0.0;
   double ExecSeconds = 0.0;
 
-  while (Remaining > 0.0 && !Queue.empty()) {
-    WorkItem &Head = Queue.front();
-    if (Head.SetupSecondsLeft > 0.0) {
-      double Step = std::min(Remaining, Head.SetupSecondsLeft);
-      Head.SetupSecondsLeft -= Step;
+  while (Remaining > 0.0 && busy()) {
+    WorkItem &Item = head();
+    if (Item.SetupSecondsLeft > 0.0) {
+      double Step = std::min(Remaining, Item.SetupSecondsLeft);
+      Item.SetupSecondsLeft -= Step;
       Remaining -= Step;
       Consumed += Step;
       Counters.SetupSeconds += Step;
       ActivityTime += Power.IdleActivity * Step;
       continue;
     }
-    RatePoint Rate = rateModel(Head.Kernel, FreqGHz, Head.InitialIterations);
+    RatePoint Rate = rateModel(Item.Kernel, FreqGHz, Item.InitialIterations);
     double EffRate, StallFraction;
-    applyBandwidthCap(Rate, Head.Kernel.BytesPerIter, BandwidthShareGBs,
+    applyBandwidthCap(Rate, Item.Kernel.BytesPerIter, BandwidthShareGBs,
                       EffRate, StallFraction);
     if (EffRate <= 0.0)
       break; // Malformed operating point; refuse to spin forever.
-    double TimeToDrain = Head.IterationsLeft / EffRate;
+    double TimeToDrain = Item.IterationsLeft / EffRate;
     double Step = std::min(Remaining, TimeToDrain);
     double Iterations = EffRate * Step;
 
-    Head.IterationsLeft -= Iterations;
+    Item.IterationsLeft -= Iterations;
     Counters.IterationsDone += Iterations;
-    Counters.InstructionsRetired += Iterations * Head.Kernel.InstrsPerIter;
-    Counters.LoadStores += Iterations * Head.Kernel.LoadStoresPerIter;
-    Counters.LlcMisses += Iterations * Head.Kernel.LoadStoresPerIter *
-                          Head.Kernel.LlcMissRatio;
-    Counters.BytesTransferred += Iterations * Head.Kernel.BytesPerIter;
-    Bytes += Iterations * Head.Kernel.BytesPerIter;
+    Counters.InstructionsRetired += Iterations * Item.Kernel.InstrsPerIter;
+    Counters.LoadStores += Iterations * Item.Kernel.LoadStoresPerIter;
+    Counters.LlcMisses += Iterations * Item.Kernel.LoadStoresPerIter *
+                          Item.Kernel.LlcMissRatio;
+    Counters.BytesTransferred += Iterations * Item.Kernel.BytesPerIter;
+    Bytes += Iterations * Item.Kernel.BytesPerIter;
 
     double Activity = Power.ComputeActivity * (1.0 - StallFraction) +
                       Power.MemoryActivity * StallFraction;
@@ -140,8 +164,8 @@ double SimDevice::advance(double Dt, double FreqGHz,
     Remaining -= Step;
     Consumed += Step;
     ExecSeconds += Step;
-    if (Head.IterationsLeft <= 1e-9 * std::max(1.0, Iterations))
-      Queue.pop_front();
+    if (Item.IterationsLeft <= 1e-9 * std::max(1.0, Iterations))
+      popHead();
   }
 
   Counters.BusySeconds += ExecSeconds;
@@ -158,7 +182,8 @@ double SimDevice::advance(double Dt, double FreqGHz,
 double SimDevice::estimateCompletion(double FreqGHz,
                                      double BandwidthShareGBs) const {
   double Total = 0.0;
-  for (const WorkItem &Item : Queue) {
+  for (size_t I = Head; I != Queue.size(); ++I) {
+    const WorkItem &Item = Queue[I];
     Total += Item.SetupSecondsLeft;
     RatePoint Rate = rateModel(Item.Kernel, FreqGHz, Item.InitialIterations);
     double EffRate, StallFraction;

@@ -18,7 +18,8 @@
 #include "ecas/device/KernelDesc.h"
 #include "ecas/hw/PlatformSpec.h"
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 namespace ecas {
 
@@ -63,9 +64,12 @@ public:
 
   /// Appends \p Iterations of \p Kernel to the queue. Iterations may be
   /// fractional (the runtime hands devices fractional shares of N).
-  void enqueue(const KernelDesc &Kernel, double Iterations);
+  /// Takes the cost slice only (a KernelDesc binds here implicitly), so
+  /// queueing work never copies the kernel's name; once the ring below
+  /// is warmed, enqueue is allocation-free (DESIGN.md §14).
+  void enqueue(const KernelCost &Kernel, double Iterations);
 
-  bool busy() const { return !Queue.empty(); }
+  bool busy() const { return Head < Queue.size(); }
 
   /// Iterations left across all queued work.
   double pendingIterations() const;
@@ -107,7 +111,7 @@ protected:
   /// work item that was enqueued with \p ItemIters iterations (GPUs lose
   /// occupancy on small dispatches — a wave model keyed to the dispatch
   /// size, like a single NDRange with all work items resident).
-  virtual RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
+  virtual RatePoint rateModel(const KernelCost &Kernel, double FreqGHz,
                               double ItemIters) const = 0;
 
   /// Power-model activity factors for this device.
@@ -115,7 +119,9 @@ protected:
 
 private:
   struct WorkItem {
-    KernelDesc Kernel;
+    /// Numeric cost slice only — no name, so a WorkItem is trivially
+    /// copyable and queueing one never allocates.
+    KernelCost Kernel;
     double IterationsLeft;
     /// Dispatch size at enqueue; fixes the occupancy for the whole item.
     double InitialIterations;
@@ -123,8 +129,18 @@ private:
     double SetupSecondsLeft;
   };
 
+  /// FIFO access over the vector-backed ring. The live items are
+  /// [Head, Queue.size()); draining resets Head and clear()s the vector
+  /// while keeping its capacity, so a warmed device's enqueue/advance
+  /// cycle is allocation-free — a std::deque here allocated and freed a
+  /// node every few dispatches as the cursor crossed node boundaries.
+  const WorkItem &head() const { return Queue[Head]; }
+  WorkItem &head() { return Queue[Head]; }
+  void popHead();
+
   DeviceKind Kind;
-  std::deque<WorkItem> Queue;
+  std::vector<WorkItem> Queue;
+  size_t Head = 0;
   PerfCounters Counters;
   double LastActivity = 0.0;
   double LastTrafficGBs = 0.0;

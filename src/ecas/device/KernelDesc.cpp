@@ -8,7 +8,7 @@
 
 using namespace ecas;
 
-bool KernelDesc::valid() const {
+bool KernelCost::valid() const {
   if (CpuCyclesPerIter <= 0.0 || GpuCyclesPerIter <= 0.0)
     return false;
   if (BytesPerIter < 0.0 || LoadStoresPerIter < 0.0 || InstrsPerIter <= 0.0)

@@ -20,13 +20,15 @@
 
 namespace ecas {
 
-/// Per-iteration cost model of a data-parallel kernel.
+/// The numeric per-iteration cost model, split from the descriptive
+/// KernelDesc so the simulated devices can copy it into their work
+/// queues without touching the std::string name: device enqueue sits on
+/// the ECAS_HOT dispatch path, and copying a long kernel name would be
+/// one heap allocation per dispatch (DESIGN.md §14).
 ///
 /// "Iteration" is one index of the Concord-style parallel_for. CPU costs
 /// are per hardware thread at scalar issue; GPU costs are per EU lane.
-struct KernelDesc {
-  std::string Name;
-
+struct KernelCost {
   /// Compute cycles per iteration on one CPU thread, before SIMD.
   double CpuCyclesPerIter = 100.0;
   /// Compute cycles per iteration on one GPU EU lane.
@@ -56,6 +58,14 @@ struct KernelDesc {
 
   /// True when all cost fields are positive and ratios lie in range.
   bool valid() const;
+};
+
+/// A kernel as the rest of the runtime sees it: the cost model plus its
+/// human-readable name. The scheduler and workloads pass KernelDesc
+/// around; the device layer slices off the KernelCost base when queueing
+/// work so the hot dispatch path never copies the name.
+struct KernelDesc : KernelCost {
+  std::string Name;
 
   /// Derives Id from Name when Id == 0 (FNV-1a); returns *this for
   /// fluent construction in tests and workload factories.

@@ -22,7 +22,7 @@ double SimCpuDevice::effectiveThreads() const {
   return Spec.Cpu.Cores * (1.0 + Extra);
 }
 
-RatePoint SimCpuDevice::rateModel(const KernelDesc &Kernel, double FreqGHz,
+RatePoint SimCpuDevice::rateModel(const KernelCost &Kernel, double FreqGHz,
                                   double PendingIters) const {
   RatePoint Rate;
   double SimdSpeedup =

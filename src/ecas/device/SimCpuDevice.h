@@ -30,7 +30,7 @@ public:
   double effectiveThreads() const;
 
 protected:
-  RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
+  RatePoint rateModel(const KernelCost &Kernel, double FreqGHz,
                       double PendingIters) const override;
   const DevicePowerSpec &powerSpec() const override {
     return Spec.CpuPower;

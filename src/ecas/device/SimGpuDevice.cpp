@@ -10,7 +10,7 @@
 
 using namespace ecas;
 
-RatePoint SimGpuDevice::rateModel(const KernelDesc &Kernel, double FreqGHz,
+RatePoint SimGpuDevice::rateModel(const KernelCost &Kernel, double FreqGHz,
                                   double PendingIters) const {
   RatePoint Rate;
   double Lanes =

@@ -35,7 +35,7 @@ public:
   double throughputDerate() const { return Derate; }
 
 protected:
-  RatePoint rateModel(const KernelDesc &Kernel, double FreqGHz,
+  RatePoint rateModel(const KernelCost &Kernel, double FreqGHz,
                       double PendingIters) const override;
   const DevicePowerSpec &powerSpec() const override {
     return Spec.GpuPower;

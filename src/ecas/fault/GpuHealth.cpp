@@ -34,9 +34,19 @@ GpuHealthMonitor::GpuHealthMonitor(GpuHealthConfig ConfigIn)
 }
 
 bool GpuHealthMonitor::gpuUsable(double NowSec) {
+  // Steady-state fast path: a Healthy (or already-Probing) device needs
+  // no bookkeeping, so one mirror load answers without the leaf mutex.
+  // A stale Healthy read racing a quarantine is benign — equivalent to
+  // this dispatch having been ordered just before the fault.
+  GpuHealthState Fast = StateFast.load(std::memory_order_acquire);
+  if (Fast != GpuHealthState::Quarantined)
+    return true;
+
   bool Probing = false;
   bool Usable = [&] {
-    LockGuard Lock(Mutex);
+    // Quarantine slow path: only reached when the atomic mirror above
+    // already said Quarantined, never on the pristine fast path.
+    LockGuard Lock(Mutex); // ecas-hotpath: allow(lock)
     switch (State) {
     case GpuHealthState::Healthy:
     case GpuHealthState::Probing:
@@ -45,6 +55,7 @@ bool GpuHealthMonitor::gpuUsable(double NowSec) {
       if (NowSec < QuarantinedUntil)
         return false;
       State = GpuHealthState::Probing;
+      StateFast.store(GpuHealthState::Probing, std::memory_order_release);
       ++Counters.ProbesAttempted;
       Probing = true;
       return true;
@@ -65,26 +76,34 @@ bool GpuHealthMonitor::gpuUsable(double NowSec) {
 void GpuHealthMonitor::quarantine(double NowSec) {
   ++Counters.Quarantines;
   State = GpuHealthState::Quarantined;
+  StateFast.store(GpuHealthState::Quarantined, std::memory_order_release);
   QuarantinedUntil = NowSec + CurrentQuarantineSec;
   CurrentQuarantineSec =
       std::min(CurrentQuarantineSec * Config.QuarantineBackoffMultiplier,
                Config.MaxQuarantineSec);
 }
 
+// Fault-mode bookkeeping: runPartitionedResilient only calls the
+// note*() mutators when fault injection is live or health has already
+// degraded; the pristine steady state takes the lock-free legacy path.
+// ecas-hotpath: allow(lock)
 void GpuHealthMonitor::noteLaunchFailure(double NowSec) {
   {
     LockGuard Lock(Mutex);
     Pristine = false;
+    PristineFast.store(false, std::memory_order_release);
     ++Counters.LaunchFailures;
   }
   if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))
     T->instant("health", "launch-retry", NowSec);
 }
 
+// ecas-hotpath: allow(lock)
 void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
   {
     LockGuard Lock(Mutex);
     Pristine = false;
+    PristineFast.store(false, std::memory_order_release);
     ++Counters.LaunchesAbandoned;
     quarantine(NowSec);
   }
@@ -94,10 +113,12 @@ void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
     Metrics.Quarantines->add();
 }
 
+// ecas-hotpath: allow(lock)
 void GpuHealthMonitor::noteHang(double NowSec) {
   {
     LockGuard Lock(Mutex);
     Pristine = false;
+    PristineFast.store(false, std::memory_order_release);
     ++Counters.HangsDetected;
     quarantine(NowSec);
   }
@@ -111,16 +132,19 @@ void GpuHealthMonitor::noteHang(double NowSec) {
     Metrics.Quarantines->add();
 }
 
+// ecas-hotpath: allow(lock)
 void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
   bool Recovered = false;
   {
     LockGuard Lock(Mutex);
     if (State == GpuHealthState::Probing) {
       ++Counters.Recoveries;
+      RecoveriesFast.store(Counters.Recoveries, std::memory_order_release);
       CurrentQuarantineSec = Config.InitialQuarantineSec;
       Recovered = true;
     }
     State = GpuHealthState::Healthy;
+    StateFast.store(GpuHealthState::Healthy, std::memory_order_release);
   }
   if (Recovered) {
     if (obs::TraceRecorder *T = Trace.load(std::memory_order_acquire))

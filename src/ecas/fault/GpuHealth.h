@@ -27,6 +27,7 @@
 
 #include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
+#include "ecas/support/HotPath.h"
 #include "ecas/support/ThreadAnnotations.h"
 
 #include <atomic>
@@ -72,17 +73,23 @@ public:
   }
 
   /// True while no fault has ever been observed — callers use this to
-  /// stay on the exact fault-free fast path.
-  bool pristine() const {
-    LockGuard Lock(Mutex);
-    return Pristine;
+  /// stay on the exact fault-free fast path. Lock-free: the scheduler
+  /// consults it on every dispatch, and taking the leaf mutex per
+  /// decision would put a lock on the ECAS_HOT table-hit path. The
+  /// mirror is published (release) under the mutex at the first fault;
+  /// a stale true is indistinguishable from the dispatch having been
+  /// ordered before that fault.
+  ECAS_HOT bool pristine() const {
+    return PristineFast.load(std::memory_order_acquire);
   }
 
   /// May the runtime hand work to the GPU at \p NowSec? While
   /// quarantined, returns false until the backoff expires; the first
   /// query after expiry transitions to Probing and returns true, making
-  /// the caller's next dispatch the re-probe.
-  bool gpuUsable(double NowSec);
+  /// the caller's next dispatch the re-probe. Healthy and Probing states
+  /// answer from a lock-free mirror; only the Quarantined expiry check
+  /// (which may transition to Probing) takes the leaf mutex.
+  ECAS_HOT bool gpuUsable(double NowSec);
 
   /// A single enqueue attempt failed (will be retried).
   void noteLaunchFailure(double NowSec);
@@ -112,9 +119,9 @@ public:
 
   /// Monotone recovery counter; schedulers compare it across
   /// invocations to notice a re-admission and re-optimize alpha.
-  unsigned recoveries() const {
-    LockGuard Lock(Mutex);
-    return Counters.Recoveries;
+  /// Lock-free mirror of Counters.Recoveries, read once per decision.
+  ECAS_HOT unsigned recoveries() const {
+    return RecoveriesFast.load(std::memory_order_acquire);
   }
 
   double quarantinedUntil() const {
@@ -154,6 +161,16 @@ private:
   /// held (DESIGN.md §9 lock hierarchy).
   mutable AnnotatedMutex Mutex{"GpuHealth"};
   GpuHealthState State ECAS_GUARDED_BY(Mutex) = GpuHealthState::Healthy;
+  //===--------------------------------------------------------------===//
+  // Lock-free fast-path mirrors (DESIGN.md §14). The guarded fields
+  // above stay authoritative; every transition republishes the mirrors
+  // (release stores under the mutex) so the per-decision reads —
+  // pristine(), recoveries(), and gpuUsable()'s Healthy/Probing answer —
+  // cost one atomic load instead of a leaf-mutex round trip.
+  //===--------------------------------------------------------------===//
+  std::atomic<GpuHealthState> StateFast{GpuHealthState::Healthy};
+  std::atomic<bool> PristineFast{true};
+  std::atomic<unsigned> RecoveriesFast{0};
   Stats Counters ECAS_GUARDED_BY(Mutex);
   bool Pristine ECAS_GUARDED_BY(Mutex) = true;
   double QuarantinedUntil ECAS_GUARDED_BY(Mutex) = 0.0;

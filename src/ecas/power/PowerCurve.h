@@ -18,6 +18,7 @@
 #include "ecas/math/Polynomial.h"
 #include "ecas/profile/WorkloadClass.h"
 #include "ecas/support/Error.h"
+#include "ecas/support/HotPath.h"
 
 #include <array>
 #include <optional>
@@ -34,7 +35,7 @@ struct PowerCurve {
   /// Average package watts predicted at offload ratio \p Alpha, clamped
   /// to a small positive floor (a fitted polynomial can dip negative
   /// outside its sample range; power cannot).
-  double powerAt(double Alpha) const;
+  ECAS_HOT double powerAt(double Alpha) const;
 };
 
 /// The per-platform set of eight characterization functions.

@@ -129,8 +129,10 @@ double SimProcessor::step(double MaxDt) {
   }
   Pp0Meter.deposit(Power.CpuWatts * Dt);
   Pp1Meter.deposit(Power.GpuWatts * Dt);
-  if (Trace)
+  if (Trace) { // power-trace capture is opt-in (enableTrace)
+    // ecas-hotpath: allow(alloc)
     Trace->addSegment(Now, Dt, Power, CpuFreq, GpuFreq);
+  }
 
   LastTrafficGBs = TrafficGBs;
   Now += Dt;

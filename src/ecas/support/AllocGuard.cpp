@@ -1,0 +1,115 @@
+//===-- ecas/support/AllocGuard.cpp - Counting operator new ---------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replaceable global allocation functions ([new.delete.single] makes the
+// program-wide replacement well-defined) that count per thread and
+// forward to std::malloc/std::free. Linked only into binaries that opt
+// in; never into libecas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/support/AllocGuard.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local uint64_t NewCalls = 0;
+thread_local uint64_t DeleteCalls = 0;
+
+void *countedAlloc(std::size_t Size) {
+  ++NewCalls;
+  // Replaced operator new must return a unique pointer for size 0.
+  return std::malloc(Size ? Size : 1);
+}
+
+void *countedAllocAligned(std::size_t Size, std::size_t Align) {
+  ++NewCalls;
+  if (Size == 0)
+    Size = 1;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t Rounded = (Size + Align - 1) / Align * Align;
+  return std::aligned_alloc(Align, Rounded);
+}
+
+void countedFree(void *Ptr) {
+  ++DeleteCalls;
+  std::free(Ptr);
+}
+
+} // namespace
+
+uint64_t ecas::alloc_guard::newCount() { return NewCalls; }
+uint64_t ecas::alloc_guard::deleteCount() { return DeleteCalls; }
+bool ecas::alloc_guard::active() { return true; }
+
+void *operator new(std::size_t Size) {
+  void *Ptr = countedAlloc(Size);
+  if (!Ptr)
+    throw std::bad_alloc();
+  return Ptr;
+}
+
+void *operator new[](std::size_t Size) {
+  void *Ptr = countedAlloc(Size);
+  if (!Ptr)
+    throw std::bad_alloc();
+  return Ptr;
+}
+
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  void *Ptr = countedAllocAligned(Size, static_cast<std::size_t>(Align));
+  if (!Ptr)
+    throw std::bad_alloc();
+  return Ptr;
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  void *Ptr = countedAllocAligned(Size, static_cast<std::size_t>(Align));
+  if (!Ptr)
+    throw std::bad_alloc();
+  return Ptr;
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align,
+                   const std::nothrow_t &) noexcept {
+  return countedAllocAligned(Size, static_cast<std::size_t>(Align));
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align,
+                     const std::nothrow_t &) noexcept {
+  return countedAllocAligned(Size, static_cast<std::size_t>(Align));
+}
+
+void operator delete(void *Ptr) noexcept { countedFree(Ptr); }
+void operator delete[](void *Ptr) noexcept { countedFree(Ptr); }
+void operator delete(void *Ptr, std::size_t) noexcept { countedFree(Ptr); }
+void operator delete[](void *Ptr, std::size_t) noexcept { countedFree(Ptr); }
+void operator delete(void *Ptr, const std::nothrow_t &) noexcept {
+  countedFree(Ptr);
+}
+void operator delete[](void *Ptr, const std::nothrow_t &) noexcept {
+  countedFree(Ptr);
+}
+void operator delete(void *Ptr, std::align_val_t) noexcept { countedFree(Ptr); }
+void operator delete[](void *Ptr, std::align_val_t) noexcept {
+  countedFree(Ptr);
+}
+void operator delete(void *Ptr, std::size_t, std::align_val_t) noexcept {
+  countedFree(Ptr);
+}
+void operator delete[](void *Ptr, std::size_t, std::align_val_t) noexcept {
+  countedFree(Ptr);
+}

@@ -1,0 +1,67 @@
+//===-- ecas/support/AllocGuard.h - Counting operator new ------*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-only allocation counter: linking AllocGuard.cpp into a binary
+/// replaces the global operator new/delete with counting forwarders to
+/// std::malloc/std::free, and AllocTally reads the per-thread counter
+/// delta across a region. The hot-path regression (HotPathTest) wraps a
+/// warmed table-hit dispatch in a tally and asserts zero allocations —
+/// the runtime ground truth behind tools/ecas_hotpath.py's static claim.
+///
+/// AllocGuard.cpp is deliberately NOT part of libecas: only binaries
+/// that opt in (hot-path tests, the decision microbench) interpose the
+/// allocator. Including this header without linking AllocGuard.cpp is a
+/// link error, which is the point — a tally must never silently read a
+/// counter nothing increments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_ALLOCGUARD_H
+#define ECAS_SUPPORT_ALLOCGUARD_H
+
+#include <cstdint>
+
+namespace ecas {
+namespace alloc_guard {
+
+/// Calls to any replaced operator new on this thread since it started.
+uint64_t newCount();
+
+/// Calls to any replaced operator delete on this thread since it started.
+uint64_t deleteCount();
+
+/// True when the counting interposer is linked in (always true when this
+/// returns at all; exists so a binary can assert the guard is active).
+bool active();
+
+} // namespace alloc_guard
+
+/// RAII window over the thread's allocation counters.
+class AllocTally {
+public:
+  AllocTally()
+      : StartNew(alloc_guard::newCount()),
+        StartDelete(alloc_guard::deleteCount()) {}
+
+  /// operator new calls on this thread since construction.
+  uint64_t allocations() const {
+    return alloc_guard::newCount() - StartNew;
+  }
+
+  /// operator delete calls on this thread since construction.
+  uint64_t deallocations() const {
+    return alloc_guard::deleteCount() - StartDelete;
+  }
+
+private:
+  uint64_t StartNew;
+  uint64_t StartDelete;
+};
+
+} // namespace ecas
+
+#endif // ECAS_SUPPORT_ALLOCGUARD_H

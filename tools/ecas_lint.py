@@ -47,6 +47,11 @@ enforced even under toolchains that cannot run the Clang analyses:
                          inline string literal — add a names:: constant
                          instead so DESIGN.md §11 stays the complete
                          taxonomy. Tests/tools/bench register freely.
+  stale-suppression      An // ecas-lint: allow(...) whose rule can no
+                         longer fire on that line (or allow-file whose
+                         rule fires nowhere in the file, or either form
+                         naming an unknown rule) is dead documentation
+                         that licenses a future regression; delete it.
 
 Suppressions (use sparingly, justify in a comment on the same line):
   // ecas-lint: allow(rule-name)         on the offending line
@@ -58,6 +63,7 @@ to the repository root containing this script's parent directory).
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -422,6 +428,88 @@ def check_metric_name(path, raw_lines, code_lines, findings):
                 "constant"))
 
 
+# --- stale-suppression -----------------------------------------------------
+# A suppression is a claim: "this rule fires here, and here is why that
+# is fine". When the code changes and the rule no longer fires, the
+# comment becomes dead documentation that licenses a future regression.
+# Each rule maps to the line trigger its check uses (would it even look
+# at this line?) and, where the rule is path-scoped, a scope predicate.
+
+def _in_ecas(norm):
+    return "/src/ecas/" in norm
+
+
+STALE_TRIGGERS = {
+    "naked-mutex": lambda code: NAKED_MUTEX.search(code),
+    "unchecked-value": lambda code: VALUE_CALL.search(code),
+    "wait-under-lock-guard": lambda code: BLOCKING_CALL.search(code),
+    "include-hygiene": lambda code: INCLUDE.match(code),
+    "no-std-rand": lambda code: STD_RAND.search(code),
+    "unbounded-queue": lambda code: UNBOUNDED_QUEUE.search(code),
+    "no-raw-output": lambda code: (RAW_OUTPUT.search(code) or
+                                   IOSTREAM_INCLUDE.match(code)),
+    "atomic-write": lambda code: ATOMIC_WRITE.search(code),
+    "metric-name": lambda code: (METRIC_INLINE_REG.search(code) or
+                                 '"' in code),
+}
+
+STALE_SCOPE = {
+    "naked-mutex": lambda norm: "/src/ecas/support/" not in norm,
+    "unbounded-queue": lambda norm: "/src/ecas/service/" in norm,
+    "no-raw-output": _in_ecas,
+    "atomic-write": lambda norm: (_in_ecas(norm) and
+                                  not any(norm.endswith(b)
+                                          for b in ATOMIC_WRITE_BLESSED)),
+    "metric-name": _in_ecas,
+}
+
+
+def check_stale_suppression(path, raw_lines, code_lines, findings):
+    rule = "stale-suppression"
+    if file_allows(raw_lines, rule):
+        return
+    norm = path.replace(os.sep, "/")
+    known = {c.__name__.replace("check_", "").replace("_", "-")
+             for c in CHECKS}
+
+    def target_live(target, codes):
+        scope = STALE_SCOPE.get(target)
+        if scope and not scope(norm):
+            return False
+        trigger = STALE_TRIGGERS.get(target)
+        if trigger is None:
+            return True  # no trigger model: assume live
+        return any(trigger(c) for c in codes)
+
+    for ln, raw in enumerate(raw_lines, 1):
+        m = ALLOW_LINE.search(raw)
+        if m and m.group(1) != rule:
+            target = m.group(1)
+            if target not in known:
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"'allow({target})' names no known rule "
+                    "(see --list-rules)"))
+            elif not target_live(target, [code_lines[ln - 1]]):
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"'allow({target})' no longer suppresses anything on "
+                    "this line; delete the comment"))
+        m = ALLOW_FILE.search(raw)
+        if m and m.group(1) != rule:
+            target = m.group(1)
+            if target not in known:
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"'allow-file({target})' names no known rule "
+                    "(see --list-rules)"))
+            elif not target_live(target, code_lines):
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"'allow-file({target})' suppresses nothing anywhere "
+                    "in this file; delete the comment"))
+
+
 CHECKS = [
     check_naked_mutex,
     check_unchecked_value,
@@ -432,6 +520,7 @@ CHECKS = [
     check_no_raw_output,
     check_atomic_write,
     check_metric_name,
+    check_stale_suppression,
 ]
 
 
@@ -459,11 +548,57 @@ def collect_files(root, paths):
             files.append(full)
             continue
         for dirpath, dirnames, filenames in os.walk(full):
-            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            # Fixture corpora under tools/ are deliberately rule-breaking
+            # analyzer test inputs; the self-tests lint them explicitly.
+            dirnames[:] = [d for d in dirnames
+                           if not d.startswith("build")
+                           and not d.endswith("_fixtures")]
             for name in sorted(filenames):
                 if name.endswith(CXX_EXTENSIONS):
                     files.append(os.path.join(dirpath, name))
     return files
+
+
+def run_self_test(root):
+    """Lints the fixture corpus (a miniature src/ecas tree full of
+    deliberate violations plus honoured suppressions) and compares the
+    multiset of (file, rule) findings against expected_findings.json.
+    Any file named clean_* must produce nothing at all."""
+    fixtures = os.path.join(root, "tools", "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"ecas-lint: self-test fixtures missing at {fixtures}",
+              file=sys.stderr)
+        return 2
+    findings = []
+    for path in collect_files(fixtures, ["src"]):
+        lint_file(path, findings)
+    got = sorted((os.path.basename(f.path), f.rule) for f in findings)
+    with open(os.path.join(fixtures, "expected_findings.json"),
+              encoding="utf-8") as f:
+        expected = sorted(tuple(e) for e in json.load(f))
+    failures = []
+    if got != expected:
+        remaining = list(got)
+        for e in expected:
+            if e in remaining:
+                remaining.remove(e)
+            else:
+                failures.append(f"missing expected finding: {e}")
+        for g in remaining:
+            failures.append(f"unexpected finding: {g}")
+    clean = [f for f in findings
+             if os.path.basename(f.path).startswith("clean_")]
+    if clean:
+        failures.append(f"clean fixture produced {len(clean)} finding(s)")
+    if failures:
+        for msg in failures:
+            print(f"ecas-lint: SELF-TEST FAIL: {msg}", file=sys.stderr)
+        for f in findings:
+            print("  " + f.render(fixtures), file=sys.stderr)
+        return 1
+    print(f"ecas-lint: self-test OK ({len(expected)} expected findings "
+          "matched, clean fixture clean, suppressions honoured)")
+    return 0
 
 
 def main(argv):
@@ -474,6 +609,8 @@ def main(argv):
                         help="repository root (default: parent of tools/)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture corpus and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -483,6 +620,10 @@ def main(argv):
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
+
+    if args.self_test:
+        return run_self_test(root)
+
     paths = args.paths or [d for d in DEFAULT_DIRS
                            if os.path.isdir(os.path.join(root, d))]
     findings = []

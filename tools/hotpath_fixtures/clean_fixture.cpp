@@ -1,0 +1,56 @@
+//===-- tools/hotpath_fixtures/clean_fixture.cpp ---------------------------===//
+//
+// A hot root written to the DESIGN.md §14 discipline: pure arithmetic,
+// value types, whitelisted std utilities, and a walked project callee.
+// The self-test fails if the analyzer reports anything here — every
+// construct below is one the engine must NOT confuse with a violation.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#define ECAS_HOT __attribute__((hot))
+
+namespace fixture_clean {
+
+struct RatePoint {
+  double Occupancy = 0.0;
+  double Rate = 0.0;
+};
+
+class Model {
+public:
+  Model(double Rc, double Rg) : Rc(Rc), Rg(Rg) {}
+  double combined(double Alpha) const {
+    return Alpha / Rg + (1.0 - Alpha) / Rc;
+  }
+
+private:
+  double Rc;
+  double Rg;
+};
+
+inline double polyEval(double X) {
+  double Acc = 0.0;
+  for (int I = 0; I != 4; ++I)
+    Acc = Acc * X + static_cast<double>(I);
+  return Acc;
+}
+
+ECAS_HOT double hotClean(double Iterations) {
+  std::atomic<unsigned> Hits{0};
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  // Declaration with a constructor-style initializer: the callee is the
+  // TYPE, which resolves to the indexed ctor (initializer list and all).
+  Model M(4e8, 7e8);
+  RatePoint P{0.5, polyEval(Iterations)};
+  double Best = std::min(M.combined(0.5), P.Rate);
+  // Functional casts and empty value construction never allocate.
+  double Scaled = double(Best) * static_cast<double>(Iterations);
+  auto Clamp = [&](double V) { return std::clamp(V, 0.0, 1.0); };
+  return Clamp(std::sqrt(std::fabs(Scaled)));
+}
+
+} // namespace fixture_clean

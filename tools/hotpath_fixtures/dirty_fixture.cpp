@@ -1,0 +1,79 @@
+//===-- tools/hotpath_fixtures/dirty_fixture.cpp ---------------------------===//
+//
+// Self-test corpus for tools/ecas_hotpath.py: every rule fires exactly
+// where expected_findings.json says it does, and the honoured
+// suppression produces NO finding. This file is never compiled; it only
+// has to look like the C++ the textual engine parses.
+//
+//===----------------------------------------------------------------------===//
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#define ECAS_HOT __attribute__((hot))
+
+namespace fixture {
+
+struct Sample {
+  double A = 0.0;
+  double B = 0.0;
+};
+
+// Callee reached from the hot root: findings deep in the walk are
+// attributed with the root-first chain.
+double slowHelper(double X) {
+  std::vector<double> Grid;
+  Grid.push_back(X); // expected: alloc (growing container)
+  return Grid.back();
+}
+
+double lockedHelper(double X) {
+  static std::mutex M;
+  std::lock_guard<std::mutex> Lock(M); // expected: lock
+  return X * 2.0;
+}
+
+// The one deliberate-allocation regression the CI job pins: an
+// ECAS_HOT function that heap-allocates must be caught.
+ECAS_HOT double hotAllocates(double Iterations) {
+  double *Leak = new double(Iterations); // expected: alloc (new)
+  double Out = slowHelper(*Leak);
+  Out += lockedHelper(Out);
+  if (Iterations < 0.0)
+    throw Iterations; // expected: throw
+  std::fprintf(stderr, "x"); // expected: io
+  return Out + externalOracle(Iterations); // expected: extern-call
+}
+
+// Suppressions are honoured: same-line, line-above, and the def-line
+// form that covers a whole amortized subsystem.
+double amortizedAppend(std::string &Buf, double X) {
+  Buf.append("frame"); // ecas-hotpath: allow(alloc)
+  // ecas-hotpath: allow(alloc)
+  Buf.append("tail");
+  return X;
+}
+
+// ecas-hotpath: allow(io, lock)
+double gatedCommit(double X) {
+  static std::mutex M;
+  std::lock_guard<std::mutex> Lock(M); // covered by def-line allow
+  std::fflush(nullptr); // covered by def-line allow
+  return X;
+}
+
+ECAS_HOT double hotSuppressed(double Iterations) {
+  std::string Buf;
+  double Out = amortizedAppend(Buf, Iterations);
+  return Out + gatedCommit(Iterations);
+}
+
+// A stale suppression: nothing on this line fires the allowed rule, so
+// ecas-lint's stale-suppression satellite flags it — but the hotpath
+// analyzer itself must simply not crash on it.
+ECAS_HOT double hotWithStaleAllow(double X) {
+  return X * 0.5; // ecas-hotpath: allow(alloc)
+}
+
+} // namespace fixture

@@ -1,0 +1,49 @@
+//===-- lint_fixtures .../Dirty.cpp - self-test corpus ---------------------===//
+//
+// Deliberately rule-breaking input for ecas_lint.py --self-test: each
+// marked line must produce exactly the finding expected_findings.json
+// lists. Never compiled; it only has to look like C++ to the linter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/core/Dirty.h"
+#include <mutex>
+#include <vector>
+#include <vector>            // expected: include-hygiene (duplicate)
+#include <bits/stl_vector.h> // expected: include-hygiene (internal header)
+
+namespace fixture {
+
+std::mutex M; // expected: naked-mutex
+
+void lockAndWait(Cv &Waiter) {
+  std::lock_guard<std::mutex> Lock(M); // expected: naked-mutex
+  Waiter.wait(Lock); // expected: wait-under-lock-guard
+}
+
+int uncheckedParse() {
+  ErrorOr<int> Parsed = parseInt("7");
+  return Parsed.value(); // expected: unchecked-value
+}
+
+double randomJitter() {
+  return std::rand() * 0.5; // expected: no-std-rand
+}
+
+void publish(const char *Tmp, const char *Final) {
+  std::fprintf(stderr, "publishing\n"); // expected: no-raw-output
+  std::rename(Tmp, Final); // expected: atomic-write
+}
+
+double staleComment(double X) {
+  // The mutex this once excused is long gone: expected stale-suppression.
+  return X * 2.0; // ecas-lint: allow(naked-mutex)
+}
+
+double unknownRule(double X) {
+  // Typo'd rule names must not silently suppress nothing: expected
+  // stale-suppression.
+  return X; // ecas-lint: allow(no-such-rule)
+}
+
+} // namespace fixture

@@ -1,0 +1,6 @@
+//===-- lint_fixtures .../Dirty.h - self-test corpus -----------------------===//
+#ifndef ECAS_LINT_FIXTURE_DIRTY_H
+#define ECAS_LINT_FIXTURE_DIRTY_H
+// Header exists so Dirty.cpp exercises the own-header-first rule's
+// positive path (its first include IS this header, so no finding).
+#endif

@@ -1,0 +1,9 @@
+//===-- lint_fixtures .../InlineMetric.cpp - self-test corpus --------------===//
+// Instrument registered with an inline literal instead of a names::
+// constant: expected metric-name.
+
+namespace fixture {
+void registerAdhoc(Registry &Reg) {
+  Reg.counter("eas_adhoc_total"); // expected: metric-name
+}
+} // namespace fixture

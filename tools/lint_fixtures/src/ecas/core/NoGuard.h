@@ -1,0 +1,6 @@
+//===-- lint_fixtures .../NoGuard.h - self-test corpus ---------------------===//
+// No include guard and no pragma once: expected include-hygiene.
+
+namespace fixture {
+inline int noGuard() { return 2; }
+} // namespace fixture

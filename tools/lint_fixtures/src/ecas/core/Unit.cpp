@@ -1,0 +1,9 @@
+//===-- lint_fixtures .../Unit.cpp - self-test corpus ----------------------===//
+// First include is not the unit's own header: expected include-hygiene.
+
+#include <vector>
+#include "ecas/core/Unit.h"
+
+namespace fixture {
+int unitValue() { return 1; }
+} // namespace fixture

@@ -1,0 +1,4 @@
+//===-- lint_fixtures .../Unit.h - self-test corpus ------------------------===//
+#ifndef ECAS_LINT_FIXTURE_UNIT_H
+#define ECAS_LINT_FIXTURE_UNIT_H
+#endif

@@ -1,0 +1,21 @@
+//===-- lint_fixtures .../clean_allowed.cpp - self-test corpus -------------===//
+//
+// Honoured suppressions: the self-test asserts this file produces NO
+// findings — the allow() lines genuinely cover a firing rule, so the
+// stale-suppression check must stay quiet about them too.
+//
+// ecas-lint: allow-file(no-raw-output) -- fixture: prints by design
+//
+//===----------------------------------------------------------------------===//
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex CleanM; // ecas-lint: allow(naked-mutex) -- fixture exception
+
+void note(const char *Msg) {
+  std::fprintf(stderr, "%s\n", Msg);
+}
+
+} // namespace fixture

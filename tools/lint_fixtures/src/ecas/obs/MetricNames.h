@@ -1,0 +1,7 @@
+//===-- lint_fixtures .../MetricNames.h - self-test corpus -----------------===//
+#pragma once
+
+namespace fixture::names {
+inline constexpr char Good[] = "eas_good_total";
+inline constexpr char Bad[] = "BadMetric"; // expected: metric-name
+} // namespace fixture::names

@@ -1,0 +1,8 @@
+//===-- lint_fixtures .../Overload.cpp - self-test corpus ------------------===//
+// Unbounded container in the service layer: expected unbounded-queue.
+
+#include <deque>
+
+namespace fixture {
+std::deque<int> Backlog; // expected: unbounded-queue
+} // namespace fixture
