@@ -1,0 +1,152 @@
+//===-- bench/bench_frontier.cpp - Joint (alpha, f) energy frontier --------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+// Figs. 9-12 companion for the DVFS axis: per workload class, runs the
+// EAS scheduler once at fixed full frequency (the paper's decision
+// space) and once with the joint (alpha, P-state) search enabled, and
+// reports total energy / time / EDP for both. The committed
+// BENCH_frontier.json at the repo root pins the frontier shift: the
+// joint search must beat fixed-f energy on the memory-leaning classes,
+// where downclocking is nearly free, and must never lose elsewhere.
+//
+// Usage: bench_frontier [output.json]   (default: BENCH_frontier.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ecas/core/OperatingPoint.h"
+#include "ecas/hw/Presets.h"
+#include "ecas/power/MicroBenchmarks.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ecas;
+
+namespace {
+
+struct SchemeTotals {
+  double Seconds = 0.0;
+  double Joules = 0.0;
+  double MeanAlpha = 0.0;
+
+  double edp() const { return Joules * Seconds; }
+};
+
+struct ClassRow {
+  WorkloadClass Class;
+  SchemeTotals Fixed;
+  SchemeTotals Joint;
+
+  double energySavingsPct() const {
+    return Fixed.Joules > 0.0
+               ? 100.0 * (Fixed.Joules - Joint.Joules) / Fixed.Joules
+               : 0.0;
+  }
+};
+
+SchemeTotals runScheme(const PlatformSpec &Spec, const InvocationTrace &Trace,
+                       const PowerCurveFamily &Family, bool PStates) {
+  ExecutionSession Session(Spec);
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.CurveFamily = &Family;
+  Options.Objective = Metric::energy();
+  Options.Eas.PStates = PStates;
+  SessionReport Report = Session.run(SchemeKind::Eas, Options);
+  SchemeTotals Totals;
+  Totals.Seconds = Report.Seconds;
+  Totals.Joules = Report.Joules;
+  Totals.MeanAlpha = Report.MeanAlpha;
+  return Totals;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_frontier.json";
+  bench::printBanner(
+      "bench_frontier: fixed-frequency vs joint (alpha, f) energy per class",
+      "cubic power vs ~linear rate: interior P-states win on "
+      "memory-leaning classes");
+
+  constexpr unsigned NumPStates = 4;
+  constexpr unsigned Invocations = 24;
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(NumPStates);
+  PowerCurveFamily Family = characterizeFamily(Spec);
+
+  std::vector<ClassRow> Rows;
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
+    WorkloadClass Class = WorkloadClass::fromIndex(I);
+    MicroBenchmark Micro = makeMicroBenchmark(Spec, Class);
+    InvocationTrace Trace;
+    for (unsigned R = 0; R != Invocations; ++R)
+      Trace.push_back({Micro.Kernel, Micro.Iterations});
+
+    ClassRow Row;
+    Row.Class = Class;
+    Row.Fixed = runScheme(Spec, Trace, Family, /*PStates=*/false);
+    Row.Joint = runScheme(Spec, Trace, Family, /*PStates=*/true);
+    Rows.push_back(Row);
+  }
+
+  std::printf("%-26s %12s %12s %9s %12s %12s\n", "class", "fixed J",
+              "joint J", "saved", "fixed s", "joint s");
+  unsigned JointWins = 0;
+  for (const ClassRow &Row : Rows) {
+    bool Wins = Row.Joint.Joules < Row.Fixed.Joules;
+    JointWins += Wins;
+    std::printf("%-26s %12.2f %12.2f %8.1f%% %12.3f %12.3f%s\n",
+                Row.Class.name().c_str(), Row.Fixed.Joules, Row.Joint.Joules,
+                Row.energySavingsPct(), Row.Fixed.Seconds, Row.Joint.Seconds,
+                Wins ? "  <- joint" : "");
+  }
+  std::printf("joint wins energy on %u of %u classes\n", JointWins,
+              WorkloadClass::NumClasses);
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\n"
+               "  \"bench\": \"frontier\",\n"
+               "  \"platform\": \"haswell-desktop\",\n"
+               "  \"pstates\": %u,\n"
+               "  \"objective\": \"energy\",\n"
+               "  \"invocations_per_class\": %u,\n"
+               "  \"classes\": [\n",
+               NumPStates, Invocations);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const ClassRow &Row = Rows[I];
+    std::fprintf(
+        Out,
+        "    {\"class\": \"%s\",\n"
+        "     \"fixed\": {\"joules\": %.4f, \"seconds\": %.5f, "
+        "\"edp\": %.5f, \"mean_alpha\": %.3f},\n"
+        "     \"joint\": {\"joules\": %.4f, \"seconds\": %.5f, "
+        "\"edp\": %.5f, \"mean_alpha\": %.3f},\n"
+        "     \"joint_energy_savings_pct\": %.2f}%s\n",
+        Row.Class.name().c_str(), Row.Fixed.Joules, Row.Fixed.Seconds,
+        Row.Fixed.edp(), Row.Fixed.MeanAlpha, Row.Joint.Joules,
+        Row.Joint.Seconds, Row.Joint.edp(), Row.Joint.MeanAlpha,
+        Row.energySavingsPct(), I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Out,
+               "  ],\n"
+               "  \"joint_wins_energy\": %u\n"
+               "}\n",
+               JointWins);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  // The acceptance bar: the joint search must shift the frontier on at
+  // least 3 of the 8 classes, and a warmed fixed-f run must never be
+  // beaten BY more than noise the other way (it is the same code path).
+  return JointWins >= 3 ? 0 : 1;
+}

@@ -9,8 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "ecas/core/AlphaSearch.h"
 #include "ecas/core/KernelHistory.h"
+#include "ecas/core/OperatingPoint.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/math/PolyFit.h"
@@ -103,9 +103,11 @@ static void BM_AlphaGridSearch(benchmark::State &State) {
   PowerCurve Curve;
   Curve.Poly = Polynomial({45.0, 20.0, -60.0, 30.0, 5.0, -2.0, 1.0});
   Metric Objective = Metric::edp();
+  PStateView View;
+  View.Curve = &Curve;
   for (auto _ : State) {
-    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e7);
-    benchmark::DoNotOptimize(Choice.Alpha);
+    Decision Choice = chooseOperatingPoint(Model, &View, 1, Objective, 1e7);
+    benchmark::DoNotOptimize(Choice.Point.Alpha);
   }
 }
 BENCHMARK(BM_AlphaGridSearch);
@@ -147,11 +149,12 @@ static void BM_EasDecisionOverhead(benchmark::State &State) {
   for (auto _ : State) {
     WorkloadClass Class =
         classifyWorkload(Sample.MissPerLoadStore, 0.05, 0.02);
-    const PowerCurve &Curve = Curves.curveFor(Class);
+    PStateView View;
+    View.Curve = &Curves.curveFor(Class);
     TimeModel Model(Sample.CpuThroughput, Sample.GpuThroughput);
-    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e6);
+    Decision Choice = chooseOperatingPoint(Model, &View, 1, Objective, 1e6);
     History.update(Id, [&](KernelRecord &Record) {
-      Record.Alpha.addSample(Choice.Alpha, 1e6);
+      Record.Alpha.addSample(Choice.Point.Alpha, 1e6);
     });
     KernelRecord Record;
     History.lookup(Id, Record);

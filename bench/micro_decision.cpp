@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 //
 // Measures the steady-state scheduling decision: the warmed table-G hit
-// (lookup, alpha reuse, partitioned dispatch bookkeeping) and the alpha
-// search that profiling repetitions pay. Links support/AllocGuard.cpp so
-// the run also reports allocations per decision — the committed
-// BENCH_decision.json at the repo root pins allocations_per_decision at
-// 0, the same property HotPathTest asserts and tools/ecas_hotpath.py
-// proves statically (DESIGN.md §14).
+// (lookup, operating-point reuse, partitioned dispatch bookkeeping) and
+// the joint (alpha, frequency) search that profiling repetitions pay —
+// both run with a 4-state DVFS ladder so the figures cover the joint
+// decision core, not just the legacy alpha axis. Links
+// support/AllocGuard.cpp so the run also reports allocations per
+// decision — the committed BENCH_decision.json at the repo root pins
+// allocations_per_decision at 0, the same property HotPathTest asserts
+// and tools/ecas_hotpath.py proves statically (DESIGN.md §14).
 //
 // Usage: micro_decision [output.json]   (default: BENCH_decision.json)
 //
@@ -18,8 +20,8 @@
 
 #include "BenchCommon.h"
 
-#include "ecas/core/AlphaSearch.h"
 #include "ecas/core/EasScheduler.h"
+#include "ecas/core/OperatingPoint.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/MicroBenchmarks.h"
@@ -76,10 +78,14 @@ int main(int Argc, char **Argv) {
       "micro_decision: steady-state decision latency",
       "hot path is allocation-free; decisions are sub-microsecond");
 
+  constexpr unsigned NumPStates = 4;
   PlatformSpec Spec = haswellDesktop();
-  PowerCurveSet Curves = Characterizer(Spec).characterize();
+  Spec.synthesizePStates(NumPStates);
+  PowerCurveFamily Curves = characterizeFamily(Spec);
   SimProcessor Proc(Spec);
-  EasScheduler Scheduler(Curves, Metric::edp());
+  EasConfig Config;
+  Config.PStates = true;
+  EasScheduler Scheduler(Curves, Metric::edp(), Config);
   KernelDesc Kernel = computeBoundMicroKernel();
 
   // Learn the kernel and warm every lazily-grown buffer to steady state.
@@ -117,14 +123,27 @@ int main(int Argc, char **Argv) {
   double AllocsPerDecision =
       static_cast<double>(HitAllocs) / HitIterations;
 
-  // Alpha search at profiling fidelity (grid + golden-section refine).
+  // Joint (alpha, frequency) search at profiling fidelity: the 0.05
+  // alpha grid plus golden-section refine, evaluated across the whole
+  // DVFS ladder. (The JSON key keeps its legacy name so CI diffs stay
+  // comparable across the chooseAlpha -> chooseOperatingPoint redesign.)
   TimeModel Model(4e8, 7e8);
-  const PowerCurve &Curve = Curves.curveFor(WorkloadClass{});
+  WorkloadClass Class;
+  PStateView Views[kMaxPStates];
+  for (unsigned S = 0; S != NumPStates; ++S) {
+    PStateSpec State = Spec.pstateAt(S);
+    PStateSpec Full = Spec.pstateAt(0);
+    Views[S].Curve = &Curves.stateCurves(S).curveFor(Class);
+    Views[S].CpuFreqScale = State.CpuFreqGHz / Full.CpuFreqGHz;
+    Views[S].GpuFreqScale = State.GpuFreqGHz / Full.GpuFreqGHz;
+  }
   Metric Objective = Metric::edp();
-  AlphaSearchConfig Search;
+  OperatingPointSearchConfig Search;
   Search.Step = 0.05;
   Search.Refine = true;
-  (void)chooseAlpha(Model, Curve, Objective, N, Search); // warm
+  Search.MemBoundFraction = 0.2;
+  (void)chooseOperatingPoint(Model, Views, NumPStates, Objective, N,
+                             Search); // warm
   constexpr int SearchIterations = 5000;
   std::vector<double> SearchNs;
   SearchNs.reserve(SearchIterations);
@@ -132,7 +151,8 @@ int main(int Argc, char **Argv) {
   unsigned Evals = 0;
   for (int I = 0; I != SearchIterations; ++I) {
     Clock::time_point T0 = Clock::now();
-    AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, N, Search);
+    Decision Choice =
+        chooseOperatingPoint(Model, Views, NumPStates, Objective, N, Search);
     SearchNs.push_back(nsSince(T0));
     Evals = Choice.Evaluations;
   }
@@ -143,9 +163,10 @@ int main(int Argc, char **Argv) {
               "mean %.0f ns  (%d invocations, %llu allocations)\n",
               Hit.P50, Hit.P90, Hit.P99, Hit.Mean, HitIterations,
               static_cast<unsigned long long>(HitAllocs));
-  std::printf("alpha search:       p50 %.0f ns  p90 %.0f ns  p99 %.0f ns  "
-              "mean %.0f ns  (%u evaluations/search, %llu allocations)\n",
-              Alpha.P50, Alpha.P90, Alpha.P99, Alpha.Mean, Evals,
+  std::printf("joint search (%u P-states): p50 %.0f ns  p90 %.0f ns  "
+              "p99 %.0f ns  mean %.0f ns  (%u evaluations/search, "
+              "%llu allocations)\n",
+              NumPStates, Alpha.P50, Alpha.P90, Alpha.P99, Alpha.Mean, Evals,
               static_cast<unsigned long long>(SearchAllocs));
 
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
@@ -157,6 +178,7 @@ int main(int Argc, char **Argv) {
                "{\n"
                "  \"bench\": \"decision\",\n"
                "  \"platform\": \"haswell-desktop\",\n"
+               "  \"pstates\": %u,\n"
                "  \"invocations\": %d,\n"
                "  \"table_hit_latency_ns\": "
                "{\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
@@ -168,7 +190,8 @@ int main(int Argc, char **Argv) {
                "  \"allocations_per_decision\": %.0f,\n"
                "  \"allocations_per_alpha_search\": %.0f\n"
                "}\n",
-               HitIterations, Hit.P50, Hit.P90, Hit.P99, Hit.Mean, Alpha.P50,
+               NumPStates, HitIterations, Hit.P50, Hit.P90, Hit.P99, Hit.Mean,
+               Alpha.P50,
                Alpha.P90, Alpha.P99, Alpha.Mean, Evals, AllocsPerDecision,
                static_cast<double>(SearchAllocs) / SearchIterations);
   std::fclose(Out);

@@ -3,49 +3,44 @@
 // Part of the ecas project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// chooseAlpha is the legacy fixed-frequency entry point, kept as a thin
+// delegating wrapper over chooseOperatingPoint (the PR-4 no-flag-day
+// playbook). A single identity-scale view makes the joint search reuse
+// the caller's TimeModel bit-for-bit and walk the same alpha grid in
+// the same order, so existing callers see bit-identical results.
+//
+//===----------------------------------------------------------------------===//
 
 #include "ecas/core/AlphaSearch.h"
 
-#include "ecas/math/Minimize.h"
-#include "ecas/support/Assert.h"
-
-#include <cmath>
+#include "ecas/core/OperatingPoint.h"
 
 using namespace ecas;
 
 AlphaChoice ecas::chooseAlpha(const TimeModel &Model, const PowerCurve &Curve,
                               const Metric &Objective, double Iterations,
                               const AlphaSearchConfig &Config) {
-  ECAS_CHECK(Iterations >= 0.0, "iteration count cannot be negative");
-  ECAS_CHECK(Config.Step > 0.0 && Config.Step <= 1.0,
-             "alpha step must lie in (0, 1]");
+  PStateView View;
+  View.Curve = &Curve;
+  View.CpuFreqScale = 1.0;
+  View.GpuFreqScale = 1.0;
 
-  if (Config.GridOut)
-    Config.GridOut->clear();
-  auto ObjectiveAt = [&](double Alpha) {
-    double Seconds = Model.totalTime(Iterations, Alpha);
-    double Watts = Curve.powerAt(Alpha);
-    double Value = Objective.evaluate(Watts, Seconds);
-    // A degenerate model point (dead device, overflowed product) must
-    // lose to every well-defined grid cell, and a NaN would poison the
-    // min-comparison chain below; map both to a huge finite penalty.
-    Value = std::isfinite(Value) ? Value : 1e300;
-    if (Config.GridOut) // observability only: null on the decision path
-      Config.GridOut->emplace_back(Alpha, Value); // ecas-hotpath: allow(alloc)
-    return Value;
-  };
+  OperatingPointSearchConfig Joint;
+  Joint.Step = Config.Step;
+  Joint.Refine = Config.Refine;
+  Joint.RefineTolerance = Config.RefineTolerance;
+  Joint.Policy = SchedulingPolicy::MinimizeMetric;
+  Joint.GridOut = Config.GridOut;
 
-  MinResult Min =
-      Config.Refine
-          ? minimizeGridThenRefine(ObjectiveAt, 0.0, 1.0, Config.Step,
-                                   Config.RefineTolerance)
-          : minimizeOnGrid(ObjectiveAt, 0.0, 1.0, Config.Step);
+  Decision Chosen =
+      chooseOperatingPoint(Model, &View, 1, Objective, Iterations, Joint);
 
   AlphaChoice Choice;
-  Choice.Alpha = Min.ArgMin;
-  Choice.PredictedMetric = Min.Value;
-  Choice.PredictedSeconds = Model.totalTime(Iterations, Min.ArgMin);
-  Choice.PredictedWatts = Curve.powerAt(Min.ArgMin);
-  Choice.Evaluations = Min.Evaluations;
+  Choice.Alpha = Chosen.Point.Alpha;
+  Choice.PredictedMetric = Chosen.PredictedMetric;
+  Choice.PredictedSeconds = Chosen.PredictedSeconds;
+  Choice.PredictedWatts = Chosen.PredictedWatts;
+  Choice.Evaluations = Chosen.Evaluations;
   return Choice;
 }

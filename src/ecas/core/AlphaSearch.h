@@ -10,6 +10,12 @@
 /// a grid over [0, 1] (the paper uses 0.1 or 0.05 increments), with an
 /// optional golden-section refinement extension.
 ///
+/// DEPRECATED: chooseAlpha is the fixed-frequency special case of
+/// core/OperatingPoint.h's chooseOperatingPoint and survives only as a
+/// bit-identical delegating wrapper for existing callers. New code must
+/// call chooseOperatingPoint (ecas-lint rule choose-alpha-deprecated
+/// rejects new callers outside this wrapper's own unit tests).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECAS_CORE_ALPHASEARCH_H

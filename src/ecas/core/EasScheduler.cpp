@@ -9,6 +9,7 @@
 #include "ecas/core/HistorySnapshot.h"
 #include "ecas/core/Schedulers.h"
 #include "ecas/core/TimeModel.h"
+#include "ecas/hw/PlatformSpec.h"
 #include "ecas/obs/MetricNames.h"
 #include "ecas/support/Assert.h"
 #include "ecas/support/Format.h"
@@ -19,6 +20,13 @@
 #include <vector>
 
 using namespace ecas;
+
+// The P-state ordinal flows from the platform table through the power
+// family into the decision core; one table size bounds all three.
+static_assert(kMaxPStates == PlatformSpec::MaxPStates,
+              "decision-core and platform P-state tables disagree");
+static_assert(kMaxPStates == PowerCurveFamily::MaxPStates,
+              "decision-core and power-family P-state tables disagree");
 
 Status EasConfig::validate() const {
   auto Invalid = [](std::string Message) {
@@ -49,6 +57,14 @@ Status EasConfig::validate() const {
   if (Health.RetryBackoffMultiplier < 1.0)
     return Invalid(formatString("shrinking retry backoff multiplier %g",
                                 Health.RetryBackoffMultiplier));
+  if (Policy == SchedulingPolicy::PaceToDeadline &&
+      (!std::isfinite(DeadlineSeconds) || DeadlineSeconds <= 0.0))
+    return Invalid(formatString(
+        "pace-to-deadline requires a positive finite deadline, got %g",
+        DeadlineSeconds));
+  if (!std::isfinite(IdleWatts) || IdleWatts < 0.0)
+    return Invalid(formatString("negative or non-finite idle watts %g",
+                                IdleWatts));
   if (Journal.Enabled) {
     if (HistoryFile.empty())
       return Invalid("journaling requires a history file (the journal is "
@@ -73,10 +89,16 @@ double EasScheduler::InvocationOutcome::energyRelError() const {
 
 EasScheduler::EasScheduler(const PowerCurveSet &CurvesIn, Metric ObjectiveIn,
                            EasConfig ConfigIn)
-    : Curves(CurvesIn), Objective(std::move(ObjectiveIn)),
+    : EasScheduler(PowerCurveFamily::fromSingle(CurvesIn),
+                   std::move(ObjectiveIn), std::move(ConfigIn)) {}
+
+EasScheduler::EasScheduler(PowerCurveFamily CurvesIn, Metric ObjectiveIn,
+                           EasConfig ConfigIn)
+    : Curves(std::move(CurvesIn)), Objective(std::move(ObjectiveIn)),
       Config(std::move(ConfigIn)), Monitor(Config.Health) {
   ECAS_CHECK(Curves.complete(),
-             "EAS requires a complete 8-category power characterization");
+             "EAS requires a complete 8-category power characterization "
+             "for every P-state");
   // Misconfiguration is a usage error, not an environment failure:
   // callers with untrusted configs validate() first.
   if (Status Valid = Config.validate(); !Valid.ok())
@@ -193,20 +215,33 @@ void EasScheduler::registerInstruments() {
   // Rel errors are ratios spanning "model is exact" (1e-4) to "model is
   // off by an order of magnitude"; log buckets keep both ends resolved.
   const std::vector<double> RelErrBuckets = obs::logBuckets(1e-4, 2.0, 18);
+  // A single-state family keeps the legacy label sets (no pstate label),
+  // so pre-DVFS dashboards and the MetricsTest goldens never change; a
+  // real family fans each series out by the chosen P-state.
+  unsigned K = std::min(Curves.numPStates(), kMaxPStates);
   for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
-    obs::MetricLabels ByClass{{"class", WorkloadClass::fromIndex(I).name()}};
-    Ins.TimeRelError[I] = &M->histogram(
-        obs::names::ModelTimeRelError, RelErrBuckets, ByClass,
-        "Relative error of the analytical T(alpha) prediction against the "
-        "measured dispatch time");
-    Ins.EnergyRelError[I] = &M->histogram(
-        obs::names::ModelEnergyRelError, RelErrBuckets, ByClass,
-        "Relative error of the predicted dispatch energy P(alpha)*T(alpha) "
-        "against the measured joules");
+    for (unsigned S = 0; S != K; ++S) {
+      obs::MetricLabels ByClass{{"class", WorkloadClass::fromIndex(I).name()}};
+      if (K > 1)
+        ByClass.emplace_back("pstate", formatString("%u", S));
+      Ins.TimeRelError[I][S] = &M->histogram(
+          obs::names::ModelTimeRelError, RelErrBuckets, ByClass,
+          "Relative error of the analytical T(alpha) prediction against the "
+          "measured dispatch time");
+      Ins.EnergyRelError[I][S] = &M->histogram(
+          obs::names::ModelEnergyRelError, RelErrBuckets, ByClass,
+          "Relative error of the predicted dispatch energy P(alpha)*T(alpha) "
+          "against the measured joules");
+    }
   }
-  Ins.AlphaChosen =
-      &M->histogram(obs::names::AlphaChosen, obs::linearBuckets(0.0, 0.05, 20),
-                    {}, "GPU offload ratio used by completed invocations");
+  for (unsigned S = 0; S != K; ++S) {
+    obs::MetricLabels ByState;
+    if (K > 1)
+      ByState.emplace_back("pstate", formatString("%u", S));
+    Ins.AlphaChosen[S] = &M->histogram(
+        obs::names::AlphaChosen, obs::linearBuckets(0.0, 0.05, 20), ByState,
+        "GPU offload ratio used by completed invocations");
+  }
   Ins.AlphaSearchEvals = &M->histogram(
       obs::names::AlphaSearchEvals, obs::linearBuckets(0.0, 8.0, 16), {},
       "Objective evaluations spent in one invocation's alpha searches");
@@ -289,6 +324,7 @@ void EasScheduler::recordInvocation(const KernelDesc &Kernel,
                          ? static_cast<int>(Outcome.Class.index())
                          : -1;
     Rec.Alpha = Outcome.AlphaUsed;
+    Rec.PState = Outcome.PState;
     Rec.HasPrediction = Outcome.HasPrediction;
     Rec.PredictedSeconds = Outcome.PredictedSeconds;
     Rec.PredictedWatts = Outcome.PredictedWatts;
@@ -328,16 +364,49 @@ void EasScheduler::recordInvocation(const KernelDesc &Kernel,
     return;
   }
   Ins.InvocationSeconds->record(Outcome.Seconds);
-  Ins.AlphaChosen->record(Outcome.AlphaUsed);
+  unsigned PIdx =
+      std::min(Outcome.PState, std::min(Curves.numPStates(), kMaxPStates) - 1);
+  Ins.AlphaChosen[PIdx]->record(Outcome.AlphaUsed);
   if (Outcome.AlphaSearches)
     Ins.AlphaSearchEvals->record(Outcome.AlphaEvaluations);
   if (Outcome.Profiled && Outcome.Seconds > 0.0)
     Ins.ProfileOverhead->record(Outcome.ProfileSeconds / Outcome.Seconds);
   if (Outcome.hasModelSample()) {
     unsigned Idx = Outcome.Class.index();
-    Ins.TimeRelError[Idx]->record(Outcome.timeRelError());
-    Ins.EnergyRelError[Idx]->record(Outcome.energyRelError());
+    Ins.TimeRelError[Idx][PIdx]->record(Outcome.timeRelError());
+    Ins.EnergyRelError[Idx][PIdx]->record(Outcome.energyRelError());
   }
+}
+
+unsigned EasScheduler::buildPStateViews(const SimProcessor &Proc,
+                                        WorkloadClass Class,
+                                        PStateView *Views) const {
+  unsigned K = 1;
+  if (Config.PStates)
+    K = std::min({Proc.spec().pstateCount(), Curves.numPStates(),
+                  kMaxPStates});
+  PStateSpec Full = Proc.spec().pstateAt(0);
+  for (unsigned S = 0; S != K; ++S) {
+    PStateSpec State = Proc.spec().pstateAt(S);
+    Views[S].Curve = &Curves.stateCurves(S).curveFor(Class);
+    // State 0 is the reference the profiler measured at; its scales are
+    // exactly 1 so a single-state search reuses the caller's TimeModel
+    // object (the wrapper bit-identity guarantee).
+    Views[S].CpuFreqScale =
+        S == 0 || Full.CpuFreqGHz <= 0.0 ? 1.0
+                                         : State.CpuFreqGHz / Full.CpuFreqGHz;
+    Views[S].GpuFreqScale =
+        S == 0 || Full.GpuFreqGHz <= 0.0 ? 1.0
+                                         : State.GpuFreqGHz / Full.GpuFreqGHz;
+  }
+  return K;
+}
+
+double EasScheduler::memBoundFraction(double MissPerLoadStore) const {
+  double Threshold = Config.Thresholds.MemoryIntensity;
+  if (!(Threshold > 0.0) || !(MissPerLoadStore > 0.0))
+    return 0.0;
+  return std::min(MissPerLoadStore / Threshold, 1.0);
 }
 
 bool EasScheduler::stopRequested(double NowSec,
@@ -480,6 +549,11 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   ECAS_CHECK(Kernel.Id != 0, "kernel requires a stable nonzero id");
   ECAS_CHECK(HistoryKey != 0, "history key must be nonzero");
   InvocationOutcome Outcome;
+  // Joint (alpha, f) mode: profiling and the CPU-only paths run at full
+  // speed (the throughputs table G learns are the state-0 reference);
+  // the winning P-state re-caps the clocks just before dispatch.
+  if (Config.PStates)
+    Proc.pcu().clearFrequencyCap();
   double Start = Proc.now();
   // Energy sample for the measured-window telemetry. A const read of the
   // emulated MSR: harmless without a registry, so it is not gated.
@@ -580,6 +654,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
                                : GpuProfileSize / 4.0;
 
   double Alpha = 0.0;
+  unsigned PState = 0;
   double Nrem = Iterations;
   bool ProfileHang = false;
   KernelRecord KnownRec;
@@ -711,27 +786,38 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
           Local.Sample.GpuThroughput <= 0.0)
         break;
 
-      // Steps 17-19: classify and pick the matching power curve.
+      // Steps 17-19: classify and pick the matching power curves.
       Outcome.Class =
           Profiler.classify(Local.Sample, Nrem, Config.Thresholds);
-      const PowerCurve &Curve = Curves.curveFor(Outcome.Class);
       if (T)
         T->instant("eas", "classify", Proc.now(), Outcome.Class.name());
 
-      // Step 20: minimize OBJ over the alpha grid. Profiling may have
-      // consumed every iteration (small invocations); the argmin of
-      // P(a)*T(a)^k is independent of N, so clamping N away from zero
-      // keeps the objective non-degenerate without changing the answer.
+      // Step 20, extended along the DVFS axis: minimize OBJ over the
+      // (alpha, P-state) grid. Profiling may have consumed every
+      // iteration (small invocations); the argmin of P(a)*T(a)^k is
+      // independent of N, so clamping N away from zero keeps the
+      // objective non-degenerate without changing the answer. With
+      // P-states off this is exactly the paper's fixed-frequency alpha
+      // grid (one view, unit scales).
       TimeModel Model(Local.Sample.CpuThroughput,
                       Local.Sample.GpuThroughput);
-      AlphaSearchConfig Search;
+      PStateView Views[kMaxPStates];
+      unsigned NumViews = buildPStateViews(Proc, Outcome.Class, Views);
+      OperatingPointSearchConfig Search;
       Search.Step = Config.AlphaStep;
       Search.Refine = Config.RefineAlpha;
+      Search.Policy = Config.Policy;
+      Search.DeadlineSeconds = Config.DeadlineSeconds;
+      Search.IdleWatts = Config.IdleWatts;
+      Search.MemBoundFraction =
+          memBoundFraction(Local.Sample.MissPerLoadStore);
       if (T)
         Search.GridOut = &Grid;
-      AlphaChoice Choice = chooseAlpha(Model, Curve, Objective,
-                                       std::max(Nrem, 1.0), Search);
-      Alpha = Choice.Alpha;
+      Decision Choice = chooseOperatingPoint(Model, Views, NumViews,
+                                             Objective, std::max(Nrem, 1.0),
+                                             Search);
+      Alpha = Choice.Point.Alpha;
+      PState = Choice.Point.PState;
       ++Outcome.AlphaSearches;
       Outcome.AlphaEvaluations += Choice.Evaluations;
       // Profiling decrements Nrem before each search, so the last
@@ -743,8 +829,10 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
       Outcome.PredictedMetric = Choice.PredictedMetric;
       if (T) {
         std::string Detail = formatString(
-            "alpha=%.3f obj=%.6g evals=%u grid=", Choice.Alpha,
+            "alpha=%.3f obj=%.6g evals=%u grid=", Choice.Point.Alpha,
             Choice.PredictedMetric, Choice.Evaluations);
+        if (NumViews > 1)
+          Detail = formatString("pstate=%u ", Choice.Point.PState) + Detail;
         for (size_t I = 0; I != Grid.size(); ++I)
           Detail += formatString(I ? ",%.2f:%.4g" : "%.2f:%.4g",
                                  Grid[I].first, Grid[I].second);
@@ -777,6 +865,12 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         T ? std::function<double()>([&Proc] { return Proc.now(); })
           : std::function<double()>(),
         T ? formatString("alpha=%.3f n=%.0f", Alpha, Nrem) : std::string());
+    if (Config.PStates) {
+      // Actuate the frequency half of the operating point: cap the PCU
+      // at the chosen state's clocks for the remainder dispatch.
+      PStateSpec Cap = Proc.spec().pstateAt(PState);
+      Proc.pcu().setFrequencyCap(Cap.CpuFreqGHz, Cap.GpuFreqGHz);
+    }
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
     double DispatchStart = Proc.now();
@@ -838,6 +932,11 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
         Delta.HasAlphaSample = true;
         Delta.AlphaValue = Alpha;
         Delta.AlphaWeight = AlphaWeight;
+        // The P-state rides the same gate: a hang- or cancel-tainted
+        // decision must not steer future invocations' clocks either.
+        Rec.PState = PState;
+        Delta.HasPState = true;
+        Delta.PState = PState;
       }
       Rec.Class = Outcome.Class;
       Delta.HasClass = true;
@@ -859,6 +958,7 @@ EasScheduler::executeAdmitted(SimProcessor &Proc, const KernelDesc &Kernel,
   journalCommit();
 
   Outcome.AlphaUsed = Alpha;
+  Outcome.PState = PState;
   Outcome.Seconds = Proc.now() - Start;
   if (T) {
     if (Outcome.LaunchRetries)
@@ -887,6 +987,15 @@ EasScheduler::InvocationOutcome EasScheduler::runTableHit(
   // ObsTest and MetricsTest pin that equivalence.
   InvocationOutcome Outcome;
   double Alpha = KnownRec.Alpha.value();
+  // Replay the frequency half of the learned operating point too,
+  // clamped to what this platform and characterization actually cover
+  // (a snapshot can migrate between machines). With P-states off the
+  // record's state is ignored and the hit runs at full speed, exactly
+  // like a pre-DVFS build.
+  unsigned PState = 0;
+  if (Config.PStates)
+    PState = std::min({KnownRec.PState, Proc.spec().pstateCount() - 1,
+                       Curves.numPStates() - 1, kMaxPStates - 1});
   Outcome.Class = KnownRec.Class;
   Outcome.TableHit = true;
   if ((Config.Metrics || Config.Decisions) &&
@@ -894,12 +1003,24 @@ EasScheduler::InvocationOutcome EasScheduler::runTableHit(
        KnownRec.Sample.GpuThroughput > 0.0)) {
     // Re-evaluate the analytical model from the stored record so hit
     // invocations contribute fidelity samples too. Observation only:
-    // neither the prediction nor the telemetry touches Alpha.
+    // neither the prediction nor the telemetry touches Alpha. At a
+    // reduced P-state the stored full-speed throughputs are rescaled
+    // through the same Amdahl model the search used.
     TimeModel Model(KnownRec.Sample.CpuThroughput,
                     KnownRec.Sample.GpuThroughput);
+    const PowerCurveSet &StateSet = Curves.stateCurves(
+        std::min(PState, Curves.numPStates() - 1));
+    if (PState > 0) {
+      PStateSpec Full = Proc.spec().pstateAt(0);
+      PStateSpec State = Proc.spec().pstateAt(PState);
+      Model = Model.scaledTo(
+          Full.CpuFreqGHz > 0.0 ? State.CpuFreqGHz / Full.CpuFreqGHz : 1.0,
+          Full.GpuFreqGHz > 0.0 ? State.GpuFreqGHz / Full.GpuFreqGHz : 1.0,
+          memBoundFraction(KnownRec.Sample.MissPerLoadStore));
+    }
     Outcome.HasPrediction = true;
     Outcome.PredictedSeconds = Model.totalTime(Iterations, Alpha);
-    Outcome.PredictedWatts = Curves.curveFor(KnownRec.Class).powerAt(Alpha);
+    Outcome.PredictedWatts = StateSet.curveFor(KnownRec.Class).powerAt(Alpha);
     Outcome.PredictedMetric =
         Objective.evaluate(Outcome.PredictedWatts, Outcome.PredictedSeconds);
   }
@@ -928,6 +1049,13 @@ EasScheduler::InvocationOutcome EasScheduler::runTableHit(
           : std::function<double()>(),
         T ? formatString("alpha=%.3f n=%.0f", Alpha, Iterations) // ecas-hotpath: allow(alloc)
           : std::string());
+    if (Config.PStates) {
+      // Warmed hits actuate the learned state with two PCU calls — no
+      // search, no allocation (the AllocGuard regression covers this
+      // path with a multi-state family).
+      PStateSpec Cap = Proc.spec().pstateAt(PState);
+      Proc.pcu().setFrequencyCap(Cap.CpuFreqGHz, Cap.GpuFreqGHz);
+    }
     if (Config.PcuHints)
       Proc.pcu().hintUpcomingSplit(Alpha);
     double DispatchStart = Proc.now();
@@ -969,6 +1097,7 @@ EasScheduler::InvocationOutcome EasScheduler::runTableHit(
   journalCommit(); // ecas-hotpath: allow(io)
 
   Outcome.AlphaUsed = Alpha;
+  Outcome.PState = PState;
   Outcome.Seconds = Proc.now() - Start;
   if (T) {
     if (Outcome.LaunchRetries)

@@ -29,6 +29,7 @@
 
 #include "ecas/core/AlphaSearch.h"
 #include "ecas/core/HistoryJournal.h"
+#include "ecas/core/OperatingPoint.h"
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
 #include "ecas/core/RequestContext.h"
@@ -78,6 +79,22 @@ struct EasConfig {
   /// re-profiling; the sample-weighted accumulator then blends the new
   /// measurement with history.
   unsigned ReprofileEveryInvocations = 0;
+  /// Joint (alpha, frequency) optimization: when true and both the
+  /// platform and the characterization describe more than one P-state,
+  /// the decision core searches the full OperatingPoint grid and
+  /// actuates the winning state through the PCU's frequency cap before
+  /// dispatch. Off (the default) keeps the paper's fixed-frequency
+  /// chooseAlpha behaviour bit-identically.
+  bool PStates = false;
+  /// What the search minimizes (core/OperatingPoint.h): the metric
+  /// itself, race-to-idle, or pace-to-deadline.
+  SchedulingPolicy Policy = SchedulingPolicy::MinimizeMetric;
+  /// Deadline for PaceToDeadline, in predicted virtual seconds per
+  /// invocation. Must be positive and finite under that policy.
+  double DeadlineSeconds = 0.0;
+  /// Platform idle draw subtracted by RaceToIdle (0 reduces it to plain
+  /// energy).
+  double IdleWatts = 0.0;
   /// Classification thresholds (0.33 miss ratio, 100 ms).
   ClassifierThresholds Thresholds;
   /// Degradation policy: launch-retry budget, quarantine backoff, and
@@ -145,8 +162,16 @@ struct EasConfig {
 class EasScheduler {
 public:
   /// \p Curves must be complete (all eight categories) for the platform
-  /// that \p Metric-optimized runs will execute on.
+  /// that \p Metric-optimized runs will execute on. The legacy overload
+  /// wraps the single-state characterization as P-state 0 of a family —
+  /// every pre-DVFS caller schedules bit-identically through it.
   EasScheduler(const PowerCurveSet &Curves, Metric Objective,
+               EasConfig Config = {});
+
+  /// Joint (alpha, f) form: one characterization per P-state, indexed
+  /// like the platform's P-state table. Every state present must be
+  /// complete. The family is copied in; the scheduler owns its curves.
+  EasScheduler(PowerCurveFamily Curves, Metric Objective,
                EasConfig Config = {});
 
   /// Drains and snapshots via shutdown() if the caller has not already.
@@ -155,6 +180,10 @@ public:
   /// What one invocation did.
   struct InvocationOutcome {
     double AlphaUsed = 0.0;
+    /// P-state half of the operating point the dispatch ran at; 0 (full
+    /// speed) whenever Config.PStates is off or the path never reached
+    /// a joint decision (CPU-only, quarantine, rejection).
+    unsigned PState = 0;
     double Seconds = 0.0;
     bool Profiled = false;
     bool CpuOnlyFastPath = false;
@@ -342,6 +371,18 @@ private:
               uint64_t HistoryKey, const KernelRecord &KnownRec,
               const CancellationToken *Cancel, double Start, uint32_t StartMsr,
               obs::TraceRecorder *T, obs::ScopedSpan &Invocation);
+  /// Fills \p Views with one PStateView per searchable state — curve
+  /// for \p Class plus the state's frequency scales relative to state 0
+  /// — and returns the count. 1 (full speed only) unless Config.PStates
+  /// is on and both the platform table and the characterization family
+  /// cover more. \p Views must hold kMaxPStates entries.
+  ECAS_HOT unsigned buildPStateViews(const SimProcessor &Proc,
+                                     WorkloadClass Class,
+                                     PStateView *Views) const;
+  /// Amdahl memory-bound fraction for TimeModel::scaledTo, estimated
+  /// from the profiled miss ratio against the classifier's
+  /// memory-intensity threshold.
+  ECAS_HOT double memBoundFraction(double MissPerLoadStore) const;
   /// True when the caller's token or the shutdown drain token fired.
   bool stopRequested(double NowSec, const CancellationToken *Cancel) const;
   void endInvocation();
@@ -353,18 +394,25 @@ private:
   void recordInvocation(const KernelDesc &Kernel,
                         const InvocationOutcome &Outcome);
 
-  const PowerCurveSet &Curves;
+  /// P(alpha, f): one curve set per P-state (a single-state family for
+  /// legacy callers). Owned by value — the family is immutable after
+  /// construction, so the decision paths read it without locks.
+  PowerCurveFamily Curves;
   Metric Objective;
   EasConfig Config;
   KernelHistory History;
   GpuHealthMonitor Monitor;
 
   /// Instruments cached at construction (all null without a registry).
-  /// Per-class histograms are indexed by WorkloadClass::index().
+  /// Per-class histograms are indexed by WorkloadClass::index(); the
+  /// second axis is the chosen P-state. A single-state family fills
+  /// only column 0, registered under the legacy label sets (no pstate
+  /// label), so pre-DVFS scrapes are byte-identical.
   struct MetricInstruments {
-    obs::Histogram *TimeRelError[WorkloadClass::NumClasses] = {};
-    obs::Histogram *EnergyRelError[WorkloadClass::NumClasses] = {};
-    obs::Histogram *AlphaChosen = nullptr;
+    obs::Histogram *TimeRelError[WorkloadClass::NumClasses][kMaxPStates] = {};
+    obs::Histogram *EnergyRelError[WorkloadClass::NumClasses][kMaxPStates] =
+        {};
+    obs::Histogram *AlphaChosen[kMaxPStates] = {};
     obs::Histogram *AlphaSearchEvals = nullptr;
     obs::Histogram *ProfileOverhead = nullptr;
     obs::Histogram *InvocationSeconds = nullptr;

@@ -78,8 +78,8 @@ static void attachResilience(SessionReport &Report,
 SessionReport ExecutionSession::run(SchemeKind Kind,
                                     const RunOptions &Options) const {
   ECAS_CHECK(Options.Trace, "run() requires RunOptions::Trace");
-  ECAS_CHECK(Kind != SchemeKind::Eas || Options.Curves,
-             "SchemeKind::Eas requires RunOptions::Curves");
+  ECAS_CHECK(Kind != SchemeKind::Eas || Options.Curves || Options.CurveFamily,
+             "SchemeKind::Eas requires RunOptions::Curves or CurveFamily");
   SessionReport Report;
   {
     obs::ScopedSpan Session(Options.Recorder, "session", "session", {},
@@ -180,7 +180,10 @@ SessionReport ExecutionSession::runEasScheme(const RunOptions &Options) const {
         obs::names::MsrReadsTotal, {},
         "Emulated MSR_PKG_ENERGY_STATUS reads (sampling cadence the "
         "wrap-at-most-once contract depends on)"));
-  EasScheduler Scheduler(*Options.Curves, Options.Objective, Config);
+  EasScheduler Scheduler(
+      Options.CurveFamily ? *Options.CurveFamily
+                          : PowerCurveFamily::fromSingle(*Options.Curves),
+      Options.Objective, Config);
   uint32_t MsrBefore = Proc.meter().readMsr();
   double Start = Proc.now();
   double AlphaIterSum = 0.0;

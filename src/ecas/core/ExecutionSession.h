@@ -79,9 +79,13 @@ const char *schemeKindName(SchemeKind Kind);
 struct RunOptions {
   /// The invocation sequence to execute (required).
   const InvocationTrace *Trace = nullptr;
-  /// Power characterization; required for SchemeKind::Eas, ignored by
-  /// the fixed-ratio schemes.
+  /// Power characterization; required for SchemeKind::Eas (unless
+  /// CurveFamily is set), ignored by the fixed-ratio schemes.
   const PowerCurveSet *Curves = nullptr;
+  /// Per-P-state characterization family. When set it supersedes Curves
+  /// and the EAS scheme runs the joint (alpha, frequency) search;
+  /// typically paired with Eas.PStates = true.
+  const PowerCurveFamily *CurveFamily = nullptr;
   /// The metric every scheme optimizes and reports.
   Metric Objective = Metric::edp();
   /// Fixed offload ratio for SchemeKind::FixedAlpha.

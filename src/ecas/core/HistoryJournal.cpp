@@ -31,8 +31,11 @@ namespace {
 constexpr char Magic[8] = {'E', 'C', 'A', 'S', 'J', 'R', 'N', 'L'};
 constexpr size_t HeaderBytes = 24;
 constexpr size_t FrameHeaderBytes = 8;
-/// Fixed part of a record payload (everything but the samples).
-constexpr size_t RecordFixedBytes = 8 + 4 + 4 + 1 + 4 + 8 + 8 + 2;
+/// Fixed part of a record payload (everything but the samples). v2
+/// inserted a u32 P-state between the alpha weight and the sample
+/// count; v1 frames lack it.
+constexpr size_t RecordFixedBytesV1 = 8 + 4 + 4 + 1 + 4 + 8 + 8 + 2;
+constexpr size_t RecordFixedBytes = RecordFixedBytesV1 + 4;
 constexpr size_t SampleBytes = 9 * 8 + 2;
 /// Structural sanity bound: a frame longer than this cannot have been
 /// written by us, so a length field above it marks the tear.
@@ -44,8 +47,13 @@ constexpr uint8_t FlagHasAlphaSample = 1u << 0;
 constexpr uint8_t FlagSetCpuOnly = 1u << 1;
 constexpr uint8_t FlagBecameConfident = 1u << 2;
 constexpr uint8_t FlagHasClass = 1u << 3;
-constexpr uint8_t FlagsKnown = FlagHasAlphaSample | FlagSetCpuOnly |
-                               FlagBecameConfident | FlagHasClass;
+constexpr uint8_t FlagHasPState = 1u << 4; // v2+
+constexpr uint8_t FlagsKnownV1 = FlagHasAlphaSample | FlagSetCpuOnly |
+                                 FlagBecameConfident | FlagHasClass;
+constexpr uint8_t FlagsKnown = FlagsKnownV1 | FlagHasPState;
+/// Semantic bound for a replayed P-state (mirrors core/OperatingPoint.h
+/// kMaxPStates without pulling the decision core into the codec).
+constexpr uint32_t MaxPStateIndex = 8;
 
 void encodeSample(std::string &Out, const ProfileSample &S) {
   putF64(Out, S.CpuThroughput);
@@ -92,10 +100,13 @@ std::string encodeDeltaPayload(const HistoryDeltaRecord &Rec) {
     Flags |= FlagBecameConfident;
   if (Rec.HasClass)
     Flags |= FlagHasClass;
+  if (Rec.HasPState)
+    Flags |= FlagHasPState;
   Out.push_back(static_cast<char>(Flags));
   putU32(Out, Rec.ClassIndex);
   putF64(Out, Rec.AlphaValue);
   putF64(Out, Rec.AlphaWeight);
+  putU32(Out, Rec.PState);
   uint16_t Count = static_cast<uint16_t>(Rec.Samples.size());
   Out.push_back(static_cast<char>(Count & 0xffu));
   Out.push_back(static_cast<char>((Count >> 8) & 0xffu));
@@ -107,8 +118,10 @@ std::string encodeDeltaPayload(const HistoryDeltaRecord &Rec) {
 /// Structural + semantic validation, so a CRC-colliding corruption (or
 /// a handcrafted file) degrades to a truncated scan instead of tripping
 /// the assertions inside SampleWeightedAlpha::addSample during replay.
-bool decodeDeltaPayload(std::string_view Payload, HistoryDeltaRecord &Rec) {
-  if (Payload.size() < RecordFixedBytes)
+bool decodeDeltaPayload(std::string_view Payload, HistoryDeltaRecord &Rec,
+                        uint32_t Version) {
+  size_t FixedBytes = Version >= 2 ? RecordFixedBytes : RecordFixedBytesV1;
+  if (Payload.size() < FixedBytes)
     return false;
   const auto *P = reinterpret_cast<const unsigned char *>(Payload.data());
   Rec.Key = getU64(P);
@@ -120,12 +133,13 @@ bool decodeDeltaPayload(std::string_view Payload, HistoryDeltaRecord &Rec) {
       Rec.QuarantinedDelta > MaxCounterDelta)
     return false;
   uint8_t Flags = P[16];
-  if (Flags & ~FlagsKnown)
+  if (Flags & ~(Version >= 2 ? FlagsKnown : FlagsKnownV1))
     return false;
   Rec.HasAlphaSample = (Flags & FlagHasAlphaSample) != 0;
   Rec.SetCpuOnly = (Flags & FlagSetCpuOnly) != 0;
   Rec.BecameConfident = (Flags & FlagBecameConfident) != 0;
   Rec.HasClass = (Flags & FlagHasClass) != 0;
+  Rec.HasPState = (Flags & FlagHasPState) != 0;
   Rec.ClassIndex = getU32(P + 17);
   if (Rec.HasClass && Rec.ClassIndex >= WorkloadClass::NumClasses)
     return false;
@@ -136,15 +150,19 @@ bool decodeDeltaPayload(std::string_view Payload, HistoryDeltaRecord &Rec) {
        Rec.AlphaValue > 1.0 || !std::isfinite(Rec.AlphaWeight) ||
        Rec.AlphaWeight < 0.0))
     return false;
-  uint16_t Count = static_cast<uint16_t>(P[37]) |
-                   static_cast<uint16_t>(P[38]) << 8;
-  if (Payload.size() != RecordFixedBytes + size_t{Count} * SampleBytes)
+  Rec.PState = Version >= 2 ? getU32(P + 37) : 0;
+  if (Rec.HasPState && Rec.PState >= MaxPStateIndex)
+    return false;
+  size_t CountOff = FixedBytes - 2;
+  uint16_t Count = static_cast<uint16_t>(P[CountOff]) |
+                   static_cast<uint16_t>(P[CountOff + 1]) << 8;
+  if (Payload.size() != FixedBytes + size_t{Count} * SampleBytes)
     return false;
   Rec.Samples.clear();
   Rec.Samples.reserve(Count);
   for (uint16_t I = 0; I != Count; ++I)
     Rec.Samples.push_back(
-        decodeSample(P + RecordFixedBytes + size_t{I} * SampleBytes));
+        decodeSample(P + FixedBytes + size_t{I} * SampleBytes));
   return true;
 }
 
@@ -156,7 +174,7 @@ void ecas::applyDeltaRecord(KernelHistory &History,
   // same operations, same order — so replay onto the same starting
   // state reproduces the same record bit-for-bit.
   if (!Rec.Samples.empty() || Rec.BecameConfident || Rec.HasAlphaSample ||
-      Rec.SetCpuOnly || Rec.HasClass)
+      Rec.SetCpuOnly || Rec.HasClass || Rec.HasPState)
     History.update(Rec.Key, [&](KernelRecord &R) {
       for (const ProfileSample &S : Rec.Samples)
         R.Sample.accumulate(S);
@@ -170,6 +188,8 @@ void ecas::applyDeltaRecord(KernelHistory &History,
         R.Class = WorkloadClass::fromIndex(Rec.ClassIndex);
       if (Rec.SetCpuOnly)
         R.CpuOnly = true;
+      if (Rec.HasPState)
+        R.PState = Rec.PState;
     });
   for (uint32_t I = 0; I != Rec.InvocationsDelta; ++I)
     History.bumpInvocations(Rec.Key);
@@ -210,11 +230,12 @@ JournalScan ecas::scanJournal(std::string_view Bytes) {
                                "journal magic mismatch (not a table-G WAL)");
     return Scan;
   }
-  if (uint32_t Version = getU32(P + 8); Version != HistoryJournalVersion) {
+  uint32_t Version = getU32(P + 8);
+  if (Version < 1 || Version > HistoryJournalVersion) {
     Scan.Torn = true;
     Scan.Error = Status::error(ErrCode::VersionMismatch,
                                "journal format v" + std::to_string(Version) +
-                                   ", this build reads v" +
+                                   ", this build reads v1-v" +
                                    std::to_string(HistoryJournalVersion));
     return Scan;
   }
@@ -225,6 +246,7 @@ JournalScan ecas::scanJournal(std::string_view Bytes) {
     return Scan;
   }
   Scan.HeaderValid = true;
+  Scan.Version = Version;
   Scan.Epoch = getU64(P + 12);
   Scan.ValidBytes = HeaderBytes;
 
@@ -262,7 +284,7 @@ JournalScan ecas::scanJournal(std::string_view Bytes) {
       break;
     }
     HistoryDeltaRecord Rec;
-    if (!decodeDeltaPayload(Payload, Rec)) {
+    if (!decodeDeltaPayload(Payload, Rec, Version)) {
       Scan.Torn = true;
       Scan.TruncatedRecords = 1;
       Scan.Error = Status::error(ErrCode::CorruptData,
@@ -422,6 +444,13 @@ HistoryJournal::open(JournalOptions Options, uint64_t Epoch) {
       return Status::error(ErrCode::CorruptData,
                            Options.Path + ": " + Scan.Error.message() +
                                " (recover before opening)");
+    if (Scan.Version != HistoryJournalVersion)
+      return Status::error(
+          ErrCode::VersionMismatch,
+          Options.Path + ": journal format v" + std::to_string(Scan.Version) +
+              " cannot be appended to by a v" +
+              std::to_string(HistoryJournalVersion) +
+              " writer (recover before opening)");
     if (Scan.Epoch != Epoch)
       return Status::error(
           ErrCode::VersionMismatch,

@@ -18,9 +18,16 @@
 ///   frame    u32 payload length + u32 CRC-32(payload) + payload
 ///   payload  u64 key; u32 invocations delta; u32 quarantined delta;
 ///            u8 flags (alpha-sample / cpu-only / became-confident /
-///            class); u32 class index; f64 alpha value, f64 alpha
-///            weight; u16 sample count; then each ProfileSample delta
-///            as 9 f64 + 2 flag bytes
+///            class / pstate); u32 class index; f64 alpha value, f64
+///            alpha weight; u32 pstate (v2+, absent in v1 payloads);
+///            u16 sample count; then each ProfileSample delta as
+///            9 f64 + 2 flag bytes
+///
+/// v2 widened the payload by the joint (alpha, f) decision's chosen
+/// P-state. v1 journals still scan and replay (their deltas imply
+/// P-state 0, full speed — exactly what a v1 build ran at), but the
+/// append side refuses to extend a v1 file: recovery compacts it into
+/// a snapshot and resets the journal to the current version first.
 ///
 /// The epoch pairs a journal with its snapshot: snapshot(E) + replay of
 /// journal(E) == the live table. Recovery compacts to snapshot(E+1) and
@@ -51,8 +58,9 @@
 
 namespace ecas {
 
-/// Current journal format version.
-inline constexpr uint32_t HistoryJournalVersion = 1;
+/// Current journal format version. v2 added the chosen P-state to the
+/// delta payload; v1 files remain replayable (P-state 0).
+inline constexpr uint32_t HistoryJournalVersion = 2;
 
 /// Journal tunables, embedded in EasConfig::Journal and passed to
 /// HistoryJournal::open().
@@ -89,11 +97,14 @@ struct HistoryDeltaRecord {
   bool SetCpuOnly = false;
   bool HasClass = false;
   uint32_t ClassIndex = 0;
+  /// The joint (alpha, f) search re-decided this kernel's P-state.
+  bool HasPState = false;
+  uint32_t PState = 0;
 
   bool empty() const {
     return InvocationsDelta == 0 && QuarantinedDelta == 0 &&
            Samples.empty() && !BecameConfident && !HasAlphaSample &&
-           !SetCpuOnly && !HasClass;
+           !SetCpuOnly && !HasClass && !HasPState;
   }
 };
 
@@ -116,6 +127,9 @@ struct JournalScan {
   /// Header parsed successfully; Epoch and Records are meaningful.
   bool HeaderValid = false;
   uint64_t Epoch = 0;
+  /// Format version from the header (the append side refuses to extend
+  /// anything but the current version; the scanner reads them all).
+  uint32_t Version = 0;
   std::vector<HistoryDeltaRecord> Records;
   /// Parsing stopped before the end of the bytes.
   bool Torn = false;

@@ -14,18 +14,21 @@
 ///
 ///   offset  size  field
 ///   0       8     magic "ECASTBLG"
-///   8       4     u32 format version (currently 2)
+///   8       4     u32 format version (currently 3)
 ///   12      8     u64 record count
 ///   20      4     u32 CRC-32 of the payload
-///   24      ...   payload: u64 journal epoch, then count x 112-byte
+///   24      ...   payload: u64 journal epoch, then count x 116-byte
 ///                 records (v1 payloads have no epoch field and imply
-///                 epoch 0; this build still reads them)
+///                 epoch 0; v1/v2 records are 112 bytes, lacking the
+///                 trailing P-state; this build still reads both)
 ///
 /// Each record: u64 kernel id; f64 alpha weighted-sum, f64 alpha total
 /// weight; u32 class index, u8 cpu-only, u8 confident, u8 launch-failed,
 /// u8 hung; u32 invocations, u32 quarantined runs; then the accumulated
 /// ProfileSample as 9 f64 (cpu/gpu throughput, cpu/gpu iterations,
-/// elapsed, cpu/gpu busy seconds, miss ratio, instructions).
+/// elapsed, cpu/gpu busy seconds, miss ratio, instructions); v3 appends
+/// the chosen P-state as a trailing u32 (v1/v2 records decode to
+/// P-state 0, full speed — exactly what those builds ran at).
 ///
 /// The epoch ties a snapshot to its write-ahead journal (DESIGN.md
 /// §13): a snapshot at epoch E plus a journal at epoch E reproduce the
@@ -53,8 +56,10 @@
 namespace ecas {
 
 /// Current snapshot format version. v2 added the journal epoch as the
-/// first payload field; v1 files remain readable (epoch 0).
-inline constexpr uint32_t HistorySnapshotVersion = 2;
+/// first payload field; v3 widened each record by a trailing u32
+/// P-state for the joint (alpha, f) decision core. v1 and v2 files
+/// remain readable (epoch 0 for v1, P-state 0 for both).
+inline constexpr uint32_t HistorySnapshotVersion = 3;
 
 /// Serializes a consistent copy of \p History into the snapshot byte
 /// format (header + CRC-checked payload), stamped with \p Epoch.

@@ -156,6 +156,7 @@ void KernelHistory::restore(
       Target.Sample = Rec.Sample;
       Target.CpuOnly = Rec.CpuOnly;
       Target.Confident = Rec.Confident;
+      Target.PState = Rec.PState;
     });
   }
 }

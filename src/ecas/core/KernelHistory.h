@@ -66,6 +66,10 @@ struct KernelRecord {
   /// resumes from it (refined by the post-recovery re-profile) rather
   /// than from quarantine-poisoned history.
   unsigned QuarantinedRuns = 0;
+  /// P-state the joint (alpha, f) search chose for this kernel; 0 (full
+  /// speed) for records learned before the DVFS axis existed, which is
+  /// also what v-prior snapshots and journal records decode to.
+  unsigned PState = 0;
 };
 
 /// The table G. Thread-safe; see the file comment for the sharding and

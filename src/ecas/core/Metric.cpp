@@ -11,33 +11,36 @@
 using namespace ecas;
 
 Metric::Metric(std::string NameIn, Fn BodyIn)
-    : Name(std::move(NameIn)), Body(std::move(BodyIn)) {
+    : Name(std::move(NameIn)), Kind(Builtin::Custom), Body(std::move(BodyIn)) {
   ECAS_CHECK(static_cast<bool>(Body), "metric requires a callable body");
 }
 
-Metric Metric::energy() {
-  return Metric("energy", [](double Watts, double Seconds) {
-    return Watts * Seconds;
-  });
+Metric::Metric(std::string NameIn, Builtin KindIn)
+    : Name(std::move(NameIn)), Kind(KindIn) {
+  ECAS_CHECK(Kind != Builtin::Custom, "custom metrics require a body");
 }
 
-Metric Metric::edp() {
-  return Metric("edp", [](double Watts, double Seconds) {
-    return Watts * Seconds * Seconds;
-  });
-}
+Metric Metric::energy() { return Metric("energy", Builtin::Energy); }
 
-Metric Metric::ed2p() {
-  return Metric("ed2p", [](double Watts, double Seconds) {
-    return Watts * Seconds * Seconds * Seconds;
-  });
-}
+Metric Metric::edp() { return Metric("edp", Builtin::Edp); }
+
+Metric Metric::ed2p() { return Metric("ed2p", Builtin::Ed2p); }
 
 Metric Metric::custom(std::string Name, Fn Body) {
   return Metric(std::move(Name), std::move(Body));
 }
 
 double Metric::evaluate(double Watts, double Seconds) const {
+  switch (Kind) {
+  case Builtin::Energy:
+    return Watts * Seconds;
+  case Builtin::Edp:
+    return Watts * Seconds * Seconds;
+  case Builtin::Ed2p:
+    return Watts * Seconds * Seconds * Seconds;
+  case Builtin::Custom:
+    break;
+  }
   // Invoking the stored std::function does not allocate; construction
   // cost was paid when the Metric was built (off the hot path).
   return Body(Watts, Seconds); // ecas-hotpath: allow(extern-call)

@@ -28,13 +28,19 @@ class Metric {
 public:
   using Fn = std::function<double(double Watts, double Seconds)>;
 
+  /// Builtin objectives evaluate by direct switch dispatch; only
+  /// custom() pays the type-erased std::function indirection. Same
+  /// de-erasure PR 8 applied to math/Minimize: the builtins dominate
+  /// the hot path and their bodies are two multiplies.
+  enum class Builtin { Energy, Edp, Ed2p, Custom };
+
   /// Total energy: E = P * T.
   static Metric energy();
   /// Energy-delay product: EDP = E * T = P * T^2.
   static Metric edp();
   /// Energy-delay-squared product: ED^2 = E * T^2 = P * T^3.
   static Metric ed2p();
-  /// Arbitrary objective; \p Name labels reports.
+  /// Arbitrary objective; \p Name labels reports. Erased slow path.
   static Metric custom(std::string Name, Fn Body);
 
   /// Objective value at average power \p Watts over \p Seconds.
@@ -46,11 +52,14 @@ public:
   double fromMeasurement(double Joules, double Seconds) const;
 
   const std::string &name() const { return Name; }
+  Builtin kind() const { return Kind; }
 
 private:
   Metric(std::string Name, Fn Body);
+  Metric(std::string Name, Builtin Kind);
 
   std::string Name;
+  Builtin Kind = Builtin::Custom;
   Fn Body;
 };
 

@@ -54,6 +54,27 @@ double TimeModel::remainingIters(double N, double Alpha) const {
   return std::max(0.0, N - Tcg * (Rc + Rg));
 }
 
+static double scaleRate(double Rate, double Scale, double Beta) {
+  // Degenerate scales (non-positive, NaN) come from malformed P-state
+  // tables; leave the rate unscaled rather than fabricating throughput.
+  if (!std::isfinite(Scale) || Scale <= 0.0)
+    return Rate;
+  double Denom = (1.0 - Beta) + Beta * Scale;
+  if (Denom <= 0.0)
+    return Rate;
+  return Rate * Scale / Denom;
+}
+
+TimeModel TimeModel::scaledTo(double CpuScale, double GpuScale,
+                              double MemBoundFraction) const {
+  double Beta = MemBoundFraction;
+  if (!std::isfinite(Beta))
+    Beta = 0.0;
+  Beta = std::min(1.0, std::max(0.0, Beta));
+  return TimeModel(scaleRate(Rc, CpuScale, Beta),
+                   scaleRate(Rg, GpuScale, Beta));
+}
+
 double TimeModel::totalTime(double N, double Alpha) const {
   double Tcg = combinedTime(N, Alpha);
   double Nrem = remainingIters(N, Alpha);

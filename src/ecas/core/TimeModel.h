@@ -46,6 +46,16 @@ public:
   /// Eq. 4: total predicted time for N iterations at ratio \p Alpha.
   ECAS_HOT double totalTime(double N, double Alpha) const;
 
+  /// Black-box frequency scaling for the joint (alpha, P-state) search:
+  /// returns a model whose throughputs are rescaled for clocks at
+  /// \p CpuScale / \p GpuScale times the profiled frequency. Only the
+  /// compute-bound share speeds up with the clock; the memory-bound
+  /// share \p MemBoundFraction (beta in [0, 1]) is pinned to DRAM, so
+  /// R' = R * s / ((1 - beta) + beta * s) — Amdahl over the cycle
+  /// budget. beta = 0 gives linear scaling, beta = 1 leaves R unchanged.
+  ECAS_HOT TimeModel scaledTo(double CpuScale, double GpuScale,
+                              double MemBoundFraction) const;
+
 private:
   double Rc;
   double Rg;

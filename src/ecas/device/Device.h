@@ -106,6 +106,15 @@ public:
   /// Achieved DRAM traffic during the last advance() call, in GB/s.
   double lastTrafficGBs() const { return LastTrafficGBs; }
 
+  /// Black-box frequency-hint channel (the paper's stated future work:
+  /// runtime feedback into power management). The runtime announces the
+  /// fastest clock it wants this device to run at; the substrate clamps
+  /// the governor's choice to the hint each slice. 0 (the default)
+  /// means no hint and leaves behaviour bit-identical. The scheduler
+  /// only writes hints — it never reads simulated frequencies back.
+  void setFrequencyHintGHz(double GHz) { FrequencyHintGHz = GHz; }
+  double frequencyHintGHz() const { return FrequencyHintGHz; }
+
 protected:
   /// Device-specific throughput model for \p Kernel at \p FreqGHz for a
   /// work item that was enqueued with \p ItemIters iterations (GPUs lose
@@ -144,6 +153,7 @@ private:
   PerfCounters Counters;
   double LastActivity = 0.0;
   double LastTrafficGBs = 0.0;
+  double FrequencyHintGHz = 0.0;
 
 protected:
   /// Fixed per-enqueue setup cost; GPU overrides with launch latency.

@@ -8,6 +8,7 @@
 
 #include "ecas/support/Format.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <vector>
@@ -28,6 +29,37 @@ unsigned PlatformSpec::defaultGpuProfileSize() const {
   while (Pow2 * 2 <= Parallelism)
     Pow2 *= 2;
   return Pow2;
+}
+
+unsigned PlatformSpec::pstateCount() const {
+  return PStateCount == 0 ? 1 : PStateCount;
+}
+
+PStateSpec PlatformSpec::pstateAt(unsigned Index) const {
+  if (PStateCount == 0 || Index >= PStateCount) {
+    PStateSpec Full;
+    Full.CpuFreqGHz = Cpu.MaxTurboGHz;
+    Full.GpuFreqGHz = Gpu.MaxFreqGHz;
+    return Full;
+  }
+  return PStates[Index];
+}
+
+void PlatformSpec::synthesizePStates(unsigned Count) {
+  Count = std::min(std::max(Count, 1u), MaxPStates);
+  PStateCount = Count;
+  for (unsigned I = 0; I != MaxPStates; ++I)
+    PStates[I] = PStateSpec{};
+  for (unsigned I = 0; I != Count; ++I) {
+    // Geometric ladder from each device's ceiling down to its floor:
+    // equal frequency *ratios* between adjacent states, the shape real
+    // DVFS tables use.
+    double T = Count > 1 ? static_cast<double>(I) / (Count - 1) : 0.0;
+    PStates[I].CpuFreqGHz =
+        Cpu.MaxTurboGHz * std::pow(Cpu.MinFreqGHz / Cpu.MaxTurboGHz, T);
+    PStates[I].GpuFreqGHz =
+        Gpu.MaxFreqGHz * std::pow(Gpu.MinFreqGHz / Gpu.MaxFreqGHz, T);
+  }
 }
 
 namespace {
@@ -78,6 +110,24 @@ bool PlatformSpec::validate(std::string &Error) const {
       return Fail("device power coefficients must be non-negative");
     if (Power->ComputeActivity <= 0.0 || Power->MemoryActivity <= 0.0)
       return Fail("device activity factors must be positive");
+  }
+  if (PStateCount > MaxPStates)
+    return Fail("pstate.count exceeds the table size");
+  for (unsigned I = 0; I != PStateCount; ++I) {
+    if (PStates[I].CpuFreqGHz < Cpu.MinFreqGHz ||
+        PStates[I].CpuFreqGHz > Cpu.MaxTurboGHz)
+      return Fail(formatString(
+          "pstate%u.cpu_freq_ghz must lie within [min, turbo]", I));
+    if (PStates[I].GpuFreqGHz < Gpu.MinFreqGHz ||
+        PStates[I].GpuFreqGHz > Gpu.MaxFreqGHz)
+      return Fail(formatString(
+          "pstate%u.gpu_freq_ghz must lie within [min, max]", I));
+    // Fastest-first ordering backs the decision core's tie-break (lowest
+    // index wins ties, which must mean "no slower than necessary").
+    if (I > 0 && (PStates[I].CpuFreqGHz > PStates[I - 1].CpuFreqGHz ||
+                  PStates[I].GpuFreqGHz > PStates[I - 1].GpuFreqGHz))
+      return Fail(formatString(
+          "pstate%u must not raise a clock above pstate%u", I, I - 1));
   }
   // Range checks above compare against NaN (always false), so a NaN can
   // slip through every one of them; sweep all scalar fields explicitly.
@@ -148,6 +198,23 @@ static std::vector<FieldBinding> fieldBindings() {
   ECAS_FIELD("pcu.ramp_up_ghz_per_epoch", Pcu.RampUpGHzPerEpoch);
   ECAS_FIELD("pcu.gpu_priority", Pcu.GpuPriority);
   ECAS_FIELD("pcu.energy_unit_joules", Pcu.EnergyUnitJoules);
+  ECAS_FIELD("pstate.count", PStateCount);
+  ECAS_FIELD("pstate0.cpu_freq_ghz", PStates[0].CpuFreqGHz);
+  ECAS_FIELD("pstate0.gpu_freq_ghz", PStates[0].GpuFreqGHz);
+  ECAS_FIELD("pstate1.cpu_freq_ghz", PStates[1].CpuFreqGHz);
+  ECAS_FIELD("pstate1.gpu_freq_ghz", PStates[1].GpuFreqGHz);
+  ECAS_FIELD("pstate2.cpu_freq_ghz", PStates[2].CpuFreqGHz);
+  ECAS_FIELD("pstate2.gpu_freq_ghz", PStates[2].GpuFreqGHz);
+  ECAS_FIELD("pstate3.cpu_freq_ghz", PStates[3].CpuFreqGHz);
+  ECAS_FIELD("pstate3.gpu_freq_ghz", PStates[3].GpuFreqGHz);
+  ECAS_FIELD("pstate4.cpu_freq_ghz", PStates[4].CpuFreqGHz);
+  ECAS_FIELD("pstate4.gpu_freq_ghz", PStates[4].GpuFreqGHz);
+  ECAS_FIELD("pstate5.cpu_freq_ghz", PStates[5].CpuFreqGHz);
+  ECAS_FIELD("pstate5.gpu_freq_ghz", PStates[5].GpuFreqGHz);
+  ECAS_FIELD("pstate6.cpu_freq_ghz", PStates[6].CpuFreqGHz);
+  ECAS_FIELD("pstate6.gpu_freq_ghz", PStates[6].GpuFreqGHz);
+  ECAS_FIELD("pstate7.cpu_freq_ghz", PStates[7].CpuFreqGHz);
+  ECAS_FIELD("pstate7.gpu_freq_ghz", PStates[7].GpuFreqGHz);
 #undef ECAS_FIELD
   (void)Add;
   return Fields;

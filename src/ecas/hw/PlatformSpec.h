@@ -20,6 +20,7 @@
 #include "ecas/fault/FaultPlan.h"
 #include "ecas/support/Error.h"
 
+#include <array>
 #include <optional>
 #include <string>
 
@@ -113,8 +114,21 @@ struct PcuSpec {
   double EnergyUnitJoules = 61e-6;
 };
 
+/// One advertised P-state: the frequency ceilings the platform exposes
+/// for DVFS-aware scheduling. Each state caps both device clocks; the
+/// governor still moves freely below the cap (ramping, budget
+/// enforcement, wake resets all apply unchanged).
+struct PStateSpec {
+  double CpuFreqGHz = 0.0;
+  double GpuFreqGHz = 0.0;
+};
+
 /// A complete integrated-processor description.
 struct PlatformSpec {
+  /// Size of the fixed P-state table (kept equal to core kMaxPStates;
+  /// EasScheduler.cpp static_asserts the pairing).
+  static constexpr unsigned MaxPStates = 8;
+
   std::string Name;
   CpuSpec Cpu;
   GpuSpec Gpu;
@@ -123,6 +137,12 @@ struct PlatformSpec {
   DevicePowerSpec GpuPower;
   UncorePowerSpec Uncore;
   PcuSpec Pcu;
+  /// Advertised P-state table, ordered fastest first (state 0 = full
+  /// speed). PStateCount == 0 means the platform advertises no DVFS
+  /// ladder — a single implicit full-speed state, the pre-P-state
+  /// behaviour — so legacy spec files load bit-identically.
+  std::array<PStateSpec, MaxPStates> PStates{};
+  unsigned PStateCount = 0;
   /// Fault-injection plan driving the simulator built from this spec.
   /// Empty (the default) means no injection and bit-identical behaviour
   /// to a fault-free build. Deliberately not serialized: a spec file
@@ -136,6 +156,20 @@ struct PlatformSpec {
   /// Largest power of two not exceeding gpuHardwareParallelism(); the
   /// paper picks 2048 on the desktop this way (GPU_PROFILE_SIZE).
   unsigned defaultGpuProfileSize() const;
+
+  /// Effective P-state count: at least 1 (the implicit full-speed state
+  /// when the table is empty).
+  unsigned pstateCount() const;
+
+  /// The \p Index-th effective P-state. With an empty table, state 0 is
+  /// the full-speed envelope {Cpu.MaxTurboGHz, Gpu.MaxFreqGHz}.
+  PStateSpec pstateAt(unsigned Index) const;
+
+  /// Synthesizes an N-entry ladder spanning each device's frequency
+  /// envelope: state 0 at the top (MaxTurbo / GPU max), state N-1 at the
+  /// floor, geometrically spaced in between. Used by ecas-cli --pstates
+  /// for platforms whose spec files predate the table.
+  void synthesizePStates(unsigned Count);
 
   /// Checks internal consistency (positive frequencies, ordered ranges,
   /// nonzero budgets, all scalars finite). On failure returns false and

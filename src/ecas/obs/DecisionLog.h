@@ -46,6 +46,9 @@ struct DecisionRecord {
   /// WorkloadClass::index(), or -1 when never classified.
   int ClassIndex = -1;
   double Alpha = 0.0;
+  /// P-state half of the chosen operating point; 0 (full speed) when
+  /// P-states are off or the decision predates the DVFS axis.
+  unsigned PState = 0;
   bool HasPrediction = false;
   double PredictedSeconds = 0.0;
   double PredictedWatts = 0.0;

@@ -22,12 +22,18 @@ Characterizer::Characterizer(const PlatformSpec &SpecIn,
   ECAS_CHECK(Config.AlphaStep > 0.0 && Config.AlphaStep <= 1.0,
              "alpha step must lie in (0, 1]");
   ECAS_CHECK(Config.PolyDegree >= 1, "polynomial degree must be >= 1");
+  ECAS_CHECK(Config.PStateIndex < Spec.pstateCount(),
+             "characterizer P-state index out of range for spec");
 }
 
 PowerSamplePoint Characterizer::measureAt(const MicroBenchmark &Micro,
                                           double Alpha) const {
   ECAS_CHECK(Alpha >= 0.0 && Alpha <= 1.0, "alpha must be in [0,1]");
   SimProcessor Proc(Spec);
+  if (Config.PStateIndex > 0) {
+    PStateSpec State = Spec.pstateAt(Config.PStateIndex);
+    Proc.pcu().setFrequencyCap(State.CpuFreqGHz, State.GpuFreqGHz);
+  }
 
   PowerSamplePoint Point;
   Point.Alpha = Alpha;
@@ -98,4 +104,16 @@ PowerCurveSet Characterizer::characterize() const {
   for (unsigned Index = 0; Index != WorkloadClass::NumClasses; ++Index)
     Set.setCurve(characterizeCategory(WorkloadClass::fromIndex(Index)));
   return Set;
+}
+
+PowerCurveFamily ecas::characterizeFamily(const PlatformSpec &Spec,
+                                          CharacterizerConfig Config) {
+  PowerCurveFamily Family;
+  unsigned NumStates =
+      std::min(Spec.pstateCount(), PowerCurveFamily::MaxPStates);
+  for (unsigned State = 0; State != NumStates; ++State) {
+    Config.PStateIndex = State;
+    Family.setStateCurves(State, Characterizer(Spec, Config).characterize());
+  }
+  return Family;
 }

@@ -32,6 +32,11 @@ struct CharacterizerConfig {
   /// Micro-benchmark sizing targets.
   double ShortTargetSec = 0.05;
   double LongTargetSec = 0.6;
+  /// P-state to pin the processor to while measuring. 0 (the default)
+  /// is full speed and matches the pre-DVFS characterization exactly;
+  /// higher indices cap the clocks at the spec's ladder entry before
+  /// every sweep point, yielding the P(alpha) curve at that frequency.
+  unsigned PStateIndex = 0;
 };
 
 /// One measured sweep point.
@@ -72,6 +77,14 @@ private:
   PlatformSpec Spec;
   CharacterizerConfig Config;
 };
+
+/// Characterizes every P-state the spec advertises: one full
+/// eight-category sweep per ladder entry, clocks capped to that entry.
+/// A spec with no P-state table yields a single-state family identical
+/// to Characterizer::characterize(). \p Config.PStateIndex is ignored
+/// (each state supplies its own).
+PowerCurveFamily characterizeFamily(const PlatformSpec &Spec,
+                                    CharacterizerConfig Config = {});
 
 } // namespace ecas
 

@@ -140,3 +140,115 @@ PowerCurveSet::deserialize(const std::string &Text) {
     return std::nullopt;
   return *Loaded;
 }
+
+PowerCurveFamily PowerCurveFamily::fromSingle(PowerCurveSet Set) {
+  PowerCurveFamily Family;
+  Family.States[0] = std::move(Set);
+  Family.Count = 1;
+  return Family;
+}
+
+const std::string &PowerCurveFamily::platformName() const {
+  static const std::string Empty;
+  return Count == 0 ? Empty : States[0].platformName();
+}
+
+void PowerCurveFamily::setStateCurves(unsigned State, PowerCurveSet Set) {
+  ECAS_CHECK(State < MaxPStates, "P-state index out of range");
+  ECAS_CHECK(State <= Count, "P-states must be installed densely");
+  States[State] = std::move(Set);
+  if (State == Count)
+    ++Count;
+}
+
+const PowerCurveSet &PowerCurveFamily::stateCurves(unsigned State) const {
+  ECAS_CHECK(State < Count, "no characterization for requested P-state");
+  return States[State];
+}
+
+bool PowerCurveFamily::complete() const {
+  if (Count == 0)
+    return false;
+  for (unsigned I = 0; I != Count; ++I)
+    if (!States[I].complete())
+      return false;
+  return true;
+}
+
+std::string PowerCurveFamily::serialize() const {
+  std::string Out;
+  for (unsigned I = 0; I != Count; ++I) {
+    Out += formatString("pstate = %u\n", I);
+    Out += States[I].serialize();
+  }
+  return Out;
+}
+
+ErrorOr<PowerCurveFamily> PowerCurveFamily::load(const std::string &Text,
+                                                 bool RequireComplete) {
+  // Split on "pstate = <idx>" delimiters and delegate each chunk to the
+  // per-set parser so every existing diagnostic (truncated curve lines,
+  // bad class tags) keeps working for family files.
+  PowerCurveFamily Family;
+  std::string Chunk;
+  long long PendingState = -1;
+  bool SawDelimiter = false;
+  unsigned LineNo = 0, ChunkStartLine = 1;
+
+  auto FlushChunk = [&]() -> Status {
+    if (!SawDelimiter && trimString(Chunk).empty())
+      return Status::success();
+    ErrorOr<PowerCurveSet> Set = PowerCurveSet::load(Chunk, RequireComplete);
+    if (!Set.ok())
+      return Status::error(Set.status().code(),
+                           formatString("pstate %lld (chunk at line %u): %s",
+                                        PendingState < 0 ? 0 : PendingState,
+                                        ChunkStartLine,
+                                        Set.status().message().c_str()));
+    unsigned State = PendingState < 0 ? 0 : static_cast<unsigned>(PendingState);
+    if (State != Family.Count)
+      return Status::error(ErrCode::ParseError,
+                           formatString("pstate %u out of order (expected %u)",
+                                        State, Family.Count));
+    Family.setStateCurves(State, std::move(*Set));
+    return Status::success();
+  };
+
+  for (const std::string &Line : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string Trimmed = trimString(Line);
+    if (Trimmed.rfind("pstate", 0) == 0) {
+      size_t Eq = Trimmed.find('=');
+      std::string Tag = Eq == std::string::npos
+                            ? std::string()
+                            : trimString(Trimmed.substr(0, Eq));
+      if (Tag == "pstate") {
+        long long Index;
+        if (!parseInt64(trimString(Trimmed.substr(Eq + 1)), Index) ||
+            Index < 0 || Index >= static_cast<long long>(MaxPStates))
+          return Status::error(
+              ErrCode::OutOfRange,
+              formatString("line %u: bad pstate index", LineNo));
+        if (SawDelimiter || !trimString(Chunk).empty()) {
+          Status Flushed = FlushChunk();
+          if (!Flushed.ok())
+            return Flushed;
+        }
+        Chunk.clear();
+        PendingState = Index;
+        SawDelimiter = true;
+        ChunkStartLine = LineNo + 1;
+        continue;
+      }
+    }
+    Chunk += Line;
+    Chunk += '\n';
+  }
+  Status Flushed = FlushChunk();
+  if (!Flushed.ok())
+    return Flushed;
+  if (Family.Count == 0)
+    return Status::error(ErrCode::Incomplete,
+                         "characterization has no P-states");
+  return Family;
+}

@@ -74,6 +74,48 @@ private:
   std::array<bool, WorkloadClass::NumClasses> Present = {};
 };
 
+/// P(alpha, f): one PowerCurveSet per P-state, extending the paper's
+/// fixed-frequency P(alpha) along the DVFS axis (ROADMAP item 2). State
+/// 0 is the full-speed characterization; the family is indexed by the
+/// same P-state ordinal as PlatformSpec's table. A single-state family
+/// is exactly the legacy behaviour, which is how pre-DVFS callers and
+/// cached characterizations keep working unchanged.
+class PowerCurveFamily {
+public:
+  static constexpr unsigned MaxPStates = 8;
+
+  /// Wraps a legacy single-state characterization as state 0.
+  static PowerCurveFamily fromSingle(PowerCurveSet Set);
+
+  const std::string &platformName() const;
+
+  unsigned numPStates() const { return Count; }
+
+  /// Installs the characterization for P-state \p State; the family
+  /// grows to cover it. States must be dense: installing state I
+  /// requires I <= numPStates().
+  void setStateCurves(unsigned State, PowerCurveSet Set);
+
+  /// Requires State < numPStates().
+  const PowerCurveSet &stateCurves(unsigned State) const;
+
+  /// True when every state's set has all eight categories (and at least
+  /// one state exists).
+  bool complete() const;
+
+  /// Text round-trip: "pstate = <idx>" delimiter lines, each followed by
+  /// that state's PowerCurveSet chunk. A file with no pstate delimiter
+  /// is a legacy single-state set, so cached characterizations from
+  /// before the family load as state 0.
+  std::string serialize() const;
+  static ErrorOr<PowerCurveFamily> load(const std::string &Text,
+                                        bool RequireComplete = false);
+
+private:
+  std::array<PowerCurveSet, MaxPStates> States;
+  unsigned Count = 0;
+};
+
 } // namespace ecas
 
 #endif // ECAS_POWER_POWERCURVE_H

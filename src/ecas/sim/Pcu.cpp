@@ -19,6 +19,28 @@ void Pcu::reset() {
   CpuFreq = Spec.Cpu.BaseFreqGHz;
   GpuFreq = Spec.Gpu.MinFreqGHz;
   GpuWasActive = false;
+  // Caps deliberately survive: they model an externally pinned ceiling
+  // (sysfs max-freq), not governor state.
+  applyCaps();
+}
+
+void Pcu::setFrequencyCap(double CpuGHz, double GpuGHz) {
+  CpuCapGHz = CpuGHz;
+  GpuCapGHz = GpuGHz;
+  applyCaps();
+}
+
+void Pcu::clearFrequencyCap() {
+  CpuCapGHz = 1e30;
+  GpuCapGHz = 1e30;
+}
+
+void Pcu::applyCaps() {
+  // min(freq, max(cap, floor)): an uncapped 1e30 ceiling leaves the
+  // legacy frequency sequence bit-identical, and a cap below the floor
+  // clamps to the floor rather than stalling the device.
+  CpuFreq = std::min(CpuFreq, std::max(CpuCapGHz, Spec.Cpu.MinFreqGHz));
+  GpuFreq = std::min(GpuFreq, std::max(GpuCapGHz, Spec.Gpu.MinFreqGHz));
 }
 
 void Pcu::stepEpoch(const PcuObservation &Obs, double ElapsedSec) {
@@ -54,6 +76,7 @@ void Pcu::stepEpoch(const PcuObservation &Obs, double ElapsedSec) {
   GpuFreq = GpuTarget;
 
   enforceBudget(Obs);
+  applyCaps();
   GpuWasActive = Obs.GpuActive;
 }
 
@@ -69,6 +92,7 @@ void Pcu::noteActivityTransition(bool CpuActive, bool GpuActive) {
     CpuFreq = std::max(CpuFreq, Spec.Cpu.BaseFreqGHz);
   else
     CpuFreq = Spec.Cpu.MinFreqGHz;
+  applyCaps();
 }
 
 void Pcu::hintUpcomingSplit(double Alpha) {
@@ -89,6 +113,7 @@ void Pcu::hintUpcomingSplit(double Alpha) {
   Expected.GpuActivity = GpuActive ? Spec.GpuPower.ComputeActivity
                                    : Spec.GpuPower.IdleActivity;
   enforceBudget(Expected);
+  applyCaps();
 }
 
 void Pcu::enforceBudget(const PcuObservation &Obs) {

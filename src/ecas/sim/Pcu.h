@@ -71,18 +71,37 @@ public:
   /// GPU offload ratio of the upcoming phase.
   void hintUpcomingSplit(double Alpha);
 
+  /// Pins externally requested frequency ceilings (the DVFS actuation
+  /// behind OperatingPoint::PState — the sysfs max-freq analogue). The
+  /// governor keeps full authority *below* the cap: ramping, co-run
+  /// policy, and budget enforcement run unchanged and the cap is
+  /// re-applied after every governor move. Caps survive reset() and
+  /// stay until clearFrequencyCap(). Values below a device's floor
+  /// clamp to the floor.
+  void setFrequencyCap(double CpuGHz, double GpuGHz);
+
+  /// Removes the pinned ceilings; the envelope is the spec's again.
+  void clearFrequencyCap();
+
   double cpuFreqGHz() const { return CpuFreq; }
   double gpuFreqGHz() const { return GpuFreq; }
+  double cpuFreqCapGHz() const { return CpuCapGHz; }
+  double gpuFreqCapGHz() const { return GpuCapGHz; }
 
   /// Restores power-on frequencies and forgets activity history.
   void reset();
 
 private:
   void enforceBudget(const PcuObservation &Obs);
+  void applyCaps();
 
   const PlatformSpec &Spec;
   double CpuFreq;
   double GpuFreq;
+  /// 1e30 = uncapped; keeps every legacy frequency sequence
+  /// bit-identical when no cap has been requested.
+  double CpuCapGHz = 1e30;
+  double GpuCapGHz = 1e30;
   bool GpuWasActive = false;
 };
 

@@ -69,6 +69,17 @@ double SimProcessor::step(double MaxDt) {
   double CpuFreq = Governor.cpuFreqGHz();
   double GpuFreq = Governor.gpuFreqGHz();
 
+  // Device-level frequency hints clamp the governor's pick for the
+  // slice (hints below the hardware floor clamp to the floor; 0 = no
+  // hint). The governor itself is not consulted — hints are the
+  // runtime's black-box feedback channel, not a policy input.
+  if (Cpu.frequencyHintGHz() > 0.0)
+    CpuFreq = std::min(
+        CpuFreq, std::max(Cpu.frequencyHintGHz(), Spec.Cpu.MinFreqGHz));
+  if (Gpu.frequencyHintGHz() > 0.0)
+    GpuFreq = std::min(
+        GpuFreq, std::max(Gpu.frequencyHintGHz(), Spec.Gpu.MinFreqGHz));
+
   // DRAM bandwidth arbitration: max-min fairness, like a round-robin
   // memory controller — each device is guaranteed half the bandwidth,
   // and capacity a device doesn't demand flows to the other.

@@ -9,6 +9,7 @@
 #include "ecas/core/ExecutionSession.h"
 #include "ecas/core/KernelHistory.h"
 #include "ecas/core/Metric.h"
+#include "ecas/core/OperatingPoint.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/Characterizer.h"
@@ -114,6 +115,172 @@ TEST(AlphaSearch, RefinementImprovesObjective) {
   AlphaChoice A = chooseAlpha(Model, Curve, Metric::edp(), 1e6, Coarse);
   AlphaChoice B = chooseAlpha(Model, Curve, Metric::edp(), 1e6, Fine);
   EXPECT_LE(B.PredictedMetric, A.PredictedMetric + 1e-12);
+}
+
+TEST(OperatingPoint, LegacyWrapperIsBitIdentical) {
+  // chooseAlpha is frozen as a delegating wrapper; every field of its
+  // result must equal the single-view joint search bit for bit.
+  TimeModel Model(100.0, 310.0);
+  PowerCurve Curve;
+  Curve.Poly = Polynomial({55.0, -10.0, 8.0});
+  for (bool Refine : {false, true}) {
+    AlphaSearchConfig Legacy;
+    Legacy.Step = 0.05;
+    Legacy.Refine = Refine;
+    AlphaChoice Old = chooseAlpha(Model, Curve, Metric::edp(), 1e6, Legacy);
+
+    PStateView View;
+    View.Curve = &Curve;
+    OperatingPointSearchConfig Joint;
+    Joint.Step = 0.05;
+    Joint.Refine = Refine;
+    Decision New =
+        chooseOperatingPoint(Model, &View, 1, Metric::edp(), 1e6, Joint);
+    EXPECT_EQ(Old.Alpha, New.Point.Alpha);
+    EXPECT_EQ(Old.PredictedMetric, New.PredictedMetric);
+    EXPECT_EQ(Old.PredictedSeconds, New.PredictedSeconds);
+    EXPECT_EQ(Old.PredictedWatts, New.PredictedWatts);
+    EXPECT_EQ(Old.Evaluations, New.Evaluations);
+    EXPECT_EQ(New.Point.PState, 0u);
+  }
+}
+
+TEST(OperatingPoint, CubicPowerMakesInteriorStateWin) {
+  // Power falls roughly cubically with the clock while the rate falls
+  // at most linearly, so for an energy objective some reduced state
+  // beats full speed — the interior optimum motivating the DVFS axis.
+  TimeModel Model(1e8, 3e8);
+  PowerCurve Curves[3];
+  PStateView Views[3];
+  const double Scales[3] = {1.0, 0.8, 0.6};
+  for (unsigned S = 0; S != 3; ++S) {
+    double F = Scales[S];
+    Curves[S].Poly = Polynomial({10.0 + 50.0 * F * F * F});
+    Views[S].Curve = &Curves[S];
+    Views[S].CpuFreqScale = F;
+    Views[S].GpuFreqScale = F;
+  }
+  OperatingPointSearchConfig Config;
+  Config.MemBoundFraction = 0.5; // time degrades sublinearly
+  Decision Choice =
+      chooseOperatingPoint(Model, Views, 3, Metric::energy(), 1e7, Config);
+  EXPECT_GT(Choice.Point.PState, 0u);
+
+  // Whatever the memory-boundness, the joint search can never lose to
+  // the fixed full-speed search on the same model — state 0 is always
+  // one of its candidates (the frontier-bench invariant).
+  Config.MemBoundFraction = 0.0;
+  Decision Joint =
+      chooseOperatingPoint(Model, Views, 3, Metric::energy(), 1e7, Config);
+  Decision Fixed =
+      chooseOperatingPoint(Model, Views, 1, Metric::energy(), 1e7, Config);
+  EXPECT_LE(Joint.PredictedMetric, Fixed.PredictedMetric + 1e-12);
+}
+
+TEST(OperatingPoint, RaceToIdleDiscountsTheIdleFloor) {
+  // The idle floor is paid whether the kernel runs or not, so race-to-
+  // idle scores (P - P_idle) * T. A state wins only by cutting the
+  // above-floor increment faster than it stretches the run — here the
+  // floor hides 40 W, so halving the clock cuts active power 4x for 2x
+  // time, flipping the decision plain energy makes.
+  TimeModel Model(1e8, 3e8);
+  PowerCurve Curves[2];
+  PStateView Views[2];
+  const double Scales[2] = {1.0, 0.5};
+  for (unsigned S = 0; S != 2; ++S) {
+    double F = Scales[S];
+    Curves[S].Poly = Polynomial({40.0 + 20.0 * F * F * F});
+    Views[S].Curve = &Curves[S];
+    Views[S].CpuFreqScale = F;
+    Views[S].GpuFreqScale = F;
+  }
+  OperatingPointSearchConfig Config;
+  Decision Plain =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Plain.Point.PState, 0u); // 17.5 W saved is not worth 2x time
+
+  Config.Policy = SchedulingPolicy::RaceToIdle;
+  Config.IdleWatts = 40.0;
+  Decision Raced =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Raced.Point.PState, 1u);
+  // Predicted consequences stay physical: true watts, not floor-relative.
+  EXPECT_NEAR(Raced.PredictedWatts, Curves[1].powerAt(Raced.Point.Alpha),
+              1e-12);
+
+  // A mischaracterized floor above every P(alpha) clamps the active
+  // power to a positive epsilon: the objective degenerates to time and
+  // the search must race at full speed instead of inverting the order.
+  Config.IdleWatts = 1000.0;
+  Decision Clamped =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Clamped.Point.PState, 0u);
+}
+
+TEST(OperatingPoint, PaceToDeadlineMinimizesEnergyAmongFeasible) {
+  TimeModel Model(1e8, 3e8);
+  PowerCurve Curves[2];
+  PStateView Views[2];
+  const double Scales[2] = {1.0, 0.5};
+  for (unsigned S = 0; S != 2; ++S) {
+    double F = Scales[S];
+    Curves[S].Poly = Polynomial({10.0 + 50.0 * F * F * F});
+    Views[S].Curve = &Curves[S];
+    Views[S].CpuFreqScale = F;
+    Views[S].GpuFreqScale = F;
+  }
+  OperatingPointSearchConfig Config;
+  Config.MemBoundFraction = 0.3;
+  Config.Policy = SchedulingPolicy::PaceToDeadline;
+
+  // Loose deadline: everything is feasible, take the cheapest joules.
+  Config.DeadlineSeconds = 10.0;
+  Decision Loose =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Loose.Point.PState, 1u);
+
+  // Tight deadline: only full speed makes it; energy preference yields.
+  Metric Perf = Metric::custom("time", [](double, double T) { return T; });
+  Decision Fast = chooseOperatingPoint(Model, Views, 1, Perf, 1e7);
+  Config.DeadlineSeconds = Fast.PredictedSeconds * 1.05;
+  Decision Tight =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Tight.Point.PState, 0u);
+  EXPECT_LE(Tight.PredictedSeconds, Config.DeadlineSeconds);
+
+  // Impossible deadline: no point is feasible; pick the least-late one
+  // rather than failing, so the scheduler still returns a valid cell.
+  Config.DeadlineSeconds = Fast.PredictedSeconds * 0.01;
+  Decision Late =
+      chooseOperatingPoint(Model, Views, 2, Metric::energy(), 1e7, Config);
+  EXPECT_EQ(Late.Point.PState, 0u);
+}
+
+TEST(OperatingPoint, PolicyNamesRoundTrip) {
+  for (SchedulingPolicy Policy :
+       {SchedulingPolicy::MinimizeMetric, SchedulingPolicy::RaceToIdle,
+        SchedulingPolicy::PaceToDeadline}) {
+    auto Back = schedulingPolicyByName(schedulingPolicyName(Policy));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, Policy);
+  }
+  EXPECT_FALSE(schedulingPolicyByName("overclock-to-eleven").has_value());
+}
+
+TEST(TimeModel, ScaledToAmdahlEndpoints) {
+  TimeModel Model(1e8, 3e8);
+  // beta = 0: fully compute-bound, rates scale linearly with the clock.
+  TimeModel Linear = Model.scaledTo(0.5, 0.25, 0.0);
+  EXPECT_DOUBLE_EQ(Linear.cpuRate(), 0.5e8);
+  EXPECT_DOUBLE_EQ(Linear.gpuRate(), 0.75e8);
+  // beta = 1: fully memory-bound, the clock is irrelevant.
+  TimeModel Pinned = Model.scaledTo(0.5, 0.25, 1.0);
+  EXPECT_DOUBLE_EQ(Pinned.cpuRate(), Model.cpuRate());
+  EXPECT_DOUBLE_EQ(Pinned.gpuRate(), Model.gpuRate());
+  // Interior beta lands strictly between the endpoints.
+  TimeModel Mixed = Model.scaledTo(0.5, 0.5, 0.5);
+  EXPECT_GT(Mixed.cpuRate(), Linear.cpuRate());
+  EXPECT_LT(Mixed.cpuRate(), Model.cpuRate());
 }
 
 TEST(KernelHistory, LookupAndUpdate) {

@@ -35,6 +35,7 @@
 #include "ecas/power/Characterizer.h"
 #include "ecas/support/AtomicFile.h"
 #include "ecas/support/CrashPoint.h"
+#include "ecas/support/Crc32.h"
 #include "ecas/support/Random.h"
 
 #include <gtest/gtest.h>
@@ -146,7 +147,31 @@ HistoryDeltaRecord richDelta() {
   Rec.AlphaWeight = 1.5e6;
   Rec.HasClass = true;
   Rec.ClassIndex = 5;
+  Rec.HasPState = true;
+  Rec.PState = 3;
   return Rec;
+}
+
+void putLe32(std::string &Out, uint32_t V) {
+  for (int B = 0; B != 4; ++B)
+    Out.push_back(static_cast<char>((V >> (8 * B)) & 0xff));
+}
+
+/// Re-frames \p Payload the way encodeDeltaFrame does (u32 length, u32
+/// payload CRC, payload) — for hand-built prior-version records.
+void frameRaw(std::string &Out, const std::string &Payload) {
+  putLe32(Out, static_cast<uint32_t>(Payload.size()));
+  putLe32(Out, crc32(Payload.data(), Payload.size()));
+  Out += Payload;
+}
+
+/// A journal header as a v1 writer emitted it: same layout, version 1.
+std::string encodeV1Header(uint64_t Epoch) {
+  std::string Out = encodeJournalHeader(Epoch);
+  Out[8] = 1;     // u32 LE version
+  Out.resize(20); // drop the stale header CRC and restamp
+  putLe32(Out, crc32(Out.data() + 8, 12));
+  return Out;
 }
 
 void expectSameEntries(const KernelHistory &A, const KernelHistory &B) {
@@ -202,6 +227,7 @@ TEST(JournalFormat, FrameRoundTripAllFields) {
 
   JournalScan Scan = scanJournal(Bytes);
   ASSERT_TRUE(Scan.HeaderValid);
+  EXPECT_EQ(Scan.Version, HistoryJournalVersion);
   EXPECT_EQ(Scan.Epoch, 3u);
   EXPECT_FALSE(Scan.Torn);
   ASSERT_EQ(Scan.Records.size(), 2u);
@@ -216,6 +242,8 @@ TEST(JournalFormat, FrameRoundTripAllFields) {
   EXPECT_EQ(R.AlphaWeight, Rich.AlphaWeight);
   EXPECT_EQ(R.HasClass, Rich.HasClass);
   EXPECT_EQ(R.ClassIndex, Rich.ClassIndex);
+  EXPECT_EQ(R.HasPState, Rich.HasPState);
+  EXPECT_EQ(R.PState, Rich.PState);
   ASSERT_EQ(R.Samples.size(), 2u);
   EXPECT_EQ(R.Samples[0].CpuThroughput, Rich.Samples[0].CpuThroughput);
   EXPECT_EQ(R.Samples[0].InstructionsRetired,
@@ -291,6 +319,91 @@ TEST(JournalFormat, HeaderCorruptionRejected) {
 
   EXPECT_FALSE(scanJournal(Good.substr(0, 23)).HeaderValid);
   EXPECT_FALSE(scanJournal("").HeaderValid);
+}
+
+// A journal written before the DVFS axis (v1: 39-byte fixed records, no
+// P-state flag) must still scan and replay, with every delta decoding
+// to HasPState = false / P-state 0. The v1 record is assembled by hand
+// from a v2 frame: strip the 4-byte P-state field that v2 inserted
+// before the sample count.
+TEST(JournalFormat, V1JournalReplaysWithPStateZero) {
+  HistoryDeltaRecord Rec;
+  Rec.Key = 7;
+  Rec.InvocationsDelta = 2;
+  Rec.HasAlphaSample = true;
+  Rec.AlphaValue = 0.4;
+  Rec.AlphaWeight = 5e5;
+  std::string V2Frame;
+  encodeDeltaFrame(V2Frame, Rec);
+  constexpr size_t FrameHeader = 8, PStateOff = 37;
+  std::string Payload = V2Frame.substr(FrameHeader);
+  Payload.erase(PStateOff, 4);
+
+  std::string Bytes = encodeV1Header(5);
+  frameRaw(Bytes, Payload);
+  frameRaw(Bytes, Payload);
+
+  JournalScan Scan = scanJournal(Bytes);
+  ASSERT_TRUE(Scan.HeaderValid) << Scan.Error.toString();
+  EXPECT_EQ(Scan.Version, 1u);
+  EXPECT_EQ(Scan.Epoch, 5u);
+  EXPECT_FALSE(Scan.Torn);
+  ASSERT_EQ(Scan.Records.size(), 2u);
+  for (const HistoryDeltaRecord &R : Scan.Records) {
+    EXPECT_EQ(R.Key, 7u);
+    EXPECT_FALSE(R.HasPState);
+    EXPECT_EQ(R.PState, 0u);
+    EXPECT_EQ(R.AlphaValue, 0.4);
+  }
+
+  KernelHistory History;
+  for (const HistoryDeltaRecord &R : Scan.Records)
+    applyDeltaRecord(History, R);
+  KernelRecord Replayed;
+  ASSERT_TRUE(History.lookup(7, Replayed));
+  EXPECT_EQ(Replayed.PState, 0u);
+  EXPECT_EQ(Replayed.Invocations, 4u);
+}
+
+// A flag byte claiming a P-state on a v1 record is unknown to v1 and
+// must stop the scan, exactly like any other unknown flag bit.
+TEST(JournalFormat, V1RecordRejectsPStateFlag) {
+  HistoryDeltaRecord Rec;
+  Rec.Key = 7;
+  Rec.HasPState = true;
+  Rec.PState = 1;
+  std::string V2Frame;
+  encodeDeltaFrame(V2Frame, Rec);
+  std::string Payload = V2Frame.substr(8);
+  Payload.erase(37, 4); // v1 layout, but the flag byte still says pstate
+
+  std::string Bytes = encodeV1Header(1);
+  frameRaw(Bytes, Payload);
+  JournalScan Scan = scanJournal(Bytes);
+  ASSERT_TRUE(Scan.HeaderValid);
+  EXPECT_TRUE(Scan.Torn);
+  EXPECT_TRUE(Scan.Records.empty());
+}
+
+// An in-range CRC-valid frame whose P-state index exceeds the ladder
+// bound is semantic corruption: the scan must degrade, not replay a
+// record that would later index past the P-state arrays.
+TEST(JournalFormat, OutOfRangePStateStopsScan) {
+  HistoryDeltaRecord Rec;
+  Rec.Key = 7;
+  Rec.HasPState = true;
+  Rec.PState = 2;
+  std::string Frame;
+  encodeDeltaFrame(Frame, Rec);
+  std::string Payload = Frame.substr(8);
+  Payload[37] = 8; // kMaxPStates: one past the largest legal index
+  std::string Bytes = encodeJournalHeader(1);
+  frameRaw(Bytes, Payload);
+
+  JournalScan Scan = scanJournal(Bytes);
+  ASSERT_TRUE(Scan.HeaderValid);
+  EXPECT_TRUE(Scan.Torn);
+  EXPECT_TRUE(Scan.Records.empty());
 }
 
 TEST(JournalFormat, BecameConfidentResetsAlphaBeforeAdding) {
@@ -523,6 +636,19 @@ TEST(Journal, GroupCommitHoldsUntilThreshold) {
 TEST(Journal, OpenRejectsEpochMismatch) {
   ScratchPair Files("epoch-mismatch");
   writeRaw(Files.wal(), encodeJournalHeader(3));
+  JournalOptions Opts;
+  Opts.Path = Files.wal();
+  auto Journal = HistoryJournal::open(Opts, 4);
+  ASSERT_FALSE(Journal.ok());
+  EXPECT_EQ(Journal.status().code(), ErrCode::VersionMismatch);
+}
+
+// open() only appends current-version frames, so a journal left by a
+// prior release must be rejected — recovery (scanJournal + snapshot
+// rewrite) is the upgrade path, not in-place mixed-version appends.
+TEST(Journal, OpenRejectsPriorVersionJournal) {
+  ScratchPair Files("prior-version");
+  writeRaw(Files.wal(), encodeV1Header(4));
   JournalOptions Opts;
   Opts.Path = Files.wal();
   auto Journal = HistoryJournal::open(Opts, 4);

@@ -18,6 +18,7 @@
 #include "ecas/core/KernelHistory.h"
 #include "ecas/hw/Presets.h"
 #include "ecas/power/Characterizer.h"
+#include "ecas/support/Crc32.h"
 
 #include <gtest/gtest.h>
 
@@ -81,6 +82,7 @@ void populate(KernelHistory &History) {
     Rec.Sample.GpuBusySeconds = 2.9e-3;
     Rec.Sample.MissPerLoadStore = 0.37;
     Rec.Sample.InstructionsRetired = 9.9e6;
+    Rec.PState = 2;
   });
   for (int I = 0; I != 5; ++I)
     History.bumpInvocations(7);
@@ -129,6 +131,7 @@ void expectSameEntries(const KernelHistory &A, const KernelHistory &B) {
     EXPECT_EQ(Ra.Sample.InstructionsRetired, Rb.Sample.InstructionsRetired);
     EXPECT_EQ(Ra.Sample.GpuLaunchFailed, Rb.Sample.GpuLaunchFailed);
     EXPECT_EQ(Ra.Sample.GpuHung, Rb.Sample.GpuHung);
+    EXPECT_EQ(Ra.PState, Rb.PState);
   }
 }
 
@@ -139,13 +142,54 @@ TEST(HistorySnapshot, RoundTripIsExact) {
   populate(Original);
 
   std::string Bytes = serializeKernelHistory(Original);
-  EXPECT_EQ(Bytes.size(), 24u + 8u + 3u * 112u);
+  EXPECT_EQ(Bytes.size(), 24u + 8u + 3u * 116u);
 
   KernelHistory Restored;
   ErrorOr<size_t> Count = deserializeKernelHistory(Restored, Bytes);
   ASSERT_TRUE(Count.ok()) << Count.status().toString();
   EXPECT_EQ(*Count, 3u);
   expectSameEntries(Original, Restored);
+}
+
+// A snapshot written before the DVFS axis (v2: 112-byte records, no
+// trailing P-state) must load on a v3 reader with every record at
+// P-state 0 and all other fields bit-exact.
+TEST(HistorySnapshot, V2SnapshotLoadsWithPStateZero) {
+  KernelHistory Original;
+  populate(Original);
+  std::string V3 = serializeKernelHistory(Original, /*Epoch=*/17);
+
+  // Rebuild the file as a v2 writer would have: same header layout,
+  // version 2, epoch prefix, records minus their last 4 bytes.
+  constexpr size_t Header = 24, Epoch = 8, RecV3 = 116, RecV2 = 112;
+  ASSERT_EQ(V3.size(), Header + Epoch + 3 * RecV3);
+  std::string V2 = V3.substr(0, Header + Epoch);
+  for (size_t I = 0; I != 3; ++I)
+    V2 += V3.substr(Header + Epoch + I * RecV3, RecV2);
+  V2[8] = 2; // u32 LE version
+  uint32_t Crc = crc32(V2.data() + Header, V2.size() - Header);
+  for (int B = 0; B != 4; ++B)
+    V2[20 + B] = static_cast<char>((Crc >> (8 * B)) & 0xff);
+
+  KernelHistory Restored;
+  uint64_t EpochOut = 0;
+  ErrorOr<size_t> Count = deserializeKernelHistory(Restored, V2, &EpochOut);
+  ASSERT_TRUE(Count.ok()) << Count.status().toString();
+  EXPECT_EQ(*Count, 3u);
+  EXPECT_EQ(EpochOut, 17u);
+  for (const auto &[Key, Rec] : Restored.entries())
+    EXPECT_EQ(Rec.PState, 0u) << "kernel " << Key;
+  // Everything except the P-state survives bit-exactly.
+  auto Ea = Original.entries();
+  auto Eb = Restored.entries();
+  ASSERT_EQ(Ea.size(), Eb.size());
+  for (size_t I = 0; I != Ea.size(); ++I) {
+    EXPECT_EQ(Ea[I].second.Alpha.weightedSum(),
+              Eb[I].second.Alpha.weightedSum());
+    EXPECT_EQ(Ea[I].second.Invocations, Eb[I].second.Invocations);
+    EXPECT_EQ(Ea[I].second.Sample.MissPerLoadStore,
+              Eb[I].second.Sample.MissPerLoadStore);
+  }
 }
 
 TEST(HistorySnapshot, SaveAndLoadRoundTrip) {

@@ -14,8 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "ecas/core/AlphaSearch.h"
 #include "ecas/core/EasScheduler.h"
+#include "ecas/core/OperatingPoint.h"
 #include "ecas/core/TimeModel.h"
 #include "ecas/fault/GpuHealth.h"
 #include "ecas/hw/Presets.h"
@@ -37,6 +37,22 @@ const PowerCurveSet &desktopCurves() {
   static PowerCurveSet Curves =
       Characterizer(haswellDesktop()).characterize();
   return Curves;
+}
+
+/// Joint-search fixture: the same desktop with a 4-state DVFS ladder,
+/// characterized per P-state.
+const PlatformSpec &desktopLadderSpec() {
+  static PlatformSpec Spec = [] {
+    PlatformSpec S = haswellDesktop();
+    S.synthesizePStates(4);
+    return S;
+  }();
+  return Spec;
+}
+
+const PowerCurveFamily &desktopFamily() {
+  static PowerCurveFamily Family = characterizeFamily(desktopLadderSpec());
+  return Family;
 }
 
 } // namespace
@@ -113,28 +129,71 @@ TEST(HotPath, SteadyStateRunStaysAllocationFree) {
       << "64 warmed invocations must not allocate";
 }
 
-// The alpha search runs on every profiling repetition; its objective
-// closure must reach the Minimize.h templates as a stack lambda. A
-// std::function-based minimizer heap-allocated once per search (the
-// 5-reference capture exceeds libstdc++'s 16-byte small-object buffer).
-TEST(HotPath, AlphaSearchIsAllocationFree) {
+// The joint (alpha, frequency) search runs on every profiling
+// repetition; its objective closure must reach the Minimize.h templates
+// as a stack lambda, and the per-state TimeModel rescale must stay a
+// by-value copy. A std::function-based minimizer heap-allocated once
+// per search (the 5-reference capture exceeds libstdc++'s 16-byte
+// small-object buffer).
+TEST(HotPath, JointSearchIsAllocationFree) {
+  const PlatformSpec &Spec = desktopLadderSpec();
+  const PowerCurveFamily &Family = desktopFamily();
   TimeModel Model(4e8, 7e8);
-  const PowerCurve &Curve = desktopCurves().curveFor(WorkloadClass{});
   Metric Objective = Metric::edp();
 
-  AlphaSearchConfig Search;
+  PStateView Views[kMaxPStates];
+  unsigned NumStates = Family.numPStates();
+  ASSERT_EQ(NumStates, 4u);
+  PStateSpec Full = Spec.pstateAt(0);
+  for (unsigned S = 0; S != NumStates; ++S) {
+    PStateSpec State = Spec.pstateAt(S);
+    Views[S].Curve = &Family.stateCurves(S).curveFor(WorkloadClass{});
+    Views[S].CpuFreqScale = State.CpuFreqGHz / Full.CpuFreqGHz;
+    Views[S].GpuFreqScale = State.GpuFreqGHz / Full.GpuFreqGHz;
+  }
+  OperatingPointSearchConfig Search;
   Search.Step = 0.05;
   Search.Refine = true;
+  Search.MemBoundFraction = 0.2;
   // Warm once: Metric's std::function body is constructed elsewhere and
   // the first evaluate() must not be charged to the search.
-  AlphaChoice WarmChoice = chooseAlpha(Model, Curve, Objective, 1e6, Search);
-  ASSERT_GT(WarmChoice.Evaluations, 0u);
+  Decision Warm =
+      chooseOperatingPoint(Model, Views, NumStates, Objective, 1e6, Search);
+  ASSERT_GT(Warm.Evaluations, 0u);
 
   AllocTally Tally;
-  AlphaChoice Choice = chooseAlpha(Model, Curve, Objective, 1e6, Search);
+  Decision Choice =
+      chooseOperatingPoint(Model, Views, NumStates, Objective, 1e6, Search);
   EXPECT_GT(Choice.Evaluations, 0u);
+  EXPECT_LT(Choice.Point.PState, NumStates);
   EXPECT_EQ(Tally.allocations(), 0u)
-      << "grid + golden-section alpha search must not allocate";
+      << "grid + golden-section joint search must not allocate";
+}
+
+// The tentpole claim of the DVFS axis: with P-states on, a warmed
+// table-hit decision — lookup, operating-point reuse, Amdahl rescale,
+// frequency-cap actuation, partitioned dispatch — still allocates
+// nothing.
+TEST(HotPath, WarmedJointDecisionIsAllocationFree) {
+  const PlatformSpec &Spec = desktopLadderSpec();
+  SimProcessor Proc(Spec);
+  EasConfig Config;
+  Config.PStates = true;
+  EasScheduler Scheduler(desktopFamily(), Metric::energy(), Config);
+  KernelDesc Kernel = computeBoundMicroKernel();
+
+  ASSERT_TRUE(Scheduler.execute(Proc, Kernel, 2e6).Profiled);
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Scheduler.execute(Proc, Kernel, 2e6).TableHit);
+
+  AllocTally Tally;
+  for (int I = 0; I != 64; ++I) {
+    auto Hit = Scheduler.execute(Proc, Kernel, 2e6);
+    ASSERT_TRUE(Hit.TableHit);
+    ASSERT_LT(Hit.PState, Spec.pstateCount());
+  }
+  EXPECT_EQ(Tally.allocations(), 0u)
+      << "64 warmed joint decisions must not allocate";
 }
 
 // Fault-monitor reads sit on every dispatch; the lock-free mirrors must

@@ -132,3 +132,82 @@ TEST(PlatformSpec, LoadRunsSemanticValidation) {
   EXPECT_EQ(Result.status().code(), ErrCode::InvalidArgument);
   EXPECT_FALSE(Result.status().message().empty());
 }
+
+TEST(PlatformSpec, PStateTableSerializeRoundTrip) {
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(4);
+  std::string Error;
+  ASSERT_TRUE(Spec.validate(Error)) << Error;
+
+  auto Restored = PlatformSpec::deserialize(Spec.serialize());
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->PStateCount, 4u);
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_DOUBLE_EQ(Restored->PStates[I].CpuFreqGHz,
+                     Spec.PStates[I].CpuFreqGHz);
+    EXPECT_DOUBLE_EQ(Restored->PStates[I].GpuFreqGHz,
+                     Spec.PStates[I].GpuFreqGHz);
+  }
+  EXPECT_EQ(Restored->serialize(), Spec.serialize());
+}
+
+TEST(PlatformSpec, EmptyPStateTableIsImplicitFullSpeed) {
+  // Legacy specs advertise no ladder; the effective table is a single
+  // full-speed state so pre-DVFS files load bit-identically.
+  PlatformSpec Spec = haswellDesktop();
+  EXPECT_EQ(Spec.PStateCount, 0u);
+  EXPECT_EQ(Spec.pstateCount(), 1u);
+  PStateSpec Full = Spec.pstateAt(0);
+  EXPECT_DOUBLE_EQ(Full.CpuFreqGHz, Spec.Cpu.MaxTurboGHz);
+  EXPECT_DOUBLE_EQ(Full.GpuFreqGHz, Spec.Gpu.MaxFreqGHz);
+  // Out-of-range indices degrade to full speed rather than reading
+  // stale table slots.
+  EXPECT_DOUBLE_EQ(Spec.pstateAt(7).CpuFreqGHz, Spec.Cpu.MaxTurboGHz);
+}
+
+TEST(PlatformSpec, SynthesizedLadderSpansEnvelopeFastestFirst) {
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(5);
+  EXPECT_EQ(Spec.pstateCount(), 5u);
+  // Endpoints: ceiling at state 0, floor at the last state.
+  EXPECT_DOUBLE_EQ(Spec.PStates[0].CpuFreqGHz, Spec.Cpu.MaxTurboGHz);
+  EXPECT_DOUBLE_EQ(Spec.PStates[0].GpuFreqGHz, Spec.Gpu.MaxFreqGHz);
+  EXPECT_NEAR(Spec.PStates[4].CpuFreqGHz, Spec.Cpu.MinFreqGHz, 1e-9);
+  EXPECT_NEAR(Spec.PStates[4].GpuFreqGHz, Spec.Gpu.MinFreqGHz, 1e-9);
+  // Strictly descending, and geometric: equal ratios between neighbours.
+  double Ratio = Spec.PStates[1].CpuFreqGHz / Spec.PStates[0].CpuFreqGHz;
+  for (unsigned I = 1; I != 5; ++I) {
+    EXPECT_LT(Spec.PStates[I].CpuFreqGHz, Spec.PStates[I - 1].CpuFreqGHz);
+    EXPECT_NEAR(Spec.PStates[I].CpuFreqGHz / Spec.PStates[I - 1].CpuFreqGHz,
+                Ratio, 1e-9);
+  }
+  std::string Error;
+  EXPECT_TRUE(Spec.validate(Error)) << Error;
+  // Count is clamped to the table size, never silently dropped.
+  Spec.synthesizePStates(99);
+  EXPECT_EQ(Spec.pstateCount(), PlatformSpec::MaxPStates);
+  EXPECT_TRUE(Spec.validate(Error)) << Error;
+}
+
+TEST(PlatformSpec, ValidateCatchesBadPStateTables) {
+  std::string Error;
+
+  // A clock above the envelope ceiling.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(3);
+  Spec.PStates[0].CpuFreqGHz = Spec.Cpu.MaxTurboGHz + 1.0;
+  EXPECT_FALSE(Spec.validate(Error));
+  EXPECT_NE(Error.find("pstate0"), std::string::npos);
+
+  // Out-of-order ladder: state 1 faster than state 0.
+  Spec = haswellDesktop();
+  Spec.synthesizePStates(3);
+  std::swap(Spec.PStates[0], Spec.PStates[1]);
+  EXPECT_FALSE(Spec.validate(Error));
+  EXPECT_NE(Error.find("must not raise"), std::string::npos);
+
+  // Count beyond the fixed table.
+  Spec = haswellDesktop();
+  Spec.PStateCount = PlatformSpec::MaxPStates + 1;
+  EXPECT_FALSE(Spec.validate(Error));
+}

@@ -539,3 +539,73 @@ TEST(EasTelemetry, NullRegistryIsBitIdentical) {
   EXPECT_GT(Bare.ModelSamples, 0u);
   EXPECT_GE(Observed.ModelSamples, Bare.ModelSamples);
 }
+
+TEST(EasTelemetry, PStateLabelRendersAndRoundTrips) {
+  // With a multi-state family the per-class error and alpha series gain
+  // a "pstate" label; the strict Prometheus text codec must carry it
+  // losslessly (satellite 6 of the OperatingPoint redesign).
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(3);
+  CharacterizerConfig CharConfig;
+  CharConfig.AlphaStep = 0.5;
+  CharConfig.PolyDegree = 2;
+  PowerCurveFamily Family = characterizeFamily(Spec, CharConfig);
+
+  InvocationTrace Trace = singleClassTrace();
+  ExecutionSession Session(Spec);
+  obs::MetricsRegistry Registry;
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.CurveFamily = &Family;
+  Options.Objective = Metric::energy();
+  Options.Metrics = &Registry;
+  Options.Eas.PStates = true;
+  SessionReport Report = Session.run(SchemeKind::Eas, Options);
+  ASSERT_GT(Report.Invocations, 0u);
+
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  const obs::MetricSample *Alpha = nullptr;
+  for (const obs::MetricSample &S : Snap.Samples) {
+    if (S.Name != obs::names::AlphaChosen || !S.Hist.Count)
+      continue;
+    Alpha = &S;
+    break;
+  }
+  ASSERT_NE(Alpha, nullptr);
+  bool SawPState = false;
+  std::string PStateValue;
+  for (const auto &[Key, Value] : Alpha->Labels) {
+    if (Key != "pstate")
+      continue;
+    SawPState = true;
+    PStateValue = Value;
+  }
+  EXPECT_TRUE(SawPState);
+
+  // The per-class model-error series fan out by both class and pstate.
+  for (const obs::MetricSample &S : Snap.Samples) {
+    if (S.Name != obs::names::ModelTimeRelError || !S.Hist.Count)
+      continue;
+    bool HasClass = false, HasPState = false;
+    for (const auto &[Key, Value] : S.Labels) {
+      HasClass |= Key == "class";
+      HasPState |= Key == "pstate";
+    }
+    EXPECT_TRUE(HasClass);
+    EXPECT_TRUE(HasPState);
+  }
+  // The label holds a bare ladder index within the advertised table.
+  ASSERT_FALSE(PStateValue.empty());
+  unsigned Index = std::stoul(PStateValue);
+  EXPECT_LT(Index, Spec.pstateCount());
+
+  std::string Text = obs::renderPrometheus(Snap);
+  EXPECT_NE(Text.find("pstate=\"" + PStateValue + "\""), std::string::npos);
+  ErrorOr<obs::MetricsSnapshot> Parsed = obs::parsePrometheusText(Text);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().toString();
+  const obs::MetricSample *Back =
+      Parsed->find(obs::names::AlphaChosen, Alpha->Labels);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(Back->Hist.Count, Alpha->Hist.Count);
+  EXPECT_EQ(obs::renderPrometheus(*Parsed), Text);
+}

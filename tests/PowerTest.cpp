@@ -273,3 +273,83 @@ TEST(PowerCurveSet, RequireCompleteFlagsMissingCategories) {
   EXPECT_EQ(Result.status().code(), ErrCode::Incomplete);
   EXPECT_NE(Result.status().message().find("1 of 8"), std::string::npos);
 }
+
+namespace {
+
+/// A complete curve set whose constant term encodes (State, Class) so a
+/// round-trip mix-up between states or categories is detectable.
+PowerCurveSet stampedSet(unsigned State) {
+  PowerCurveSet Set;
+  Set.setPlatformName("family-platform");
+  for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I) {
+    PowerCurve Curve;
+    Curve.Class = WorkloadClass::fromIndex(I);
+    Curve.Poly = Polynomial({100.0 * State + I + 1.0, -0.5});
+    Curve.RSquared = 0.95;
+    Set.setCurve(Curve);
+  }
+  return Set;
+}
+
+} // namespace
+
+TEST(PowerCurveFamily, SerializeRoundTripAllStates) {
+  PowerCurveFamily Family;
+  for (unsigned State = 0; State != 3; ++State)
+    Family.setStateCurves(State, stampedSet(State));
+  ASSERT_TRUE(Family.complete());
+
+  ErrorOr<PowerCurveFamily> Back =
+      PowerCurveFamily::load(Family.serialize(), /*RequireComplete=*/true);
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(Back->numPStates(), 3u);
+  EXPECT_EQ(Back->platformName(), "family-platform");
+  for (unsigned State = 0; State != 3; ++State)
+    for (unsigned I = 0; I != WorkloadClass::NumClasses; ++I)
+      EXPECT_DOUBLE_EQ(
+          Back->stateCurves(State)
+              .curveFor(WorkloadClass::fromIndex(I))
+              .powerAt(0.0),
+          100.0 * State + I + 1.0);
+}
+
+TEST(PowerCurveFamily, LegacySingleSetTextLoadsAsStateZero) {
+  // A cached pre-DVFS characterization has no "pstate =" delimiter; it
+  // must load as a one-state family so old deployments keep working.
+  std::string Legacy = stampedSet(0).serialize();
+  ASSERT_EQ(Legacy.find("pstate"), std::string::npos);
+  ErrorOr<PowerCurveFamily> Family = PowerCurveFamily::load(Legacy);
+  ASSERT_TRUE(Family.ok()) << Family.status().toString();
+  EXPECT_EQ(Family->numPStates(), 1u);
+  EXPECT_DOUBLE_EQ(Family->stateCurves(0)
+                       .curveFor(WorkloadClass::fromIndex(4))
+                       .powerAt(0.0),
+                   5.0);
+}
+
+TEST(PowerCurveFamily, FromSingleWrapsLegacySet) {
+  PowerCurveFamily Family = PowerCurveFamily::fromSingle(stampedSet(0));
+  EXPECT_EQ(Family.numPStates(), 1u);
+  EXPECT_TRUE(Family.complete());
+  EXPECT_EQ(Family.platformName(), "family-platform");
+}
+
+TEST(Characterizer, FamilyStatesMeasureDistinctPower) {
+  // Characterizing a 3-state ladder must produce genuinely different
+  // P(alpha) per state — capped clocks draw less — with full speed the
+  // hottest, or the joint search would have nothing to trade off.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(3);
+  CharacterizerConfig Config;
+  Config.AlphaStep = 0.5;
+  Config.PolyDegree = 2;
+  PowerCurveFamily Family = characterizeFamily(Spec, Config);
+  ASSERT_EQ(Family.numPStates(), 3u);
+  ASSERT_TRUE(Family.complete());
+  WorkloadClass CC = classifyWorkload(0.01, 0.01, 0.01);
+  double P0 = Family.stateCurves(0).curveFor(CC).powerAt(0.5);
+  double P1 = Family.stateCurves(1).curveFor(CC).powerAt(0.5);
+  double P2 = Family.stateCurves(2).curveFor(CC).powerAt(0.5);
+  EXPECT_GT(P0, P1);
+  EXPECT_GT(P1, P2);
+}

@@ -543,3 +543,84 @@ TEST(SimProcessor, RaplWrapJumpAliasesMeasurementNotTruth) {
                    Clean.meter().totalJoules());
   EXPECT_EQ(Faulted.faults()->stats().RaplCounterJumps, 1u);
 }
+
+TEST(Pcu, FrequencyCapPinsTheCeiling) {
+  // The DVFS actuation behind OperatingPoint::PState: a cap is an
+  // external ceiling the governor must never exceed, however hard the
+  // workload pushes for turbo.
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  double CpuCap = 0.5 * (Spec.Cpu.MinFreqGHz + Spec.Cpu.MaxTurboGHz);
+  double GpuCap = 0.5 * (Spec.Gpu.MinFreqGHz + Spec.Gpu.MaxFreqGHz);
+  Governor.setFrequencyCap(CpuCap, GpuCap);
+  PcuObservation Both;
+  Both.CpuActive = true;
+  Both.GpuActive = true;
+  Both.CpuActivity = 1.0;
+  Both.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 30; ++Epoch) {
+    Governor.stepEpoch(Both);
+    EXPECT_LE(Governor.cpuFreqGHz(), CpuCap + 1e-12);
+    EXPECT_LE(Governor.gpuFreqGHz(), GpuCap + 1e-12);
+  }
+
+  // Caps survive reset(): they model a pinned sysfs ceiling, not
+  // governor state.
+  Governor.reset();
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqCapGHz(), CpuCap);
+  for (int Epoch = 0; Epoch != 30; ++Epoch)
+    Governor.stepEpoch(Both);
+  EXPECT_LE(Governor.cpuFreqGHz(), CpuCap + 1e-12);
+
+  // Clearing restores the spec envelope: turbo is reachable again.
+  Governor.clearFrequencyCap();
+  PcuObservation CpuOnly;
+  CpuOnly.CpuActive = true;
+  CpuOnly.CpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 30; ++Epoch)
+    Governor.stepEpoch(CpuOnly);
+  EXPECT_DOUBLE_EQ(Governor.cpuFreqGHz(), Spec.Cpu.MaxTurboGHz);
+}
+
+TEST(Pcu, FrequencyCapBelowFloorClampsToFloor) {
+  PlatformSpec Spec = haswellDesktop();
+  Pcu Governor(Spec);
+  Governor.setFrequencyCap(0.01, 0.01);
+  PcuObservation Both;
+  Both.CpuActive = true;
+  Both.GpuActive = true;
+  Both.CpuActivity = 1.0;
+  Both.GpuActivity = 1.0;
+  for (int Epoch = 0; Epoch != 10; ++Epoch)
+    Governor.stepEpoch(Both);
+  EXPECT_GE(Governor.cpuFreqGHz(), Spec.Cpu.MinFreqGHz - 1e-12);
+  EXPECT_GE(Governor.gpuFreqGHz(), Spec.Gpu.MinFreqGHz - 1e-12);
+}
+
+TEST(SimProcessor, CappedClocksDrawLessPowerAndRunLonger) {
+  // End-to-end DVFS effect: the same kernel at a capped P-state must
+  // finish slower and draw less average power than at full speed —
+  // the trade the joint (alpha, f) search exploits.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(4);
+  KernelDesc Kernel = computeBoundMicroKernel();
+  double FullSeconds = 0.0, FullWatts = 0.0;
+  {
+    SimProcessor Proc(Spec);
+    Proc.cpu().enqueue(Kernel, 2e7);
+    Proc.gpu().enqueue(Kernel, 2e7);
+    Proc.runUntilIdle();
+    FullSeconds = Proc.now();
+    FullWatts = Proc.meter().totalJoules() / FullSeconds;
+  }
+  PStateSpec Slow = Spec.pstateAt(3);
+  SimProcessor Proc(Spec);
+  Proc.pcu().setFrequencyCap(Slow.CpuFreqGHz, Slow.GpuFreqGHz);
+  Proc.cpu().enqueue(Kernel, 2e7);
+  Proc.gpu().enqueue(Kernel, 2e7);
+  Proc.runUntilIdle();
+  double SlowSeconds = Proc.now();
+  double SlowWatts = Proc.meter().totalJoules() / SlowSeconds;
+  EXPECT_GT(SlowSeconds, FullSeconds * 1.2);
+  EXPECT_LT(SlowWatts, FullWatts * 0.8);
+}

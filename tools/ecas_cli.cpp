@@ -65,10 +65,16 @@ int usage() {
       "  platforms                         list platform presets\n"
       "  characterize --platform=NAME      run the one-time power\n"
       "               [--out=FILE]         characterization\n"
+      "               [--pstates=N]        sweep an N-entry frequency\n"
+      "                                    ladder (family output)\n"
       "  run  --platform=NAME --workload=ABBR [--scheme=eas|cpu|gpu|perf|\n"
       "       oracle|fixed] [--alpha=A] [--metric=energy|edp|ed2p]\n"
       "       [--curves=FILE] [--scale=S] [--fault-plan=PLAN]\n"
       "       [--history-file=FILE] [--deadline-ms=N]\n"
+      "       [--pstates=N]                joint (alpha, frequency) search\n"
+      "                                    over an N-entry DVFS ladder\n"
+      "       [--policy=minimize|race-to-idle|pace-to-deadline]\n"
+      "       [--idle-watts=W]             race-to-idle's idle floor\n"
       "       [--trace-out=FILE]           write a Chrome trace-event\n"
       "                                    JSON (Perfetto-loadable)\n"
       "       [--metrics]                  print span/counter summary\n"
@@ -91,6 +97,7 @@ int usage() {
       "        [--shed-threshold=F]        admission controller, retrying\n"
       "        [--metric=M] [--scale=S]    rejections with capped backoff\n"
       "        [--fault-plan=PLAN] [--history-file=FILE]\n"
+      "        [--pstates=N] [--policy=NAME] [--idle-watts=W]\n"
       "        [--no-journal] [--journal=FILE]\n"
       "                                    with --history-file, table-G\n"
       "                                    merges journal to FILE (default\n"
@@ -296,6 +303,45 @@ Metric metricByName(const std::string &Name) {
   return Metric::edp();
 }
 
+/// Applies the DVFS flags shared by run/serve: --pstates=N synthesizes
+/// an N-entry frequency ladder on \p Spec and turns the joint
+/// (alpha, frequency) search on; --policy=NAME picks the scheduling
+/// policy (pace-to-deadline reuses --deadline-ms as its target);
+/// --idle-watts=W shapes race-to-idle. Returns false (after reporting)
+/// on a malformed flag.
+bool applyDvfsFlags(PlatformSpec &Spec, EasConfig &Config,
+                    const Flags &Args) {
+  double PStatesFlag = Args.getDouble("pstates", 0.0);
+  if (PStatesFlag < 0.0 || PStatesFlag > PlatformSpec::MaxPStates) {
+    std::fprintf(stderr, "error: --pstates wants 1..%u\n",
+                 PlatformSpec::MaxPStates);
+    return false;
+  }
+  if (unsigned PStates = static_cast<unsigned>(PStatesFlag)) {
+    Spec.synthesizePStates(PStates);
+    Config.PStates = true;
+  }
+  if (std::string Name = Args.getString("policy", ""); !Name.empty()) {
+    std::optional<SchedulingPolicy> Policy = schedulingPolicyByName(Name);
+    if (!Policy) {
+      std::fprintf(stderr, "error: unknown policy (have: minimize "
+                           "race-to-idle pace-to-deadline)\n");
+      return false;
+    }
+    Config.Policy = *Policy;
+  }
+  Config.IdleWatts = Args.getDouble("idle-watts", 0.0);
+  if (Config.Policy == SchedulingPolicy::PaceToDeadline) {
+    Config.DeadlineSeconds = Args.getDouble("deadline-ms", 0.0) / 1e3;
+    if (Config.DeadlineSeconds <= 0.0) {
+      std::fprintf(stderr, "error: --policy=pace-to-deadline needs a "
+                           "positive --deadline-ms\n");
+      return false;
+    }
+  }
+  return true;
+}
+
 PowerCurveSet curvesFor(const PlatformSpec &Spec, const Flags &Args) {
   std::string Path = Args.getString("curves", "");
   if (!Path.empty()) {
@@ -315,6 +361,32 @@ PowerCurveSet curvesFor(const PlatformSpec &Spec, const Flags &Args) {
                  Path.c_str());
   }
   return Characterizer(Spec).characterize();
+}
+
+/// Family analogue of curvesFor, used when the joint (alpha, frequency)
+/// search is on: --curves=FILE loads a serialized family (a legacy
+/// single-set file loads as state 0), anything else characterizes every
+/// P-state the spec advertises.
+PowerCurveFamily familyFor(const PlatformSpec &Spec, const Flags &Args) {
+  std::string Path = Args.getString("curves", "");
+  if (!Path.empty()) {
+    std::ifstream File(Path);
+    if (File) {
+      std::ostringstream Buffer;
+      Buffer << File.rdbuf();
+      auto Loaded =
+          PowerCurveFamily::load(Buffer.str(), /*RequireComplete=*/true);
+      if (Loaded) {
+        std::printf("loaded %u-state curve family from %s (platform %s)\n",
+                    Loaded->numPStates(), Path.c_str(),
+                    Loaded->platformName().c_str());
+        return *Loaded;
+      }
+    }
+    std::fprintf(stderr, "warning: cannot load %s; characterizing instead\n",
+                 Path.c_str());
+  }
+  return characterizeFamily(Spec);
 }
 
 std::vector<Workload> suiteFor(const PlatformSpec &Spec,
@@ -350,10 +422,25 @@ int cmdCharacterize(const Flags &Args) {
     std::fprintf(stderr, "error: unknown platform\n");
     return ExitUsage;
   }
-  PowerCurveSet Curves = Characterizer(*Spec).characterize();
+  // --pstates=N characterizes every rung of an N-entry synthesized
+  // ladder and writes the delimited family format; without it the
+  // output stays the legacy single-state set, byte for byte.
+  std::string Text;
+  double PStatesFlag = Args.getDouble("pstates", 0.0);
+  if (PStatesFlag < 0.0 || PStatesFlag > PlatformSpec::MaxPStates) {
+    std::fprintf(stderr, "error: --pstates wants 1..%u\n",
+                 PlatformSpec::MaxPStates);
+    return ExitUsage;
+  }
+  if (unsigned PStates = static_cast<unsigned>(PStatesFlag)) {
+    Spec->synthesizePStates(PStates);
+    Text = characterizeFamily(*Spec).serialize();
+  } else {
+    Text = Characterizer(*Spec).characterize().serialize();
+  }
   std::string Out = Args.getString("out", "");
   if (Out.empty()) {
-    std::fputs(Curves.serialize().c_str(), stdout);
+    std::fputs(Text.c_str(), stdout);
     return ExitOk;
   }
   std::ofstream File(Out);
@@ -361,7 +448,7 @@ int cmdCharacterize(const Flags &Args) {
     std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
     return ExitRuntime;
   }
-  File << Curves.serialize();
+  File << Text;
   std::printf("wrote %s\n", Out.c_str());
   return ExitOk;
 }
@@ -391,6 +478,11 @@ int cmdRun(const Flags &Args) {
                  "fixed)\n");
     return ExitUsage;
   }
+  // DVFS flags mutate the spec (P-state ladder), so they must land
+  // before the session snapshots it.
+  EasConfig EasCfg;
+  if (!applyDvfsFlags(*Spec, EasCfg, Args))
+    return ExitUsage;
   ExecutionSession Session(*Spec);
   std::printf("%s on %s, optimizing %s (%u invocations)\n",
               W->Name.c_str(), Spec->Name.c_str(),
@@ -414,8 +506,10 @@ int cmdRun(const Flags &Args) {
   // EAS alone needs curves, a table-G file, and a deadline; the sweep
   // and fixed-ratio schemes ignore those options.
   std::optional<PowerCurveSet> Curves;
+  std::optional<PowerCurveFamily> Family;
   CancellationToken Deadline;
   if (*Kind == SchemeKind::Eas) {
+    Options.Eas = EasCfg;
     Options.Eas.HistoryFile = Args.getString("history-file", "");
     // The deadline bounds the run in the workload's virtual time (each
     // run starts its clock at zero).
@@ -424,8 +518,13 @@ int cmdRun(const Flags &Args) {
       Deadline.setDeadline(DeadlineMs / 1000.0);
       Options.Cancel = &Deadline;
     }
-    Curves.emplace(curvesFor(*Spec, Args));
-    Options.Curves = &*Curves;
+    if (Options.Eas.PStates) {
+      Family.emplace(familyFor(*Spec, Args));
+      Options.CurveFamily = &*Family;
+    } else {
+      Curves.emplace(curvesFor(*Spec, Args));
+      Options.Curves = &*Curves;
+    }
   }
 
   SessionReport Report = Session.run(*Kind, Options);
@@ -535,10 +634,14 @@ int cmdServe(const Flags &Args) {
   bool WantDecisions = !Args.getString("decision-log", "").empty();
   if (WantDecisions)
     Config.Decisions = &Decisions;
-  // The scheduler borrows the curve set; keep it alive for the whole
-  // serve run (a temporary here is a dangling reference).
-  PowerCurveSet Curves = curvesFor(*Spec, Args);
-  EasScheduler Scheduler(Curves, Objective, Config);
+  // DVFS flags mutate the spec's P-state ladder; apply before the
+  // service front end snapshots the spec for its processors.
+  if (!applyDvfsFlags(*Spec, Config, Args))
+    return ExitUsage;
+  PowerCurveFamily Curves =
+      Config.PStates ? familyFor(*Spec, Args)
+                     : PowerCurveFamily::fromSingle(curvesFor(*Spec, Args));
+  EasScheduler Scheduler(std::move(Curves), Objective, Config);
   if (!Scheduler.restoreStatus())
     std::fprintf(stderr, "warning: %s (starting cold)\n",
                  Scheduler.restoreStatus().message().c_str());

@@ -395,6 +395,33 @@ def check_atomic_write(path, raw_lines, code_lines, findings):
                 "(DESIGN.md §13)"))
 
 
+CHOOSE_ALPHA = re.compile(r"\bchooseAlpha\s*\(")
+CHOOSE_ALPHA_BLESSED = (
+    # The frozen wrapper itself, and the test pinning it bit-identical
+    # to a single-view chooseOperatingPoint.
+    "/src/ecas/core/AlphaSearch.h",
+    "/src/ecas/core/AlphaSearch.cpp",
+    "/tests/CoreTest.cpp",
+)
+
+
+def check_choose_alpha_deprecated(path, raw_lines, code_lines, findings):
+    rule = "choose-alpha-deprecated"
+    norm = path.replace(os.sep, "/")
+    if any(norm.endswith(b) for b in CHOOSE_ALPHA_BLESSED):
+        return
+    if file_allows(raw_lines, rule):
+        return
+    for ln, code in enumerate(code_lines, 1):
+        if CHOOSE_ALPHA.search(code) and \
+                not line_allows(raw_lines[ln - 1], rule):
+            findings.append(Finding(
+                path, ln, rule,
+                "chooseAlpha is the frozen legacy wrapper; new callers "
+                "use chooseOperatingPoint (ecas/core/OperatingPoint.h) so "
+                "the joint (alpha, frequency) search applies"))
+
+
 def check_metric_name(path, raw_lines, code_lines, findings):
     rule = "metric-name"
     if file_allows(raw_lines, rule):
@@ -449,6 +476,7 @@ STALE_TRIGGERS = {
     "no-raw-output": lambda code: (RAW_OUTPUT.search(code) or
                                    IOSTREAM_INCLUDE.match(code)),
     "atomic-write": lambda code: ATOMIC_WRITE.search(code),
+    "choose-alpha-deprecated": lambda code: CHOOSE_ALPHA.search(code),
     "metric-name": lambda code: (METRIC_INLINE_REG.search(code) or
                                  '"' in code),
 }
@@ -460,6 +488,8 @@ STALE_SCOPE = {
     "atomic-write": lambda norm: (_in_ecas(norm) and
                                   not any(norm.endswith(b)
                                           for b in ATOMIC_WRITE_BLESSED)),
+    "choose-alpha-deprecated": lambda norm: not any(
+        norm.endswith(b) for b in CHOOSE_ALPHA_BLESSED),
     "metric-name": _in_ecas,
 }
 
@@ -519,6 +549,7 @@ CHECKS = [
     check_unbounded_queue,
     check_no_raw_output,
     check_atomic_write,
+    check_choose_alpha_deprecated,
     check_metric_name,
     check_stale_suppression,
 ]

@@ -1,0 +1,12 @@
+//===-- lint_fixtures .../DeprecatedCall.cpp - self-test corpus ------------===//
+// New caller of the frozen chooseAlpha wrapper: expected
+// choose-alpha-deprecated. The second call carries an honoured
+// suppression and must stay silent.
+
+namespace fixture {
+void decide(const TimeModel &Model, const PowerCurve &Curve,
+            const Metric &Objective) {
+  (void)chooseAlpha(Model, Curve, Objective, 1e6); // expected finding
+  (void)chooseAlpha(Model, Curve, Objective, 1e6); // ecas-lint: allow(choose-alpha-deprecated)
+}
+} // namespace fixture
