@@ -210,8 +210,17 @@ EasScheduler::~EasScheduler() { shutdown(); }
 
 void EasScheduler::registerInstruments() {
   obs::MetricsRegistry *M = Config.Metrics;
-  if (!M)
+  if (!M) {
+    // The flight recorder does not need a registry: wire the health
+    // monitor's transition instants into the ring even when metrics are
+    // off, so a crash bundle still carries the hang/quarantine timeline.
+    if (Config.Flight) {
+      GpuHealthMonitor::MetricHooks Hooks;
+      Hooks.Flight = Config.Flight;
+      Monitor.setMetrics(Hooks);
+    }
     return;
+  }
   // Rel errors are ratios spanning "model is exact" (1e-4) to "model is
   // off by an order of magnitude"; log buckets keep both ends resolved.
   const std::vector<double> RelErrBuckets = obs::logBuckets(1e-4, 2.0, 18);
@@ -241,6 +250,9 @@ void EasScheduler::registerInstruments() {
     Ins.AlphaChosen[S] = &M->histogram(
         obs::names::AlphaChosen, obs::linearBuckets(0.0, 0.05, 20), ByState,
         "GPU offload ratio used by completed invocations");
+    Ins.PStateResidency[S] = &M->gauge(
+        obs::names::PStateResidencySeconds, ByState,
+        "Cumulative virtual seconds of completed work in this P-state");
   }
   Ins.AlphaSearchEvals = &M->histogram(
       obs::names::AlphaSearchEvals, obs::linearBuckets(0.0, 8.0, 16), {},
@@ -312,12 +324,13 @@ void EasScheduler::registerInstruments() {
                              "Post-quarantine re-probe dispatches granted");
   Hooks.Recoveries = &M->counter(obs::names::RecoveriesTotal, {},
                                  "Probes that re-admitted the GPU");
+  Hooks.Flight = Config.Flight;
   Monitor.setMetrics(Hooks);
 }
 
 void EasScheduler::recordInvocation(const KernelDesc &Kernel,
                                     const InvocationOutcome &Outcome) {
-  if (Config.Decisions) {
+  if (Config.Decisions || Config.Flight) {
     obs::DecisionRecord Rec;
     Rec.KernelId = Kernel.Id;
     Rec.ClassIndex = Outcome.TableHit || Outcome.Profiled
@@ -336,9 +349,25 @@ void EasScheduler::recordInvocation(const KernelDesc &Kernel,
     Rec.CpuOnlyFastPath = Outcome.CpuOnlyFastPath;
     Rec.GpuQuarantined = Outcome.GpuQuarantined;
     Rec.Cancelled = Outcome.Cancelled;
-    Config.Decisions->append(Rec);
-    if (Ins.DecisionsLogged)
-      Ins.DecisionsLogged->add();
+    if (Config.Decisions) {
+      Config.Decisions->append(Rec);
+      if (Ins.DecisionsLogged)
+        Ins.DecisionsLogged->add();
+    }
+    if (Config.Flight) {
+      // Fixed-capacity overwrite ring: appending stays allocation-free
+      // once warm, so the recorder may be armed on the hot path. Every
+      // invocation lands in the decision ring; the event ring gets only
+      // transitions (a warm table hit's instant would duplicate the
+      // DecisionRecord and double the armed hot path's lock count).
+      Config.Flight->recordDecision(Rec);
+      if (Outcome.Profiled)
+        Config.Flight->instant("eas", "profile", Outcome.Seconds);
+      if (Outcome.GpuQuarantined)
+        Config.Flight->instant("eas", "quarantined-run");
+      if (Outcome.GpuReadmitted)
+        Config.Flight->instant("eas", "readmission");
+    }
   }
   if (!Config.Metrics)
     return;
@@ -367,6 +396,7 @@ void EasScheduler::recordInvocation(const KernelDesc &Kernel,
   unsigned PIdx =
       std::min(Outcome.PState, std::min(Curves.numPStates(), kMaxPStates) - 1);
   Ins.AlphaChosen[PIdx]->record(Outcome.AlphaUsed);
+  Ins.PStateResidency[PIdx]->add(Outcome.Seconds);
   if (Outcome.AlphaSearches)
     Ins.AlphaSearchEvals->record(Outcome.AlphaEvaluations);
   if (Outcome.Profiled && Outcome.Seconds > 0.0)

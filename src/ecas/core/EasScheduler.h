@@ -35,6 +35,7 @@
 #include "ecas/core/RequestContext.h"
 #include "ecas/fault/GpuHealth.h"
 #include "ecas/obs/DecisionLog.h"
+#include "ecas/obs/FlightRecorder.h"
 #include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
 #include "ecas/power/PowerCurve.h"
@@ -144,6 +145,14 @@ struct EasConfig {
   /// admitted invocation appends one DecisionRecord after it finishes.
   /// Null no-ops, preserving bit-identity like Trace and Metrics.
   obs::DecisionLog *Decisions = nullptr;
+  /// Optional always-on flight recorder (not owned, DESIGN.md §16).
+  /// When set, every invocation appends its DecisionRecord to the
+  /// recorder's overwrite-oldest ring plus a handful of instant events
+  /// (invocation, hang, quarantine, readmission) — all fixed-capacity
+  /// and allocation-free once warm, so arming it keeps the hot path's
+  /// zero-allocation contract (HotPathTest's regression). Null no-ops,
+  /// bit-identical like the other three sinks.
+  obs::FlightRecorder *Flight = nullptr;
 
   /// Checks every tunable for sanity: AlphaStep outside (0, 1],
   /// non-positive ProfileFraction (or above 1), negative
@@ -436,6 +445,9 @@ private:
     obs::Gauge *RecoverySecondsGauge = nullptr;
     /// One counter per RecoveryOutcome, labelled outcome=<name>.
     obs::Counter *RecoveryOutcomes[4] = {};
+    /// Cumulative wall seconds spent executing in each P-state,
+    /// labelled pstate=<n> (no label for single-state families).
+    obs::Gauge *PStateResidency[kMaxPStates] = {};
   };
   MetricInstruments Ins;
   Status RestoreStatus = Status::success();

@@ -69,6 +69,8 @@ bool GpuHealthMonitor::gpuUsable(double NowSec) {
       T->instant("health", "probe", NowSec);
     if (Metrics.Probes)
       Metrics.Probes->add();
+    if (Metrics.Flight)
+      Metrics.Flight->instant("health", "probe", NowSec);
   }
   return Usable;
 }
@@ -111,6 +113,8 @@ void GpuHealthMonitor::noteLaunchAbandoned(double NowSec) {
     T->instant("health", "quarantine", NowSec, "launch-abandoned");
   if (Metrics.Quarantines)
     Metrics.Quarantines->add();
+  if (Metrics.Flight)
+    Metrics.Flight->instant("health", "quarantine", NowSec);
 }
 
 // ecas-hotpath: allow(lock)
@@ -130,6 +134,10 @@ void GpuHealthMonitor::noteHang(double NowSec) {
     Metrics.Hangs->add();
   if (Metrics.Quarantines)
     Metrics.Quarantines->add();
+  if (Metrics.Flight) {
+    Metrics.Flight->instant("health", "hang", NowSec);
+    Metrics.Flight->instant("health", "quarantine", NowSec);
+  }
 }
 
 // ecas-hotpath: allow(lock)
@@ -151,5 +159,7 @@ void GpuHealthMonitor::noteGpuSuccess(double NowSec) {
       T->instant("health", "recovery", NowSec);
     if (Metrics.Recoveries)
       Metrics.Recoveries->add();
+    if (Metrics.Flight)
+      Metrics.Flight->instant("health", "recovery", NowSec);
   }
 }

@@ -25,6 +25,7 @@
 #ifndef ECAS_FAULT_GPUHEALTH_H
 #define ECAS_FAULT_GPUHEALTH_H
 
+#include "ecas/obs/FlightRecorder.h"
 #include "ecas/obs/Metrics.h"
 #include "ecas/obs/Trace.h"
 #include "ecas/support/HotPath.h"
@@ -150,6 +151,9 @@ public:
     obs::Counter *Quarantines = nullptr;
     obs::Counter *Probes = nullptr;
     obs::Counter *Recoveries = nullptr;
+    /// Flight-recorder sink for the same transitions (DESIGN.md §16);
+    /// instants land in the crash ring even without a registry.
+    obs::FlightRecorder *Flight = nullptr;
   };
   void setMetrics(const MetricHooks &Hooks) { Metrics = Hooks; }
 

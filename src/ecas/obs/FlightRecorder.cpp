@@ -1,0 +1,205 @@
+//===-- ecas/obs/FlightRecorder.cpp - Always-on black-box ring ------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/obs/FlightRecorder.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ecas;
+using namespace ecas::obs;
+
+namespace {
+
+/// Process-wide recorder identity source, shared with nothing: flight
+/// recorders and trace recorders keep separate caches, so their id
+/// spaces are independent.
+uint64_t nextFlightRecorderId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+/// One thread's fixed-capacity ring. The storage vector is sized once
+/// at registration and never grows; push() overwrites the slot at
+/// Next % capacity under the ring's own leaf mutex. The mutex (rather
+/// than the TraceRecorder's lock-free published-prefix chunks) is what
+/// makes overwrite-oldest sound: a drain can copy a slot that a wrapped
+/// writer is about to reuse, and append-only publishing cannot express
+/// that. Uncontended lock/unlock allocates nothing, so the armed hot
+/// path stays heap-silent.
+struct FlightRecorder::ThreadRing {
+  ThreadRing(uint32_t Id, size_t Cap) : ThreadId(Id) {
+    Events.resize(Cap);
+  }
+
+  void push(const FlightEvent &Event) {
+    LockGuard Lock(Mutex);
+    Events[static_cast<size_t>(Next % Events.size())] = Event;
+    ++Next;
+  }
+
+  /// Appends the surviving slots (oldest first) to \p Out and the
+  /// overwrite count to \p Dropped.
+  void snapshot(std::vector<FlightEvent> &Out, uint64_t &Dropped) const {
+    LockGuard Lock(Mutex);
+    const uint64_t Cap = Events.size();
+    const uint64_t Resident = std::min(Next, Cap);
+    Dropped += Next - Resident;
+    for (uint64_t I = 0; I != Resident; ++I)
+      Out.push_back(
+          Events[static_cast<size_t>((Next - Resident + I) % Cap)]);
+  }
+
+  const uint32_t ThreadId;
+  /// Leaf lock: nothing else is ever acquired while it is held.
+  mutable AnnotatedMutex Mutex{"Obs.FlightRing"};
+  std::vector<FlightEvent> Events ECAS_GUARDED_BY(Mutex);
+  uint64_t Next ECAS_GUARDED_BY(Mutex) = 0;
+};
+
+FlightRecorder::FlightRecorder(size_t EventsPerThread, size_t DecisionCapacity)
+    : RecorderId(nextFlightRecorderId()),
+      Epoch(TraceRecorder::hostSeconds()),
+      EventCap(std::max<size_t>(EventsPerThread, 1)),
+      DecisionCap(std::max<size_t>(DecisionCapacity, 1)) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::ThreadRing &FlightRecorder::localRing() {
+  struct CacheEntry {
+    uint64_t RecorderId;
+    ThreadRing *Ring;
+  };
+  // One slot per (thread, recorder) pair this thread has recorded into;
+  // scanning a handful of entries beats a mutex on every record. Keyed
+  // on the never-reused RecorderId, so a destroyed recorder's entry can
+  // never alias a new recorder at the same address.
+  thread_local std::vector<CacheEntry> Cache;
+  for (const CacheEntry &Entry : Cache)
+    if (Entry.RecorderId == RecorderId)
+      return *Entry.Ring;
+
+  LockGuard Lock(RegistryMutex);
+  auto Ring = std::make_unique<ThreadRing>(
+      static_cast<uint32_t>(Rings.size()), EventCap);
+  ThreadRing &Ref = *Ring;
+  Rings.push_back(std::move(Ring));
+  Cache.push_back({RecorderId, &Ref});
+  return Ref;
+}
+
+void FlightRecorder::record(EventKind Kind, const char *Category,
+                            const char *Name, double Value) {
+  ThreadRing &Ring = localRing();
+  FlightEvent Event;
+  Event.Kind = Kind;
+  Event.Category = Category;
+  Event.Name = Name;
+  Event.HostSeconds = TraceRecorder::hostSeconds();
+  Event.Value = Value;
+  Event.ThreadId = Ring.ThreadId;
+  Event.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  Ring.push(Event);
+}
+
+void FlightRecorder::instant(const char *Category, const char *Name,
+                             double Value) {
+  record(EventKind::Instant, Category, Name, Value);
+}
+
+void FlightRecorder::count(const char *Name, double Delta) {
+  record(EventKind::Counter, "counter", Name, Delta);
+}
+
+void FlightRecorder::recordDecision(const DecisionRecord &Record) {
+  LockGuard Lock(DecisionMutex);
+  if (DecisionRing.size() < DecisionCap) {
+    // Growth phase: reserve the full ring up front so the steady state
+    // (the phase HotPathTest measures after warmup) never reallocates.
+    if (DecisionRing.capacity() < DecisionCap)
+      DecisionRing.reserve(DecisionCap);
+    DecisionRing.push_back(Record);
+    DecisionRing.back().Sequence = NextDecision;
+  } else {
+    DecisionRecord &Slot =
+        DecisionRing[static_cast<size_t>(NextDecision % DecisionCap)];
+    Slot = Record;
+    Slot.Sequence = NextDecision;
+  }
+  ++NextDecision;
+}
+
+FlightSnapshot FlightRecorder::drain() const {
+  FlightSnapshot Snap;
+  Snap.Trace.EpochHostSeconds = Epoch;
+
+  std::vector<FlightEvent> Raw;
+  {
+    LockGuard Lock(RegistryMutex);
+    for (const std::unique_ptr<ThreadRing> &Ring : Rings)
+      Ring->snapshot(Raw, Snap.EventsDropped);
+  }
+  Snap.EventsRecorded = NextSeq.load(std::memory_order_relaxed);
+
+  Snap.Trace.Events.reserve(Raw.size());
+  for (const FlightEvent &E : Raw) {
+    TraceEvent Out;
+    Out.Kind = E.Kind;
+    Out.Category = E.Category;
+    Out.Name = E.Name;
+    Out.HostSeconds = E.HostSeconds;
+    Out.Value = E.Value;
+    Out.ThreadId = E.ThreadId;
+    Out.Seq = E.Seq;
+    Snap.Trace.Events.push_back(std::move(Out));
+  }
+  std::sort(Snap.Trace.Events.begin(), Snap.Trace.Events.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.HostSeconds != B.HostSeconds)
+                return A.HostSeconds < B.HostSeconds;
+              return A.Seq < B.Seq;
+            });
+
+  // Counter totals over the surviving tail (drops are gone for good —
+  // the point of a flight recorder is the recent window, not lifetime
+  // accounting; lifetime counts live in the MetricsRegistry).
+  for (const TraceEvent &E : Snap.Trace.Events) {
+    if (E.Kind != EventKind::Counter)
+      continue;
+    auto It = std::find_if(Snap.Trace.Counters.begin(),
+                           Snap.Trace.Counters.end(),
+                           [&](const CounterTotal &T) {
+                             return T.Name == E.Name;
+                           });
+    if (It == Snap.Trace.Counters.end()) {
+      CounterTotal Total;
+      Total.Name = E.Name;
+      Snap.Trace.Counters.push_back(std::move(Total));
+      It = Snap.Trace.Counters.end() - 1;
+    }
+    It->Total += E.Value;
+    ++It->Samples;
+  }
+  std::sort(Snap.Trace.Counters.begin(), Snap.Trace.Counters.end(),
+            [](const CounterTotal &A, const CounterTotal &B) {
+              return A.Name < B.Name;
+            });
+
+  {
+    LockGuard Lock(DecisionMutex);
+    Snap.DecisionsRecorded = NextDecision;
+    const uint64_t Resident =
+        std::min<uint64_t>(NextDecision, DecisionRing.size());
+    Snap.DecisionsDropped = NextDecision - Resident;
+    Snap.Decisions.reserve(static_cast<size_t>(Resident));
+    for (uint64_t I = 0; I != Resident; ++I)
+      Snap.Decisions.push_back(DecisionRing[static_cast<size_t>(
+          (NextDecision - Resident + I) % DecisionRing.size())]);
+  }
+  return Snap;
+}

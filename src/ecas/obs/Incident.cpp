@@ -1,0 +1,340 @@
+//===-- ecas/obs/Incident.cpp - Anomaly-triggered forensic bundles --------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/obs/Incident.h"
+
+#include "ecas/obs/ChromeTrace.h"
+#include "ecas/obs/MetricsExport.h"
+#include "ecas/support/AtomicFile.h"
+#include "ecas/support/Format.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace ecas;
+using namespace ecas::obs;
+
+namespace {
+
+constexpr char kBundlePrefix[] = "incident-";
+constexpr char kManifestName[] = "MANIFEST.txt";
+constexpr char kIncidentHeader[] = "ecas-incident v1";
+constexpr char kLastGaspHeader[] = "ecas-lastgasp v1";
+
+Status ioError(const char *What, const std::string &Path) {
+  return Status::error(ErrCode::IoError,
+                       formatString("%s %s: %s", What, Path.c_str(),
+                                    std::strerror(errno)));
+}
+
+Status ensureDir(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST)
+    return Status::success();
+  return ioError("mkdir", Path);
+}
+
+/// Deletes every regular file in \p Dir, then the directory itself.
+/// Bundles are flat, so one level is all eviction ever needs.
+Status removeBundleDir(const std::string &Dir) {
+  DIR *Handle = ::opendir(Dir.c_str());
+  if (!Handle)
+    return ioError("opendir", Dir);
+  while (dirent *Entry = ::readdir(Handle)) {
+    std::string Name = Entry->d_name;
+    if (Name == "." || Name == "..")
+      continue;
+    (void)::unlink((Dir + "/" + Name).c_str());
+  }
+  ::closedir(Handle);
+  if (::rmdir(Dir.c_str()) != 0)
+    return ioError("rmdir", Dir);
+  return Status::success();
+}
+
+/// Sequence parsed from "incident-<digits>", or -1 for anything else.
+long long bundleSequence(const std::string &Name) {
+  const size_t PrefixLen = sizeof(kBundlePrefix) - 1;
+  if (Name.compare(0, PrefixLen, kBundlePrefix) != 0)
+    return -1;
+  long long Seq = 0;
+  if (!parseInt64(Name.substr(PrefixLen), Seq) || Seq < 0)
+    return -1;
+  return Seq;
+}
+
+} // namespace
+
+std::vector<std::string> ecas::obs::listBundles(const std::string &Root) {
+  std::vector<std::string> Names;
+  DIR *Handle = ::opendir(Root.c_str());
+  if (!Handle)
+    return Names;
+  while (dirent *Entry = ::readdir(Handle)) {
+    std::string Name = Entry->d_name;
+    if (bundleSequence(Name) < 0)
+      continue;
+    struct stat Info;
+    std::string Path = Root + "/" + Name;
+    if (::stat(Path.c_str(), &Info) == 0 && S_ISDIR(Info.st_mode))
+      Names.push_back(std::move(Path));
+  }
+  ::closedir(Handle);
+  // Zero-padded sequences make lexicographic order chronological.
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+IncidentWriter::IncidentWriter(IncidentConfig ConfigIn)
+    : Config(std::move(ConfigIn)) {
+  LockGuard Lock(Mutex);
+  // Resume numbering past whatever a previous process left behind, so
+  // eviction order stays chronological across restarts.
+  for (const std::string &Path : listBundles(Config.Dir)) {
+    size_t Slash = Path.find_last_of('/');
+    long long Seq = bundleSequence(
+        Slash == std::string::npos ? Path : Path.substr(Slash + 1));
+    if (Seq >= 0 && static_cast<uint64_t>(Seq) >= NextSeq)
+      NextSeq = static_cast<uint64_t>(Seq) + 1;
+  }
+}
+
+uint64_t IncidentWriter::bundlesWritten() const {
+  LockGuard Lock(Mutex);
+  return Written;
+}
+
+ErrorOr<std::string>
+IncidentWriter::write(const IncidentInputs &Inputs,
+                      const std::vector<AnomalyTrigger> &Triggers,
+                      double NowSec, bool Force) {
+  LockGuard Lock(Mutex);
+  return writeLocked(Inputs, Triggers, NowSec, Force);
+}
+
+ErrorOr<std::string>
+IncidentWriter::writeLocked(const IncidentInputs &Inputs,
+                            const std::vector<AnomalyTrigger> &Triggers,
+                            double NowSec, bool Force) {
+  if (!Force && Armed && NowSec - LastWriteSec < Config.MinIntervalSec)
+    return Status::error(
+        ErrCode::Overloaded,
+        formatString("incident rate limit: %.3fs since last bundle "
+                     "(minimum %.3fs)",
+                     NowSec - LastWriteSec, Config.MinIntervalSec));
+  if (Status S = ensureDir(Config.Dir); !S.ok())
+    return S;
+
+  uint64_t Seq = NextSeq++;
+  std::string BundleDir =
+      Config.Dir + formatString("/%s%08llu", kBundlePrefix,
+                                static_cast<unsigned long long>(Seq));
+  if (::mkdir(BundleDir.c_str(), 0755) != 0)
+    return ioError("mkdir", BundleDir);
+
+  std::vector<std::pair<std::string, std::string>> Files;
+  if (Inputs.Flight) {
+    FlightSnapshot Snap = Inputs.Flight->drain();
+    Files.emplace_back("trace.json", renderChromeTrace(Snap.Trace));
+    Files.emplace_back("decisions.jsonl",
+                       DecisionLogSink::renderJsonLines(Snap.Decisions));
+  }
+  if (Inputs.Metrics) {
+    MetricsSnapshot Snap = Inputs.Metrics->snapshot();
+    Files.emplace_back("metrics.prom", renderPrometheus(Snap));
+    Files.emplace_back("metrics.json", renderMetricsJson(Snap));
+  }
+  if (!Inputs.TableDigest.empty())
+    Files.emplace_back("tableg.txt", Inputs.TableDigest);
+  if (!Inputs.ServiceStatus.empty())
+    Files.emplace_back("status.txt", Inputs.ServiceStatus);
+
+  for (const auto &File : Files)
+    if (Status S = writeFileAtomic(BundleDir + "/" + File.first,
+                                   File.second);
+        !S.ok())
+      return S;
+
+  // The manifest goes last: its presence (with matching sizes) is the
+  // commit record that distinguishes a complete bundle from one a crash
+  // tore mid-capture.
+  std::string Manifest;
+  Manifest += kIncidentHeader;
+  Manifest += '\n';
+  Manifest += formatString("created_unix %lld\n",
+                           static_cast<long long>(std::time(nullptr)));
+  Manifest += formatString("sequence %llu\n",
+                           static_cast<unsigned long long>(Seq));
+  Manifest += formatString("reason %s\n",
+                           Triggers.empty() ? "manual" : "anomaly");
+  for (const AnomalyTrigger &Trigger : Triggers)
+    Manifest += formatString(
+        "trigger %s metric=%s threshold=%.17g observed=%.17g note=%s\n",
+        Trigger.Rule.c_str(), Trigger.Metric.c_str(), Trigger.Threshold,
+        Trigger.Observed, Trigger.Note.c_str());
+  for (const auto &File : Files)
+    Manifest += formatString("file %s bytes=%llu\n", File.first.c_str(),
+                             static_cast<unsigned long long>(
+                                 File.second.size()));
+  Manifest += "end\n";
+  if (Status S = writeFileAtomic(BundleDir + "/" + kManifestName, Manifest);
+      !S.ok())
+    return S;
+
+  LastWriteSec = NowSec;
+  Armed = true;
+  ++Written;
+  evictOldBundles();
+  return BundleDir;
+}
+
+void IncidentWriter::evictOldBundles() {
+  std::vector<std::string> Bundles = listBundles(Config.Dir);
+  size_t Keep = std::max<unsigned>(Config.MaxBundles, 1);
+  // Best-effort: a bundle that will not delete (permissions, races)
+  // must not wedge capture of the next one.
+  while (Bundles.size() > Keep) {
+    (void)removeBundleDir(Bundles.front());
+    Bundles.erase(Bundles.begin());
+  }
+}
+
+Status ecas::obs::validateBundle(const std::string &Dir) {
+  std::string Manifest;
+  bool Existed = false;
+  std::string ManifestPath = Dir + "/" + kManifestName;
+  if (Status S = readFileBytes(ManifestPath, Manifest, Existed); !S.ok())
+    return S;
+  if (!Existed)
+    return Status::error(ErrCode::CorruptData,
+                         formatString("no manifest in %s", Dir.c_str()));
+
+  std::vector<std::string> Lines = splitString(Manifest, '\n');
+  while (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  if (Lines.empty() || Lines.front() != kIncidentHeader)
+    return Status::error(ErrCode::VersionMismatch,
+                         "manifest header is not ecas-incident v1");
+  if (Lines.back() != "end")
+    return Status::error(ErrCode::Truncated,
+                         "manifest is missing its end marker");
+
+  bool SawSequence = false;
+  bool SawCreated = false;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    std::vector<std::string> Tokens = splitString(Line, ' ');
+    if (Tokens.empty())
+      continue;
+    if (Tokens[0] == "sequence")
+      SawSequence = true;
+    if (Tokens[0] == "created_unix")
+      SawCreated = true;
+    if (Tokens[0] != "file")
+      continue;
+    if (Tokens.size() < 3 || Tokens[2].compare(0, 6, "bytes=") != 0)
+      return Status::error(ErrCode::ParseError,
+                           formatString("bad manifest file line: %s",
+                                        Line.c_str()));
+    long long Expected = 0;
+    if (!parseInt64(Tokens[2].substr(6), Expected) || Expected < 0)
+      return Status::error(ErrCode::ParseError,
+                           formatString("bad byte count: %s", Line.c_str()));
+    std::string Content;
+    bool FileExisted = false;
+    std::string Path = Dir + "/" + Tokens[1];
+    if (Status S = readFileBytes(Path, Content, FileExisted); !S.ok())
+      return S;
+    if (!FileExisted)
+      return Status::error(ErrCode::CorruptData,
+                           formatString("manifest lists missing file %s",
+                                        Tokens[1].c_str()));
+    if (Content.size() != static_cast<size_t>(Expected))
+      return Status::error(
+          ErrCode::Truncated,
+          formatString("%s is %llu bytes, manifest says %lld",
+                       Tokens[1].c_str(),
+                       static_cast<unsigned long long>(Content.size()),
+                       Expected));
+    // Size alone cannot catch a file rewritten with garbage of the same
+    // length; the structured payloads get parsed outright.
+    if (Tokens[1] == "trace.json") {
+      if (ErrorOr<ChromeTraceData> Trace = parseChromeTrace(Content);
+          !Trace.ok())
+        return Trace.status();
+    } else if (Tokens[1] == "metrics.prom") {
+      if (ErrorOr<MetricsSnapshot> Snap = parsePrometheusText(Content);
+          !Snap.ok())
+        return Snap.status();
+    }
+  }
+  if (!SawSequence || !SawCreated)
+    return Status::error(ErrCode::ParseError,
+                         "manifest is missing sequence/created_unix");
+  return Status::success();
+}
+
+std::string ecas::obs::renderLastGasp(const LastGaspContext &Ctx) {
+  std::string Doc;
+  Doc += kLastGaspHeader;
+  Doc += '\n';
+  Doc += formatString("created_unix %lld\n",
+                      static_cast<long long>(std::time(nullptr)));
+  Doc += formatString("uptime_sec %.3f\n", Ctx.UptimeSec);
+  if (Ctx.Flight) {
+    FlightSnapshot Snap = Ctx.Flight->drain();
+    Doc += formatString(
+        "events recorded=%llu dropped=%llu resident=%llu\n",
+        static_cast<unsigned long long>(Snap.EventsRecorded),
+        static_cast<unsigned long long>(Snap.EventsDropped),
+        static_cast<unsigned long long>(Snap.Trace.Events.size()));
+    size_t Tail = std::min(Snap.Decisions.size(), Ctx.MaxDecisionLines);
+    Doc += formatString(
+        "decisions recorded=%llu dropped=%llu tail=%llu\n",
+        static_cast<unsigned long long>(Snap.DecisionsRecorded),
+        static_cast<unsigned long long>(Snap.DecisionsDropped),
+        static_cast<unsigned long long>(Tail));
+    std::vector<DecisionRecord> TailRecords(
+        Snap.Decisions.end() - static_cast<ptrdiff_t>(Tail),
+        Snap.Decisions.end());
+    for (const std::string &Line :
+         splitString(DecisionLogSink::renderJsonLines(TailRecords), '\n'))
+      if (!Line.empty())
+        Doc += "decision " + Line + "\n";
+  }
+  for (const std::string &Line : splitString(Ctx.ServiceStatus, '\n'))
+    if (!Line.empty())
+      Doc += "status " + Line + "\n";
+  Doc += "end\n";
+  return Doc;
+}
+
+Status ecas::obs::validateLastGasp(const std::string &Text) {
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  while (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  if (Lines.empty() || Lines.front() != kLastGaspHeader)
+    return Status::error(ErrCode::VersionMismatch,
+                         "last-gasp header is not ecas-lastgasp v1");
+  if (Lines.back() != "end")
+    return Status::error(ErrCode::Truncated,
+                         "last-gasp document is missing its end marker");
+  bool SawUptime = false;
+  for (const std::string &Line : Lines)
+    if (Line.compare(0, 11, "uptime_sec ") == 0)
+      SawUptime = true;
+  if (!SawUptime)
+    return Status::error(ErrCode::ParseError,
+                         "last-gasp document has no uptime_sec");
+  return Status::success();
+}

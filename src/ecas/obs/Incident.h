@@ -1,0 +1,145 @@
+//===-- ecas/obs/Incident.h - Anomaly-triggered forensic bundles *- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The forensics layer's capture-on-trigger half (DESIGN.md §16). When
+/// an AnomalyDetector fires (or an operator sends `dump` over the
+/// control socket), the IncidentWriter snapshots everything an engineer
+/// needs into one timestamped directory:
+///
+///   incident-<seq>/
+///     MANIFEST.txt     what fired, when, and every file's exact size
+///     trace.json       flight-recorder drain, Chrome trace format
+///     metrics.prom     registry snapshot, Prometheus exposition
+///     metrics.json     same snapshot as JSON
+///     decisions.jsonl  decision-record tail, one JSON object per line
+///     tableg.txt       table-G digest (caller-rendered)
+///     status.txt       statusz text at the moment of capture
+///
+/// Every file is written via writeFileAtomic, and the manifest is
+/// written *last* with each file's byte count — so a bundle whose
+/// manifest parses and whose sizes match is complete, and anything
+/// torn by a crash mid-capture is rejected by validateBundle() rather
+/// than trusted. Simultaneous triggers coalesce: one evaluate() pass
+/// yields one bundle listing every rule that fired. Writes are
+/// rate-limited (MinIntervalSec) and retention is bounded (the newest
+/// MaxBundles survive; older directories are evicted oldest-first).
+///
+/// The last-gasp path reuses none of this machinery at crash time — a
+/// signal handler can only write() pre-serialized bytes — so
+/// renderLastGasp() builds the document ahead of need (the poll loop
+/// refreshes it) and validateLastGasp() checks the header/end framing
+/// the same way the manifest validator does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_OBS_INCIDENT_H
+#define ECAS_OBS_INCIDENT_H
+
+#include "ecas/obs/Anomaly.h"
+#include "ecas/obs/FlightRecorder.h"
+#include "ecas/obs/Metrics.h"
+#include "ecas/support/Error.h"
+#include "ecas/support/ThreadAnnotations.h"
+
+#include <string>
+#include <vector>
+
+namespace ecas::obs {
+
+/// Where bundles go and how many may accumulate.
+struct IncidentConfig {
+  /// Root directory (created if missing); bundles are subdirectories
+  /// named incident-<zero-padded sequence>.
+  std::string Dir;
+  /// Newest bundles kept; older ones are evicted after each write.
+  unsigned MaxBundles = 8;
+  /// Minimum host seconds between anomaly-triggered bundles. Manual
+  /// dumps (Force) bypass this.
+  double MinIntervalSec = 1.0;
+};
+
+/// What the writer snapshots. Flight and Metrics are borrowed and may
+/// be null (the corresponding files are skipped); the digest and status
+/// texts are pre-rendered by the caller, which keeps the obs layer
+/// ignorant of core/service types.
+struct IncidentInputs {
+  FlightRecorder *Flight = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::string TableDigest;
+  std::string ServiceStatus;
+};
+
+/// Thread-safe bundle writer (poll thread + control-socket dump may
+/// race). Sequence numbering resumes past any bundles already on disk,
+/// so retention ordering survives restarts.
+class IncidentWriter {
+public:
+  explicit IncidentWriter(IncidentConfig Config);
+
+  /// Captures one bundle for \p Triggers (empty means a manual dump).
+  /// Returns the bundle directory, or Overloaded when rate-limited
+  /// (\p Force bypasses the limit), or the first write failure.
+  ErrorOr<std::string> write(const IncidentInputs &Inputs,
+                             const std::vector<AnomalyTrigger> &Triggers,
+                             double NowSec, bool Force = false);
+
+  /// Bundles written by this writer instance.
+  uint64_t bundlesWritten() const;
+
+  const IncidentConfig &config() const { return Config; }
+
+private:
+  ErrorOr<std::string>
+  writeLocked(const IncidentInputs &Inputs,
+              const std::vector<AnomalyTrigger> &Triggers, double NowSec,
+              bool Force) ECAS_REQUIRES(Mutex);
+  void evictOldBundles() ECAS_REQUIRES(Mutex);
+
+  IncidentConfig Config;
+  mutable AnnotatedMutex Mutex{"Obs.Incidents"};
+  uint64_t NextSeq ECAS_GUARDED_BY(Mutex) = 0;
+  uint64_t Written ECAS_GUARDED_BY(Mutex) = 0;
+  double LastWriteSec ECAS_GUARDED_BY(Mutex) = 0.0;
+  bool Armed ECAS_GUARDED_BY(Mutex) = false;
+};
+
+/// Checks one bundle directory end to end: the manifest's header,
+/// version, and end marker; every listed file's existence and exact
+/// byte count; and that trace.json / metrics.prom actually parse.
+/// Truncated or torn bundles come back Truncated/CorruptData — the
+/// manifest-validator regression of the detector edge-case tests.
+Status validateBundle(const std::string &Dir);
+
+/// Bundle directories under \p Root, oldest first (lexicographic, which
+/// the zero-padded sequence makes chronological).
+std::vector<std::string> listBundles(const std::string &Root);
+
+/// What renderLastGasp serializes.
+struct LastGaspContext {
+  double UptimeSec = 0.0;
+  /// Pre-rendered statusz text ("" to omit).
+  std::string ServiceStatus;
+  /// Drained ahead of time by the caller (null skips the tail).
+  FlightRecorder *Flight = nullptr;
+  /// Decision-tail lines included in the document.
+  size_t MaxDecisionLines = 64;
+};
+
+/// Pre-serializes the crash document: framing header, uptime, ring
+/// accounting, the decision tail as JSON lines, the status text, and an
+/// end marker. Called periodically off the hot path; the result is what
+/// the fatal-signal handler (and the poll loop's on-disk mirror) emit
+/// verbatim.
+std::string renderLastGasp(const LastGaspContext &Ctx);
+
+/// Validates last-gasp framing: version header first, end marker last.
+/// Anything else is Truncated/VersionMismatch.
+Status validateLastGasp(const std::string &Text);
+
+} // namespace ecas::obs
+
+#endif // ECAS_OBS_INCIDENT_H

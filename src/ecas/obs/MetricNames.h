@@ -88,6 +88,14 @@ inline constexpr char ServiceQueueWaitSeconds[] =
     "eas_service_queue_wait_seconds";
 inline constexpr char ServiceRetryAfterSeconds[] =
     "eas_service_retry_after_seconds";
+inline constexpr char ServiceDeadlineMissTotal[] =
+    "eas_service_deadline_miss_total";
+
+// Forensics (obs layer, DESIGN.md §16): cumulative wall seconds spent in
+// each P-state (labelled "pstate"), and incident bundles captured.
+inline constexpr char PStateResidencySeconds[] =
+    "eas_pstate_residency_seconds";
+inline constexpr char IncidentsTotal[] = "eas_incidents_total";
 
 // Simulated RAPL plumbing (sim layer).
 inline constexpr char MsrReadsTotal[] = "eas_msr_reads_total";

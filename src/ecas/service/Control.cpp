@@ -1,0 +1,165 @@
+//===-- ecas/service/Control.cpp - UNIX-socket introspection --------------===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecas/service/Control.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ecas;
+using namespace ecas::service;
+
+ControlServer::~ControlServer() { stop(); }
+
+void ControlServer::setHandler(std::string Command,
+                               std::function<std::string()> Fn) {
+  if (Running.load(std::memory_order_acquire))
+    return;
+  for (Handler &H : Handlers) {
+    if (H.Command == Command) {
+      H.Fn = std::move(Fn);
+      return;
+    }
+  }
+  Handlers.push_back(Handler{std::move(Command), std::move(Fn)});
+}
+
+Status ControlServer::start(const std::string &Path) {
+  if (Running.load(std::memory_order_acquire))
+    return Status::error(ErrCode::InvalidArgument,
+                         "control server already running");
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  if (Path.empty() || Path.size() + 1 > sizeof(Addr.sun_path))
+    return Status::error(ErrCode::InvalidArgument,
+                         "control socket path must be non-empty and fit "
+                         "sockaddr_un (" +
+                             Path + ")");
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error(ErrCode::IoError,
+                         "socket: " + std::string(std::strerror(errno)));
+  // A previous process that died without cleanup leaves the node behind;
+  // binding over it requires removing it first.
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status Err = Status::error(ErrCode::IoError,
+                               "bind " + Path + ": " +
+                                   std::string(std::strerror(errno)));
+    ::close(Fd);
+    return Err;
+  }
+  if (::listen(Fd, 4) != 0) {
+    Status Err = Status::error(ErrCode::IoError,
+                               "listen " + Path + ": " +
+                                   std::string(std::strerror(errno)));
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return Err;
+  }
+
+  SocketPath = Path;
+  ListenFd = Fd;
+  StopRequested.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  ServeThread = std::thread([this] { serveLoop(); });
+  return Status::success();
+}
+
+void ControlServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    if (ServeThread.joinable())
+      ServeThread.join();
+    return;
+  }
+  StopRequested.store(true, std::memory_order_release);
+  if (ServeThread.joinable())
+    ServeThread.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (!SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+}
+
+void ControlServer::serveLoop() {
+  while (!StopRequested.load(std::memory_order_acquire)) {
+    pollfd Pfd;
+    Pfd.fd = ListenFd;
+    Pfd.events = POLLIN;
+    Pfd.revents = 0;
+    int Ready = ::poll(&Pfd, 1, /*timeout=*/100);
+    if (Ready <= 0)
+      continue;
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    serveConnection(ClientFd);
+    ::close(ClientFd);
+  }
+}
+
+void ControlServer::serveConnection(int ClientFd) {
+  // A slow or wedged client must not hang the serve loop indefinitely.
+  timeval Timeout;
+  Timeout.tv_sec = 1;
+  Timeout.tv_usec = 0;
+  (void)::setsockopt(ClientFd, SOL_SOCKET, SO_RCVTIMEO, &Timeout,
+                     sizeof(Timeout));
+  (void)::setsockopt(ClientFd, SOL_SOCKET, SO_SNDTIMEO, &Timeout,
+                     sizeof(Timeout));
+
+  char Buf[256];
+  std::string Line;
+  bool SawNewline = false;
+  while (!SawNewline && Line.size() < sizeof(Buf)) {
+    ssize_t N = ::recv(ClientFd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    for (ssize_t I = 0; I < N; ++I) {
+      if (Buf[I] == '\n') {
+        SawNewline = true;
+        break;
+      }
+      Line.push_back(Buf[I]);
+    }
+  }
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+
+  std::string Response;
+  const Handler *Found = nullptr;
+  for (const Handler &H : Handlers) {
+    if (H.Command == Line) {
+      Found = &H;
+      break;
+    }
+  }
+  if (Found && Found->Fn)
+    Response = Found->Fn();
+  else
+    Response = "err unknown command: " + Line + "\n";
+  if (Response.empty() || Response.back() != '\n')
+    Response.push_back('\n');
+
+  size_t Off = 0;
+  while (Off < Response.size()) {
+    ssize_t N =
+        ::send(ClientFd, Response.data() + Off, Response.size() - Off, 0);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+}

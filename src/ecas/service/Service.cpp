@@ -7,6 +7,8 @@
 #include "ecas/service/Service.h"
 
 #include "ecas/obs/MetricNames.h"
+#include "ecas/obs/MetricsExport.h"
+#include "ecas/service/Control.h"
 #include "ecas/support/Assert.h"
 #include "ecas/support/Format.h"
 
@@ -65,6 +67,10 @@ ServiceFrontEnd::ServiceFrontEnd(EasScheduler &SchedulerIn,
     reportFatalError(Valid.toString().c_str(), __FILE__, __LINE__);
   if (!Config.Clock)
     Config.Clock = hostSteadySeconds;
+  // Uptime is observability, not scheduling: read the host clock
+  // directly so statusz never perturbs an injected Config.Clock's call
+  // sequence (deterministic step-clock tests depend on it).
+  StartSec = hostSteadySeconds();
   registerInstruments();
   {
     LockGuard Lock(TokenMutex);
@@ -97,6 +103,10 @@ void ServiceFrontEnd::registerInstruments() {
     Ins.QueueWait[I] =
         &M->histogram(obs::names::ServiceQueueWaitSeconds, WaitBuckets, BySla,
                       "Service-clock seconds between enqueue and dequeue");
+    Ins.DeadlineMiss[I] = &M->counter(
+        obs::names::ServiceDeadlineMissTotal, BySla,
+        "Requests that blew their deadline while the service owned them "
+        "(shed in queue, cancelled by their token, or completed late)");
   }
   Ins.Admitted = &M->counter(obs::names::ServiceAdmittedTotal, {},
                              "Requests that entered a queue lane");
@@ -136,6 +146,31 @@ void ServiceFrontEnd::updateDepthGauges() {
         static_cast<double>(Queue.depth(slaFromIndex(I))));
 }
 
+void ServiceFrontEnd::accountDeadlineMiss(SlaClass Sla) {
+  unsigned I = slaIndex(Sla);
+  ++Counts.DeadlineMissesBySla[I];
+  if (Sla == SlaClass::Sla0)
+    ++Counts.Sla0DeadlineMisses;
+}
+
+void ServiceFrontEnd::bumpTenant(uint64_t TenantId,
+                                 uint64_t ServiceStats::TenantBucket::*Field) {
+  for (size_t I = 0; I != Counts.TenantsTracked; ++I) {
+    if (Counts.Tenants[I].TenantId == TenantId) {
+      ++(Counts.Tenants[I].*Field);
+      return;
+    }
+  }
+  if (Counts.TenantsTracked < ServiceStats::MaxTrackedTenants) {
+    ServiceStats::TenantBucket &Bucket =
+        Counts.Tenants[Counts.TenantsTracked++];
+    Bucket.TenantId = TenantId;
+    ++(Bucket.*Field);
+    return;
+  }
+  ++Counts.TenantsUntracked;
+}
+
 SubmitResult ServiceFrontEnd::submit(const KernelDesc &Kernel,
                                      double Iterations,
                                      const RequestContext &Ctx) {
@@ -146,6 +181,7 @@ SubmitResult ServiceFrontEnd::submit(const KernelDesc &Kernel,
     LockGuard Lock(StatsMutex);
     ++Counts.Submitted;
     ++Counts.SubmittedBySla[Sla];
+    bumpTenant(Ctx.TenantId, &ServiceStats::TenantBucket::Submitted);
   }
   if (Ins.Submitted[Sla])
     Ins.Submitted[Sla]->add();
@@ -210,15 +246,21 @@ void ServiceFrontEnd::accountShed(const QueuedRequest &Request,
     LockGuard Lock(StatsMutex);
     ++Counts.Shed;
     ++Counts.ShedBySla[Sla];
-    if (Request.Ctx.Sla == SlaClass::Sla0)
-      ++Counts.Sla0DeadlineMisses;
+    // Shedding only happens to requests whose deadline expired in queue,
+    // so every shed is by definition a deadline miss.
+    accountDeadlineMiss(Request.Ctx.Sla);
+    bumpTenant(Request.Ctx.TenantId, &ServiceStats::TenantBucket::Shed);
     Counts.MaxQueueWaitSec[Sla] =
         std::max(Counts.MaxQueueWaitSec[Sla], WaitSec);
   }
   if (obs::Counter *C = shedCounter(Request))
     C->add();
+  if (Ins.DeadlineMiss[Sla])
+    Ins.DeadlineMiss[Sla]->add();
   if (Ins.QueueWait[Sla])
     Ins.QueueWait[Sla]->record(WaitSec);
+  if (Config.Flight)
+    Config.Flight->instant("service", "shed", WaitSec);
 }
 
 void ServiceFrontEnd::accountCancelled(const QueuedRequest &Request,
@@ -228,11 +270,19 @@ void ServiceFrontEnd::accountCancelled(const QueuedRequest &Request,
     LockGuard Lock(StatsMutex);
     ++Counts.Cancelled;
     ++Counts.CancelledBySla[Sla];
-    if (DeadlineMiss && Request.Ctx.Sla == SlaClass::Sla0)
-      ++Counts.Sla0DeadlineMisses;
+    if (DeadlineMiss)
+      accountDeadlineMiss(Request.Ctx.Sla);
+    bumpTenant(Request.Ctx.TenantId,
+               &ServiceStats::TenantBucket::Cancelled);
   }
   if (Ins.Cancelled[Sla])
     Ins.Cancelled[Sla]->add();
+  if (DeadlineMiss) {
+    if (Ins.DeadlineMiss[Sla])
+      Ins.DeadlineMiss[Sla]->add();
+    if (Config.Flight)
+      Config.Flight->instant("service", "deadline-miss");
+  }
 }
 
 void ServiceFrontEnd::accountCompleted(const QueuedRequest &Request,
@@ -245,13 +295,21 @@ void ServiceFrontEnd::accountCompleted(const QueuedRequest &Request,
     LockGuard Lock(StatsMutex);
     ++Counts.Completed;
     ++Counts.CompletedBySla[Sla];
-    if (MissedDeadline && Request.Ctx.Sla == SlaClass::Sla0)
-      ++Counts.Sla0DeadlineMisses;
+    if (MissedDeadline)
+      accountDeadlineMiss(Request.Ctx.Sla);
+    bumpTenant(Request.Ctx.TenantId,
+               &ServiceStats::TenantBucket::Completed);
     Counts.MaxQueueWaitSec[Sla] =
         std::max(Counts.MaxQueueWaitSec[Sla], WaitSec);
   }
   if (Ins.Completed[Sla])
     Ins.Completed[Sla]->add();
+  if (MissedDeadline) {
+    if (Ins.DeadlineMiss[Sla])
+      Ins.DeadlineMiss[Sla]->add();
+    if (Config.Flight)
+      Config.Flight->instant("service", "deadline-miss");
+  }
   if (Ins.QueueWait[Sla])
     Ins.QueueWait[Sla]->record(WaitSec);
 }
@@ -347,6 +405,130 @@ void ServiceFrontEnd::workerLoop(unsigned WorkerIndex) {
   }
 }
 
+Status ServiceFrontEnd::startControl(const std::string &SocketPath) {
+  if (Control && Control->running())
+    return Status::error(ErrCode::InvalidArgument,
+                         "control endpoint already started");
+  if (!Control)
+    Control = std::make_unique<service::ControlServer>();
+  Control->setHandler("statusz", [this] { return renderStatusz(); });
+  Control->setHandler("metricz", [this] {
+    if (!Config.Metrics)
+      return std::string("err no metrics registry\n");
+    return obs::renderPrometheus(Config.Metrics->snapshot());
+  });
+  std::function<std::string()> Dump = DumpHook;
+  Control->setHandler("dump", [Dump] {
+    if (!Dump)
+      return std::string("err no dump hook\n");
+    return Dump();
+  });
+  return Control->start(SocketPath);
+}
+
+void ServiceFrontEnd::setDumpHook(std::function<std::string()> Hook) {
+  DumpHook = std::move(Hook);
+}
+
+std::string ecas::renderTableGDigest(const EasScheduler &Scheduler) {
+  std::vector<std::pair<uint64_t, KernelRecord>> Entries =
+      Scheduler.history().entries();
+  uint64_t Confident = 0, CpuOnly = 0, Invocations = 0, Quarantined = 0;
+  for (const auto &[Key, Rec] : Entries) {
+    Confident += Rec.Confident ? 1 : 0;
+    CpuOnly += Rec.CpuOnly ? 1 : 0;
+    Invocations += Rec.Invocations;
+    Quarantined += Rec.QuarantinedRuns;
+  }
+  std::string Out = formatString(
+      "tableg entries=%zu confident=%llu cpu_only=%llu invocations=%llu "
+      "quarantined_runs=%llu\n",
+      Entries.size(), static_cast<unsigned long long>(Confident),
+      static_cast<unsigned long long>(CpuOnly),
+      static_cast<unsigned long long>(Invocations),
+      static_cast<unsigned long long>(Quarantined));
+  // Bound the per-entry listing so a statusz against a huge table stays
+  // a screenful; the summary line above is always complete.
+  constexpr size_t MaxListed = 64;
+  size_t Listed = std::min(Entries.size(), MaxListed);
+  for (size_t I = 0; I != Listed; ++I) {
+    const auto &[Key, Rec] = Entries[I];
+    // Entries mid-profiling have no alpha samples yet; -1 marks "not
+    // yet measured" without tripping the accumulator's own check.
+    double Alpha = Rec.Alpha.hasValue() ? Rec.Alpha.value() : -1.0;
+    Out += formatString(
+        "tableg_entry key=%llu class=%s alpha=%.3f pstate=%u "
+        "invocations=%u quarantined=%u confident=%d cpu_only=%d\n",
+        static_cast<unsigned long long>(Key), Rec.Class.name().c_str(), Alpha,
+        Rec.PState, Rec.Invocations, Rec.QuarantinedRuns,
+        Rec.Confident ? 1 : 0, Rec.CpuOnly ? 1 : 0);
+  }
+  if (Entries.size() > MaxListed)
+    Out += formatString("tableg_elided %zu\n", Entries.size() - MaxListed);
+  return Out;
+}
+
+std::string ServiceFrontEnd::renderStatusz() const {
+  ServiceStats Stats = stats();
+  std::string Out = "ecas-statusz v1\n";
+  Out += formatString("uptime_sec %.3f\n", hostSteadySeconds() - StartSec);
+  Out += formatString("accepting %d\n", accepting() ? 1 : 0);
+  Out += formatString("workers %u\n", Config.Workers);
+  for (unsigned I = 0; I != NumSlaClasses; ++I) {
+    SlaClass Sla = slaFromIndex(I);
+    Out += formatString(
+        "sla %s depth=%zu submitted=%llu rejected=%llu shed=%llu "
+        "completed=%llu cancelled=%llu deadline_miss=%llu "
+        "max_wait_sec=%.6f\n",
+        slaClassName(Sla), Queue.depth(Sla),
+        static_cast<unsigned long long>(Stats.SubmittedBySla[I]),
+        static_cast<unsigned long long>(Stats.RejectedBySla[I]),
+        static_cast<unsigned long long>(Stats.ShedBySla[I]),
+        static_cast<unsigned long long>(Stats.CompletedBySla[I]),
+        static_cast<unsigned long long>(Stats.CancelledBySla[I]),
+        static_cast<unsigned long long>(Stats.DeadlineMissesBySla[I]),
+        Stats.MaxQueueWaitSec[I]);
+  }
+  for (size_t I = 0; I != Stats.TenantsTracked; ++I) {
+    const ServiceStats::TenantBucket &Bucket = Stats.Tenants[I];
+    Out += formatString(
+        "tenant %llu submitted=%llu completed=%llu shed=%llu "
+        "cancelled=%llu\n",
+        static_cast<unsigned long long>(Bucket.TenantId),
+        static_cast<unsigned long long>(Bucket.Submitted),
+        static_cast<unsigned long long>(Bucket.Completed),
+        static_cast<unsigned long long>(Bucket.Shed),
+        static_cast<unsigned long long>(Bucket.Cancelled));
+  }
+  if (Stats.TenantsUntracked)
+    Out += formatString("tenants_untracked %llu\n",
+                        static_cast<unsigned long long>(
+                            Stats.TenantsUntracked));
+  Out += renderTableGDigest(Scheduler);
+  if (Config.Metrics) {
+    obs::MetricsSnapshot Snap = Config.Metrics->snapshot();
+    for (const obs::MetricSample &Sample : Snap.Samples) {
+      if (Sample.Name != obs::names::PStateResidencySeconds)
+        continue;
+      const char *State = "0";
+      for (const auto &Label : Sample.Labels)
+        if (Label.first == "pstate")
+          State = Label.second.c_str();
+      Out += formatString("pstate %s residency_sec=%.6f\n", State,
+                          Sample.Value);
+    }
+  }
+  const GpuHealthMonitor &Health = Scheduler.health();
+  GpuHealthMonitor::Stats HealthStats = Health.stats();
+  Out += formatString(
+      "gpu state=%s hangs=%u quarantines=%u probes=%u recoveries=%u\n",
+      gpuHealthStateName(Health.state()), HealthStats.HangsDetected,
+      HealthStats.Quarantines, HealthStats.ProbesAttempted,
+      HealthStats.Recoveries);
+  Out += "end\n";
+  return Out;
+}
+
 ServiceStats ServiceFrontEnd::shutdown() {
   bool First = false;
   if (!ShutdownStarted.compare_exchange_strong(First, true,
@@ -385,6 +567,8 @@ ServiceStats ServiceFrontEnd::shutdown() {
   for (std::thread &Worker : WorkerThreads)
     Worker.join();
   updateDepthGauges();
+  if (Control)
+    Control->stop();
 
   {
     LockGuard Lock(ShutdownMutex);

@@ -52,6 +52,10 @@
 #include <thread>
 #include <vector>
 
+namespace ecas::service {
+class ControlServer;
+} // namespace ecas::service
+
 namespace ecas {
 
 /// Tunables of one service front end.
@@ -82,6 +86,10 @@ struct ServiceConfig {
   /// pre-registers the eas_service_* taxonomy and every submission /
   /// rejection / shed / completion folds in.
   obs::MetricsRegistry *Metrics = nullptr;
+  /// Optional flight recorder (borrowed, DESIGN.md §16). When set, shed
+  /// and deadline-miss events land in the crash ring alongside the
+  /// scheduler's decision tail. Null no-ops.
+  obs::FlightRecorder *Flight = nullptr;
 
   Status validate() const;
 };
@@ -118,8 +126,29 @@ struct ServiceStats {
   /// excluded — shutdown is the operator's choice, not a miss.
   uint64_t Sla0DeadlineMisses = 0;
 
+  /// Deadline misses per SLA class, same definition as above applied to
+  /// every lane (Sla0DeadlineMisses == DeadlineMissesBySla[0]). The
+  /// burn-rate detector's counter and the serve summary both read the
+  /// same underlying accounting.
+  uint64_t DeadlineMissesBySla[NumSlaClasses] = {};
+
   /// Longest observed queue wait per class (service-clock seconds).
   double MaxQueueWaitSec[NumSlaClasses] = {};
+
+  /// Bounded per-tenant accounting for statusz and table-G attribution.
+  /// A fixed array (no allocation under StatsMutex); tenants past the
+  /// cap fold into TenantsUntracked.
+  struct TenantBucket {
+    uint64_t TenantId = 0;
+    uint64_t Submitted = 0;
+    uint64_t Completed = 0;
+    uint64_t Shed = 0;
+    uint64_t Cancelled = 0;
+  };
+  static constexpr size_t MaxTrackedTenants = 32;
+  TenantBucket Tenants[MaxTrackedTenants] = {};
+  size_t TenantsTracked = 0;
+  uint64_t TenantsUntracked = 0;
 
   /// The conservation law every soak asserts. Exact at quiescence (every
   /// submit() call returned, shutdown() complete); a snapshot taken while
@@ -141,6 +170,11 @@ struct ServiceStats {
 /// than \p ShedThresholdFraction of submissions were shed — so an
 /// overload-induced rejection storm no longer exits like a clean run.
 int serveExitCode(const ServiceStats &Stats, double ShedThresholdFraction);
+
+/// Parse-friendly table-G summary: one aggregate line plus (bounded)
+/// per-entry lines. Shared by statusz, the serve summary, and the
+/// incident writer's tableg.txt.
+std::string renderTableGDigest(const EasScheduler &Scheduler);
 
 /// The multi-tenant service front end. Construction starts the workers;
 /// shutdown() (or the destructor) closes the queue, drains gracefully,
@@ -178,6 +212,21 @@ public:
     return Accepting.load(std::memory_order_acquire);
   }
 
+  /// Starts the UNIX-domain control endpoint at \p SocketPath serving
+  /// `statusz`, `metricz`, and `dump` (DESIGN.md §16). Call once after
+  /// construction; shutdown() stops it.
+  Status startControl(const std::string &SocketPath);
+
+  /// Responder for the control endpoint's `dump` command (typically a
+  /// forced incident-bundle write). Set before startControl().
+  void setDumpHook(std::function<std::string()> Hook);
+
+  /// Human-oriented status text: uptime, admission state, per-SLA lane
+  /// accounting (depth / submitted / rejected / shed / completed /
+  /// cancelled / deadline_miss / max_wait), per-tenant buckets, a
+  /// table-G summary, P-state residency, and GPU health.
+  std::string renderStatusz() const;
+
 private:
   struct WorkerSlot;
 
@@ -189,6 +238,10 @@ private:
   void registerInstruments();
   obs::Counter *shedCounter(const QueuedRequest &Request);
   void updateDepthGauges();
+  void accountDeadlineMiss(SlaClass Sla) ECAS_REQUIRES(StatsMutex);
+  void bumpTenant(uint64_t TenantId,
+                  uint64_t ServiceStats::TenantBucket::*Field)
+      ECAS_REQUIRES(StatsMutex);
 
   EasScheduler &Scheduler;
   const PlatformSpec Spec;
@@ -228,11 +281,19 @@ private:
     obs::Counter *RejectedInfeasible = nullptr;
     obs::Counter *Completed[NumSlaClasses] = {};
     obs::Counter *Cancelled[NumSlaClasses] = {};
+    obs::Counter *DeadlineMiss[NumSlaClasses] = {};
     obs::Gauge *QueueDepth[NumSlaClasses] = {};
     obs::Histogram *QueueWait[NumSlaClasses] = {};
     obs::Histogram *RetryAfter = nullptr;
   };
   MetricInstruments Ins;
+
+  /// Service-clock time at construction, for statusz's uptime line.
+  double StartSec = 0.0;
+
+  /// Control endpoint (null until startControl()).
+  std::unique_ptr<service::ControlServer> Control;
+  std::function<std::string()> DumpHook;
 
   std::vector<std::thread> WorkerThreads;
 };

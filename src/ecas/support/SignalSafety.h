@@ -1,0 +1,23 @@
+//===-- ecas/support/SignalSafety.h - Handler-context marker ---*- C++ -*-===//
+//
+// Part of the ecas project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ECAS_SIGNAL_SAFE marks a function that runs in fatal-signal or
+/// terminate-handler context, where only async-signal-safe calls
+/// (write(2), open(2), raw atomics...) are legal — no malloc, no locks,
+/// no stdio, no iostreams, no std::string. The macro expands to
+/// nothing; like ECAS_HOT it exists as a greppable token for a static
+/// checker: ecas-lint's signal-unsafe-in-handler rule flags any
+/// heap/lock/stdio use inside a marked function's body (DESIGN.md §16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECAS_SUPPORT_SIGNALSAFETY_H
+#define ECAS_SUPPORT_SIGNALSAFETY_H
+
+#define ECAS_SIGNAL_SAFE
+
+#endif // ECAS_SUPPORT_SIGNALSAFETY_H

@@ -609,3 +609,49 @@ TEST(EasTelemetry, PStateLabelRendersAndRoundTrips) {
   EXPECT_EQ(Back->Hist.Count, Alpha->Hist.Count);
   EXPECT_EQ(obs::renderPrometheus(*Parsed), Text);
 }
+
+TEST(EasTelemetry, PStateResidencyGaugeAccumulates) {
+  // Every completed invocation adds its virtual seconds to the gauge of
+  // the P-state it ran in, so summed residency across the family equals
+  // the work the scheduler actually placed — the statusz "pstate" lines
+  // read these same instruments.
+  PlatformSpec Spec = haswellDesktop();
+  Spec.synthesizePStates(3);
+  CharacterizerConfig CharConfig;
+  CharConfig.AlphaStep = 0.5;
+  CharConfig.PolyDegree = 2;
+  PowerCurveFamily Family = characterizeFamily(Spec, CharConfig);
+
+  InvocationTrace Trace = singleClassTrace();
+  ExecutionSession Session(Spec);
+  obs::MetricsRegistry Registry;
+  RunOptions Options;
+  Options.Trace = &Trace;
+  Options.CurveFamily = &Family;
+  Options.Objective = Metric::energy();
+  Options.Metrics = &Registry;
+  Options.Eas.PStates = true;
+  SessionReport Report = Session.run(SchemeKind::Eas, Options);
+  ASSERT_GT(Report.Invocations, 0u);
+
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  size_t ResidencySamples = 0;
+  double TotalResidency = 0.0;
+  for (const obs::MetricSample &S : Snap.Samples) {
+    if (S.Name != obs::names::PStateResidencySeconds)
+      continue;
+    ++ResidencySamples;
+    EXPECT_EQ(S.Kind, obs::MetricKind::Gauge);
+    ASSERT_EQ(S.Labels.size(), 1u);
+    EXPECT_EQ(S.Labels[0].first, "pstate");
+    unsigned Index = std::stoul(S.Labels[0].second);
+    EXPECT_LT(Index, Spec.pstateCount());
+    EXPECT_GE(S.Value, 0.0);
+    TotalResidency += S.Value;
+  }
+  // One gauge per ladder state, registered eagerly so the family is
+  // complete (zero-valued states included), and the run left real
+  // residency behind.
+  EXPECT_EQ(ResidencySamples, size_t{Spec.pstateCount()});
+  EXPECT_GT(TotalResidency, 0.0);
+}

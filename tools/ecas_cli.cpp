@@ -22,13 +22,18 @@
 #include "ecas/core/ExecutionSession.h"
 #include "ecas/fault/FaultPlan.h"
 #include "ecas/hw/Presets.h"
+#include "ecas/obs/Anomaly.h"
 #include "ecas/obs/ChromeTrace.h"
 #include "ecas/obs/DecisionLog.h"
+#include "ecas/obs/FlightRecorder.h"
+#include "ecas/obs/Incident.h"
+#include "ecas/obs/LastGasp.h"
 #include "ecas/obs/Metrics.h"
 #include "ecas/obs/MetricsExport.h"
 #include "ecas/obs/Sinks.h"
 #include "ecas/power/Characterizer.h"
 #include "ecas/service/Service.h"
+#include "ecas/support/AtomicFile.h"
 #include "ecas/support/Cancellation.h"
 #include "ecas/support/Flags.h"
 #include "ecas/support/Format.h"
@@ -41,11 +46,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace ecas;
 
@@ -107,9 +119,20 @@ int usage() {
       "        [--drain-grace-ms=N] [--trace-out=FILE] [--metrics]\n"
       "        [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
       "        [--metrics-json=FILE] [--decision-log=FILE]\n"
+      "        [--control-socket=PATH]      UNIX-socket introspection\n"
+      "                                     endpoint (statusz/metricz/dump)\n"
+      "        [--incident-dir=DIR]         arm the anomaly detectors and\n"
+      "        [--incident-keep=K]          write triggered forensic\n"
+      "        [--detector-interval-ms=N]   bundles (newest K kept) plus a\n"
+      "                                     crash-time last-gasp document\n"
+      "        [--no-flight-recorder]       disarm the always-on black box\n"
       "        (--threads/--invocations keep working as legacy aliases;\n"
       "        exit 1 when any SLA0 deadline missed or shed fraction\n"
       "        exceeds --shed-threshold)\n"
+      "  inspect SOCKET [COMMAND]          query a live serve's control\n"
+      "                                    endpoint (default statusz)\n"
+      "  inspect --validate=DIR            validate one incident bundle\n"
+      "  inspect --validate-lastgasp=FILE  validate a last-gasp document\n"
       "  bench-service --platform=NAME [--requests=N] [--workers=W]\n"
       "        [--out=FILE]                steady-state admission+decision\n"
       "                                    latency and service throughput,\n"
@@ -606,6 +629,18 @@ int cmdServe(const Flags &Args) {
   Metric Objective = metricByName(Args.getString("metric", "edp"));
   double DrainGraceSec = Args.getDouble("drain-grace-ms", 5000.0) / 1000.0;
 
+  // Forensics flags (DESIGN.md §16).
+  std::string ControlSocket = Args.getString("control-socket", "");
+  std::string IncidentDir = Args.getString("incident-dir", "");
+  long long IncidentKeep = Args.getInt("incident-keep", 8);
+  double DetectorIntervalMs = Args.getDouble("detector-interval-ms", 50.0);
+  bool FlightArmed = !Args.getBool("no-flight-recorder", false);
+  if (IncidentKeep < 1 || DetectorIntervalMs <= 0.0) {
+    std::fprintf(stderr, "error: --incident-keep must be >= 1 and "
+                         "--detector-interval-ms positive\n");
+    return ExitUsage;
+  }
+
   // Mixed kernels: every workload of the platform's suite contributes
   // its invocations to one flat work list the tenants cycle over.
   InvocationTrace Work;
@@ -619,6 +654,10 @@ int cmdServe(const Flags &Args) {
   obs::TraceRecorder Recorder;
   obs::MetricsRegistry Registry;
   obs::DecisionLog Decisions;
+  obs::FlightRecorder Flight;
+  // The detectors and the control endpoint both read the registry, so
+  // forensics implies metrics even without an export flag.
+  bool Forensics = !IncidentDir.empty() || !ControlSocket.empty();
   EasConfig Config;
   Config.HistoryFile = Args.getString("history-file", "");
   // Journaling is the default whenever history persists: a kill -9 then
@@ -629,11 +668,13 @@ int cmdServe(const Flags &Args) {
   Config.Journal.File = Args.getString("journal", "");
   if (wantsObservability(Args))
     Config.Trace = &Recorder;
-  if (wantsMetricsRegistry(Args))
+  if (wantsMetricsRegistry(Args) || Forensics)
     Config.Metrics = &Registry;
   bool WantDecisions = !Args.getString("decision-log", "").empty();
   if (WantDecisions)
     Config.Decisions = &Decisions;
+  if (FlightArmed)
+    Config.Flight = &Flight;
   // DVFS flags mutate the spec's P-state ladder; apply before the
   // service front end snapshots the spec for its processors.
   if (!applyDvfsFlags(*Spec, Config, Args))
@@ -668,9 +709,113 @@ int cmdServe(const Flags &Args) {
   FrontConfig.Workers = static_cast<unsigned>(Workers);
   FrontConfig.QueueCapPerClass = static_cast<size_t>(QueueCap);
   FrontConfig.DrainGraceSec = DrainGraceSec;
-  if (wantsMetricsRegistry(Args))
+  if (wantsMetricsRegistry(Args) || Forensics)
     FrontConfig.Metrics = &Registry;
+  if (FlightArmed)
+    FrontConfig.Flight = &Flight;
   ServiceFrontEnd Service(Scheduler, *Spec, FrontConfig);
+
+  // Forensics plumbing: the incident writer captures bundles when a
+  // detector fires (or an operator sends `dump`), the control endpoint
+  // answers statusz/metricz live, and the last-gasp machinery keeps a
+  // crash document pre-serialized and mirrored to disk.
+  std::optional<obs::IncidentWriter> Incidents;
+  if (!IncidentDir.empty()) {
+    ::mkdir(IncidentDir.c_str(), 0755); // EEXIST is fine
+    obs::IncidentConfig IncidentCfg;
+    IncidentCfg.Dir = IncidentDir;
+    IncidentCfg.MaxBundles = static_cast<unsigned>(IncidentKeep);
+    Incidents.emplace(IncidentCfg);
+  }
+  auto ForensicInputs = [&] {
+    obs::IncidentInputs Inputs;
+    Inputs.Flight = Config.Flight;
+    Inputs.Metrics = Config.Metrics;
+    Inputs.TableDigest = renderTableGDigest(Scheduler);
+    Inputs.ServiceStatus = Service.renderStatusz();
+    return Inputs;
+  };
+  if (!ControlSocket.empty()) {
+    Service.setDumpHook([&] {
+      if (!Incidents)
+        return std::string("err dump needs --incident-dir\n");
+      ErrorOr<std::string> Bundle =
+          Incidents->write(ForensicInputs(), {},
+                           obs::TraceRecorder::hostSeconds(),
+                           /*Force=*/true);
+      if (!Bundle)
+        return "err " + Bundle.status().toString() + "\n";
+      return "ok " + *Bundle + "\n";
+    });
+    if (Status S = Service.startControl(ControlSocket); !S) {
+      std::fprintf(stderr, "error: control socket: %s\n",
+                   S.message().c_str());
+      return ExitRuntime;
+    }
+    std::printf("control socket %s\n", ControlSocket.c_str());
+  }
+
+  double ServeStartSec = obs::TraceRecorder::hostSeconds();
+  obs::AnomalyDetector Detector;
+  AnnotatedMutex ForensicMutex{"Cli.Forensics"};
+  std::condition_variable ForensicCv;
+  bool ForensicDone = false;
+  std::thread ForensicThread;
+  if (Incidents) {
+    std::string GaspPath = IncidentDir + "/lastgasp.txt";
+    if (Status S = obs::LastGasp::instance().arm(GaspPath); !S)
+      std::fprintf(stderr, "warning: last-gasp handlers not armed: %s\n",
+                   S.message().c_str());
+    // Prime the delta-based rules against the pre-traffic snapshot so
+    // the first real quarantine or deadline miss is a transition the
+    // detector observes, not part of a cold baseline it re-bases over.
+    (void)Detector.evaluate(Registry.snapshot(), ServeStartSec);
+    ForensicThread = std::thread([&, GaspPath] {
+      UniqueLock Lock(ForensicMutex);
+      // Rules that fired last tick. An anomaly that persists across
+      // ticks (a p99 regression that never clears) keeps returning its
+      // trigger; capturing a bundle per tick would just churn the
+      // retention window with near-identical snapshots. Capture on the
+      // none->some edge per rule, with the writer's rate limit as the
+      // backstop for rules that flap.
+      std::set<std::string> ActiveRules;
+      while (!ForensicCv.wait_for(
+          Lock.native(),
+          std::chrono::duration<double, std::milli>(DetectorIntervalMs),
+          [&] { return ForensicDone; })) {
+        double NowSec = obs::TraceRecorder::hostSeconds();
+        std::vector<obs::AnomalyTrigger> Triggers =
+            Detector.evaluate(Registry.snapshot(), NowSec);
+        std::set<std::string> NowRules;
+        bool NewRule = false;
+        for (const obs::AnomalyTrigger &Trigger : Triggers) {
+          if (!ActiveRules.count(Trigger.Rule))
+            NewRule = true;
+          NowRules.insert(Trigger.Rule);
+        }
+        ActiveRules.swap(NowRules);
+        if (NewRule) {
+          ErrorOr<std::string> Bundle =
+              Incidents->write(ForensicInputs(), Triggers, NowSec);
+          // Rate-limited is business as usual under a trigger storm;
+          // anything else deserves a warning.
+          if (!Bundle && Bundle.status().code() != ErrCode::Overloaded)
+            std::fprintf(stderr, "warning: incident bundle: %s\n",
+                         Bundle.status().message().c_str());
+        }
+        // Refresh the crash document and mirror it to disk every tick:
+        // catchable fatal signals write the freshest copy themselves,
+        // and a SIGKILL still leaves the last tick's mirror behind.
+        obs::LastGaspContext Gasp;
+        Gasp.UptimeSec = NowSec - ServeStartSec;
+        Gasp.ServiceStatus = Service.renderStatusz();
+        Gasp.Flight = Config.Flight;
+        std::string Doc = obs::renderLastGasp(Gasp);
+        obs::LastGasp::instance().refresh(Doc);
+        (void)obs::writeFileAtomic(GaspPath, Doc);
+      }
+    });
+  }
 
   // Periodic exporter: while the tenants hammer the service, rewrite
   // the Prometheus snapshot atomically every interval — what a scrape
@@ -772,6 +917,14 @@ int cmdServe(const Flags &Args) {
     ExportCv.notify_all();
     Exporter.join();
   }
+  if (ForensicThread.joinable()) {
+    {
+      LockGuard Lock(ForensicMutex);
+      ForensicDone = true;
+    }
+    ForensicCv.notify_all();
+    ForensicThread.join();
+  }
 
   // No lost updates: every completed invocation must be counted in
   // table G (cancelled ones are deliberately not).
@@ -789,13 +942,15 @@ int cmdServe(const Flags &Args) {
               static_cast<unsigned long long>(GiveUps.load()));
   for (unsigned I = 0; I != NumSlaClasses; ++I)
     std::printf("  %s: submitted %llu, rejected %llu, shed %llu, "
-                "completed %llu, cancelled %llu, max wait %.1f ms\n",
+                "completed %llu, cancelled %llu, deadline misses %llu, "
+                "max wait %.1f ms\n",
                 slaClassName(slaFromIndex(I)),
                 static_cast<unsigned long long>(Stats.SubmittedBySla[I]),
                 static_cast<unsigned long long>(Stats.RejectedBySla[I]),
                 static_cast<unsigned long long>(Stats.ShedBySla[I]),
                 static_cast<unsigned long long>(Stats.CompletedBySla[I]),
                 static_cast<unsigned long long>(Stats.CancelledBySla[I]),
+                static_cast<unsigned long long>(Stats.DeadlineMissesBySla[I]),
                 1e3 * Stats.MaxQueueWaitSec[I]);
   std::printf("  accounting: %llu submitted == %llu rejected + %llu shed "
               "+ %llu completed + %llu cancelled%s\n",
@@ -832,6 +987,12 @@ int cmdServe(const Flags &Args) {
     std::printf("  health: %u quarantines, %u recoveries, state %s\n",
                 Health.Quarantines, Health.Recoveries,
                 gpuHealthStateName(Scheduler.health().state()));
+  if (Incidents)
+    std::printf("  forensics: %llu incident bundle%s under %s, "
+                "flight ring %s\n",
+                static_cast<unsigned long long>(Incidents->bundlesWritten()),
+                Incidents->bundlesWritten() == 1 ? "" : "s",
+                IncidentDir.c_str(), FlightArmed ? "armed" : "disabled");
   if (!Shutdown) {
     std::fprintf(stderr, "error: shutdown: %s\n",
                  Shutdown.message().c_str());
@@ -851,6 +1012,97 @@ int cmdServe(const Flags &Args) {
   // Overload is an outcome, not a detail: an SLA0 miss or a shed storm
   // exits 1 so scripts can tell a degraded run from a clean one.
   return serveExitCode(Stats, ShedThreshold) == 0 ? ExitOk : ExitRuntime;
+}
+
+/// `inspect`: line-protocol client for a serve instance's control
+/// socket, plus offline validators for the forensic artifacts (incident
+/// bundles, last-gasp documents) so CI can assert on them without a
+/// live process.
+int cmdInspect(const Flags &Args) {
+  std::string Bundle = Args.getString("validate", "");
+  if (!Bundle.empty()) {
+    if (Status S = obs::validateBundle(Bundle); !S) {
+      std::fprintf(stderr, "error: %s: %s\n", Bundle.c_str(),
+                   S.message().c_str());
+      return ExitRuntime;
+    }
+    std::printf("ok %s\n", Bundle.c_str());
+    return ExitOk;
+  }
+  std::string Gasp = Args.getString("validate-lastgasp", "");
+  if (!Gasp.empty()) {
+    std::string Content;
+    bool Existed = false;
+    if (Status S = readFileBytes(Gasp, Content, Existed); !S || !Existed) {
+      std::fprintf(stderr, "error: %s: %s\n", Gasp.c_str(),
+                   Existed ? S.message().c_str() : "no such file");
+      return ExitRuntime;
+    }
+    if (Status S = obs::validateLastGasp(Content); !S) {
+      std::fprintf(stderr, "error: %s: %s\n", Gasp.c_str(),
+                   S.message().c_str());
+      return ExitRuntime;
+    }
+    std::printf("ok %s\n", Gasp.c_str());
+    return ExitOk;
+  }
+
+  const std::vector<std::string> &Positional = Args.positional();
+  if (Positional.size() < 2) {
+    std::fprintf(stderr, "error: inspect needs a socket path (or "
+                         "--validate=DIR / --validate-lastgasp=FILE)\n");
+    return ExitUsage;
+  }
+  const std::string &SocketPath = Positional[1];
+  std::string Command =
+      Positional.size() > 2 ? Positional[2] : std::string("statusz");
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n",
+                 SocketPath.c_str());
+    return ExitUsage;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return ExitRuntime;
+  }
+  if (::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    std::fprintf(stderr, "error: connect %s: %s\n", SocketPath.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return ExitRuntime;
+  }
+  std::string Line = Command + "\n";
+  size_t Sent = 0;
+  while (Sent < Line.size()) {
+    ssize_t N = ::send(Fd, Line.data() + Sent, Line.size() - Sent, 0);
+    if (N <= 0) {
+      std::fprintf(stderr, "error: send: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return ExitRuntime;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  char Buffer[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    if (N < 0) {
+      std::fprintf(stderr, "error: recv: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return ExitRuntime;
+    }
+    if (N == 0)
+      break;
+    std::fwrite(Buffer, 1, static_cast<size_t>(N), stdout);
+  }
+  ::close(Fd);
+  return ExitOk;
 }
 
 /// Sorted-sample quantile in nanoseconds (\p Samples already sorted).
@@ -1169,6 +1421,8 @@ int main(int Argc, char **Argv) {
     return cmdBenchService(Args);
   if (Command == "stats")
     return cmdStats(Args);
+  if (Command == "inspect")
+    return cmdInspect(Args);
   std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
   return usage();
 }

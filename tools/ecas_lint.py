@@ -47,6 +47,13 @@ enforced even under toolchains that cannot run the Clang analyses:
                          inline string literal — add a names:: constant
                          instead so DESIGN.md §11 stays the complete
                          taxonomy. Tests/tools/bench register freely.
+  signal-unsafe-in-handler
+                         Functions marked ECAS_SIGNAL_SAFE (the crash
+                         handlers of obs/LastGasp.cpp) may only call the
+                         async-signal-safe syscall set on pre-serialized
+                         data: no malloc/free/new/delete, no std::string
+                         or container construction, no stdio, no locks.
+                         DESIGN.md §16's crash write depends on it.
   stale-suppression      An // ecas-lint: allow(...) whose rule can no
                          longer fire on that line (or allow-file whose
                          rule fires nowhere in the file, or either form
@@ -395,6 +402,54 @@ def check_atomic_write(path, raw_lines, code_lines, findings):
                 "(DESIGN.md §13)"))
 
 
+SIGNAL_SAFE_MARK = re.compile(r"\bECAS_SIGNAL_SAFE\b")
+SIGNAL_UNSAFE = re.compile(
+    r"\b(?:std::)?(?:malloc|calloc|realloc|free|aligned_alloc)\s*\(|"
+    r"\bnew\b|\bdelete\b|"
+    r"\bstd::(?:string|vector|deque|map|unordered_map|set|function)\b|"
+    r"\b(?:std::)?(?:printf|fprintf|snprintf|sprintf|puts|fputs|fopen|"
+    r"fclose|fwrite|fflush|fputc|putchar)\s*\(|"
+    r"\bstd::(?:cout|cerr|clog)\b|"
+    r"\b(?:LockGuard|UniqueLock|AnnotatedMutex)\b|"
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|mutex)\b|"
+    r"(?:\.|->)lock\s*\("
+)
+
+
+def check_signal_unsafe_in_handler(path, raw_lines, code_lines, findings):
+    rule = "signal-unsafe-in-handler"
+    if file_allows(raw_lines, rule):
+        return
+    pending = False      # marker seen, body brace not yet opened
+    region_depth = None  # brace depth of the marked function's body
+    depth = 0
+    for ln, code in enumerate(code_lines, 1):
+        if SIGNAL_SAFE_MARK.search(code) and \
+                not re.match(r"\s*#\s*(?:define|undef|ifn?def)\b", code):
+            pending = True
+        if region_depth is not None and \
+                not line_allows(raw_lines[ln - 1], rule):
+            m = SIGNAL_UNSAFE.search(code)
+            if m:
+                findings.append(Finding(
+                    path, ln, rule,
+                    f"'{m.group(0).strip()}' inside an ECAS_SIGNAL_SAFE "
+                    "function; a crash handler may only issue "
+                    "async-signal-safe syscalls (write/open/close/raise/"
+                    "_exit) over pre-serialized bytes (DESIGN.md §16)"))
+        for c in code:
+            if c == "{":
+                depth += 1
+                if pending:
+                    region_depth = depth
+                    pending = False
+            elif c == "}":
+                depth -= 1
+                if region_depth is not None and depth < region_depth:
+                    region_depth = None
+    # Unbalanced braces (macro tricks) simply end analysis at EOF.
+
+
 CHOOSE_ALPHA = re.compile(r"\bchooseAlpha\s*\(")
 CHOOSE_ALPHA_BLESSED = (
     # The frozen wrapper itself, and the test pinning it bit-identical
@@ -476,6 +531,7 @@ STALE_TRIGGERS = {
     "no-raw-output": lambda code: (RAW_OUTPUT.search(code) or
                                    IOSTREAM_INCLUDE.match(code)),
     "atomic-write": lambda code: ATOMIC_WRITE.search(code),
+    "signal-unsafe-in-handler": lambda code: SIGNAL_UNSAFE.search(code),
     "choose-alpha-deprecated": lambda code: CHOOSE_ALPHA.search(code),
     "metric-name": lambda code: (METRIC_INLINE_REG.search(code) or
                                  '"' in code),
@@ -549,6 +605,7 @@ CHECKS = [
     check_unbounded_queue,
     check_no_raw_output,
     check_atomic_write,
+    check_signal_unsafe_in_handler,
     check_choose_alpha_deprecated,
     check_metric_name,
     check_stale_suppression,

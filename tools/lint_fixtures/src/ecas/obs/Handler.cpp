@@ -1,0 +1,32 @@
+// Fixture: deliberate async-signal-safety violations inside functions
+// marked ECAS_SIGNAL_SAFE, plus one honoured suppression and an
+// unmarked function that may do what it likes.
+
+#include <cstdlib>
+
+#define ECAS_SIGNAL_SAFE
+
+namespace {
+
+struct AnnotatedMutexLike {
+  void lockIt() {}
+};
+
+ECAS_SIGNAL_SAFE void crashWrite() {
+  void *Block = malloc(64); // finding: heap call in a crash handler
+  (void)Block;
+  LockGuard Lock(SomeMutex); // finding: lock in a crash handler
+  int Fd = 2;
+  (void)Fd;
+  char *Legal =
+      static_cast<char *>(malloc(1)); // ecas-lint: allow(signal-unsafe-in-handler)
+  (void)Legal;
+}
+
+void ordinaryFunction() {
+  // Not marked: heap and locks are fine here and must not be flagged.
+  void *Block = malloc(64);
+  (void)Block;
+}
+
+} // namespace
